@@ -1,0 +1,93 @@
+//! Fit-Distribution-and-Sample (FDaS) baseline (paper §5.2).
+//!
+//! Fits the empirical distribution of each KPI over the training data
+//! (ignoring time and context entirely) and generates series by i.i.d.
+//! sampling from it. Competitive on the HWD metric when the test
+//! distribution matches training, poor on MAE/DTW, and collapses when the
+//! target trajectory's distribution differs from the training one
+//! (paper §6.1.3).
+
+use gendt_data::kpi_types::Kpi;
+use gendt_rng::Rng;
+
+/// The fitted per-KPI empirical distribution.
+#[derive(Clone, Debug)]
+pub struct Fdas {
+    kpis: Vec<Kpi>,
+    /// Sorted sample pool per KPI (inverse-CDF sampling).
+    pools: Vec<Vec<f64>>,
+}
+
+impl Fdas {
+    /// Fit on physical-unit training series, one `Vec<f64>` per KPI.
+    ///
+    /// # Panics
+    /// Panics if a KPI's training series is empty.
+    pub fn fit(kpis: &[Kpi], training: &[Vec<f64>]) -> Self {
+        assert_eq!(kpis.len(), training.len(), "KPI/series count mismatch");
+        let pools = training
+            .iter()
+            .map(|s| {
+                assert!(!s.is_empty(), "FDaS needs non-empty training data");
+                let mut v = s.clone();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                v
+            })
+            .collect();
+        Fdas { kpis: kpis.to_vec(), pools }
+    }
+
+    /// Generate `len` i.i.d. samples per KPI by inverse-CDF draws with
+    /// linear interpolation between order statistics.
+    pub fn generate(&self, len: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = Rng::seed_from(seed);
+        self.pools
+            .iter()
+            .map(|pool| {
+                (0..len)
+                    .map(|_| gendt_metrics::quantile_sorted(pool, rng.uniform01()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// KPI channels in order.
+    pub fn kpis(&self) -> &[Kpi] {
+        &self.kpis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_distribution_matches_training() {
+        let train: Vec<f64> = (0..5000).map(|i| -100.0 + (i % 50) as f64).collect();
+        let f = Fdas::fit(&[Kpi::Rsrp], &[train.clone()]);
+        let gen = &f.generate(5000, 3)[0];
+        let d = gendt_metrics::hwd(&train, gen);
+        assert!(d < 1.0, "FDaS HWD {d}");
+    }
+
+    #[test]
+    fn generated_series_has_no_temporal_structure() {
+        // Autocorrelation of iid samples should be near zero even when the
+        // training series was a smooth ramp.
+        let train: Vec<f64> = (0..2000).map(|i| i as f64 / 20.0).collect();
+        let f = Fdas::fit(&[Kpi::Sinr], &[train]);
+        let gen = &f.generate(2000, 5)[0];
+        let m = gendt_metrics::mean(gen);
+        let var: f64 = gen.iter().map(|x| (x - m).powi(2)).sum::<f64>() / gen.len() as f64;
+        let cov: f64 = gen.windows(2).map(|w| (w[0] - m) * (w[1] - m)).sum::<f64>()
+            / (gen.len() - 1) as f64;
+        assert!((cov / var).abs() < 0.1, "unexpected autocorrelation {}", cov / var);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let f = Fdas::fit(&[Kpi::Rsrq], &[vec![-10.0, -12.0, -9.0, -15.0]]);
+        assert_eq!(f.generate(10, 1), f.generate(10, 1));
+        assert_ne!(f.generate(10, 1), f.generate(10, 2));
+    }
+}

@@ -1,0 +1,28 @@
+//! # gendt-baselines — comparison methods from the GenDT evaluation
+//!
+//! The baselines of paper §5.2, each implemented against the same data
+//! pipeline as GenDT:
+//!
+//! * [`fdas::Fdas`] — fit-distribution-and-sample.
+//! * [`mlp::MlpBaseline`] — per-step context→KPI regression.
+//! * [`lstm_gnn::LstmGnn`] — GNN+LSTM *prediction* model (GenDT's first
+//!   two components with every GenDT innovation disabled).
+//! * [`dg::DoppelGanger`] — DoppelGANger, in both the original two-stage
+//!   form and the paper's optimized "Real Context DG" variant.
+//! * [`stitch::generate_stitched`] — independent short-segment generation
+//!   (the Table-8 comparison).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dg;
+pub mod fdas;
+pub mod lstm_gnn;
+pub mod mlp;
+pub mod stitch;
+
+pub use dg::{window_metadata, DgCfg, DgMode, DoppelGanger, META_DIM};
+pub use fdas::Fdas;
+pub use lstm_gnn::LstmGnn;
+pub use mlp::{step_features, MlpBaseline, MLP_FEATS};
+pub use stitch::generate_stitched;

@@ -1,0 +1,104 @@
+//! One Criterion bench target per paper table/figure: each benchmark runs
+//! the corresponding experiment pipeline at miniature scale, so `cargo
+//! bench` both regenerates every experiment's code path and tracks its
+//! cost over time. (The publication-scale numbers come from
+//! `gendt-eval --exp all`; see EXPERIMENTS.md.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gendt_eval::{exp_ablation, exp_efficiency, exp_fidelity, exp_stats, exp_usecases, Bundle, EvalCfg};
+use std::sync::OnceLock;
+
+fn cfg() -> EvalCfg {
+    let mut c = EvalCfg::quick(4242);
+    c.out_dir = std::env::temp_dir().join("gendt-bench-results");
+    c
+}
+
+/// The Dataset-A bundle is expensive to train; build it once per bench
+/// process and share.
+fn bundle_a() -> &'static mut Bundle {
+    static mut BUNDLE: OnceLock<Bundle> = OnceLock::new();
+    // Criterion runs benches sequentially on one thread; the unsafe
+    // mutable access is confined to this binary.
+    #[allow(static_mut_refs)]
+    unsafe {
+        BUNDLE.get_or_init(|| Bundle::dataset_a(&cfg()));
+        BUNDLE.get_mut().unwrap()
+    }
+}
+
+fn bundle_b() -> &'static mut Bundle {
+    static mut BUNDLE: OnceLock<Bundle> = OnceLock::new();
+    #[allow(static_mut_refs)]
+    unsafe {
+        BUNDLE.get_or_init(|| Bundle::dataset_b(&cfg()));
+        BUNDLE.get_mut().unwrap()
+    }
+}
+
+fn bench_dataset_tables(c: &mut Criterion) {
+    let cfg = cfg();
+    c.bench_function("table1_dataset_a_stats", |b| {
+        b.iter(|| std::hint::black_box(exp_stats::table1(&cfg)))
+    });
+    c.bench_function("table2_dataset_b_stats", |b| {
+        b.iter(|| std::hint::black_box(exp_stats::table2(&cfg)))
+    });
+    c.bench_function("fig1_2_stochasticity", |b| {
+        b.iter(|| std::hint::black_box(exp_stats::fig1_2(&cfg)))
+    });
+    c.bench_function("fig4_16_density_distance", |b| {
+        b.iter(|| std::hint::black_box(exp_stats::fig4_16(&cfg)))
+    });
+}
+
+fn bench_fidelity_tables(c: &mut Criterion) {
+    let cfg = cfg();
+    c.bench_function("table3_rsrp_per_scenario_a", |b| {
+        b.iter(|| std::hint::black_box(exp_fidelity::table3(&cfg, bundle_a())))
+    });
+    c.bench_function("table4_all_kpis_a", |b| {
+        b.iter(|| std::hint::black_box(exp_fidelity::table4(&cfg, bundle_a())))
+    });
+    c.bench_function("table5_rsrp_per_scenario_b", |b| {
+        b.iter(|| std::hint::black_box(exp_fidelity::table5(&cfg, bundle_b())))
+    });
+    c.bench_function("table6_averages_b", |b| {
+        b.iter(|| std::hint::black_box(exp_fidelity::table6(&cfg, bundle_b())))
+    });
+    c.bench_function("table7_fig9_long_trajectory", |b| {
+        b.iter(|| std::hint::black_box(exp_fidelity::table7(&cfg, bundle_b())))
+    });
+    c.bench_function("table8_fig10_stitching", |b| {
+        b.iter(|| std::hint::black_box(exp_fidelity::table8(&cfg, bundle_b())))
+    });
+    c.bench_function("fig18_sample_series", |b| {
+        b.iter(|| std::hint::black_box(exp_fidelity::fig18(&cfg, bundle_a())))
+    });
+}
+
+fn bench_efficiency_and_usecases(c: &mut Criterion) {
+    let cfg = cfg();
+    c.bench_function("fig11_uncertainty_selection", |b| {
+        b.iter(|| std::hint::black_box(exp_efficiency::fig11(&cfg, bundle_b())))
+    });
+    c.bench_function("table9_fig12_qoe", |b| {
+        b.iter(|| std::hint::black_box(exp_usecases::table9(&cfg, bundle_a())))
+    });
+    c.bench_function("table10_fig13_handover", |b| {
+        b.iter(|| std::hint::black_box(exp_usecases::table10(&cfg, bundle_b())))
+    });
+    c.bench_function("table12_ablation", |b| {
+        b.iter(|| std::hint::black_box(exp_ablation::table12(&cfg, bundle_b())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_dataset_tables, bench_fidelity_tables, bench_efficiency_and_usecases
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the hot primitives underlying every experiment:
+//! matrix products, LSTM steps, metric kernels, and simulator queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gendt_geo::trajectory::{generate, Scenario, TrajectoryCfg};
+use gendt_geo::world::{World, WorldCfg};
+use gendt_geo::XY;
+use gendt_nn::{Graph, Lstm, LstmNodeState, Matrix, ParamStore, Rng};
+use gendt_radio::cells::Deployment;
+use gendt_radio::kpi::{KpiCfg, KpiEngine};
+use gendt_radio::propagation::{PropagationCfg, ShadowField};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 64, 128] {
+        let mut rng = Rng::seed_from(1);
+        let a = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.uniform(-1.0, 1.0) as f32).collect());
+        let b = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.uniform(-1.0, 1.0) as f32).collect());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lstm_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lstm_step");
+    for hidden in [32usize, 100] {
+        let mut rng = Rng::seed_from(2);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, "l", 7, hidden, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(hidden), &hidden, |bch, &h| {
+            bch.iter(|| {
+                let mut g = Graph::new();
+                let x = g.input(Matrix::full(8, 7, 0.3));
+                let st = LstmNodeState {
+                    h: g.input(Matrix::zeros(8, h)),
+                    c: g.input(Matrix::zeros(8, h)),
+                };
+                std::hint::black_box(lstm.step(&mut g, &store, x, st));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.1).sin() * 10.0).collect();
+    let ys: Vec<f64> = (0..1000).map(|i| ((i as f64 - 3.0) * 0.1).sin() * 10.0).collect();
+    c.bench_function("dtw_1000", |b| b.iter(|| std::hint::black_box(gendt_metrics::dtw(&xs, &ys))));
+    c.bench_function("hwd_1000", |b| b.iter(|| std::hint::black_box(gendt_metrics::hwd(&xs, &ys))));
+    c.bench_function("mae_1000", |b| b.iter(|| std::hint::black_box(gendt_metrics::mae(&xs, &ys))));
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let world = World::generate(WorldCfg::city(7));
+    let deployment = Deployment::from_world(&world);
+    c.bench_function("cells_within_2km", |b| {
+        b.iter(|| std::hint::black_box(deployment.cells_within(XY::new(100.0, -50.0), 2000.0)))
+    });
+    c.bench_function("env_context_500m", |b| {
+        b.iter(|| std::hint::black_box(world.env_context(XY::new(100.0, -50.0), 500.0)))
+    });
+    let prop = PropagationCfg::default();
+    let shadow = ShadowField::new(7, 3, &prop);
+    c.bench_function("shadow_field_eval", |b| {
+        let mut x = 0.0;
+        b.iter(|| {
+            x += 1.0;
+            std::hint::black_box(shadow.at(XY::new(x, -x)))
+        })
+    });
+    let engine = KpiEngine::new(&world, &deployment, prop, KpiCfg::default());
+    let traj = generate(&world, &TrajectoryCfg::new(Scenario::Bus, 60.0, XY::new(0.0, 0.0), 3));
+    c.bench_function("kpi_measure_60s_bus", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(engine.measure(&traj, seed))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_lstm_step, bench_metrics, bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! # gendt-bench — Criterion benchmark targets
+//!
+//! This crate exists only to host the benchmark binaries:
+//!
+//! * `benches/micro.rs` — hot-primitive micro-benchmarks (matmul, LSTM
+//!   step, DTW/HWD kernels, simulator queries).
+//! * `benches/experiments.rs` — one target per paper table/figure, each
+//!   running the corresponding experiment pipeline at miniature scale.
+//!
+//! Run with `cargo bench --workspace`; publication-scale numbers come
+//! from `gendt-eval --exp all` (see EXPERIMENTS.md).

@@ -1,0 +1,152 @@
+//! GenDT model configuration and ablation switches.
+
+use gendt_data::windows::WindowCfg;
+use gendt_nn::StochasticCfg;
+use serde::{Deserialize, Serialize};
+
+/// Ablation switches (paper Table 12): each disables one design element.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Ablation {
+    /// Use the ResGen residual generator (environment-conditioned
+    /// autoregressive Gaussian head).
+    pub resgen: bool,
+    /// Use the SRNN stochastic layers in the LSTMs.
+    pub srnn: bool,
+    /// Include the adversarial (GAN) loss term.
+    pub gan_loss: bool,
+    /// Train with overlapping batch windows; `false` trains on whole-run
+    /// chunks with stride = window length (the "No batch" ablation).
+    pub overlap_batching: bool,
+}
+
+impl Default for Ablation {
+    fn default() -> Self {
+        Ablation { resgen: true, srnn: true, gan_loss: true, overlap_batching: true }
+    }
+}
+
+/// Full model configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GenDtCfg {
+    /// Number of output KPI channels (`N_ch`).
+    pub n_ch: usize,
+    /// LSTM hidden dimension (`H`, paper default 100).
+    pub hidden: usize,
+    /// Windowing (batch length `L`, stride `Δt`).
+    pub window: WindowCfg,
+    /// GNN-node input-noise dimension (`N_z0`).
+    pub n_z0: usize,
+    /// ResGen input-noise dimension (`N_z1`).
+    pub n_z1: usize,
+    /// ResGen hidden layer width.
+    pub resgen_hidden: usize,
+    /// Discriminator hidden dimension.
+    pub disc_hidden: usize,
+    /// SRNN noise intensities.
+    pub stochastic: StochasticCfg,
+    /// Adversarial-loss weight `λ` (paper default 0.1).
+    pub lambda_gan: f32,
+    /// Dropout probability before ResGen's final layer.
+    pub dropout: f32,
+    /// Generator learning rate.
+    pub lr_g: f32,
+    /// Discriminator learning rate.
+    pub lr_d: f32,
+    /// Mini-batch size (windows per step).
+    pub batch_size: usize,
+    /// Training steps.
+    pub steps: usize,
+    /// Gradient-norm clip.
+    pub grad_clip: f32,
+    /// Ablation switches.
+    pub ablation: Ablation,
+    /// Seed for weight init and training randomness.
+    pub seed: u64,
+}
+
+impl GenDtCfg {
+    /// Paper-faithful settings (`H = 100`, `L = 50`, `Δt = 5`, `λ = 0.1`,
+    /// `a_h = a_c = 2`). Heavy on a single CPU core — used for the final
+    /// full experiment runs.
+    pub fn paper(n_ch: usize, seed: u64) -> Self {
+        GenDtCfg {
+            n_ch,
+            hidden: 100,
+            window: WindowCfg::training(),
+            n_z0: 2,
+            n_z1: 4,
+            resgen_hidden: 64,
+            disc_hidden: 32,
+            stochastic: StochasticCfg::paper_default(),
+            lambda_gan: 0.1,
+            dropout: 0.2,
+            lr_g: 2e-3,
+            lr_d: 1e-3,
+            batch_size: 8,
+            steps: 300,
+            grad_clip: 5.0,
+            ablation: Ablation::default(),
+            seed,
+        }
+    }
+
+    /// Reduced settings for CPU-budget experiments and tests: smaller
+    /// hidden size and shorter windows, same architecture. Documented in
+    /// EXPERIMENTS.md as the deviation from the paper's training scale.
+    pub fn fast(n_ch: usize, seed: u64) -> Self {
+        GenDtCfg {
+            hidden: 32,
+            window: gendt_data::windows::WindowCfg { len: 30, stride: 6, max_cells: 6, ar_context: 4 },
+            resgen_hidden: 32,
+            disc_hidden: 16,
+            batch_size: 8,
+            steps: 120,
+            ..Self::paper(n_ch, seed)
+        }
+    }
+
+    /// Generation windowing: non-overlapping with the same length.
+    pub fn generation_window(&self) -> WindowCfg {
+        WindowCfg { stride: self.window.len, ..self.window }
+    }
+
+    /// Training windowing honoring the batching ablation: without overlap
+    /// batching, the stride equals the window length.
+    pub fn training_window(&self) -> WindowCfg {
+        if self.ablation.overlap_batching {
+            self.window
+        } else {
+            WindowCfg { stride: self.window.len, ..self.window }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_paper() {
+        let c = GenDtCfg::paper(4, 1);
+        assert_eq!(c.hidden, 100);
+        assert_eq!(c.window.len, 50);
+        assert_eq!(c.window.stride, 5);
+        assert!((c.lambda_gan - 0.1).abs() < 1e-9);
+        assert_eq!(c.stochastic.a_h, 2.0);
+    }
+
+    #[test]
+    fn generation_window_is_non_overlapping() {
+        let c = GenDtCfg::fast(2, 1);
+        let w = c.generation_window();
+        assert_eq!(w.stride, w.len);
+    }
+
+    #[test]
+    fn batching_ablation_disables_overlap() {
+        let mut c = GenDtCfg::fast(2, 1);
+        assert!(c.training_window().stride < c.training_window().len);
+        c.ablation.overlap_batching = false;
+        assert_eq!(c.training_window().stride, c.training_window().len);
+    }
+}

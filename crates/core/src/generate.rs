@@ -1,0 +1,283 @@
+//! Generation: synthesize KPI time series for a (possibly unseen)
+//! trajectory from its context, and the MC-dropout model-uncertainty
+//! measure (paper §6.2.1).
+//!
+//! Long series are produced window-by-window with non-overlapping windows
+//! (paper §4.3.3); the aggregation-LSTM state and the autoregressive tail
+//! carry across windows so temporal correlation survives window borders.
+
+use crate::cfg::GenDtCfg;
+use crate::generator::{ArMode, CarryState};
+use crate::trainer::GenDt;
+use gendt_data::context::RunContext;
+use gendt_data::kpi_types::Kpi;
+use gendt_data::windows::{Window, WindowCfg};
+use gendt_geo::landuse::ENV_ATTRS;
+use gendt_nn::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Build generation windows from context alone (no KPI targets — this is
+/// what "generating for a new trajectory without field measurements"
+/// means). Targets and AR seeds are zero-filled placeholders.
+pub fn generation_windows(ctx: &RunContext, n_ch: usize, cfg: &WindowCfg) -> Vec<Window> {
+    let n = ctx.steps.len();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start + cfg.len <= n {
+        let end = start + cfg.len;
+        // Rank cells by presence over the window, as in training.
+        let mut presence: std::collections::BTreeMap<u32, usize> = Default::default();
+        for step in &ctx.steps[start..end] {
+            for &(id, _) in &step.cells {
+                *presence.entry(id).or_insert(0) += 1;
+            }
+        }
+        let mut ranked: Vec<(u32, usize)> = presence.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(cfg.max_cells);
+        let cell_ids: Vec<u32> = ranked.into_iter().map(|(id, _)| id).collect();
+        let cells = cell_ids
+            .iter()
+            .map(|&id| {
+                ctx.steps[start..end]
+                    .iter()
+                    .map(|s| {
+                        s.cells
+                            .iter()
+                            .find(|&&(cid, _)| cid == id)
+                            .map(|&(_, f)| f)
+                            .unwrap_or([0.0, 0.0, 0.0, 0.0, 1.0])
+                    })
+                    .collect()
+            })
+            .collect();
+        let env: Vec<Vec<f32>> = ctx.steps[start..end].iter().map(|s| s.env.clone()).collect();
+        debug_assert!(env.iter().all(|e| e.len() == ENV_ATTRS));
+        out.push(Window {
+            targets: vec![vec![0.0; cfg.len]; n_ch],
+            cells,
+            cell_ids,
+            env,
+            ar_seed: vec![vec![0.0; cfg.ar_context]; n_ch],
+            start,
+        });
+        start += cfg.stride;
+    }
+    out
+}
+
+/// One generated multi-KPI series in physical units.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GeneratedSeries {
+    /// KPI channels, aligned with the `kpis` list used at generation.
+    pub kpis: Vec<Kpi>,
+    /// Physical-unit series per KPI, `[n_ch][T']` where
+    /// `T' = ⌊T/L⌋·L` (the paper's batch generation length).
+    pub series: Vec<Vec<f64>>,
+}
+
+impl GeneratedSeries {
+    /// Series for one KPI channel.
+    pub fn channel(&self, kpi: Kpi) -> Option<&[f64]> {
+        self.kpis.iter().position(|&k| k == kpi).map(|i| self.series[i].as_slice())
+    }
+
+    /// Length of the generated series.
+    pub fn len(&self) -> usize {
+        self.series.first().map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// True when nothing was generated (trajectory shorter than one window).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Generate a multi-KPI series for a trajectory context.
+///
+/// * `mc_dropout` keeps ResGen's dropout active (used by the uncertainty
+///   measure); normal generation passes `false`.
+/// * `sample_seed` decorrelates repeated draws for the same trajectory.
+pub fn generate_series(
+    model: &mut GenDt,
+    ctx: &RunContext,
+    kpis: &[Kpi],
+    mc_dropout: bool,
+    sample_seed: u64,
+) -> GeneratedSeries {
+    let cfg: GenDtCfg = model.cfg().clone();
+    assert_eq!(kpis.len(), cfg.n_ch, "KPI list does not match model channels");
+    let wins = generation_windows(ctx, cfg.n_ch, &cfg.generation_window());
+    let mut rng = gendt_nn::Rng::seed_from(sample_seed);
+    let mut carry = CarryState::zeros(&cfg, 1);
+    let mut norm: Vec<Vec<f32>> = vec![Vec::new(); cfg.n_ch];
+    for w in &wins {
+        let mut g = Graph::new();
+        let fwd = model.generator.forward(
+            &mut g,
+            &[w],
+            &carry,
+            ArMode::FreeRunning,
+            mc_dropout,
+            &mut rng,
+        );
+        for &out in &fwd.outputs {
+            let v = g.value(out);
+            for ch in 0..cfg.n_ch {
+                norm[ch].push(v.data[ch]);
+            }
+        }
+        carry = fwd.carry;
+    }
+    let series = norm
+        .into_iter()
+        .enumerate()
+        .map(|(ch, s)| s.into_iter().map(|v| kpis[ch].denormalize(v)).collect())
+        .collect();
+    GeneratedSeries { kpis: kpis.to_vec(), series }
+}
+
+/// ResGen distribution-parameter statistics from repeated MC-dropout
+/// passes — the inputs of the model-uncertainty measure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct UncertaintyReport {
+    /// `U(G_θ) = mean_t [ std(σ_θ)_t + std(μ_θ)_t ]` over MC samples.
+    pub model_uncertainty: f64,
+    /// Mean σ over time and samples (data-uncertainty proxy).
+    pub data_uncertainty: f64,
+    /// Number of MC samples used.
+    pub samples: usize,
+}
+
+/// Estimate model uncertainty on a trajectory context via MC dropout
+/// (paper §6.2.1): run `n_samples` generations with dropout on, collect
+/// the per-step `(μ, σ)` of ResGen, and average the across-sample standard
+/// deviations over time.
+pub fn model_uncertainty(
+    model: &mut GenDt,
+    ctx: &RunContext,
+    n_samples: usize,
+    seed: u64,
+) -> UncertaintyReport {
+    assert!(n_samples >= 2, "need at least two MC samples");
+    let cfg = model.cfg().clone();
+    let wins = generation_windows(ctx, cfg.n_ch, &cfg.generation_window());
+    // mus[sample][t][ch], sigmas likewise (flattened over windows).
+    let mut mus: Vec<Vec<f32>> = Vec::with_capacity(n_samples);
+    let mut sigmas: Vec<Vec<f32>> = Vec::with_capacity(n_samples);
+    for s in 0..n_samples {
+        let mut rng = gendt_nn::Rng::seed_from(seed ^ ((s as u64 + 1) << 32));
+        let mut carry = CarryState::zeros(&cfg, 1);
+        let mut mu_flat = Vec::new();
+        let mut sg_flat = Vec::new();
+        for w in &wins {
+            let mut g = Graph::new();
+            let fwd =
+                model.generator.forward(&mut g, &[w], &carry, ArMode::FreeRunning, true, &mut rng);
+            for (&mu, &sg) in fwd.res_mu.iter().zip(fwd.res_sigma.iter()) {
+                mu_flat.extend_from_slice(&g.value(mu).data);
+                sg_flat.extend_from_slice(&g.value(sg).data);
+            }
+            carry = fwd.carry;
+        }
+        mus.push(mu_flat);
+        sigmas.push(sg_flat);
+    }
+    let t_len = mus[0].len();
+    if t_len == 0 {
+        // ResGen ablated or trajectory too short: no uncertainty signal.
+        return UncertaintyReport { model_uncertainty: 0.0, data_uncertainty: 0.0, samples: n_samples };
+    }
+    let mut acc = 0.0;
+    let mut sigma_acc = 0.0;
+    for t in 0..t_len {
+        let mu_t: Vec<f64> = mus.iter().map(|s| s[t] as f64).collect();
+        let sg_t: Vec<f64> = sigmas.iter().map(|s| s[t] as f64).collect();
+        acc += gendt_metrics::std_dev(&mu_t) + gendt_metrics::std_dev(&sg_t);
+        sigma_acc += gendt_metrics::mean(&sg_t);
+    }
+    UncertaintyReport {
+        model_uncertainty: acc / t_len as f64,
+        data_uncertainty: sigma_acc / t_len as f64,
+        samples: n_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::GenDtCfg;
+    use gendt_data::builders::{dataset_a, BuildCfg};
+    use gendt_data::context::{extract, ContextCfg};
+
+    fn tiny_model_and_ctx() -> (GenDt, RunContext) {
+        let mut cfg = GenDtCfg::fast(4, 9);
+        cfg.hidden = 8;
+        cfg.resgen_hidden = 8;
+        cfg.disc_hidden = 6;
+        cfg.window.len = 10;
+        cfg.window.stride = 5;
+        cfg.window.max_cells = 3;
+        cfg.steps = 3;
+        cfg.batch_size = 4;
+        let ds = dataset_a(&BuildCfg::quick(47));
+        let run = &ds.runs[0];
+        let ctx = extract(
+            &ds.world,
+            &ds.deployment,
+            &run.traj,
+            &ContextCfg { max_cells: 3, ..ContextCfg::default() },
+        );
+        let mut pool = Vec::new();
+        pool.extend(gendt_data::windows::windows(
+            run,
+            &ctx,
+            &Kpi::DATASET_A,
+            &cfg.window,
+        ));
+        let mut model = GenDt::new(cfg);
+        model.train(&pool);
+        (model, ctx)
+    }
+
+    #[test]
+    fn generated_series_has_expected_length_and_ranges() {
+        let (mut model, ctx) = tiny_model_and_ctx();
+        let out = generate_series(&mut model, &ctx, &Kpi::DATASET_A, false, 5);
+        let expected = (ctx.steps.len() / 10) * 10;
+        assert_eq!(out.len(), expected);
+        let rsrp = out.channel(Kpi::Rsrp).unwrap();
+        assert!(rsrp.iter().all(|&v| (-140.0..=-44.0).contains(&v)));
+        let cqi = out.channel(Kpi::Cqi).unwrap();
+        assert!(cqi.iter().all(|&v| (1.0..=15.0).contains(&v) && v.fract() == 0.0));
+    }
+
+    #[test]
+    fn different_sample_seeds_differ() {
+        let (mut model, ctx) = tiny_model_and_ctx();
+        let a = generate_series(&mut model, &ctx, &Kpi::DATASET_A, false, 1);
+        let b = generate_series(&mut model, &ctx, &Kpi::DATASET_A, false, 2);
+        assert_ne!(a.series[0], b.series[0], "stochastic generation collapsed");
+    }
+
+    #[test]
+    fn uncertainty_is_positive_with_resgen() {
+        let (mut model, ctx) = tiny_model_and_ctx();
+        let rep = model_uncertainty(&mut model, &ctx, 3, 11);
+        assert!(rep.model_uncertainty > 0.0);
+        assert!(rep.data_uncertainty > 0.0);
+        assert_eq!(rep.samples, 3);
+    }
+
+    #[test]
+    fn generation_windows_capped_by_length() {
+        let (_, ctx) = tiny_model_and_ctx();
+        let cfg = WindowCfg { len: 10, stride: 10, max_cells: 3, ar_context: 4 };
+        let wins = generation_windows(&ctx, 4, &cfg);
+        assert_eq!(wins.len(), ctx.steps.len() / 10);
+        for w in &wins {
+            assert!(w.cells.len() <= 3);
+            assert_eq!(w.env.len(), 10);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Region transfer: the paper's §7.1 operational workflow (Fig. 14).
+//!
+//! A pretrained GenDT is bootstrapped into a *new, previously unseen*
+//! region with a small amount of coarse-grained measurement, then refined
+//! through the cyclical uncertainty-guided collect→retrain loop until the
+//! model uncertainty stops improving ("No further measurement").
+
+use crate::cfg::GenDtCfg;
+use crate::generate::model_uncertainty;
+use crate::trainer::GenDt;
+use gendt_data::context::RunContext;
+use gendt_data::windows::Window;
+use serde::{Deserialize, Serialize};
+
+/// One iteration of the retraining cycle.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TransferStep {
+    /// Cycle index (0 = after the coarse bootstrap).
+    pub cycle: usize,
+    /// Windows in the training pool at this cycle.
+    pub pool_size: usize,
+    /// Model uncertainty on the target region after retraining.
+    pub uncertainty: f64,
+    /// Which candidate measurement (index) was collected this cycle;
+    /// `None` on the bootstrap cycle and when the loop stopped.
+    pub collected: Option<usize>,
+}
+
+/// Configuration of the transfer loop.
+#[derive(Clone, Debug)]
+pub struct TransferCfg {
+    /// Training steps per retraining cycle (fine-tuning, not from
+    /// scratch — the pretrained weights are kept).
+    pub steps_per_cycle: usize,
+    /// Maximum collect→retrain cycles.
+    pub max_cycles: usize,
+    /// Stop when the relative uncertainty improvement over a cycle falls
+    /// below this threshold.
+    pub rel_improvement_floor: f64,
+    /// MC samples for the uncertainty measure.
+    pub mc_samples: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TransferCfg {
+    fn default() -> Self {
+        TransferCfg {
+            steps_per_cycle: 60,
+            max_cycles: 5,
+            rel_improvement_floor: 0.05,
+            mc_samples: 3,
+            seed: 0x7247_5FE2,
+        }
+    }
+}
+
+/// Outcome of a transfer: the adapted model plus the cycle trace.
+pub struct TransferOutcome {
+    /// The adapted model.
+    pub model: GenDt,
+    /// Per-cycle trace.
+    pub steps: Vec<TransferStep>,
+}
+
+/// Run the Fig.-14 workflow.
+///
+/// * `pretrained` — a model trained on the source region (consumed; its
+///   weights are the starting point).
+/// * `bootstrap` — coarse-grained measurement windows from the target
+///   region (e.g. one street per district).
+/// * `candidates` — candidate measurement campaigns in the target region:
+///   `(windows, representative context)` pairs. Each cycle the most
+///   uncertain *uncollected* candidate is measured and added.
+/// * `target_ctx` — a context representative of the region, used to track
+///   overall model uncertainty and decide when to stop.
+pub fn transfer_to_region(
+    mut pretrained: GenDt,
+    bootstrap: &[Window],
+    candidates: &[(Vec<Window>, RunContext)],
+    target_ctx: &RunContext,
+    cfg: &TransferCfg,
+) -> TransferOutcome {
+    let mut steps = Vec::new();
+    let mut pool: Vec<Window> = bootstrap.to_vec();
+    let mut collected = vec![false; candidates.len()];
+
+    // Bootstrap retraining on the coarse measurement.
+    let run_cycle = |model: &mut GenDt, pool: &[Window]| {
+        if !pool.is_empty() {
+            let orig_steps = model.cfg().steps;
+            // Fine-tune: run a fixed number of steps on the new pool.
+            for _ in 0..cfg.steps_per_cycle.min(orig_steps.max(1) * 4) {
+                model.train_step(pool);
+            }
+        }
+    };
+    run_cycle(&mut pretrained, &pool);
+    let mut last_u =
+        model_uncertainty(&mut pretrained, target_ctx, cfg.mc_samples, cfg.seed).model_uncertainty;
+    steps.push(TransferStep { cycle: 0, pool_size: pool.len(), uncertainty: last_u, collected: None });
+
+    for cycle in 1..=cfg.max_cycles {
+        // Score uncollected candidates by model uncertainty; collect the
+        // most informative one.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, (_, ctx)) in candidates.iter().enumerate() {
+            if collected[i] {
+                continue;
+            }
+            let u = model_uncertainty(
+                &mut pretrained,
+                ctx,
+                cfg.mc_samples,
+                cfg.seed ^ ((cycle as u64) << 16) ^ (i as u64),
+            )
+            .model_uncertainty;
+            if best.map(|(_, bu)| u > bu).unwrap_or(true) {
+                best = Some((i, u));
+            }
+        }
+        let Some((pick, _)) = best else { break };
+        collected[pick] = true;
+        pool.extend(candidates[pick].0.iter().cloned());
+        run_cycle(&mut pretrained, &pool);
+        let u = model_uncertainty(
+            &mut pretrained,
+            target_ctx,
+            cfg.mc_samples,
+            cfg.seed ^ ((cycle as u64) << 24),
+        )
+        .model_uncertainty;
+        steps.push(TransferStep {
+            cycle,
+            pool_size: pool.len(),
+            uncertainty: u,
+            collected: Some(pick),
+        });
+        // Stop when uncertainty stops improving.
+        if last_u > 0.0 && (last_u - u) / last_u < cfg.rel_improvement_floor {
+            break;
+        }
+        last_u = u;
+    }
+    TransferOutcome { model: pretrained, steps }
+}
+
+/// Convenience: pretrain a fresh model on a source pool (the "historical
+/// drive test measurement data" of Fig. 14).
+pub fn pretrain(cfg: GenDtCfg, source_pool: &[Window]) -> GenDt {
+    let mut model = GenDt::new(cfg);
+    if !source_pool.is_empty() {
+        model.train(source_pool);
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendt_data::builders::{dataset_a, dataset_b, BuildCfg};
+    use gendt_data::context::{extract, ContextCfg};
+    use gendt_data::kpi_types::Kpi;
+    use gendt_data::windows::windows as make_windows;
+
+    #[test]
+    fn transfer_loop_collects_and_tracks_uncertainty() {
+        let mut cfg = GenDtCfg::fast(2, 91);
+        cfg.hidden = 8;
+        cfg.resgen_hidden = 8;
+        cfg.disc_hidden = 4;
+        cfg.window.len = 10;
+        cfg.window.stride = 10;
+        cfg.window.max_cells = 2;
+        cfg.steps = 4;
+        cfg.batch_size = 4;
+
+        // Source region: Dataset A world (RSRP/RSRQ only for channel
+        // compatibility with Dataset B).
+        let kpis = [Kpi::Rsrp, Kpi::Rsrq];
+        let src = dataset_a(&BuildCfg::quick(92));
+        let ctx_cfg = ContextCfg {
+            max_cells: 2,
+            coord_scale_m: src.world.cfg.extent_m,
+            ..ContextCfg::default()
+        };
+        let mut source_pool = Vec::new();
+        for run in src.runs.iter().take(2) {
+            let ctx = extract(&src.world, &src.deployment, &run.traj, &ctx_cfg);
+            source_pool.extend(make_windows(run, &ctx, &kpis, &cfg.window));
+        }
+        let pretrained = pretrain(cfg, &source_pool);
+
+        // Target region: Dataset B world.
+        let tgt = dataset_b(&BuildCfg::quick(93));
+        let tgt_ctx_cfg = ContextCfg {
+            max_cells: 2,
+            coord_scale_m: tgt.world.cfg.extent_m,
+            ..ContextCfg::default()
+        };
+        let mut candidates = Vec::new();
+        for run in tgt.runs.iter().take(3) {
+            let ctx = extract(&tgt.world, &tgt.deployment, &run.traj, &tgt_ctx_cfg);
+            let wins = make_windows(run, &ctx, &kpis, &pretrained.cfg().window);
+            candidates.push((wins, ctx));
+        }
+        let boot_run = &tgt.runs[4];
+        let boot_ctx = extract(&tgt.world, &tgt.deployment, &boot_run.traj, &tgt_ctx_cfg);
+        let bootstrap = make_windows(boot_run, &boot_ctx, &kpis, &pretrained.cfg().window);
+
+        let tcfg = TransferCfg {
+            steps_per_cycle: 3,
+            max_cycles: 2,
+            rel_improvement_floor: 0.0,
+            mc_samples: 2,
+            seed: 9,
+        };
+        let out = transfer_to_region(pretrained, &bootstrap, &candidates, &boot_ctx, &tcfg);
+        assert!(!out.steps.is_empty());
+        assert_eq!(out.steps[0].cycle, 0);
+        assert!(out.steps[0].uncertainty >= 0.0);
+        // Cycles after the bootstrap each collected one candidate.
+        for (k, s) in out.steps.iter().enumerate().skip(1) {
+            assert_eq!(s.cycle, k);
+            assert!(s.collected.is_some());
+            assert!(s.pool_size >= out.steps[k - 1].pool_size);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Dataset-export tool: synthesize Dataset A or B and dump runs as JSON
+//! or CSV for use outside this workspace.
+//!
+//! ```text
+//! gendt-datagen --dataset a --scale 0.1 --seed 42 --format csv --out data_a/
+//! gendt-datagen --dataset b --format json --out data_b/
+//! ```
+
+use gendt_data::builders::{dataset_a, dataset_b, BuildCfg};
+use gendt_data::kpi_types::Kpi;
+use gendt_data::run::Dataset;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+struct Args {
+    dataset: String,
+    scale: f64,
+    seed: u64,
+    format: String,
+    out: PathBuf,
+}
+
+fn parse() -> Result<Args, String> {
+    let mut a = Args {
+        dataset: "a".into(),
+        scale: 0.1,
+        seed: 42,
+        format: "csv".into(),
+        out: PathBuf::from("dataset_out"),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].clone();
+        match key.as_str() {
+            "--dataset" | "--scale" | "--seed" | "--format" | "--out" => {
+                i += 1;
+                let v = argv.get(i).ok_or_else(|| format!("{key} needs a value"))?;
+                match key.as_str() {
+                    "--dataset" => a.dataset = v.to_lowercase(),
+                    "--scale" => a.scale = v.parse().map_err(|e| format!("bad scale: {e}"))?,
+                    "--seed" => a.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?,
+                    "--format" => a.format = v.to_lowercase(),
+                    "--out" => a.out = PathBuf::from(v),
+                    _ => unreachable!(),
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "gendt-datagen — synthesize and export GenDT drive-test datasets\n\n\
+                     USAGE: gendt-datagen [--dataset a|b] [--scale F] [--seed N] \
+                     [--format csv|json] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    if a.dataset != "a" && a.dataset != "b" {
+        return Err("--dataset must be 'a' or 'b'".into());
+    }
+    if a.format != "csv" && a.format != "json" {
+        return Err("--format must be 'csv' or 'json'".into());
+    }
+    if !(a.scale > 0.0 && a.scale <= 1.0) {
+        return Err("--scale must be in (0, 1]".into());
+    }
+    Ok(a)
+}
+
+fn run_to_csv(ds: &Dataset, run_idx: usize) -> String {
+    let run = &ds.runs[run_idx];
+    let mut s = String::from(
+        "t_s,lat,lon,x_m,y_m,speed_mps,rsrp_dbm,rsrq_db,sinr_db,cqi,rssi_dbm,serving_cell,\
+         serving_dist_m,visible_cells,serving_load",
+    );
+    if run.qoe.is_some() {
+        s.push_str(",throughput_mbps,per");
+    }
+    s.push('\n');
+    for (k, smp) in run.samples.iter().enumerate() {
+        let p = run.traj.points[k];
+        let ll = ds.world.to_latlon(p.pos);
+        let _ = write!(
+            s,
+            "{:.1},{:.6},{:.6},{:.1},{:.1},{:.2},{:.2},{:.2},{:.2},{},{:.2},{},{:.1},{},{:.3}",
+            smp.t,
+            ll.lat,
+            ll.lon,
+            p.pos.x,
+            p.pos.y,
+            p.speed,
+            smp.rsrp_dbm,
+            smp.rsrq_db,
+            smp.sinr_db,
+            smp.cqi,
+            smp.rssi_dbm,
+            smp.serving,
+            smp.serving_dist_m,
+            smp.visible_cells,
+            smp.serving_load,
+        );
+        if let Some(q) = &run.qoe {
+            let _ = write!(s, ",{:.3},{:.4}", q[k].throughput_mbps, q[k].per);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+fn cells_to_csv(ds: &Dataset) -> String {
+    let mut s = String::from("cell_id,lat,lon,x_m,y_m,azimuth_deg,p_max_dbm,district\n");
+    for c in &ds.deployment.cells {
+        let _ = writeln!(
+            s,
+            "{},{:.6},{:.6},{:.1},{:.1},{:.1},{:.1},{:?}",
+            c.id, c.latlon.lat, c.latlon.lon, c.pos.x, c.pos.y, c.azimuth_deg, c.p_max_dbm,
+            c.district
+        );
+    }
+    s
+}
+
+fn main() {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = BuildCfg { scale: args.scale, ..BuildCfg::full(args.seed) };
+    eprintln!("synthesizing dataset {} (scale {}, seed {})...", args.dataset, args.scale, args.seed);
+    let ds = if args.dataset == "a" { dataset_a(&cfg) } else { dataset_b(&cfg) };
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+
+    // Cell database (the CellMapper analogue).
+    std::fs::write(args.out.join("cells.csv"), cells_to_csv(&ds)).expect("write cells");
+
+    match args.format.as_str() {
+        "csv" => {
+            for i in 0..ds.runs.len() {
+                let name = format!("run_{:03}_{:?}.csv", i, ds.runs[i].scenario);
+                std::fs::write(args.out.join(name), run_to_csv(&ds, i)).expect("write run");
+            }
+        }
+        _ => {
+            for (i, run) in ds.runs.iter().enumerate() {
+                let name = format!("run_{:03}_{:?}.json", i, run.scenario);
+                let json = serde_json::to_string(run).expect("serialize run");
+                std::fs::write(args.out.join(name), json).expect("write run");
+            }
+        }
+    }
+    let kpi_labels: Vec<&str> = ds.kpis.iter().map(|k: &Kpi| k.label()).collect();
+    eprintln!(
+        "wrote {} runs ({} samples, KPIs: {}) + cells.csv to {}",
+        ds.runs.len(),
+        ds.total_samples(),
+        kpi_labels.join("/"),
+        args.out.display()
+    );
+}

@@ -1,0 +1,263 @@
+//! Synthesis of Dataset A and Dataset B.
+//!
+//! Builds worlds, deployments, trajectories, and KPI measurement runs whose
+//! aggregate statistics match the shape of the paper's Tables 1–2:
+//!
+//! * **Dataset A** — one compact city, 1 s sampling, three scenarios
+//!   (walk / bus / tram) of ~14–15 k samples each, plus QoE ground truth.
+//! * **Dataset B** — a wide multi-city region, coarser jittered sampling,
+//!   two city-driving and two highway scenarios of 2–5 × 10⁴ samples.
+//!
+//! `scale` shrinks the sample counts proportionally (tests and quick mode
+//! use `scale ≈ 0.05–0.2`; the full experiments use `1.0`).
+
+use crate::run::{Dataset, Run};
+use gendt_geo::coords::XY;
+use gendt_geo::trajectory::{generate, Scenario, TrajectoryCfg};
+use gendt_geo::world::{DistrictKind, World, WorldCfg};
+use gendt_radio::cells::Deployment;
+use gendt_radio::kpi::{KpiCfg, KpiEngine};
+use gendt_radio::propagation::PropagationCfg;
+use gendt_radio::qoe::{qoe_series, QoeCfg};
+use gendt_rng::Rng;
+
+use crate::kpi_types::Kpi;
+
+/// Configuration for dataset synthesis.
+#[derive(Clone, Debug)]
+pub struct BuildCfg {
+    /// Sample-count scale relative to the paper's datasets (1.0 = full).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Propagation model.
+    pub prop: PropagationCfg,
+    /// KPI engine configuration.
+    pub kpi: KpiCfg,
+    /// QoE model (Dataset A only).
+    pub qoe: QoeCfg,
+}
+
+impl BuildCfg {
+    /// Full-scale build with default physics.
+    pub fn full(seed: u64) -> Self {
+        BuildCfg {
+            scale: 1.0,
+            seed,
+            prop: PropagationCfg::default(),
+            kpi: KpiCfg::default(),
+            qoe: QoeCfg::default(),
+        }
+    }
+
+    /// Reduced-scale build for tests and quick runs.
+    pub fn quick(seed: u64) -> Self {
+        BuildCfg { scale: 0.08, ..Self::full(seed) }
+    }
+}
+
+/// Pick a start point inside a district of the wanted kind (or anywhere if
+/// none exists).
+fn start_in(world: &World, kind: DistrictKind, rng: &mut Rng) -> XY {
+    let candidates: Vec<XY> = world
+        .districts
+        .iter()
+        .filter(|d| d.kind == kind)
+        .map(|d| d.center)
+        .collect();
+    if candidates.is_empty() {
+        return XY::new(0.0, 0.0);
+    }
+    let c = candidates[rng.gen_range(candidates.len())];
+    XY::new(c.x + rng.uniform(-500.0, 500.0), c.y + rng.uniform(-500.0, 500.0))
+}
+
+/// Build synthetic Dataset A: walk / bus / tram around a city center at
+/// 1 s granularity, with QoE ground truth attached.
+pub fn dataset_a(cfg: &BuildCfg) -> Dataset {
+    let world = World::generate(WorldCfg::city(cfg.seed));
+    let deployment = Deployment::from_world(&world);
+    // City serving range (paper: ~2 km within cities).
+    let kpi_cfg = KpiCfg { serving_range_m: 2000.0, ..cfg.kpi };
+    let engine = KpiEngine::new(&world, &deployment, cfg.prop, kpi_cfg);
+    let mut rng = Rng::seed_from(cfg.seed ^ 0xDA7A_5E7A);
+
+    // Paper Table 1 sample counts: walk 15245, bus 13890, tram 14198 — one
+    // scenario's total split over several runs.
+    let plan: [(Scenario, f64, usize); 3] = [
+        (Scenario::Walk, 15_245.0, 6),
+        (Scenario::Bus, 13_890.0, 5),
+        (Scenario::Tram, 14_198.0, 5),
+    ];
+
+    let mut runs = Vec::new();
+    for (scenario, total_s, n_runs) in plan {
+        let per_run = (total_s * cfg.scale / n_runs as f64).max(60.0);
+        for k in 0..n_runs {
+            let start = start_in(&world, DistrictKind::CityCenter, &mut rng);
+            let tcfg = TrajectoryCfg::new(scenario, per_run, start, rng.next_u64());
+            let traj = generate(&world, &tcfg);
+            let pass_seed = rng.next_u64();
+            let samples = engine.measure(&traj, pass_seed);
+            let qoe = qoe_series(&cfg.qoe, &samples, pass_seed ^ 0x90E);
+            runs.push(Run { scenario, traj, samples, qoe: Some(qoe) });
+            let _ = k;
+        }
+    }
+
+    Dataset {
+        name: "A".to_string(),
+        world,
+        deployment,
+        runs,
+        kpis: Kpi::DATASET_A.to_vec(),
+    }
+}
+
+/// Build synthetic Dataset B: two city-driving and two highway scenarios
+/// over a wide region, coarse jittered sampling, RSRP/RSRQ only.
+pub fn dataset_b(cfg: &BuildCfg) -> Dataset {
+    let world = World::generate(WorldCfg::region(cfg.seed.wrapping_add(1)));
+    let deployment = Deployment::from_world(&world);
+    let engine = KpiEngine::new(&world, &deployment, cfg.prop, cfg.kpi);
+    let mut rng = Rng::seed_from(cfg.seed ^ 0xDA7A_B);
+
+    // Paper Table 2: City Driving 1/2 at 3.8/3.5 s, Highway 1/2 at
+    // 2.1/2.3 s; sample counts 2.1, 2.3, 3.9, 4.6 ×10⁴. Duration =
+    // samples × period.
+    let plan: [(Scenario, DistrictKind, f64, usize); 4] = [
+        (Scenario::CityDrive, DistrictKind::CityCenter, 2.1e4 * 3.8, 6),
+        (Scenario::CityDrive, DistrictKind::Urban, 2.3e4 * 3.5, 6),
+        (Scenario::Highway, DistrictKind::Rural, 3.9e4 * 2.1, 6),
+        (Scenario::Highway, DistrictKind::Rural, 4.6e4 * 2.3, 6),
+    ];
+
+    let mut runs = Vec::new();
+    for (scenario, kind, total_s, n_runs) in plan {
+        let per_run = (total_s * cfg.scale / n_runs as f64).max(120.0);
+        for _ in 0..n_runs {
+            let start = start_in(&world, kind, &mut rng);
+            let tcfg = TrajectoryCfg::new(scenario, per_run, start, rng.next_u64());
+            let traj = generate(&world, &tcfg);
+            let samples = engine.measure(&traj, rng.next_u64());
+            runs.push(Run { scenario, traj, samples, qoe: None });
+        }
+    }
+
+    Dataset {
+        name: "B".to_string(),
+        world,
+        deployment,
+        runs,
+        kpis: Kpi::DATASET_B.to_vec(),
+    }
+}
+
+/// The named sub-scenarios of Dataset B (paper Table 2 columns): pairs of
+/// `(label, index range into the run plan)`. Runs are emitted in plan
+/// order with 6 runs per sub-scenario.
+pub fn dataset_b_scenario_labels() -> [&'static str; 4] {
+    ["City Center 1", "City Center 2", "Highway 1", "Highway 2"]
+}
+
+/// Split Dataset B's runs into the four Table-2 sub-scenarios (6 runs
+/// each, in emission order).
+pub fn dataset_b_subscenarios(ds: &Dataset) -> Vec<(&'static str, Vec<&Run>)> {
+    let labels = dataset_b_scenario_labels();
+    labels
+        .iter()
+        .enumerate()
+        .map(|(i, &label)| {
+            let runs: Vec<&Run> = ds.runs.iter().skip(i * 6).take(6).collect();
+            (label, runs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendt_metrics as metrics;
+
+    fn quick_a() -> Dataset {
+        dataset_a(&BuildCfg::quick(7))
+    }
+
+    #[test]
+    fn dataset_a_has_three_scenarios() {
+        let ds = quick_a();
+        let sc = ds.scenarios();
+        assert_eq!(sc.len(), 3);
+        assert!(ds.total_samples() > 500);
+        assert!(ds.runs.iter().all(|r| r.qoe.is_some()));
+    }
+
+    #[test]
+    fn dataset_a_sampling_is_one_second() {
+        let ds = quick_a();
+        for r in &ds.runs {
+            for w in r.samples.windows(2) {
+                assert!((w[1].t - w[0].t - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_a_rsrp_stats_plausible() {
+        let ds = quick_a();
+        for sc in ds.scenarios() {
+            let mut vals = Vec::new();
+            for r in ds.runs_for(sc) {
+                vals.extend(r.series(Kpi::Rsrp));
+            }
+            let mean = metrics::mean(&vals);
+            let std = metrics::std_dev(&vals);
+            // Paper Table 1: means -85..-88 dBm, std ~10 dB. Allow slack.
+            assert!((-100.0..-70.0).contains(&mean), "{sc:?} mean RSRP {mean}");
+            assert!((4.0..18.0).contains(&std), "{sc:?} std RSRP {std}");
+        }
+    }
+
+    #[test]
+    fn dataset_b_has_four_subscenarios_of_six_runs() {
+        let ds = dataset_b(&BuildCfg::quick(7));
+        assert_eq!(ds.runs.len(), 24);
+        let subs = dataset_b_subscenarios(&ds);
+        assert_eq!(subs.len(), 4);
+        for (_, runs) in &subs {
+            assert_eq!(runs.len(), 6);
+        }
+        assert!(ds.runs.iter().all(|r| r.qoe.is_none()));
+    }
+
+    #[test]
+    fn dataset_b_highways_are_faster() {
+        let ds = dataset_b(&BuildCfg::quick(3));
+        let subs = dataset_b_subscenarios(&ds);
+        let avg_speed = |runs: &Vec<&Run>| {
+            let v: Vec<f64> = runs.iter().map(|r| r.traj.avg_speed()).collect();
+            metrics::mean(&v)
+        };
+        let city = avg_speed(&subs[0].1);
+        let hwy = avg_speed(&subs[2].1);
+        assert!(hwy > 2.0 * city, "highway {hwy} vs city {city}");
+    }
+
+    #[test]
+    fn scale_controls_sample_count() {
+        let small = dataset_a(&BuildCfg { scale: 0.05, ..BuildCfg::full(9) });
+        let larger = dataset_a(&BuildCfg { scale: 0.15, ..BuildCfg::full(9) });
+        assert!(larger.total_samples() > 2 * small.total_samples());
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = dataset_a(&BuildCfg::quick(5));
+        let b = dataset_a(&BuildCfg::quick(5));
+        assert_eq!(a.total_samples(), b.total_samples());
+        assert_eq!(
+            a.runs[0].series(Kpi::Rsrp),
+            b.runs[0].series(Kpi::Rsrp)
+        );
+    }
+}

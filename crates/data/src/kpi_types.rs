@@ -1,0 +1,110 @@
+//! KPI channel identifiers and physical-range normalization.
+//!
+//! The model trains and generates in a normalized space (roughly
+//! `[-1, 1]`); the mapping is a fixed affine transform per KPI using the
+//! KPI's physical range (paper §2.2), so denormalization is stable and
+//! independent of the training subset.
+
+use serde::{Deserialize, Serialize};
+
+/// A radio-network KPI channel the generator can produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Kpi {
+    /// Reference Signal Received Power, dBm (−140 good end −44).
+    Rsrp,
+    /// Reference Signal Received Quality, dB (−19.5 to −3).
+    Rsrq,
+    /// Signal to interference-plus-noise ratio, dB.
+    Sinr,
+    /// Channel Quality Indicator, 1–15 (discrete).
+    Cqi,
+    /// Serving-cell channel: the distance-rank of the serving cell within
+    /// the visible set, normalized to `[0, 1]`. Changes in this channel
+    /// are handovers (paper §6.3.2 retrains GenDT with a serving-cell
+    /// channel for the handover use case).
+    Serving,
+}
+
+impl Kpi {
+    /// The four KPI channels of Dataset A.
+    pub const DATASET_A: [Kpi; 4] = [Kpi::Rsrp, Kpi::Rsrq, Kpi::Sinr, Kpi::Cqi];
+
+    /// The two KPI channels available in Dataset B.
+    pub const DATASET_B: [Kpi; 2] = [Kpi::Rsrp, Kpi::Rsrq];
+
+    /// Physical value range used for normalization.
+    pub fn range(self) -> (f64, f64) {
+        match self {
+            Kpi::Rsrp => (-140.0, -44.0),
+            Kpi::Rsrq => (-19.5, -3.0),
+            Kpi::Sinr => (-15.0, 35.0),
+            Kpi::Cqi => (1.0, 15.0),
+            Kpi::Serving => (0.0, 1.0),
+        }
+    }
+
+    /// Short label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kpi::Rsrp => "RSRP",
+            Kpi::Rsrq => "RSRQ",
+            Kpi::Sinr => "SINR",
+            Kpi::Cqi => "CQI",
+            Kpi::Serving => "Serving",
+        }
+    }
+
+    /// Normalize a physical value to roughly `[-1, 1]`.
+    pub fn normalize(self, v: f64) -> f32 {
+        let (lo, hi) = self.range();
+        (2.0 * (v - lo) / (hi - lo) - 1.0) as f32
+    }
+
+    /// Map a normalized value back to physical units, clamped to range.
+    pub fn denormalize(self, n: f32) -> f64 {
+        let (lo, hi) = self.range();
+        let v = lo + (n as f64 + 1.0) / 2.0 * (hi - lo);
+        let out = v.clamp(lo, hi);
+        if self == Kpi::Cqi {
+            out.round()
+        } else {
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_roundtrip_in_range() {
+        for kpi in [Kpi::Rsrp, Kpi::Rsrq, Kpi::Sinr, Kpi::Serving] {
+            let (lo, hi) = kpi.range();
+            for k in 0..=10 {
+                let v = lo + (hi - lo) * k as f64 / 10.0;
+                let back = kpi.denormalize(kpi.normalize(v));
+                assert!((back - v).abs() < 1e-4, "{kpi:?} roundtrip {v} -> {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_midpoint_is_zero() {
+        let mid = (-140.0 + -44.0) / 2.0;
+        assert!(Kpi::Rsrp.normalize(mid).abs() < 1e-6);
+    }
+
+    #[test]
+    fn denormalize_clamps() {
+        assert_eq!(Kpi::Rsrq.denormalize(5.0), -3.0);
+        assert_eq!(Kpi::Rsrq.denormalize(-5.0), -19.5);
+    }
+
+    #[test]
+    fn cqi_denormalizes_to_integers() {
+        let v = Kpi::Cqi.denormalize(0.123);
+        assert_eq!(v, v.round());
+        assert!((1.0..=15.0).contains(&v));
+    }
+}

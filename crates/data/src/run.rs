@@ -1,0 +1,162 @@
+//! Drive-test runs and datasets.
+//!
+//! A [`Run`] is one measurement campaign over one trajectory: the route,
+//! the per-sample radio KPIs, and (for Dataset A) the aligned QoE ground
+//! truth. A [`Dataset`] bundles the world, deployment, and a collection of
+//! runs — the synthetic equivalent of the paper's Dataset A / Dataset B.
+
+use crate::kpi_types::Kpi;
+use gendt_geo::trajectory::{Scenario, Trajectory};
+use gendt_geo::world::World;
+use gendt_radio::cells::Deployment;
+use gendt_radio::kpi::KpiSample;
+use gendt_radio::qoe::QoeSample;
+use serde::{Deserialize, Serialize};
+
+/// One drive-test measurement run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Run {
+    /// Scenario the run belongs to.
+    pub scenario: Scenario,
+    /// The route driven/walked.
+    pub traj: Trajectory,
+    /// Per-sample KPI measurements, aligned with `traj.points`.
+    pub samples: Vec<KpiSample>,
+    /// Aligned QoE ground truth, when measured (Dataset A).
+    pub qoe: Option<Vec<QoeSample>>,
+}
+
+impl Run {
+    /// Extract one KPI channel as a physical-unit series.
+    ///
+    /// For [`Kpi::Serving`] this returns the serving cell's distance-rank
+    /// within the visible set, normalized by the visible-cell count — a
+    /// continuous representation whose changes are handovers.
+    pub fn series(&self, kpi: Kpi) -> Vec<f64> {
+        match kpi {
+            Kpi::Rsrp => self.samples.iter().map(|s| s.rsrp_dbm).collect(),
+            Kpi::Rsrq => self.samples.iter().map(|s| s.rsrq_db).collect(),
+            Kpi::Sinr => self.samples.iter().map(|s| s.sinr_db).collect(),
+            Kpi::Cqi => self.samples.iter().map(|s| s.cqi as f64).collect(),
+            Kpi::Serving => self
+                .samples
+                .iter()
+                .map(|s| {
+                    // Rank by distance proxy: serving distance relative to
+                    // range gives a stable, continuous channel.
+                    (s.serving_dist_m.min(4000.0) / 4000.0).clamp(0.0, 1.0)
+                })
+                .collect(),
+        }
+    }
+
+    /// Serving-cell id series (for handover ground truth).
+    pub fn serving_ids(&self) -> Vec<u32> {
+        self.samples.iter().map(|s| s.serving).collect()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the run has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean position of the run (for geographic splitting).
+    pub fn centroid(&self) -> gendt_geo::coords::XY {
+        let n = self.traj.points.len().max(1) as f64;
+        let (sx, sy) = self
+            .traj
+            .points
+            .iter()
+            .fold((0.0, 0.0), |(ax, ay), p| (ax + p.pos.x, ay + p.pos.y));
+        gendt_geo::coords::XY::new(sx / n, sy / n)
+    }
+}
+
+/// A bundle of runs over one world and deployment.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Human-readable dataset name ("A" or "B").
+    pub name: String,
+    /// The world runs were measured in.
+    pub world: World,
+    /// The cell deployment.
+    pub deployment: Deployment,
+    /// All measurement runs.
+    pub runs: Vec<Run>,
+    /// KPI channels this dataset carries.
+    pub kpis: Vec<Kpi>,
+}
+
+impl Dataset {
+    /// Runs belonging to one scenario.
+    pub fn runs_for(&self, scenario: Scenario) -> Vec<&Run> {
+        self.runs.iter().filter(|r| r.scenario == scenario).collect()
+    }
+
+    /// Distinct scenarios present, in stable order.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for r in &self.runs {
+            if !out.contains(&r.scenario) {
+                out.push(r.scenario);
+            }
+        }
+        out
+    }
+
+    /// Total number of KPI samples across runs.
+    pub fn total_samples(&self) -> usize {
+        self.runs.iter().map(|r| r.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendt_geo::coords::XY;
+    use gendt_geo::trajectory::TrackPoint;
+
+    fn dummy_run(x: f64) -> Run {
+        let samples = vec![KpiSample {
+            t: 0.0,
+            rsrp_dbm: -80.0,
+            rsrq_db: -10.0,
+            sinr_db: 5.0,
+            cqi: 8,
+            rssi_dbm: -55.0,
+            serving: 3,
+            serving_load: 0.5,
+            visible_cells: 4,
+            serving_dist_m: 400.0,
+        }];
+        Run {
+            scenario: Scenario::Walk,
+            traj: Trajectory {
+                scenario: Scenario::Walk,
+                points: vec![TrackPoint { t: 0.0, pos: XY::new(x, 0.0), speed: 1.0 }],
+            },
+            samples,
+            qoe: None,
+        }
+    }
+
+    #[test]
+    fn series_extracts_channels() {
+        let r = dummy_run(0.0);
+        assert_eq!(r.series(Kpi::Rsrp), vec![-80.0]);
+        assert_eq!(r.series(Kpi::Cqi), vec![8.0]);
+        let s = r.series(Kpi::Serving)[0];
+        assert!((s - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_averages_positions() {
+        let r = dummy_run(10.0);
+        assert_eq!(r.centroid(), XY::new(10.0, 0.0));
+    }
+}

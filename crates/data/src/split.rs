@@ -1,0 +1,136 @@
+//! Geographic train/test splitting (paper §6.1: training and testing data
+//! are non-overlapping *and* geographically separated) and the disjoint
+//! regional subsets used by the measurement-efficiency experiment (§6.2).
+
+use crate::run::Run;
+use gendt_geo::coords::XY;
+use gendt_rng::Rng;
+
+/// A train/test partition of runs (borrowed from the dataset).
+#[derive(Debug)]
+pub struct Split<'a> {
+    /// Training runs.
+    pub train: Vec<&'a Run>,
+    /// Held-out test runs, geographically separated from training.
+    pub test: Vec<&'a Run>,
+}
+
+/// Split runs so that test-run centroids are at least `min_sep_m` from
+/// every training-run centroid. Greedy: sort runs by an axis projection,
+/// take roughly `test_frac` from one geographic side, then drop training
+/// runs that violate the separation.
+pub fn geographic_split<'a>(runs: &'a [Run], test_frac: f64, min_sep_m: f64) -> Split<'a> {
+    assert!((0.0..1.0).contains(&test_frac), "test_frac out of range");
+    let mut order: Vec<(f64, &Run)> = runs
+        .iter()
+        .map(|r| {
+            let c = r.centroid();
+            (c.x + c.y, r) // diagonal projection
+        })
+        .collect();
+    order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let n_test = ((runs.len() as f64 * test_frac).round() as usize).clamp(1, runs.len() - 1);
+    let test: Vec<&Run> = order.iter().take(n_test).map(|&(_, r)| r).collect();
+    let test_centroids: Vec<XY> = test.iter().map(|r| r.centroid()).collect();
+    let train: Vec<&Run> = order
+        .iter()
+        .skip(n_test)
+        .map(|&(_, r)| r)
+        .filter(|r| {
+            let c = r.centroid();
+            test_centroids.iter().all(|tc| tc.dist(&c) >= min_sep_m)
+        })
+        .collect();
+    Split { train, test }
+}
+
+/// Partition runs into `k` geographically disjoint subsets by angular
+/// sector around the map origin — the "23 subsets with no overlap in
+/// geographical region" of §6.2. Subsets are returned non-empty where
+/// possible; `k` is reduced when there are fewer runs than sectors.
+pub fn regional_subsets(runs: &[Run], k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k > 0, "need at least one subset");
+    let k = k.min(runs.len().max(1));
+    // Assign by angle of centroid, then balance by splitting the sorted
+    // order into k contiguous chunks (contiguous in angle = regional).
+    let mut by_angle: Vec<(f64, usize)> = runs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let c = r.centroid();
+            (c.y.atan2(c.x), i)
+        })
+        .collect();
+    by_angle.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    // Random rotation so subset boundaries are not axis-locked.
+    let mut rng = Rng::seed_from(seed);
+    let rot = rng.gen_range(by_angle.len().max(1));
+    by_angle.rotate_left(rot);
+    let mut out = vec![Vec::new(); k];
+    for (j, (_, idx)) in by_angle.into_iter().enumerate() {
+        out[j * k / runs.len().max(1)].push(idx);
+    }
+    out.retain(|s| !s.is_empty());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{dataset_b, BuildCfg};
+
+    #[test]
+    fn split_is_disjoint_and_separated() {
+        let ds = dataset_b(&BuildCfg::quick(19));
+        let split = geographic_split(&ds.runs, 0.25, 1000.0);
+        assert!(!split.train.is_empty());
+        assert!(!split.test.is_empty());
+        for te in &split.test {
+            for tr in &split.train {
+                assert!(
+                    te.centroid().dist(&tr.centroid()) >= 1000.0,
+                    "train/test runs too close"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subsets_cover_all_runs_disjointly() {
+        let ds = dataset_b(&BuildCfg::quick(19));
+        let subsets = regional_subsets(&ds.runs, 6, 3);
+        let mut seen = vec![false; ds.runs.len()];
+        for s in &subsets {
+            for &i in s {
+                assert!(!seen[i], "run {i} in two subsets");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some run missing from subsets");
+    }
+
+    #[test]
+    fn split_respects_test_fraction_roughly() {
+        let ds = dataset_b(&BuildCfg::quick(19));
+        let split = geographic_split(&ds.runs, 0.25, 0.0);
+        // With zero separation nothing is dropped from training.
+        assert_eq!(split.train.len() + split.test.len(), ds.runs.len());
+        let frac = split.test.len() as f64 / ds.runs.len() as f64;
+        assert!((0.1..0.45).contains(&frac), "test fraction {frac}");
+    }
+
+    #[test]
+    fn larger_separation_drops_more_training_runs() {
+        let ds = dataset_b(&BuildCfg::quick(19));
+        let loose = geographic_split(&ds.runs, 0.25, 100.0);
+        let strict = geographic_split(&ds.runs, 0.25, 5000.0);
+        assert!(strict.train.len() <= loose.train.len());
+    }
+
+    #[test]
+    fn subset_count_bounded_by_runs() {
+        let ds = dataset_b(&BuildCfg::quick(19));
+        let subsets = regional_subsets(&ds.runs, 500, 3);
+        assert!(subsets.len() <= ds.runs.len());
+    }
+}

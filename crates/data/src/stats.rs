@@ -1,0 +1,178 @@
+//! Dataset summary statistics — the rows of the paper's Tables 1–2 and the
+//! data-characteristics analysis of §3 (Figs. 4, 16).
+
+use crate::kpi_types::Kpi;
+use crate::run::{Dataset, Run};
+use gendt_geo::trajectory::Scenario;
+use gendt_metrics as metrics;
+use gendt_radio::kpi::avg_serving_dwell_s;
+use serde::{Deserialize, Serialize};
+
+/// One scenario's summary row (Table 1 / Table 2 column).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioStats {
+    /// Scenario label.
+    pub label: String,
+    /// Mean sampling period, seconds.
+    pub time_granularity_s: f64,
+    /// Average velocity, m/s.
+    pub avg_velocity_mps: f64,
+    /// Average dwell time at each serving cell, seconds.
+    pub avg_serving_dwell_s: f64,
+    /// Mean RSRP, dBm.
+    pub avg_rsrp_dbm: f64,
+    /// RSRP standard deviation, dB.
+    pub std_rsrp_db: f64,
+    /// RSRP mean absolute rate of change per sample, dB (Table 2's ROC).
+    pub roc_rsrp_db: f64,
+    /// Mean RSRQ, dB.
+    pub avg_rsrq_db: f64,
+    /// RSRQ standard deviation, dB.
+    pub std_rsrq_db: f64,
+    /// RSRQ rate of change, dB.
+    pub roc_rsrq_db: f64,
+    /// Total measurement samples.
+    pub samples: usize,
+}
+
+/// Compute the summary row for a group of runs.
+pub fn scenario_stats(label: &str, runs: &[&Run]) -> ScenarioStats {
+    let mut periods = Vec::new();
+    let mut speeds = Vec::new();
+    let mut dwells = Vec::new();
+    let mut rsrp = Vec::new();
+    let mut rsrq = Vec::new();
+    let mut roc_rsrp = Vec::new();
+    let mut roc_rsrq = Vec::new();
+    let mut samples = 0usize;
+    for r in runs {
+        for w in r.samples.windows(2) {
+            periods.push(w[1].t - w[0].t);
+        }
+        speeds.push(r.traj.avg_speed());
+        dwells.push(avg_serving_dwell_s(&r.samples));
+        let sr = r.series(Kpi::Rsrp);
+        let sq = r.series(Kpi::Rsrq);
+        roc_rsrp.push(metrics::rate_of_change(&sr));
+        roc_rsrq.push(metrics::rate_of_change(&sq));
+        rsrp.extend(sr);
+        rsrq.extend(sq);
+        samples += r.len();
+    }
+    ScenarioStats {
+        label: label.to_string(),
+        time_granularity_s: metrics::mean(&periods),
+        avg_velocity_mps: metrics::mean(&speeds),
+        avg_serving_dwell_s: metrics::mean(&dwells),
+        avg_rsrp_dbm: metrics::mean(&rsrp),
+        std_rsrp_db: metrics::std_dev(&rsrp),
+        roc_rsrp_db: metrics::mean(&roc_rsrp),
+        avg_rsrq_db: metrics::mean(&rsrq),
+        std_rsrq_db: metrics::std_dev(&rsrq),
+        roc_rsrq_db: metrics::mean(&roc_rsrq),
+        samples,
+    }
+}
+
+/// Table-1-style rows for Dataset A (walk / bus / tram).
+pub fn dataset_a_stats(ds: &Dataset) -> Vec<ScenarioStats> {
+    [Scenario::Walk, Scenario::Bus, Scenario::Tram]
+        .iter()
+        .map(|&sc| {
+            let runs = ds.runs_for(sc);
+            scenario_stats(&format!("{sc:?}"), &runs)
+        })
+        .collect()
+}
+
+/// Distance to serving cell per scenario group — the data behind the
+/// paper's Fig. 16 CDFs.
+pub fn serving_distances(runs: &[&Run]) -> Vec<f64> {
+    runs.iter()
+        .flat_map(|r| r.samples.iter().map(|s| s.serving_dist_m))
+        .filter(|d| d.is_finite() && *d < 1e6)
+        .collect()
+}
+
+/// Cell density (cells within 1 km, per km²) sampled along the runs —
+/// the data behind the paper's Fig. 4 box plot.
+pub fn cell_densities(ds: &Dataset, runs: &[&Run]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for r in runs {
+        for (i, p) in r.traj.points.iter().enumerate() {
+            if i % 20 != 0 {
+                continue; // subsample: density varies slowly
+            }
+            let n = ds.deployment.cells_within(p.pos, 1000.0).len();
+            out.push(n as f64 / (std::f64::consts::PI * 1.0f64.powi(2)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{dataset_a, dataset_b, dataset_b_subscenarios, BuildCfg};
+
+    #[test]
+    fn dataset_a_rows_ordered_by_speed() {
+        let ds = dataset_a(&BuildCfg::quick(23));
+        let rows = dataset_a_stats(&ds);
+        assert_eq!(rows.len(), 3);
+        // Walk < Bus < Tram velocity, as in Table 1.
+        assert!(rows[0].avg_velocity_mps < rows[1].avg_velocity_mps);
+        assert!(rows[1].avg_velocity_mps < rows[2].avg_velocity_mps);
+        // 1 s granularity.
+        for r in &rows {
+            assert!((r.time_granularity_s - 1.0).abs() < 1e-6);
+            assert!(r.samples > 50);
+        }
+    }
+
+    #[test]
+    fn walk_dwell_exceeds_tram_dwell() {
+        let ds = dataset_a(&BuildCfg { scale: 0.25, ..BuildCfg::full(23) });
+        let rows = dataset_a_stats(&ds);
+        assert!(
+            rows[0].avg_serving_dwell_s > rows[2].avg_serving_dwell_s,
+            "walk dwell {} vs tram dwell {}",
+            rows[0].avg_serving_dwell_s,
+            rows[2].avg_serving_dwell_s
+        );
+    }
+
+    #[test]
+    fn dataset_b_roc_is_positive_and_small() {
+        let ds = dataset_b(&BuildCfg::quick(23));
+        for (label, runs) in dataset_b_subscenarios(&ds) {
+            let row = scenario_stats(label, &runs);
+            assert!(row.roc_rsrp_db > 0.0 && row.roc_rsrp_db < 8.0, "{label} ROC {}", row.roc_rsrp_db);
+            assert!(row.roc_rsrq_db > 0.0 && row.roc_rsrq_db < 4.0);
+        }
+    }
+
+    #[test]
+    fn serving_distance_shapes() {
+        let ds = dataset_b(&BuildCfg::quick(29));
+        let subs = dataset_b_subscenarios(&ds);
+        let city = serving_distances(&subs[0].1);
+        let hwy = serving_distances(&subs[2].1);
+        // Highway serving cells are farther on average (paper Fig. 16).
+        assert!(metrics::mean(&hwy) > metrics::mean(&city));
+    }
+
+    #[test]
+    fn cell_density_city_over_highway() {
+        let ds = dataset_b(&BuildCfg::quick(29));
+        let subs = dataset_b_subscenarios(&ds);
+        let city = cell_densities(&ds, &subs[0].1);
+        let hwy = cell_densities(&ds, &subs[2].1);
+        assert!(
+            metrics::mean(&city) > metrics::mean(&hwy),
+            "city density {} vs highway {}",
+            metrics::mean(&city),
+            metrics::mean(&hwy)
+        );
+    }
+}

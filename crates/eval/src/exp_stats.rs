@@ -1,0 +1,214 @@
+//! Dataset-characteristics experiments: paper Tables 1–2 and the §3
+//! analysis figures (1, 2, 4, 16).
+
+use crate::harness::EvalCfg;
+use crate::report::{f2, MdTable, Report};
+use gendt_data::builders::{dataset_a, dataset_b, dataset_b_subscenarios, BuildCfg};
+use gendt_data::stats::{cell_densities, dataset_a_stats, scenario_stats, serving_distances};
+use gendt_geo::trajectory::{generate, Scenario, TrajectoryCfg};
+use gendt_geo::XY;
+use gendt_metrics as metrics;
+use gendt_radio::kpi::{KpiCfg, KpiEngine};
+use gendt_radio::propagation::PropagationCfg;
+
+/// Table 1: statistics of Dataset A per scenario.
+pub fn table1(cfg: &EvalCfg) -> Report {
+    let ds = dataset_a(&cfg.build_cfg());
+    let rows = dataset_a_stats(&ds);
+    let mut report = Report::new("table1", "Statistics of Dataset A for different scenarios");
+    let mut t = MdTable::new(
+        "Dataset A statistics (paper Table 1 analogue)",
+        &[
+            "Statistic", "Walk", "Bus", "Tram",
+        ],
+    );
+    let col = |f: &dyn Fn(&gendt_data::stats::ScenarioStats) -> String| -> Vec<String> {
+        rows.iter().map(|r| f(r)).collect()
+    };
+    let push = |t: &mut MdTable, name: &str, vals: Vec<String>| {
+        let mut row = vec![name.to_string()];
+        row.extend(vals);
+        t.row(row);
+    };
+    push(&mut t, "Time Granularity (s)", col(&|r| f2(r.time_granularity_s)));
+    push(&mut t, "Avg. Velocity (m/s)", col(&|r| f2(r.avg_velocity_mps)));
+    push(&mut t, "Avg. Duration at each Serving Cell (s)", col(&|r| f2(r.avg_serving_dwell_s)));
+    push(&mut t, "Avg. RSRP (dBm)", col(&|r| f2(r.avg_rsrp_dbm)));
+    push(&mut t, "Std. RSRP (dB)", col(&|r| f2(r.std_rsrp_db)));
+    push(&mut t, "Avg. RSRQ (dB)", col(&|r| f2(r.avg_rsrq_db)));
+    push(&mut t, "Std. RSRQ (dB)", col(&|r| f2(r.std_rsrq_db)));
+    push(&mut t, "Measurement Samples", col(&|r| r.samples.to_string()));
+    report.tables.push(t);
+    report.notes.push(
+        "Paper reference: velocities 1.4/5.6/11.5 m/s, RSRP means -86.6/-87.3/-85.6 dBm \
+         (std ~10 dB), RSRQ means -14.4/-12.9/-13.3 dB, dwell 80.5/49.5/43.4 s."
+            .into(),
+    );
+    report
+}
+
+/// Table 2: statistics of Dataset B per sub-scenario.
+pub fn table2(cfg: &EvalCfg) -> Report {
+    let ds = dataset_b(&cfg.build_cfg());
+    let subs = dataset_b_subscenarios(&ds);
+    let rows: Vec<_> = subs.iter().map(|(label, runs)| scenario_stats(label, runs)).collect();
+    let mut report = Report::new("table2", "Statistics of Dataset B for different scenarios");
+    let mut t = MdTable::new(
+        "Dataset B statistics (paper Table 2 analogue)",
+        &["Statistic", "City Driving 1", "City Driving 2", "Highway 1", "Highway 2"],
+    );
+    let col = |f: &dyn Fn(&gendt_data::stats::ScenarioStats) -> String| -> Vec<String> {
+        rows.iter().map(|r| f(r)).collect()
+    };
+    let push = |t: &mut MdTable, name: &str, vals: Vec<String>| {
+        let mut row = vec![name.to_string()];
+        row.extend(vals);
+        t.row(row);
+    };
+    push(&mut t, "Time Granularity (s)", col(&|r| f2(r.time_granularity_s)));
+    push(&mut t, "Avg. Velocity (m/s)", col(&|r| f2(r.avg_velocity_mps)));
+    push(&mut t, "Avg. Duration at each Serving Cell (s)", col(&|r| f2(r.avg_serving_dwell_s)));
+    push(&mut t, "Avg. RSRP (dBm)", col(&|r| f2(r.avg_rsrp_dbm)));
+    push(&mut t, "Std. RSRP (dB)", col(&|r| f2(r.std_rsrp_db)));
+    push(&mut t, "ROC RSRP (dB)", col(&|r| f2(r.roc_rsrp_db)));
+    push(&mut t, "Avg. RSRQ (dB)", col(&|r| f2(r.avg_rsrq_db)));
+    push(&mut t, "Std. RSRQ (dB)", col(&|r| f2(r.std_rsrq_db)));
+    push(&mut t, "ROC RSRQ (dB)", col(&|r| f2(r.roc_rsrq_db)));
+    push(&mut t, "Sample Num.", col(&|r| r.samples.to_string()));
+    report.tables.push(t);
+    report.notes.push(
+        "Paper reference: city 9.1-9.8 m/s vs highway 26.7-31.1 m/s; RSRP means -84..-87 dBm, \
+         ROC RSRP ~1 dB; serving-cell dwell 22-31 s."
+            .into(),
+    );
+    report
+}
+
+/// Figures 1–2: RSRP stochasticity and serving-cell churn on a repeated
+/// tram trajectory (five measurement passes, locations aligned).
+pub fn fig1_2(cfg: &EvalCfg) -> Report {
+    let b = cfg.build_cfg();
+    let world = gendt_geo::world::World::generate(gendt_geo::world::WorldCfg::city(b.seed));
+    let deployment = gendt_radio::cells::Deployment::from_world(&world);
+    let engine = KpiEngine::new(
+        &world,
+        &deployment,
+        PropagationCfg::default(),
+        KpiCfg { serving_range_m: 2000.0, ..KpiCfg::default() },
+    );
+    let dur = if cfg.quick { 300.0 } else { 700.0 };
+    let traj = generate(&world, &TrajectoryCfg::new(Scenario::Tram, dur, XY::new(0.0, 0.0), b.seed ^ 9));
+
+    let mut report = Report::new(
+        "fig1_2",
+        "RSRP variability and serving-cell changes over a repeated trajectory",
+    );
+    let mut per_location_std = Vec::new();
+    let mut passes: Vec<Vec<f64>> = Vec::new();
+    let mut serving: Vec<Vec<u32>> = Vec::new();
+    for pass in 0..5 {
+        let samples = engine.measure(&traj, 1000 + pass);
+        passes.push(samples.iter().map(|s| s.rsrp_dbm).collect());
+        serving.push(samples.iter().map(|s| s.serving).collect());
+    }
+    let n = passes[0].len();
+    for t in 0..n {
+        let vals: Vec<f64> = passes.iter().map(|p| p[t]).collect();
+        per_location_std.push(metrics::std_dev(&vals));
+    }
+    let mean_std = metrics::mean(&per_location_std);
+    // Serving-cell diversity: distinct serving cells seen at each aligned
+    // location across the 5 passes.
+    let distinct: Vec<f64> = (0..n)
+        .map(|t| {
+            let mut ids: Vec<u32> = serving.iter().map(|s| s[t]).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len() as f64
+        })
+        .collect();
+    let mut t = MdTable::new(
+        "Pass-to-pass variability (5 passes over the same tram route)",
+        &["Quantity", "Value"],
+    );
+    t.row(vec!["Mean per-location RSRP std across passes (dB)".into(), f2(mean_std)]);
+    t.row(vec!["Max per-location RSRP std (dB)".into(), f2(per_location_std.iter().cloned().fold(0.0, f64::max))]);
+    t.row(vec!["Mean distinct serving cells per location".into(), f2(metrics::mean(&distinct))]);
+    t.row(vec![
+        "Locations with >1 distinct serving cell (%)".into(),
+        f2(100.0 * distinct.iter().filter(|&&d| d > 1.0).count() as f64 / n as f64),
+    ]);
+    report.tables.push(t);
+    for (i, p) in passes.iter().enumerate() {
+        report.series.push((format!("rsrp_pass_{i}"), p.clone()));
+    }
+    report.series.push(("per_location_std".into(), per_location_std));
+    report.notes.push(
+        "Paper Fig. 1 shows significant pass-to-pass variation at most locations, co-located \
+         with serving-cell diversity (Fig. 2): radio KPIs are stochastic, not deterministic."
+            .into(),
+    );
+    report
+}
+
+/// Figure 4: cell density per scenario case, and Figure 16: distance to
+/// serving cell CDFs.
+pub fn fig4_16(cfg: &EvalCfg) -> Report {
+    let b = cfg.build_cfg();
+    let ds_a = dataset_a(&b);
+    let ds_b = dataset_b(&b);
+    let mut report = Report::new("fig4_16", "Cell density and distance to serving cell per scenario");
+
+    let mut t = MdTable::new(
+        "Cell density (cells/km² within 1 km, sampled along runs) — paper Fig. 4",
+        &["Case", "Mean", "P25", "P75"],
+    );
+    let mut t2 = MdTable::new(
+        "Distance to serving cell (m) — paper Fig. 16",
+        &["Case", "Median", "P90"],
+    );
+    let mut cases: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
+    for sc in [Scenario::Walk, Scenario::Bus, Scenario::Tram] {
+        let runs = ds_a.runs_for(sc);
+        cases.push((
+            format!("{sc:?}"),
+            cell_densities(&ds_a, &runs),
+            serving_distances(&runs),
+        ));
+    }
+    for (label, runs) in dataset_b_subscenarios(&ds_b) {
+        cases.push((label.to_string(), cell_densities(&ds_b, &runs), serving_distances(&runs)));
+    }
+    for (label, dens, dist) in &cases {
+        let mut d = dens.clone();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        t.row(vec![
+            label.clone(),
+            f2(metrics::mean(&d)),
+            f2(metrics::quantile_sorted(&d, 0.25)),
+            f2(metrics::quantile_sorted(&d, 0.75)),
+        ]);
+        let mut s = dist.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        t2.row(vec![
+            label.clone(),
+            f2(metrics::quantile_sorted(&s, 0.5)),
+            f2(metrics::quantile_sorted(&s, 0.9)),
+        ]);
+        report.series.push((format!("density_{label}"), d));
+        report.series.push((format!("serving_dist_{label}"), s));
+    }
+    report.tables.push(t);
+    report.tables.push(t2);
+    report.notes.push(
+        "Expected shape (paper Figs. 4 & 16): slow/city cases see higher cell density and \
+         closer serving cells than highway cases."
+            .into(),
+    );
+    report
+}
+
+/// Re-export of the dataset build for modules that want raw access.
+pub fn build_cfg_of(cfg: &EvalCfg) -> BuildCfg {
+    cfg.build_cfg()
+}

@@ -1,0 +1,57 @@
+//! # gendt-eval — experiment harness regenerating every table and figure
+//!
+//! One module per experiment group of the GenDT paper's evaluation:
+//!
+//! | Module | Experiments |
+//! |---|---|
+//! | [`exp_stats`] | Tables 1–2, Figs. 1/2, 4, 16 (dataset characteristics) |
+//! | [`exp_fidelity`] | Tables 3–8, Figs. 9, 10, 18 (fidelity & generalization) |
+//! | [`exp_efficiency`] | Fig. 11 (uncertainty-driven measurement selection) |
+//! | [`exp_usecases`] | Tables 9–10, Figs. 12–13 (QoE prediction, handovers) |
+//! | [`exp_ablation`] | Table 12 (design-choice ablations) |
+//! | [`exp_extra`] | Appendix C.2 use cases (cell load, link bandwidth) |
+//! | [`exp_coverage`] | Coverage mapping from virtual drives (§2.1 / §6.2) |
+//!
+//! The [`harness`] module owns the shared datasets, splits, and trained
+//! models; [`report`] renders markdown/JSON into `results/`. The
+//! `gendt-eval` binary drives everything:
+//!
+//! ```text
+//! gendt-eval --exp all --quick          # fast sanity pass
+//! gendt-eval --exp table3               # one experiment, full settings
+//! gendt-eval --exp table7 --out results # choose the output directory
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp_ablation;
+pub mod exp_coverage;
+pub mod exp_efficiency;
+pub mod exp_extra;
+pub mod exp_fidelity;
+pub mod exp_stats;
+pub mod exp_usecases;
+pub mod harness;
+pub mod report;
+
+pub use harness::{Bundle, EvalCfg, Method};
+pub use report::{MdTable, Report};
+
+/// All experiment ids the binary accepts.
+pub const EXPERIMENTS: [&str; 17] = [
+    "table1", "table2", "fig1_2", "fig4_16", "table3", "table4", "fig18", "table5", "table6",
+    "table7", "table8", "fig11", "table9", "table10", "table12", "extra_usecases",
+    "coverage",
+];
+
+/// Run a standalone experiment (no shared trained bundle needed) by id.
+pub fn run_standalone(id: &str, cfg: &EvalCfg) -> Option<Report> {
+    match id {
+        "table1" => Some(exp_stats::table1(cfg)),
+        "table2" => Some(exp_stats::table2(cfg)),
+        "fig1_2" => Some(exp_stats::fig1_2(cfg)),
+        "fig4_16" => Some(exp_stats::fig4_16(cfg)),
+        _ => None,
+    }
+}

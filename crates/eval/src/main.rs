@@ -1,0 +1,151 @@
+//! Experiment-runner binary for the GenDT reproduction.
+//!
+//! ```text
+//! gendt-eval --exp all [--quick] [--seed N] [--out DIR]
+//! gendt-eval --exp table3,table4
+//! gendt-eval --list
+//! ```
+
+use gendt_eval::{
+    exp_ablation, exp_coverage, exp_efficiency, exp_extra, exp_fidelity, exp_usecases,
+    run_standalone, Bundle,
+    EvalCfg, Report, EXPERIMENTS,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    exps: Vec<String>,
+    quick: bool,
+    seed: u64,
+    out: PathBuf,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut exps = Vec::new();
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut out = PathBuf::from("results");
+    let mut list = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--exp" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--exp needs a value")?;
+                exps.extend(v.split(',').map(|s| s.trim().to_string()));
+            }
+            "--quick" => quick = true,
+            "--seed" => {
+                i += 1;
+                seed = argv
+                    .get(i)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(argv.get(i).ok_or("--out needs a value")?);
+            }
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!(
+                    "gendt-eval — regenerate the GenDT paper's tables and figures\n\n\
+                     USAGE:\n  gendt-eval --exp <id[,id...]|all> [--quick] [--seed N] [--out DIR]\n  \
+                     gendt-eval --list\n\nEXPERIMENTS:\n  {}",
+                    EXPERIMENTS.join(", ")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(Args { exps, quick, seed, out, list })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.list {
+        for e in EXPERIMENTS {
+            println!("{e}");
+        }
+        return;
+    }
+    let mut exps: Vec<String> = if args.exps.iter().any(|e| e == "all") || args.exps.is_empty() {
+        EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args.exps.clone()
+    };
+    for e in &exps {
+        if !EXPERIMENTS.contains(&e.as_str()) {
+            eprintln!("error: unknown experiment {e:?}; use --list");
+            std::process::exit(2);
+        }
+    }
+    exps.dedup();
+
+    let cfg = EvalCfg { quick: args.quick, seed: args.seed, out_dir: args.out.clone() };
+
+    // Bundles are expensive (dataset synthesis + training six models);
+    // build lazily and share across experiments.
+    let mut bundle_a: Option<Bundle> = None;
+    let mut bundle_b: Option<Bundle> = None;
+    let needs_a =
+        |id: &str| matches!(id, "table3" | "table4" | "table9" | "fig18" | "extra_usecases" | "coverage");
+    let needs_b = |id: &str| {
+        matches!(id, "table5" | "table6" | "table7" | "table8" | "fig11" | "table10" | "table12")
+    };
+
+    let total = Instant::now();
+    for id in &exps {
+        let started = Instant::now();
+        eprintln!(
+            "[gendt-eval] running {id} ({} mode)...",
+            if cfg.quick { "quick" } else { "full" }
+        );
+        let report: Report = if let Some(r) = run_standalone(id, &cfg) {
+            r
+        } else {
+            if needs_a(id) && bundle_a.is_none() {
+                eprintln!("[gendt-eval] building & training Dataset A bundle...");
+                bundle_a = Some(Bundle::dataset_a(&cfg));
+            }
+            if needs_b(id) && bundle_b.is_none() {
+                eprintln!("[gendt-eval] building & training Dataset B bundle...");
+                bundle_b = Some(Bundle::dataset_b(&cfg));
+            }
+            match id.as_str() {
+                "table3" => exp_fidelity::table3(&cfg, bundle_a.as_mut().unwrap()),
+                "table4" => exp_fidelity::table4(&cfg, bundle_a.as_mut().unwrap()),
+                "fig18" => exp_fidelity::fig18(&cfg, bundle_a.as_mut().unwrap()),
+                "table5" => exp_fidelity::table5(&cfg, bundle_b.as_mut().unwrap()),
+                "table6" => exp_fidelity::table6(&cfg, bundle_b.as_mut().unwrap()),
+                "table7" => exp_fidelity::table7(&cfg, bundle_b.as_mut().unwrap()),
+                "table8" => exp_fidelity::table8(&cfg, bundle_b.as_mut().unwrap()),
+                "fig11" => exp_efficiency::fig11(&cfg, bundle_b.as_mut().unwrap()),
+                "table9" => exp_usecases::table9(&cfg, bundle_a.as_mut().unwrap()),
+                "table10" => exp_usecases::table10(&cfg, bundle_b.as_ref().unwrap()),
+                "table12" => exp_ablation::table12(&cfg, bundle_b.as_mut().unwrap()),
+                "extra_usecases" => exp_extra::extra_usecases(&cfg, bundle_a.as_mut().unwrap()),
+                "coverage" => exp_coverage::coverage_map(&cfg, bundle_a.as_mut().unwrap()),
+                other => unreachable!("unhandled experiment {other}"),
+            }
+        };
+        println!("{}", report.to_markdown());
+        if let Err(e) = report.write_to(&cfg.out_dir) {
+            eprintln!("warning: could not write report: {e}");
+        }
+        eprintln!("[gendt-eval] {id} done in {:.1}s", started.elapsed().as_secs_f64());
+    }
+    eprintln!("[gendt-eval] all done in {:.1}s", total.elapsed().as_secs_f64());
+}

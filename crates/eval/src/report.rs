@@ -1,0 +1,192 @@
+//! Experiment reporting: markdown tables and JSON result dumps.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple markdown table under construction.
+#[derive(Clone, Debug, Serialize)]
+pub struct MdTable {
+    /// Table caption.
+    pub caption: String,
+    /// Header cells.
+    pub header: Vec<String>,
+    /// Body rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl MdTable {
+    /// New table with a caption and header.
+    pub fn new(caption: &str, header: &[&str]) -> Self {
+        MdTable {
+            caption: caption.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "**{}**\n", self.caption);
+        let _ = writeln!(s, "| {} |", self.header.join(" | "));
+        let _ = writeln!(s, "|{}|", vec!["---"; self.header.len()].join("|"));
+        for r in &self.rows {
+            let _ = writeln!(s, "| {} |", r.join(" | "));
+        }
+        s
+    }
+}
+
+/// One experiment's full report.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    /// Experiment id (e.g. "table3").
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Tables produced.
+    pub tables: Vec<MdTable>,
+    /// Free-form notes (observed vs expected shape, caveats).
+    pub notes: Vec<String>,
+    /// Optional raw data series for figures: `(label, series)`.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl Report {
+    /// New empty report.
+    pub fn new(id: &str, title: &str) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Render the whole report as markdown, including ASCII sparklines
+    /// for any attached figure series.
+    pub fn to_markdown(&self) -> String {
+        let mut s = format!("## {} — {}\n\n", self.id, self.title);
+        for t in &self.tables {
+            s.push_str(&t.to_markdown());
+            s.push('\n');
+        }
+        if !self.series.is_empty() {
+            s.push_str("```text\n");
+            for (label, data) in &self.series {
+                if data.is_empty() {
+                    continue;
+                }
+                s.push_str(&format!("{label:<26} {}\n", sparkline(data, 60)));
+            }
+            s.push_str("```\n\n");
+        }
+        for n in &self.notes {
+            s.push_str(&format!("> {n}\n"));
+        }
+        s
+    }
+
+    /// Write markdown and JSON into `dir` as `<id>.md` / `<id>.json`.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.md", self.id)), self.to_markdown())?;
+        let json = serde_json::to_string_pretty(self).unwrap_or_default();
+        std::fs::write(dir.join(format!("{}.json", self.id)), json)?;
+        Ok(())
+    }
+}
+
+/// Format a float with 2 decimals for table cells.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Render a series as a fixed-width ASCII sparkline (unicode block
+/// characters), downsampling by bucket means.
+pub fn sparkline(data: &[f64], width: usize) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if data.is_empty() || width == 0 {
+        return String::new();
+    }
+    // Bucket means.
+    let w = width.min(data.len());
+    let mut buckets = Vec::with_capacity(w);
+    for b in 0..w {
+        let lo = b * data.len() / w;
+        let hi = ((b + 1) * data.len() / w).max(lo + 1);
+        let m: f64 = data[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        buckets.push(m);
+    }
+    let min = buckets.iter().cloned().fold(f64::MAX, f64::min);
+    let max = buckets.iter().cloned().fold(f64::MIN, f64::max);
+    let span = (max - min).max(1e-12);
+    buckets
+        .into_iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            BLOCKS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = MdTable::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("**Demo**"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = MdTable::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0], 4);
+        assert_eq!(s.chars().count(), 4);
+        let first = s.chars().next().unwrap();
+        let last = s.chars().last().unwrap();
+        assert_eq!(first, '▁');
+        assert_eq!(last, '█');
+    }
+
+    #[test]
+    fn sparkline_handles_constant_and_empty() {
+        assert_eq!(sparkline(&[], 10), "");
+        let s = sparkline(&[5.0; 100], 10);
+        assert_eq!(s.chars().count(), 10);
+    }
+
+    #[test]
+    fn report_roundtrip_to_disk() {
+        let mut r = Report::new("test_exp", "A test");
+        let mut t = MdTable::new("T", &["x"]);
+        t.row(vec!["1".into()]);
+        r.tables.push(t);
+        r.notes.push("note".into());
+        let dir = std::env::temp_dir().join("gendt-eval-report-test");
+        r.write_to(&dir).unwrap();
+        assert!(dir.join("test_exp.md").exists());
+        assert!(dir.join("test_exp.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

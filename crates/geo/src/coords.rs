@@ -1,0 +1,172 @@
+//! Geographic and local planar coordinates.
+//!
+//! The simulator works in a local east-north ("XY", meters) frame for speed
+//! and numeric stability; trajectories and cell records carry WGS-84
+//! latitude/longitude because that is the schema drive-test tools and the
+//! GenDT context pipeline use. A [`Projection`] converts between the two
+//! with an equirectangular approximation, which is accurate to well under
+//! a meter over the tens-of-kilometers regions we simulate.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in meters (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A WGS-84 latitude/longitude pair in degrees.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatLon {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl LatLon {
+    /// Construct from degrees.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        LatLon { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in meters (haversine).
+    pub fn haversine_m(&self, other: &LatLon) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+}
+
+/// A point in a local planar frame, meters east (`x`) and north (`y`) of
+/// the projection origin.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct XY {
+    /// Meters east of the origin.
+    pub x: f64,
+    /// Meters north of the origin.
+    pub y: f64,
+}
+
+impl XY {
+    /// Construct from meters.
+    pub fn new(x: f64, y: f64) -> Self {
+        XY { x, y }
+    }
+
+    /// Euclidean distance to `other` in meters.
+    pub fn dist(&self, other: &XY) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Bearing from this point to `other` in degrees clockwise from north,
+    /// in `[0, 360)`.
+    pub fn bearing_deg_to(&self, other: &XY) -> f64 {
+        let ang = (other.x - self.x).atan2(other.y - self.y).to_degrees();
+        (ang + 360.0) % 360.0
+    }
+
+    /// Linear interpolation between two points.
+    pub fn lerp(&self, other: &XY, t: f64) -> XY {
+        XY { x: self.x + (other.x - self.x) * t, y: self.y + (other.y - self.y) * t }
+    }
+}
+
+/// Equirectangular projection anchored at an origin latitude/longitude.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Projection {
+    /// Origin of the local frame.
+    pub origin: LatLon,
+    cos_lat0: f64,
+}
+
+impl Projection {
+    /// Projection centered at `origin`.
+    pub fn new(origin: LatLon) -> Self {
+        Projection { origin, cos_lat0: origin.lat.to_radians().cos() }
+    }
+
+    /// Project a lat/lon into the local frame.
+    pub fn to_xy(&self, p: LatLon) -> XY {
+        let x = (p.lon - self.origin.lon).to_radians() * self.cos_lat0 * EARTH_RADIUS_M;
+        let y = (p.lat - self.origin.lat).to_radians() * EARTH_RADIUS_M;
+        XY { x, y }
+    }
+
+    /// Unproject a local point back to lat/lon.
+    pub fn to_latlon(&self, p: XY) -> LatLon {
+        let lat = self.origin.lat + (p.y / EARTH_RADIUS_M).to_degrees();
+        let lon = self.origin.lon + (p.x / (EARTH_RADIUS_M * self.cos_lat0)).to_degrees();
+        LatLon { lat, lon }
+    }
+}
+
+/// Smallest absolute angular difference between two bearings in degrees,
+/// in `[0, 180]`.
+pub fn bearing_diff_deg(a: f64, b: f64) -> f64 {
+    let d = (a - b).rem_euclid(360.0);
+    if d > 180.0 {
+        360.0 - d
+    } else {
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_known_distance() {
+        // ~111.19 km per degree of latitude at the equator.
+        let a = LatLon::new(0.0, 0.0);
+        let b = LatLon::new(1.0, 0.0);
+        let d = a.haversine_m(&b);
+        assert!((d - 111_195.0).abs() < 100.0, "got {d}");
+    }
+
+    #[test]
+    fn projection_roundtrip() {
+        let proj = Projection::new(LatLon::new(51.5, 7.46)); // Dortmund-ish
+        let p = LatLon::new(51.52, 7.49);
+        let xy = proj.to_xy(p);
+        let back = proj.to_latlon(xy);
+        assert!((back.lat - p.lat).abs() < 1e-9);
+        assert!((back.lon - p.lon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_matches_haversine_locally() {
+        let proj = Projection::new(LatLon::new(51.5, 7.46));
+        let p = LatLon::new(51.53, 7.50);
+        let xy = proj.to_xy(p);
+        let planar = (xy.x.powi(2) + xy.y.powi(2)).sqrt();
+        let true_d = proj.origin.haversine_m(&p);
+        assert!((planar - true_d).abs() / true_d < 1e-3, "planar {planar} vs {true_d}");
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let o = XY::new(0.0, 0.0);
+        assert!((o.bearing_deg_to(&XY::new(0.0, 1.0)) - 0.0).abs() < 1e-9); // north
+        assert!((o.bearing_deg_to(&XY::new(1.0, 0.0)) - 90.0).abs() < 1e-9); // east
+        assert!((o.bearing_deg_to(&XY::new(0.0, -1.0)) - 180.0).abs() < 1e-9); // south
+        assert!((o.bearing_deg_to(&XY::new(-1.0, 0.0)) - 270.0).abs() < 1e-9); // west
+    }
+
+    #[test]
+    fn bearing_diff_wraps() {
+        assert!((bearing_diff_deg(350.0, 10.0) - 20.0).abs() < 1e-9);
+        assert!((bearing_diff_deg(10.0, 350.0) - 20.0).abs() < 1e-9);
+        assert!((bearing_diff_deg(0.0, 180.0) - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = XY::new(0.0, 0.0);
+        let b = XY::new(10.0, 20.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), XY::new(5.0, 10.0));
+    }
+}

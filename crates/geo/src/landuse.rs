@@ -1,0 +1,214 @@
+//! Land-use classes and point-of-interest kinds making up the GenDT
+//! environment context (paper §2.3.4, Table 11: 12 land-use attributes
+//! from the Copernicus Urban Atlas plus 14 PoI attributes from OSM,
+//! 26 attributes total).
+
+use serde::{Deserialize, Serialize};
+
+/// Urban-Atlas-style land-use classes (12, matching paper Table 11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum LandUse {
+    /// Continuous urban fabric (dense city core).
+    ContinuousUrban = 0,
+    /// High-density discontinuous urban fabric.
+    HighDenseUrban = 1,
+    /// Medium-density discontinuous urban fabric.
+    MediumDenseUrban = 2,
+    /// Low-density discontinuous urban fabric.
+    LowDenseUrban = 3,
+    /// Very-low-density urban fabric.
+    VeryLowDenseUrban = 4,
+    /// Isolated structures.
+    IsolatedStructures = 5,
+    /// Urban green areas (parks).
+    GreenUrban = 6,
+    /// Industrial, commercial, public and military units.
+    IndustrialCommercial = 7,
+    /// Airports and ports.
+    AirSeaPorts = 8,
+    /// Sports and leisure facilities.
+    LeisureFacilities = 9,
+    /// Barren / bare land.
+    BarrenLands = 10,
+    /// Water bodies.
+    Sea = 11,
+}
+
+impl LandUse {
+    /// All land-use classes in attribute order.
+    pub const ALL: [LandUse; 12] = [
+        LandUse::ContinuousUrban,
+        LandUse::HighDenseUrban,
+        LandUse::MediumDenseUrban,
+        LandUse::LowDenseUrban,
+        LandUse::VeryLowDenseUrban,
+        LandUse::IsolatedStructures,
+        LandUse::GreenUrban,
+        LandUse::IndustrialCommercial,
+        LandUse::AirSeaPorts,
+        LandUse::LeisureFacilities,
+        LandUse::BarrenLands,
+        LandUse::Sea,
+    ];
+
+    /// Number of land-use classes.
+    pub const COUNT: usize = 12;
+
+    /// Stable attribute index of this class.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LandUse::ContinuousUrban => "Continuous Urban",
+            LandUse::HighDenseUrban => "High Dense Urban",
+            LandUse::MediumDenseUrban => "Medium Dense Urban",
+            LandUse::LowDenseUrban => "Low Dense Urban",
+            LandUse::VeryLowDenseUrban => "Very-Low Dense Urban",
+            LandUse::IsolatedStructures => "Isolated Structures",
+            LandUse::GreenUrban => "Green Urban",
+            LandUse::IndustrialCommercial => "Industrial/Commercial",
+            LandUse::AirSeaPorts => "Air/Sea Ports",
+            LandUse::LeisureFacilities => "Leisure Facilities",
+            LandUse::BarrenLands => "Barren Lands",
+            LandUse::Sea => "Sea",
+        }
+    }
+
+    /// Typical excess pathloss character of this land use: a clutter factor
+    /// in dB added on top of free-space-like propagation. Dense urban
+    /// clutter attenuates more than open land.
+    pub fn clutter_db(self) -> f64 {
+        match self {
+            LandUse::ContinuousUrban => 18.0,
+            LandUse::HighDenseUrban => 14.0,
+            LandUse::MediumDenseUrban => 10.0,
+            LandUse::LowDenseUrban => 7.0,
+            LandUse::VeryLowDenseUrban => 5.0,
+            LandUse::IsolatedStructures => 3.0,
+            LandUse::GreenUrban => 4.0,
+            LandUse::IndustrialCommercial => 12.0,
+            LandUse::AirSeaPorts => 2.0,
+            LandUse::LeisureFacilities => 4.0,
+            LandUse::BarrenLands => 0.0,
+            LandUse::Sea => -2.0,
+        }
+    }
+}
+
+/// OSM-style point-of-interest kinds (14, matching paper Table 11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum PoiKind {
+    /// Tourist attractions.
+    Tourism = 0,
+    /// Cafes.
+    Cafe = 1,
+    /// Parking facilities.
+    Parking = 2,
+    /// Restaurants.
+    Restaurant = 3,
+    /// Post offices and police stations.
+    PostPolice = 4,
+    /// Traffic signals.
+    TrafficSignal = 5,
+    /// Offices.
+    Office = 6,
+    /// Public-transport stops.
+    PublicTransport = 7,
+    /// Shops.
+    Shop = 8,
+    /// Primary roads (represented as sampled points along the way).
+    PrimaryRoads = 9,
+    /// Secondary roads (sampled points).
+    SecondaryRoads = 10,
+    /// Motorways (sampled points).
+    Motorways = 11,
+    /// Railway stations.
+    RailwayStations = 12,
+    /// Tram stops.
+    TramStops = 13,
+}
+
+impl PoiKind {
+    /// All PoI kinds in attribute order.
+    pub const ALL: [PoiKind; 14] = [
+        PoiKind::Tourism,
+        PoiKind::Cafe,
+        PoiKind::Parking,
+        PoiKind::Restaurant,
+        PoiKind::PostPolice,
+        PoiKind::TrafficSignal,
+        PoiKind::Office,
+        PoiKind::PublicTransport,
+        PoiKind::Shop,
+        PoiKind::PrimaryRoads,
+        PoiKind::SecondaryRoads,
+        PoiKind::Motorways,
+        PoiKind::RailwayStations,
+        PoiKind::TramStops,
+    ];
+
+    /// Number of PoI kinds.
+    pub const COUNT: usize = 14;
+
+    /// Stable attribute index of this kind (offset after land-use attrs in
+    /// the 26-dim environment vector).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PoiKind::Tourism => "Tourism",
+            PoiKind::Cafe => "Cafe",
+            PoiKind::Parking => "Parking",
+            PoiKind::Restaurant => "Restaurant",
+            PoiKind::PostPolice => "Post/Police",
+            PoiKind::TrafficSignal => "Traffic Signal",
+            PoiKind::Office => "Office",
+            PoiKind::PublicTransport => "Public Transport",
+            PoiKind::Shop => "Shop",
+            PoiKind::PrimaryRoads => "Primary Roads",
+            PoiKind::SecondaryRoads => "Secondary Roads",
+            PoiKind::Motorways => "Motorways",
+            PoiKind::RailwayStations => "Railway Stations",
+            PoiKind::TramStops => "Tram Stops",
+        }
+    }
+}
+
+/// Total number of environment-context attributes (`N_g` in the paper).
+pub const ENV_ATTRS: usize = LandUse::COUNT + PoiKind::COUNT;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_counts_match_paper() {
+        assert_eq!(LandUse::COUNT, 12);
+        assert_eq!(PoiKind::COUNT, 14);
+        assert_eq!(ENV_ATTRS, 26);
+    }
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        for (i, lu) in LandUse::ALL.iter().enumerate() {
+            assert_eq!(lu.index(), i);
+        }
+        for (i, pk) in PoiKind::ALL.iter().enumerate() {
+            assert_eq!(pk.index(), i);
+        }
+    }
+
+    #[test]
+    fn dense_urban_clutters_more_than_open() {
+        assert!(LandUse::ContinuousUrban.clutter_db() > LandUse::BarrenLands.clutter_db());
+        assert!(LandUse::HighDenseUrban.clutter_db() > LandUse::GreenUrban.clutter_db());
+    }
+}

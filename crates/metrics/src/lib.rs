@@ -1,0 +1,352 @@
+//! # gendt-metrics — time-series fidelity metrics
+//!
+//! The evaluation metrics of the GenDT paper (§5.1):
+//!
+//! * [`mae`] — mean absolute error between aligned series.
+//! * [`dtw`] — dynamic time warping distance (full O(n·m) dynamic
+//!   program, normalized by the warping-path length), robust to the small
+//!   temporal shifts drive-test repetitions exhibit.
+//! * [`hwd`] — histogram Wasserstein distance: the 1-D Wasserstein-1
+//!   distance between the empirical distributions of two series,
+//!   quantifying how well generated data matches the real distribution.
+//! * Support: histograms, empirical CDFs, rate-of-change, and summary
+//!   statistics used by the dataset tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// Mean absolute error between two equal-length series.
+///
+/// # Panics
+/// Panics if the series lengths differ or are empty.
+pub fn mae(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mae: length mismatch");
+    assert!(!a.is_empty(), "mae: empty series");
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+/// Root-mean-square error between two equal-length series.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rmse: length mismatch");
+    assert!(!a.is_empty(), "rmse: empty series");
+    (a.iter().zip(b.iter()).map(|(x, y)| (x - y).powi(2)).sum::<f64>() / a.len() as f64).sqrt()
+}
+
+/// Dynamic-time-warping distance between two series with absolute-value
+/// local cost, normalized by the optimal path length so values are
+/// comparable across series lengths.
+///
+/// Memory is O(min(n, m)); time is O(n·m).
+///
+/// # Panics
+/// Panics if either series is empty.
+pub fn dtw(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "dtw: empty series");
+    // Keep the inner dimension the shorter one for memory locality.
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let m = inner.len();
+    const INF: f64 = f64::INFINITY;
+    // (cost, path_len) rows.
+    let mut prev = vec![(INF, 0u32); m + 1];
+    let mut cur = vec![(INF, 0u32); m + 1];
+    prev[0] = (0.0, 0);
+    for &x in outer {
+        cur[0] = (INF, 0);
+        for (j, &y) in inner.iter().enumerate() {
+            let c = (x - y).abs();
+            let diag = prev[j];
+            let up = prev[j + 1];
+            let left = cur[j];
+            let best = [diag, up, left]
+                .into_iter()
+                .min_by(|p, q| p.0.partial_cmp(&q.0).unwrap_or(std::cmp::Ordering::Equal))
+                .unwrap();
+            cur[j + 1] = (best.0 + c, best.1 + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let (cost, len) = prev[m];
+    cost / len.max(1) as f64
+}
+
+/// An equal-width histogram over a fixed range.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive lower bound of the first bin.
+    pub lo: f64,
+    /// Exclusive upper bound of the last bin (values outside clamp in).
+    pub hi: f64,
+    /// Bin counts.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Build a histogram of `xs` with `bins` equal-width bins over
+    /// `[lo, hi]`; out-of-range values clamp to the edge bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range is empty");
+        let mut counts = vec![0u64; bins];
+        let w = (hi - lo) / bins as f64;
+        for &x in xs {
+            let idx = (((x - lo) / w).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+            counts[idx] += 1;
+        }
+        Histogram { lo, hi, counts }
+    }
+
+    /// Total count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Normalized bin probabilities (empty histogram gives zeros).
+    pub fn probabilities(&self) -> Vec<f64> {
+        let n = self.total();
+        if n == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / n as f64).collect()
+    }
+
+    /// Bin centers.
+    pub fn centers(&self) -> Vec<f64> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (0..self.counts.len()).map(|i| self.lo + (i as f64 + 0.5) * w).collect()
+    }
+}
+
+/// 1-D Wasserstein-1 distance between the empirical distributions of two
+/// samples (the paper's HWD metric). Computed from quantile functions on a
+/// merged grid — the bin-width → 0 limit of a binned-histogram version.
+///
+/// # Panics
+/// Panics if either sample is empty.
+pub fn hwd(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "hwd: empty sample");
+    let mut xa = a.to_vec();
+    let mut xb = b.to_vec();
+    xa.sort_by(|p, q| p.partial_cmp(q).unwrap_or(std::cmp::Ordering::Equal));
+    xb.sort_by(|p, q| p.partial_cmp(q).unwrap_or(std::cmp::Ordering::Equal));
+    let n = (xa.len().max(xb.len())).clamp(64, 4096);
+    let mut acc = 0.0;
+    for k in 0..n {
+        let q = (k as f64 + 0.5) / n as f64;
+        acc += (quantile_sorted(&xa, q) - quantile_sorted(&xb, q)).abs();
+    }
+    acc / n as f64
+}
+
+/// Quantile of a pre-sorted slice with linear interpolation.
+///
+/// # Panics
+/// Panics if `xs` is empty.
+pub fn quantile_sorted(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (xs.len() - 1) as f64;
+    let i = pos.floor() as usize;
+    let frac = pos - i as f64;
+    if i + 1 < xs.len() {
+        xs[i] * (1.0 - frac) + xs[i + 1] * frac
+    } else {
+        xs[i]
+    }
+}
+
+/// Empirical CDF evaluated at the sample points: `(x, F(x))` pairs sorted
+/// by `x`.
+pub fn ecdf(xs: &[f64]) -> Vec<(f64, f64)> {
+    let mut v = xs.to_vec();
+    v.sort_by(|p, q| p.partial_cmp(q).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len() as f64;
+    v.into_iter().enumerate().map(|(i, x)| (x, (i + 1) as f64 / n)).collect()
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation (0 for fewer than 2 elements).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Mean absolute first difference — the paper's "rate of change" (ROC)
+/// statistic from Table 2.
+pub fn rate_of_change(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    xs.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// The triple of fidelity metrics the paper reports per KPI.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Fidelity {
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Dynamic-time-warping distance (path-normalized).
+    pub dtw: f64,
+    /// Histogram Wasserstein distance.
+    pub hwd: f64,
+}
+
+impl Fidelity {
+    /// Compute all three metrics between a real and generated series.
+    pub fn compute(real: &[f64], generated: &[f64]) -> Fidelity {
+        Fidelity { mae: mae(real, generated), dtw: dtw(real, generated), hwd: hwd(real, generated) }
+    }
+
+    /// Average several fidelity results (e.g. across scenarios).
+    pub fn average(items: &[Fidelity]) -> Fidelity {
+        let n = items.len().max(1) as f64;
+        Fidelity {
+            mae: items.iter().map(|f| f.mae).sum::<f64>() / n,
+            dtw: items.iter().map(|f| f.dtw).sum::<f64>() / n,
+            hwd: items.iter().map(|f| f.hwd).sum::<f64>() / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_known_value() {
+        assert!((mae(&[1.0, 2.0, 3.0], &[2.0, 2.0, 5.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_identical_is_zero() {
+        let xs = [0.5, -1.0, 2.0];
+        assert_eq!(mae(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn dtw_identical_is_zero() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        assert!(dtw(&xs, &xs) < 1e-12);
+    }
+
+    #[test]
+    fn dtw_tolerates_time_shift_better_than_mae() {
+        let a: Vec<f64> = (0..100).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b: Vec<f64> = (0..100).map(|i| ((i as f64 - 4.0) * 0.2).sin()).collect();
+        let m = mae(&a, &b);
+        let d = dtw(&a, &b);
+        assert!(d < 0.5 * m, "dtw {d} should beat mae {m} on shifted series");
+    }
+
+    #[test]
+    fn dtw_handles_unequal_lengths() {
+        let a: Vec<f64> = (0..80).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b: Vec<f64> = (0..120).map(|i| (i as f64 * 0.1333).sin()).collect();
+        let d = dtw(&a, &b);
+        assert!(d.is_finite());
+        assert!(d < 0.3, "stretched same shape should be close: {d}");
+    }
+
+    #[test]
+    fn dtw_symmetry() {
+        let a: Vec<f64> = (0..40).map(|i| (i as f64).cos()).collect();
+        let b: Vec<f64> = (0..55).map(|i| (i as f64 * 1.1).cos()).collect();
+        assert!((dtw(&a, &b) - dtw(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hwd_identical_distributions_is_zero() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i % 17) as f64).collect();
+        assert!(hwd(&xs, &xs) < 1e-12);
+    }
+
+    #[test]
+    fn hwd_shifted_distribution_equals_shift() {
+        let a: Vec<f64> = (0..2000).map(|i| (i % 100) as f64 / 10.0).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 3.0).collect();
+        let d = hwd(&a, &b);
+        assert!((d - 3.0).abs() < 0.05, "W1 of a 3-shift should be 3, got {d}");
+    }
+
+    #[test]
+    fn hwd_is_symmetric() {
+        let a: Vec<f64> = (0..500).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let b: Vec<f64> = (0..700).map(|i| (i as f64 * 0.11).cos() * 8.0).collect();
+        assert!((hwd(&a, &b) - hwd(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hwd_insensitive_to_shuffling() {
+        let a: Vec<f64> = (0..300).map(|i| (i % 30) as f64).collect();
+        let mut b = a.clone();
+        b.reverse();
+        assert!(hwd(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn histogram_counts_and_probs() {
+        let h = Histogram::new(&[0.1, 0.2, 0.9, 1.5, -4.0], 0.0, 1.0, 2);
+        // -4 clamps into bin 0; 1.5 clamps into bin 1.
+        assert_eq!(h.counts, vec![3, 2]);
+        let p = h.probabilities();
+        assert!((p[0] - 0.6).abs() < 1e-12);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.centers(), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_to_one() {
+        let e = ecdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(e[0].0, 1.0);
+        assert!((e.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in e.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&xs, 0.5), 5.0);
+        assert_eq!(quantile_sorted(&xs, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&xs, 1.0), 10.0);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+        assert!((rate_of_change(&[1.0, 3.0, 2.0]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_average() {
+        let a = Fidelity { mae: 1.0, dtw: 2.0, hwd: 3.0 };
+        let b = Fidelity { mae: 3.0, dtw: 4.0, hwd: 5.0 };
+        let avg = Fidelity::average(&[a, b]);
+        assert_eq!(avg, Fidelity { mae: 2.0, dtw: 3.0, hwd: 4.0 });
+    }
+
+    #[test]
+    fn rmse_at_least_mae() {
+        let a = [1.0, 5.0, -2.0];
+        let b = [0.0, 0.0, 0.0];
+        assert!(rmse(&a, &b) >= mae(&a, &b));
+    }
+}

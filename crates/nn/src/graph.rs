@@ -1,0 +1,801 @@
+//! Reverse-mode automatic differentiation over [`Matrix`] values.
+//!
+//! A [`Graph`] is a single-use tape: every op records its inputs and cached
+//! forward value; [`Graph::backward`] walks the tape in reverse and pushes
+//! gradients to inputs and, for parameter leaves, into the owning
+//! [`ParamStore`]. One training step = one graph.
+//!
+//! The op set is deliberately small — exactly what the GenDT architecture
+//! (LSTM + FC + stochastic layers + Gaussian head + GAN losses) needs.
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+
+/// Handle to a node in a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Constant input (no gradient).
+    Input,
+    /// Parameter leaf; backward accumulates into the store.
+    Param(ParamId),
+    /// `a * b` (matrix product).
+    MatMul(NodeId, NodeId),
+    /// `a + b`, elementwise, same shape.
+    Add(NodeId, NodeId),
+    /// `a - b`, elementwise, same shape.
+    Sub(NodeId, NodeId),
+    /// `a * b`, elementwise (Hadamard), same shape.
+    Mul(NodeId, NodeId),
+    /// `a + row_broadcast(b)` where `b` is `1 x cols` (bias add).
+    AddRow(NodeId, NodeId),
+    /// `a * col_broadcast(b)` where `b` is `rows x 1`.
+    MulCol(NodeId, NodeId),
+    /// `a * s` for scalar `s`.
+    Scale(NodeId, f32),
+    /// `a + s` for scalar `s` (the offset is kept for Debug output).
+    Offset(NodeId, #[allow(dead_code)] f32),
+    /// Elementwise sigmoid.
+    Sigmoid(NodeId),
+    /// Elementwise tanh.
+    Tanh(NodeId),
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(NodeId, f32),
+    /// Elementwise exp.
+    Exp(NodeId),
+    /// Elementwise softplus `ln(1 + e^x)`.
+    Softplus(NodeId),
+    /// Horizontal concat `[a | b]`.
+    ConcatCols(NodeId, NodeId),
+    /// Columns `c0..c1` of `a`.
+    SliceCols(NodeId, usize, usize),
+    /// Row-wise sum -> `rows x 1`.
+    RowSum(NodeId),
+    /// Mean of all elements -> `1 x 1`.
+    Mean(NodeId),
+    /// Mean of squared difference `mean((a-b)^2)` -> `1 x 1`.
+    MseLoss(NodeId, NodeId),
+    /// Binary cross-entropy with logits against constant targets -> `1 x 1`.
+    BceWithLogits(NodeId, Matrix),
+    /// Sum of several `1 x 1` scalars with weights.
+    WeightedSum(Vec<(NodeId, f32)>),
+    /// Gaussian negative log-likelihood of constant targets given
+    /// `(mu, sigma)` nodes -> `1 x 1`. Sigma must be positive.
+    GaussianNll { mu: NodeId, sigma: NodeId, target: Matrix },
+}
+
+struct Node {
+    op: Op,
+    value: Matrix,
+    grad: Option<Matrix>,
+    needs_grad: bool,
+}
+
+/// A single-use reverse-mode autodiff tape.
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Graph {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::with_capacity(256) }
+    }
+
+    fn push(&mut self, op: Op, value: Matrix, needs_grad: bool) -> NodeId {
+        self.nodes.push(Node { op, value, grad: None, needs_grad });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    fn needs(&self, id: NodeId) -> bool {
+        self.nodes[id.0].needs_grad
+    }
+
+    /// Forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// Gradient of a node after [`Graph::backward`]; `None` if it did not
+    /// participate in the loss or does not require gradients.
+    pub fn grad(&self, id: NodeId) -> Option<&Matrix> {
+        self.nodes[id.0].grad.as_ref()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Insert a constant (non-differentiable) input.
+    pub fn input(&mut self, value: Matrix) -> NodeId {
+        self.push(Op::Input, value, false)
+    }
+
+    /// Insert a constant input that still receives a gradient (used by
+    /// tests and by generator-through-discriminator plumbing).
+    pub fn input_with_grad(&mut self, value: Matrix) -> NodeId {
+        self.push(Op::Input, value, true)
+    }
+
+    /// Leaf a parameter into the graph. The backward pass accumulates its
+    /// gradient into the store passed to [`Graph::backward`] — so a graph
+    /// must only contain trainable params from ONE store; params of other
+    /// models must enter via [`Graph::param_frozen`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        self.push(Op::Param(id), store.value(id).clone(), true)
+    }
+
+    /// Leaf a parameter as a frozen constant: gradients flow *through* ops
+    /// using it (e.g. to the data side of a matmul) but the parameter
+    /// itself receives no gradient. Used for the discriminator inside the
+    /// generator's update graph.
+    pub fn param_frozen(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        self.push(Op::Input, store.value(id).clone(), false)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::MatMul(a, b), v, ng)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut v = self.nodes[a.0].value.clone();
+        v.add_assign(&self.nodes[b.0].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Add(a, b), v, ng)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(va.shape(), vb.shape(), "sub shape mismatch");
+        let data = va.data.iter().zip(vb.data.iter()).map(|(&x, &y)| x - y).collect();
+        let v = Matrix::from_vec(va.rows, va.cols, data);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Sub(a, b), v, ng)
+    }
+
+    /// Hadamard product.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(va.shape(), vb.shape(), "mul shape mismatch");
+        let data = va.data.iter().zip(vb.data.iter()).map(|(&x, &y)| x * y).collect();
+        let v = Matrix::from_vec(va.rows, va.cols, data);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Mul(a, b), v, ng)
+    }
+
+    /// Bias add: `a + b` where `b` is a `1 x cols` row broadcast over rows.
+    pub fn add_row(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(vb.rows, 1, "add_row: rhs must be a row vector");
+        assert_eq!(va.cols, vb.cols, "add_row column mismatch");
+        let mut v = va.clone();
+        for r in 0..v.rows {
+            for c in 0..v.cols {
+                v.data[r * v.cols + c] += vb.data[c];
+            }
+        }
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::AddRow(a, b), v, ng)
+    }
+
+    /// Column broadcast multiply: `a * b` where `b` is `rows x 1`.
+    pub fn mul_col(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(vb.cols, 1, "mul_col: rhs must be a column vector");
+        assert_eq!(va.rows, vb.rows, "mul_col row mismatch");
+        let mut v = va.clone();
+        for r in 0..v.rows {
+            let s = vb.data[r];
+            for c in 0..v.cols {
+                v.data[r * v.cols + c] *= s;
+            }
+        }
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::MulCol(a, b), v, ng)
+    }
+
+    /// Scalar multiply.
+    pub fn scale(&mut self, a: NodeId, s: f32) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| x * s);
+        let ng = self.needs(a);
+        self.push(Op::Scale(a, s), v, ng)
+    }
+
+    /// Scalar add.
+    pub fn offset(&mut self, a: NodeId, s: f32) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| x + s);
+        let ng = self.needs(a);
+        self.push(Op::Offset(a, s), v, ng)
+    }
+
+    /// Elementwise sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(sigmoid);
+        let ng = self.needs(a);
+        self.push(Op::Sigmoid(a), v, ng)
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(f32::tanh);
+        let ng = self.needs(a);
+        self.push(Op::Tanh(a), v, ng)
+    }
+
+    /// Leaky ReLU.
+    pub fn leaky_relu(&mut self, a: NodeId, slope: f32) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| if x >= 0.0 { x } else { slope * x });
+        let ng = self.needs(a);
+        self.push(Op::LeakyRelu(a, slope), v, ng)
+    }
+
+    /// Elementwise exp.
+    pub fn exp(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(f32::exp);
+        let ng = self.needs(a);
+        self.push(Op::Exp(a), v, ng)
+    }
+
+    /// Elementwise softplus, numerically stabilized.
+    pub fn softplus(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| {
+            if x > 20.0 {
+                x
+            } else if x < -20.0 {
+                x.exp()
+            } else {
+                (1.0 + x.exp()).ln()
+            }
+        });
+        let ng = self.needs(a);
+        self.push(Op::Softplus(a), v, ng)
+    }
+
+    /// Horizontal concatenation.
+    pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.concat_cols(&self.nodes[b.0].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::ConcatCols(a, b), v, ng)
+    }
+
+    /// Column slice `c0..c1`.
+    pub fn slice_cols(&mut self, a: NodeId, c0: usize, c1: usize) -> NodeId {
+        let v = self.nodes[a.0].value.slice_cols(c0, c1);
+        let ng = self.needs(a);
+        self.push(Op::SliceCols(a, c0, c1), v, ng)
+    }
+
+    /// Row-wise sum, yielding a `rows x 1` column vector.
+    pub fn row_sum(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a.0].value;
+        let data = (0..va.rows).map(|r| va.row_slice(r).iter().sum()).collect();
+        let v = Matrix::from_vec(va.rows, 1, data);
+        let ng = self.needs(a);
+        self.push(Op::RowSum(a), v, ng)
+    }
+
+    /// Mean of all elements as a `1 x 1` scalar node.
+    pub fn mean(&mut self, a: NodeId) -> NodeId {
+        let v = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.mean()]);
+        let ng = self.needs(a);
+        self.push(Op::Mean(a), v, ng)
+    }
+
+    /// Mean-squared-error loss `mean((a - b)^2)`.
+    pub fn mse_loss(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(va.shape(), vb.shape(), "mse_loss shape mismatch");
+        let n = va.data.len().max(1) as f32;
+        let s: f32 = va.data.iter().zip(vb.data.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum();
+        let v = Matrix::from_vec(1, 1, vec![s / n]);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::MseLoss(a, b), v, ng)
+    }
+
+    /// Binary cross-entropy with logits against constant targets in `[0,1]`.
+    ///
+    /// Numerically stable formulation
+    /// `max(x,0) - x*t + ln(1 + e^{-|x|})`.
+    pub fn bce_with_logits(&mut self, logits: NodeId, targets: Matrix) -> NodeId {
+        let vl = &self.nodes[logits.0].value;
+        assert_eq!(vl.shape(), targets.shape(), "bce shape mismatch");
+        let n = vl.data.len().max(1) as f32;
+        let s: f32 = vl
+            .data
+            .iter()
+            .zip(targets.data.iter())
+            .map(|(&x, &t)| x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln())
+            .sum();
+        let v = Matrix::from_vec(1, 1, vec![s / n]);
+        let ng = self.needs(logits);
+        self.push(Op::BceWithLogits(logits, targets), v, ng)
+    }
+
+    /// Weighted sum of `1 x 1` scalar nodes (loss combination).
+    pub fn weighted_sum(&mut self, terms: Vec<(NodeId, f32)>) -> NodeId {
+        let mut s = 0.0;
+        let mut ng = false;
+        for &(id, w) in &terms {
+            let v = &self.nodes[id.0].value;
+            assert_eq!(v.shape(), (1, 1), "weighted_sum expects scalar nodes");
+            s += w * v.data[0];
+            ng |= self.needs(id);
+        }
+        let v = Matrix::from_vec(1, 1, vec![s]);
+        self.push(Op::WeightedSum(terms), v, ng)
+    }
+
+    /// Mean Gaussian negative log-likelihood of `target` under `N(mu, sigma)`.
+    ///
+    /// `sigma` must be elementwise positive (pass it through
+    /// [`Graph::softplus`] plus a floor first).
+    pub fn gaussian_nll(&mut self, mu: NodeId, sigma: NodeId, target: Matrix) -> NodeId {
+        let (vm, vs) = (&self.nodes[mu.0].value, &self.nodes[sigma.0].value);
+        assert_eq!(vm.shape(), vs.shape(), "gaussian_nll mu/sigma mismatch");
+        assert_eq!(vm.shape(), target.shape(), "gaussian_nll target mismatch");
+        let n = vm.data.len().max(1) as f32;
+        let mut s = 0.0;
+        for i in 0..vm.data.len() {
+            let m = vm.data[i];
+            let sd = vs.data[i].max(1e-6);
+            let t = target.data[i];
+            s += sd.ln() + 0.5 * ((t - m) / sd).powi(2);
+        }
+        let v = Matrix::from_vec(1, 1, vec![s / n]);
+        let ng = self.needs(mu) || self.needs(sigma);
+        self.push(Op::GaussianNll { mu, sigma, target }, v, ng)
+    }
+
+    fn accum(&mut self, id: NodeId, g: Matrix) {
+        if !self.nodes[id.0].needs_grad {
+            return;
+        }
+        match &mut self.nodes[id.0].grad {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Run the backward pass from a scalar `1 x 1` loss node, pushing
+    /// parameter gradients into `store`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 x 1`.
+    pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
+        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "backward needs a scalar loss");
+        self.nodes[loss.0].grad = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        for i in (0..=loss.0).rev() {
+            if !self.nodes[i].needs_grad {
+                continue;
+            }
+            let Some(g) = self.nodes[i].grad.take() else { continue };
+            // Re-insert so callers can inspect grads after backward.
+            self.nodes[i].grad = Some(g.clone());
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Input => {}
+                Op::Param(pid) => store.accumulate_grad(pid, &g),
+                Op::MatMul(a, b) => {
+                    if self.needs(a) {
+                        let ga = g.matmul_nt(&self.nodes[b.0].value);
+                        self.accum(a, ga);
+                    }
+                    if self.needs(b) {
+                        let gb = self.nodes[a.0].value.matmul_tn(&g);
+                        self.accum(b, gb);
+                    }
+                }
+                Op::Add(a, b) => {
+                    self.accum(a, g.clone());
+                    self.accum(b, g);
+                }
+                Op::Sub(a, b) => {
+                    self.accum(a, g.clone());
+                    self.accum(b, g.map(|x| -x));
+                }
+                Op::Mul(a, b) => {
+                    if self.needs(a) {
+                        let vb = &self.nodes[b.0].value;
+                        let data = g.data.iter().zip(vb.data.iter()).map(|(&x, &y)| x * y).collect();
+                        self.accum(a, Matrix::from_vec(g.rows, g.cols, data));
+                    }
+                    if self.needs(b) {
+                        let va = &self.nodes[a.0].value;
+                        let data = g.data.iter().zip(va.data.iter()).map(|(&x, &y)| x * y).collect();
+                        self.accum(b, Matrix::from_vec(g.rows, g.cols, data));
+                    }
+                }
+                Op::AddRow(a, b) => {
+                    if self.needs(a) {
+                        self.accum(a, g.clone());
+                    }
+                    if self.needs(b) {
+                        let mut gb = Matrix::zeros(1, g.cols);
+                        for r in 0..g.rows {
+                            for c in 0..g.cols {
+                                gb.data[c] += g.data[r * g.cols + c];
+                            }
+                        }
+                        self.accum(b, gb);
+                    }
+                }
+                Op::MulCol(a, b) => {
+                    if self.needs(a) {
+                        let vb = &self.nodes[b.0].value;
+                        let mut ga = g.clone();
+                        for r in 0..ga.rows {
+                            let s = vb.data[r];
+                            for c in 0..ga.cols {
+                                ga.data[r * ga.cols + c] *= s;
+                            }
+                        }
+                        self.accum(a, ga);
+                    }
+                    if self.needs(b) {
+                        let va = &self.nodes[a.0].value;
+                        let mut gb = Matrix::zeros(g.rows, 1);
+                        for r in 0..g.rows {
+                            let mut acc = 0.0;
+                            for c in 0..g.cols {
+                                acc += g.data[r * g.cols + c] * va.data[r * va.cols + c];
+                            }
+                            gb.data[r] = acc;
+                        }
+                        self.accum(b, gb);
+                    }
+                }
+                Op::Scale(a, s) => self.accum(a, g.map(|x| x * s)),
+                Op::Offset(a, _) => self.accum(a, g),
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let data = g.data.iter().zip(y.data.iter()).map(|(&gi, &yi)| gi * yi * (1.0 - yi)).collect();
+                    self.accum(a, Matrix::from_vec(g.rows, g.cols, data));
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let data = g.data.iter().zip(y.data.iter()).map(|(&gi, &yi)| gi * (1.0 - yi * yi)).collect();
+                    self.accum(a, Matrix::from_vec(g.rows, g.cols, data));
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let x = &self.nodes[a.0].value;
+                    let data = g
+                        .data
+                        .iter()
+                        .zip(x.data.iter())
+                        .map(|(&gi, &xi)| if xi >= 0.0 { gi } else { gi * slope })
+                        .collect();
+                    self.accum(a, Matrix::from_vec(g.rows, g.cols, data));
+                }
+                Op::Exp(a) => {
+                    let y = &self.nodes[i].value;
+                    let data = g.data.iter().zip(y.data.iter()).map(|(&gi, &yi)| gi * yi).collect();
+                    self.accum(a, Matrix::from_vec(g.rows, g.cols, data));
+                }
+                Op::Softplus(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let data = g.data.iter().zip(x.data.iter()).map(|(&gi, &xi)| gi * sigmoid(xi)).collect();
+                    self.accum(a, Matrix::from_vec(g.rows, g.cols, data));
+                }
+                Op::ConcatCols(a, b) => {
+                    let ca = self.nodes[a.0].value.cols;
+                    if self.needs(a) {
+                        self.accum(a, g.slice_cols(0, ca));
+                    }
+                    if self.needs(b) {
+                        self.accum(b, g.slice_cols(ca, g.cols));
+                    }
+                }
+                Op::SliceCols(a, c0, c1) => {
+                    let va_shape = self.nodes[a.0].value.shape();
+                    let mut ga = Matrix::zeros(va_shape.0, va_shape.1);
+                    for r in 0..g.rows {
+                        for (k, c) in (c0..c1).enumerate() {
+                            ga.data[r * va_shape.1 + c] = g.data[r * g.cols + k];
+                        }
+                    }
+                    self.accum(a, ga);
+                }
+                Op::RowSum(a) => {
+                    let va_shape = self.nodes[a.0].value.shape();
+                    let mut ga = Matrix::zeros(va_shape.0, va_shape.1);
+                    for r in 0..va_shape.0 {
+                        let s = g.data[r];
+                        for c in 0..va_shape.1 {
+                            ga.data[r * va_shape.1 + c] = s;
+                        }
+                    }
+                    self.accum(a, ga);
+                }
+                Op::Mean(a) => {
+                    let va_shape = self.nodes[a.0].value.shape();
+                    let n = (va_shape.0 * va_shape.1).max(1) as f32;
+                    let ga = Matrix::full(va_shape.0, va_shape.1, g.data[0] / n);
+                    self.accum(a, ga);
+                }
+                Op::MseLoss(a, b) => {
+                    let (ga_mat, gb_mat) = {
+                        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                        let n = va.data.len().max(1) as f32;
+                        let s = 2.0 * g.data[0] / n;
+                        let diff: Vec<f32> =
+                            va.data.iter().zip(vb.data.iter()).map(|(&x, &y)| s * (x - y)).collect();
+                        let ga = Matrix::from_vec(va.rows, va.cols, diff.clone());
+                        let gb = Matrix::from_vec(va.rows, va.cols, diff.iter().map(|&d| -d).collect());
+                        (ga, gb)
+                    };
+                    if self.needs(a) {
+                        self.accum(a, ga_mat);
+                    }
+                    if self.needs(b) {
+                        self.accum(b, gb_mat);
+                    }
+                }
+                Op::BceWithLogits(l, targets) => {
+                    let vl = &self.nodes[l.0].value;
+                    let n = vl.data.len().max(1) as f32;
+                    let s = g.data[0] / n;
+                    let data = vl
+                        .data
+                        .iter()
+                        .zip(targets.data.iter())
+                        .map(|(&x, &t)| s * (sigmoid(x) - t))
+                        .collect();
+                    self.accum(l, Matrix::from_vec(vl.rows, vl.cols, data));
+                }
+                Op::WeightedSum(terms) => {
+                    for (id, w) in terms {
+                        self.accum(id, Matrix::from_vec(1, 1, vec![g.data[0] * w]));
+                    }
+                }
+                Op::GaussianNll { mu, sigma, target } => {
+                    let (gmu, gsigma) = {
+                        let (vm, vs) = (&self.nodes[mu.0].value, &self.nodes[sigma.0].value);
+                        let n = vm.data.len().max(1) as f32;
+                        let s = g.data[0] / n;
+                        let gmu_data: Vec<f32> = (0..vm.data.len())
+                            .map(|k| {
+                                let sd = vs.data[k].max(1e-6);
+                                s * (vm.data[k] - target.data[k]) / (sd * sd)
+                            })
+                            .collect();
+                        let gsigma_data: Vec<f32> = (0..vm.data.len())
+                            .map(|k| {
+                                let sd = vs.data[k].max(1e-6);
+                                let d = target.data[k] - vm.data[k];
+                                s * (1.0 / sd - d * d / (sd * sd * sd))
+                            })
+                            .collect();
+                        (
+                            Matrix::from_vec(vm.rows, vm.cols, gmu_data),
+                            Matrix::from_vec(vs.rows, vs.cols, gsigma_data),
+                        )
+                    };
+                    if self.needs(mu) {
+                        self.accum(mu, gmu);
+                    }
+                    if self.needs(sigma) {
+                        self.accum(sigma, gsigma);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Finite-difference check of d loss / d w for a scalar function builder.
+    fn check_grad(build: impl Fn(&mut Graph, &ParamStore, ParamId) -> NodeId) {
+        let mut rng = Rng::seed_from(123);
+        let mut store = ParamStore::new();
+        let data: Vec<f32> = (0..6).map(|_| rng.uniform(-1.0, 1.0) as f32).collect();
+        let w = store.add("w", Matrix::from_vec(2, 3, data));
+
+        // Analytic gradient.
+        store.zero_grad();
+        let mut g = Graph::new();
+        let loss = build(&mut g, &store, w);
+        g.backward(loss, &mut store);
+        let analytic = store.grad(w).clone();
+
+        // Finite differences.
+        let eps = 1e-3f32;
+        for k in 0..6 {
+            let orig = store.value(w).data[k];
+            store.value_mut(w).data[k] = orig + eps;
+            let mut gp = Graph::new();
+            let lp = build(&mut gp, &store, w);
+            let fp = gp.value(lp).data[0];
+            store.value_mut(w).data[k] = orig - eps;
+            let mut gm = Graph::new();
+            let lm = build(&mut gm, &store, w);
+            let fm = gm.value(lm).data[0];
+            store.value_mut(w).data[k] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic.data[k];
+            assert!(
+                (a - numeric).abs() < 2e-2 * (1.0 + a.abs().max(numeric.abs())),
+                "grad mismatch at {k}: analytic {a}, numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_matmul_mean() {
+        check_grad(|g, s, w| {
+            let wn = g.param(s, w);
+            let x = g.input(Matrix::from_vec(3, 2, vec![0.3, -0.2, 0.5, 0.7, -0.1, 0.4]));
+            let y = g.matmul(wn, x);
+            g.mean(y)
+        });
+    }
+
+    #[test]
+    fn grad_sigmoid_tanh_chain() {
+        check_grad(|g, s, w| {
+            let wn = g.param(s, w);
+            let a = g.sigmoid(wn);
+            let b = g.tanh(a);
+            g.mean(b)
+        });
+    }
+
+    #[test]
+    fn grad_leaky_relu_exp_softplus() {
+        check_grad(|g, s, w| {
+            let wn = g.param(s, w);
+            let a = g.leaky_relu(wn, 0.1);
+            let b = g.softplus(a);
+            let c = g.exp(b);
+            g.mean(c)
+        });
+    }
+
+    #[test]
+    fn grad_mse_loss() {
+        check_grad(|g, s, w| {
+            let wn = g.param(s, w);
+            let target = g.input(Matrix::from_vec(2, 3, vec![0.1; 6]));
+            g.mse_loss(wn, target)
+        });
+    }
+
+    #[test]
+    fn grad_bce_with_logits() {
+        check_grad(|g, s, w| {
+            let wn = g.param(s, w);
+            g.bce_with_logits(wn, Matrix::from_vec(2, 3, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]))
+        });
+    }
+
+    #[test]
+    fn grad_gaussian_nll() {
+        check_grad(|g, s, w| {
+            let wn = g.param(s, w);
+            let mu = g.slice_cols(wn, 0, 3); // rows 2 cols 3 -> use whole as mu
+            let raw = g.scale(wn, 0.5);
+            let sp = g.softplus(raw);
+            let sigma = g.offset(sp, 0.1);
+            g.gaussian_nll(mu, sigma, Matrix::from_vec(2, 3, vec![0.2; 6]))
+        });
+    }
+
+    #[test]
+    fn grad_concat_slice_rowsum() {
+        check_grad(|g, s, w| {
+            let wn = g.param(s, w);
+            let x = g.input(Matrix::from_vec(2, 2, vec![0.4, -0.3, 0.2, 0.8]));
+            let cat = g.concat_cols(wn, x); // 2 x 5
+            let sl = g.slice_cols(cat, 1, 4);
+            let rs = g.row_sum(sl);
+            g.mean(rs)
+        });
+    }
+
+    #[test]
+    fn grad_mul_col_broadcast() {
+        check_grad(|g, s, w| {
+            let wn = g.param(s, w);
+            let b = g.input(Matrix::from_vec(2, 1, vec![0.7, -1.2]));
+            let y = g.mul_col(wn, b);
+            g.mean(y)
+        });
+    }
+
+    #[test]
+    fn grad_add_row_bias() {
+        check_grad(|g, s, w| {
+            let wn = g.param(s, w);
+            let x = g.input(Matrix::from_vec(2, 3, vec![0.1; 6]));
+            let mul = g.mul(wn, x);
+            let bias = g.input(Matrix::from_vec(1, 3, vec![0.5, -0.5, 0.2]));
+            let y = g.add_row(mul, bias);
+            let t = g.tanh(y);
+            g.mean(t)
+        });
+    }
+
+    #[test]
+    fn grad_weighted_sum_combines() {
+        check_grad(|g, s, w| {
+            let wn = g.param(s, w);
+            let m1 = g.mean(wn);
+            let sq = g.mul(wn, wn);
+            let m2 = g.mean(sq);
+            g.weighted_sum(vec![(m1, 0.3), (m2, 0.7)])
+        });
+    }
+
+    #[test]
+    fn bias_gradient_through_add_row() {
+        // Directly check the AddRow rhs gradient (row-sum of upstream).
+        let mut store = ParamStore::new();
+        let b = store.add("b", Matrix::from_vec(1, 2, vec![0.0, 0.0]));
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_vec(3, 2, vec![1.0; 6]));
+        let bn = g.param(&store, b);
+        let y = g.add_row(x, bn);
+        let loss = g.mean(y);
+        g.backward(loss, &mut store);
+        // d mean / d b_c = rows / (rows*cols) = 3/6 = 0.5
+        assert!(store.grad(b).data.iter().all(|&v| (v - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn linear_regression_converges() {
+        // Learn y = 2x + 1 with a 1x1 weight and bias via the graph.
+        let mut rng = Rng::seed_from(9);
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 1, vec![0.0]));
+        let b = store.add("b", Matrix::from_vec(1, 1, vec![0.0]));
+        let mut opt = crate::params::Adam::new(0.05);
+        for _ in 0..300 {
+            let xs: Vec<f32> = (0..16).map(|_| rng.uniform(-1.0, 1.0) as f32).collect();
+            let ys: Vec<f32> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+            store.zero_grad();
+            let mut g = Graph::new();
+            let x = g.input(Matrix::from_vec(16, 1, xs));
+            let wn = g.param(&store, w);
+            let bn = g.param(&store, b);
+            let xw = g.matmul(x, wn);
+            let pred = g.add_row(xw, bn);
+            let target = g.input(Matrix::from_vec(16, 1, ys));
+            let loss = g.mse_loss(pred, target);
+            g.backward(loss, &mut store);
+            opt.step(&mut store);
+        }
+        assert!((store.value(w).data[0] - 2.0).abs() < 0.05);
+        assert!((store.value(b).data[0] - 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,230 @@
+//! Cell deployment: sectorized LTE cells built from a world's site plan.
+//!
+//! Each planned site becomes three sectorized cells with 120°-spaced
+//! azimuths (plus per-site jitter), district-dependent transmit power, and
+//! the `[lat, lon, p_max, direction]` attribute schema the GenDT network
+//! context uses (paper §2.3.3).
+
+use gendt_geo::coords::{LatLon, XY};
+use gendt_geo::world::{DistrictKind, World};
+use gendt_rng::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a cell within a deployment.
+pub type CellId = u32;
+
+/// One sectorized LTE cell.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Cell {
+    /// Deployment-unique identifier.
+    pub id: CellId,
+    /// Site position in the world's local frame.
+    pub pos: XY,
+    /// Site position as lat/lon (the schema drive-test context uses).
+    pub latlon: LatLon,
+    /// Boresight azimuth in degrees clockwise from north.
+    pub azimuth_deg: f64,
+    /// Maximum transmit power (EIRP) in dBm.
+    pub p_max_dbm: f64,
+    /// District kind the site serves.
+    pub district: DistrictKind,
+}
+
+/// A full cell deployment with a spatial index for range queries.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Deployment {
+    /// All cells, indexed by [`CellId`].
+    pub cells: Vec<Cell>,
+    extent_m: f64,
+    bucket_m: f64,
+    side: usize,
+    buckets: Vec<Vec<CellId>>,
+}
+
+/// Transmit EIRP by district: urban sites run lower power (smaller cells),
+/// rural/highway sites higher power for coverage.
+fn p_max_for(district: DistrictKind, rng: &mut Rng) -> f64 {
+    let base = match district {
+        DistrictKind::CityCenter => 41.0,
+        DistrictKind::Urban => 42.0,
+        DistrictKind::Suburban => 43.5,
+        DistrictKind::Industrial => 42.0,
+        DistrictKind::Park => 43.5,
+        DistrictKind::Rural => 46.0,
+    };
+    base + rng.uniform(-1.5, 1.5)
+}
+
+impl Deployment {
+    /// Sectorize a world's site plan into cells. Deterministic in
+    /// `world.cfg.seed`.
+    pub fn from_world(world: &World) -> Deployment {
+        let mut rng = Rng::seed_from(world.cfg.seed ^ DEPLOY_SEED_SALT);
+        let mut cells = Vec::with_capacity(world.sites.len() * 3);
+        for site in &world.sites {
+            let jitter = rng.uniform(0.0, 120.0);
+            let p = p_max_for(site.district, &mut rng);
+            for s in 0..3 {
+                let az = (jitter + 120.0 * s as f64) % 360.0;
+                let id = cells.len() as CellId;
+                cells.push(Cell {
+                    id,
+                    pos: site.pos,
+                    latlon: world.to_latlon(site.pos),
+                    azimuth_deg: az,
+                    p_max_dbm: p,
+                    district: site.district,
+                });
+            }
+        }
+        Self::index(cells, world.cfg.extent_m)
+    }
+
+    /// Build a deployment from an explicit cell list (tests, what-if
+    /// studies with hand-placed cells).
+    pub fn from_cells(cells: Vec<Cell>, extent_m: f64) -> Deployment {
+        Self::index(cells, extent_m)
+    }
+
+    fn index(cells: Vec<Cell>, extent_m: f64) -> Deployment {
+        let bucket_m = 1000.0;
+        let side = ((2.0 * extent_m / bucket_m).ceil() as usize).max(1);
+        let mut buckets = vec![Vec::new(); side * side];
+        for c in &cells {
+            let gx = (((c.pos.x + extent_m) / bucket_m) as isize).clamp(0, side as isize - 1);
+            let gy = (((c.pos.y + extent_m) / bucket_m) as isize).clamp(0, side as isize - 1);
+            buckets[gy as usize * side + gx as usize].push(c.id);
+        }
+        Deployment { cells, extent_m, bucket_m, side, buckets }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the deployment has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Cell by id.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id as usize]
+    }
+
+    /// Ids of all cells within `radius_m` of `p` — the "visible region"
+    /// of potential serving cells (paper Fig. 3). Sorted by distance.
+    pub fn cells_within(&self, p: XY, radius_m: f64) -> Vec<CellId> {
+        let br = (radius_m / self.bucket_m).ceil() as isize + 1;
+        let bx = ((p.x + self.extent_m) / self.bucket_m) as isize;
+        let by = ((p.y + self.extent_m) / self.bucket_m) as isize;
+        let mut out: Vec<(f64, CellId)> = Vec::new();
+        for dy in -br..=br {
+            for dx in -br..=br {
+                let gx = bx + dx;
+                let gy = by + dy;
+                if gx < 0 || gy < 0 || gx >= self.side as isize || gy >= self.side as isize {
+                    continue;
+                }
+                for &id in &self.buckets[gy as usize * self.side + gx as usize] {
+                    let d = self.cells[id as usize].pos.dist(&p);
+                    if d <= radius_m {
+                        out.push((d, id));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        out.into_iter().map(|(_, id)| id).collect()
+    }
+}
+
+/// Seed salt separating deployment randomness from world generation.
+const DEPLOY_SEED_SALT: u64 = 0xCE11_0DE9_107A_55A1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendt_geo::world::{World, WorldCfg};
+
+    fn deployment() -> (World, Deployment) {
+        let w = World::generate(WorldCfg::city(11));
+        let d = Deployment::from_world(&w);
+        (w, d)
+    }
+
+    #[test]
+    fn three_sectors_per_site() {
+        let (w, d) = deployment();
+        assert_eq!(d.len(), w.sites.len() * 3);
+    }
+
+    #[test]
+    fn sector_azimuths_are_spread() {
+        let (_, d) = deployment();
+        // The three sectors of one site are 120° apart.
+        let a0 = d.cells[0].azimuth_deg;
+        let a1 = d.cells[1].azimuth_deg;
+        let a2 = d.cells[2].azimuth_deg;
+        let mut diffs = [(a1 - a0).rem_euclid(360.0), (a2 - a1).rem_euclid(360.0), (a0 - a2).rem_euclid(360.0)];
+        diffs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!(diffs.iter().all(|d| (d - 120.0).abs() < 1e-6), "azimuths {a0} {a1} {a2}");
+    }
+
+    #[test]
+    fn cells_within_sorted_and_bounded() {
+        let (_, d) = deployment();
+        let p = XY::new(0.0, 0.0);
+        let ids = d.cells_within(p, 2000.0);
+        assert!(!ids.is_empty(), "no cells near origin");
+        let mut last = 0.0;
+        for id in &ids {
+            let dist = d.cell(*id).pos.dist(&p);
+            assert!(dist <= 2000.0);
+            assert!(dist >= last, "not sorted by distance");
+            last = dist;
+        }
+    }
+
+    #[test]
+    fn cells_within_matches_brute_force() {
+        let (_, d) = deployment();
+        let p = XY::new(500.0, -750.0);
+        let fast = d.cells_within(p, 1500.0);
+        let brute: Vec<CellId> = d
+            .cells
+            .iter()
+            .filter(|c| c.pos.dist(&p) <= 1500.0)
+            .map(|c| c.id)
+            .collect();
+        assert_eq!(fast.len(), brute.len());
+        for id in brute {
+            assert!(fast.contains(&id));
+        }
+    }
+
+    #[test]
+    fn deployment_is_deterministic() {
+        let w = World::generate(WorldCfg::city(11));
+        let d1 = Deployment::from_world(&w);
+        let d2 = Deployment::from_world(&w);
+        assert_eq!(d1.len(), d2.len());
+        for (a, b) in d1.cells.iter().zip(d2.cells.iter()) {
+            assert_eq!(a.azimuth_deg, b.azimuth_deg);
+            assert_eq!(a.p_max_dbm, b.p_max_dbm);
+        }
+    }
+
+    #[test]
+    fn rural_cells_run_more_power() {
+        let w = World::generate(WorldCfg::region(13));
+        let d = Deployment::from_world(&w);
+        let avg = |k: DistrictKind| {
+            let v: Vec<f64> =
+                d.cells.iter().filter(|c| c.district == k).map(|c| c.p_max_dbm).collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        assert!(avg(DistrictKind::Rural) > avg(DistrictKind::CityCenter));
+    }
+}

@@ -1,0 +1,29 @@
+//! # gendt-radio — LTE radio-network simulator
+//!
+//! The physical substrate that stands in for the paper's real drive-test
+//! measurements (Nemo Handy / the CNI cell tracker): sectorized cell
+//! deployments, a composite propagation model (pathloss + spatially
+//! correlated shadowing + fast fading + antenna patterns), a KPI
+//! measurement engine with A3 handover, and a QoE (throughput / packet
+//! error rate) link model for the downstream use cases.
+//!
+//! See `DESIGN.md` §2 for the substitution argument: the synthetic KPI
+//! series have the same structure a generative model must learn —
+//! context-dependent means, location-correlated variation, and stochastic
+//! serving-cell churn.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cells;
+pub mod kpi;
+pub mod propagation;
+pub mod qoe;
+
+pub use cells::{Cell, CellId, Deployment};
+pub use kpi::{
+    avg_serving_dwell_s, cqi_from_sinr, dbm_to_mw, inter_handover_times, mw_to_dbm, KpiCfg,
+    KpiEngine, KpiSample,
+};
+pub use propagation::{antenna_gain_db, pathloss_db, Fading, PropagationCfg, ShadowField};
+pub use qoe::{qoe_series, QoeCfg, QoeSample};

@@ -1,0 +1,314 @@
+//! Radio propagation: pathloss, antenna pattern, spatially correlated
+//! shadowing, and fast fading.
+//!
+//! The model is a physically grounded composite:
+//!
+//! * **Pathloss** — log-distance with a land-use-dependent exponent and a
+//!   clutter term (3GPP-UMa-like constants, COST-231-Hata family).
+//! * **Antenna gain** — the standard 3GPP sectorized parabolic pattern
+//!   with a 25 dB front-to-back floor.
+//! * **Shadowing** — a deterministic-in-space lattice noise field per cell
+//!   (two octaves, ~80 m and ~400 m correlation lengths), which plays the
+//!   role of a Gudmundson-correlated log-normal field. Determinism in
+//!   space means repeated passes over the same trajectory see the same
+//!   shadowing, so the pass-to-pass variation seen in the paper's Fig. 1
+//!   comes from fading, load, and serving-cell churn — as in reality.
+//! * **Fast fading** — per-pass AR(1) process in time around 0 dB.
+
+use crate::cells::Cell;
+use gendt_geo::coords::{bearing_diff_deg, XY};
+use gendt_geo::landuse::LandUse;
+use gendt_geo::world::World;
+use gendt_rng::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Propagation model configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PropagationCfg {
+    /// Pathloss intercept at 1 km in dB for the densest clutter.
+    pub pl_intercept_db: f64,
+    /// Reference pathloss exponent (urban); `10 n log10(d_km)` term.
+    pub pl_exponent: f64,
+    /// Shadowing standard deviation in dB.
+    pub shadow_sigma_db: f64,
+    /// Short shadowing correlation length in meters.
+    pub shadow_corr_short_m: f64,
+    /// Long shadowing correlation length in meters.
+    pub shadow_corr_long_m: f64,
+    /// Fast-fading standard deviation in dB.
+    pub fading_sigma_db: f64,
+    /// Fast-fading AR(1) time constant in seconds.
+    pub fading_tau_s: f64,
+    /// Slow per-pass shadow jitter in dB: dynamic-environment effects
+    /// (traffic, foliage, parked vehicles) that change between repeated
+    /// passes of the same route but persist for tens of seconds within a
+    /// pass. This is the main source of the pass-to-pass variability the
+    /// paper's Fig. 1 highlights.
+    pub pass_shadow_sigma_db: f64,
+    /// Time constant of the per-pass shadow jitter, seconds.
+    pub pass_shadow_tau_s: f64,
+    /// Antenna 3 dB beamwidth in degrees.
+    pub beamwidth_deg: f64,
+    /// Antenna front-to-back attenuation cap in dB.
+    pub front_to_back_db: f64,
+}
+
+impl Default for PropagationCfg {
+    fn default() -> Self {
+        PropagationCfg {
+            pl_intercept_db: 128.1,
+            pl_exponent: 3.76,
+            shadow_sigma_db: 6.0,
+            shadow_corr_short_m: 80.0,
+            shadow_corr_long_m: 400.0,
+            fading_sigma_db: 3.0,
+            fading_tau_s: 4.0,
+            pass_shadow_sigma_db: 3.0,
+            pass_shadow_tau_s: 60.0,
+            beamwidth_deg: 65.0,
+            front_to_back_db: 25.0,
+        }
+    }
+}
+
+/// Distance-dependent pathloss in dB, adjusted for the land use at the
+/// receiver. Distances below 10 m are clamped.
+pub fn pathloss_db(cfg: &PropagationCfg, dist_m: f64, land_use: LandUse) -> f64 {
+    let d_km = (dist_m.max(10.0)) / 1000.0;
+    // Clutter scales relative to dense urban (18 dB): open land propagates
+    // with both a lower intercept and a slightly lower exponent.
+    let clutter = land_use.clutter_db();
+    let exponent = cfg.pl_exponent - 0.04 * (18.0 - clutter);
+    cfg.pl_intercept_db + (clutter - 18.0) * 0.5 + 10.0 * exponent * d_km.log10()
+}
+
+/// 3GPP sectorized antenna gain in dB relative to boresight (non-positive).
+pub fn antenna_gain_db(cfg: &PropagationCfg, cell: &Cell, ue: XY) -> f64 {
+    let bearing = cell.pos.bearing_deg_to(&ue);
+    let delta = bearing_diff_deg(bearing, cell.azimuth_deg);
+    -(12.0 * (delta / cfg.beamwidth_deg).powi(2)).min(cfg.front_to_back_db)
+}
+
+/// Deterministic, spatially smooth shadowing field per cell.
+///
+/// Built from two octaves of seeded lattice noise with bilinear
+/// interpolation; values are approximately `N(0, sigma^2)` and decorrelate
+/// over the configured correlation lengths.
+#[derive(Clone, Debug)]
+pub struct ShadowField {
+    seed: u64,
+    sigma: f64,
+    short_m: f64,
+    long_m: f64,
+}
+
+fn lattice_hash(seed: u64, ix: i64, iy: i64) -> f64 {
+    // SplitMix-style hash to a standard normal via two uniforms.
+    let mut z = seed
+        ^ (ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (iy as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let u1 = ((z >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+    let z2 = z.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    let u2 = (z2 >> 11) as f64 / (1u64 << 53) as f64;
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn lattice_noise(seed: u64, p: XY, scale_m: f64) -> f64 {
+    let fx = p.x / scale_m;
+    let fy = p.y / scale_m;
+    let ix = fx.floor() as i64;
+    let iy = fy.floor() as i64;
+    let tx = fx - ix as f64;
+    let ty = fy - iy as f64;
+    // Smoothstep for C1 continuity.
+    let sx = tx * tx * (3.0 - 2.0 * tx);
+    let sy = ty * ty * (3.0 - 2.0 * ty);
+    let v00 = lattice_hash(seed, ix, iy);
+    let v10 = lattice_hash(seed, ix + 1, iy);
+    let v01 = lattice_hash(seed, ix, iy + 1);
+    let v11 = lattice_hash(seed, ix + 1, iy + 1);
+    let a = v00 + (v10 - v00) * sx;
+    let b = v01 + (v11 - v01) * sx;
+    a + (b - a) * sy
+}
+
+impl ShadowField {
+    /// Shadowing field for one cell in one world.
+    pub fn new(world_seed: u64, cell_id: u32, cfg: &PropagationCfg) -> Self {
+        ShadowField {
+            seed: world_seed ^ (cell_id as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F),
+            sigma: cfg.shadow_sigma_db,
+            short_m: cfg.shadow_corr_short_m,
+            long_m: cfg.shadow_corr_long_m,
+        }
+    }
+
+    /// Shadowing value at a position, in dB.
+    pub fn at(&self, p: XY) -> f64 {
+        // Two octaves; interpolated lattice noise has variance below 1, so
+        // rescale empirically (~0.6 per octave combines to ~0.85).
+        let s = 0.75 * lattice_noise(self.seed, p, self.short_m)
+            + 0.66 * lattice_noise(self.seed ^ 0x5851_F42D_4C95_7F2D, p, self.long_m);
+        self.sigma * s
+    }
+}
+
+/// Per-pass AR(1) fast-fading process in time.
+#[derive(Clone, Debug)]
+pub struct Fading {
+    rng: Rng,
+    sigma: f64,
+    tau_s: f64,
+    state: f64,
+}
+
+impl Fading {
+    /// New fast-fading process; `seed` should differ per (pass, cell).
+    pub fn new(seed: u64, cfg: &PropagationCfg) -> Self {
+        Self::with(seed, cfg.fading_sigma_db, cfg.fading_tau_s)
+    }
+
+    /// New slow per-pass shadow-jitter process (see
+    /// [`PropagationCfg::pass_shadow_sigma_db`]).
+    pub fn new_pass_shadow(seed: u64, cfg: &PropagationCfg) -> Self {
+        Self::with(seed, cfg.pass_shadow_sigma_db, cfg.pass_shadow_tau_s)
+    }
+
+    /// AR(1) process with explicit parameters.
+    pub fn with(seed: u64, sigma: f64, tau_s: f64) -> Self {
+        let mut rng = Rng::seed_from(seed);
+        let state = rng.normal() * sigma;
+        Fading { rng, sigma, tau_s, state }
+    }
+
+    /// Advance by `dt` seconds and return the fading value in dB.
+    pub fn step(&mut self, dt: f64) -> f64 {
+        let rho = (-dt / self.tau_s).exp();
+        self.state =
+            rho * self.state + (1.0 - rho * rho).sqrt() * self.sigma * self.rng.normal();
+        self.state
+    }
+}
+
+/// Received wideband power from `cell` at `ue`, excluding fading, in dBm.
+pub fn mean_rx_power_dbm(cfg: &PropagationCfg, world: &World, cell: &Cell, ue: XY, shadow: &ShadowField) -> f64 {
+    let lu = world.land_use_at(ue);
+    let pl = pathloss_db(cfg, cell.pos.dist(&ue), lu);
+    let gain = antenna_gain_db(cfg, cell, ue);
+    cell.p_max_dbm + gain - pl + shadow.at(ue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendt_geo::world::DistrictKind;
+    use gendt_geo::coords::LatLon;
+
+    fn cfg() -> PropagationCfg {
+        PropagationCfg::default()
+    }
+
+    fn cell_at(pos: XY, az: f64) -> Cell {
+        Cell {
+            id: 0,
+            pos,
+            latlon: LatLon::new(0.0, 0.0),
+            azimuth_deg: az,
+            p_max_dbm: 57.0,
+            district: DistrictKind::Urban,
+        }
+    }
+
+    #[test]
+    fn pathloss_increases_with_distance() {
+        let c = cfg();
+        let a = pathloss_db(&c, 100.0, LandUse::HighDenseUrban);
+        let b = pathloss_db(&c, 1000.0, LandUse::HighDenseUrban);
+        let d = pathloss_db(&c, 3000.0, LandUse::HighDenseUrban);
+        assert!(a < b && b < d);
+    }
+
+    #[test]
+    fn pathloss_typical_urban_magnitude() {
+        // ~500 m dense urban should be in the 105-125 dB range.
+        let pl = pathloss_db(&cfg(), 500.0, LandUse::ContinuousUrban);
+        assert!((105.0..125.0).contains(&pl), "PL {pl}");
+    }
+
+    #[test]
+    fn open_land_attenuates_less_than_city() {
+        let c = cfg();
+        let urban = pathloss_db(&c, 1000.0, LandUse::ContinuousUrban);
+        let open = pathloss_db(&c, 1000.0, LandUse::BarrenLands);
+        assert!(open < urban - 5.0, "urban {urban}, open {open}");
+    }
+
+    #[test]
+    fn antenna_gain_peaks_at_boresight() {
+        let c = cfg();
+        let cell = cell_at(XY::new(0.0, 0.0), 0.0); // pointing north
+        let front = antenna_gain_db(&c, &cell, XY::new(0.0, 500.0));
+        let side = antenna_gain_db(&c, &cell, XY::new(500.0, 0.0));
+        let back = antenna_gain_db(&c, &cell, XY::new(0.0, -500.0));
+        assert!(front > side && side > back);
+        assert!((front - 0.0).abs() < 1e-9);
+        assert!((back + c.front_to_back_db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shadowing_is_deterministic_in_space() {
+        let c = cfg();
+        let f = ShadowField::new(7, 3, &c);
+        let p = XY::new(123.0, -456.0);
+        assert_eq!(f.at(p), f.at(p));
+        let f2 = ShadowField::new(7, 3, &c);
+        assert_eq!(f.at(p), f2.at(p));
+    }
+
+    #[test]
+    fn shadowing_decorrelates_with_distance() {
+        let c = cfg();
+        let f = ShadowField::new(11, 1, &c);
+        // Close points are similar; far points differ on average.
+        let mut near_diff = 0.0;
+        let mut far_diff = 0.0;
+        let n = 200;
+        for i in 0..n {
+            let p = XY::new(i as f64 * 37.0, i as f64 * 17.0);
+            near_diff += (f.at(p) - f.at(XY::new(p.x + 5.0, p.y))).abs();
+            far_diff += (f.at(p) - f.at(XY::new(p.x + 2000.0, p.y))).abs();
+        }
+        assert!(near_diff / n as f64 * 3.0 < far_diff / n as f64, "near {near_diff}, far {far_diff}");
+    }
+
+    #[test]
+    fn shadowing_sigma_is_plausible() {
+        let c = cfg();
+        let f = ShadowField::new(5, 9, &c);
+        let vals: Vec<f64> = (0..4000)
+            .map(|i| f.at(XY::new((i % 64) as f64 * 310.0, (i / 64) as f64 * 290.0)))
+            .collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let std = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt();
+        assert!(mean.abs() < 1.0, "shadow mean {mean}");
+        assert!((3.0..9.0).contains(&std), "shadow std {std}");
+    }
+
+    #[test]
+    fn fading_is_zero_mean_and_correlated() {
+        let c = cfg();
+        let mut f = Fading::new(3, &c);
+        let xs: Vec<f64> = (0..5000).map(|_| f.step(1.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.35, "fading mean {mean}");
+        // Lag-1 autocorrelation should be near exp(-1/tau) = exp(-0.25).
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        let cov: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>()
+            / (xs.len() - 1) as f64;
+        let rho = cov / var;
+        assert!((rho - (-0.25f64).exp()).abs() < 0.1, "rho {rho}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Quality-of-experience model: downlink throughput and packet error rate
+//! as functions of radio KPIs.
+//!
+//! The paper's QoE use case (§6.3.1) measures throughput and PER with
+//! iPerf3 alongside the drive test; we do not have iPerf3 and a live
+//! network, so this module provides ground truth from a physically
+//! plausible link model: Shannon-capped spectral efficiency from SINR,
+//! scaled by the serving cell's spare capacity, plus a sigmoid PER curve
+//! in SINR. The substitution preserves what the use case tests — QoE being
+//! a learnable function of the radio KPIs.
+
+use crate::kpi::KpiSample;
+use gendt_rng::Rng;
+use serde::{Deserialize, Serialize};
+
+/// QoE model configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct QoeCfg {
+    /// Carrier bandwidth in Hz available to the UE before load sharing.
+    pub bandwidth_hz: f64,
+    /// Spectral-efficiency implementation loss factor (0..1].
+    pub efficiency: f64,
+    /// Cap on spectral efficiency (256-QAM ceiling), bit/s/Hz.
+    pub max_se: f64,
+    /// SINR at which PER is 50 %, dB.
+    pub per_midpoint_db: f64,
+    /// PER sigmoid steepness, dB.
+    pub per_slope_db: f64,
+    /// Residual PER floor on a good link.
+    pub per_floor: f64,
+    /// Multiplicative measurement noise on throughput (std, fraction).
+    pub tput_noise: f64,
+}
+
+impl Default for QoeCfg {
+    fn default() -> Self {
+        QoeCfg {
+            bandwidth_hz: 9e6,
+            efficiency: 0.65,
+            max_se: 5.5,
+            per_midpoint_db: -3.0,
+            per_slope_db: 2.5,
+            per_floor: 0.01,
+            tput_noise: 0.08,
+        }
+    }
+}
+
+/// A QoE measurement sample aligned with a [`KpiSample`].
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct QoeSample {
+    /// Seconds since trajectory start.
+    pub t: f64,
+    /// Downlink application throughput, Mbit/s.
+    pub throughput_mbps: f64,
+    /// Packet error rate in `[0, 1]`.
+    pub per: f64,
+}
+
+/// Compute QoE ground truth for a KPI series. Deterministic in `seed`.
+pub fn qoe_series(cfg: &QoeCfg, samples: &[KpiSample], seed: u64) -> Vec<QoeSample> {
+    let mut rng = Rng::seed_from(seed);
+    samples
+        .iter()
+        .map(|s| {
+            let sinr_lin = 10f64.powf(s.sinr_db / 10.0);
+            let se = (cfg.efficiency * (1.0 + sinr_lin).log2()).min(cfg.max_se);
+            // The UE gets the cell's spare capacity share.
+            let share = (1.0 - s.serving_load).clamp(0.05, 1.0);
+            let noise = (1.0 + cfg.tput_noise * rng.normal()).max(0.2);
+            let tput = cfg.bandwidth_hz * se * share * noise / 1e6;
+            let per_raw =
+                1.0 / (1.0 + ((s.sinr_db - cfg.per_midpoint_db) / cfg.per_slope_db).exp());
+            let per = (per_raw + cfg.per_floor
+                + 0.01 * rng.normal().abs())
+            .clamp(0.0, 1.0);
+            QoeSample { t: s.t, throughput_mbps: tput, per }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellId;
+
+    fn sample(sinr_db: f64, load: f64) -> KpiSample {
+        KpiSample {
+            t: 0.0,
+            rsrp_dbm: -85.0,
+            rsrq_db: -10.0,
+            sinr_db,
+            cqi: 10,
+            rssi_dbm: -60.0,
+            serving: 0 as CellId,
+            serving_load: load,
+            visible_cells: 5,
+            serving_dist_m: 400.0,
+        }
+    }
+
+    #[test]
+    fn better_sinr_means_more_throughput() {
+        let cfg = QoeCfg::default();
+        let good = qoe_series(&cfg, &[sample(20.0, 0.5)], 1)[0];
+        let bad = qoe_series(&cfg, &[sample(-5.0, 0.5)], 1)[0];
+        assert!(good.throughput_mbps > 2.0 * bad.throughput_mbps);
+    }
+
+    #[test]
+    fn load_reduces_throughput() {
+        let cfg = QoeCfg::default();
+        let idle = qoe_series(&cfg, &[sample(10.0, 0.1)], 1)[0];
+        let busy = qoe_series(&cfg, &[sample(10.0, 0.9)], 1)[0];
+        assert!(idle.throughput_mbps > 2.0 * busy.throughput_mbps);
+    }
+
+    #[test]
+    fn per_is_monotone_decreasing_in_sinr() {
+        let cfg = QoeCfg::default();
+        let worse = qoe_series(&cfg, &[sample(-10.0, 0.5)], 3)[0];
+        let better = qoe_series(&cfg, &[sample(15.0, 0.5)], 3)[0];
+        assert!(worse.per > better.per);
+        assert!((0.0..=1.0).contains(&worse.per));
+        assert!((0.0..=1.0).contains(&better.per));
+    }
+
+    #[test]
+    fn throughput_scale_is_plausible() {
+        // Typical loaded-city link (~5 dB SINR, 50 % load) lands in the
+        // single-digit Mbps range like the paper's iPerf3 traces.
+        let cfg = QoeCfg::default();
+        let q = qoe_series(&cfg, &[sample(5.0, 0.5)], 7)[0];
+        assert!((0.5..30.0).contains(&q.throughput_mbps), "tput {}", q.throughput_mbps);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = QoeCfg::default();
+        let a = qoe_series(&cfg, &[sample(5.0, 0.5), sample(7.0, 0.4)], 11);
+        let b = qoe_series(&cfg, &[sample(5.0, 0.5), sample(7.0, 0.4)], 11);
+        assert_eq!(a[1].throughput_mbps, b[1].throughput_mbps);
+    }
+}

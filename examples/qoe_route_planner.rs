@@ -1,0 +1,75 @@
+//! QoE-aware route assessment (paper §6.3.1): generate radio KPIs for a
+//! planned route with GenDT, then predict application-level throughput
+//! along it — no field measurement required.
+//!
+//! ```text
+//! cargo run --release --example qoe_route_planner
+//! ```
+
+use gendt::{generate_series, GenDt, GenDtCfg};
+use gendt_data::{dataset_a, extract, windows, BuildCfg, ContextCfg, Kpi};
+use gendt_eval::exp_usecases::QoePredictor;
+use gendt_eval::{Bundle, EvalCfg};
+use gendt_geo::trajectory::{generate, Scenario, TrajectoryCfg};
+use gendt_geo::XY;
+
+fn main() {
+    // The harness bundle gives us a trained GenDT plus the dataset; the
+    // QoE predictor trains on the dataset's iPerf-style ground truth.
+    println!("building Dataset A bundle (trains GenDT and baselines)...");
+    let mut eval_cfg = EvalCfg::quick(55);
+    eval_cfg.out_dir = std::env::temp_dir().join("gendt-qoe-example");
+    let bundle = Bundle::dataset_a(&eval_cfg);
+    println!("training the QoE predictor on measured RSRP/RSRQ + throughput...");
+    let mut qoe = QoePredictor::new(55, false);
+    qoe.fit(&bundle, 6);
+
+    // Re-train a slightly larger GenDT for generation quality.
+    let ds = dataset_a(&BuildCfg { scale: 0.10, ..BuildCfg::full(55) });
+    let cfg = GenDtCfg::fast(4, 55);
+    let ctx_cfg = ContextCfg { max_cells: cfg.window.max_cells, ..ContextCfg::default() };
+    let mut pool = Vec::new();
+    for run in &ds.runs {
+        let ctx = extract(&ds.world, &ds.deployment, &run.traj, &ctx_cfg);
+        pool.extend(windows(run, &ctx, &Kpi::DATASET_A, &cfg.window));
+    }
+    let mut model = GenDt::new(cfg);
+    model.train(&pool);
+
+    // A planned delivery route.
+    let route = generate(
+        &bundle.ds.world,
+        &TrajectoryCfg::new(Scenario::CityDrive, 480.0, XY::new(-1200.0, 800.0), 77),
+    );
+    let ctx_cfg2 = ContextCfg { max_cells: bundle.model_cfg.window.max_cells, ..ContextCfg::default() };
+    let ctx = extract(&bundle.ds.world, &bundle.ds.deployment, &route, &ctx_cfg2);
+    let gen = generate_series(&mut model, &ctx, &Kpi::DATASET_A, false, 7);
+    let rsrp = gen.channel(Kpi::Rsrp).unwrap();
+    let rsrq = gen.channel(Kpi::Rsrq).unwrap();
+
+    // Predict throughput along the route from the generated KPIs.
+    // (The predictor consumes RSRP/RSRQ plus position/speed from the run's
+    // trajectory; we reuse its feature path via a fake run entry is not
+    // needed — feed positions directly.)
+    let extent = bundle.ds.world.cfg.extent_m;
+    let mut low_spots = 0usize;
+    let mut tputs = Vec::new();
+    for (k, p) in route.points.iter().take(rsrp.len()).enumerate() {
+        let t = qoe.predict_point(rsrp[k], rsrq[k], p.pos.x, p.pos.y, p.speed, extent);
+        if t < 3.0 {
+            low_spots += 1;
+        }
+        tputs.push(t);
+    }
+    println!("\npredicted QoE along the planned route ({} samples):", tputs.len());
+    println!("  mean throughput {:.2} Mbit/s", gendt_metrics::mean(&tputs));
+    println!(
+        "  worst segment  {:.2} Mbit/s",
+        tputs.iter().cloned().fold(f64::MAX, f64::min)
+    );
+    println!(
+        "  {:.1}% of the route below 3 Mbit/s",
+        100.0 * low_spots as f64 / tputs.len().max(1) as f64
+    );
+    println!("\nAll of this was derived from context alone — no truck was dispatched.");
+}

@@ -1,0 +1,85 @@
+//! What-if analysis (paper §C.2): study the impact of deploying new cells
+//! on radio KPIs *before* building them, with no drive-test campaign.
+//!
+//! GenDT is conditioned on network context, so swapping in a modified cell
+//! database and regenerating KPIs for the same route answers "what would
+//! RSRP on this route look like if we added a site here?".
+//!
+//! ```text
+//! cargo run --release --example what_if_deployment
+//! ```
+
+use gendt::{generate_series, GenDt, GenDtCfg};
+use gendt_data::{dataset_a, extract, windows, BuildCfg, ContextCfg, Kpi};
+use gendt_geo::trajectory::{generate, Scenario, TrajectoryCfg};
+use gendt_geo::world::DistrictKind;
+use gendt_geo::XY;
+use gendt_radio::cells::{Cell, Deployment};
+
+fn main() {
+    println!("building dataset and training GenDT...");
+    let ds = dataset_a(&BuildCfg { scale: 0.12, ..BuildCfg::full(21) });
+    let cfg = GenDtCfg::fast(4, 21);
+    let ctx_cfg = ContextCfg { max_cells: cfg.window.max_cells, ..ContextCfg::default() };
+    let mut pool = Vec::new();
+    for run in &ds.runs {
+        let ctx = extract(&ds.world, &ds.deployment, &run.traj, &ctx_cfg);
+        pool.extend(windows(run, &ctx, &Kpi::DATASET_A, &cfg.window));
+    }
+    let mut model = GenDt::new(cfg);
+    model.train(&pool);
+
+    // A coverage-gap route on the city edge.
+    let route = generate(
+        &ds.world,
+        &TrajectoryCfg::new(Scenario::CityDrive, 420.0, XY::new(2600.0, 2600.0), 99),
+    );
+    let mid = route.points[route.points.len() / 2].pos;
+
+    // Baseline: today's deployment.
+    let ctx_before = extract(&ds.world, &ds.deployment, &route, &ctx_cfg);
+    let before = generate_series(&mut model, &ctx_before, &Kpi::DATASET_A, false, 1);
+    let rsrp_before = before.channel(Kpi::Rsrp).unwrap().to_vec();
+
+    // What-if: add one three-sector site in the middle of the route.
+    let mut cells = ds.deployment.cells.clone();
+    for s in 0..3u32 {
+        let id = cells.len() as u32;
+        cells.push(Cell {
+            id,
+            pos: mid,
+            latlon: ds.world.to_latlon(mid),
+            azimuth_deg: 120.0 * s as f64,
+            p_max_dbm: 43.0,
+            district: DistrictKind::Urban,
+        });
+    }
+    let modified = Deployment::from_cells(cells, ds.world.cfg.extent_m);
+    let ctx_after = extract(&ds.world, &modified, &route, &ctx_cfg);
+    let after = generate_series(&mut model, &ctx_after, &Kpi::DATASET_A, false, 1);
+    let rsrp_after = after.channel(Kpi::Rsrp).unwrap().to_vec();
+
+    let n = rsrp_before.len().min(rsrp_after.len());
+    // Evaluate where the new site matters: samples within 800 m of it.
+    let near: Vec<usize> = (0..n)
+        .filter(|&k| route.points[k].pos.dist(&mid) < 800.0)
+        .collect();
+    let mean_near = |s: &[f64]| {
+        gendt_metrics::mean(&near.iter().map(|&k| s[k]).collect::<Vec<_>>())
+    };
+    let mean_before = mean_near(&rsrp_before);
+    let mean_after = mean_near(&rsrp_after);
+    let weak = |s: &[f64]| {
+        100.0 * near.iter().filter(|&&k| s[k] < -100.0).count() as f64 / near.len().max(1) as f64
+    };
+    println!("\nwhat-if: add a 3-sector site at ({:.0} m, {:.0} m) on the route", mid.x, mid.y);
+    println!("  samples within 800 m of the new site: {}", near.len());
+    println!("  mean generated RSRP there, before: {mean_before:.1} dBm");
+    println!("  mean generated RSRP there, after:  {mean_after:.1} dBm");
+    println!("  samples below -100 dBm: {:.1}% -> {:.1}%", weak(&rsrp_before), weak(&rsrp_after));
+    if mean_after > mean_before + 0.5 {
+        println!("  => the model predicts the new site improves local coverage.");
+    } else {
+        println!("  => the model predicts little improvement — try another site location.");
+    }
+}

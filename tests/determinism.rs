@@ -1,0 +1,66 @@
+//! Reproducibility guarantees across the whole stack: every pipeline
+//! stage is bit-for-bit deterministic in its explicit seed.
+
+use gendt::{generate_series, GenDt, GenDtCfg};
+use gendt_data::{dataset_a, extract, windows, BuildCfg, ContextCfg, Kpi};
+use gendt_geo::trajectory::{generate, Scenario, TrajectoryCfg};
+use gendt_geo::world::{World, WorldCfg};
+use gendt_geo::XY;
+use gendt_radio::cells::Deployment;
+use gendt_radio::kpi::{KpiCfg, KpiEngine};
+use gendt_radio::propagation::PropagationCfg;
+
+#[test]
+fn world_deployment_trajectory_kpis_are_deterministic() {
+    let run = |seed: u64| -> Vec<f64> {
+        let w = World::generate(WorldCfg::city(seed));
+        let d = Deployment::from_world(&w);
+        let t = generate(&w, &TrajectoryCfg::new(Scenario::Bus, 120.0, XY::new(0.0, 0.0), 5));
+        let e = KpiEngine::new(&w, &d, PropagationCfg::default(), KpiCfg::default());
+        e.measure(&t, 9).iter().map(|s| s.rsrp_dbm).collect()
+    };
+    assert_eq!(run(77), run(77));
+    assert_ne!(run(77), run(78));
+}
+
+#[test]
+fn dataset_build_is_deterministic() {
+    let a = dataset_a(&BuildCfg::quick(310));
+    let b = dataset_a(&BuildCfg::quick(310));
+    assert_eq!(a.total_samples(), b.total_samples());
+    for (ra, rb) in a.runs.iter().zip(b.runs.iter()) {
+        assert_eq!(ra.series(Kpi::Rsrp), rb.series(Kpi::Rsrp));
+        assert_eq!(ra.series(Kpi::Cqi), rb.series(Kpi::Cqi));
+    }
+}
+
+#[test]
+fn training_and_generation_are_deterministic_in_seed() {
+    let build = || -> Vec<f64> {
+        let ds = dataset_a(&BuildCfg::quick(311));
+        let mut cfg = GenDtCfg::fast(4, 311);
+        cfg.hidden = 10;
+        cfg.resgen_hidden = 10;
+        cfg.disc_hidden = 6;
+        cfg.window.len = 12;
+        cfg.window.stride = 6;
+        cfg.window.max_cells = 3;
+        cfg.steps = 8;
+        cfg.batch_size = 4;
+        let ctx_cfg = ContextCfg {
+            max_cells: 3,
+            coord_scale_m: ds.world.cfg.extent_m,
+            ..ContextCfg::default()
+        };
+        let run = &ds.runs[0];
+        let ctx = extract(&ds.world, &ds.deployment, &run.traj, &ctx_cfg);
+        let pool = windows(run, &ctx, &Kpi::DATASET_A, &cfg.window);
+        let mut model = GenDt::new(cfg);
+        model.train(&pool);
+        let out = generate_series(&mut model, &ctx, &Kpi::DATASET_A, false, 99);
+        out.series[0].clone()
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a, b, "end-to-end pipeline not reproducible");
+}

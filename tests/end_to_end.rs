@@ -1,0 +1,123 @@
+//! Cross-crate integration tests: the complete GenDT pipeline from world
+//! generation through training, generation, evaluation, and the
+//! downstream use cases, all at quick scale.
+
+use gendt::{generate_series, model_uncertainty, GenDt, GenDtCfg};
+use gendt_data::{dataset_a, dataset_b, extract, windows, BuildCfg, ContextCfg, Kpi};
+use gendt_eval::{Bundle, EvalCfg, Method};
+use gendt_metrics::Fidelity;
+
+fn tiny_eval_cfg(seed: u64) -> EvalCfg {
+    let mut c = EvalCfg::quick(seed);
+    c.out_dir = std::env::temp_dir().join("gendt-e2e");
+    c
+}
+
+#[test]
+fn full_pipeline_dataset_a() {
+    // World -> dataset -> context -> windows -> train -> generate ->
+    // evaluate, entirely through the public APIs.
+    let ds = dataset_a(&BuildCfg::quick(301));
+    assert!(ds.total_samples() > 500);
+
+    let mut cfg = GenDtCfg::fast(4, 301);
+    cfg.hidden = 12;
+    cfg.resgen_hidden = 12;
+    cfg.disc_hidden = 6;
+    cfg.window.len = 15;
+    cfg.window.stride = 5;
+    cfg.window.max_cells = 3;
+    cfg.steps = 20;
+    cfg.batch_size = 4;
+    let ctx_cfg = ContextCfg {
+        max_cells: cfg.window.max_cells,
+        coord_scale_m: ds.world.cfg.extent_m,
+        ..ContextCfg::default()
+    };
+    let mut pool = Vec::new();
+    for run in ds.runs.iter().take(4) {
+        let ctx = extract(&ds.world, &ds.deployment, &run.traj, &ctx_cfg);
+        pool.extend(windows(run, &ctx, &Kpi::DATASET_A, &cfg.window));
+    }
+    assert!(!pool.is_empty());
+    let mut model = GenDt::new(cfg);
+    model.train(&pool);
+
+    // Generate for a held-out run.
+    let test_run = ds.runs.last().unwrap();
+    let ctx = extract(&ds.world, &ds.deployment, &test_run.traj, &ctx_cfg);
+    let out = generate_series(&mut model, &ctx, &Kpi::DATASET_A, false, 5);
+    assert!(!out.is_empty());
+    let rsrp = out.channel(Kpi::Rsrp).unwrap();
+    let real = test_run.series(Kpi::Rsrp);
+    let n = real.len().min(rsrp.len());
+    let f = Fidelity::compute(&real[..n], &rsrp[..n]);
+    // Sanity bounds: even a barely-trained model must stay in the
+    // physically plausible error regime (not orders of magnitude off).
+    assert!(f.mae < 60.0, "absurd MAE {}", f.mae);
+    assert!(f.hwd < 60.0, "absurd HWD {}", f.hwd);
+
+    // Uncertainty is computable and positive.
+    let rep = model_uncertainty(&mut model, &ctx, 2, 9);
+    assert!(rep.model_uncertainty >= 0.0);
+}
+
+#[test]
+fn harness_bundle_runs_every_method_on_dataset_b() {
+    let cfg = tiny_eval_cfg(302);
+    let mut b = Bundle::dataset_b(&cfg);
+    assert_eq!(b.kpis, vec![Kpi::Rsrp, Kpi::Rsrq]);
+    let run = b.test_idx[0];
+    for m in Method::ALL {
+        let f = b.fidelity(m, run, Kpi::Rsrp, 3).expect("output");
+        assert!(f.mae.is_finite() && f.mae > 0.0, "{m:?}");
+        assert!(f.dtw.is_finite() && f.hwd.is_finite());
+    }
+}
+
+#[test]
+fn dataset_b_serving_channel_supports_handover_analysis() {
+    let ds = dataset_b(&BuildCfg::quick(303));
+    // The serving-rank series changes where handovers happen.
+    let run = &ds.runs[0];
+    let serv = run.series(Kpi::Serving);
+    let ids = run.serving_ids();
+    let mut id_changes = 0;
+    for w in ids.windows(2) {
+        if w[0] != w[1] {
+            id_changes += 1;
+        }
+    }
+    // The continuous channel must move when the serving id changes often.
+    if id_changes > 3 {
+        let moved = serv.windows(2).filter(|w| (w[1] - w[0]).abs() > 1e-6).count();
+        assert!(moved > 0, "serving channel is frozen despite {id_changes} handovers");
+    }
+}
+
+#[test]
+fn reports_render_and_persist() {
+    let cfg = tiny_eval_cfg(304);
+    let report = gendt_eval::run_standalone("table1", &cfg).expect("table1 is standalone");
+    let md = report.to_markdown();
+    assert!(md.contains("Walk") && md.contains("Tram"));
+    report.write_to(&cfg.out_dir).unwrap();
+    assert!(cfg.out_dir.join("table1.md").exists());
+    std::fs::remove_dir_all(&cfg.out_dir).ok();
+}
+
+#[test]
+fn qoe_predictor_uses_radio_kpis() {
+    let cfg = tiny_eval_cfg(305);
+    let bundle = Bundle::dataset_a(&cfg);
+    let mut with_radio = gendt_eval::exp_usecases::QoePredictor::new(1, false);
+    with_radio.fit(&bundle, 3);
+    // Better SINR conditions (higher RSRP/RSRQ) should not predict *worse*
+    // throughput wildly; check the predictor produces finite, plausible
+    // values across the KPI range.
+    let extent = bundle.ds.world.cfg.extent_m;
+    let lo = with_radio.predict_point(-120.0, -18.0, 0.0, 0.0, 5.0, extent);
+    let hi = with_radio.predict_point(-70.0, -7.0, 0.0, 0.0, 5.0, extent);
+    assert!(lo.is_finite() && hi.is_finite());
+    assert!((0.0..200.0).contains(&lo) && (0.0..200.0).contains(&hi));
+}
