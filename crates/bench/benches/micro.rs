@@ -2,6 +2,9 @@
 //! matrix products, LSTM steps, metric kernels, and simulator queries.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gendt::{ArMode, CarryState, GenDt, GenDtCfg, Generator};
+use gendt_data::windows::Window;
+use gendt_geo::landuse::ENV_ATTRS;
 use gendt_geo::trajectory::{generate, Scenario, TrajectoryCfg};
 use gendt_geo::world::{World, WorldCfg};
 use gendt_geo::XY;
@@ -16,8 +19,106 @@ fn bench_matmul(c: &mut Criterion) {
         let mut rng = Rng::seed_from(1);
         let a = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.uniform(-1.0, 1.0) as f32).collect());
         let b = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.uniform(-1.0, 1.0) as f32).collect());
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
             bch.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(a.matmul_naive(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("tn_blocked", n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(a.matmul_tn(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("nt_blocked", n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(a.matmul_nt(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn synth_window(rng: &mut Rng, l: usize, n_cells: usize, n_ch: usize, m: usize) -> Window {
+    Window {
+        targets: (0..n_ch)
+            .map(|_| (0..l).map(|_| rng.uniform(-1.0, 1.0) as f32).collect())
+            .collect(),
+        cells: (0..n_cells)
+            .map(|_| {
+                (0..l)
+                    .map(|_| {
+                        [
+                            rng.uniform01() as f32,
+                            rng.uniform01() as f32,
+                            rng.uniform01() as f32,
+                            rng.uniform01() as f32,
+                            0.0,
+                        ]
+                    })
+                    .collect()
+            })
+            .collect(),
+        cell_ids: (0..n_cells as u32).collect(),
+        env: (0..l).map(|_| vec![0.2; ENV_ATTRS]).collect(),
+        ar_seed: vec![vec![0.0; m]; n_ch],
+        start: 0,
+    }
+}
+
+fn bench_generator_forward(c: &mut Criterion) {
+    let mut cfg = GenDtCfg::fast(4, 3);
+    cfg.window.len = 20;
+    cfg.window.max_cells = 4;
+    let mut rng = Rng::seed_from(5);
+    let generator = Generator::new(cfg.clone(), &mut rng);
+    let wins: Vec<Window> = (0..4)
+        .map(|_| synth_window(&mut rng, cfg.window.len, 4, cfg.n_ch, cfg.window.ar_context))
+        .collect();
+    let batch: Vec<&Window> = wins.iter().collect();
+    let carry = CarryState::zeros(&cfg, batch.len());
+    let mut group = c.benchmark_group("generator_forward");
+    group.bench_function("cell_packed", |b| {
+        b.iter(|| {
+            let mut fr = Rng::seed_from(9);
+            let mut g = Graph::new();
+            std::hint::black_box(generator.forward(
+                &mut g,
+                &batch,
+                &carry,
+                ArMode::TeacherForced,
+                true,
+                &mut fr,
+            ))
+        })
+    });
+    group.bench_function("per_cell", |b| {
+        b.iter(|| {
+            let mut fr = Rng::seed_from(9);
+            let mut g = Graph::new();
+            std::hint::black_box(generator.forward_percell(
+                &mut g,
+                &batch,
+                &carry,
+                ArMode::TeacherForced,
+                true,
+                &mut fr,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    for shards in [1usize, 4] {
+        let mut cfg = GenDtCfg::fast(4, 7);
+        cfg.steps = 1;
+        cfg.train_shards = shards;
+        let mut rng = Rng::seed_from(3);
+        let pool: Vec<Window> = (0..8)
+            .map(|_| synth_window(&mut rng, cfg.window.len, 4, cfg.n_ch, cfg.window.ar_context))
+            .collect();
+        let mut model = GenDt::new(cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, _| {
+            b.iter(|| std::hint::black_box(model.train_step(&pool)))
         });
     }
     group.finish();
@@ -84,6 +185,6 @@ fn bench_simulator(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_lstm_step, bench_metrics, bench_simulator
+    targets = bench_matmul, bench_lstm_step, bench_generator_forward, bench_train_step, bench_metrics, bench_simulator
 }
 criterion_main!(benches);

@@ -1,0 +1,207 @@
+//! Before/after measurements for the parallel compute-kernel layer.
+//!
+//! Times the blocked matrix kernels against the retained naive reference,
+//! the cell-packed generator forward against the per-cell reference, and
+//! the sharded training step across shard counts, then writes the results
+//! to `BENCH_kernels.json` in the current directory.
+//!
+//! Run from the repo root with `cargo run --release --bin bench_kernels`.
+
+use gendt::{ArMode, CarryState, GenDt, GenDtCfg, Generator};
+use gendt_data::windows::Window;
+use gendt_geo::landuse::ENV_ATTRS;
+use gendt_nn::{Graph, Matrix, Rng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn rand_mat(rng: &mut Rng, r: usize, c: usize) -> Matrix {
+    Matrix::from_vec(r, c, (0..r * c).map(|_| rng.uniform(-2.0, 2.0) as f32).collect())
+}
+
+/// Best-of-5 mean seconds per call.
+fn time<T>(f: impl Fn() -> T, reps: usize) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(f());
+        }
+        best = best.min(t.elapsed().as_secs_f64() / reps as f64);
+    }
+    best
+}
+
+/// Synthetic window with dense cell occupancy — the worst case for the
+/// per-cell loop and the representative case for packing.
+fn synth_window(rng: &mut Rng, l: usize, n_cells: usize, n_ch: usize, m: usize) -> Window {
+    Window {
+        targets: (0..n_ch)
+            .map(|_| (0..l).map(|_| rng.uniform(-1.0, 1.0) as f32).collect())
+            .collect(),
+        cells: (0..n_cells)
+            .map(|_| {
+                (0..l)
+                    .map(|_| {
+                        [
+                            rng.uniform01() as f32,
+                            rng.uniform01() as f32,
+                            rng.uniform01() as f32,
+                            rng.uniform01() as f32,
+                            0.0,
+                        ]
+                    })
+                    .collect()
+            })
+            .collect(),
+        cell_ids: (0..n_cells as u32).collect(),
+        env: (0..l).map(|_| vec![0.2; ENV_ATTRS]).collect(),
+        ar_seed: vec![vec![0.0; m]; n_ch],
+        start: 0,
+    }
+}
+
+fn main() {
+    let threads: usize = std::env::var("GENDT_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+    gendt_nn::set_num_threads(threads);
+    let mut rng = Rng::seed_from(1);
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"threads\": {threads},").unwrap();
+
+    // ---- matmul kernels vs naive reference ----------------------------
+    println!("== matmul kernels (blocked vs naive), {threads} thread(s) ==");
+    writeln!(json, "  \"matmul\": [").unwrap();
+    let mut rows: Vec<String> = Vec::new();
+    for n in [64usize, 128, 256] {
+        let a = rand_mat(&mut rng, n, n);
+        let b = rand_mat(&mut rng, n, n);
+        let reps = ((1usize << 22) / (n * n)).max(8);
+        for (op, new_t, old_t) in [
+            ("nn", time(|| a.matmul(&b), reps), time(|| a.matmul_naive(&b), reps)),
+            ("tn", time(|| a.matmul_tn(&b), reps), time(|| a.matmul_tn_naive(&b), reps)),
+            ("nt", time(|| a.matmul_nt(&b), reps), time(|| a.matmul_nt_naive(&b), reps)),
+        ] {
+            let speedup = old_t / new_t;
+            println!(
+                "{op} n={n:3}: naive {:8.1}us  blocked {:7.1}us  speedup {speedup:.2}x",
+                old_t * 1e6,
+                new_t * 1e6
+            );
+            rows.push(format!(
+                "    {{\"op\": \"{op}\", \"n\": {n}, \"naive_us\": {:.2}, \"blocked_us\": {:.2}, \"speedup\": {speedup:.2}}}",
+                old_t * 1e6,
+                new_t * 1e6
+            ));
+        }
+    }
+    // LSTM gate shape: (B x 108) . (108 x 400), hidden 100 as in the paper.
+    for bsz in [8usize, 64] {
+        let x = rand_mat(&mut rng, bsz, 108);
+        let w = rand_mat(&mut rng, 108, 400);
+        let new_t = time(|| x.matmul(&w), 2000);
+        let old_t = time(|| x.matmul_naive(&w), 2000);
+        let speedup = old_t / new_t;
+        println!(
+            "nn lstm-gate B={bsz:2}: naive {:8.1}us  blocked {:7.1}us  speedup {speedup:.2}x",
+            old_t * 1e6,
+            new_t * 1e6
+        );
+        rows.push(format!(
+            "    {{\"op\": \"nn_lstm_gate\", \"b\": {bsz}, \"naive_us\": {:.2}, \"blocked_us\": {:.2}, \"speedup\": {speedup:.2}}}",
+            old_t * 1e6,
+            new_t * 1e6
+        ));
+    }
+    writeln!(json, "{}\n  ],", rows.join(",\n")).unwrap();
+
+    // ---- generator forward: cell-packed vs per-cell -------------------
+    println!("== generator forward, B=8 max_cells=8 L=50 hidden=100 ==");
+    let mut cfg = GenDtCfg::paper(4, 3);
+    cfg.window.len = 50;
+    cfg.window.max_cells = 8;
+    let mut grng = Rng::seed_from(5);
+    let generator = Generator::new(cfg.clone(), &mut grng);
+    let wins: Vec<Window> = (0..8)
+        .map(|_| synth_window(&mut grng, 50, 8, cfg.n_ch, cfg.window.ar_context))
+        .collect();
+    let batch: Vec<&Window> = wins.iter().collect();
+    let carry = CarryState::zeros(&cfg, batch.len());
+    let packed_t = time(
+        || {
+            let mut fr = Rng::seed_from(9);
+            let mut g = Graph::new();
+            generator.forward(&mut g, &batch, &carry, ArMode::TeacherForced, true, &mut fr)
+        },
+        3,
+    );
+    let percell_t = time(
+        || {
+            let mut fr = Rng::seed_from(9);
+            let mut g = Graph::new();
+            generator.forward_percell(&mut g, &batch, &carry, ArMode::TeacherForced, true, &mut fr)
+        },
+        3,
+    );
+    // Seed-equivalent baseline: per-cell loop with naive matmul and libm
+    // activations (what the code did before this compute layer existed).
+    gendt_nn::set_reference_kernels(true);
+    let seed_t = time(
+        || {
+            let mut fr = Rng::seed_from(9);
+            let mut g = Graph::new();
+            generator.forward_percell(&mut g, &batch, &carry, ArMode::TeacherForced, true, &mut fr)
+        },
+        3,
+    );
+    gendt_nn::set_reference_kernels(false);
+    let fwd_speedup = seed_t / packed_t;
+    println!(
+        "seed (per-cell, reference kernels) {:7.1}ms  per-cell {:7.1}ms  packed {:7.1}ms  speedup vs seed {fwd_speedup:.2}x",
+        seed_t * 1e3,
+        percell_t * 1e3,
+        packed_t * 1e3
+    );
+    writeln!(
+        json,
+        "  \"generator_forward\": {{\"b\": 8, \"max_cells\": 8, \"l\": 50, \"hidden\": {}, \"seed_percell_reference_ms\": {:.2}, \"percell_ms\": {:.2}, \"packed_ms\": {:.2}, \"speedup_vs_seed\": {fwd_speedup:.2}}},",
+        cfg.hidden,
+        seed_t * 1e3,
+        percell_t * 1e3,
+        packed_t * 1e3
+    )
+    .unwrap();
+
+    // ---- sharded training step ----------------------------------------
+    println!("== sharded train_step, fast cfg, B=8 ==");
+    writeln!(json, "  \"train_step\": [").unwrap();
+    let mut rows: Vec<String> = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let mut tcfg = GenDtCfg::fast(4, 7);
+        tcfg.steps = 1;
+        tcfg.train_shards = shards;
+        let pool: Vec<Window> = (0..16)
+            .map(|_| synth_window(&mut rng, tcfg.window.len, 4, tcfg.n_ch, tcfg.window.ar_context))
+            .collect();
+        let mut model = GenDt::new(tcfg);
+        model.train_step(&pool); // warm up Adam state
+        let t = Instant::now();
+        let reps = 3;
+        for _ in 0..reps {
+            std::hint::black_box(model.train_step(&pool));
+        }
+        let per_step = t.elapsed().as_secs_f64() / reps as f64;
+        println!("shards={shards}: {:7.1}ms/step", per_step * 1e3);
+        rows.push(format!(
+            "    {{\"shards\": {shards}, \"ms_per_step\": {:.2}}}",
+            per_step * 1e3
+        ));
+    }
+    writeln!(json, "{}\n  ]", rows.join(",\n")).unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}

@@ -58,6 +58,12 @@ pub struct GenDtCfg {
     pub steps: usize,
     /// Gradient-norm clip.
     pub grad_clip: f32,
+    /// Data-parallel shards per training step. The mini-batch is split
+    /// into this many fixed contiguous row ranges whose forward/backward
+    /// passes may run on worker threads; gradients are reduced in shard
+    /// order, so results depend on this value but never on the thread
+    /// count. `1` reproduces unsharded training exactly.
+    pub train_shards: usize,
     /// Ablation switches.
     pub ablation: Ablation,
     /// Seed for weight init and training randomness.
@@ -85,6 +91,7 @@ impl GenDtCfg {
             batch_size: 8,
             steps: 300,
             grad_clip: 5.0,
+            train_shards: 2,
             ablation: Ablation::default(),
             seed,
         }

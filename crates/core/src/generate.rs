@@ -123,8 +123,8 @@ pub fn generate_series(
         );
         for &out in &fwd.outputs {
             let v = g.value(out);
-            for ch in 0..cfg.n_ch {
-                norm[ch].push(v.data[ch]);
+            for (n, &val) in norm.iter_mut().zip(v.data.iter().take(cfg.n_ch)) {
+                n.push(val);
             }
         }
         carry = fwd.carry;
@@ -153,6 +153,10 @@ pub struct UncertaintyReport {
 /// (paper §6.2.1): run `n_samples` generations with dropout on, collect
 /// the per-step `(μ, σ)` of ResGen, and average the across-sample standard
 /// deviations over time.
+///
+/// Samples are independent (each seeds its own RNG stream), so they run
+/// on worker threads when more than one is configured; results are
+/// joined in sample order, keeping the report thread-count independent.
 pub fn model_uncertainty(
     model: &mut GenDt,
     ctx: &RunContext,
@@ -162,10 +166,9 @@ pub fn model_uncertainty(
     assert!(n_samples >= 2, "need at least two MC samples");
     let cfg = model.cfg().clone();
     let wins = generation_windows(ctx, cfg.n_ch, &cfg.generation_window());
-    // mus[sample][t][ch], sigmas likewise (flattened over windows).
-    let mut mus: Vec<Vec<f32>> = Vec::with_capacity(n_samples);
-    let mut sigmas: Vec<Vec<f32>> = Vec::with_capacity(n_samples);
-    for s in 0..n_samples {
+    let generator = &model.generator;
+    // One MC pass: (mu_flat, sigma_flat) over all windows and steps.
+    let run_sample = |s: usize| -> (Vec<f32>, Vec<f32>) {
         let mut rng = gendt_nn::Rng::seed_from(seed ^ ((s as u64 + 1) << 32));
         let mut carry = CarryState::zeros(&cfg, 1);
         let mut mu_flat = Vec::new();
@@ -173,13 +176,33 @@ pub fn model_uncertainty(
         for w in &wins {
             let mut g = Graph::new();
             let fwd =
-                model.generator.forward(&mut g, &[w], &carry, ArMode::FreeRunning, true, &mut rng);
+                generator.forward(&mut g, &[w], &carry, ArMode::FreeRunning, true, &mut rng);
             for (&mu, &sg) in fwd.res_mu.iter().zip(fwd.res_sigma.iter()) {
                 mu_flat.extend_from_slice(&g.value(mu).data);
                 sg_flat.extend_from_slice(&g.value(sg).data);
             }
             carry = fwd.carry;
         }
+        (mu_flat, sg_flat)
+    };
+    let mut samples: Vec<Option<(Vec<f32>, Vec<f32>)>> = (0..n_samples).map(|_| None).collect();
+    if gendt_nn::num_threads() <= 1 {
+        for (s, slot) in samples.iter_mut().enumerate() {
+            *slot = Some(run_sample(s));
+        }
+    } else {
+        let run_sample = &run_sample;
+        rayon::scope(|sc| {
+            for (s, slot) in samples.iter_mut().enumerate() {
+                sc.spawn(move |_| *slot = Some(run_sample(s)));
+            }
+        });
+    }
+    // mus[sample][t][ch], sigmas likewise (flattened over windows).
+    let mut mus: Vec<Vec<f32>> = Vec::with_capacity(n_samples);
+    let mut sigmas: Vec<Vec<f32>> = Vec::with_capacity(n_samples);
+    for pair in samples {
+        let (mu_flat, sg_flat) = pair.expect("MC sample did not run");
         mus.push(mu_flat);
         sigmas.push(sg_flat);
     }

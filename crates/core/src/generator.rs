@@ -124,6 +124,12 @@ impl Generator {
     ///   (generation).
     /// * `mc_dropout` — keep dropout active (training, or MC-uncertainty
     ///   sampling at generation time).
+    ///
+    /// The GNN-node network runs *cell-packed*: all `B x max_cells` cell
+    /// slots share the batch dimension of a single LSTM pass per
+    /// timestep, so the autograd graph holds `L` node-LSTM steps instead
+    /// of `max_cells * L`. Noise is pre-drawn in the per-cell order, so
+    /// outputs match [`Generator::forward_percell`] under the same seed.
     pub fn forward(
         &self,
         g: &mut Graph,
@@ -133,17 +139,139 @@ impl Generator {
         mc_dropout: bool,
         rng: &mut Rng,
     ) -> ForwardOut {
-        let b = windows.len();
-        assert!(b > 0, "empty window batch");
+        let l = self.batch_len(windows);
+        let h_avg_steps = self.node_h_avg_packed(g, windows, l, rng);
+        self.finish_forward(g, windows, carry, ar_mode, mc_dropout, rng, l, h_avg_steps)
+    }
+
+    /// [`Generator::forward`] with the original one-LSTM-pass-per-cell
+    /// GNN-node loop. Retained as the reference implementation for the
+    /// packed path's equivalence tests and benchmarks.
+    pub fn forward_percell(
+        &self,
+        g: &mut Graph,
+        windows: &[&Window],
+        carry: &CarryState,
+        ar_mode: ArMode,
+        mc_dropout: bool,
+        rng: &mut Rng,
+    ) -> ForwardOut {
+        let l = self.batch_len(windows);
+        let h_avg_steps = self.node_h_avg_percell(g, windows, l, rng);
+        self.finish_forward(g, windows, carry, ar_mode, mc_dropout, rng, l, h_avg_steps)
+    }
+
+    fn batch_len(&self, windows: &[&Window]) -> usize {
+        assert!(!windows.is_empty(), "empty window batch");
         let l = windows[0].targets.first().map(|t| t.len()).unwrap_or(self.cfg.window.len);
         assert!(windows.iter().all(|w| w.env.len() == l), "window length mismatch");
-        let n_ch = self.cfg.n_ch;
-        let h = self.cfg.hidden;
-        let m = self.cfg.window.ar_context;
+        l
+    }
 
-        // ---- GNN-node network over each cell slot -------------------
-        // Pad every window to the batch's max cell count with sentinel
-        // features; average only over real cells via a per-row 1/count.
+    /// GNN-node network, cell-packed: one LSTM pass over `B * max_cells`
+    /// rows per timestep, with slot `(bi, j)` at row `bi * max_cells + j`.
+    ///
+    /// All noise (z0 and SRNN uniforms) is pre-drawn in the legacy
+    /// per-cell order — j outer, t inner; z0 then SRNN h then SRNN c —
+    /// so the RNG stream, and therefore every value produced here and
+    /// downstream, is identical to [`Generator::node_h_avg_percell`].
+    /// The per-step group sum is j-ascending, matching the per-cell add
+    /// chain bit for bit.
+    fn node_h_avg_packed(
+        &self,
+        g: &mut Graph,
+        windows: &[&Window],
+        l: usize,
+        rng: &mut Rng,
+    ) -> Vec<NodeId> {
+        let b = windows.len();
+        let h = self.cfg.hidden;
+        let n_z0 = self.cfg.n_z0;
+        let in_dim = CELL_FEATS + n_z0;
+        let max_cells = windows.iter().map(|w| w.cells.len()).max().unwrap_or(1).max(1);
+        let p = b * max_cells;
+
+        // Average only over real cells via a per-row 1/count...
+        let mut inv_count = Matrix::zeros(b, 1);
+        for (bi, w) in windows.iter().enumerate() {
+            inv_count.data[bi] = 1.0 / w.cells.len().max(1) as f32;
+        }
+        // ...and mask padded slots (sentinel features) out of the sum.
+        let mut mask = Matrix::zeros(p, 1);
+        for (bi, w) in windows.iter().enumerate() {
+            for j in 0..w.cells.len().min(max_cells) {
+                mask.data[bi * max_cells + j] = 1.0;
+            }
+        }
+
+        let draw_h = self.cfg.ablation.srnn && self.cfg.stochastic.a_h != 0.0;
+        let draw_c = self.cfg.ablation.srnn && self.cfg.stochastic.a_c != 0.0;
+        let noise_rows = |draw: bool| if draw { p } else { 0 };
+        let mut xs: Vec<Matrix> = (0..l).map(|_| Matrix::zeros(p, in_dim)).collect();
+        let mut u_h: Vec<Matrix> = (0..l).map(|_| Matrix::zeros(noise_rows(draw_h), h)).collect();
+        let mut u_c: Vec<Matrix> = (0..l).map(|_| Matrix::zeros(noise_rows(draw_c), h)).collect();
+        for j in 0..max_cells {
+            for t in 0..l {
+                for (bi, w) in windows.iter().enumerate() {
+                    let feats = if j < w.cells.len() {
+                        w.cells[j][t]
+                    } else {
+                        [0.0, 0.0, 0.0, 0.0, 1.0]
+                    };
+                    let row = (bi * max_cells + j) * in_dim;
+                    xs[t].data[row..row + CELL_FEATS].copy_from_slice(&feats);
+                    for k in 0..n_z0 {
+                        xs[t].data[row + CELL_FEATS + k] = (rng.normal() * 0.1) as f32;
+                    }
+                }
+                if draw_h {
+                    for bi in 0..b {
+                        let row = (bi * max_cells + j) * h;
+                        for v in u_h[t].data[row..row + h].iter_mut() {
+                            *v = rng.uniform01() as f32;
+                        }
+                    }
+                }
+                if draw_c {
+                    for bi in 0..b {
+                        let row = (bi * max_cells + j) * h;
+                        for v in u_c[t].data[row..row + h].iter_mut() {
+                            *v = rng.uniform01() as f32;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut st = LstmNodeState {
+            h: g.input(Matrix::zeros(p, h)),
+            c: g.input(Matrix::zeros(p, h)),
+        };
+        let mut h_avg_steps: Vec<NodeId> = Vec::with_capacity(l);
+        for (t, x) in xs.into_iter().enumerate() {
+            let xn = g.input(x);
+            st = self.node_lstm.step(g, &self.store, xn, st);
+            if self.cfg.ablation.srnn {
+                st = self
+                    .node_lstm
+                    .stochastic_with_noise(g, self.cfg.stochastic, st, &u_h[t], &u_c[t]);
+            }
+            h_avg_steps.push(g.masked_group_mean(st.h, &mask, &inv_count, max_cells));
+        }
+        h_avg_steps
+    }
+
+    /// GNN-node network, reference per-cell loop: one LSTM pass per cell
+    /// slot, padded windows carry sentinel features and are masked out.
+    fn node_h_avg_percell(
+        &self,
+        g: &mut Graph,
+        windows: &[&Window],
+        l: usize,
+        rng: &mut Rng,
+    ) -> Vec<NodeId> {
+        let b = windows.len();
+        let h = self.cfg.hidden;
         let max_cells = windows.iter().map(|w| w.cells.len()).max().unwrap_or(1).max(1);
         let mut inv_count = Matrix::zeros(b, 1);
         for (bi, w) in windows.iter().enumerate() {
@@ -166,7 +294,7 @@ impl Generator {
                 h: g.input(Matrix::zeros(b, h)),
                 c: g.input(Matrix::zeros(b, h)),
             };
-            for t in 0..l {
+            for (t, step_sum) in step_sums.iter_mut().enumerate() {
                 // Features of window bi's j-th cell at step t (+ noise z0).
                 let mut x = Matrix::zeros(b, CELL_FEATS + self.cfg.n_z0);
                 for (bi, w) in windows.iter().enumerate() {
@@ -189,7 +317,7 @@ impl Generator {
                     st = self.node_lstm.stochastic(g, self.cfg.stochastic, st, rng);
                 }
                 let masked = g.mul_col(st.h, mask_node);
-                step_sums[t] = Some(match step_sums[t] {
+                *step_sum = Some(match *step_sum {
                     Some(acc) => g.add(acc, masked),
                     None => masked,
                 });
@@ -199,6 +327,26 @@ impl Generator {
             let s = sum.expect("at least one cell slot");
             h_avg_steps.push(g.mul_col(s, inv_count_node));
         }
+        h_avg_steps
+    }
+
+    /// Aggregation network + ResGen + carry extraction, shared by both
+    /// node-network paths.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_forward(
+        &self,
+        g: &mut Graph,
+        windows: &[&Window],
+        carry: &CarryState,
+        ar_mode: ArMode,
+        mc_dropout: bool,
+        rng: &mut Rng,
+        l: usize,
+        h_avg_steps: Vec<NodeId>,
+    ) -> ForwardOut {
+        let b = windows.len();
+        let n_ch = self.cfg.n_ch;
+        let m = self.cfg.window.ar_context;
 
         // ---- Aggregation network ------------------------------------
         let mut agg_state = LstmNodeState {
@@ -218,13 +366,99 @@ impl Generator {
         let mut outputs: Vec<NodeId> = Vec::with_capacity(l);
         let mut res_mu_steps: Vec<NodeId> = Vec::new();
         let mut res_sigma_steps: Vec<NodeId> = Vec::new();
+        let ar_tail_final: Matrix;
+
+        if self.cfg.ablation.resgen && matches!(ar_mode, ArMode::TeacherForced) {
+            // Teacher forcing fixes every ResGen input up front (targets
+            // and AR seed are known), so all `l` steps run as one MLP pass
+            // over an `l*b`-row batch — row `t*b + bi` is step `t` of
+            // window `bi`. Row-wise ops make this bitwise-equal to the
+            // per-step loop up to the RNG draw order.
+            let n_z1 = self.cfg.n_z1;
+            let in_dim = ENV_ATTRS + n_z1 + n_ch * m;
+            let mut res_in = Matrix::zeros(l * b, in_dim);
+            for t in 0..l {
+                for (bi, w) in windows.iter().enumerate() {
+                    let row = (t * b + bi) * in_dim;
+                    res_in.data[row..row + ENV_ATTRS].copy_from_slice(&w.env[t]);
+                    for k in 0..n_z1 {
+                        res_in.data[row + ENV_ATTRS + k] = rng.normal() as f32;
+                    }
+                    for ch in 0..n_ch {
+                        for k in 0..m {
+                            let idx = t as i64 - m as i64 + k as i64;
+                            let v = if idx >= 0 {
+                                w.targets[ch][idx as usize]
+                            } else {
+                                let seed_idx = (m as i64 + idx) as usize;
+                                w.ar_seed[ch].get(seed_idx).copied().unwrap_or(0.0)
+                            };
+                            res_in.data[row + ENV_ATTRS + n_z1 + ch * m + k] = v;
+                        }
+                    }
+                }
+            }
+            let res_in_node = g.input(res_in);
+            let mut hidden = self.resgen.forward(g, &self.store, res_in_node);
+            if mc_dropout && self.cfg.dropout > 0.0 {
+                hidden = dropout(g, hidden, self.cfg.dropout, rng);
+            }
+            let mu_all = self.res_mu.forward(g, &self.store, hidden);
+            let sigma_raw = self.res_sigma.forward(g, &self.store, hidden);
+            let sigma_sp = g.softplus(sigma_raw);
+            let sigma_all = g.offset(sigma_sp, 1e-3);
+            let mut eps = Matrix::zeros(l * b, n_ch);
+            for v in eps.data.iter_mut() {
+                *v = rng.normal() as f32;
+            }
+            let eps_node = g.input(eps);
+            let noise = g.mul(sigma_all, eps_node);
+            let residual_all = g.add(mu_all, noise);
+            for (t, &base) in base_steps.iter().enumerate() {
+                let mu = g.slice_rows(mu_all, t * b, (t + 1) * b);
+                let sigma = g.slice_rows(sigma_all, t * b, (t + 1) * b);
+                let residual = g.slice_rows(residual_all, t * b, (t + 1) * b);
+                res_mu_steps.push(mu);
+                res_sigma_steps.push(sigma);
+                outputs.push(g.add(base, residual));
+            }
+            // Final AR ring buffer: the last `m` generated outputs per
+            // channel, reaching into the incoming tail when `l < m` —
+            // exactly what the per-step shift-and-append leaves behind.
+            let mut tail = Matrix::zeros(b, n_ch * m);
+            for bi in 0..b {
+                for ch in 0..n_ch {
+                    for k in 0..m {
+                        tail.data[bi * n_ch * m + ch * m + k] = if l + k >= m {
+                            g.value(outputs[l + k - m]).data[bi * n_ch + ch]
+                        } else {
+                            carry.ar_tail.data[bi * n_ch * m + ch * m + k + l]
+                        };
+                    }
+                }
+            }
+            ar_tail_final = tail;
+
+            let carry_out = CarryState {
+                agg_h: g.value(agg_state.h).clone(),
+                agg_c: g.value(agg_state.c).clone(),
+                ar_tail: ar_tail_final,
+            };
+            return ForwardOut {
+                outputs,
+                h_avg: h_avg_steps,
+                res_mu: res_mu_steps,
+                res_sigma: res_sigma_steps,
+                carry: carry_out,
+            };
+        }
+
         // AR ring buffer as graph nodes: previous normalized KPI values,
         // `B x (n_ch * m)`, newest last.
         let mut ar_prev: NodeId = g.input(carry.ar_tail.clone());
         // Teacher-forced values come from the windows' own AR seed plus
         // targets; at t the previous values are targets[t-m..t].
-        for t in 0..l {
-            let base = base_steps[t];
+        for (t, &base) in base_steps.iter().enumerate() {
             let out_t = if self.cfg.ablation.resgen {
                 // Environment context for this step.
                 let mut env = Matrix::zeros(b, ENV_ATTRS);
@@ -309,10 +543,11 @@ impl Generator {
         }
 
         // ---- Carry-over ----------------------------------------------
+        ar_tail_final = g.value(ar_prev).clone();
         let carry_out = CarryState {
             agg_h: g.value(agg_state.h).clone(),
             agg_c: g.value(agg_state.c).clone(),
-            ar_tail: g.value(ar_prev).clone(),
+            ar_tail: ar_tail_final,
         };
 
         ForwardOut {
@@ -421,6 +656,43 @@ mod tests {
         let a = g1.value(o1.outputs[5]);
         let b = g2.value(o2.outputs[5]);
         assert_ne!(a.data, b.data, "stochastic generator produced identical outputs");
+    }
+
+    #[test]
+    fn packed_forward_matches_percell_reference() {
+        let cfg = tiny_cfg();
+        let mut rng = Rng::seed_from(11);
+        let gen = Generator::new(cfg.clone(), &mut rng);
+        let wins = sample_windows(&cfg);
+        let batch: Vec<&Window> = wins.iter().take(3).collect();
+        let carry = CarryState::zeros(&cfg, batch.len());
+        for (mode, mc) in [(ArMode::TeacherForced, true), (ArMode::FreeRunning, false)] {
+            let mut rng_a = Rng::seed_from(99);
+            let mut g_a = Graph::new();
+            let packed = gen.forward(&mut g_a, &batch, &carry, mode, mc, &mut rng_a);
+            let mut rng_b = Rng::seed_from(99);
+            let mut g_b = Graph::new();
+            let reference = gen.forward_percell(&mut g_b, &batch, &carry, mode, mc, &mut rng_b);
+            assert_eq!(packed.outputs.len(), reference.outputs.len());
+            for t in 0..packed.outputs.len() {
+                for (name, pa, pb) in [
+                    ("output", packed.outputs[t], reference.outputs[t]),
+                    ("h_avg", packed.h_avg[t], reference.h_avg[t]),
+                ] {
+                    let va = g_a.value(pa);
+                    let vb = g_b.value(pb);
+                    assert_eq!(va.shape(), vb.shape());
+                    for (x, y) in va.data.iter().zip(vb.data.iter()) {
+                        assert!(
+                            (x - y).abs() <= 1e-4,
+                            "{name} diverges at step {t} ({mode:?}): {x} vs {y}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(packed.carry.agg_h.data, reference.carry.agg_h.data);
+            assert_eq!(packed.carry.ar_tail.data, reference.carry.ar_tail.data);
+        }
     }
 
     #[test]

@@ -74,6 +74,16 @@ impl GenDt {
     /// One training step (one generator update + one discriminator
     /// update) on a random mini-batch from `pool`.
     ///
+    /// The generator's forward/backward is data-parallel: the batch is
+    /// split into `cfg.train_shards` fixed contiguous row ranges, each
+    /// shard runs on its own graph (on a worker thread when more than
+    /// one is configured) with an RNG stream derived from a per-step
+    /// seed and its shard index, and the shard gradients are reduced
+    /// into the parameter store in shard order. Partitioning, RNG
+    /// streams, and reduction order all depend only on the
+    /// configuration — never on the thread count — so a step is
+    /// bitwise reproducible for any `GENDT_THREADS`.
+    ///
     /// # Panics
     /// Panics if `pool` is empty.
     pub fn train_step(&mut self, pool: &[Window]) -> StepTrace {
@@ -82,33 +92,35 @@ impl GenDt {
         let batch: Vec<&Window> = (0..bsz).map(|_| &pool[self.rng.gen_range(pool.len())]).collect();
         let l = batch[0].env.len();
         let n_ch = self.cfg().n_ch;
+        let m = self.cfg().window.ar_context;
         let lambda = self.cfg().lambda_gan;
         let use_gan = self.cfg().ablation.gan_loss;
 
         // Real targets per step as B x n_ch matrices.
         let real_steps: Vec<Matrix> = (0..l)
             .map(|t| {
-                let mut m = Matrix::zeros(bsz, n_ch);
+                let mut mtx = Matrix::zeros(bsz, n_ch);
                 for (bi, w) in batch.iter().enumerate() {
                     for ch in 0..n_ch {
-                        m.data[bi * n_ch + ch] = w.targets[ch][t];
+                        mtx.data[bi * n_ch + ch] = w.targets[ch][t];
                     }
                 }
-                m
+                mtx
             })
             .collect();
 
-        // Carry state: windows are sampled independently, so carry uses
-        // the windows' own AR seeds with zero LSTM state.
-        let mut carry = CarryState::zeros(self.cfg(), bsz);
-        let m = self.cfg().window.ar_context;
-        for (bi, w) in batch.iter().enumerate() {
-            for ch in 0..n_ch {
-                for k in 0..m {
-                    carry.ar_tail.data[bi * n_ch * m + ch * m + k] = w.ar_seed[ch][k];
-                }
-            }
+        // Fixed contiguous shard ranges: shape-derived, thread-agnostic.
+        let n_shards = self.cfg().train_shards.clamp(1, bsz);
+        let (base, rem) = (bsz / n_shards, bsz % n_shards);
+        let mut ranges: Vec<std::ops::Range<usize>> = Vec::with_capacity(n_shards);
+        let mut start = 0usize;
+        for s in 0..n_shards {
+            let len = base + usize::from(s < rem);
+            ranges.push(start..start + len);
+            start += len;
         }
+        // One sequential draw per step seeds every shard's private stream.
+        let step_seed = self.rng.next_u64();
 
         // ---------------- Generator step -----------------------------
         self.generator.store.zero_grad();
@@ -116,50 +128,136 @@ impl GenDt {
         // Scheduled sampling: alternate teacher forcing with free-running
         // steps so the autoregressive ResGen is trained in the regime it
         // generates in (otherwise the free-run distribution drifts).
-        let ar_mode = if self.trace.len() % 2 == 0 {
+        let ar_mode = if self.trace.len().is_multiple_of(2) {
             ArMode::TeacherForced
         } else {
             ArMode::FreeRunning
         };
-        let mut g = Graph::new();
-        let fwd: ForwardOut =
-            self.generator.forward(&mut g, &batch, &carry, ar_mode, true, &mut self.rng);
-        // MSE across steps.
-        let mut mse_terms: Vec<(NodeId, f32)> = Vec::with_capacity(l);
-        for (t, &out) in fwd.outputs.iter().enumerate() {
-            let target = g.input(real_steps[t].clone());
-            let mse_t = g.mse_loss(out, target);
-            mse_terms.push((mse_t, 1.0 / l as f32));
+
+        struct ShardOut {
+            grads: gendt_nn::ParamStore,
+            mse: f32,
+            gan_g: f32,
+            sigma_mean: f32,
+            fake_steps: Vec<Matrix>,
+            ctx_steps: Vec<Matrix>,
         }
-        let mse_node = g.weighted_sum(mse_terms);
-        let sigma_mean = if fwd.res_sigma.is_empty() {
-            0.0
-        } else {
-            fwd.res_sigma.iter().map(|&s| g.value(s).mean()).sum::<f32>()
-                / fwd.res_sigma.len() as f32
+
+        let generator = &self.generator;
+        let discriminator = &self.discriminator;
+        let run_shard = |s: usize| -> ShardOut {
+            let range = ranges[s].clone();
+            let shard: &[&Window] = &batch[range.clone()];
+            let bs_s = shard.len();
+            // Shard weight: shard losses are row means, so scaling by
+            // bs_s/B makes the shard sum equal the full-batch mean loss
+            // (and its gradient).
+            let w_s = bs_s as f32 / bsz as f32;
+            let mut rng =
+                Rng::seed_from(step_seed ^ (s as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            // Carry state: windows are sampled independently, so carry
+            // uses the windows' own AR seeds with zero LSTM state.
+            let mut carry = CarryState::zeros(&generator.cfg, bs_s);
+            for (bi, w) in shard.iter().enumerate() {
+                for ch in 0..n_ch {
+                    for k in 0..m {
+                        carry.ar_tail.data[bi * n_ch * m + ch * m + k] = w.ar_seed[ch][k];
+                    }
+                }
+            }
+            let mut g = Graph::new();
+            let fwd: ForwardOut = generator.forward(&mut g, shard, &carry, ar_mode, true, &mut rng);
+            // MSE across steps, on this shard's target rows.
+            let mut mse_terms: Vec<(NodeId, f32)> = Vec::with_capacity(l);
+            for (t, &out) in fwd.outputs.iter().enumerate() {
+                let rows = &real_steps[t].data[range.start * n_ch..range.end * n_ch];
+                let target = g.input(Matrix::from_vec(bs_s, n_ch, rows.to_vec()));
+                let mse_t = g.mse_loss(out, target);
+                mse_terms.push((mse_t, 1.0 / l as f32));
+            }
+            let mse_node = g.weighted_sum(mse_terms);
+            let sigma_mean = if fwd.res_sigma.is_empty() {
+                0.0
+            } else {
+                fwd.res_sigma.iter().map(|&sg| g.value(sg).mean()).sum::<f32>()
+                    / fwd.res_sigma.len() as f32
+            };
+            let (loss_node, gan_g_val) = if use_gan {
+                let logit = discriminator.forward(&mut g, &fwd.outputs, &fwd.h_avg, true);
+                let rows = g.value(logit).rows;
+                let gan_g = g.bce_with_logits(logit, Matrix::full(rows, 1, 1.0));
+                let v = g.value(gan_g).data[0];
+                (g.weighted_sum(vec![(mse_node, w_s), (gan_g, lambda * w_s)]), v)
+            } else {
+                (g.weighted_sum(vec![(mse_node, w_s)]), 0.0)
+            };
+            let mse_val = g.value(mse_node).data[0];
+            // Backward into a private clone; the trainer reduces clones
+            // in shard order afterwards.
+            let mut grads = generator.store.clone();
+            g.backward(loss_node, &mut grads);
+            let fake_steps = fwd.outputs.iter().map(|&o| g.value(o).clone()).collect();
+            let ctx_steps = fwd.h_avg.iter().map(|&hn| g.value(hn).clone()).collect();
+            ShardOut {
+                grads,
+                mse: w_s * mse_val,
+                gan_g: w_s * gan_g_val,
+                sigma_mean: w_s * sigma_mean,
+                fake_steps,
+                ctx_steps,
+            }
         };
 
-        let (loss_node, gan_g_val) = if use_gan {
-            let logit = self.discriminator.forward(&mut g, &fwd.outputs, &fwd.h_avg, true);
-            let rows = g.value(logit).rows;
-            let gan_g = g.bce_with_logits(logit, Matrix::full(rows, 1, 1.0));
-            let v = g.value(gan_g).data[0];
-            (g.weighted_sum(vec![(mse_node, 1.0), (gan_g, lambda)]), v)
+        let mut shard_outs: Vec<Option<ShardOut>> = (0..n_shards).map(|_| None).collect();
+        if n_shards == 1 || gendt_nn::num_threads() <= 1 {
+            for (s, slot) in shard_outs.iter_mut().enumerate() {
+                *slot = Some(run_shard(s));
+            }
         } else {
-            (mse_node, 0.0)
-        };
-        let mse_val = g.value(mse_node).data[0];
-        g.backward(loss_node, &mut self.generator.store);
+            let run_shard = &run_shard;
+            rayon::scope(|sc| {
+                for (s, slot) in shard_outs.iter_mut().enumerate() {
+                    sc.spawn(move |_| *slot = Some(run_shard(s)));
+                }
+            });
+        }
+        let shard_outs: Vec<ShardOut> =
+            shard_outs.into_iter().map(|o| o.expect("shard did not run")).collect();
+
+        // Shard-order reduction: deterministic regardless of which worker
+        // finished first.
+        let mut mse_val = 0.0;
+        let mut gan_g_val = 0.0;
+        let mut sigma_mean = 0.0;
+        for out in &shard_outs {
+            self.generator.store.accumulate_grads_from(&out.grads);
+            mse_val += out.mse;
+            gan_g_val += out.gan_g;
+            sigma_mean += out.sigma_mean;
+        }
         self.generator.store.scrub_non_finite_grads();
         self.generator.store.clip_grad_norm(self.cfg().grad_clip);
         self.opt_g.step(&mut self.generator.store);
 
         // ---------------- Discriminator step -------------------------
         let gan_d_val = if use_gan {
-            let fake_steps: Vec<Matrix> =
-                fwd.outputs.iter().map(|&o| g.value(o).clone()).collect();
-            let ctx_steps: Vec<Matrix> = fwd.h_avg.iter().map(|&h| g.value(h).clone()).collect();
-            drop(g);
+            // Reassemble full-batch fakes/contexts from the contiguous
+            // shard rows, in shard order.
+            let stack = |pick: &dyn Fn(&ShardOut) -> &Vec<Matrix>| -> Vec<Matrix> {
+                (0..l)
+                    .map(|t| {
+                        let cols = pick(&shard_outs[0])[t].cols;
+                        let mut full = Matrix::zeros(bsz, cols);
+                        for (out, range) in shard_outs.iter().zip(ranges.iter()) {
+                            full.data[range.start * cols..range.end * cols]
+                                .copy_from_slice(&pick(out)[t].data);
+                        }
+                        full
+                    })
+                    .collect()
+            };
+            let fake_steps = stack(&|o: &ShardOut| &o.fake_steps);
+            let ctx_steps = stack(&|o: &ShardOut| &o.ctx_steps);
             let mut gd = Graph::new();
             let real_nodes: Vec<NodeId> =
                 real_steps.iter().map(|mtx| gd.input(mtx.clone())).collect();
@@ -269,6 +367,22 @@ mod tests {
         let t = model.train_step(&pool);
         assert_eq!(t.gan_g, 0.0);
         assert_eq!(t.gan_d, 0.0);
+    }
+
+    #[test]
+    fn sharded_training_is_thread_count_invariant() {
+        let cfg = tiny_cfg(); // train_shards = 2, batch_size = 4
+        assert!(cfg.train_shards > 1, "test must exercise the sharded path");
+        let pool = training_pool(&cfg);
+        let mut runs: Vec<Vec<Vec<f32>>> = Vec::new();
+        for threads in [1, 4] {
+            gendt_nn::set_num_threads(threads);
+            let mut model = GenDt::new(cfg.clone());
+            model.train(&pool);
+            runs.push(model.generator.store.iter().map(|p| p.value.data.clone()).collect());
+        }
+        gendt_nn::set_num_threads(1);
+        assert_eq!(runs[0], runs[1], "trained weights depend on the thread count");
     }
 
     #[test]

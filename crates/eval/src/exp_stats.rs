@@ -23,7 +23,7 @@ pub fn table1(cfg: &EvalCfg) -> Report {
         ],
     );
     let col = |f: &dyn Fn(&gendt_data::stats::ScenarioStats) -> String| -> Vec<String> {
-        rows.iter().map(|r| f(r)).collect()
+        rows.iter().map(f).collect()
     };
     let push = |t: &mut MdTable, name: &str, vals: Vec<String>| {
         let mut row = vec![name.to_string()];
@@ -58,7 +58,7 @@ pub fn table2(cfg: &EvalCfg) -> Report {
         &["Statistic", "City Driving 1", "City Driving 2", "Highway 1", "Highway 2"],
     );
     let col = |f: &dyn Fn(&gendt_data::stats::ScenarioStats) -> String| -> Vec<String> {
-        rows.iter().map(|r| f(r)).collect()
+        rows.iter().map(f).collect()
     };
     let push = |t: &mut MdTable, name: &str, vals: Vec<String>| {
         let mut row = vec![name.to_string()];

@@ -51,8 +51,26 @@ enum Op {
     ConcatCols(NodeId, NodeId),
     /// Columns `c0..c1` of `a`.
     SliceCols(NodeId, usize, usize),
+    /// Rows `r0..r1` of `a`.
+    SliceRows(NodeId, usize, usize),
     /// Row-wise sum -> `rows x 1`.
     RowSum(NodeId),
+    /// Sum each consecutive group of `group` rows -> `rows/group x cols`.
+    SumRowGroups(NodeId, usize),
+    /// Fused LSTM cell update: pre-activation `gates` (`rows x 4*hidden`,
+    /// ordered `[i | f | g | o]`) plus previous cell state -> `[h | c]`
+    /// (`rows x 2*hidden`).
+    LstmCell { gates: NodeId, c_prev: NodeId, hidden: usize },
+    /// Fused SRNN noisy renormalization `(x + a*n) * rowsum(x)/rowsum(x+a*n)`
+    /// with the stored noise `n` entering as a constant and the denominator
+    /// treated as locally constant (matching the op-by-op composition).
+    NoisyRenorm { x: NodeId, a: f32, noise: Matrix },
+    /// `(a + b) + row_broadcast(bias)` in one pass (LSTM gate assembly).
+    AddAddRow(NodeId, NodeId, NodeId),
+    /// Masked group mean: rows of `x` are scaled by the constant column
+    /// `mask`, summed in consecutive groups of `group`, and the reduced
+    /// rows scaled by the constant column `scale`.
+    MaskedGroupMean { x: NodeId, mask: Matrix, scale: Matrix, group: usize },
     /// Mean of all elements -> `1 x 1`.
     Mean(NodeId),
     /// Mean of squared difference `mean((a-b)^2)` -> `1 x 1`.
@@ -76,6 +94,10 @@ struct Node {
 /// A single-use reverse-mode autodiff tape.
 pub struct Graph {
     nodes: Vec<Node>,
+    /// One leaf node per parameter: repeated [`Graph::param`] calls for
+    /// the same id reuse the node (and its value clone) instead of
+    /// cloning the weight matrix once per use.
+    param_nodes: std::collections::HashMap<ParamId, NodeId>,
 }
 
 impl Default for Graph {
@@ -93,10 +115,104 @@ fn sigmoid(x: f32) -> f32 {
     }
 }
 
+/// Forward pass of the fused LSTM cell, monomorphized over the activation
+/// pair (polynomial kernels or the libm reference) so each instantiation
+/// stays a straight-line vectorizable loop.
+fn lstm_cell_forward(
+    vg: &Matrix,
+    vc: &Matrix,
+    hidden: usize,
+    sig: impl Fn(f32) -> f32,
+    th: impl Fn(f32) -> f32,
+) -> Matrix {
+    let rows = vg.rows;
+    let mut v = Matrix::zeros(rows, 2 * hidden);
+    // Per-gate scratch, reused across rows; each pass below runs over a
+    // contiguous slice so the activation kernels vectorize.
+    let mut act = vec![0.0f32; 4 * hidden];
+    for r in 0..rows {
+        let gr = &vg.data[r * 4 * hidden..(r + 1) * 4 * hidden];
+        let cp = &vc.data[r * hidden..(r + 1) * hidden];
+        for (a, &x) in act[..2 * hidden].iter_mut().zip(&gr[..2 * hidden]) {
+            *a = sig(x); // i, f
+        }
+        for (a, &x) in act[2 * hidden..3 * hidden].iter_mut().zip(&gr[2 * hidden..3 * hidden]) {
+            *a = th(x); // candidate
+        }
+        for (a, &x) in act[3 * hidden..].iter_mut().zip(&gr[3 * hidden..]) {
+            *a = sig(x); // o
+        }
+        let (i_v, rest) = act.split_at(hidden);
+        let (f_v, rest) = rest.split_at(hidden);
+        let (cand, o_v) = rest.split_at(hidden);
+        let (h_out, c_out) = v.data[r * 2 * hidden..(r + 1) * 2 * hidden].split_at_mut(hidden);
+        for k in 0..hidden {
+            c_out[k] = f_v[k] * cp[k] + i_v[k] * cand[k];
+        }
+        for k in 0..hidden {
+            h_out[k] = o_v[k] * th(c_out[k]);
+        }
+    }
+    v
+}
+
+/// Backward pass of the fused LSTM cell. Gate activations are recomputed
+/// from the saved pre-activations (bitwise the forward values, since the
+/// same kernel runs on the same inputs); returns `(d_gates, d_c_prev)`.
+fn lstm_cell_backward(
+    grad: &Matrix,
+    vg: &Matrix,
+    vc: &Matrix,
+    hidden: usize,
+    sig: impl Fn(f32) -> f32,
+    th: impl Fn(f32) -> f32,
+) -> (Matrix, Matrix) {
+    let rows = vg.rows;
+    let mut dg = Matrix::zeros(rows, 4 * hidden);
+    let mut dc = Matrix::zeros(rows, hidden);
+    let mut act = vec![0.0f32; 4 * hidden];
+    let mut dct = vec![0.0f32; 2 * hidden];
+    for r in 0..rows {
+        let gr = &vg.data[r * 4 * hidden..(r + 1) * 4 * hidden];
+        let cp = &vc.data[r * hidden..(r + 1) * hidden];
+        let go = &grad.data[r * 2 * hidden..(r + 1) * 2 * hidden];
+        for (a, &x) in act[..2 * hidden].iter_mut().zip(&gr[..2 * hidden]) {
+            *a = sig(x); // i, f
+        }
+        for (a, &x) in act[2 * hidden..3 * hidden].iter_mut().zip(&gr[2 * hidden..3 * hidden]) {
+            *a = th(x); // candidate
+        }
+        for (a, &x) in act[3 * hidden..].iter_mut().zip(&gr[3 * hidden..]) {
+            *a = sig(x); // o
+        }
+        let (i_v, rest) = act.split_at(hidden);
+        let (f_v, rest) = rest.split_at(hidden);
+        let (cand, o_v) = rest.split_at(hidden);
+        let (gh, gc) = go.split_at(hidden);
+        let (ct, dc_total) = dct.split_at_mut(hidden);
+        for k in 0..hidden {
+            ct[k] = th(f_v[k] * cp[k] + i_v[k] * cand[k]);
+        }
+        for k in 0..hidden {
+            dc_total[k] = gc[k] + gh[k] * o_v[k] * (1.0 - ct[k] * ct[k]);
+        }
+        let dgr = &mut dg.data[r * 4 * hidden..(r + 1) * 4 * hidden];
+        let dcr = &mut dc.data[r * hidden..(r + 1) * hidden];
+        for k in 0..hidden {
+            dgr[k] = dc_total[k] * cand[k] * i_v[k] * (1.0 - i_v[k]);
+            dgr[hidden + k] = dc_total[k] * cp[k] * f_v[k] * (1.0 - f_v[k]);
+            dgr[2 * hidden + k] = dc_total[k] * i_v[k] * (1.0 - cand[k] * cand[k]);
+            dgr[3 * hidden + k] = gh[k] * ct[k] * o_v[k] * (1.0 - o_v[k]);
+            dcr[k] = dc_total[k] * f_v[k];
+        }
+    }
+    (dg, dc)
+}
+
 impl Graph {
     /// Empty tape.
     pub fn new() -> Self {
-        Graph { nodes: Vec::with_capacity(256) }
+        Graph { nodes: Vec::with_capacity(256), param_nodes: std::collections::HashMap::new() }
     }
 
     fn push(&mut self, op: Op, value: Matrix, needs_grad: bool) -> NodeId {
@@ -145,7 +261,16 @@ impl Graph {
     /// must only contain trainable params from ONE store; params of other
     /// models must enter via [`Graph::param_frozen`].
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
-        self.push(Op::Param(id), store.value(id).clone(), true)
+        if crate::kernels::reference_kernels() {
+            // Seed behavior: a fresh leaf (and value clone) per use.
+            return self.push(Op::Param(id), store.value(id).clone(), true);
+        }
+        if let Some(&n) = self.param_nodes.get(&id) {
+            return n;
+        }
+        let n = self.push(Op::Param(id), store.value(id).clone(), true);
+        self.param_nodes.insert(id, n);
+        n
     }
 
     /// Leaf a parameter as a frozen constant: gradients flow *through* ops
@@ -236,16 +361,26 @@ impl Graph {
         self.push(Op::Offset(a, s), v, ng)
     }
 
-    /// Elementwise sigmoid.
+    /// Elementwise sigmoid (vectorizable polynomial kernel; the libm
+    /// reference when [`crate::kernels::set_reference_kernels`] is set).
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.map(sigmoid);
+        let v = if crate::kernels::reference_kernels() {
+            self.nodes[a.0].value.map(sigmoid)
+        } else {
+            self.nodes[a.0].value.map(crate::kernels::fast_sigmoid)
+        };
         let ng = self.needs(a);
         self.push(Op::Sigmoid(a), v, ng)
     }
 
-    /// Elementwise tanh.
+    /// Elementwise tanh (vectorizable polynomial kernel; the libm
+    /// reference when [`crate::kernels::set_reference_kernels`] is set).
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.map(f32::tanh);
+        let v = if crate::kernels::reference_kernels() {
+            self.nodes[a.0].value.map(f32::tanh)
+        } else {
+            self.nodes[a.0].value.map(crate::kernels::fast_tanh)
+        };
         let ng = self.needs(a);
         self.push(Op::Tanh(a), v, ng)
     }
@@ -257,9 +392,14 @@ impl Graph {
         self.push(Op::LeakyRelu(a, slope), v, ng)
     }
 
-    /// Elementwise exp.
+    /// Elementwise exp (vectorizable polynomial kernel; the libm
+    /// reference when [`crate::kernels::set_reference_kernels`] is set).
     pub fn exp(&mut self, a: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.map(f32::exp);
+        let v = if crate::kernels::reference_kernels() {
+            self.nodes[a.0].value.map(f32::exp)
+        } else {
+            self.nodes[a.0].value.map(crate::kernels::fast_exp)
+        };
         let ng = self.needs(a);
         self.push(Op::Exp(a), v, ng)
     }
@@ -293,6 +433,19 @@ impl Graph {
         self.push(Op::SliceCols(a, c0, c1), v, ng)
     }
 
+    /// Rows `r0..r1` of `a` as a new `(r1-r0) x cols` node.
+    ///
+    /// # Panics
+    /// Panics if the range is empty, out of order, or past the row count.
+    pub fn slice_rows(&mut self, a: NodeId, r0: usize, r1: usize) -> NodeId {
+        let va = &self.nodes[a.0].value;
+        assert!(r0 < r1 && r1 <= va.rows, "slice_rows: bad range {r0}..{r1} of {}", va.rows);
+        let cols = va.cols;
+        let v = Matrix::from_vec(r1 - r0, cols, va.data[r0 * cols..r1 * cols].to_vec());
+        let ng = self.needs(a);
+        self.push(Op::SliceRows(a, r0, r1), v, ng)
+    }
+
     /// Row-wise sum, yielding a `rows x 1` column vector.
     pub fn row_sum(&mut self, a: NodeId) -> NodeId {
         let va = &self.nodes[a.0].value;
@@ -300,6 +453,176 @@ impl Graph {
         let v = Matrix::from_vec(va.rows, 1, data);
         let ng = self.needs(a);
         self.push(Op::RowSum(a), v, ng)
+    }
+
+    /// Sum each consecutive group of `group` rows, reducing a
+    /// `(r * group) x c` matrix to `r x c`. Used by the cell-packed
+    /// generator forward to collapse the `max_cells` cell slots packed
+    /// into the batch dimension back to one row per window.
+    ///
+    /// Accumulation is group-index-ascending per element, matching a
+    /// left-associated chain of [`Graph::add`] over the group's rows
+    /// bit for bit.
+    ///
+    /// # Panics
+    /// Panics if `group == 0` or the row count is not divisible by it.
+    pub fn sum_row_groups(&mut self, a: NodeId, group: usize) -> NodeId {
+        let va = &self.nodes[a.0].value;
+        assert!(group > 0, "sum_row_groups: group must be positive");
+        assert_eq!(va.rows % group, 0, "sum_row_groups: rows not divisible by group");
+        let rows = va.rows / group;
+        let cols = va.cols;
+        let mut v = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for j in 0..group {
+                let src = (r * group + j) * cols;
+                let dst = r * cols;
+                for c in 0..cols {
+                    v.data[dst + c] += va.data[src + c];
+                }
+            }
+        }
+        let ng = self.needs(a);
+        self.push(Op::SumRowGroups(a, group), v, ng)
+    }
+
+    /// Fused LSTM cell update: consumes the pre-activation gate matrix
+    /// (`rows x 4*hidden`, column blocks ordered `[i | f | g | o]`) and the
+    /// previous cell state (`rows x hidden`), producing `[h_new | c_new]`
+    /// as a `rows x 2*hidden` matrix.
+    ///
+    /// One graph node replaces the dozen slice/activation/mul/add nodes of
+    /// the op-by-op composition; the scalar arithmetic is identical, so the
+    /// values (and hence the training trajectory) are bitwise-equal to the
+    /// unfused form.
+    ///
+    /// # Panics
+    /// Panics if `hidden == 0` or the shapes are inconsistent.
+    pub fn lstm_cell(&mut self, gates: NodeId, c_prev: NodeId, hidden: usize) -> NodeId {
+        let (vg, vc) = (&self.nodes[gates.0].value, &self.nodes[c_prev.0].value);
+        assert!(hidden > 0, "lstm_cell: hidden must be positive");
+        assert_eq!(vg.cols, 4 * hidden, "lstm_cell: gates must be rows x 4*hidden");
+        assert_eq!(vc.shape(), (vg.rows, hidden), "lstm_cell: c_prev shape mismatch");
+        let v = if crate::kernels::reference_kernels() {
+            lstm_cell_forward(vg, vc, hidden, sigmoid, f32::tanh)
+        } else {
+            lstm_cell_forward(vg, vc, hidden, crate::kernels::fast_sigmoid, crate::kernels::fast_tanh)
+        };
+        let ng = self.needs(gates) || self.needs(c_prev);
+        self.push(Op::LstmCell { gates, c_prev, hidden }, v, ng)
+    }
+
+    /// Fused SRNN noisy renormalization (paper appendix A.2), one node in
+    /// place of the nine-op composition built from `scale`/`add`/`row_sum`/
+    /// `offset`/`mul`/`mul_col`.
+    ///
+    /// Per row `r` with mean `m_r` of `x`'s row: the noise `n = u * m_r`
+    /// enters as a constant, the output is `(x + a*n) * ratio_r` with
+    /// `ratio_r = (rowsum(x)+1e-3) / (rowsum(x+a*n)+1e-3)`, and — exactly
+    /// like the unfused form — the gradient flows through `x` and the
+    /// numerator's row sum only, the denominator being a constant snapshot.
+    /// Forward values and gradients are bitwise-equal to the composition.
+    ///
+    /// # Panics
+    /// Panics if `u`'s shape differs from `x`'s.
+    pub fn noisy_renorm(&mut self, x: NodeId, a: f32, u: &Matrix) -> NodeId {
+        let vx = &self.nodes[x.0].value;
+        assert_eq!(u.shape(), vx.shape(), "noisy_renorm: noise shape mismatch");
+        let (rows, cols) = vx.shape();
+        let mut noise = Matrix::zeros(rows, cols);
+        let mut v = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let xr = &vx.data[r * cols..(r + 1) * cols];
+            let ur = &u.data[r * cols..(r + 1) * cols];
+            let nr = &mut noise.data[r * cols..(r + 1) * cols];
+            let out = &mut v.data[r * cols..(r + 1) * cols];
+            let mean = xr.iter().sum::<f32>() / cols.max(1) as f32;
+            for c in 0..cols {
+                nr[c] = ur[c] * mean;
+            }
+            // out first holds the perturbed row, then is scaled in place.
+            for c in 0..cols {
+                out[c] = xr[c] + nr[c] * a;
+            }
+            let sx: f32 = xr.iter().sum();
+            let sp: f32 = out.iter().sum();
+            let ratio = (sx + 1e-3) * (1.0 / (sp + 1e-3));
+            for o in out.iter_mut() {
+                *o *= ratio;
+            }
+        }
+        let ng = self.needs(x);
+        self.push(Op::NoisyRenorm { x, a, noise }, v, ng)
+    }
+
+    /// `(a + b) + row_broadcast(bias)` as a single node — the LSTM gate
+    /// assembly `x·W_ih + h·W_hh + b` without the intermediate `add` node.
+    /// Values and gradients are bitwise-equal to `add` + `add_row`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or if `bias` is not `1 x cols`.
+    pub fn add_add_row(&mut self, a: NodeId, b: NodeId, bias: NodeId) -> NodeId {
+        let (va, vb, vbias) =
+            (&self.nodes[a.0].value, &self.nodes[b.0].value, &self.nodes[bias.0].value);
+        assert_eq!(va.shape(), vb.shape(), "add_add_row shape mismatch");
+        assert_eq!(vbias.rows, 1, "add_add_row: bias must be a row vector");
+        assert_eq!(va.cols, vbias.cols, "add_add_row bias column mismatch");
+        let mut v = Matrix::zeros(va.rows, va.cols);
+        for r in 0..va.rows {
+            let ar = &va.data[r * va.cols..(r + 1) * va.cols];
+            let br = &vb.data[r * va.cols..(r + 1) * va.cols];
+            let out = &mut v.data[r * va.cols..(r + 1) * va.cols];
+            for c in 0..va.cols {
+                out[c] = (ar[c] + br[c]) + vbias.data[c];
+            }
+        }
+        let ng = self.needs(a) || self.needs(b) || self.needs(bias);
+        self.push(Op::AddAddRow(a, b, bias), v, ng)
+    }
+
+    /// Masked group mean over packed rows: multiply each row of `x` by the
+    /// constant column `mask` (`rows x 1`), sum consecutive groups of
+    /// `group` rows, and scale the reduced rows by the constant column
+    /// `scale` (`rows/group x 1`). One node in place of
+    /// `mul_col` + `sum_row_groups` + `mul_col`, bitwise-equal to it.
+    ///
+    /// # Panics
+    /// Panics if the shapes or the group size are inconsistent.
+    pub fn masked_group_mean(
+        &mut self,
+        x: NodeId,
+        mask: &Matrix,
+        scale: &Matrix,
+        group: usize,
+    ) -> NodeId {
+        let vx = &self.nodes[x.0].value;
+        assert!(group > 0, "masked_group_mean: group must be positive");
+        assert_eq!(vx.rows % group, 0, "masked_group_mean: rows not divisible by group");
+        let rows = vx.rows / group;
+        let cols = vx.cols;
+        assert_eq!(mask.shape(), (vx.rows, 1), "masked_group_mean: mask shape");
+        assert_eq!(scale.shape(), (rows, 1), "masked_group_mean: scale shape");
+        let mut v = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let out = &mut v.data[r * cols..(r + 1) * cols];
+            for j in 0..group {
+                let src = (r * group + j) * cols;
+                let m = mask.data[r * group + j];
+                for (o, x) in out.iter_mut().zip(&vx.data[src..src + cols]) {
+                    *o += x * m;
+                }
+            }
+            let s = scale.data[r];
+            for o in out.iter_mut() {
+                *o *= s;
+            }
+        }
+        let ng = self.needs(x);
+        self.push(
+            Op::MaskedGroupMean { x, mask: mask.clone(), scale: scale.clone(), group },
+            v,
+            ng,
+        )
     }
 
     /// Mean of all elements as a `1 x 1` scalar node.
@@ -523,6 +846,13 @@ impl Graph {
                     }
                     self.accum(a, ga);
                 }
+                Op::SliceRows(a, r0, r1) => {
+                    let va_shape = self.nodes[a.0].value.shape();
+                    let mut ga = Matrix::zeros(va_shape.0, va_shape.1);
+                    let cols = va_shape.1;
+                    ga.data[r0 * cols..r1 * cols].copy_from_slice(&g.data);
+                    self.accum(a, ga);
+                }
                 Op::RowSum(a) => {
                     let va_shape = self.nodes[a.0].value.shape();
                     let mut ga = Matrix::zeros(va_shape.0, va_shape.1);
@@ -533,6 +863,106 @@ impl Graph {
                         }
                     }
                     self.accum(a, ga);
+                }
+                Op::SumRowGroups(a, group) => {
+                    let (rows, cols) = self.nodes[a.0].value.shape();
+                    let mut ga = Matrix::zeros(rows, cols);
+                    for r in 0..g.rows {
+                        let src = &g.data[r * cols..(r + 1) * cols];
+                        for j in 0..group {
+                            ga.data[(r * group + j) * cols..(r * group + j + 1) * cols]
+                                .copy_from_slice(src);
+                        }
+                    }
+                    self.accum(a, ga);
+                }
+                Op::LstmCell { gates, c_prev, hidden } => {
+                    let (dg, dc) = {
+                        let vg = &self.nodes[gates.0].value;
+                        let vc = &self.nodes[c_prev.0].value;
+                        if crate::kernels::reference_kernels() {
+                            lstm_cell_backward(&g, vg, vc, hidden, sigmoid, f32::tanh)
+                        } else {
+                            lstm_cell_backward(
+                                &g,
+                                vg,
+                                vc,
+                                hidden,
+                                crate::kernels::fast_sigmoid,
+                                crate::kernels::fast_tanh,
+                            )
+                        }
+                    };
+                    if self.needs(gates) {
+                        self.accum(gates, dg);
+                    }
+                    if self.needs(c_prev) {
+                        self.accum(c_prev, dc);
+                    }
+                }
+                Op::NoisyRenorm { x, a, noise } => {
+                    let (rows, cols) = noise.shape();
+                    let mut dx = Matrix::zeros(rows, cols);
+                    {
+                        let vx = &self.nodes[x.0].value;
+                        for r in 0..rows {
+                            let xr = &vx.data[r * cols..(r + 1) * cols];
+                            let nr = &noise.data[r * cols..(r + 1) * cols];
+                            let gr = &g.data[r * cols..(r + 1) * cols];
+                            let dr = &mut dx.data[r * cols..(r + 1) * cols];
+                            // Recompute the perturbed row and both row sums
+                            // (bitwise the forward values — same code, same
+                            // inputs), then combine the mul_col and row_sum
+                            // paths of the unfused composition.
+                            for c in 0..cols {
+                                dr[c] = xr[c] + nr[c] * a;
+                            }
+                            let sx: f32 = xr.iter().sum();
+                            let sp: f32 = dr.iter().sum();
+                            let rden = 1.0 / (sp + 1e-3);
+                            let ratio = (sx + 1e-3) * rden;
+                            let dot: f32 = gr.iter().zip(dr.iter()).map(|(&gi, &pi)| gi * pi).sum();
+                            let ds = dot * rden;
+                            for c in 0..cols {
+                                dr[c] = gr[c] * ratio + ds;
+                            }
+                        }
+                    }
+                    self.accum(x, dx);
+                }
+                Op::AddAddRow(a, b, bias) => {
+                    if self.needs(a) {
+                        self.accum(a, g.clone());
+                    }
+                    if self.needs(b) {
+                        self.accum(b, g.clone());
+                    }
+                    if self.needs(bias) {
+                        let mut gb = Matrix::zeros(1, g.cols);
+                        for r in 0..g.rows {
+                            for c in 0..g.cols {
+                                gb.data[c] += g.data[r * g.cols + c];
+                            }
+                        }
+                        self.accum(bias, gb);
+                    }
+                }
+                Op::MaskedGroupMean { x, mask, scale, group } => {
+                    let (rows, cols) = self.nodes[x.0].value.shape();
+                    let mut dx = Matrix::zeros(rows, cols);
+                    for r in 0..g.rows {
+                        let gr = &g.data[r * cols..(r + 1) * cols];
+                        let s = scale.data[r];
+                        for j in 0..group {
+                            let row = r * group + j;
+                            let m = mask.data[row];
+                            let dr = &mut dx.data[row * cols..(row + 1) * cols];
+                            for c in 0..cols {
+                                dr[c] = (gr[c] * s) * m;
+                            }
+                        }
+                    }
+                    self.accum(x, dx);
                 }
                 Op::Mean(a) => {
                     let va_shape = self.nodes[a.0].value.shape();
@@ -721,6 +1151,245 @@ mod tests {
             let rs = g.row_sum(sl);
             g.mean(rs)
         });
+    }
+
+    #[test]
+    fn grad_sum_row_groups() {
+        check_grad(|g, s, w| {
+            let wn = g.param(s, w); // 2 x 3, group = 2 -> 1 x 3
+            let sum = g.sum_row_groups(wn, 2);
+            let t = g.tanh(sum);
+            g.mean(t)
+        });
+    }
+
+    #[test]
+    fn grad_lstm_cell() {
+        // Gradients flow through both the gates and the previous cell state.
+        check_grad(|g, s, w| {
+            let wn = g.param(s, w); // 2 x 3
+            let k = g.input(Matrix::from_vec(3, 4, (0..12).map(|i| 0.3 - 0.07 * i as f32).collect()));
+            let gates = g.matmul(wn, k); // 2 x 4, hidden = 1
+            let c_prev = g.slice_cols(wn, 0, 1); // 2 x 1
+            let hc = g.lstm_cell(gates, c_prev, 1);
+            g.mean(hc)
+        });
+    }
+
+    #[test]
+    fn lstm_cell_matches_unfused_bitwise() {
+        let mut rng = Rng::seed_from(29);
+        let h = 5;
+        let rows = 4;
+        let gates_m =
+            Matrix::from_vec(rows, 4 * h, (0..rows * 4 * h).map(|_| rng.uniform(-3.0, 3.0) as f32).collect());
+        let c_m = Matrix::from_vec(rows, h, (0..rows * h).map(|_| rng.uniform(-1.0, 1.0) as f32).collect());
+
+        let mut g = Graph::new();
+        let gates = g.input(gates_m.clone());
+        let c_prev = g.input(c_m.clone());
+        let hc = g.lstm_cell(gates, c_prev, h);
+
+        // Unfused reference composition on the same kernels.
+        let mut g2 = Graph::new();
+        let gates2 = g2.input(gates_m);
+        let c_prev2 = g2.input(c_m);
+        let i_g = g2.slice_cols(gates2, 0, h);
+        let f_g = g2.slice_cols(gates2, h, 2 * h);
+        let g_g = g2.slice_cols(gates2, 2 * h, 3 * h);
+        let o_g = g2.slice_cols(gates2, 3 * h, 4 * h);
+        let i = g2.sigmoid(i_g);
+        let f = g2.sigmoid(f_g);
+        let cand = g2.tanh(g_g);
+        let o = g2.sigmoid(o_g);
+        let fc = g2.mul(f, c_prev2);
+        let ig = g2.mul(i, cand);
+        let c_new = g2.add(fc, ig);
+        let c_tanh = g2.tanh(c_new);
+        let h_new = g2.mul(o, c_tanh);
+
+        let fused = g.value(hc);
+        for r in 0..rows {
+            assert_eq!(
+                &fused.data[r * 2 * h..r * 2 * h + h],
+                &g2.value(h_new).data[r * h..(r + 1) * h],
+                "h row {r}"
+            );
+            assert_eq!(
+                &fused.data[r * 2 * h + h..(r + 1) * 2 * h],
+                &g2.value(c_new).data[r * h..(r + 1) * h],
+                "c row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_slice_rows() {
+        check_grad(|g, s, w| {
+            let wn = g.param(s, w); // 2 x 3
+            let top = g.slice_rows(wn, 0, 1);
+            let bot = g.slice_rows(wn, 1, 2);
+            let prod = g.mul(top, bot);
+            let t = g.tanh(prod);
+            g.mean(t)
+        });
+    }
+
+    #[test]
+    fn add_add_row_matches_unfused_bitwise() {
+        let mut rng = Rng::seed_from(53);
+        let mk = |rng: &mut Rng, r: usize, c: usize| {
+            Matrix::from_vec(r, c, (0..r * c).map(|_| rng.uniform(-1.0, 1.0) as f32).collect())
+        };
+        let mut store = ParamStore::new();
+        let wa = store.add("a", mk(&mut rng, 3, 4));
+        let wb = store.add("b", mk(&mut rng, 3, 4));
+        let wbias = store.add("bias", mk(&mut rng, 1, 4));
+
+        store.zero_grad();
+        let mut g = Graph::new();
+        let (a, b, bias) = (g.param(&store, wa), g.param(&store, wb), g.param(&store, wbias));
+        let fused = g.add_add_row(a, b, bias);
+        let target = g.input(Matrix::zeros(3, 4));
+        let loss = g.mse_loss(fused, target);
+        g.backward(loss, &mut store);
+        let fv = g.value(fused).clone();
+        let (ga1, gb1, gc1) =
+            (store.grad(wa).clone(), store.grad(wb).clone(), store.grad(wbias).clone());
+
+        store.zero_grad();
+        let mut g2 = Graph::new();
+        let (a, b, bias) = (g2.param(&store, wa), g2.param(&store, wb), g2.param(&store, wbias));
+        let pre = g2.add(a, b);
+        let unfused = g2.add_row(pre, bias);
+        let target = g2.input(Matrix::zeros(3, 4));
+        let loss = g2.mse_loss(unfused, target);
+        g2.backward(loss, &mut store);
+
+        assert_eq!(fv.data, g2.value(unfused).data);
+        assert_eq!(ga1.data, store.grad(wa).data);
+        assert_eq!(gb1.data, store.grad(wb).data);
+        assert_eq!(gc1.data, store.grad(wbias).data);
+    }
+
+    #[test]
+    fn masked_group_mean_matches_unfused_bitwise() {
+        let mut rng = Rng::seed_from(59);
+        let (rows, cols, group) = (6, 4, 3);
+        let mut store = ParamStore::new();
+        let w = store.add(
+            "x",
+            Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.uniform(-1.0, 1.0) as f32).collect()),
+        );
+        let mask = Matrix::from_vec(rows, 1, vec![1.0, 1.0, 0.0, 1.0, 0.0, 0.0]);
+        let scale = Matrix::from_vec(rows / group, 1, vec![0.5, 1.0]);
+
+        store.zero_grad();
+        let mut g = Graph::new();
+        let x = g.param(&store, w);
+        let fused = g.masked_group_mean(x, &mask, &scale, group);
+        let t = g.tanh(fused);
+        let loss = g.mean(t);
+        g.backward(loss, &mut store);
+        let fv = g.value(fused).clone();
+        let fg = store.grad(w).clone();
+
+        store.zero_grad();
+        let mut g2 = Graph::new();
+        let x = g2.param(&store, w);
+        let mask_n = g2.input(mask);
+        let scale_n = g2.input(scale);
+        let masked = g2.mul_col(x, mask_n);
+        let summed = g2.sum_row_groups(masked, group);
+        let unfused = g2.mul_col(summed, scale_n);
+        let t = g2.tanh(unfused);
+        let loss = g2.mean(t);
+        g2.backward(loss, &mut store);
+
+        assert_eq!(fv.data, g2.value(unfused).data);
+        assert_eq!(fg.data, store.grad(w).data);
+    }
+
+    #[test]
+    fn noisy_renorm_matches_unfused_bitwise() {
+        let mut rng = Rng::seed_from(41);
+        let (rows, cols) = (4, 6);
+        let a = 0.25f32;
+        let xd: Vec<f32> = (0..rows * cols).map(|_| rng.uniform(-1.0, 1.0) as f32).collect();
+        let ud: Vec<f32> = (0..rows * cols).map(|_| rng.uniform01() as f32).collect();
+        let u = Matrix::from_vec(rows, cols, ud);
+
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(rows, cols, xd));
+
+        store.zero_grad();
+        let mut g = Graph::new();
+        let x = g.param(&store, w);
+        let fused = g.noisy_renorm(x, a, &u);
+        let loss = g.mean(fused);
+        g.backward(loss, &mut store);
+        let fused_val = g.value(fused).clone();
+        let fused_grad = store.grad(w).clone();
+
+        // Unfused composition: noise constant, ratio with constant denom.
+        store.zero_grad();
+        let mut g2 = Graph::new();
+        let x2 = g2.param(&store, w);
+        let v = g2.value(x2).clone();
+        let mut noise = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let mean = v.row_slice(r).iter().sum::<f32>() / cols as f32;
+            for c in 0..cols {
+                noise.data[r * cols + c] = u.data[r * cols + c] * mean;
+            }
+        }
+        let n = g2.input(noise);
+        let an = g2.scale(n, a);
+        let pert = g2.add(x2, an);
+        let sx = g2.row_sum(x2);
+        let sp = g2.row_sum(pert);
+        let sx_off = g2.offset(sx, 1e-3);
+        let sp_off = g2.offset(sp, 1e-3);
+        let recip_vals = g2.value(sp_off).map(|x| 1.0 / x);
+        let recip = g2.input(recip_vals);
+        let ratio = g2.mul(sx_off, recip);
+        let unfused = g2.mul_col(pert, ratio);
+        let loss2 = g2.mean(unfused);
+        g2.backward(loss2, &mut store);
+
+        assert_eq!(fused_val.data, g2.value(unfused).data, "forward values differ");
+        assert_eq!(fused_grad.data, store.grad(w).data, "gradients differ");
+    }
+
+    #[test]
+    fn sum_row_groups_matches_add_chain_bitwise() {
+        let mut rng = Rng::seed_from(17);
+        let data: Vec<f32> = (0..6 * 4).map(|_| rng.uniform(-2.0, 2.0) as f32).collect();
+        let packed = Matrix::from_vec(6, 4, data);
+        let mut g = Graph::new();
+        let p = g.input(packed.clone());
+        let grouped = g.sum_row_groups(p, 3);
+        // Reference: left-associated add chain over each group's rows.
+        let mut g2 = Graph::new();
+        let mut chain: Vec<NodeId> = Vec::new();
+        for r in 0..2 {
+            let mut acc = None;
+            for j in 0..3 {
+                let row = g2.input(Matrix::from_vec(1, 4, packed.row_slice(r * 3 + j).to_vec()));
+                acc = Some(match acc {
+                    Some(a) => g2.add(a, row),
+                    None => row,
+                });
+            }
+            chain.push(acc.unwrap());
+        }
+        for r in 0..2 {
+            assert_eq!(
+                &g.value(grouped).data[r * 4..(r + 1) * 4],
+                &g2.value(chain[r]).data[..],
+                "row {r} differs from add chain"
+            );
+        }
     }
 
     #[test]

@@ -156,23 +156,33 @@ impl Lstm {
         };
         let xi = g.matmul(x, w_ih);
         let hh = g.matmul(state.h, w_hh);
-        let pre = g.add(xi, hh);
-        let gates = g.add_row(pre, b);
         let h = self.hidden;
-        let i_g = g.slice_cols(gates, 0, h);
-        let f_g = g.slice_cols(gates, h, 2 * h);
-        let g_g = g.slice_cols(gates, 2 * h, 3 * h);
-        let o_g = g.slice_cols(gates, 3 * h, 4 * h);
-        let i = g.sigmoid(i_g);
-        let f = g.sigmoid(f_g);
-        let cand = g.tanh(g_g);
-        let o = g.sigmoid(o_g);
-        let fc = g.mul(f, state.c);
-        let ig = g.mul(i, cand);
-        let c_new = g.add(fc, ig);
-        let c_tanh = g.tanh(c_new);
-        let h_new = g.mul(o, c_tanh);
-        LstmNodeState { h: h_new, c: c_new }
+        if crate::kernels::reference_kernels() {
+            // Seed-era op-by-op composition, kept as the timing and
+            // numeric reference for the fused cell below.
+            let pre = g.add(xi, hh);
+            let gates = g.add_row(pre, b);
+            let i_g = g.slice_cols(gates, 0, h);
+            let f_g = g.slice_cols(gates, h, 2 * h);
+            let g_g = g.slice_cols(gates, 2 * h, 3 * h);
+            let o_g = g.slice_cols(gates, 3 * h, 4 * h);
+            let i = g.sigmoid(i_g);
+            let f = g.sigmoid(f_g);
+            let cand = g.tanh(g_g);
+            let o = g.sigmoid(o_g);
+            let fc = g.mul(f, state.c);
+            let ig = g.mul(i, cand);
+            let c_new = g.add(fc, ig);
+            let c_tanh = g.tanh(c_new);
+            let h_new = g.mul(o, c_tanh);
+            LstmNodeState { h: h_new, c: c_new }
+        } else {
+            let gates = g.add_add_row(xi, hh, b);
+            let hc = g.lstm_cell(gates, state.c, h);
+            let h_new = g.slice_cols(hc, 0, h);
+            let c_new = g.slice_cols(hc, h, 2 * h);
+            LstmNodeState { h: h_new, c: c_new }
+        }
     }
 
     /// Apply the SRNN stochastic layer to a state: `h' = (h + a*n) *
@@ -193,11 +203,52 @@ impl Lstm {
         LstmNodeState { h, c }
     }
 
+    /// [`Lstm::stochastic`] with the raw uniform draws supplied by the
+    /// caller instead of drawn here.
+    ///
+    /// `u_h` / `u_c` hold one `uniform01` draw per state element (same
+    /// shape as the state); they are consumed only when the matching
+    /// noise scale is non-zero, mirroring `stochastic`'s early return.
+    /// The cell-packed generator forward uses this to pre-draw noise for
+    /// all cell slots in the legacy per-cell order, keeping the RNG
+    /// stream — and therefore every output — identical to the unpacked
+    /// path.
+    pub fn stochastic_with_noise(
+        &self,
+        g: &mut Graph,
+        cfg: StochasticCfg,
+        state: LstmNodeState,
+        u_h: &Matrix,
+        u_c: &Matrix,
+    ) -> LstmNodeState {
+        let h = Self::noisy_renorm_with(g, state.h, cfg.a_h, u_h);
+        let c = Self::noisy_renorm_with(g, state.c, cfg.a_c, u_c);
+        LstmNodeState { h, c }
+    }
+
     fn noisy_renorm(g: &mut Graph, x: NodeId, a: f32, rng: &mut Rng) -> NodeId {
         if a == 0.0 {
             return x;
         }
+        let (rows, cols) = g.value(x).shape();
+        let mut u = Matrix::zeros(rows, cols);
+        for v in u.data.iter_mut() {
+            *v = rng.uniform01() as f32;
+        }
+        Self::noisy_renorm_with(g, x, a, &u)
+    }
+
+    fn noisy_renorm_with(g: &mut Graph, x: NodeId, a: f32, u: &Matrix) -> NodeId {
+        if a == 0.0 {
+            return x;
+        }
+        if !crate::kernels::reference_kernels() {
+            return g.noisy_renorm(x, a, u);
+        }
+        // Seed-era op-by-op composition, kept as the timing and numeric
+        // reference for the fused node above.
         let v = g.value(x).clone();
+        assert_eq!(u.shape(), v.shape(), "noise shape must match state shape");
         // Per-row noise scale: the (signed) mean of the row — the paper's
         // `ĥ_t`, "the average value of h_t of all hidden dimensions" — so
         // the noise adapts to the hidden-state level and stays small when
@@ -207,7 +258,7 @@ impl Lstm {
             let row = v.row_slice(r);
             let mean = row.iter().sum::<f32>() / v.cols.max(1) as f32;
             for c in 0..v.cols {
-                noise.data[r * v.cols + c] = (rng.uniform01() as f32) * mean;
+                noise.data[r * v.cols + c] = u.data[r * v.cols + c] * mean;
             }
         }
         let n = g.input(noise);

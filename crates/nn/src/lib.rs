@@ -19,6 +19,10 @@
 //! * [`layers`] — `Linear`, `Lstm` (with SRNN stochastic layers), `Mlp`,
 //!   and inverted dropout.
 //! * [`params`] — parameter store, gradient clipping/scrubbing, Adam, SGD.
+//! * [`threads`] — `GENDT_THREADS` worker-count plumbing and the
+//!   deterministic parallel-partitioning helper used by the blocked
+//!   matrix kernels (the kernels themselves are internal to the crate;
+//!   `Matrix::matmul*` is the public surface).
 //! * [`checkpoint`] — JSON save/restore by parameter name.
 //! * [`rng::Rng`] — a fixed-algorithm deterministic RNG.
 //!
@@ -50,9 +54,11 @@
 
 pub mod checkpoint;
 pub mod graph;
+mod kernels;
 pub mod layers;
 pub mod matrix;
 pub mod params;
+pub mod threads;
 /// Deterministic RNG (re-exported from `gendt-rng`).
 pub mod rng {
     pub use gendt_rng::*;
@@ -63,3 +69,5 @@ pub use layers::{dropout, Linear, Lstm, LstmNodeState, LstmState, Mlp, Stochasti
 pub use matrix::Matrix;
 pub use params::{Adam, ParamId, ParamStore, Sgd};
 pub use rng::Rng;
+pub use kernels::set_reference_kernels;
+pub use threads::{num_threads, set_num_threads};

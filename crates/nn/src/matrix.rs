@@ -80,12 +80,65 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses an i-k-j loop order so the inner loop streams through contiguous
-    /// memory of both the right operand and the output.
+    /// Dispatches to the register-tiled, cache-blocked kernel in
+    /// [`crate::kernels`], which goes row-parallel above a fixed size
+    /// threshold. Accumulation order per output element is `k`-ascending
+    /// — identical to [`Matrix::matmul_naive`] and independent of the
+    /// thread count, so results are bitwise reproducible.
     ///
     /// # Panics
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        if crate::kernels::reference_kernels() {
+            return self.matmul_naive(rhs);
+        }
+        crate::kernels::gemm_nn(self, rhs)
+    }
+
+    /// `self^T * rhs` without materializing the transpose.
+    ///
+    /// Blocked kernel; see [`Matrix::matmul`] for the determinism
+    /// contract (accumulation is `r`-ascending, matching
+    /// [`Matrix::matmul_tn_naive`]).
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        if crate::kernels::reference_kernels() {
+            return self.matmul_tn_naive(rhs);
+        }
+        crate::kernels::gemm_tn(self, rhs)
+    }
+
+    /// `self * rhs^T` without materializing the transpose.
+    ///
+    /// Blocked kernel using eight-lane partial-sum dot products: run-to-
+    /// run deterministic and thread-count independent, but reassociated
+    /// relative to [`Matrix::matmul_nt_naive`] (agreement ~1e-5
+    /// relative).
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        if crate::kernels::reference_kernels() {
+            return self.matmul_nt_naive(rhs);
+        }
+        crate::kernels::gemm_nt(self, rhs)
+    }
+
+    /// Reference `self * rhs`: the original i-k-j scalar loop. Retained
+    /// as the ground truth for property tests and as the benchmark
+    /// baseline; not used on hot paths.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
@@ -108,8 +161,9 @@ impl Matrix {
         out
     }
 
-    /// `self^T * rhs` without materializing the transpose.
-    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+    /// Reference `self^T * rhs` (original scalar loop); see
+    /// [`Matrix::matmul_naive`].
+    pub fn matmul_tn_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, rhs.rows,
             "matmul_tn shape mismatch: ({}x{})^T * {}x{}",
@@ -132,8 +186,9 @@ impl Matrix {
         out
     }
 
-    /// `self * rhs^T` without materializing the transpose.
-    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+    /// Reference `self * rhs^T` (original scalar loop); see
+    /// [`Matrix::matmul_naive`].
+    pub fn matmul_nt_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_nt shape mismatch: {}x{} * ({}x{})^T",

@@ -77,6 +77,22 @@ impl ParamStore {
         self.params[id.0].grad.add_assign(g);
     }
 
+    /// Accumulate every gradient from `other` — a clone of this store
+    /// that ran its own backward pass — into this store's gradients.
+    ///
+    /// This is the reduction step of sharded training: worker shards
+    /// backward into clones, and the trainer merges them in fixed shard
+    /// order so the result is independent of execution order.
+    ///
+    /// # Panics
+    /// Panics if the stores have different parameter layouts.
+    pub fn accumulate_grads_from(&mut self, other: &ParamStore) {
+        assert_eq!(self.params.len(), other.params.len(), "param store layout mismatch");
+        for (p, o) in self.params.iter_mut().zip(other.params.iter()) {
+            p.grad.add_assign(&o.grad);
+        }
+    }
+
     /// Reset all gradients to zero.
     pub fn zero_grad(&mut self) {
         for p in &mut self.params {

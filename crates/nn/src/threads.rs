@@ -1,0 +1,120 @@
+//! Global thread-count configuration for the parallel compute kernels.
+//!
+//! The worker count is resolved once, lazily, from the `GENDT_THREADS`
+//! environment variable (falling back to the machine's available
+//! parallelism, capped at 16), and installed into the rayon global pool.
+//! Tests and embedders can override it in-process with
+//! [`set_num_threads`].
+//!
+//! # Determinism contract
+//!
+//! Nothing in this crate's numeric output may depend on the thread
+//! count. Parallel kernels partition work by *shape only* (fixed row
+//! chunks), every task writes a disjoint output region, and per-element
+//! accumulation order is identical whether a chunk runs inline or on a
+//! worker — so `GENDT_THREADS=1` and `GENDT_THREADS=16` produce
+//! bitwise-identical results on the same build.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolved worker count; 0 means "not yet resolved".
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Upper bound on the worker count resolved from the environment.
+const MAX_THREADS: usize = 16;
+
+/// The number of worker threads the compute kernels may use.
+///
+/// First call resolves `GENDT_THREADS` (a positive integer; unset,
+/// empty, or unparsable values fall back to available parallelism) and
+/// installs the rayon global pool; later calls are a single atomic load.
+pub fn num_threads() -> usize {
+    let n = NUM_THREADS.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    let resolved = match std::env::var("GENDT_THREADS") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n.min(MAX_THREADS),
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    };
+    set_num_threads(resolved);
+    resolved
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(MAX_THREADS)
+}
+
+/// Override the worker count in-process (wins over `GENDT_THREADS`).
+///
+/// `n` is clamped to `1..=16`. Intended for tests asserting the
+/// determinism contract and for embedders that manage their own
+/// parallelism budget.
+pub fn set_num_threads(n: usize) {
+    let n = n.clamp(1, MAX_THREADS);
+    NUM_THREADS.store(n, Ordering::Relaxed);
+    // Keep the rayon global pool in step; the vendored shim lets the
+    // latest value win.
+    let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
+}
+
+/// Run `task(chunk_index, chunk)` over disjoint `chunk_len`-element
+/// chunks of `out`, in parallel when more than one worker is configured.
+///
+/// The chunking is part of the caller's deterministic partitioning: it
+/// must be derived from problem shape only, never from the thread count.
+/// Chunks are independent, so execution order cannot affect the result.
+pub fn par_chunks_mut<F>(out: &mut [f32], chunk_len: usize, task: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert!(chunk_len > 0, "par_chunks_mut: chunk_len must be positive");
+    if out.is_empty() {
+        return;
+    }
+    if num_threads() <= 1 || out.len() <= chunk_len {
+        for (ci, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            task(ci, chunk);
+        }
+    } else {
+        let task = &task;
+        rayon::scope(|s| {
+            for (ci, chunk) in out.chunks_mut(chunk_len).enumerate() {
+                s.spawn(move |_| task(ci, chunk));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Single test: these assertions share the process-global thread
+    // count, so they must not run concurrently with each other.
+    #[test]
+    fn thread_count_clamps_and_par_chunks_cover_every_chunk() {
+        set_num_threads(0);
+        assert_eq!(num_threads(), 1);
+        set_num_threads(usize::MAX);
+        assert_eq!(num_threads(), MAX_THREADS);
+
+        for threads in [1, 4] {
+            set_num_threads(threads);
+            assert_eq!(num_threads(), threads);
+            let mut data = vec![0.0f32; 103];
+            par_chunks_mut(&mut data, 10, |ci, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += 1.0 + ci as f32;
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, 1.0 + (i / 10) as f32, "element {i} wrong for {threads} threads");
+            }
+        }
+        set_num_threads(1);
+    }
+}

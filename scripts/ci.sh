@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, tests, and lint for the whole workspace.
+# Run from the repo root: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

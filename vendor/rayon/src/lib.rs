@@ -1,0 +1,182 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the fork-join subset this workspace uses — [`scope`],
+//! [`Scope::spawn`], [`join`], [`ThreadPoolBuilder`], and
+//! [`current_num_threads`] — on top of `std::thread::scope`. There is no
+//! work-stealing pool: each `spawn` is an OS thread for the duration of
+//! the scope, which is adequate for the coarse-grained tasks (matrix row
+//! blocks, training shards) this workspace spawns. When the configured
+//! thread count is 1, everything runs inline on the caller's thread with
+//! zero spawn overhead.
+//!
+//! Callers must not depend on execution order or thread identity for
+//! results — the same contract real rayon imposes.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configured global thread count. 0 = unset (fall back to available
+/// parallelism, capped to keep spawn-per-task viable).
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of threads the global "pool" would use, mirroring
+/// `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    let n = NUM_THREADS.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(16)
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`]. Never actually
+/// produced by this shim (re-initialisation just overwrites the count),
+/// but kept so caller signatures match real rayon.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("global thread pool initialisation failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for the global thread count, mirroring
+/// `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Create a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the thread count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the configured thread count globally. Unlike real rayon,
+    /// calling this twice is not an error; the latest value wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        NUM_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A fork-join scope handed to the [`scope`] closure, mirroring
+/// `rayon::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: Option<&'scope std::thread::Scope<'scope, 'env>>,
+    _env: PhantomData<&'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task into the scope. Runs on a fresh OS thread when the
+    /// scope is threaded, inline otherwise.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        match self.inner {
+            Some(ts) => {
+                ts.spawn(move || {
+                    let s = Scope { inner: Some(ts), _env: PhantomData };
+                    f(&s);
+                });
+            }
+            None => {
+                let s = Scope { inner: None, _env: PhantomData };
+                f(&s);
+            }
+        }
+    }
+}
+
+/// Create a fork-join scope: all tasks spawned inside have completed when
+/// this returns. Mirrors `rayon::scope`. With a global thread count of 1
+/// the closure and its spawns run entirely inline.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    if current_num_threads() <= 1 {
+        let s = Scope { inner: None, _env: PhantomData };
+        f(&s)
+    } else {
+        std::thread::scope(|ts| {
+            let s = Scope { inner: Some(ts), _env: PhantomData };
+            f(&s)
+        })
+    }
+}
+
+/// Run two closures, returning both results. Mirrors `rayon::join`; this
+/// shim runs them sequentially (a is first), which satisfies rayon's
+/// semantics since `join` makes no parallelism guarantee.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn scope_joins_all_spawns() {
+        let counter = AtomicU32::new(0);
+        ThreadPoolBuilder::new().num_threads(4).build_global().unwrap();
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn inline_scope_runs_spawns() {
+        let counter = AtomicU32::new(0);
+        let s = Scope { inner: None, _env: PhantomData };
+        s.spawn(|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let counter = AtomicU32::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,392 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors a minimal self-consistent serialization
+//! framework under the familiar `serde` name. It is **not** wire- or
+//! API-compatible with upstream serde beyond the subset this workspace
+//! uses:
+//!
+//! * `Serialize` / `Deserialize` traits (converting through [`Value`],
+//!   an owned JSON-like tree),
+//! * `#[derive(Serialize, Deserialize)]` for non-generic structs with
+//!   named fields, tuple structs, and fieldless enums (re-exported from
+//!   the vendored `serde_derive`),
+//! * impls for the primitive / container types the workspace stores in
+//!   checkpoints and reports.
+//!
+//! The vendored `serde_json` renders [`Value`] to JSON text and parses it
+//! back, so checkpoints round-trip exactly as with the real crates.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Owned JSON-like value tree: the interchange format between the
+/// `Serialize`/`Deserialize` traits and the `serde_json` text layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer number (serialized without a decimal point).
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object; insertion order is preserved when rendering.
+    Map(Vec<(String, Value)>),
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from any message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error { msg: m.into() }
+    }
+
+    /// "expected X while deserializing Y" helper.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        Error { msg: format!("expected {what} while deserializing {ty}") }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Value {
+    /// Borrow as an object, or a typed error mentioning `ty`.
+    pub fn as_map_for(&self, ty: &str) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Map(m) => Ok(m),
+            _ => Err(Error::expected("object", ty)),
+        }
+    }
+
+    /// Borrow as an array, or a typed error mentioning `ty`.
+    pub fn as_seq_for(&self, ty: &str) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(s) => Ok(s),
+            _ => Err(Error::expected("array", ty)),
+        }
+    }
+
+    /// Borrow as a string, or a typed error mentioning `ty`.
+    pub fn as_str_for(&self, ty: &str) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(Error::expected("string", ty)),
+        }
+    }
+
+    /// Numeric value as `f64` (accepts both int and float encodings).
+    pub fn as_f64_for(&self, ty: &str) -> Result<f64, Error> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            _ => Err(Error::expected("number", ty)),
+        }
+    }
+
+    /// Integer value (rejects floats so lossy casts stay visible).
+    pub fn as_int_for(&self, ty: &str) -> Result<i128, Error> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Float(f) if f.fract() == 0.0 => Ok(*f as i128),
+            _ => Err(Error::expected("integer", ty)),
+        }
+    }
+}
+
+/// Look up `key` in an object, with a typed error mentioning `ty`.
+pub fn map_field<'a>(m: &'a [(String, Value)], key: &str, ty: &str) -> Result<&'a Value, Error> {
+    m.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::msg(format!("missing field `{key}` while deserializing {ty}")))
+}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the interchange tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild from the interchange tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls ---------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i128) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_int_for(stringify!($t))?;
+                <$t>::try_from(i)
+                    .map_err(|_| Error::msg(format!("integer {i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64_for("f32")? as f32)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64_for("f64")
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("boolean", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_str_for("String")?.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(std::path::PathBuf::from(v.as_str_for("PathBuf")?))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str_for("char")?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::expected("single-character string", "char")),
+        }
+    }
+}
+
+// ---- container impls ---------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq_for("Vec")?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_seq_for("array")?;
+        if s.len() != N {
+            return Err(Error::msg(format!("expected array of length {N}, got {}", s.len())));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(s.iter()) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_seq_for("tuple")?;
+        if s.len() != 2 {
+            return Err(Error::msg(format!("expected 2-tuple, got length {}", s.len())));
+        }
+        Ok((A::from_value(&s[0])?, B::from_value(&s[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_seq_for("tuple")?;
+        if s.len() != 3 {
+            return Err(Error::msg(format!("expected 3-tuple, got length {}", s.len())));
+        }
+        Ok((A::from_value(&s[0])?, B::from_value(&s[1])?, C::from_value(&s[2])?))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map_for("BTreeMap")?;
+        m.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(String::from_value(&"x".to_string().to_value()).unwrap(), "x");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1.0f32, 2.0, 3.0];
+        assert_eq!(Vec::<f32>::from_value(&v.to_value()).unwrap(), v);
+        let a = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(<[f32; 5]>::from_value(&a.to_value()).unwrap(), a);
+        let o: Option<usize> = Some(7);
+        assert_eq!(Option::<usize>::from_value(&o.to_value()).unwrap(), o);
+        let none: Option<usize> = None;
+        assert_eq!(Option::<usize>::from_value(&none.to_value()).unwrap(), none);
+        let t = (3u32, 4.5f64);
+        assert_eq!(<(u32, f64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn int_range_errors() {
+        let v = Value::Int(300);
+        assert!(u8::from_value(&v).is_err());
+    }
+}

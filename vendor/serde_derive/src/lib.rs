@@ -1,0 +1,290 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored Value-based `serde` traits, using hand-rolled token
+//! parsing (the real crate's `syn`/`quote` stack is unavailable offline).
+//!
+//! Supported shapes — exactly what this workspace derives:
+//!
+//! * non-generic structs with named fields,
+//! * non-generic tuple structs,
+//! * non-generic enums with fieldless (unit) variants, with or without
+//!   explicit discriminants.
+//!
+//! Anything else (generics, data-carrying enums, `#[serde(...)]`
+//! attributes) panics at macro-expansion time with a clear message, so
+//! unsupported uses fail the build loudly instead of miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// `struct Name { a: T, b: U }`
+    Named { name: String, fields: Vec<String> },
+    /// `struct Name(T, U);`
+    Tuple { name: String, arity: usize },
+    /// `enum Name { A, B = 1 }`
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Skip attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(...)`) at the current position.
+fn skip_meta(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                // The attribute body `[...]`.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a field/variant body on commas at angle-bracket depth zero.
+/// Parentheses/brackets/braces arrive as atomic groups, but `<...>` in
+/// type paths is a plain punct sequence and must be depth-tracked.
+fn split_top_level(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut depth: i32 = 0;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extract the field name from one named-field segment
+/// (`#[attr] pub name: Type`).
+fn field_name(seg: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    while i < seg.len() {
+        match &seg[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = seg.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                // Must be followed by ':' to be a field name.
+                if matches!(seg.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+                    return Some(id.to_string());
+                }
+                return None;
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Extract the variant name from one enum-variant segment
+/// (`#[attr] Name` or `#[attr] Name = 3`). Panics on data variants.
+fn variant_name(seg: &[TokenTree], enum_name: &str) -> Option<String> {
+    let mut i = 0;
+    while i < seg.len() {
+        match &seg[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                if let Some(TokenTree::Group(_)) = seg.get(i + 1) {
+                    panic!(
+                        "vendored serde_derive: enum {enum_name} has a data-carrying \
+                         variant {id}; only fieldless enums are supported"
+                    );
+                }
+                return Some(id.to_string());
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut it = input.into_iter().peekable();
+    skip_meta(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: expected item name, got {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive: generic type {name} is not supported");
+    }
+    match kind.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = split_top_level(g.stream())
+                    .iter()
+                    .filter_map(|seg| field_name(seg))
+                    .collect();
+                Shape::Named { name, fields }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_level(g.stream()).len();
+                Shape::Tuple { name, arity }
+            }
+            other => panic!("vendored serde_derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = split_top_level(g.stream())
+                    .iter()
+                    .filter_map(|seg| variant_name(seg, &name))
+                    .collect();
+                Shape::UnitEnum { name, variants }
+            }
+            other => panic!("vendored serde_derive: unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("vendored serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// `#[derive(Serialize)]` — implements `serde::Serialize::to_value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match shape {
+        Shape::Named { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple { name, arity } => {
+            let entries: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!("Self::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    code.parse().expect("vendored serde_derive: generated invalid Serialize impl")
+}
+
+/// `#[derive(Deserialize)]` — implements `serde::Deserialize::from_value`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match shape {
+        Shape::Named { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::map_field(m, \"{f}\", \"{name}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let m = v.as_map_for(\"{name}\")?;\n\
+                         ::std::result::Result::Ok(Self {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple { name, arity } => {
+            let inits: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let s = v.as_seq_for(\"{name}\")?;\n\
+                         if s.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"expected {arity} elements for {name}, got {{}}\", s.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok(Self({}))\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok(Self::{v})"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v.as_str_for(\"{name}\")? {{\n\
+                             {},\n\
+                             other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    code.parse().expect("vendored serde_derive: generated invalid Deserialize impl")
+}
