@@ -1,0 +1,759 @@
+//! Exhaustive finite-difference gradient checking, one case set per
+//! [`Op`] variant.
+//!
+//! [`cases_for`] maps every variant to the named cases that exercise its
+//! backward — an exhaustive `match`, so adding an `Op` to `gendt-nn`
+//! without gradcheck coverage fails to compile. [`all_cases`] runs the
+//! named cases; a test (and the CLI) cross-checks the two against the
+//! [`crate::zoo`] tape so the mapping cannot rot.
+//!
+//! Analytic gradients come from [`Graph::backward`]; the numeric
+//! reference is a central difference `(f(w+e) - f(w-e)) / 2e` with
+//! `e = 1e-3 * (1 + |w|)`, compared at relative tolerance
+//! [`TOLERANCE`] (`|a - n| <= tol * (1 + max(|a|, |n|))`).
+//!
+//! `NoisyRenorm` deliberately stops gradients at its noise and
+//! renormalization denominator (matching the unfused composition), so
+//! differencing the *true* forward would disagree with the analytic
+//! backward by design; its case differences a frozen-semantics forward
+//! (noise and denominator pinned at the base point) instead.
+
+use gendt_nn::{Graph, Matrix, NodeId, Op, ParamId, ParamStore};
+
+/// Relative tolerance of the analytic-vs-numeric comparison.
+pub const TOLERANCE: f64 = 1e-2;
+
+/// Outcome of one gradcheck case.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// Case name (stable, used by [`cases_for`]).
+    pub name: &'static str,
+    /// Worst relative error over all checked parameter elements.
+    pub max_rel_err: f64,
+    /// True when every element agreed within [`TOLERANCE`].
+    pub passed: bool,
+    /// Description of the worst element (param, index, both gradients).
+    pub detail: String,
+}
+
+/// Graph builder signature shared by all cases: record a scalar loss
+/// over the store's parameters.
+pub type Build = dyn Fn(&mut Graph, &ParamStore, &[ParamId]) -> NodeId;
+
+/// Loss evaluated directly from parameter matrices — only used by cases
+/// whose op semantics differ from the recorded forward (stop-gradients).
+pub type FdLoss = dyn Fn(&[&Matrix]) -> f64;
+
+fn run_graph_loss(store: &ParamStore, ids: &[ParamId], build: &Build) -> f64 {
+    let mut g = Graph::new();
+    let loss = build(&mut g, store, ids);
+    f64::from(g.value(loss).data[0])
+}
+
+/// Core harness: analytic gradient via the tape backward, numeric via
+/// central differences on every element of every parameter.
+///
+/// Public so the self-tests can aim it at a deliberately wrong
+/// reference and watch it fire.
+pub fn check_case(
+    name: &'static str,
+    mats: Vec<(&'static str, Matrix)>,
+    build: &Build,
+    fd_loss: Option<&FdLoss>,
+) -> CaseResult {
+    let mut store = ParamStore::new();
+    let ids: Vec<ParamId> = mats.iter().map(|(n, m)| store.add(n, m.clone())).collect();
+
+    store.zero_grad();
+    let mut g = Graph::new();
+    let loss = build(&mut g, &store, &ids);
+    assert_eq!(
+        g.value(loss).shape(),
+        (1, 1),
+        "gradcheck case {name}: loss must be scalar"
+    );
+    g.backward(loss, &mut store);
+    let analytic: Vec<Matrix> = ids.iter().map(|&id| store.grad(id).clone()).collect();
+
+    let mut max_rel = 0.0f64;
+    let mut detail = String::from("all elements within tolerance");
+    let mut passed = true;
+    for (pi, &id) in ids.iter().enumerate() {
+        for k in 0..store.value(id).data.len() {
+            let w0 = store.value(id).data[k];
+            let eps = 1e-3 * (1.0 + w0.abs());
+            let eval = |w: f32, store: &mut ParamStore| -> f64 {
+                store.value_mut(id).data[k] = w;
+                let v = match fd_loss {
+                    Some(f) => {
+                        let views: Vec<&Matrix> = ids.iter().map(|&i| store.value(i)).collect();
+                        f(&views)
+                    }
+                    None => run_graph_loss(store, &ids, build),
+                };
+                store.value_mut(id).data[k] = w0;
+                v
+            };
+            let f_plus = eval(w0 + eps, &mut store);
+            let f_minus = eval(w0 - eps, &mut store);
+            let numeric = (f_plus - f_minus) / (2.0 * f64::from(eps));
+            let a = f64::from(analytic[pi].data[k]);
+            let denom = 1.0 + a.abs().max(numeric.abs());
+            let rel = (a - numeric).abs() / denom;
+            if rel > max_rel {
+                max_rel = rel;
+                detail = format!(
+                    "worst: param {} [{}]: analytic {a:.6e}, numeric {numeric:.6e}, rel {rel:.3e}",
+                    mats[pi].0, k
+                );
+            }
+            if rel > TOLERANCE {
+                passed = false;
+            }
+        }
+    }
+    CaseResult {
+        name,
+        max_rel_err: max_rel,
+        passed,
+        detail,
+    }
+}
+
+fn mat(rows: usize, cols: usize, seed: u64, lo: f64, hi: f64) -> Matrix {
+    let mut rng = gendt_nn::Rng::seed_from(seed);
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| rng.uniform(lo, hi) as f32)
+            .collect(),
+    )
+}
+
+/// A named, self-contained gradcheck case runner.
+pub type CaseFn = fn() -> CaseResult;
+
+/// Registry of every gradcheck case, name → runner.
+///
+/// Cases referenced by [`cases_for`] must appear here; the zoo coverage
+/// test enforces it.
+pub fn all_cases() -> Vec<(&'static str, CaseFn)> {
+    vec![
+        ("param_leaf", || {
+            check_case(
+                "param_leaf",
+                vec![("w", mat(2, 3, 1, -1.0, 1.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    g.mean(w)
+                },
+                None,
+            )
+        }),
+        ("input_is_constant", || {
+            check_case(
+                "input_is_constant",
+                vec![("w", mat(2, 3, 2, -1.0, 1.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let c = g.input(mat(2, 3, 3, -1.0, 1.0));
+                    let y = g.add(w, c);
+                    g.mean(y)
+                },
+                None,
+            )
+        }),
+        ("matmul", || {
+            check_case(
+                "matmul",
+                vec![
+                    ("a", mat(3, 4, 4, -1.0, 1.0)),
+                    ("b", mat(4, 2, 5, -1.0, 1.0)),
+                ],
+                &|g, s, ids| {
+                    let a = g.param(s, ids[0]);
+                    let b = g.param(s, ids[1]);
+                    let y = g.matmul(a, b);
+                    g.mean(y)
+                },
+                None,
+            )
+        }),
+        ("matmul_1x1", || {
+            check_case(
+                "matmul_1x1",
+                vec![("a", mat(1, 1, 6, 0.5, 1.5)), ("b", mat(1, 1, 7, 0.5, 1.5))],
+                &|g, s, ids| {
+                    let a = g.param(s, ids[0]);
+                    let b = g.param(s, ids[1]);
+                    let y = g.matmul(a, b);
+                    g.mean(y)
+                },
+                None,
+            )
+        }),
+        ("add", || {
+            check_case(
+                "add",
+                vec![
+                    ("a", mat(2, 3, 8, -1.0, 1.0)),
+                    ("b", mat(2, 3, 9, -1.0, 1.0)),
+                ],
+                &|g, s, ids| {
+                    let a = g.param(s, ids[0]);
+                    let b = g.param(s, ids[1]);
+                    let y = g.add(a, b);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("sub", || {
+            check_case(
+                "sub",
+                vec![
+                    ("a", mat(2, 3, 10, -1.0, 1.0)),
+                    ("b", mat(2, 3, 11, -1.0, 1.0)),
+                ],
+                &|g, s, ids| {
+                    let a = g.param(s, ids[0]);
+                    let b = g.param(s, ids[1]);
+                    let y = g.sub(a, b);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("mul", || {
+            check_case(
+                "mul",
+                vec![
+                    ("a", mat(2, 3, 12, -1.0, 1.0)),
+                    ("b", mat(2, 3, 13, -1.0, 1.0)),
+                ],
+                &|g, s, ids| {
+                    let a = g.param(s, ids[0]);
+                    let b = g.param(s, ids[1]);
+                    let y = g.mul(a, b);
+                    g.mean(y)
+                },
+                None,
+            )
+        }),
+        ("add_row", || {
+            check_case(
+                "add_row",
+                vec![
+                    ("a", mat(3, 4, 14, -1.0, 1.0)),
+                    ("b", mat(1, 4, 15, -1.0, 1.0)),
+                ],
+                &|g, s, ids| {
+                    let a = g.param(s, ids[0]);
+                    let b = g.param(s, ids[1]);
+                    let y = g.add_row(a, b);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("mul_col", || {
+            check_case(
+                "mul_col",
+                vec![
+                    ("a", mat(3, 4, 16, -1.0, 1.0)),
+                    ("b", mat(3, 1, 17, -1.0, 1.0)),
+                ],
+                &|g, s, ids| {
+                    let a = g.param(s, ids[0]);
+                    let b = g.param(s, ids[1]);
+                    let y = g.mul_col(a, b);
+                    g.mean(y)
+                },
+                None,
+            )
+        }),
+        ("scale", || {
+            check_case(
+                "scale",
+                vec![("w", mat(2, 3, 18, -1.0, 1.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.scale(w, -1.7);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("offset", || {
+            check_case(
+                "offset",
+                vec![("w", mat(2, 3, 19, -1.0, 1.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.offset(w, 0.4);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("sigmoid", || {
+            check_case(
+                "sigmoid",
+                vec![("w", mat(2, 3, 20, -2.0, 2.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.sigmoid(w);
+                    g.mean(y)
+                },
+                None,
+            )
+        }),
+        ("tanh", || {
+            check_case(
+                "tanh",
+                vec![("w", mat(2, 3, 21, -2.0, 2.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.tanh(w);
+                    g.mean(y)
+                },
+                None,
+            )
+        }),
+        ("leaky_relu", || {
+            // Entries pushed away from 0 so the difference never
+            // straddles the kink (FD across it is meaningless).
+            let mut m = mat(2, 3, 22, 0.2, 1.5);
+            for (i, v) in m.data.iter_mut().enumerate() {
+                if i % 2 == 0 {
+                    *v = -*v;
+                }
+            }
+            check_case(
+                "leaky_relu",
+                vec![("w", m)],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.leaky_relu(w, 0.1);
+                    g.mean(y)
+                },
+                None,
+            )
+        }),
+        ("exp", || {
+            check_case(
+                "exp",
+                vec![("w", mat(2, 3, 23, -1.0, 1.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.exp(w);
+                    g.mean(y)
+                },
+                None,
+            )
+        }),
+        ("exp_large", || {
+            check_case(
+                "exp_large",
+                vec![("w", mat(1, 4, 24, 8.0, 10.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.exp(w);
+                    g.mean(y)
+                },
+                None,
+            )
+        }),
+        ("softplus", || {
+            check_case(
+                "softplus",
+                vec![("w", mat(2, 3, 25, -2.0, 2.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.softplus(w);
+                    g.mean(y)
+                },
+                None,
+            )
+        }),
+        ("softplus_large", || {
+            // ±25: deep in both saturation regimes (identity / zero).
+            let m = Matrix::from_vec(1, 4, vec![-25.0, -24.0, 24.0, 25.0]);
+            check_case(
+                "softplus_large",
+                vec![("w", m)],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.softplus(w);
+                    g.mean(y)
+                },
+                None,
+            )
+        }),
+        ("concat_cols", || {
+            check_case(
+                "concat_cols",
+                vec![
+                    ("a", mat(3, 2, 26, -1.0, 1.0)),
+                    ("b", mat(3, 4, 27, -1.0, 1.0)),
+                ],
+                &|g, s, ids| {
+                    let a = g.param(s, ids[0]);
+                    let b = g.param(s, ids[1]);
+                    let y = g.concat_cols(a, b);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("slice_cols_left_edge", || {
+            check_case(
+                "slice_cols_left_edge",
+                vec![("w", mat(3, 5, 28, -1.0, 1.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.slice_cols(w, 0, 2);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("slice_cols_right_edge", || {
+            check_case(
+                "slice_cols_right_edge",
+                vec![("w", mat(3, 5, 29, -1.0, 1.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.slice_cols(w, 3, 5);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("slice_cols_one_col", || {
+            // 1-column source: the whole matrix is one boundary slice.
+            check_case(
+                "slice_cols_one_col",
+                vec![("w", mat(4, 1, 30, -1.0, 1.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.slice_cols(w, 0, 1);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("slice_rows_top_edge", || {
+            check_case(
+                "slice_rows_top_edge",
+                vec![("w", mat(5, 3, 31, -1.0, 1.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.slice_rows(w, 0, 2);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("slice_rows_bottom_edge", || {
+            check_case(
+                "slice_rows_bottom_edge",
+                vec![("w", mat(5, 3, 32, -1.0, 1.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.slice_rows(w, 3, 5);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("slice_rows_one_row", || {
+            // 1-row source: the whole matrix is one boundary slice.
+            check_case(
+                "slice_rows_one_row",
+                vec![("w", mat(1, 5, 33, -1.0, 1.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.slice_rows(w, 0, 1);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("row_sum", || {
+            check_case(
+                "row_sum",
+                vec![("w", mat(3, 4, 34, -1.0, 1.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.row_sum(w);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("sum_row_groups", || {
+            check_case(
+                "sum_row_groups",
+                vec![("w", mat(6, 3, 35, -1.0, 1.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.sum_row_groups(w, 3);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("sum_row_groups_whole", || {
+            // group == rows: the reduction collapses to a single row.
+            check_case(
+                "sum_row_groups_whole",
+                vec![("w", mat(4, 3, 36, -1.0, 1.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let y = g.sum_row_groups(w, 4);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("lstm_cell", || {
+            check_case(
+                "lstm_cell",
+                vec![
+                    ("gates", mat(2, 8, 37, -1.0, 1.0)),
+                    ("c_prev", mat(2, 2, 38, -1.0, 1.0)),
+                ],
+                &|g, s, ids| {
+                    let gates = g.param(s, ids[0]);
+                    let c_prev = g.param(s, ids[1]);
+                    let y = g.lstm_cell(gates, c_prev, 2);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("noisy_renorm", noisy_renorm_case),
+        ("add_add_row", || {
+            check_case(
+                "add_add_row",
+                vec![
+                    ("a", mat(3, 4, 40, -1.0, 1.0)),
+                    ("b", mat(3, 4, 41, -1.0, 1.0)),
+                    ("bias", mat(1, 4, 42, -1.0, 1.0)),
+                ],
+                &|g, s, ids| {
+                    let a = g.param(s, ids[0]);
+                    let b = g.param(s, ids[1]);
+                    let bias = g.param(s, ids[2]);
+                    let y = g.add_add_row(a, b, bias);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("masked_group_mean", || {
+            check_case(
+                "masked_group_mean",
+                vec![("w", mat(6, 3, 43, -1.0, 1.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let mask = Matrix::from_vec(6, 1, vec![1.0, 0.0, 1.0, 1.0, 1.0, 0.0]);
+                    let scale = Matrix::from_vec(2, 1, vec![0.5, 1.0]);
+                    let y = g.masked_group_mean(w, &mask, &scale, 3);
+                    square_mean(g, y)
+                },
+                None,
+            )
+        }),
+        ("mean", || {
+            check_case(
+                "mean",
+                vec![("w", mat(3, 3, 44, -1.0, 1.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    let sq = g.mul(w, w);
+                    g.mean(sq)
+                },
+                None,
+            )
+        }),
+        ("mse_loss", || {
+            check_case(
+                "mse_loss",
+                vec![
+                    ("a", mat(3, 3, 45, -1.0, 1.0)),
+                    ("b", mat(3, 3, 46, -1.0, 1.0)),
+                ],
+                &|g, s, ids| {
+                    let a = g.param(s, ids[0]);
+                    let b = g.param(s, ids[1]);
+                    g.mse_loss(a, b)
+                },
+                None,
+            )
+        }),
+        ("bce_with_logits", || {
+            check_case(
+                "bce_with_logits",
+                vec![("w", mat(4, 1, 47, -2.0, 2.0))],
+                &|g, s, ids| {
+                    let w = g.param(s, ids[0]);
+                    g.bce_with_logits(w, Matrix::from_vec(4, 1, vec![1.0, 0.0, 1.0, 0.0]))
+                },
+                None,
+            )
+        }),
+        ("weighted_sum", || {
+            check_case(
+                "weighted_sum",
+                vec![
+                    ("a", mat(2, 2, 48, -1.0, 1.0)),
+                    ("b", mat(2, 2, 49, -1.0, 1.0)),
+                ],
+                &|g, s, ids| {
+                    let a = g.param(s, ids[0]);
+                    let b = g.param(s, ids[1]);
+                    let ma = g.mean(a);
+                    let sq = g.mul(b, b);
+                    let mb = g.mean(sq);
+                    g.weighted_sum(vec![(ma, 0.75), (mb, -1.25)])
+                },
+                None,
+            )
+        }),
+        ("gaussian_nll", || {
+            check_case(
+                "gaussian_nll",
+                vec![
+                    ("mu", mat(2, 3, 50, -1.0, 1.0)),
+                    ("sigma", mat(2, 3, 51, 0.5, 1.5)),
+                ],
+                &|g, s, ids| {
+                    let mu = g.param(s, ids[0]);
+                    let sigma = g.param(s, ids[1]);
+                    g.gaussian_nll(mu, sigma, mat(2, 3, 52, -1.0, 1.0))
+                },
+                None,
+            )
+        }),
+    ]
+}
+
+/// `mean(y ⊙ y)` — a loss that makes every element's gradient distinct,
+/// catching transposed/misrouted backward rules a plain `mean` would
+/// accept (its uniform gradient is blind to element permutations).
+fn square_mean(g: &mut Graph, y: NodeId) -> NodeId {
+    let sq = g.mul(y, y);
+    g.mean(sq)
+}
+
+/// `NoisyRenorm` with its stop-gradient semantics: the analytic backward
+/// treats the noise `n0 = u * rowmean(x0)` and the denominator
+/// `rowsum(x0 + a*n0) + 1e-3` as constants of the base point, so the FD
+/// reference must difference that frozen function, not the true forward.
+fn noisy_renorm_case() -> CaseResult {
+    let a = 0.1f32;
+    let base = mat(3, 4, 39, 0.5, 1.5);
+    let (rows, cols) = base.shape();
+    let u = {
+        let mut rng = gendt_nn::Rng::seed_from(53);
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| rng.normal() as f32).collect(),
+        )
+    };
+    // Freeze noise and denominator at the base point.
+    let mut n0 = Matrix::zeros(rows, cols);
+    let mut rden0 = vec![0.0f64; rows];
+    for (r, rd) in rden0.iter_mut().enumerate() {
+        let xr = &base.data[r * cols..(r + 1) * cols];
+        let m = xr.iter().sum::<f32>() / cols as f32;
+        let mut sp = 0.0f32;
+        for (c, &xv) in xr.iter().enumerate() {
+            n0.data[r * cols + c] = u.data[r * cols + c] * m;
+            sp += xv + n0.data[r * cols + c] * a;
+        }
+        *rd = 1.0 / f64::from(sp + 1e-3);
+    }
+    let u_for_build = u.clone();
+    let n0_fd = n0.clone();
+    let fd = move |mats: &[&Matrix]| -> f64 {
+        let x = mats[0];
+        let mut acc = 0.0f64;
+        for (r, &rd) in rden0.iter().enumerate() {
+            let xr = &x.data[r * cols..(r + 1) * cols];
+            let sx: f64 = xr.iter().map(|&v| f64::from(v)).sum();
+            let ratio = (sx + 1e-3) * rd;
+            for (c, &xv) in xr.iter().enumerate() {
+                let p = f64::from(xv) + f64::from(n0_fd.data[r * cols + c]) * f64::from(a);
+                acc += p * ratio;
+            }
+        }
+        acc / (rows * cols) as f64
+    };
+    check_case(
+        "noisy_renorm",
+        vec![("x", base)],
+        &move |g, s, ids| {
+            let x = g.param(s, ids[0]);
+            let y = g.noisy_renorm(x, a, &u_for_build);
+            g.mean(y)
+        },
+        Some(&fd),
+    )
+}
+
+/// Names of the gradcheck cases covering `op`.
+///
+/// Exhaustive on purpose: a new `Op` variant without an arm here — and
+/// without its named cases present in [`all_cases`] (enforced by the
+/// zoo coverage test) — cannot ship.
+pub fn cases_for(op: &Op) -> &'static [&'static str] {
+    match op {
+        Op::Input => &["input_is_constant"],
+        Op::Param(_) => &["param_leaf"],
+        Op::MatMul(..) => &["matmul", "matmul_1x1"],
+        Op::Add(..) => &["add"],
+        Op::Sub(..) => &["sub"],
+        Op::Mul(..) => &["mul"],
+        Op::AddRow(..) => &["add_row"],
+        Op::MulCol(..) => &["mul_col"],
+        Op::Scale(..) => &["scale"],
+        Op::Offset(..) => &["offset"],
+        Op::Sigmoid(_) => &["sigmoid"],
+        Op::Tanh(_) => &["tanh"],
+        Op::LeakyRelu(..) => &["leaky_relu"],
+        Op::Exp(_) => &["exp", "exp_large"],
+        Op::Softplus(_) => &["softplus", "softplus_large"],
+        Op::ConcatCols(..) => &["concat_cols"],
+        Op::SliceCols(..) => &[
+            "slice_cols_left_edge",
+            "slice_cols_right_edge",
+            "slice_cols_one_col",
+        ],
+        Op::SliceRows(..) => &[
+            "slice_rows_top_edge",
+            "slice_rows_bottom_edge",
+            "slice_rows_one_row",
+        ],
+        Op::RowSum(_) => &["row_sum"],
+        Op::SumRowGroups(..) => &["sum_row_groups", "sum_row_groups_whole"],
+        Op::LstmCell { .. } => &["lstm_cell"],
+        Op::NoisyRenorm { .. } => &["noisy_renorm"],
+        Op::AddAddRow(..) => &["add_add_row"],
+        Op::MaskedGroupMean { .. } => &["masked_group_mean"],
+        Op::Mean(_) => &["mean"],
+        Op::MseLoss(..) => &["mse_loss"],
+        Op::BceWithLogits(..) => &["bce_with_logits"],
+        Op::WeightedSum(_) => &["weighted_sum"],
+        Op::GaussianNll { .. } => &["gaussian_nll"],
+    }
+}
+
+/// Run every registered case and return the results in registry order.
+pub fn run_all() -> Vec<CaseResult> {
+    all_cases().into_iter().map(|(_, f)| f()).collect()
+}

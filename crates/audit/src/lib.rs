@@ -1,0 +1,38 @@
+//! # gendt-audit — correctness tooling for the GenDT workspace
+//!
+//! Hand-written fused autograd ops and blocked kernels are only as
+//! trustworthy as the checks that watch them: a silently wrong backward
+//! or a NaN born in the Gaussian head corrupts every fidelity table and
+//! the MC-dropout uncertainty measure with no visible failure. This
+//! crate is the verification layer that keeps every future op/kernel PR
+//! honest:
+//!
+//! * [`tape`] — walks a recorded [`gendt_nn::Graph`] and re-derives
+//!   every node's shape from [`gendt_nn::Op`] semantics via an
+//!   **exhaustive** `match`; reports shape mismatches (errors) plus dead
+//!   and unreachable-from-loss nodes (warnings). Adding an `Op` variant
+//!   without a shape rule is a compile error.
+//! * [`gradcheck`] — checks every `Op` variant's backward against
+//!   central finite differences; the variant→case mapping is another
+//!   exhaustive `match`, so a new op without a gradcheck case also
+//!   fails to compile.
+//! * [`zoo`] — a single small graph that records every `Op` variant,
+//!   used as the coverage witness for both matches above.
+//! * [`lint`] — repo-invariant source lint (plain file walking, no
+//!   external deps): `#![forbid(unsafe_code)]` in every crate root, no
+//!   `unwrap()`/`expect()` in the hot autograd/training files outside
+//!   `#[cfg(test)]`, no nondeterminism sources in training paths, and a
+//!   bitwise-equivalence test for every fused op.
+//!
+//! The `GENDT_SANITIZE=1` runtime mode itself lives in
+//! [`gendt_nn::sanitize`]; this crate's binary drives a sanitized smoke
+//! train/generate step (`cargo run -p gendt-audit -- smoke`). All four
+//! checks run from `scripts/ci.sh`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+pub mod lint;
+pub mod tape;
+pub mod zoo;

@@ -1,0 +1,471 @@
+//! Repo-invariant source lint — plain file walking, no external deps.
+//!
+//! Four rule families, all cheap textual analysis over comment- and
+//! string-stripped source:
+//!
+//! 1. **`unsafe-forbid`** — every crate root under `crates/*/src`
+//!    (`lib.rs`, `main.rs`, `bin/*.rs`) carries `#![forbid(unsafe_code)]`.
+//! 2. **`no-unwrap`** — no `.unwrap()` / `.expect(` in the hot autograd
+//!    and training files outside `#[cfg(test)]`, and nowhere at all in
+//!    the checkpoint modules (error paths there must propagate).
+//! 3. **`determinism`** — no wall-clock or entropy sources
+//!    (`SystemTime`, `Instant::now`, `thread_rng`, `from_entropy`,
+//!    `rand::random`) in the training path, and no `HashMap` in the
+//!    checkpoint modules (serialized output must iterate in a stable
+//!    order — `BTreeMap` only).
+//! 4. **`fused-bitwise`** — every fused tape op has a bitwise
+//!    equivalence test in `graph.rs` (a test fn whose name contains the
+//!    op name and `bitwise`), so fused rewrites stay provably identical
+//!    to their unfused compositions.
+//!
+//! The vendored stand-ins under `vendor/` model *external* crates and
+//! are deliberately out of scope.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Rule family (`unsafe-forbid`, `no-unwrap`, `determinism`,
+    /// `fused-bitwise`, or `lint-config` for missing targets).
+    pub rule: &'static str,
+    /// File the finding is in, relative to the linted root.
+    pub file: String,
+    /// 1-based line, or 0 for file-level findings.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}:{}: {}",
+            self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// Files where `.unwrap()` / `.expect(` are banned outside `#[cfg(test)]`.
+const NO_UNWRAP_NONTEST: &[&str] = &[
+    "crates/nn/src/graph.rs",
+    "crates/nn/src/kernels.rs",
+    "crates/nn/src/matrix.rs",
+    "crates/core/src/trainer.rs",
+];
+
+/// Files where `.unwrap()` / `.expect(` are banned everywhere, tests
+/// included: checkpoint code is the error-propagation showcase.
+const NO_UNWRAP_ANYWHERE: &[&str] = &[
+    "crates/nn/src/checkpoint.rs",
+    "crates/core/src/checkpoint.rs",
+];
+
+/// Training-path files where nondeterminism sources are banned.
+const DETERMINISM_FILES: &[&str] = &[
+    "crates/nn/src/graph.rs",
+    "crates/nn/src/kernels.rs",
+    "crates/nn/src/matrix.rs",
+    "crates/nn/src/layers.rs",
+    "crates/nn/src/params.rs",
+    "crates/nn/src/threads.rs",
+    "crates/nn/src/sanitize.rs",
+    "crates/core/src/trainer.rs",
+    "crates/core/src/generator.rs",
+    "crates/core/src/generate.rs",
+];
+
+/// Tokens that smell of wall clocks or ambient entropy.
+const NONDET_TOKENS: &[&str] = &[
+    "SystemTime",
+    "Instant::now",
+    "thread_rng",
+    "from_entropy",
+    "rand::random",
+];
+
+/// Fused ops that must each have a `*bitwise*` equivalence test in
+/// `graph.rs` proving them identical to their unfused composition.
+const FUSED_OPS: &[&str] = &[
+    "lstm_cell",
+    "noisy_renorm",
+    "add_add_row",
+    "masked_group_mean",
+    "sum_row_groups",
+    "slice_rows",
+];
+
+/// Run every rule against the workspace rooted at `root`.
+pub fn run(root: &Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+    lint_unsafe_forbid(root, &mut out);
+    lint_no_unwrap(root, &mut out);
+    lint_determinism(root, &mut out);
+    lint_fused_bitwise(root, &mut out);
+    out
+}
+
+fn read(root: &Path, rel: &str) -> Option<String> {
+    std::fs::read_to_string(root.join(rel)).ok()
+}
+
+fn missing(out: &mut Vec<Violation>, rule: &'static str, rel: &str) {
+    out.push(Violation {
+        rule: "lint-config",
+        file: rel.to_string(),
+        line: 0,
+        message: format!("file named by the {rule} rule is missing"),
+    });
+}
+
+fn line_of(text: &str, byte: usize) -> usize {
+    text.as_bytes()
+        .iter()
+        .take(byte)
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+// ---------------------------------------------------------------------
+// Source model: strip comments/strings, locate #[cfg(test)] regions
+// ---------------------------------------------------------------------
+
+/// Replace comments, string literals, and char literals with spaces
+/// (newlines preserved), so token scans cannot be fooled by docs or
+/// message text.
+fn strip_source(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    // Keep newlines so byte offsets still map to the original lines.
+    for (i, &c) in b.iter().enumerate() {
+        if c == b'\n' {
+            out[i] = b'\n';
+        }
+    }
+    let mut i = 0;
+    let n = b.len();
+    let copy = |out: &mut Vec<u8>, i: usize| {
+        out[i] = b[i];
+    };
+    while i < n {
+        match b[i] {
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i += 1;
+                while i < n && b[i] != b'"' {
+                    if b[i] == b'\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            b'r' if i + 1 < n && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string r"..." / r#"..."#: count hashes, match the tail.
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < n && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == b'"' {
+                    j += 1;
+                    'raw: while j < n {
+                        if b[j] == b'"' {
+                            let mut k = 0;
+                            while k < hashes && j + 1 + k < n && b[j + 1 + k] == b'#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                } else {
+                    copy(&mut out, i);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs. lifetime: a closing quote within a
+                // few bytes means a literal; otherwise leave the tick.
+                let mut j = i + 1;
+                if j < n && b[j] == b'\\' {
+                    j += 2;
+                    while j < n && b[j] != b'\'' && j < i + 12 {
+                        j += 1; // \u{...}
+                    }
+                } else if j < n {
+                    j += 1;
+                }
+                if j < n && b[j] == b'\'' {
+                    i = j + 1;
+                } else {
+                    copy(&mut out, i);
+                    i += 1;
+                }
+            }
+            _ => {
+                copy(&mut out, i);
+                i += 1;
+            }
+        }
+    }
+    // Guaranteed valid: we only copied bytes at their original positions
+    // or wrote ASCII spaces over complete multi-byte sequences.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Byte ranges covered by `#[cfg(test)]` items (mod or fn) in stripped
+/// source: from the attribute to the close of the item's brace block.
+fn test_regions(stripped: &str) -> Vec<(usize, usize)> {
+    let b = stripped.as_bytes();
+    let mut regions = Vec::new();
+    let needle = "#[cfg(test)]";
+    let mut from = 0;
+    while let Some(pos) = stripped[from..].find(needle) {
+        let start = from + pos;
+        // Find the item's opening brace; a `;` first means a braceless
+        // item (nothing to span).
+        let mut i = start + needle.len();
+        while i < b.len() && b[i] != b'{' && b[i] != b';' {
+            i += 1;
+        }
+        if i < b.len() && b[i] == b'{' {
+            let mut depth = 0usize;
+            let mut j = i;
+            while j < b.len() {
+                match b[j] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            regions.push((start, j.min(b.len())));
+            from = j.min(b.len());
+        } else {
+            from = i;
+        }
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], byte: usize) -> bool {
+    regions.iter().any(|&(s, e)| byte >= s && byte <= e)
+}
+
+/// All byte offsets of `token` in `text`.
+fn find_all(text: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(token) {
+        out.push(from + pos);
+        from += pos + token.len();
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------
+
+fn crate_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = Vec::new();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        return roots;
+    };
+    let mut dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    dirs.sort();
+    for dir in dirs {
+        let src = dir.join("src");
+        for name in ["lib.rs", "main.rs"] {
+            let p = src.join(name);
+            if p.is_file() {
+                roots.push(p);
+            }
+        }
+        let bin = src.join("bin");
+        if let Ok(bins) = std::fs::read_dir(&bin) {
+            let mut files: Vec<PathBuf> = bins
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+                .collect();
+            files.sort();
+            roots.extend(files);
+        }
+    }
+    roots
+}
+
+fn rel_to(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn lint_unsafe_forbid(root: &Path, out: &mut Vec<Violation>) {
+    for p in crate_roots(root) {
+        let rel = rel_to(root, &p);
+        let Ok(src) = std::fs::read_to_string(&p) else {
+            missing(out, "unsafe-forbid", &rel);
+            continue;
+        };
+        if !strip_source(&src).contains("#![forbid(unsafe_code)]") {
+            out.push(Violation {
+                rule: "unsafe-forbid",
+                file: rel,
+                line: 1,
+                message: "crate root lacks #![forbid(unsafe_code)]".into(),
+            });
+        }
+    }
+}
+
+fn lint_no_unwrap(root: &Path, out: &mut Vec<Violation>) {
+    for (&rel, tests_exempt) in NO_UNWRAP_NONTEST
+        .iter()
+        .map(|r| (r, true))
+        .chain(NO_UNWRAP_ANYWHERE.iter().map(|r| (r, false)))
+    {
+        let Some(src) = read(root, rel) else {
+            missing(out, "no-unwrap", rel);
+            continue;
+        };
+        let stripped = strip_source(&src);
+        let regions = if tests_exempt {
+            test_regions(&stripped)
+        } else {
+            Vec::new()
+        };
+        for token in [".unwrap()", ".expect("] {
+            for byte in find_all(&stripped, token) {
+                if in_regions(&regions, byte) {
+                    continue;
+                }
+                let scope = if tests_exempt {
+                    "outside #[cfg(test)]"
+                } else {
+                    "anywhere"
+                };
+                out.push(Violation {
+                    rule: "no-unwrap",
+                    file: rel.to_string(),
+                    line: line_of(&src, byte),
+                    message: format!("{token} is banned {scope} in this file"),
+                });
+            }
+        }
+    }
+}
+
+fn lint_determinism(root: &Path, out: &mut Vec<Violation>) {
+    for &rel in DETERMINISM_FILES {
+        let Some(src) = read(root, rel) else {
+            missing(out, "determinism", rel);
+            continue;
+        };
+        let stripped = strip_source(&src);
+        for &token in NONDET_TOKENS {
+            for byte in find_all(&stripped, token) {
+                out.push(Violation {
+                    rule: "determinism",
+                    file: rel.to_string(),
+                    line: line_of(&src, byte),
+                    message: format!("nondeterminism source `{token}` in a training path"),
+                });
+            }
+        }
+    }
+    // Serialized checkpoint output must iterate stably: BTreeMap only.
+    for &rel in NO_UNWRAP_ANYWHERE {
+        let Some(src) = read(root, rel) else {
+            continue; // already reported by no-unwrap
+        };
+        let stripped = strip_source(&src);
+        for byte in find_all(&stripped, "HashMap") {
+            out.push(Violation {
+                rule: "determinism",
+                file: rel.to_string(),
+                line: line_of(&src, byte),
+                message: "HashMap in checkpoint code: serialized output must use BTreeMap".into(),
+            });
+        }
+    }
+}
+
+fn lint_fused_bitwise(root: &Path, out: &mut Vec<Violation>) {
+    let rel = "crates/nn/src/graph.rs";
+    let Some(src) = read(root, rel) else {
+        missing(out, "fused-bitwise", rel);
+        return;
+    };
+    // Collect all fn names.
+    let stripped = strip_source(&src);
+    let mut fn_names: Vec<String> = Vec::new();
+    for byte in find_all(&stripped, "fn ") {
+        // Only match at a token boundary ("fn " preceded by non-ident).
+        if byte > 0 {
+            let prev = stripped.as_bytes()[byte - 1];
+            if prev.is_ascii_alphanumeric() || prev == b'_' {
+                continue;
+            }
+        }
+        let name: String = stripped[byte + 3..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            fn_names.push(name);
+        }
+    }
+    for &op in FUSED_OPS {
+        let covered = fn_names
+            .iter()
+            .any(|n| n.contains(op) && n.contains("bitwise"));
+        if !covered {
+            out.push(Violation {
+                rule: "fused-bitwise",
+                file: rel.to_string(),
+                line: 0,
+                message: format!(
+                    "fused op `{op}` has no bitwise-equivalence test \
+                     (expected a fn containing `{op}` and `bitwise`)"
+                ),
+            });
+        }
+    }
+}

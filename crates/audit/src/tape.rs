@@ -1,0 +1,346 @@
+//! Tape verifier: re-derive every node's shape from [`Op`] semantics.
+//!
+//! [`expected_shape`] is an exhaustive `match` over [`Op`] — adding a
+//! variant to `gendt-nn` without a shape rule here fails to compile,
+//! which is the crate's coverage guarantee. [`verify`] walks a recorded
+//! graph, compares each node's stored value against its derived shape
+//! (errors), and flags dead nodes and nodes unreachable from the loss
+//! (warnings: a forward-only graph legitimately has outputs the tape
+//! cannot see being read).
+
+use gendt_nn::{Graph, NodeId, Op};
+
+/// Severity of a [`TapeIssue`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// The tape is inconsistent; training on it would be wrong.
+    Error,
+    /// Suspicious but possibly intentional (e.g. an output node the
+    /// verifier cannot see being consumed).
+    Warning,
+}
+
+/// One finding from [`verify`].
+#[derive(Clone, Debug)]
+pub struct TapeIssue {
+    /// Node the issue is anchored at.
+    pub node: usize,
+    /// `Op::describe()` of that node.
+    pub op: String,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Result of verifying one recorded graph.
+#[derive(Clone, Debug, Default)]
+pub struct TapeReport {
+    /// Number of nodes walked.
+    pub nodes: usize,
+    /// All findings, in node order.
+    pub issues: Vec<TapeIssue>,
+}
+
+impl TapeReport {
+    /// Findings with [`Severity::Error`].
+    pub fn errors(&self) -> impl Iterator<Item = &TapeIssue> {
+        self.issues.iter().filter(|i| i.severity == Severity::Error)
+    }
+
+    /// Findings with [`Severity::Warning`].
+    pub fn warnings(&self) -> impl Iterator<Item = &TapeIssue> {
+        self.issues
+            .iter()
+            .filter(|i| i.severity == Severity::Warning)
+    }
+
+    /// True when no error-severity issue was found.
+    pub fn is_consistent(&self) -> bool {
+        self.errors().count() == 0
+    }
+}
+
+/// Re-derive the output shape of `op` from its operand shapes.
+///
+/// Returns `None` for leaves (`Input`, `Param`): their recorded value
+/// *is* the ground truth, there is nothing to derive. Otherwise returns
+/// the derived `(rows, cols)` or a message describing why the operands
+/// are invalid for this op.
+///
+/// The `match` is exhaustive on purpose: a new `Op` variant without a
+/// rule here is a compile error.
+pub fn expected_shape(
+    op: &Op,
+    shape_of: &dyn Fn(NodeId) -> (usize, usize),
+) -> Option<Result<(usize, usize), String>> {
+    // Local helper: all listed operands must share one shape.
+    let same = |ids: &[NodeId]| -> Result<(usize, usize), String> {
+        let s0 = shape_of(ids[0]);
+        for &id in &ids[1..] {
+            let s = shape_of(id);
+            if s != s0 {
+                return Err(format!("operand shapes differ: {s0:?} vs {s:?}"));
+            }
+        }
+        Ok(s0)
+    };
+    let scalar_result = |r: Result<(usize, usize), String>| Some(r.map(|_| (1, 1)));
+    match op {
+        Op::Input | Op::Param(_) => None,
+        Op::MatMul(a, b) => {
+            let ((ra, ca), (rb, cb)) = (shape_of(*a), shape_of(*b));
+            Some(if ca == rb {
+                Ok((ra, cb))
+            } else {
+                Err(format!("inner dimensions differ: {ra}x{ca} * {rb}x{cb}"))
+            })
+        }
+        Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) => Some(same(&[*a, *b])),
+        Op::AddRow(a, b) => {
+            let ((ra, ca), sb) = (shape_of(*a), shape_of(*b));
+            Some(if sb == (1, ca) {
+                Ok((ra, ca))
+            } else {
+                Err(format!("row operand must be 1x{ca}, got {sb:?}"))
+            })
+        }
+        Op::MulCol(a, b) => {
+            let ((ra, ca), sb) = (shape_of(*a), shape_of(*b));
+            Some(if sb == (ra, 1) {
+                Ok((ra, ca))
+            } else {
+                Err(format!("column operand must be {ra}x1, got {sb:?}"))
+            })
+        }
+        Op::Scale(a, _)
+        | Op::Offset(a, _)
+        | Op::Sigmoid(a)
+        | Op::Tanh(a)
+        | Op::LeakyRelu(a, _)
+        | Op::Exp(a)
+        | Op::Softplus(a) => Some(Ok(shape_of(*a))),
+        Op::ConcatCols(a, b) => {
+            let ((ra, ca), (rb, cb)) = (shape_of(*a), shape_of(*b));
+            Some(if ra == rb {
+                Ok((ra, ca + cb))
+            } else {
+                Err(format!("row counts differ: {ra} vs {rb}"))
+            })
+        }
+        Op::SliceCols(a, c0, c1) => {
+            let (ra, ca) = shape_of(*a);
+            Some(if c0 < c1 && *c1 <= ca {
+                Ok((ra, c1 - c0))
+            } else {
+                Err(format!("bad column range {c0}..{c1} of {ca}"))
+            })
+        }
+        Op::SliceRows(a, r0, r1) => {
+            let (ra, ca) = shape_of(*a);
+            Some(if r0 < r1 && *r1 <= ra {
+                Ok((r1 - r0, ca))
+            } else {
+                Err(format!("bad row range {r0}..{r1} of {ra}"))
+            })
+        }
+        Op::RowSum(a) => Some(Ok((shape_of(*a).0, 1))),
+        Op::SumRowGroups(a, group) => {
+            let (ra, ca) = shape_of(*a);
+            Some(if *group > 0 && ra % group == 0 {
+                Ok((ra / group, ca))
+            } else {
+                Err(format!("{ra} rows not divisible by group {group}"))
+            })
+        }
+        Op::LstmCell {
+            gates,
+            c_prev,
+            hidden,
+        } => {
+            let ((rg, cg), sc) = (shape_of(*gates), shape_of(*c_prev));
+            Some(if *hidden > 0 && cg == 4 * hidden && sc == (rg, *hidden) {
+                Ok((rg, 2 * hidden))
+            } else {
+                Err(format!(
+                    "gates {rg}x{cg} / c_prev {sc:?} inconsistent with hidden={hidden}"
+                ))
+            })
+        }
+        Op::NoisyRenorm { x, noise, .. } => {
+            let sx = shape_of(*x);
+            Some(if noise.shape() == sx {
+                Ok(sx)
+            } else {
+                Err(format!(
+                    "noise shape {:?} != input shape {sx:?}",
+                    noise.shape()
+                ))
+            })
+        }
+        Op::AddAddRow(a, b, bias) => {
+            let ((ra, ca), sb, sbias) = (shape_of(*a), shape_of(*b), shape_of(*bias));
+            Some(if sb == (ra, ca) && sbias == (1, ca) {
+                Ok((ra, ca))
+            } else {
+                Err(format!(
+                    "operands {ra}x{ca} / {sb:?} / bias {sbias:?} inconsistent"
+                ))
+            })
+        }
+        Op::MaskedGroupMean {
+            x,
+            mask,
+            scale,
+            group,
+        } => {
+            let (rx, cx) = shape_of(*x);
+            Some(
+                if *group > 0
+                    && rx % group == 0
+                    && mask.shape() == (rx, 1)
+                    && scale.shape() == (rx / group, 1)
+                {
+                    Ok((rx / group, cx))
+                } else {
+                    Err(format!(
+                        "x {rx}x{cx}, mask {:?}, scale {:?} inconsistent with group={group}",
+                        mask.shape(),
+                        scale.shape()
+                    ))
+                },
+            )
+        }
+        Op::Mean(_) => Some(Ok((1, 1))),
+        Op::MseLoss(a, b) => scalar_result(same(&[*a, *b])),
+        Op::BceWithLogits(a, targets) => {
+            let sa = shape_of(*a);
+            scalar_result(if targets.shape() == sa {
+                Ok(sa)
+            } else {
+                Err(format!(
+                    "targets shape {:?} != logits shape {sa:?}",
+                    targets.shape()
+                ))
+            })
+        }
+        Op::WeightedSum(terms) => {
+            for &(id, _) in terms {
+                let s = shape_of(id);
+                if s != (1, 1) {
+                    return scalar_result(Err(format!(
+                        "term node {} is {s:?}, expected 1x1",
+                        id.index()
+                    )));
+                }
+            }
+            Some(Ok((1, 1)))
+        }
+        Op::GaussianNll { mu, sigma, target } => {
+            let (sm, ss) = (shape_of(*mu), shape_of(*sigma));
+            scalar_result(if sm == ss && target.shape() == sm {
+                Ok(sm)
+            } else {
+                Err(format!(
+                    "mu {sm:?} / sigma {ss:?} / target {:?} inconsistent",
+                    target.shape()
+                ))
+            })
+        }
+    }
+}
+
+/// Walk a recorded graph: check every node's stored shape against its
+/// derived shape, and (when `loss` is given) flag dead nodes and nodes
+/// the backward walk from `loss` can never reach.
+pub fn verify(g: &Graph, loss: Option<NodeId>) -> TapeReport {
+    let n = g.len();
+    let mut report = TapeReport {
+        nodes: n,
+        issues: Vec::new(),
+    };
+    let shape_of = |id: NodeId| g.value(id).shape();
+
+    let mut consumers = vec![0usize; n];
+    for id in g.node_ids() {
+        for inp in g.op(id).inputs() {
+            consumers[inp.index()] += 1;
+        }
+    }
+
+    for id in g.node_ids() {
+        let op = g.op(id);
+        let actual = g.value(id).shape();
+        match expected_shape(op, &shape_of) {
+            None => {}
+            Some(Ok(expected)) if expected == actual => {}
+            Some(Ok(expected)) => report.issues.push(TapeIssue {
+                node: id.index(),
+                op: op.describe(),
+                severity: Severity::Error,
+                message: format!("stored shape {actual:?} but semantics derive {expected:?}"),
+            }),
+            Some(Err(msg)) => report.issues.push(TapeIssue {
+                node: id.index(),
+                op: op.describe(),
+                severity: Severity::Error,
+                message: format!("invalid operands: {msg}"),
+            }),
+        }
+        // Shape metadata vs. backing storage (a corrupted Matrix would
+        // make every derived shape above meaningless).
+        let v = g.value(id);
+        if v.data.len() != v.rows * v.cols {
+            report.issues.push(TapeIssue {
+                node: id.index(),
+                op: op.describe(),
+                severity: Severity::Error,
+                message: format!(
+                    "matrix claims {}x{} but holds {} elements",
+                    v.rows,
+                    v.cols,
+                    v.data.len()
+                ),
+            });
+        }
+    }
+
+    if let Some(loss) = loss {
+        // Reachability from the loss through op inputs (the set backward
+        // can touch). Tape order makes a reverse sweep sufficient: a
+        // node's consumers always sit later on the tape.
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        let mut reachable = vec![false; n];
+        if loss.index() < n {
+            reachable[loss.index()] = true;
+            for i in (0..=loss.index()).rev() {
+                if !reachable[i] {
+                    continue;
+                }
+                for inp in g.op(ids[i]).inputs() {
+                    reachable[inp.index()] = true;
+                }
+            }
+        }
+        for &id in &ids {
+            let i = id.index();
+            if consumers[i] == 0 && i != loss.index() {
+                report.issues.push(TapeIssue {
+                    node: i,
+                    op: g.op(id).describe(),
+                    severity: Severity::Warning,
+                    message: "dead node: no consumer on the tape and not the loss".into(),
+                });
+            }
+            if !reachable[i] && g.node_needs_grad(id) {
+                report.issues.push(TapeIssue {
+                    node: i,
+                    op: g.op(id).describe(),
+                    severity: Severity::Warning,
+                    message: "needs grad but is unreachable from the loss".into(),
+                });
+            }
+        }
+    }
+    report
+}

@@ -1,0 +1,142 @@
+//! A small graph that records **every** [`Op`](gendt_nn::Op) variant.
+//!
+//! The zoo is the coverage witness for the verifier and the gradcheck
+//! harness: tests walk its tape and assert that each recorded variant
+//! has a shape rule and gradcheck cases. The matrices are tiny (a few
+//! rows) so the zoo is cheap enough to rebuild inside finite-difference
+//! loops.
+//!
+//! [`Graph::noisy_renorm`] is fed from a constant input here: its
+//! stop-gradient semantics (frozen noise and denominator) make the true
+//! forward non-differentiable-by-FD through that path, and the dedicated
+//! gradcheck case covers it with a frozen-semantics reference instead.
+
+use gendt_nn::{Graph, Matrix, NodeId, ParamId, ParamStore, Rng};
+
+/// Everything [`build`] returns: the parameter store, the recorded
+/// graph, the loss node, and the parameter ids for gradient checks.
+pub struct Zoo {
+    /// Parameters the zoo graph reads.
+    pub store: ParamStore,
+    /// The recorded tape.
+    pub graph: Graph,
+    /// Scalar loss combining every branch.
+    pub loss: NodeId,
+    /// All registered parameter ids, in registration order.
+    pub params: Vec<ParamId>,
+}
+
+/// Deterministic parameter set for the zoo (separate from [`build`] so
+/// finite-difference loops can perturb values and rebuild the graph).
+pub fn params(seed: u64) -> ParamStore {
+    let mut rng = Rng::seed_from(seed);
+    let mut store = ParamStore::new();
+    store.add_xavier("w1", 4, 3, &mut rng);
+    store.add_xavier("w2", 3, 4, &mut rng);
+    store.add_xavier("bias", 1, 4, &mut rng);
+    store.add_xavier("col", 4, 1, &mut rng);
+    store.add_xavier("gates", 2, 8, &mut rng);
+    store.add_xavier("c_prev", 2, 2, &mut rng);
+    store
+}
+
+/// Record the zoo graph over `store`'s current parameter values.
+pub fn record(store: &ParamStore) -> (Graph, NodeId) {
+    let ids: Vec<ParamId> = (0..6).map(ParamId).collect();
+    let (w1, w2, bias, col, gates_p, c_prev_p) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+    let mut rng = Rng::seed_from(7);
+    let mut g = Graph::new();
+
+    let x = g.param(store, w1);
+    let y = g.param(store, w2);
+    let mm = g.matmul(x, y); // MatMul, 4x4
+    let a = g.add(mm, mm); // Add
+    let s = g.sub(a, mm); // Sub
+    let m = g.mul(s, mm); // Mul
+    let bias_n = g.param(store, bias);
+    let ar = g.add_row(m, bias_n); // AddRow
+    let col_n = g.param(store, col);
+    let mc = g.mul_col(ar, col_n); // MulCol
+    let sc = g.scale(mc, 0.5); // Scale
+    let of = g.offset(sc, 0.1); // Offset
+    let sg = g.sigmoid(of); // Sigmoid
+    let th = g.tanh(of); // Tanh
+    let lr = g.leaky_relu(of, 0.1); // LeakyRelu
+    let ex = g.exp(sg); // Exp (bounded input)
+    let sp = g.softplus(of); // Softplus
+    let cc = g.concat_cols(sg, th); // ConcatCols, 4x8
+    let slc = g.slice_cols(cc, 2, 6); // SliceCols, 4x4
+    let slr = g.slice_rows(slc, 1, 3); // SliceRows, 2x4
+    let rs = g.row_sum(slr); // RowSum, 2x1
+    let srg = g.sum_row_groups(slc, 2); // SumRowGroups, 2x4
+
+    let gates_n = g.param(store, gates_p);
+    let c_prev_n = g.param(store, c_prev_p);
+    let lstm = g.lstm_cell(gates_n, c_prev_n, 2); // LstmCell, 2x4
+
+    // NoisyRenorm on a constant, positive input (see module docs).
+    let renorm_base = g.input(Matrix::from_vec(
+        2,
+        3,
+        (0..6).map(|_| rng.uniform(0.5, 1.5) as f32).collect(),
+    ));
+    let u = Matrix::from_vec(2, 3, (0..6).map(|_| rng.normal() as f32).collect());
+    let nr = g.noisy_renorm(renorm_base, 0.1, &u); // NoisyRenorm
+
+    let aar = g.add_add_row(m, s, bias_n); // AddAddRow, 4x4
+    let mask = Matrix::from_vec(4, 1, vec![1.0, 0.0, 1.0, 1.0]);
+    let gscale = Matrix::from_vec(2, 1, vec![1.0, 0.5]);
+    let mgm = g.masked_group_mean(slc, &mask, &gscale, 2); // MaskedGroupMean, 2x4
+
+    let target44 = g.input(Matrix::from_vec(
+        4,
+        4,
+        (0..16).map(|_| rng.uniform(-1.0, 1.0) as f32).collect(),
+    ));
+    let mse = g.mse_loss(aar, target44); // MseLoss
+
+    let bce = g.bce_with_logits(rs, Matrix::from_vec(2, 1, vec![1.0, 0.0])); // BceWithLogits
+
+    let slr_sp = g.softplus(slr);
+    let sig_pos = g.offset(slr_sp, 0.1);
+    let nll_target = Matrix::from_vec(
+        2,
+        4,
+        (0..8).map(|_| rng.uniform(-1.0, 1.0) as f32).collect(),
+    );
+    let gnll = g.gaussian_nll(slr, sig_pos, nll_target); // GaussianNll
+
+    // Scalar reductions pulling every remaining branch into the loss.
+    let m_ex = g.mean(ex); // Mean
+    let m_lr = g.mean(lr);
+    let m_lstm = g.mean(lstm);
+    let m_mgm = g.mean(mgm);
+    let m_srg = g.mean(srg);
+    let m_nr = g.mean(nr);
+    let m_sp = g.mean(sp);
+    let loss = g.weighted_sum(vec![
+        (mse, 1.0),
+        (bce, 0.5),
+        (gnll, 0.25),
+        (m_ex, 0.125),
+        (m_lr, 0.125),
+        (m_lstm, 0.5),
+        (m_mgm, 0.25),
+        (m_srg, 0.125),
+        (m_nr, 0.125),
+        (m_sp, 0.125),
+    ]); // WeightedSum
+    (g, loss)
+}
+
+/// Build the full zoo: deterministic parameters plus the recorded graph.
+pub fn build() -> Zoo {
+    let store = params(11);
+    let (graph, loss) = record(&store);
+    Zoo {
+        store,
+        graph,
+        loss,
+        params: (0..6).map(ParamId).collect(),
+    }
+}

@@ -1,0 +1,442 @@
+//! Self-tests for the verification layer.
+//!
+//! The audit crate only earns trust by catching *seeded* defects, so the
+//! tests here plant a wrong gradient, a mid-graph `Inf`, and a directory
+//! of lint violations, and assert each detector fires — alongside the
+//! clean-path assertions (every real op passes gradcheck, the real repo
+//! lints clean, the zoo covers every variant).
+
+use gendt_audit::{gradcheck, lint, tape, zoo};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use gendt_nn::{Graph, Matrix};
+
+/// Serializes tests that flip the global `GENDT_SANITIZE` state.
+static SANITIZE_LOCK: Mutex<()> = Mutex::new(());
+
+// ---------------------------------------------------------------------
+// Gradcheck: clean path + seeded wrong gradient
+// ---------------------------------------------------------------------
+
+#[test]
+fn gradcheck_every_case_passes() {
+    for r in gradcheck::run_all() {
+        assert!(
+            r.passed,
+            "case {} failed (max_rel_err {:.3e}): {}",
+            r.name, r.max_rel_err, r.detail
+        );
+    }
+}
+
+#[test]
+fn gradcheck_detects_seeded_wrong_gradient() {
+    // The recorded graph computes mean(2w); the finite-difference
+    // reference deliberately evaluates mean(3w). This simulates an op
+    // whose backward disagrees with its forward — the harness must fail
+    // the case, not paper over it.
+    let r = gradcheck::check_case(
+        "seeded_wrong_gradient",
+        vec![(
+            "w",
+            Matrix::from_vec(2, 3, vec![0.3, -0.7, 1.1, 0.2, -0.4, 0.9]),
+        )],
+        &|g, s, ids| {
+            let w = g.param(s, ids[0]);
+            let y = g.scale(w, 2.0);
+            g.mean(y)
+        },
+        Some(&|mats: &[&Matrix]| {
+            let m = mats[0];
+            3.0 * m.data.iter().map(|&v| f64::from(v)).sum::<f64>() / m.data.len() as f64
+        }),
+    );
+    assert!(
+        !r.passed,
+        "harness accepted a gradient off by 1.5x: {}",
+        r.detail
+    );
+    assert!(r.max_rel_err > gradcheck::TOLERANCE);
+}
+
+// ---------------------------------------------------------------------
+// Zoo coverage: every Op variant recorded, mapped, and verified
+// ---------------------------------------------------------------------
+
+/// `Op::name()` of every variant. Adding a variant to `gendt-nn` already
+/// breaks the exhaustive matches in `tape`/`gradcheck`; this list makes
+/// the *zoo* fail loudly too until the new op is recorded there.
+const ALL_OP_NAMES: &[&str] = &[
+    "Input",
+    "Param",
+    "MatMul",
+    "Add",
+    "Sub",
+    "Mul",
+    "AddRow",
+    "MulCol",
+    "Scale",
+    "Offset",
+    "Sigmoid",
+    "Tanh",
+    "LeakyRelu",
+    "Exp",
+    "Softplus",
+    "ConcatCols",
+    "SliceCols",
+    "SliceRows",
+    "RowSum",
+    "SumRowGroups",
+    "LstmCell",
+    "NoisyRenorm",
+    "AddAddRow",
+    "MaskedGroupMean",
+    "Mean",
+    "MseLoss",
+    "BceWithLogits",
+    "WeightedSum",
+    "GaussianNll",
+];
+
+#[test]
+fn zoo_records_every_op_variant() {
+    let z = zoo::build();
+    let recorded: Vec<&str> = z.graph.node_ids().map(|id| z.graph.op(id).name()).collect();
+    for &name in ALL_OP_NAMES {
+        assert!(
+            recorded.contains(&name),
+            "zoo graph never records Op::{name}"
+        );
+    }
+}
+
+#[test]
+fn zoo_tape_verifies_clean() {
+    let z = zoo::build();
+    let report = tape::verify(&z.graph, Some(z.loss));
+    assert!(
+        report.issues.is_empty(),
+        "zoo graph should verify with zero findings, got: {:#?}",
+        report.issues
+    );
+}
+
+#[test]
+fn every_zoo_op_maps_to_registered_gradcheck_cases() {
+    let z = zoo::build();
+    let registry: Vec<&str> = gradcheck::all_cases().iter().map(|(n, _)| *n).collect();
+    for id in z.graph.node_ids() {
+        let op = z.graph.op(id);
+        let cases = gradcheck::cases_for(op);
+        assert!(
+            !cases.is_empty(),
+            "Op::{} maps to no gradcheck cases",
+            op.name()
+        );
+        for &case in cases {
+            assert!(
+                registry.contains(&case),
+                "Op::{} names case `{case}` which is not in the registry",
+                op.name()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tape verifier: shape rules and dead-node detection
+// ---------------------------------------------------------------------
+
+#[test]
+fn expected_shape_accepts_and_rejects_matmul_operands() {
+    // NodeIds can only come from a real graph; the shape closure is ours.
+    let mut g = Graph::new();
+    let a = g.input(Matrix::zeros(2, 3));
+    let b = g.input(Matrix::zeros(3, 4));
+    let ids = [a, b];
+
+    let good = |id: gendt_nn::NodeId| if id == ids[0] { (2, 3) } else { (3, 4) };
+    assert_eq!(
+        tape::expected_shape(&gendt_nn::Op::MatMul(a, b), &good),
+        Some(Ok((2, 4)))
+    );
+
+    let bad = |id: gendt_nn::NodeId| if id == ids[0] { (2, 3) } else { (5, 4) };
+    match tape::expected_shape(&gendt_nn::Op::MatMul(a, b), &bad) {
+        Some(Err(msg)) => assert!(
+            msg.contains("inner dimensions"),
+            "unexpected message: {msg}"
+        ),
+        other => panic!("mismatched matmul operands must be rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn verifier_flags_dead_node() {
+    let mut g = Graph::new();
+    let a = g.input(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+    let orphan = g.sigmoid(a); // never consumed, not the loss
+    let live = g.tanh(a);
+    let loss = g.mean(live);
+
+    let report = tape::verify(&g, Some(loss));
+    assert!(report.is_consistent(), "graph has no shape errors");
+    let flagged: Vec<usize> = report
+        .warnings()
+        .filter(|i| i.message.contains("dead node"))
+        .map(|i| i.node)
+        .collect();
+    assert_eq!(
+        flagged,
+        vec![orphan.index()],
+        "exactly the orphan must be flagged"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Sanitizer: seeded NaN/Inf in forward and backward
+// ---------------------------------------------------------------------
+
+#[test]
+fn sanitizer_catches_seeded_forward_inf() {
+    let _guard = SANITIZE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    gendt_nn::set_sanitize(true);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::full(1, 1, 1.0e38));
+        let b = g.input(Matrix::full(1, 1, 1.0e38));
+        g.mul(a, b) // 1e76 overflows f32 -> Inf at op granularity
+    }));
+    gendt_nn::set_sanitize(false);
+    let msg = panic_message(result.expect_err("sanitizer must panic on a forward Inf"));
+    assert!(
+        msg.contains("GENDT_SANITIZE"),
+        "panic must name the sanitizer: {msg}"
+    );
+    assert!(
+        msg.contains("non-finite value"),
+        "panic must describe the defect: {msg}"
+    );
+    assert!(
+        msg.contains("Mul"),
+        "panic must name the offending op: {msg}"
+    );
+}
+
+#[test]
+fn sanitizer_catches_seeded_backward_inf() {
+    let _guard = SANITIZE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Record with the sanitizer OFF so the (finite-forward-breaking)
+    // setup survives: exp(88) ~ 1.7e38 is finite, and the mul's Inf
+    // forward goes unchecked. The backward then pushes
+    // d(exp_in) = 3e38 * 1.7e38 = Inf into the parameter.
+    gendt_nn::set_sanitize(false);
+    let mut store = gendt_nn::ParamStore::new();
+    let w = store.add("w", Matrix::full(1, 1, 88.0));
+    let mut g = Graph::new();
+    let x = g.param(&store, w);
+    let y = g.exp(x);
+    let c = g.input(Matrix::full(1, 1, 3.0e38));
+    let z = g.mul(y, c);
+    let loss = g.mean(z);
+
+    gendt_nn::set_sanitize(true);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        g.backward(loss, &mut store);
+    }));
+    gendt_nn::set_sanitize(false);
+    let msg = panic_message(result.expect_err("sanitizer must panic on a backward Inf"));
+    assert!(
+        msg.contains("GENDT_SANITIZE"),
+        "panic must name the sanitizer: {msg}"
+    );
+    assert!(
+        msg.contains("non-finite gradient"),
+        "panic must describe the defect: {msg}"
+    );
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint: seeded violations in a fixture tree + the real repo stays clean
+// ---------------------------------------------------------------------
+
+struct FixtureDir(std::path::PathBuf);
+
+impl Drop for FixtureDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn write_fixture(root: &std::path::Path, rel: &str, body: &str) {
+    let p = root.join(rel);
+    if let Some(dir) = p.parent() {
+        std::fs::create_dir_all(dir).expect("fixture mkdir");
+    }
+    std::fs::write(p, body).expect("fixture write");
+}
+
+const CLEAN_FILE: &str = "pub fn noop() {}\n";
+
+/// Lay out a miniature workspace with one seeded violation per rule
+/// family, plus decoys (violating tokens inside comments, strings, and
+/// `#[cfg(test)]` where the rule exempts them) that must NOT fire.
+fn seeded_fixture() -> FixtureDir {
+    let root =
+        std::env::temp_dir().join(format!("gendt-audit-lint-fixture-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Seed 1 (unsafe-forbid): nn's lib.rs lacks the attribute.
+    write_fixture(&root, "crates/nn/src/lib.rs", "pub mod graph;\n");
+    // Seed 2 (no-unwrap): one unwrap outside tests in graph.rs; the one
+    // inside #[cfg(test)] and the ones in comments/strings are exempt.
+    // Seed 5 (fused-bitwise): every fused op except `sum_row_groups`
+    // has a bitwise test fn.
+    write_fixture(
+        &root,
+        "crates/nn/src/graph.rs",
+        r#"
+// a comment saying .unwrap() must not fire
+pub fn hot() {
+    let v: Option<u8> = Some(1);
+    let msg = "string saying .unwrap() must not fire";
+    let _ = msg;
+    let _ = v.unwrap(); // seeded violation
+}
+#[cfg(test)]
+mod tests {
+    fn lstm_cell_bitwise() {}
+    fn noisy_renorm_bitwise() {}
+    fn add_add_row_bitwise() {}
+    fn masked_group_mean_bitwise() {}
+    fn slice_rows_bitwise() {}
+    fn exempt() {
+        let v: Option<u8> = Some(1);
+        let _ = v.unwrap();
+    }
+}
+"#,
+    );
+    write_fixture(&root, "crates/nn/src/kernels.rs", CLEAN_FILE);
+    write_fixture(&root, "crates/nn/src/matrix.rs", CLEAN_FILE);
+    write_fixture(&root, "crates/nn/src/layers.rs", CLEAN_FILE);
+    write_fixture(&root, "crates/nn/src/params.rs", CLEAN_FILE);
+    write_fixture(&root, "crates/nn/src/threads.rs", CLEAN_FILE);
+    write_fixture(&root, "crates/nn/src/sanitize.rs", CLEAN_FILE);
+    // Seed 3 (no-unwrap anywhere): checkpoint unwrap INSIDE #[cfg(test)]
+    // still fires — the rule has no test exemption there.
+    write_fixture(
+        &root,
+        "crates/nn/src/checkpoint.rs",
+        "#[cfg(test)]\nmod tests {\n    fn t() {\n        let v: Option<u8> = Some(1);\n        let _ = v.expect(\"seeded\");\n    }\n}\n",
+    );
+    write_fixture(
+        &root,
+        "crates/core/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub mod trainer;\n",
+    );
+    // Seed 4 (determinism): SystemTime in the trainer; the mention in a
+    // generator.rs comment is a decoy.
+    write_fixture(
+        &root,
+        "crates/core/src/trainer.rs",
+        "pub fn step() {\n    let _t = std::time::SystemTime::now();\n}\n",
+    );
+    write_fixture(
+        &root,
+        "crates/core/src/generator.rs",
+        "// SystemTime in a comment is fine\npub fn g() {}\n",
+    );
+    write_fixture(&root, "crates/core/src/generate.rs", CLEAN_FILE);
+    // Seed 6 (determinism/HashMap): HashMap in checkpoint code.
+    write_fixture(
+        &root,
+        "crates/core/src/checkpoint.rs",
+        "use std::collections::HashMap;\npub fn save(_m: &HashMap<String, f32>) {}\n",
+    );
+    FixtureDir(root)
+}
+
+#[test]
+fn lint_detects_seeded_violations_and_ignores_decoys() {
+    let fixture = seeded_fixture();
+    let violations = lint::run(&fixture.0);
+    let has = |rule: &str, file: &str| violations.iter().any(|v| v.rule == rule && v.file == file);
+
+    assert!(
+        has("unsafe-forbid", "crates/nn/src/lib.rs"),
+        "missing forbid not caught"
+    );
+    assert!(
+        has("no-unwrap", "crates/nn/src/graph.rs"),
+        "seeded unwrap not caught"
+    );
+    assert!(
+        has("no-unwrap", "crates/nn/src/checkpoint.rs"),
+        "in-test checkpoint expect not caught"
+    );
+    assert!(
+        has("determinism", "crates/core/src/trainer.rs"),
+        "SystemTime not caught"
+    );
+    assert!(
+        has("determinism", "crates/core/src/checkpoint.rs"),
+        "HashMap not caught"
+    );
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == "fused-bitwise" && v.message.contains("sum_row_groups")),
+        "missing bitwise test not caught"
+    );
+
+    // Decoys must stay quiet.
+    let graph_unwraps: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == "no-unwrap" && v.file == "crates/nn/src/graph.rs")
+        .collect();
+    assert_eq!(
+        graph_unwraps.len(),
+        1,
+        "comment/string/test unwraps must not fire: {graph_unwraps:?}"
+    );
+    assert_eq!(
+        graph_unwraps[0].line, 7,
+        "violation should point at the seeded line"
+    );
+    assert!(
+        !has("determinism", "crates/core/src/generator.rs"),
+        "SystemTime inside a comment must not fire"
+    );
+    assert!(
+        !violations
+            .iter()
+            .any(|v| v.rule == "fused-bitwise" && v.message.contains("lstm_cell")),
+        "covered fused ops must not fire"
+    );
+}
+
+#[test]
+fn lint_is_clean_on_this_repo() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let violations = lint::run(&root);
+    assert!(
+        violations.is_empty(),
+        "the repo must lint clean:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}\n"))
+            .collect::<String>()
+    );
+}

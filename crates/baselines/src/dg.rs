@@ -72,7 +72,12 @@ impl DgCfg {
             n_ch,
             hidden: 32,
             n_z: 4,
-            window: WindowCfg { len: 30, stride: 30, max_cells: 6, ar_context: 4 },
+            window: WindowCfg {
+                len: 30,
+                stride: 30,
+                max_cells: 6,
+                ar_context: 4,
+            },
             steps: 120,
             batch_size: 8,
             lambda_gan: 0.1,
@@ -159,11 +164,15 @@ impl DoppelGanger {
         let ts_lstm = Lstm::new(&mut g_store, "dg_ts", ts_in, cfg.hidden, &mut rng);
         let ts_head = Linear::new(&mut g_store, "dg_head", cfg.hidden, cfg.n_ch, &mut rng);
         let mut d_store = ParamStore::new();
-        let ts_disc_lstm =
-            Lstm::new(&mut d_store, "dg_disc", cfg.n_ch + META_DIM, 16, &mut rng);
+        let ts_disc_lstm = Lstm::new(&mut d_store, "dg_disc", cfg.n_ch + META_DIM, 16, &mut rng);
         let ts_disc_head = Linear::new(&mut d_store, "dg_disc_head", 16, 1, &mut rng);
         let mut m_store = ParamStore::new();
-        let meta_gen = Mlp::new(&mut m_store, "dg_meta", &[META_NOISE, 32, META_DIM], &mut rng);
+        let meta_gen = Mlp::new(
+            &mut m_store,
+            "dg_meta",
+            &[META_NOISE, 32, META_DIM],
+            &mut rng,
+        );
         let mut md_store = ParamStore::new();
         let meta_disc = Mlp::new(&mut md_store, "dg_meta_disc", &[META_DIM, 32, 1], &mut rng);
         DoppelGanger {
@@ -183,13 +192,7 @@ impl DoppelGanger {
         }
     }
 
-    fn ts_forward(
-        &self,
-        g: &mut Graph,
-        meta: &Matrix,
-        len: usize,
-        rng: &mut Rng,
-    ) -> Vec<NodeId> {
+    fn ts_forward(&self, g: &mut Graph, meta: &Matrix, len: usize, rng: &mut Rng) -> Vec<NodeId> {
         let b = meta.rows;
         let meta_node = g.input(meta.clone());
         let mut st = LstmNodeState {
@@ -210,13 +213,7 @@ impl DoppelGanger {
         outs
     }
 
-    fn ts_disc(
-        &self,
-        g: &mut Graph,
-        xs: &[NodeId],
-        meta: &Matrix,
-        frozen: bool,
-    ) -> NodeId {
+    fn ts_disc(&self, g: &mut Graph, xs: &[NodeId], meta: &Matrix, frozen: bool) -> NodeId {
         let b = meta.rows;
         let meta_node = g.input(meta.clone());
         let mut st = LstmNodeState {
@@ -225,9 +222,12 @@ impl DoppelGanger {
         };
         for &x in xs {
             let inp = g.concat_cols(x, meta_node);
-            st = self.ts_disc_lstm.step_mode(g, &self.d_store, inp, st, frozen);
+            st = self
+                .ts_disc_lstm
+                .step_mode(g, &self.d_store, inp, st, frozen);
         }
-        self.ts_disc_head.forward_mode(g, &self.d_store, st.h, frozen)
+        self.ts_disc_head
+            .forward_mode(g, &self.d_store, st.h, frozen)
     }
 
     /// Train on a pool of windows.
@@ -284,8 +284,7 @@ impl DoppelGanger {
             drop(g);
             self.d_store.zero_grad();
             let mut gd = Graph::new();
-            let real_nodes: Vec<NodeId> =
-                real_steps.iter().map(|m| gd.input(m.clone())).collect();
+            let real_nodes: Vec<NodeId> = real_steps.iter().map(|m| gd.input(m.clone())).collect();
             let fake_nodes: Vec<NodeId> = fake_vals.iter().map(|m| gd.input(m.clone())).collect();
             let lr = self.ts_disc(&mut gd, &real_nodes, &meta, false);
             let lf = self.ts_disc(&mut gd, &fake_nodes, &meta, false);
@@ -309,7 +308,8 @@ impl DoppelGanger {
                 let z = gm.input(zm.clone());
                 let fake_meta = self.meta_gen.forward(&mut gm, &self.m_store, z);
                 // Frozen metadata discriminator.
-                let logit_m = forward_mlp_frozen(&self.meta_disc, &mut gm, &self.md_store, fake_meta);
+                let logit_m =
+                    forward_mlp_frozen(&self.meta_disc, &mut gm, &self.md_store, fake_meta);
                 let loss_m = gm.bce_with_logits(logit_m, Matrix::full(bsz, 1, 1.0));
                 gm.backward(loss_m, &mut self.m_store);
                 self.m_store.scrub_non_finite_grads();
@@ -394,7 +394,12 @@ mod tests {
     fn tiny_cfg(mode: DgMode) -> DgCfg {
         let mut c = DgCfg::fast(mode, 4, 3);
         c.hidden = 8;
-        c.window = WindowCfg { len: 10, stride: 10, max_cells: 3, ar_context: 4 };
+        c.window = WindowCfg {
+            len: 10,
+            stride: 10,
+            max_cells: 3,
+            ar_context: 4,
+        };
         c.steps = 5;
         c.batch_size = 4;
         c
@@ -407,7 +412,10 @@ mod tests {
             &ds.world,
             &ds.deployment,
             &run.traj,
-            &ContextCfg { max_cells: 3, ..ContextCfg::default() },
+            &ContextCfg {
+                max_cells: 3,
+                ..ContextCfg::default()
+            },
         );
         (make_windows(run, &ctx, &Kpi::DATASET_A, &cfg.window), ctx)
     }

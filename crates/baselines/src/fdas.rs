@@ -34,7 +34,10 @@ impl Fdas {
                 v
             })
             .collect();
-        Fdas { kpis: kpis.to_vec(), pools }
+        Fdas {
+            kpis: kpis.to_vec(),
+            pools,
+        }
     }
 
     /// Generate `len` i.i.d. samples per KPI by inverse-CDF draws with
@@ -79,9 +82,13 @@ mod tests {
         let gen = &f.generate(2000, 5)[0];
         let m = gendt_metrics::mean(gen);
         let var: f64 = gen.iter().map(|x| (x - m).powi(2)).sum::<f64>() / gen.len() as f64;
-        let cov: f64 = gen.windows(2).map(|w| (w[0] - m) * (w[1] - m)).sum::<f64>()
-            / (gen.len() - 1) as f64;
-        assert!((cov / var).abs() < 0.1, "unexpected autocorrelation {}", cov / var);
+        let cov: f64 =
+            gen.windows(2).map(|w| (w[0] - m) * (w[1] - m)).sum::<f64>() / (gen.len() - 1) as f64;
+        assert!(
+            (cov / var).abs() < 0.1,
+            "unexpected autocorrelation {}",
+            cov / var
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ impl LstmGnn {
             overlap_batching: false,
         };
         cfg.n_z0 = 0; // purely deterministic input
-        LstmGnn { model: GenDt::new(cfg) }
+        LstmGnn {
+            model: GenDt::new(cfg),
+        }
     }
 
     /// Train on the window pool (MSE only).
@@ -71,7 +73,10 @@ mod tests {
         cfg.steps = 3;
         cfg.batch_size = 4;
         let ds = dataset_a(&BuildCfg::quick(67));
-        let ctx_cfg = ContextCfg { max_cells: 2, ..ContextCfg::default() };
+        let ctx_cfg = ContextCfg {
+            max_cells: 2,
+            ..ContextCfg::default()
+        };
         let run = &ds.runs[0];
         let ctx = extract(&ds.world, &ds.deployment, &run.traj, &ctx_cfg);
         let pool = make_windows(run, &ctx, &Kpi::DATASET_A, &cfg.training_window());

@@ -47,14 +47,30 @@ impl MlpBaseline {
     pub fn new(kpis: &[Kpi], hidden: usize, seed: u64) -> Self {
         let mut rng = Rng::seed_from(seed);
         let mut store = ParamStore::new();
-        let net = Mlp::new(&mut store, "mlp", &[MLP_FEATS, hidden, hidden, kpis.len()], &mut rng);
-        MlpBaseline { kpis: kpis.to_vec(), store, net, epochs: 30, batch: 64, rng }
+        let net = Mlp::new(
+            &mut store,
+            "mlp",
+            &[MLP_FEATS, hidden, hidden, kpis.len()],
+            &mut rng,
+        );
+        MlpBaseline {
+            kpis: kpis.to_vec(),
+            store,
+            net,
+            epochs: 30,
+            batch: 64,
+            rng,
+        }
     }
 
     /// Fit on pooled `(step context, physical KPI values)` pairs from the
     /// training runs.
     pub fn fit(&mut self, contexts: &[&RunContext], targets: &[Vec<Vec<f64>>]) {
-        assert_eq!(contexts.len(), targets.len(), "context/target run count mismatch");
+        assert_eq!(
+            contexts.len(),
+            targets.len(),
+            "context/target run count mismatch"
+        );
         // Pool all steps.
         let mut xs: Vec<Vec<f32>> = Vec::new();
         let mut ys: Vec<Vec<f32>> = Vec::new();
@@ -87,8 +103,7 @@ impl MlpBaseline {
             for bi in 0..bsz {
                 let idx = self.rng.gen_range(xs.len());
                 xm.data[bi * MLP_FEATS..(bi + 1) * MLP_FEATS].copy_from_slice(&xs[idx]);
-                ym.data[bi * self.kpis.len()..(bi + 1) * self.kpis.len()]
-                    .copy_from_slice(&ys[idx]);
+                ym.data[bi * self.kpis.len()..(bi + 1) * self.kpis.len()].copy_from_slice(&ys[idx]);
             }
             self.store.zero_grad();
             let mut g = Graph::new();
@@ -160,13 +175,21 @@ mod tests {
         let mae_pred = gendt_metrics::mae(real, &pred[0]);
         let midrange = vec![-92.0; real.len()];
         let mae_mid = gendt_metrics::mae(real, &midrange);
-        assert!(mae_pred < mae_mid, "MLP MAE {mae_pred} vs midrange {mae_mid}");
+        assert!(
+            mae_pred < mae_mid,
+            "MLP MAE {mae_pred} vs midrange {mae_mid}"
+        );
     }
 
     #[test]
     fn prediction_is_deterministic() {
         let ds = dataset_a(&BuildCfg::quick(61));
-        let ctx = extract(&ds.world, &ds.deployment, &ds.runs[0].traj, &ContextCfg::default());
+        let ctx = extract(
+            &ds.world,
+            &ds.deployment,
+            &ds.runs[0].traj,
+            &ContextCfg::default(),
+        );
         let mlp = MlpBaseline::new(&[Kpi::Rsrp], 8, 5);
         assert_eq!(mlp.generate(&ctx), mlp.generate(&ctx));
     }

@@ -30,7 +30,9 @@ pub fn generate_stitched(
     let mut start = 0usize;
     let mut k = 0u64;
     while start + segment_steps <= n {
-        let sub = RunContext { steps: ctx.steps[start..start + segment_steps].to_vec() };
+        let sub = RunContext {
+            steps: ctx.steps[start..start + segment_steps].to_vec(),
+        };
         let out = generate_series(model, &sub, kpis, false, seed ^ ((k + 1) << 24));
         for (ch, s) in out.series.into_iter().enumerate() {
             series[ch].extend(s);
@@ -38,7 +40,10 @@ pub fn generate_stitched(
         start += segment_steps;
         k += 1;
     }
-    GeneratedSeries { kpis: kpis.to_vec(), series }
+    GeneratedSeries {
+        kpis: kpis.to_vec(),
+        series,
+    }
 }
 
 #[cfg(test)]
@@ -66,7 +71,10 @@ mod tests {
             &ds.world,
             &ds.deployment,
             &run.traj,
-            &ContextCfg { max_cells: 2, ..ContextCfg::default() },
+            &ContextCfg {
+                max_cells: 2,
+                ..ContextCfg::default()
+            },
         );
         let pool = make_windows(run, &ctx, &Kpi::DATASET_A, &cfg.window);
         let mut model = GenDt::new(cfg);
@@ -75,6 +83,10 @@ mod tests {
         // 20-step segments, each yielding 2 windows of 10.
         let expected = (ctx.steps.len() / 20) * 20;
         assert_eq!(out.len(), expected);
-        assert!(out.channel(Kpi::Rsrp).unwrap().iter().all(|v| v.is_finite()));
+        assert!(out
+            .channel(Kpi::Rsrp)
+            .unwrap()
+            .iter()
+            .all(|v| v.is_finite()));
     }
 }

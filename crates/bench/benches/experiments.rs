@@ -5,7 +5,9 @@
 //! `gendt-eval --exp all`; see EXPERIMENTS.md.)
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gendt_eval::{exp_ablation, exp_efficiency, exp_fidelity, exp_stats, exp_usecases, Bundle, EvalCfg};
+use gendt_eval::{
+    exp_ablation, exp_efficiency, exp_fidelity, exp_stats, exp_usecases, Bundle, EvalCfg,
+};
 use std::sync::OnceLock;
 
 fn cfg() -> EvalCfg {

@@ -17,8 +17,16 @@ fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
     for n in [32usize, 64, 128] {
         let mut rng = Rng::seed_from(1);
-        let a = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.uniform(-1.0, 1.0) as f32).collect());
-        let b = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.uniform(-1.0, 1.0) as f32).collect());
+        let a = Matrix::from_vec(
+            n,
+            n,
+            (0..n * n).map(|_| rng.uniform(-1.0, 1.0) as f32).collect(),
+        );
+        let b = Matrix::from_vec(
+            n,
+            n,
+            (0..n * n).map(|_| rng.uniform(-1.0, 1.0) as f32).collect(),
+        );
         group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
             bch.iter(|| std::hint::black_box(a.matmul(&b)));
         });
@@ -147,10 +155,18 @@ fn bench_lstm_step(c: &mut Criterion) {
 
 fn bench_metrics(c: &mut Criterion) {
     let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.1).sin() * 10.0).collect();
-    let ys: Vec<f64> = (0..1000).map(|i| ((i as f64 - 3.0) * 0.1).sin() * 10.0).collect();
-    c.bench_function("dtw_1000", |b| b.iter(|| std::hint::black_box(gendt_metrics::dtw(&xs, &ys))));
-    c.bench_function("hwd_1000", |b| b.iter(|| std::hint::black_box(gendt_metrics::hwd(&xs, &ys))));
-    c.bench_function("mae_1000", |b| b.iter(|| std::hint::black_box(gendt_metrics::mae(&xs, &ys))));
+    let ys: Vec<f64> = (0..1000)
+        .map(|i| ((i as f64 - 3.0) * 0.1).sin() * 10.0)
+        .collect();
+    c.bench_function("dtw_1000", |b| {
+        b.iter(|| std::hint::black_box(gendt_metrics::dtw(&xs, &ys)))
+    });
+    c.bench_function("hwd_1000", |b| {
+        b.iter(|| std::hint::black_box(gendt_metrics::hwd(&xs, &ys)))
+    });
+    c.bench_function("mae_1000", |b| {
+        b.iter(|| std::hint::black_box(gendt_metrics::mae(&xs, &ys)))
+    });
 }
 
 fn bench_simulator(c: &mut Criterion) {
@@ -172,7 +188,10 @@ fn bench_simulator(c: &mut Criterion) {
         })
     });
     let engine = KpiEngine::new(&world, &deployment, prop, KpiCfg::default());
-    let traj = generate(&world, &TrajectoryCfg::new(Scenario::Bus, 60.0, XY::new(0.0, 0.0), 3));
+    let traj = generate(
+        &world,
+        &TrajectoryCfg::new(Scenario::Bus, 60.0, XY::new(0.0, 0.0), 3),
+    );
     c.bench_function("kpi_measure_60s_bus", |b| {
         let mut seed = 0u64;
         b.iter(|| {

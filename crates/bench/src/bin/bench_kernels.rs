@@ -7,6 +7,8 @@
 //!
 //! Run from the repo root with `cargo run --release --bin bench_kernels`.
 
+#![forbid(unsafe_code)]
+
 use gendt::{ArMode, CarryState, GenDt, GenDtCfg, Generator};
 use gendt_data::windows::Window;
 use gendt_geo::landuse::ENV_ATTRS;
@@ -15,7 +17,11 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 fn rand_mat(rng: &mut Rng, r: usize, c: usize) -> Matrix {
-    Matrix::from_vec(r, c, (0..r * c).map(|_| rng.uniform(-2.0, 2.0) as f32).collect())
+    Matrix::from_vec(
+        r,
+        c,
+        (0..r * c).map(|_| rng.uniform(-2.0, 2.0) as f32).collect(),
+    )
 }
 
 /// Best-of-5 mean seconds per call.
@@ -64,7 +70,11 @@ fn main() {
     let threads: usize = std::env::var("GENDT_THREADS")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        });
     gendt_nn::set_num_threads(threads);
     let mut rng = Rng::seed_from(1);
     let mut json = String::new();
@@ -80,9 +90,21 @@ fn main() {
         let b = rand_mat(&mut rng, n, n);
         let reps = ((1usize << 22) / (n * n)).max(8);
         for (op, new_t, old_t) in [
-            ("nn", time(|| a.matmul(&b), reps), time(|| a.matmul_naive(&b), reps)),
-            ("tn", time(|| a.matmul_tn(&b), reps), time(|| a.matmul_tn_naive(&b), reps)),
-            ("nt", time(|| a.matmul_nt(&b), reps), time(|| a.matmul_nt_naive(&b), reps)),
+            (
+                "nn",
+                time(|| a.matmul(&b), reps),
+                time(|| a.matmul_naive(&b), reps),
+            ),
+            (
+                "tn",
+                time(|| a.matmul_tn(&b), reps),
+                time(|| a.matmul_tn_naive(&b), reps),
+            ),
+            (
+                "nt",
+                time(|| a.matmul_nt(&b), reps),
+                time(|| a.matmul_nt_naive(&b), reps),
+            ),
         ] {
             let speedup = old_t / new_t;
             println!(
@@ -183,7 +205,15 @@ fn main() {
         tcfg.steps = 1;
         tcfg.train_shards = shards;
         let pool: Vec<Window> = (0..16)
-            .map(|_| synth_window(&mut rng, tcfg.window.len, 4, tcfg.n_ch, tcfg.window.ar_context))
+            .map(|_| {
+                synth_window(
+                    &mut rng,
+                    tcfg.window.len,
+                    4,
+                    tcfg.n_ch,
+                    tcfg.window.ar_context,
+                )
+            })
             .collect();
         let mut model = GenDt::new(tcfg);
         model.train_step(&pool); // warm up Adam state

@@ -9,3 +9,5 @@
 //!
 //! Run with `cargo bench --workspace`; publication-scale numbers come
 //! from `gendt-eval --exp all` (see EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]

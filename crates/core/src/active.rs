@@ -67,7 +67,11 @@ pub struct ActiveConfig<'a> {
 /// Run the selection loop under a policy; returns one curve point per
 /// training-set size.
 pub fn run_selection(cfg: &ActiveConfig<'_>, policy: SelectionPolicy) -> Vec<SelectionPoint> {
-    assert_eq!(cfg.subsets.len(), cfg.subset_ctx.len(), "subset/context mismatch");
+    assert_eq!(
+        cfg.subsets.len(),
+        cfg.subset_ctx.len(),
+        "subset/context mismatch"
+    );
     assert!(!cfg.subsets.is_empty(), "no subsets");
     let mut rng = Rng::seed_from(cfg.seed);
     let total: usize = cfg.subsets.iter().map(|s| s.len()).sum();
@@ -166,7 +170,10 @@ mod tests {
         model_cfg.batch_size = 4;
 
         let ds = dataset_a(&BuildCfg::quick(53));
-        let ctx_cfg = ContextCfg { max_cells: 2, ..ContextCfg::default() };
+        let ctx_cfg = ContextCfg {
+            max_cells: 2,
+            ..ContextCfg::default()
+        };
         let mut subsets = Vec::new();
         let mut subset_ctx = Vec::new();
         for run in ds.runs.iter().take(3) {

@@ -21,7 +21,12 @@ pub struct Ablation {
 
 impl Default for Ablation {
     fn default() -> Self {
-        Ablation { resgen: true, srnn: true, gan_loss: true, overlap_batching: true }
+        Ablation {
+            resgen: true,
+            srnn: true,
+            gan_loss: true,
+            overlap_batching: true,
+        }
     }
 }
 
@@ -103,7 +108,12 @@ impl GenDtCfg {
     pub fn fast(n_ch: usize, seed: u64) -> Self {
         GenDtCfg {
             hidden: 32,
-            window: gendt_data::windows::WindowCfg { len: 30, stride: 6, max_cells: 6, ar_context: 4 },
+            window: gendt_data::windows::WindowCfg {
+                len: 30,
+                stride: 6,
+                max_cells: 6,
+                ar_context: 4,
+            },
             resgen_hidden: 32,
             disc_hidden: 16,
             batch_size: 8,
@@ -114,7 +124,10 @@ impl GenDtCfg {
 
     /// Generation windowing: non-overlapping with the same length.
     pub fn generation_window(&self) -> WindowCfg {
-        WindowCfg { stride: self.window.len, ..self.window }
+        WindowCfg {
+            stride: self.window.len,
+            ..self.window
+        }
     }
 
     /// Training windowing honoring the batching ablation: without overlap
@@ -123,7 +136,10 @@ impl GenDtCfg {
         if self.ablation.overlap_batching {
             self.window
         } else {
-            WindowCfg { stride: self.window.len, ..self.window }
+            WindowCfg {
+                stride: self.window.len,
+                ..self.window
+            }
         }
     }
 }

@@ -85,7 +85,10 @@ mod tests {
             &ds.world,
             &ds.deployment,
             &run.traj,
-            &ContextCfg { max_cells: 2, ..ContextCfg::default() },
+            &ContextCfg {
+                max_cells: 2,
+                ..ContextCfg::default()
+            },
         );
         let pool = make_windows(run, &ctx, &Kpi::DATASET_A, &cfg.window);
         let mut model = GenDt::new(cfg);
@@ -94,25 +97,30 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_preserves_generation() {
+    fn roundtrip_preserves_generation() -> Result<(), CheckpointError> {
         let (mut model, ctx) = tiny_trained();
         let before = generate_series(&mut model, &ctx, &Kpi::DATASET_A, false, 5);
         let ckpt = save_model(&model);
-        let mut restored = load_model(&ckpt).unwrap();
+        let mut restored = load_model(&ckpt)?;
         let after = generate_series(&mut restored, &ctx, &Kpi::DATASET_A, false, 5);
-        assert_eq!(before.series, after.series, "restored model generates differently");
+        assert_eq!(
+            before.series, after.series,
+            "restored model generates differently"
+        );
+        Ok(())
     }
 
     #[test]
-    fn file_roundtrip() {
+    fn file_roundtrip() -> Result<(), CheckpointError> {
         let (model, _) = tiny_trained();
         let dir = std::env::temp_dir().join("gendt-model-ckpt-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).map_err(CheckpointError::Io)?;
         let path = dir.join("model.json");
-        save_model_to_file(&model, &path).unwrap();
-        let restored = load_model_from_file(&path).unwrap();
+        save_model_to_file(&model, &path)?;
+        let restored = load_model_from_file(&path)?;
         assert_eq!(restored.cfg().hidden, model.cfg().hidden);
         std::fs::remove_file(&path).ok();
+        Ok(())
     }
 
     #[test]

@@ -21,7 +21,12 @@ impl Discriminator {
         let in_dim = cfg.n_ch + cfg.hidden;
         let lstm = Lstm::new(&mut store, "disc", in_dim, cfg.disc_hidden, rng);
         let head = Linear::new(&mut store, "disc_head", cfg.disc_hidden, 1, rng);
-        Discriminator { store, lstm, head, hidden: cfg.disc_hidden }
+        Discriminator {
+            store,
+            lstm,
+            head,
+            hidden: cfg.disc_hidden,
+        }
     }
 
     /// Forward a window of per-step inputs.
@@ -87,7 +92,10 @@ mod tests {
         for _ in 0..100 {
             store.zero_grad();
             let mut g = Graph::new();
-            let d2 = Discriminator { store: store.clone(), ..rebuild(&cfg) };
+            let d2 = Discriminator {
+                store: store.clone(),
+                ..rebuild(&cfg)
+            };
             let real: Vec<NodeId> = (0..6).map(|_| g.input(Matrix::full(4, 2, 0.8))).collect();
             let fake: Vec<NodeId> = (0..6).map(|_| g.input(Matrix::full(4, 2, -0.8))).collect();
             let cs: Vec<NodeId> = (0..6).map(|_| g.input(ctx_val.clone())).collect();
@@ -100,7 +108,10 @@ mod tests {
             opt.step(&mut store);
         }
         // Evaluate.
-        let d2 = Discriminator { store: store.clone(), ..rebuild(&cfg) };
+        let d2 = Discriminator {
+            store: store.clone(),
+            ..rebuild(&cfg)
+        };
         let mut g = Graph::new();
         let real: Vec<NodeId> = (0..6).map(|_| g.input(Matrix::full(4, 2, 0.8))).collect();
         let fake: Vec<NodeId> = (0..6).map(|_| g.input(Matrix::full(4, 2, -0.8))).collect();

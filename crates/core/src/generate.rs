@@ -51,7 +51,10 @@ pub fn generation_windows(ctx: &RunContext, n_ch: usize, cfg: &WindowCfg) -> Vec
                     .collect()
             })
             .collect();
-        let env: Vec<Vec<f32>> = ctx.steps[start..end].iter().map(|s| s.env.clone()).collect();
+        let env: Vec<Vec<f32>> = ctx.steps[start..end]
+            .iter()
+            .map(|s| s.env.clone())
+            .collect();
         debug_assert!(env.iter().all(|e| e.len() == ENV_ATTRS));
         out.push(Window {
             targets: vec![vec![0.0; cfg.len]; n_ch],
@@ -79,7 +82,10 @@ pub struct GeneratedSeries {
 impl GeneratedSeries {
     /// Series for one KPI channel.
     pub fn channel(&self, kpi: Kpi) -> Option<&[f64]> {
-        self.kpis.iter().position(|&k| k == kpi).map(|i| self.series[i].as_slice())
+        self.kpis
+            .iter()
+            .position(|&k| k == kpi)
+            .map(|i| self.series[i].as_slice())
     }
 
     /// Length of the generated series.
@@ -106,7 +112,11 @@ pub fn generate_series(
     sample_seed: u64,
 ) -> GeneratedSeries {
     let cfg: GenDtCfg = model.cfg().clone();
-    assert_eq!(kpis.len(), cfg.n_ch, "KPI list does not match model channels");
+    assert_eq!(
+        kpis.len(),
+        cfg.n_ch,
+        "KPI list does not match model channels"
+    );
     let wins = generation_windows(ctx, cfg.n_ch, &cfg.generation_window());
     let mut rng = gendt_nn::Rng::seed_from(sample_seed);
     let mut carry = CarryState::zeros(&cfg, 1);
@@ -129,12 +139,27 @@ pub fn generate_series(
         }
         carry = fwd.carry;
     }
-    let series = norm
+    let series: Vec<Vec<f64>> = norm
         .into_iter()
         .enumerate()
         .map(|(ch, s)| s.into_iter().map(|v| kpis[ch].denormalize(v)).collect())
         .collect();
-    GeneratedSeries { kpis: kpis.to_vec(), series }
+    // Under GENDT_SANITIZE the tape already vetted every intermediate op;
+    // this guards the last unvetted hop, denormalization to physical units.
+    if gendt_nn::sanitize_enabled() {
+        for (ch, s) in series.iter().enumerate() {
+            if let Some(t) = s.iter().position(|v| !v.is_finite()) {
+                panic!(
+                    "GENDT_SANITIZE: generated series for KPI {:?} is non-finite at step {t}",
+                    kpis[ch]
+                );
+            }
+        }
+    }
+    GeneratedSeries {
+        kpis: kpis.to_vec(),
+        series,
+    }
 }
 
 /// ResGen distribution-parameter statistics from repeated MC-dropout
@@ -175,8 +200,7 @@ pub fn model_uncertainty(
         let mut sg_flat = Vec::new();
         for w in &wins {
             let mut g = Graph::new();
-            let fwd =
-                generator.forward(&mut g, &[w], &carry, ArMode::FreeRunning, true, &mut rng);
+            let fwd = generator.forward(&mut g, &[w], &carry, ArMode::FreeRunning, true, &mut rng);
             for (&mu, &sg) in fwd.res_mu.iter().zip(fwd.res_sigma.iter()) {
                 mu_flat.extend_from_slice(&g.value(mu).data);
                 sg_flat.extend_from_slice(&g.value(sg).data);
@@ -201,15 +225,19 @@ pub fn model_uncertainty(
     // mus[sample][t][ch], sigmas likewise (flattened over windows).
     let mut mus: Vec<Vec<f32>> = Vec::with_capacity(n_samples);
     let mut sigmas: Vec<Vec<f32>> = Vec::with_capacity(n_samples);
-    for pair in samples {
-        let (mu_flat, sg_flat) = pair.expect("MC sample did not run");
-        mus.push(mu_flat);
-        sigmas.push(sg_flat);
+    for pair in samples.into_iter().flatten() {
+        mus.push(pair.0);
+        sigmas.push(pair.1);
     }
+    assert_eq!(mus.len(), n_samples, "an MC sample did not run");
     let t_len = mus[0].len();
     if t_len == 0 {
         // ResGen ablated or trajectory too short: no uncertainty signal.
-        return UncertaintyReport { model_uncertainty: 0.0, data_uncertainty: 0.0, samples: n_samples };
+        return UncertaintyReport {
+            model_uncertainty: 0.0,
+            data_uncertainty: 0.0,
+            samples: n_samples,
+        };
     }
     let mut acc = 0.0;
     let mut sigma_acc = 0.0;
@@ -249,7 +277,10 @@ mod tests {
             &ds.world,
             &ds.deployment,
             &run.traj,
-            &ContextCfg { max_cells: 3, ..ContextCfg::default() },
+            &ContextCfg {
+                max_cells: 3,
+                ..ContextCfg::default()
+            },
         );
         let mut pool = Vec::new();
         pool.extend(gendt_data::windows::windows(
@@ -272,7 +303,9 @@ mod tests {
         let rsrp = out.channel(Kpi::Rsrp).unwrap();
         assert!(rsrp.iter().all(|&v| (-140.0..=-44.0).contains(&v)));
         let cqi = out.channel(Kpi::Cqi).unwrap();
-        assert!(cqi.iter().all(|&v| (1.0..=15.0).contains(&v) && v.fract() == 0.0));
+        assert!(cqi
+            .iter()
+            .all(|&v| (1.0..=15.0).contains(&v) && v.fract() == 0.0));
     }
 
     #[test]
@@ -295,7 +328,12 @@ mod tests {
     #[test]
     fn generation_windows_capped_by_length() {
         let (_, ctx) = tiny_model_and_ctx();
-        let cfg = WindowCfg { len: 10, stride: 10, max_cells: 3, ar_context: 4 };
+        let cfg = WindowCfg {
+            len: 10,
+            stride: 10,
+            max_cells: 3,
+            ar_context: 4,
+        };
         let wins = generation_windows(&ctx, 4, &cfg);
         assert_eq!(wins.len(), ctx.steps.len() / 10);
         for w in &wins {

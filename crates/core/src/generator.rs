@@ -20,9 +20,7 @@ use crate::cfg::GenDtCfg;
 use gendt_data::context::CELL_FEATS;
 use gendt_data::windows::Window;
 use gendt_geo::landuse::ENV_ATTRS;
-use gendt_nn::{
-    dropout, Graph, Linear, Lstm, LstmNodeState, Matrix, Mlp, NodeId, ParamStore, Rng,
-};
+use gendt_nn::{dropout, Graph, Linear, Lstm, LstmNodeState, Matrix, Mlp, NodeId, ParamStore, Rng};
 
 /// Carry-over state for long-series generation: the aggregation LSTM's
 /// final state and the last generated (normalized) KPI values, both fed
@@ -99,7 +97,12 @@ impl Generator {
         let resgen = Mlp::new(
             &mut store,
             "resgen",
-            &[res_in, cfg.resgen_hidden, cfg.resgen_hidden, cfg.resgen_hidden],
+            &[
+                res_in,
+                cfg.resgen_hidden,
+                cfg.resgen_hidden,
+                cfg.resgen_hidden,
+            ],
             rng,
         );
         let res_mu = Linear::new(&mut store, "res_mu", cfg.resgen_hidden, cfg.n_ch, rng);
@@ -112,7 +115,16 @@ impl Generator {
         for v in store.value_mut(res_sigma.b).data.iter_mut() {
             *v = -3.0;
         }
-        Generator { cfg, store, node_lstm, agg_lstm, head, resgen, res_mu, res_sigma }
+        Generator {
+            cfg,
+            store,
+            node_lstm,
+            agg_lstm,
+            head,
+            resgen,
+            res_mu,
+            res_sigma,
+        }
     }
 
     /// Forward a batch of windows.
@@ -163,8 +175,15 @@ impl Generator {
 
     fn batch_len(&self, windows: &[&Window]) -> usize {
         assert!(!windows.is_empty(), "empty window batch");
-        let l = windows[0].targets.first().map(|t| t.len()).unwrap_or(self.cfg.window.len);
-        assert!(windows.iter().all(|w| w.env.len() == l), "window length mismatch");
+        let l = windows[0]
+            .targets
+            .first()
+            .map(|t| t.len())
+            .unwrap_or(self.cfg.window.len);
+        assert!(
+            windows.iter().all(|w| w.env.len() == l),
+            "window length mismatch"
+        );
         l
     }
 
@@ -188,7 +207,12 @@ impl Generator {
         let h = self.cfg.hidden;
         let n_z0 = self.cfg.n_z0;
         let in_dim = CELL_FEATS + n_z0;
-        let max_cells = windows.iter().map(|w| w.cells.len()).max().unwrap_or(1).max(1);
+        let max_cells = windows
+            .iter()
+            .map(|w| w.cells.len())
+            .max()
+            .unwrap_or(1)
+            .max(1);
         let p = b * max_cells;
 
         // Average only over real cells via a per-row 1/count...
@@ -208,8 +232,12 @@ impl Generator {
         let draw_c = self.cfg.ablation.srnn && self.cfg.stochastic.a_c != 0.0;
         let noise_rows = |draw: bool| if draw { p } else { 0 };
         let mut xs: Vec<Matrix> = (0..l).map(|_| Matrix::zeros(p, in_dim)).collect();
-        let mut u_h: Vec<Matrix> = (0..l).map(|_| Matrix::zeros(noise_rows(draw_h), h)).collect();
-        let mut u_c: Vec<Matrix> = (0..l).map(|_| Matrix::zeros(noise_rows(draw_c), h)).collect();
+        let mut u_h: Vec<Matrix> = (0..l)
+            .map(|_| Matrix::zeros(noise_rows(draw_h), h))
+            .collect();
+        let mut u_c: Vec<Matrix> = (0..l)
+            .map(|_| Matrix::zeros(noise_rows(draw_c), h))
+            .collect();
         for j in 0..max_cells {
             for t in 0..l {
                 for (bi, w) in windows.iter().enumerate() {
@@ -252,9 +280,13 @@ impl Generator {
             let xn = g.input(x);
             st = self.node_lstm.step(g, &self.store, xn, st);
             if self.cfg.ablation.srnn {
-                st = self
-                    .node_lstm
-                    .stochastic_with_noise(g, self.cfg.stochastic, st, &u_h[t], &u_c[t]);
+                st = self.node_lstm.stochastic_with_noise(
+                    g,
+                    self.cfg.stochastic,
+                    st,
+                    &u_h[t],
+                    &u_c[t],
+                );
             }
             h_avg_steps.push(g.masked_group_mean(st.h, &mask, &inv_count, max_cells));
         }
@@ -272,7 +304,12 @@ impl Generator {
     ) -> Vec<NodeId> {
         let b = windows.len();
         let h = self.cfg.hidden;
-        let max_cells = windows.iter().map(|w| w.cells.len()).max().unwrap_or(1).max(1);
+        let max_cells = windows
+            .iter()
+            .map(|w| w.cells.len())
+            .max()
+            .unwrap_or(1)
+            .max(1);
         let mut inv_count = Matrix::zeros(b, 1);
         for (bi, w) in windows.iter().enumerate() {
             inv_count.data[bi] = 1.0 / w.cells.len().max(1) as f32;
@@ -357,7 +394,9 @@ impl Generator {
         for &havg in h_avg_steps.iter() {
             agg_state = self.agg_lstm.step(g, &self.store, havg, agg_state);
             if self.cfg.ablation.srnn {
-                agg_state = self.agg_lstm.stochastic(g, self.cfg.stochastic, agg_state, rng);
+                agg_state = self
+                    .agg_lstm
+                    .stochastic(g, self.cfg.stochastic, agg_state, rng);
             }
             base_steps.push(self.head.forward(g, &self.store, agg_state.h));
         }
@@ -463,8 +502,7 @@ impl Generator {
                 // Environment context for this step.
                 let mut env = Matrix::zeros(b, ENV_ATTRS);
                 for (bi, w) in windows.iter().enumerate() {
-                    env.data[bi * ENV_ATTRS..(bi + 1) * ENV_ATTRS]
-                        .copy_from_slice(&w.env[t]);
+                    env.data[bi * ENV_ATTRS..(bi + 1) * ENV_ATTRS].copy_from_slice(&w.env[t]);
                 }
                 let env_node = g.input(env);
                 let mut z1 = Matrix::zeros(b, self.cfg.n_z1);
@@ -534,8 +572,7 @@ impl Generator {
                             next.data[bi * n_ch * m + ch * m + k] =
                                 prev_vals.data[bi * n_ch * m + ch * m + k + 1];
                         }
-                        next.data[bi * n_ch * m + ch * m + m - 1] =
-                            out_vals.data[bi * n_ch + ch];
+                        next.data[bi * n_ch * m + ch * m + m - 1] = out_vals.data[bi * n_ch + ch];
                     }
                 }
                 ar_prev = g.input(next);
@@ -585,7 +622,10 @@ mod tests {
             &ds.world,
             &ds.deployment,
             &run.traj,
-            &ContextCfg { max_cells: cfg.window.max_cells, ..ContextCfg::default() },
+            &ContextCfg {
+                max_cells: cfg.window.max_cells,
+                ..ContextCfg::default()
+            },
         );
         make_windows(run, &ctx, &Kpi::DATASET_A, &cfg.window)
     }
@@ -599,7 +639,14 @@ mod tests {
         let batch: Vec<&Window> = wins.iter().take(3).collect();
         let carry = CarryState::zeros(&cfg, batch.len());
         let mut g = Graph::new();
-        let out = gen.forward(&mut g, &batch, &carry, ArMode::TeacherForced, true, &mut rng);
+        let out = gen.forward(
+            &mut g,
+            &batch,
+            &carry,
+            ArMode::TeacherForced,
+            true,
+            &mut rng,
+        );
         assert_eq!(out.outputs.len(), 10);
         assert_eq!(out.h_avg.len(), 10);
         assert_eq!(out.res_mu.len(), 10);
@@ -622,7 +669,10 @@ mod tests {
         let mut g = Graph::new();
         let out = gen.forward(&mut g, &batch, &carry, ArMode::FreeRunning, false, &mut rng);
         for &s in &out.res_sigma {
-            assert!(g.value(s).data.iter().all(|&v| v > 0.0), "sigma not positive");
+            assert!(
+                g.value(s).data.iter().all(|&v| v > 0.0),
+                "sigma not positive"
+            );
         }
     }
 
@@ -636,7 +686,14 @@ mod tests {
         let batch: Vec<&Window> = wins.iter().take(1).collect();
         let carry = CarryState::zeros(&cfg, 1);
         let mut g = Graph::new();
-        let out = gen.forward(&mut g, &batch, &carry, ArMode::TeacherForced, true, &mut rng);
+        let out = gen.forward(
+            &mut g,
+            &batch,
+            &carry,
+            ArMode::TeacherForced,
+            true,
+            &mut rng,
+        );
         assert!(out.res_mu.is_empty());
         assert!(out.res_sigma.is_empty());
     }
@@ -655,7 +712,10 @@ mod tests {
         let o2 = gen.forward(&mut g2, &batch, &carry, ArMode::FreeRunning, true, &mut rng);
         let a = g1.value(o1.outputs[5]);
         let b = g2.value(o2.outputs[5]);
-        assert_ne!(a.data, b.data, "stochastic generator produced identical outputs");
+        assert_ne!(
+            a.data, b.data,
+            "stochastic generator produced identical outputs"
+        );
     }
 
     #[test]
@@ -704,7 +764,14 @@ mod tests {
         let batch: Vec<&Window> = wins.iter().take(1).collect();
         let carry0 = CarryState::zeros(&cfg, 1);
         let mut g = Graph::new();
-        let out = gen.forward(&mut g, &batch, &carry0, ArMode::FreeRunning, false, &mut rng);
+        let out = gen.forward(
+            &mut g,
+            &batch,
+            &carry0,
+            ArMode::FreeRunning,
+            false,
+            &mut rng,
+        );
         // Carry should be non-zero after a window.
         assert!(out.carry.agg_h.norm_sq() > 0.0);
         assert!(out.carry.ar_tail.norm_sq() > 0.0);

@@ -55,8 +55,10 @@ pub mod trainer;
 pub mod transfer;
 
 pub use active::{run_selection, ActiveConfig, SelectionPoint, SelectionPolicy};
-pub use checkpoint::{load_model, load_model_from_file, save_model, save_model_to_file, ModelCheckpoint};
 pub use cfg::{Ablation, GenDtCfg};
+pub use checkpoint::{
+    load_model, load_model_from_file, save_model, save_model_to_file, ModelCheckpoint,
+};
 pub use discriminator::Discriminator;
 pub use generate::{
     generate_series, generation_windows, model_uncertainty, GeneratedSeries, UncertaintyReport,

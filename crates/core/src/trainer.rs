@@ -54,7 +54,14 @@ impl GenDt {
         let discriminator = Discriminator::new(&cfg, &mut rng);
         let opt_g = Adam::new(cfg.lr_g);
         let opt_d = Adam::new(cfg.lr_d);
-        GenDt { generator, discriminator, trace: Vec::new(), opt_g, opt_d, rng }
+        GenDt {
+            generator,
+            discriminator,
+            trace: Vec::new(),
+            opt_g,
+            opt_d,
+            rng,
+        }
     }
 
     /// Model configuration.
@@ -89,7 +96,9 @@ impl GenDt {
     pub fn train_step(&mut self, pool: &[Window]) -> StepTrace {
         assert!(!pool.is_empty(), "empty training pool");
         let bsz = self.cfg().batch_size.min(pool.len());
-        let batch: Vec<&Window> = (0..bsz).map(|_| &pool[self.rng.gen_range(pool.len())]).collect();
+        let batch: Vec<&Window> = (0..bsz)
+            .map(|_| &pool[self.rng.gen_range(pool.len())])
+            .collect();
         let l = batch[0].env.len();
         let n_ch = self.cfg().n_ch;
         let m = self.cfg().window.ar_context;
@@ -179,7 +188,10 @@ impl GenDt {
             let sigma_mean = if fwd.res_sigma.is_empty() {
                 0.0
             } else {
-                fwd.res_sigma.iter().map(|&sg| g.value(sg).mean()).sum::<f32>()
+                fwd.res_sigma
+                    .iter()
+                    .map(|&sg| g.value(sg).mean())
+                    .sum::<f32>()
                     / fwd.res_sigma.len() as f32
             };
             let (loss_node, gan_g_val) = if use_gan {
@@ -187,7 +199,10 @@ impl GenDt {
                 let rows = g.value(logit).rows;
                 let gan_g = g.bce_with_logits(logit, Matrix::full(rows, 1, 1.0));
                 let v = g.value(gan_g).data[0];
-                (g.weighted_sum(vec![(mse_node, w_s), (gan_g, lambda * w_s)]), v)
+                (
+                    g.weighted_sum(vec![(mse_node, w_s), (gan_g, lambda * w_s)]),
+                    v,
+                )
             } else {
                 (g.weighted_sum(vec![(mse_node, w_s)]), 0.0)
             };
@@ -221,8 +236,8 @@ impl GenDt {
                 }
             });
         }
-        let shard_outs: Vec<ShardOut> =
-            shard_outs.into_iter().map(|o| o.expect("shard did not run")).collect();
+        let shard_outs: Vec<ShardOut> = shard_outs.into_iter().flatten().collect();
+        assert_eq!(shard_outs.len(), n_shards, "a generator shard did not run");
 
         // Shard-order reduction: deterministic regardless of which worker
         // finished first.
@@ -234,6 +249,22 @@ impl GenDt {
             mse_val += out.mse;
             gan_g_val += out.gan_g;
             sigma_mean += out.sigma_mean;
+        }
+        // Under GENDT_SANITIZE the per-op checks inside each shard graph
+        // already caught non-finite values at their birthplace; this
+        // final check covers the cross-shard reduction itself and names
+        // the offending parameter, before scrubbing can hide it.
+        if gendt_nn::sanitize_enabled() {
+            for p in self.generator.store.iter() {
+                assert!(
+                    !p.grad.has_non_finite(),
+                    "GENDT_SANITIZE: non-finite reduced gradient for generator param {:?} \
+                     (shape {}x{})",
+                    p.name,
+                    p.grad.rows,
+                    p.grad.cols
+                );
+            }
         }
         self.generator.store.scrub_non_finite_grads();
         self.generator.store.clip_grad_norm(self.cfg().grad_clip);
@@ -265,22 +296,33 @@ impl GenDt {
                 fake_steps.iter().map(|mtx| gd.input(mtx.clone())).collect();
             let ctx_nodes: Vec<NodeId> =
                 ctx_steps.iter().map(|mtx| gd.input(mtx.clone())).collect();
-            let logit_r = self.discriminator.forward(&mut gd, &real_nodes, &ctx_nodes, false);
-            let logit_f = self.discriminator.forward(&mut gd, &fake_nodes, &ctx_nodes, false);
+            let logit_r = self
+                .discriminator
+                .forward(&mut gd, &real_nodes, &ctx_nodes, false);
+            let logit_f = self
+                .discriminator
+                .forward(&mut gd, &fake_nodes, &ctx_nodes, false);
             let loss_r = gd.bce_with_logits(logit_r, Matrix::full(bsz, 1, 1.0));
             let loss_f = gd.bce_with_logits(logit_f, Matrix::full(bsz, 1, 0.0));
             let loss_d = gd.weighted_sum(vec![(loss_r, 0.5), (loss_f, 0.5)]);
             let v = gd.value(loss_d).data[0];
             gd.backward(loss_d, &mut self.discriminator.store);
             self.discriminator.store.scrub_non_finite_grads();
-            self.discriminator.store.clip_grad_norm(self.cfg().grad_clip);
+            self.discriminator
+                .store
+                .clip_grad_norm(self.cfg().grad_clip);
             self.opt_d.step(&mut self.discriminator.store);
             v
         } else {
             0.0
         };
 
-        let trace = StepTrace { mse: mse_val, gan_g: gan_g_val, gan_d: gan_d_val, sigma_mean };
+        let trace = StepTrace {
+            mse: mse_val,
+            gan_g: gan_g_val,
+            gan_d: gan_d_val,
+            sigma_mean,
+        };
         self.trace.push(trace);
         trace
     }
@@ -320,7 +362,10 @@ mod tests {
                 &ds.world,
                 &ds.deployment,
                 &run.traj,
-                &ContextCfg { max_cells: cfg.window.max_cells, ..ContextCfg::default() },
+                &ContextCfg {
+                    max_cells: cfg.window.max_cells,
+                    ..ContextCfg::default()
+                },
             );
             pool.extend(make_windows(run, &ctx, &Kpi::DATASET_A, &cfg.window));
         }
@@ -348,14 +393,16 @@ mod tests {
         let pool = training_pool(&cfg);
         let mut model = GenDt::new(cfg);
         model.train(&pool);
-        let early: f32 =
-            model.trace[..10].iter().map(|t| t.mse).sum::<f32>() / 10.0;
+        let early: f32 = model.trace[..10].iter().map(|t| t.mse).sum::<f32>() / 10.0;
         let late: f32 = model.trace[model.trace.len() - 10..]
             .iter()
             .map(|t| t.mse)
             .sum::<f32>()
             / 10.0;
-        assert!(late < early, "MSE did not improve: early {early}, late {late}");
+        assert!(
+            late < early,
+            "MSE did not improve: early {early}, late {late}"
+        );
     }
 
     #[test]
@@ -379,10 +426,20 @@ mod tests {
             gendt_nn::set_num_threads(threads);
             let mut model = GenDt::new(cfg.clone());
             model.train(&pool);
-            runs.push(model.generator.store.iter().map(|p| p.value.data.clone()).collect());
+            runs.push(
+                model
+                    .generator
+                    .store
+                    .iter()
+                    .map(|p| p.value.data.clone())
+                    .collect(),
+            );
         }
         gendt_nn::set_num_threads(1);
-        assert_eq!(runs[0], runs[1], "trained weights depend on the thread count");
+        assert_eq!(
+            runs[0], runs[1],
+            "trained weights depend on the thread count"
+        );
     }
 
     #[test]
@@ -392,10 +449,18 @@ mod tests {
         let mut model = GenDt::new(cfg);
         model.train(&pool);
         for p in model.generator.store.iter() {
-            assert!(!p.value.has_non_finite(), "param {} went non-finite", p.name);
+            assert!(
+                !p.value.has_non_finite(),
+                "param {} went non-finite",
+                p.name
+            );
         }
         for p in model.discriminator.store.iter() {
-            assert!(!p.value.has_non_finite(), "param {} went non-finite", p.name);
+            assert!(
+                !p.value.has_non_finite(),
+                "param {} went non-finite",
+                p.name
+            );
         }
     }
 }

@@ -98,7 +98,12 @@ pub fn transfer_to_region(
     run_cycle(&mut pretrained, &pool);
     let mut last_u =
         model_uncertainty(&mut pretrained, target_ctx, cfg.mc_samples, cfg.seed).model_uncertainty;
-    steps.push(TransferStep { cycle: 0, pool_size: pool.len(), uncertainty: last_u, collected: None });
+    steps.push(TransferStep {
+        cycle: 0,
+        pool_size: pool.len(),
+        uncertainty: last_u,
+        collected: None,
+    });
 
     for cycle in 1..=cfg.max_cycles {
         // Score uncollected candidates by model uncertainty; collect the
@@ -142,7 +147,10 @@ pub fn transfer_to_region(
         }
         last_u = u;
     }
-    TransferOutcome { model: pretrained, steps }
+    TransferOutcome {
+        model: pretrained,
+        steps,
+    }
 }
 
 /// Convenience: pretrain a fresh model on a source pool (the "historical

@@ -6,6 +6,8 @@
 //! gendt-datagen --dataset b --format json --out data_b/
 //! ```
 
+#![forbid(unsafe_code)]
+
 use gendt_data::builders::{dataset_a, dataset_b, BuildCfg};
 use gendt_data::kpi_types::Kpi;
 use gendt_data::run::Dataset;
@@ -115,7 +117,13 @@ fn cells_to_csv(ds: &Dataset) -> String {
         let _ = writeln!(
             s,
             "{},{:.6},{:.6},{:.1},{:.1},{:.1},{:.1},{:?}",
-            c.id, c.latlon.lat, c.latlon.lon, c.pos.x, c.pos.y, c.azimuth_deg, c.p_max_dbm,
+            c.id,
+            c.latlon.lat,
+            c.latlon.lon,
+            c.pos.x,
+            c.pos.y,
+            c.azimuth_deg,
+            c.p_max_dbm,
             c.district
         );
     }
@@ -130,9 +138,19 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let cfg = BuildCfg { scale: args.scale, ..BuildCfg::full(args.seed) };
-    eprintln!("synthesizing dataset {} (scale {}, seed {})...", args.dataset, args.scale, args.seed);
-    let ds = if args.dataset == "a" { dataset_a(&cfg) } else { dataset_b(&cfg) };
+    let cfg = BuildCfg {
+        scale: args.scale,
+        ..BuildCfg::full(args.seed)
+    };
+    eprintln!(
+        "synthesizing dataset {} (scale {}, seed {})...",
+        args.dataset, args.scale, args.seed
+    );
+    let ds = if args.dataset == "a" {
+        dataset_a(&cfg)
+    } else {
+        dataset_b(&cfg)
+    };
     std::fs::create_dir_all(&args.out).expect("create output dir");
 
     // Cell database (the CellMapper analogue).

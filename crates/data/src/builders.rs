@@ -52,7 +52,10 @@ impl BuildCfg {
 
     /// Reduced-scale build for tests and quick runs.
     pub fn quick(seed: u64) -> Self {
-        BuildCfg { scale: 0.08, ..Self::full(seed) }
+        BuildCfg {
+            scale: 0.08,
+            ..Self::full(seed)
+        }
     }
 }
 
@@ -69,7 +72,10 @@ fn start_in(world: &World, kind: DistrictKind, rng: &mut Rng) -> XY {
         return XY::new(0.0, 0.0);
     }
     let c = candidates[rng.gen_range(candidates.len())];
-    XY::new(c.x + rng.uniform(-500.0, 500.0), c.y + rng.uniform(-500.0, 500.0))
+    XY::new(
+        c.x + rng.uniform(-500.0, 500.0),
+        c.y + rng.uniform(-500.0, 500.0),
+    )
 }
 
 /// Build synthetic Dataset A: walk / bus / tram around a city center at
@@ -78,7 +84,10 @@ pub fn dataset_a(cfg: &BuildCfg) -> Dataset {
     let world = World::generate(WorldCfg::city(cfg.seed));
     let deployment = Deployment::from_world(&world);
     // City serving range (paper: ~2 km within cities).
-    let kpi_cfg = KpiCfg { serving_range_m: 2000.0, ..cfg.kpi };
+    let kpi_cfg = KpiCfg {
+        serving_range_m: 2000.0,
+        ..cfg.kpi
+    };
     let engine = KpiEngine::new(&world, &deployment, cfg.prop, kpi_cfg);
     let mut rng = Rng::seed_from(cfg.seed ^ 0xDA7A_5E7A);
 
@@ -100,7 +109,12 @@ pub fn dataset_a(cfg: &BuildCfg) -> Dataset {
             let pass_seed = rng.next_u64();
             let samples = engine.measure(&traj, pass_seed);
             let qoe = qoe_series(&cfg.qoe, &samples, pass_seed ^ 0x90E);
-            runs.push(Run { scenario, traj, samples, qoe: Some(qoe) });
+            runs.push(Run {
+                scenario,
+                traj,
+                samples,
+                qoe: Some(qoe),
+            });
             let _ = k;
         }
     }
@@ -126,7 +140,12 @@ pub fn dataset_b(cfg: &BuildCfg) -> Dataset {
     // 2.1/2.3 s; sample counts 2.1, 2.3, 3.9, 4.6 ×10⁴. Duration =
     // samples × period.
     let plan: [(Scenario, DistrictKind, f64, usize); 4] = [
-        (Scenario::CityDrive, DistrictKind::CityCenter, 2.1e4 * 3.8, 6),
+        (
+            Scenario::CityDrive,
+            DistrictKind::CityCenter,
+            2.1e4 * 3.8,
+            6,
+        ),
         (Scenario::CityDrive, DistrictKind::Urban, 2.3e4 * 3.5, 6),
         (Scenario::Highway, DistrictKind::Rural, 3.9e4 * 2.1, 6),
         (Scenario::Highway, DistrictKind::Rural, 4.6e4 * 2.3, 6),
@@ -140,7 +159,12 @@ pub fn dataset_b(cfg: &BuildCfg) -> Dataset {
             let tcfg = TrajectoryCfg::new(scenario, per_run, start, rng.next_u64());
             let traj = generate(&world, &tcfg);
             let samples = engine.measure(&traj, rng.next_u64());
-            runs.push(Run { scenario, traj, samples, qoe: None });
+            runs.push(Run {
+                scenario,
+                traj,
+                samples,
+                qoe: None,
+            });
         }
     }
 
@@ -245,8 +269,14 @@ mod tests {
 
     #[test]
     fn scale_controls_sample_count() {
-        let small = dataset_a(&BuildCfg { scale: 0.05, ..BuildCfg::full(9) });
-        let larger = dataset_a(&BuildCfg { scale: 0.15, ..BuildCfg::full(9) });
+        let small = dataset_a(&BuildCfg {
+            scale: 0.05,
+            ..BuildCfg::full(9)
+        });
+        let larger = dataset_a(&BuildCfg {
+            scale: 0.15,
+            ..BuildCfg::full(9)
+        });
         assert!(larger.total_samples() > 2 * small.total_samples());
     }
 
@@ -255,9 +285,6 @@ mod tests {
         let a = dataset_a(&BuildCfg::quick(5));
         let b = dataset_a(&BuildCfg::quick(5));
         assert_eq!(a.total_samples(), b.total_samples());
-        assert_eq!(
-            a.runs[0].series(Kpi::Rsrp),
-            b.runs[0].series(Kpi::Rsrp)
-        );
+        assert_eq!(a.runs[0].series(Kpi::Rsrp), b.runs[0].series(Kpi::Rsrp));
     }
 }

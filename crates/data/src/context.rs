@@ -40,7 +40,12 @@ pub struct ContextCfg {
 
 impl Default for ContextCfg {
     fn default() -> Self {
-        ContextCfg { d_s: 2000.0, env_radius_m: 500.0, max_cells: 10, coord_scale_m: 4000.0 }
+        ContextCfg {
+            d_s: 2000.0,
+            env_radius_m: 500.0,
+            max_cells: 10,
+            coord_scale_m: 4000.0,
+        }
     }
 }
 
@@ -126,7 +131,10 @@ mod tests {
     fn setup() -> (World, Deployment, Trajectory) {
         let w = World::generate(WorldCfg::city(31));
         let d = Deployment::from_world(&w);
-        let t = generate(&w, &TrajectoryCfg::new(Scenario::Walk, 120.0, XY::new(0.0, 0.0), 2));
+        let t = generate(
+            &w,
+            &TrajectoryCfg::new(Scenario::Walk, 120.0, XY::new(0.0, 0.0), 2),
+        );
         (w, d, t)
     }
 
@@ -140,7 +148,10 @@ mod tests {
     #[test]
     fn cells_capped_and_nearest_first() {
         let (w, d, t) = setup();
-        let cfg = ContextCfg { max_cells: 4, ..ContextCfg::default() };
+        let cfg = ContextCfg {
+            max_cells: 4,
+            ..ContextCfg::default()
+        };
         let ctx = extract(&w, &d, &t, &cfg);
         for step in &ctx.steps {
             assert!(step.cells.len() <= 4);
@@ -157,7 +168,10 @@ mod tests {
         let ctx = extract(&w, &d, &t, &ContextCfg::default());
         for step in &ctx.steps {
             for (_, f) in &step.cells {
-                assert!(f[0].abs() <= 1.01 && f[1].abs() <= 1.01, "cell coords out of range");
+                assert!(
+                    f[0].abs() <= 1.01 && f[1].abs() <= 1.01,
+                    "cell coords out of range"
+                );
                 assert!(f[2].abs() <= 2.0, "power feature out of range: {}", f[2]);
                 assert!((-1.0..=1.0).contains(&f[3]), "direction out of range");
                 assert!((0.0..=1.01).contains(&f[4]), "distance out of range");

@@ -32,5 +32,7 @@ pub use context::{cell_features, extract, ContextCfg, RunContext, StepContext, C
 pub use kpi_types::Kpi;
 pub use run::{Dataset, Run};
 pub use split::{geographic_split, regional_subsets, Split};
-pub use stats::{cell_densities, dataset_a_stats, scenario_stats, serving_distances, ScenarioStats};
+pub use stats::{
+    cell_densities, dataset_a_stats, scenario_stats, serving_distances, ScenarioStats,
+};
 pub use windows::{windows, Window, WindowCfg};

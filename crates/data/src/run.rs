@@ -95,7 +95,10 @@ pub struct Dataset {
 impl Dataset {
     /// Runs belonging to one scenario.
     pub fn runs_for(&self, scenario: Scenario) -> Vec<&Run> {
-        self.runs.iter().filter(|r| r.scenario == scenario).collect()
+        self.runs
+            .iter()
+            .filter(|r| r.scenario == scenario)
+            .collect()
     }
 
     /// Distinct scenarios present, in stable order.
@@ -138,7 +141,11 @@ mod tests {
             scenario: Scenario::Walk,
             traj: Trajectory {
                 scenario: Scenario::Walk,
-                points: vec![TrackPoint { t: 0.0, pos: XY::new(x, 0.0), speed: 1.0 }],
+                points: vec![TrackPoint {
+                    t: 0.0,
+                    pos: XY::new(x, 0.0),
+                    speed: 1.0,
+                }],
             },
             samples,
             qoe: None,

@@ -132,7 +132,10 @@ mod tests {
 
     #[test]
     fn walk_dwell_exceeds_tram_dwell() {
-        let ds = dataset_a(&BuildCfg { scale: 0.25, ..BuildCfg::full(23) });
+        let ds = dataset_a(&BuildCfg {
+            scale: 0.25,
+            ..BuildCfg::full(23)
+        });
         let rows = dataset_a_stats(&ds);
         assert!(
             rows[0].avg_serving_dwell_s > rows[2].avg_serving_dwell_s,
@@ -147,7 +150,11 @@ mod tests {
         let ds = dataset_b(&BuildCfg::quick(23));
         for (label, runs) in dataset_b_subscenarios(&ds) {
             let row = scenario_stats(label, &runs);
-            assert!(row.roc_rsrp_db > 0.0 && row.roc_rsrp_db < 8.0, "{label} ROC {}", row.roc_rsrp_db);
+            assert!(
+                row.roc_rsrp_db > 0.0 && row.roc_rsrp_db < 8.0,
+                "{label} ROC {}",
+                row.roc_rsrp_db
+            );
             assert!(row.roc_rsrq_db > 0.0 && row.roc_rsrq_db < 4.0);
         }
     }

@@ -31,12 +31,22 @@ pub struct WindowCfg {
 impl WindowCfg {
     /// Paper-default training windowing: `L = 50`, `Δt = 5`.
     pub fn training() -> Self {
-        WindowCfg { len: 50, stride: 5, max_cells: 10, ar_context: 4 }
+        WindowCfg {
+            len: 50,
+            stride: 5,
+            max_cells: 10,
+            ar_context: 4,
+        }
     }
 
     /// Non-overlapping generation windowing: `Δt = L`.
     pub fn generation() -> Self {
-        WindowCfg { len: 50, stride: 50, max_cells: 10, ar_context: 4 }
+        WindowCfg {
+            len: 50,
+            stride: 50,
+            max_cells: 10,
+            ar_context: 4,
+        }
     }
 }
 
@@ -111,7 +121,10 @@ pub fn windows(run: &Run, ctx: &RunContext, kpis: &[Kpi], cfg: &WindowCfg) -> Ve
             })
             .collect();
 
-        let env: Vec<Vec<f32>> = ctx.steps[start..end].iter().map(|s| s.env.clone()).collect();
+        let env: Vec<Vec<f32>> = ctx.steps[start..end]
+            .iter()
+            .map(|s| s.env.clone())
+            .collect();
 
         let targets: Vec<Vec<f32>> = series.iter().map(|s| s[start..end].to_vec()).collect();
 
@@ -131,7 +144,14 @@ pub fn windows(run: &Run, ctx: &RunContext, kpis: &[Kpi], cfg: &WindowCfg) -> Ve
             })
             .collect();
 
-        out.push(Window { targets, cells, cell_ids, env, ar_seed, start });
+        out.push(Window {
+            targets,
+            cells,
+            cell_ids,
+            env,
+            ar_seed,
+            start,
+        });
         start += cfg.stride;
     }
     out
@@ -153,7 +173,12 @@ mod tests {
 
     #[test]
     fn overlapping_windows_cover_run() {
-        let cfg = WindowCfg { len: 20, stride: 5, max_cells: 8, ar_context: 4 };
+        let cfg = WindowCfg {
+            len: 20,
+            stride: 5,
+            max_cells: 8,
+            ar_context: 4,
+        };
         let (run, w) = first_run_windows(&cfg);
         assert!(!w.is_empty());
         let expected = (run.len() - cfg.len) / cfg.stride + 1;
@@ -169,7 +194,12 @@ mod tests {
 
     #[test]
     fn generation_windows_do_not_overlap() {
-        let cfg = WindowCfg { len: 25, stride: 25, max_cells: 8, ar_context: 4 };
+        let cfg = WindowCfg {
+            len: 25,
+            stride: 25,
+            max_cells: 8,
+            ar_context: 4,
+        };
         let (_, w) = first_run_windows(&cfg);
         for pair in w.windows(2) {
             assert_eq!(pair[1].start - pair[0].start, 25);
@@ -189,18 +219,31 @@ mod tests {
 
     #[test]
     fn ar_seed_is_zero_at_run_start_then_filled() {
-        let cfg = WindowCfg { len: 10, stride: 10, max_cells: 4, ar_context: 3 };
+        let cfg = WindowCfg {
+            len: 10,
+            stride: 10,
+            max_cells: 4,
+            ar_context: 3,
+        };
         let (run, w) = first_run_windows(&cfg);
         assert!(w[0].ar_seed[0].iter().all(|&v| v == 0.0));
         // Second window's seed equals the normalized tail of window 1.
-        let rsrp: Vec<f32> =
-            run.series(Kpi::Rsrp).iter().map(|&v| Kpi::Rsrp.normalize(v)).collect();
+        let rsrp: Vec<f32> = run
+            .series(Kpi::Rsrp)
+            .iter()
+            .map(|&v| Kpi::Rsrp.normalize(v))
+            .collect();
         assert_eq!(w[1].ar_seed[0], rsrp[7..10].to_vec());
     }
 
     #[test]
     fn stride_one_maximizes_overlap() {
-        let cfg = WindowCfg { len: 10, stride: 1, max_cells: 2, ar_context: 2 };
+        let cfg = WindowCfg {
+            len: 10,
+            stride: 1,
+            max_cells: 2,
+            ar_context: 2,
+        };
         let (run, w) = first_run_windows(&cfg);
         assert_eq!(w.len(), run.len() - 10 + 1);
         // Consecutive windows shift by exactly one step.
@@ -227,7 +270,12 @@ mod tests {
         run.samples.truncate(12);
         run.traj.points.truncate(12);
         let ctx = extract(&ds.world, &ds.deployment, &run.traj, &ContextCfg::default());
-        let cfg = WindowCfg { len: 12, stride: 12, max_cells: 4, ar_context: 2 };
+        let cfg = WindowCfg {
+            len: 12,
+            stride: 12,
+            max_cells: 4,
+            ar_context: 2,
+        };
         let w = windows(&run, &ctx, &Kpi::DATASET_A, &cfg);
         assert_eq!(w.len(), 1);
         assert_eq!(w[0].start, 0);

@@ -16,10 +16,34 @@ fn variants() -> Vec<(&'static str, Ablation)> {
     let full = Ablation::default();
     vec![
         ("GenDT", full),
-        ("No ResGen", Ablation { resgen: false, ..full }),
-        ("No SRNN", Ablation { srnn: false, ..full }),
-        ("No GAN loss", Ablation { gan_loss: false, ..full }),
-        ("No batch", Ablation { overlap_batching: false, ..full }),
+        (
+            "No ResGen",
+            Ablation {
+                resgen: false,
+                ..full
+            },
+        ),
+        (
+            "No SRNN",
+            Ablation {
+                srnn: false,
+                ..full
+            },
+        ),
+        (
+            "No GAN loss",
+            Ablation {
+                gan_loss: false,
+                ..full
+            },
+        ),
+        (
+            "No batch",
+            Ablation {
+                overlap_batching: false,
+                ..full
+            },
+        ),
     ]
 }
 
@@ -29,7 +53,9 @@ pub fn table12(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
     let mut report = Report::new("table12", "Ablation study on Dataset B (RSRP, RSRQ)");
     let mut t = MdTable::new(
         "Ablation results (paper Table 12 analogue)",
-        &["Variant", "RSRP MAE", "RSRP DTW", "RSRP HWD", "RSRQ MAE", "RSRQ DTW", "RSRQ HWD"],
+        &[
+            "Variant", "RSRP MAE", "RSRP DTW", "RSRP HWD", "RSRQ MAE", "RSRQ DTW", "RSRQ HWD",
+        ],
     );
     let test_idx = bundle.test_idx.clone();
     for (label, ablation) in variants() {
@@ -54,8 +80,13 @@ pub fn table12(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
         let mut fqs = Vec::new();
         for (j, &i) in test_idx.iter().enumerate() {
             let ctx = &bundle.contexts[i];
-            let out =
-                generate_series(&mut model, ctx, &bundle.kpis, false, cfg.seed ^ ((j as u64 + 1) << 5));
+            let out = generate_series(
+                &mut model,
+                ctx,
+                &bundle.kpis,
+                false,
+                cfg.seed ^ ((j as u64 + 1) << 5),
+            );
             for (kpi, acc) in [(Kpi::Rsrp, &mut frs), (Kpi::Rsrq, &mut fqs)] {
                 if let Some(gen) = out.channel(kpi) {
                     if gen.is_empty() {

@@ -48,10 +48,10 @@ impl CoverageMap {
 
     /// Accumulate one sample.
     pub fn add(&mut self, pos: XY, rsrp_dbm: f64) {
-        let gx = (((pos.x + self.extent_m) / self.cell_m) as isize)
-            .clamp(0, self.side as isize - 1) as usize;
-        let gy = (((pos.y + self.extent_m) / self.cell_m) as isize)
-            .clamp(0, self.side as isize - 1) as usize;
+        let gx = (((pos.x + self.extent_m) / self.cell_m) as isize).clamp(0, self.side as isize - 1)
+            as usize;
+        let gy = (((pos.y + self.extent_m) / self.cell_m) as isize).clamp(0, self.side as isize - 1)
+            as usize;
         let idx = gy * self.side + gx;
         let n = self.counts[idx] as f64;
         self.rsrp[idx] = if n == 0.0 {
@@ -97,10 +97,17 @@ pub fn lawnmower_routes(extent_m: f64, lane_m: f64, speed: f64, period: f64) -> 
         for k in 0..n {
             let frac = k as f64 / n.max(1) as f64;
             let x = -extent_m + 2.0 * extent_m * if flip { 1.0 - frac } else { frac };
-            points.push(TrackPoint { t, pos: XY::new(x, y), speed });
+            points.push(TrackPoint {
+                t,
+                pos: XY::new(x, y),
+                speed,
+            });
             t += period;
         }
-        routes.push(Trajectory { scenario: Scenario::CityDrive, points });
+        routes.push(Trajectory {
+            scenario: Scenario::CityDrive,
+            points,
+        });
         y += lane_m;
         flip = !flip;
     }
@@ -124,7 +131,10 @@ pub fn coverage_map(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
         &bundle.ds.world,
         &bundle.ds.deployment,
         PropagationCfg::default(),
-        KpiCfg { serving_range_m: 2000.0, ..KpiCfg::default() },
+        KpiCfg {
+            serving_range_m: 2000.0,
+            ..KpiCfg::default()
+        },
     );
     let mut truth = CoverageMap::new(extent, cell_m);
     for (k, route) in routes.iter().enumerate() {

@@ -20,8 +20,11 @@ pub fn fig11(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
     // down in quick mode to keep retraining affordable).
     let k = if cfg.quick { 4 } else { 8 };
     let steps = if cfg.quick { 2 } else { k - 1 };
-    let train_runs: Vec<gendt_data::run::Run> =
-        bundle.train_idx.iter().map(|&i| bundle.ds.runs[i].clone()).collect();
+    let train_runs: Vec<gendt_data::run::Run> = bundle
+        .train_idx
+        .iter()
+        .map(|&i| bundle.ds.runs[i].clone())
+        .collect();
     let subset_idx = regional_subsets(&train_runs, k, cfg.seed ^ 0xF11);
 
     let mut model_cfg = bundle.model_cfg.clone();
@@ -71,7 +74,13 @@ pub fn fig11(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
 
     let mut t = MdTable::new(
         "Selection curves (paper Fig. 11 analogue)",
-        &["Data used (%)", "Uncertainty DTW", "Random DTW", "Uncertainty HWD", "Random HWD"],
+        &[
+            "Data used (%)",
+            "Uncertainty DTW",
+            "Random DTW",
+            "Uncertainty HWD",
+            "Random HWD",
+        ],
     );
     for (u, r) in unc.iter().zip(rnd.iter()) {
         t.row(vec![
@@ -83,14 +92,22 @@ pub fn fig11(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
         ]);
     }
     report.tables.push(t);
-    report
-        .series
-        .push(("uncertainty_dtw".into(), unc.iter().map(|p| p.eval.dtw).collect()));
-    report.series.push(("random_dtw".into(), rnd.iter().map(|p| p.eval.dtw).collect()));
-    report
-        .series
-        .push(("uncertainty_hwd".into(), unc.iter().map(|p| p.eval.hwd).collect()));
-    report.series.push(("random_hwd".into(), rnd.iter().map(|p| p.eval.hwd).collect()));
+    report.series.push((
+        "uncertainty_dtw".into(),
+        unc.iter().map(|p| p.eval.dtw).collect(),
+    ));
+    report.series.push((
+        "random_dtw".into(),
+        rnd.iter().map(|p| p.eval.dtw).collect(),
+    ));
+    report.series.push((
+        "uncertainty_hwd".into(),
+        unc.iter().map(|p| p.eval.hwd).collect(),
+    ));
+    report.series.push((
+        "random_hwd".into(),
+        rnd.iter().map(|p| p.eval.hwd).collect(),
+    ));
     report.notes.push(
         "Expected shape (paper Fig. 11): the uncertainty-selection curve improves faster and \
          plateaus with a small fraction of the data (~10 % in the paper); random selection \

@@ -29,7 +29,12 @@ impl Regressor {
         let mut rng = Rng::seed_from(seed);
         let mut store = ParamStore::new();
         let net = Mlp::new(&mut store, "reg", &[in_dim, hidden, hidden, 1], &mut rng);
-        Regressor { store, net, rng, in_dim }
+        Regressor {
+            store,
+            net,
+            rng,
+            in_dim,
+        }
     }
 
     fn fit(&mut self, xs: &[Vec<f32>], ys: &[f32], steps: usize) {
@@ -125,7 +130,13 @@ pub fn extra_usecases(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
     ];
     let mut t = MdTable::new(
         "Use-case fidelity vs simulator ground truth (lower is better)",
-        &["KPI source", "Cell-load MAE", "Cell-load HWD", "Bandwidth MAE (Mbps)", "Bandwidth DTW"],
+        &[
+            "KPI source",
+            "Cell-load MAE",
+            "Cell-load HWD",
+            "Bandwidth MAE (Mbps)",
+            "Bandwidth DTW",
+        ],
     );
     for (label, source) in sources {
         let mut load_fs = Vec::new();
@@ -165,8 +176,11 @@ pub fn extra_usecases(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
             let mut pred_bw = Vec::with_capacity(n);
             let mut true_bw = Vec::with_capacity(n);
             for k in 0..n {
-                pred_load
-                    .push(load_reg.predict(&load_features(rsrq[k], sinr[k])).clamp(0.0, 1.0));
+                pred_load.push(
+                    load_reg
+                        .predict(&load_features(rsrq[k], sinr[k]))
+                        .clamp(0.0, 1.0),
+                );
                 true_load.push(run.samples[k].serving_load);
                 pred_bw.push(
                     (bw_reg.predict(&bw_features(rsrp[k], rsrq[k], sinr[k], cqi[k])) * 50.0)

@@ -14,7 +14,10 @@ use gendt_radio::propagation::PropagationCfg;
 
 fn scenario_runs(b: &Bundle, sc: Scenario, from_test: bool) -> Vec<usize> {
     let idxs = if from_test { &b.test_idx } else { &b.train_idx };
-    idxs.iter().cloned().filter(|&i| b.ds.runs[i].scenario == sc).collect()
+    idxs.iter()
+        .cloned()
+        .filter(|&i| b.ds.runs[i].scenario == sc)
+        .collect()
 }
 
 /// Test runs for a scenario, falling back to training runs if the
@@ -30,8 +33,7 @@ fn eval_runs(b: &Bundle, sc: Scenario) -> Vec<usize> {
 
 /// Table 3: generated RSRP fidelity per scenario in Dataset A.
 pub fn table3(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
-    let mut report =
-        Report::new("table3", "Generated RSRP fidelity per scenario, Dataset A");
+    let mut report = Report::new("table3", "Generated RSRP fidelity per scenario, Dataset A");
     let scenarios = [Scenario::Walk, Scenario::Bus, Scenario::Tram];
     let mut t = MdTable::new(
         "RSRP fidelity (paper Table 3 analogue)",
@@ -101,8 +103,7 @@ pub fn table4(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
 
 /// Table 5: RSRP fidelity per sub-scenario in Dataset B.
 pub fn table5(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
-    let mut report =
-        Report::new("table5", "Generated RSRP fidelity per scenario, Dataset B");
+    let mut report = Report::new("table5", "Generated RSRP fidelity per scenario, Dataset B");
     // Sub-scenarios are 6-run blocks in emission order.
     let labels = gendt_data::builders::dataset_b_scenario_labels();
     let mut t = MdTable::new(
@@ -153,11 +154,15 @@ pub fn table5(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
 
 /// Table 6: Dataset-B average fidelity for RSRP and RSRQ.
 pub fn table6(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
-    let mut report =
-        Report::new("table6", "Average fidelity across Dataset-B scenarios (RSRP, RSRQ)");
+    let mut report = Report::new(
+        "table6",
+        "Average fidelity across Dataset-B scenarios (RSRP, RSRQ)",
+    );
     let mut t = MdTable::new(
         "Dataset-B averages (paper Table 6 analogue)",
-        &["Method", "RSRP MAE", "RSRP DTW", "RSRP HWD", "RSRQ MAE", "RSRQ DTW", "RSRQ HWD"],
+        &[
+            "Method", "RSRP MAE", "RSRP DTW", "RSRP HWD", "RSRQ MAE", "RSRQ DTW", "RSRQ HWD",
+        ],
     );
     let runs = bundle.test_idx.clone();
     for m in Method::ALL {
@@ -198,7 +203,10 @@ pub fn long_trajectory(
             (Scenario::Highway, 1000.0 * dur_scale),
             (Scenario::CityDrive, 630.0 * dur_scale),
         ],
-        XY::new(-bundle.ds.world.cfg.extent_m * 0.5, -bundle.ds.world.cfg.extent_m * 0.5),
+        XY::new(
+            -bundle.ds.world.cfg.extent_m * 0.5,
+            -bundle.ds.world.cfg.extent_m * 0.5,
+        ),
         cfg.seed ^ 0x10AD,
     );
     let engine = KpiEngine::new(
@@ -208,7 +216,12 @@ pub fn long_trajectory(
         KpiCfg::default(),
     );
     let samples = engine.measure(&traj, cfg.seed ^ 0x10AE);
-    let run = gendt_data::run::Run { scenario: Scenario::CityDrive, traj, samples, qoe: None };
+    let run = gendt_data::run::Run {
+        scenario: Scenario::CityDrive,
+        traj,
+        samples,
+        qoe: None,
+    };
     let ctx_cfg = cfg.ctx_cfg(&bundle.model_cfg);
     let ctx = extract(&bundle.ds.world, &bundle.ds.deployment, &run.traj, &ctx_cfg);
     let real: Vec<Vec<f64>> = bundle.kpis.iter().map(|&k| run.series(k)).collect();
@@ -218,11 +231,15 @@ pub fn long_trajectory(
 /// Table 7 + Fig. 9: long complex trajectory fidelity.
 pub fn table7(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
     let (ctx, real) = long_trajectory(cfg, bundle);
-    let mut report =
-        Report::new("table7", "Long and complex trajectory (city+highway+city), Dataset B");
+    let mut report = Report::new(
+        "table7",
+        "Long and complex trajectory (city+highway+city), Dataset B",
+    );
     let mut t = MdTable::new(
         "Long-trajectory fidelity (paper Table 7 analogue)",
-        &["Method", "RSRP MAE", "RSRP DTW", "RSRP HWD", "RSRQ MAE", "RSRQ DTW", "RSRQ HWD"],
+        &[
+            "Method", "RSRP MAE", "RSRP DTW", "RSRP HWD", "RSRQ MAE", "RSRQ DTW", "RSRQ HWD",
+        ],
     );
     for m in Method::ALL {
         let gen = bundle.generate(m, &ctx, cfg.seed ^ 0x7AB8);
@@ -290,7 +307,9 @@ pub fn table8(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
             Fidelity::default()
         };
         t.row(vec![label.into(), f2(f.mae), f2(f.dtw), f2(f.hwd)]);
-        report.series.push((label.replace(' ', "_"), out.series[pos].clone()));
+        report
+            .series
+            .push((label.replace(' ', "_"), out.series[pos].clone()));
     }
     report.series.push(("real".into(), real_rsrp.clone()));
     report.tables.push(t);
@@ -304,8 +323,10 @@ pub fn table8(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
 
 /// Fig. 18: qualitative sample series, GenDT vs Real-Context DG (walk).
 pub fn fig18(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
-    let mut report =
-        Report::new("fig18", "Sample generated RSRP series: GenDT vs Real-Context DG (Walk)");
+    let mut report = Report::new(
+        "fig18",
+        "Sample generated RSRP series: GenDT vs Real-Context DG (Walk)",
+    );
     let runs = eval_runs(bundle, Scenario::Walk);
     let run = runs.first().cloned().unwrap_or(0);
     let ctx = bundle.contexts[run].clone();
@@ -313,7 +334,10 @@ pub fn fig18(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
     let pos = bundle.kpis.iter().position(|&k| k == Kpi::Rsrp).unwrap();
     let g1 = bundle.generate(Method::GenDt, &ctx, cfg.seed ^ 0x718);
     let g2 = bundle.generate(Method::RealCtxDg, &ctx, cfg.seed ^ 0x719);
-    let mut t = MdTable::new("Tracking error over the sample walk run", &["Method", "MAE", "DTW"]);
+    let mut t = MdTable::new(
+        "Tracking error over the sample walk run",
+        &["Method", "MAE", "DTW"],
+    );
     for (label, gen) in [("GenDT", &g1[pos]), ("Real Cont. DG", &g2[pos])] {
         let n = real.len().min(gen.len());
         let f = Fidelity::compute(&real[..n], &gen[..n]);

@@ -18,9 +18,7 @@ pub fn table1(cfg: &EvalCfg) -> Report {
     let mut report = Report::new("table1", "Statistics of Dataset A for different scenarios");
     let mut t = MdTable::new(
         "Dataset A statistics (paper Table 1 analogue)",
-        &[
-            "Statistic", "Walk", "Bus", "Tram",
-        ],
+        &["Statistic", "Walk", "Bus", "Tram"],
     );
     let col = |f: &dyn Fn(&gendt_data::stats::ScenarioStats) -> String| -> Vec<String> {
         rows.iter().map(f).collect()
@@ -30,14 +28,30 @@ pub fn table1(cfg: &EvalCfg) -> Report {
         row.extend(vals);
         t.row(row);
     };
-    push(&mut t, "Time Granularity (s)", col(&|r| f2(r.time_granularity_s)));
-    push(&mut t, "Avg. Velocity (m/s)", col(&|r| f2(r.avg_velocity_mps)));
-    push(&mut t, "Avg. Duration at each Serving Cell (s)", col(&|r| f2(r.avg_serving_dwell_s)));
+    push(
+        &mut t,
+        "Time Granularity (s)",
+        col(&|r| f2(r.time_granularity_s)),
+    );
+    push(
+        &mut t,
+        "Avg. Velocity (m/s)",
+        col(&|r| f2(r.avg_velocity_mps)),
+    );
+    push(
+        &mut t,
+        "Avg. Duration at each Serving Cell (s)",
+        col(&|r| f2(r.avg_serving_dwell_s)),
+    );
     push(&mut t, "Avg. RSRP (dBm)", col(&|r| f2(r.avg_rsrp_dbm)));
     push(&mut t, "Std. RSRP (dB)", col(&|r| f2(r.std_rsrp_db)));
     push(&mut t, "Avg. RSRQ (dB)", col(&|r| f2(r.avg_rsrq_db)));
     push(&mut t, "Std. RSRQ (dB)", col(&|r| f2(r.std_rsrq_db)));
-    push(&mut t, "Measurement Samples", col(&|r| r.samples.to_string()));
+    push(
+        &mut t,
+        "Measurement Samples",
+        col(&|r| r.samples.to_string()),
+    );
     report.tables.push(t);
     report.notes.push(
         "Paper reference: velocities 1.4/5.6/11.5 m/s, RSRP means -86.6/-87.3/-85.6 dBm \
@@ -51,11 +65,20 @@ pub fn table1(cfg: &EvalCfg) -> Report {
 pub fn table2(cfg: &EvalCfg) -> Report {
     let ds = dataset_b(&cfg.build_cfg());
     let subs = dataset_b_subscenarios(&ds);
-    let rows: Vec<_> = subs.iter().map(|(label, runs)| scenario_stats(label, runs)).collect();
+    let rows: Vec<_> = subs
+        .iter()
+        .map(|(label, runs)| scenario_stats(label, runs))
+        .collect();
     let mut report = Report::new("table2", "Statistics of Dataset B for different scenarios");
     let mut t = MdTable::new(
         "Dataset B statistics (paper Table 2 analogue)",
-        &["Statistic", "City Driving 1", "City Driving 2", "Highway 1", "Highway 2"],
+        &[
+            "Statistic",
+            "City Driving 1",
+            "City Driving 2",
+            "Highway 1",
+            "Highway 2",
+        ],
     );
     let col = |f: &dyn Fn(&gendt_data::stats::ScenarioStats) -> String| -> Vec<String> {
         rows.iter().map(f).collect()
@@ -65,9 +88,21 @@ pub fn table2(cfg: &EvalCfg) -> Report {
         row.extend(vals);
         t.row(row);
     };
-    push(&mut t, "Time Granularity (s)", col(&|r| f2(r.time_granularity_s)));
-    push(&mut t, "Avg. Velocity (m/s)", col(&|r| f2(r.avg_velocity_mps)));
-    push(&mut t, "Avg. Duration at each Serving Cell (s)", col(&|r| f2(r.avg_serving_dwell_s)));
+    push(
+        &mut t,
+        "Time Granularity (s)",
+        col(&|r| f2(r.time_granularity_s)),
+    );
+    push(
+        &mut t,
+        "Avg. Velocity (m/s)",
+        col(&|r| f2(r.avg_velocity_mps)),
+    );
+    push(
+        &mut t,
+        "Avg. Duration at each Serving Cell (s)",
+        col(&|r| f2(r.avg_serving_dwell_s)),
+    );
     push(&mut t, "Avg. RSRP (dBm)", col(&|r| f2(r.avg_rsrp_dbm)));
     push(&mut t, "Std. RSRP (dB)", col(&|r| f2(r.std_rsrp_db)));
     push(&mut t, "ROC RSRP (dB)", col(&|r| f2(r.roc_rsrp_db)));
@@ -94,10 +129,16 @@ pub fn fig1_2(cfg: &EvalCfg) -> Report {
         &world,
         &deployment,
         PropagationCfg::default(),
-        KpiCfg { serving_range_m: 2000.0, ..KpiCfg::default() },
+        KpiCfg {
+            serving_range_m: 2000.0,
+            ..KpiCfg::default()
+        },
     );
     let dur = if cfg.quick { 300.0 } else { 700.0 };
-    let traj = generate(&world, &TrajectoryCfg::new(Scenario::Tram, dur, XY::new(0.0, 0.0), b.seed ^ 9));
+    let traj = generate(
+        &world,
+        &TrajectoryCfg::new(Scenario::Tram, dur, XY::new(0.0, 0.0), b.seed ^ 9),
+    );
 
     let mut report = Report::new(
         "fig1_2",
@@ -131,9 +172,18 @@ pub fn fig1_2(cfg: &EvalCfg) -> Report {
         "Pass-to-pass variability (5 passes over the same tram route)",
         &["Quantity", "Value"],
     );
-    t.row(vec!["Mean per-location RSRP std across passes (dB)".into(), f2(mean_std)]);
-    t.row(vec!["Max per-location RSRP std (dB)".into(), f2(per_location_std.iter().cloned().fold(0.0, f64::max))]);
-    t.row(vec!["Mean distinct serving cells per location".into(), f2(metrics::mean(&distinct))]);
+    t.row(vec![
+        "Mean per-location RSRP std across passes (dB)".into(),
+        f2(mean_std),
+    ]);
+    t.row(vec![
+        "Max per-location RSRP std (dB)".into(),
+        f2(per_location_std.iter().cloned().fold(0.0, f64::max)),
+    ]);
+    t.row(vec![
+        "Mean distinct serving cells per location".into(),
+        f2(metrics::mean(&distinct)),
+    ]);
     t.row(vec![
         "Locations with >1 distinct serving cell (%)".into(),
         f2(100.0 * distinct.iter().filter(|&&d| d > 1.0).count() as f64 / n as f64),
@@ -142,7 +192,9 @@ pub fn fig1_2(cfg: &EvalCfg) -> Report {
     for (i, p) in passes.iter().enumerate() {
         report.series.push((format!("rsrp_pass_{i}"), p.clone()));
     }
-    report.series.push(("per_location_std".into(), per_location_std));
+    report
+        .series
+        .push(("per_location_std".into(), per_location_std));
     report.notes.push(
         "Paper Fig. 1 shows significant pass-to-pass variation at most locations, co-located \
          with serving-cell diversity (Fig. 2): radio KPIs are stochastic, not deterministic."
@@ -157,7 +209,10 @@ pub fn fig4_16(cfg: &EvalCfg) -> Report {
     let b = cfg.build_cfg();
     let ds_a = dataset_a(&b);
     let ds_b = dataset_b(&b);
-    let mut report = Report::new("fig4_16", "Cell density and distance to serving cell per scenario");
+    let mut report = Report::new(
+        "fig4_16",
+        "Cell density and distance to serving cell per scenario",
+    );
 
     let mut t = MdTable::new(
         "Cell density (cells/km² within 1 km, sampled along runs) — paper Fig. 4",
@@ -177,7 +232,11 @@ pub fn fig4_16(cfg: &EvalCfg) -> Report {
         ));
     }
     for (label, runs) in dataset_b_subscenarios(&ds_b) {
-        cases.push((label.to_string(), cell_densities(&ds_b, &runs), serving_distances(&runs)));
+        cases.push((
+            label.to_string(),
+            cell_densities(&ds_b, &runs),
+            serving_distances(&runs),
+        ));
     }
     for (label, dens, dist) in &cases {
         let mut d = dens.clone();

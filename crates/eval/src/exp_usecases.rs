@@ -44,7 +44,13 @@ fn qoe_features(
     } else {
         (Kpi::Rsrp.normalize(rsrp), Kpi::Rsrq.normalize(rsrq))
     };
-    vec![r, q, (x / extent) as f32, (y / extent) as f32, (speed / 30.0) as f32]
+    vec![
+        r,
+        q,
+        (x / extent) as f32,
+        (y / extent) as f32,
+        (speed / 30.0) as f32,
+    ]
 }
 
 /// Normalize throughput to [-1, 1].
@@ -62,7 +68,12 @@ impl QoePredictor {
         let mut rng = Rng::seed_from(seed);
         let mut store = ParamStore::new();
         let net = Mlp::new(&mut store, "qoe", &[QOE_FEATS, 32, 32, 2], &mut rng);
-        QoePredictor { store, net, rng, exclude_radio }
+        QoePredictor {
+            store,
+            net,
+            rng,
+            exclude_radio,
+        }
     }
 
     /// Train on Dataset-A training runs (which carry QoE ground truth).
@@ -148,7 +159,15 @@ impl QoePredictor {
         let mut per = Vec::with_capacity(n);
         for k in 0..n {
             let p = run.traj.points[k];
-            let f = qoe_features(rsrp[k], rsrq[k], p.pos.x, p.pos.y, p.speed, extent, self.exclude_radio);
+            let f = qoe_features(
+                rsrp[k],
+                rsrq[k],
+                p.pos.x,
+                p.pos.y,
+                p.speed,
+                extent,
+                self.exclude_radio,
+            );
             let mut g = Graph::new();
             let x = g.input(Matrix::from_vec(1, QOE_FEATS, f));
             let pred = self.net.forward(&mut g, &self.store, x);
@@ -174,8 +193,10 @@ pub struct QoeRow {
 /// Table 9 + Fig. 12: QoE prediction with real, excluded, and generated
 /// RSRP/RSRQ inputs.
 pub fn table9(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
-    let mut report =
-        Report::new("table9", "QoE (throughput, PER) prediction from generated RSRP/RSRQ");
+    let mut report = Report::new(
+        "table9",
+        "QoE (throughput, PER) prediction from generated RSRP/RSRQ",
+    );
     let epochs = if cfg.quick { 4 } else { 20 };
     let mut predictor = QoePredictor::new(cfg.seed ^ 0x90E, false);
     predictor.fit(bundle, epochs);
@@ -215,7 +236,11 @@ pub fn table9(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
                 continue;
             }
             let qoe = bundle.ds.runs[i].qoe.as_ref().unwrap();
-            let real_t: Vec<f64> = qoe.iter().take(pt.len()).map(|q| q.throughput_mbps).collect();
+            let real_t: Vec<f64> = qoe
+                .iter()
+                .take(pt.len())
+                .map(|q| q.throughput_mbps)
+                .collect();
             let real_p: Vec<f64> = qoe.iter().take(pp.len()).map(|q| q.per).collect();
             tput_f.push(Fidelity::compute(&real_t, &pt[..real_t.len()]));
             per_f.push(Fidelity::compute(&real_p, &pp[..real_p.len()]));
@@ -225,17 +250,31 @@ pub fn table9(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
 
     let mut rows: Vec<QoeRow> = Vec::new();
     let (t, p) = eval_inputs(bundle, &predictor, None, cfg.seed ^ 1);
-    rows.push(QoeRow { label: "Real".into(), tput: t, per: p });
+    rows.push(QoeRow {
+        label: "Real".into(),
+        tput: t,
+        per: p,
+    });
     let (t, p) = eval_inputs(bundle, &predictor_norad, None, cfg.seed ^ 2);
-    rows.push(QoeRow { label: "RSRP & RSRQ Excluded".into(), tput: t, per: p });
+    rows.push(QoeRow {
+        label: "RSRP & RSRQ Excluded".into(),
+        tput: t,
+        per: p,
+    });
     for m in Method::ALL {
         let (t, p) = eval_inputs(bundle, &predictor, Some(m), cfg.seed ^ 3);
-        rows.push(QoeRow { label: m.label().into(), tput: t, per: p });
+        rows.push(QoeRow {
+            label: m.label().into(),
+            tput: t,
+            per: p,
+        });
     }
 
     let mut t = MdTable::new(
         "QoE prediction fidelity (paper Table 9 analogue)",
-        &["Input", "Tput MAE", "Tput DTW", "Tput HWD", "PER MAE", "PER DTW", "PER HWD"],
+        &[
+            "Input", "Tput MAE", "Tput DTW", "Tput HWD", "PER MAE", "PER DTW", "PER HWD",
+        ],
     );
     for r in &rows {
         t.row(vec![
@@ -262,11 +301,16 @@ pub fn table9(cfg: &EvalCfg, bundle: &mut Bundle) -> Report {
         let pq = bundle.kpis.iter().position(|&k| k == Kpi::Rsrq).unwrap();
         let (pt_gen, _) = predictor.predict(bundle, i, &gen[pr], &gen[pq]);
         let qoe = bundle.ds.runs[i].qoe.as_ref().unwrap();
+        report.series.push((
+            "real_tput".into(),
+            qoe.iter().map(|q| q.throughput_mbps).collect(),
+        ));
         report
             .series
-            .push(("real_tput".into(), qoe.iter().map(|q| q.throughput_mbps).collect()));
-        report.series.push(("pred_tput_real_inputs".into(), pt_real));
-        report.series.push(("pred_tput_gendt_inputs".into(), pt_gen));
+            .push(("pred_tput_real_inputs".into(), pt_real));
+        report
+            .series
+            .push(("pred_tput_gendt_inputs".into(), pt_gen));
     }
     report.notes.push(
         "Expected shape (paper Table 9 / Fig. 12): dropping RSRP/RSRQ hurts badly; predictions \
@@ -325,8 +369,10 @@ pub fn inter_times(events: &[f64]) -> Vec<f64> {
 /// serving-cell data. Retrains GenDT (and baselines) with the serving
 /// channel added, on Dataset B (as in the paper).
 pub fn table10(cfg: &EvalCfg, bundle_b: &Bundle) -> Report {
-    let mut report =
-        Report::new("table10", "Inter-handover time distribution from generated serving-cell data");
+    let mut report = Report::new(
+        "table10",
+        "Inter-handover time distribution from generated serving-cell data",
+    );
     // Extended KPI set with the serving channel.
     let kpis: Vec<Kpi> = vec![Kpi::Rsrp, Kpi::Rsrq, Kpi::Serving];
     let mut model_cfg = bundle_b.model_cfg.clone();
@@ -349,13 +395,18 @@ pub fn table10(cfg: &EvalCfg, bundle_b: &Bundle) -> Report {
     // Real inter-handover times over the test runs.
     let mut real_iht = Vec::new();
     for &i in &bundle_b.test_idx {
-        real_iht.extend(gendt_radio::kpi::inter_handover_times(&bundle_b.ds.runs[i].samples));
+        real_iht.extend(gendt_radio::kpi::inter_handover_times(
+            &bundle_b.ds.runs[i].samples,
+        ));
     }
     // Detection threshold calibrated on training runs (see
     // [`calibrate_handover_threshold`]): applied identically to every
     // method's generated serving channel.
-    let train_runs: Vec<&gendt_data::run::Run> =
-        bundle_b.train_idx.iter().map(|&i| &bundle_b.ds.runs[i]).collect();
+    let train_runs: Vec<&gendt_data::run::Run> = bundle_b
+        .train_idx
+        .iter()
+        .map(|&i| &bundle_b.ds.runs[i])
+        .collect();
     let threshold = calibrate_handover_threshold(&train_runs);
 
     // Per-method serving-channel generators, all producing the same
@@ -366,9 +417,15 @@ pub fn table10(cfg: &EvalCfg, bundle_b: &Bundle) -> Report {
         let mut iht = Vec::new();
         for (j, &i) in bundle_b.test_idx.iter().enumerate() {
             let serv = &series_per_run[j];
-            let times: Vec<f64> =
-                bundle_b.ds.runs[i].samples.iter().map(|s| s.t).take(serv.len()).collect();
-            iht.extend(inter_times(&handovers_from_serving(serv, &times, threshold)));
+            let times: Vec<f64> = bundle_b.ds.runs[i]
+                .samples
+                .iter()
+                .map(|s| s.t)
+                .take(serv.len())
+                .collect();
+            iht.extend(inter_times(&handovers_from_serving(
+                serv, &times, threshold,
+            )));
         }
         methods.push((label.to_string(), iht));
     };
@@ -405,15 +462,25 @@ pub fn table10(cfg: &EvalCfg, bundle_b: &Bundle) -> Report {
     }
     // MLP: per-step regression of the serving channel.
     {
-        let mut mlp =
-            gendt_baselines::MlpBaseline::new(&kpis, if cfg.quick { 12 } else { 32 }, cfg.seed ^ 0x41);
+        let mut mlp = gendt_baselines::MlpBaseline::new(
+            &kpis,
+            if cfg.quick { 12 } else { 32 },
+            cfg.seed ^ 0x41,
+        );
         mlp.epochs = if cfg.quick { 3 } else { 12 };
-        let ctx_refs: Vec<&gendt_data::context::RunContext> =
-            bundle_b.train_idx.iter().map(|&i| &bundle_b.contexts[i]).collect();
+        let ctx_refs: Vec<&gendt_data::context::RunContext> = bundle_b
+            .train_idx
+            .iter()
+            .map(|&i| &bundle_b.contexts[i])
+            .collect();
         let targets: Vec<Vec<Vec<f64>>> = bundle_b
             .train_idx
             .iter()
-            .map(|&i| kpis.iter().map(|&k| bundle_b.ds.runs[i].series(k)).collect())
+            .map(|&i| {
+                kpis.iter()
+                    .map(|&k| bundle_b.ds.runs[i].series(k))
+                    .collect()
+            })
             .collect();
         mlp.fit(&ctx_refs, &targets);
         let per_run: Vec<Vec<f64>> = bundle_b
@@ -429,7 +496,11 @@ pub fn table10(cfg: &EvalCfg, bundle_b: &Bundle) -> Report {
         lg.train(&pool);
         let mut per_run = Vec::new();
         for (j, &i) in bundle_b.test_idx.iter().enumerate() {
-            let out = lg.generate(&bundle_b.contexts[i], &kpis, cfg.seed ^ ((j as u64 + 5) << 9));
+            let out = lg.generate(
+                &bundle_b.contexts[i],
+                &kpis,
+                cfg.seed ^ ((j as u64 + 5) << 9),
+            );
             per_run.push(out.channel(Kpi::Serving).unwrap_or(&[]).to_vec());
         }
         collect_iht("LSTM-GNN", per_run);
@@ -448,8 +519,11 @@ pub fn table10(cfg: &EvalCfg, bundle_b: &Bundle) -> Report {
         dg.train(&pool);
         let mut per_run = Vec::new();
         for (j, &i) in bundle_b.test_idx.iter().enumerate() {
-            let out =
-                dg.generate(&bundle_b.contexts[i], &kpis, cfg.seed ^ ((j as u64 + 11) << 10));
+            let out = dg.generate(
+                &bundle_b.contexts[i],
+                &kpis,
+                cfg.seed ^ ((j as u64 + 11) << 10),
+            );
             per_run.push(out[serv_pos].clone());
         }
         collect_iht(label, per_run);
@@ -466,7 +540,12 @@ pub fn table10(cfg: &EvalCfg, bundle_b: &Bundle) -> Report {
     } else {
         gendt_metrics::quantile_sorted(&real_sorted, 0.5)
     };
-    t.row(vec!["Real".into(), "0.00".into(), f2(real_median), real_iht.len().to_string()]);
+    t.row(vec![
+        "Real".into(),
+        "0.00".into(),
+        f2(real_median),
+        real_iht.len().to_string(),
+    ]);
     for (label, iht) in &methods {
         let hwd = if iht.is_empty() || real_iht.is_empty() {
             f64::NAN
@@ -475,7 +554,11 @@ pub fn table10(cfg: &EvalCfg, bundle_b: &Bundle) -> Report {
         };
         let mut s = iht.clone();
         s.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let med = if s.is_empty() { 0.0 } else { gendt_metrics::quantile_sorted(&s, 0.5) };
+        let med = if s.is_empty() {
+            0.0
+        } else {
+            gendt_metrics::quantile_sorted(&s, 0.5)
+        };
         t.row(vec![label.clone(), f2(hwd), f2(med), iht.len().to_string()]);
         report.series.push((format!("iht_{label}"), iht.clone()));
     }

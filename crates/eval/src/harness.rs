@@ -31,12 +31,20 @@ pub struct EvalCfg {
 impl EvalCfg {
     /// Quick-mode configuration.
     pub fn quick(seed: u64) -> Self {
-        EvalCfg { quick: true, seed, out_dir: PathBuf::from("results") }
+        EvalCfg {
+            quick: true,
+            seed,
+            out_dir: PathBuf::from("results"),
+        }
     }
 
     /// Full-mode configuration.
     pub fn full(seed: u64) -> Self {
-        EvalCfg { quick: false, seed, out_dir: PathBuf::from("results") }
+        EvalCfg {
+            quick: false,
+            seed,
+            out_dir: PathBuf::from("results"),
+        }
     }
 
     /// Dataset build config for this mode.
@@ -67,7 +75,10 @@ impl EvalCfg {
 
     /// Context-extraction config matched to the model config.
     pub fn ctx_cfg(&self, model: &GenDtCfg) -> ContextCfg {
-        ContextCfg { max_cells: model.window.max_cells, ..ContextCfg::default() }
+        ContextCfg {
+            max_cells: model.window.max_cells,
+            ..ContextCfg::default()
+        }
     }
 }
 
@@ -262,9 +273,7 @@ impl Bundle {
     /// methods emit `⌊T/L⌋·L` samples); callers truncate to align.
     pub fn generate(&mut self, method: Method, ctx: &RunContext, seed: u64) -> Vec<Vec<f64>> {
         match method {
-            Method::GenDt => {
-                generate_series(&mut self.gendt, ctx, &self.kpis, false, seed).series
-            }
+            Method::GenDt => generate_series(&mut self.gendt, ctx, &self.kpis, false, seed).series,
             Method::Fdas => self.fdas.generate(ctx.steps.len(), seed),
             Method::Mlp => self.mlp.generate(ctx),
             Method::LstmGnn => self.lstm_gnn.generate(ctx, &self.kpis, seed).series,

@@ -40,8 +40,22 @@ pub use report::{MdTable, Report};
 
 /// All experiment ids the binary accepts.
 pub const EXPERIMENTS: [&str; 17] = [
-    "table1", "table2", "fig1_2", "fig4_16", "table3", "table4", "fig18", "table5", "table6",
-    "table7", "table8", "fig11", "table9", "table10", "table12", "extra_usecases",
+    "table1",
+    "table2",
+    "fig1_2",
+    "fig4_16",
+    "table3",
+    "table4",
+    "fig18",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "fig11",
+    "table9",
+    "table10",
+    "table12",
+    "extra_usecases",
     "coverage",
 ];
 

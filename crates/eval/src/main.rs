@@ -6,10 +6,11 @@
 //! gendt-eval --list
 //! ```
 
+#![forbid(unsafe_code)]
+
 use gendt_eval::{
     exp_ablation, exp_coverage, exp_efficiency, exp_extra, exp_fidelity, exp_usecases,
-    run_standalone, Bundle,
-    EvalCfg, Report, EXPERIMENTS,
+    run_standalone, Bundle, EvalCfg, Report, EXPERIMENTS,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -64,7 +65,13 @@ fn parse_args() -> Result<Args, String> {
         }
         i += 1;
     }
-    Ok(Args { exps, quick, seed, out, list })
+    Ok(Args {
+        exps,
+        quick,
+        seed,
+        out,
+        list,
+    })
 }
 
 fn main() {
@@ -94,16 +101,27 @@ fn main() {
     }
     exps.dedup();
 
-    let cfg = EvalCfg { quick: args.quick, seed: args.seed, out_dir: args.out.clone() };
+    let cfg = EvalCfg {
+        quick: args.quick,
+        seed: args.seed,
+        out_dir: args.out.clone(),
+    };
 
     // Bundles are expensive (dataset synthesis + training six models);
     // build lazily and share across experiments.
     let mut bundle_a: Option<Bundle> = None;
     let mut bundle_b: Option<Bundle> = None;
-    let needs_a =
-        |id: &str| matches!(id, "table3" | "table4" | "table9" | "fig18" | "extra_usecases" | "coverage");
+    let needs_a = |id: &str| {
+        matches!(
+            id,
+            "table3" | "table4" | "table9" | "fig18" | "extra_usecases" | "coverage"
+        )
+    };
     let needs_b = |id: &str| {
-        matches!(id, "table5" | "table6" | "table7" | "table8" | "fig11" | "table10" | "table12")
+        matches!(
+            id,
+            "table5" | "table6" | "table7" | "table8" | "fig11" | "table10" | "table12"
+        )
     };
 
     let total = Instant::now();
@@ -145,7 +163,13 @@ fn main() {
         if let Err(e) = report.write_to(&cfg.out_dir) {
             eprintln!("warning: could not write report: {e}");
         }
-        eprintln!("[gendt-eval] {id} done in {:.1}s", started.elapsed().as_secs_f64());
+        eprintln!(
+            "[gendt-eval] {id} done in {:.1}s",
+            started.elapsed().as_secs_f64()
+        );
     }
-    eprintln!("[gendt-eval] all done in {:.1}s", total.elapsed().as_secs_f64());
+    eprintln!(
+        "[gendt-eval] all done in {:.1}s",
+        total.elapsed().as_secs_f64()
+    );
 }

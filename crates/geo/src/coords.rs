@@ -68,7 +68,10 @@ impl XY {
 
     /// Linear interpolation between two points.
     pub fn lerp(&self, other: &XY, t: f64) -> XY {
-        XY { x: self.x + (other.x - self.x) * t, y: self.y + (other.y - self.y) * t }
+        XY {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
     }
 }
 
@@ -83,7 +86,10 @@ pub struct Projection {
 impl Projection {
     /// Projection centered at `origin`.
     pub fn new(origin: LatLon) -> Self {
-        Projection { origin, cos_lat0: origin.lat.to_radians().cos() }
+        Projection {
+            origin,
+            cos_lat0: origin.lat.to_radians().cos(),
+        }
     }
 
     /// Project a lat/lon into the local frame.
@@ -142,7 +148,10 @@ mod tests {
         let xy = proj.to_xy(p);
         let planar = (xy.x.powi(2) + xy.y.powi(2)).sqrt();
         let true_d = proj.origin.haversine_m(&p);
-        assert!((planar - true_d).abs() / true_d < 1e-3, "planar {planar} vs {true_d}");
+        assert!(
+            (planar - true_d).abs() / true_d < 1e-3,
+            "planar {planar} vs {true_d}"
+        );
     }
 
     #[test]

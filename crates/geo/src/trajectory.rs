@@ -29,8 +29,13 @@ pub enum Scenario {
 
 impl Scenario {
     /// All scenarios.
-    pub const ALL: [Scenario; 5] =
-        [Scenario::Walk, Scenario::Bus, Scenario::Tram, Scenario::CityDrive, Scenario::Highway];
+    pub const ALL: [Scenario; 5] = [
+        Scenario::Walk,
+        Scenario::Bus,
+        Scenario::Tram,
+        Scenario::CityDrive,
+        Scenario::Highway,
+    ];
 
     /// Mean speed in m/s (paper Tables 1–2).
     pub fn mean_speed(self) -> f64 {
@@ -119,7 +124,10 @@ impl Trajectory {
 
     /// Path length in meters.
     pub fn length_m(&self) -> f64 {
-        self.points.windows(2).map(|w| w[0].pos.dist(&w[1].pos)).sum()
+        self.points
+            .windows(2)
+            .map(|w| w[0].pos.dist(&w[1].pos))
+            .sum()
     }
 
     /// Average speed over the trajectory, m/s.
@@ -139,7 +147,11 @@ impl Trajectory {
         let t0 = self.points.last().map(|p| p.t + 1.0).unwrap_or(0.0);
         let o0 = other.points.first().map(|p| p.t).unwrap_or(0.0);
         for p in &other.points {
-            self.points.push(TrackPoint { t: t0 + (p.t - o0), pos: p.pos, speed: p.speed });
+            self.points.push(TrackPoint {
+                t: t0 + (p.t - o0),
+                pos: p.pos,
+                speed: p.speed,
+            });
         }
     }
 }
@@ -170,7 +182,14 @@ impl TrajectoryCfg {
             Scenario::CityDrive | Scenario::Highway => 0.2,
             _ => 0.0,
         };
-        TrajectoryCfg { scenario, duration_s, start, heading_deg: None, period_jitter, seed }
+        TrajectoryCfg {
+            scenario,
+            duration_s,
+            start,
+            heading_deg: None,
+            period_jitter,
+            seed,
+        }
     }
 }
 
@@ -194,7 +213,11 @@ pub fn generate(world: &World, cfg: &TrajectoryCfg) -> Trajectory {
     let sigma = 0.15 * sc.mean_speed();
 
     while t <= cfg.duration_s {
-        points.push(TrackPoint { t, pos, speed: if stop_remaining > 0.0 { 0.0 } else { speed } });
+        points.push(TrackPoint {
+            t,
+            pos,
+            speed: if stop_remaining > 0.0 { 0.0 } else { speed },
+        });
 
         let mut dt = sc.sample_period();
         if cfg.period_jitter > 0.0 {
@@ -235,7 +258,10 @@ pub fn generate(world: &World, cfg: &TrajectoryCfg) -> Trajectory {
         t += dt;
     }
 
-    Trajectory { scenario: sc, points }
+    Trajectory {
+        scenario: sc,
+        points,
+    }
 }
 
 /// Generate a long route that chains several scenarios (city driving and
@@ -248,11 +274,13 @@ pub fn generate_complex(
     seed: u64,
 ) -> Trajectory {
     let mut rng = Rng::seed_from(seed);
-    let mut out = Trajectory { scenario: legs.first().map(|l| l.0).unwrap_or(Scenario::CityDrive), points: Vec::new() };
+    let mut out = Trajectory {
+        scenario: legs.first().map(|l| l.0).unwrap_or(Scenario::CityDrive),
+        points: Vec::new(),
+    };
     let mut cur = start;
     for (i, &(sc, dur)) in legs.iter().enumerate() {
-        let leg_seed =
-            seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ rng.next_u64();
+        let leg_seed = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ rng.next_u64();
         let cfg = TrajectoryCfg::new(sc, dur, cur, leg_seed);
         let leg = generate(world, &cfg);
         cur = leg.points.last().map(|p| p.pos).unwrap_or(cur);
@@ -287,16 +315,24 @@ mod tests {
     #[test]
     fn highway_is_much_faster_than_walk() {
         let w = test_world();
-        let walk = generate(&w, &TrajectoryCfg::new(Scenario::Walk, 300.0, XY::new(0.0, 0.0), 1));
-        let hwy =
-            generate(&w, &TrajectoryCfg::new(Scenario::Highway, 300.0, XY::new(0.0, 0.0), 1));
+        let walk = generate(
+            &w,
+            &TrajectoryCfg::new(Scenario::Walk, 300.0, XY::new(0.0, 0.0), 1),
+        );
+        let hwy = generate(
+            &w,
+            &TrajectoryCfg::new(Scenario::Highway, 300.0, XY::new(0.0, 0.0), 1),
+        );
         assert!(hwy.avg_speed() > 5.0 * walk.avg_speed());
     }
 
     #[test]
     fn sample_period_respected_for_dataset_a() {
         let w = test_world();
-        let tr = generate(&w, &TrajectoryCfg::new(Scenario::Tram, 120.0, XY::new(0.0, 0.0), 3));
+        let tr = generate(
+            &w,
+            &TrajectoryCfg::new(Scenario::Tram, 120.0, XY::new(0.0, 0.0), 3),
+        );
         for pair in tr.points.windows(2) {
             let dt = pair[1].t - pair[0].t;
             assert!((dt - 1.0).abs() < 1e-9, "tram dt {dt}");
@@ -306,8 +342,10 @@ mod tests {
     #[test]
     fn dataset_b_periods_are_jittered() {
         let w = test_world();
-        let tr =
-            generate(&w, &TrajectoryCfg::new(Scenario::Highway, 300.0, XY::new(0.0, 0.0), 3));
+        let tr = generate(
+            &w,
+            &TrajectoryCfg::new(Scenario::Highway, 300.0, XY::new(0.0, 0.0), 3),
+        );
         let dts: Vec<f64> = tr.points.windows(2).map(|p| p[1].t - p[0].t).collect();
         let min = dts.iter().cloned().fold(f64::MAX, f64::min);
         let max = dts.iter().cloned().fold(f64::MIN, f64::max);
@@ -322,8 +360,16 @@ mod tests {
             &TrajectoryCfg::new(Scenario::Highway, 2000.0, XY::new(3000.0, 3000.0), 9),
         );
         for p in &tr.points {
-            assert!(p.pos.x.abs() <= w.cfg.extent_m * 1.05, "x escaped: {}", p.pos.x);
-            assert!(p.pos.y.abs() <= w.cfg.extent_m * 1.05, "y escaped: {}", p.pos.y);
+            assert!(
+                p.pos.x.abs() <= w.cfg.extent_m * 1.05,
+                "x escaped: {}",
+                p.pos.x
+            );
+            assert!(
+                p.pos.y.abs() <= w.cfg.extent_m * 1.05,
+                "y escaped: {}",
+                p.pos.y
+            );
         }
     }
 
@@ -344,7 +390,11 @@ mod tests {
         let w = test_world();
         let tr = generate_complex(
             &w,
-            &[(Scenario::CityDrive, 200.0), (Scenario::Highway, 300.0), (Scenario::CityDrive, 200.0)],
+            &[
+                (Scenario::CityDrive, 200.0),
+                (Scenario::Highway, 300.0),
+                (Scenario::CityDrive, 200.0),
+            ],
             XY::new(0.0, 0.0),
             5,
         );
@@ -362,13 +412,25 @@ mod tests {
     fn append_shifts_time() {
         let mut a = Trajectory {
             scenario: Scenario::Walk,
-            points: vec![TrackPoint { t: 0.0, pos: XY::new(0.0, 0.0), speed: 1.0 }],
+            points: vec![TrackPoint {
+                t: 0.0,
+                pos: XY::new(0.0, 0.0),
+                speed: 1.0,
+            }],
         };
         let b = Trajectory {
             scenario: Scenario::Walk,
             points: vec![
-                TrackPoint { t: 10.0, pos: XY::new(5.0, 0.0), speed: 1.0 },
-                TrackPoint { t: 11.0, pos: XY::new(6.0, 0.0), speed: 1.0 },
+                TrackPoint {
+                    t: 10.0,
+                    pos: XY::new(5.0, 0.0),
+                    speed: 1.0,
+                },
+                TrackPoint {
+                    t: 11.0,
+                    pos: XY::new(6.0, 0.0),
+                    speed: 1.0,
+                },
             ],
         };
         a.append(&b);

@@ -273,11 +273,17 @@ impl World {
                 };
                 let x = rng.uniform(-cfg.extent_m * spread, cfg.extent_m * spread);
                 let y = rng.uniform(-cfg.extent_m * spread, cfg.extent_m * spread);
-                districts.push(District { center: XY::new(x, y), kind });
+                districts.push(District {
+                    center: XY::new(x, y),
+                    kind,
+                });
             }
         }
         if districts.is_empty() {
-            districts.push(District { center: XY::new(0.0, 0.0), kind: DistrictKind::Urban });
+            districts.push(District {
+                center: XY::new(0.0, 0.0),
+                kind: DistrictKind::Urban,
+            });
         }
 
         // Land-use raster: each cell takes the mix of its district.
@@ -300,9 +306,11 @@ impl World {
             for gx in 0..grid_side {
                 let x0 = -cfg.extent_m + gx as f64 * cfg.grid_m;
                 let y0 = -cfg.extent_m + gy as f64 * cfg.grid_m;
-                let kind =
-                    nearest_district(&districts, XY::new(x0 + cfg.grid_m / 2.0, y0 + cfg.grid_m / 2.0))
-                        .kind;
+                let kind = nearest_district(
+                    &districts,
+                    XY::new(x0 + cfg.grid_m / 2.0, y0 + cfg.grid_m / 2.0),
+                )
+                .kind;
                 for pk in PoiKind::ALL {
                     let lambda = kind.poi_intensity_per_km2(pk) * cell_km2;
                     let n = poisson(lambda, &mut rng);
@@ -325,9 +333,11 @@ impl World {
             for gx in 0..grid_side {
                 let x0 = -cfg.extent_m + gx as f64 * cfg.grid_m;
                 let y0 = -cfg.extent_m + gy as f64 * cfg.grid_m;
-                let kind =
-                    nearest_district(&districts, XY::new(x0 + cfg.grid_m / 2.0, y0 + cfg.grid_m / 2.0))
-                        .kind;
+                let kind = nearest_district(
+                    &districts,
+                    XY::new(x0 + cfg.grid_m / 2.0, y0 + cfg.grid_m / 2.0),
+                )
+                .kind;
                 let lambda = kind.site_density_per_km2() * cell_km2;
                 let n = poisson(lambda, &mut rng);
                 for _ in 0..n {
@@ -341,7 +351,10 @@ impl World {
                         .take(64)
                         .any(|s| s.pos.dist(&pos) < min_sep);
                     if !too_close {
-                        sites.push(SitePlan { pos, district: kind });
+                        sites.push(SitePlan {
+                            pos,
+                            district: kind,
+                        });
                     }
                 }
             }
@@ -399,7 +412,11 @@ impl World {
             for dx in -r_cells..=r_cells {
                 let gx = cgx + dx;
                 let gy = cgy + dy;
-                if gx < 0 || gy < 0 || gx >= self.grid_side as isize || gy >= self.grid_side as isize {
+                if gx < 0
+                    || gy < 0
+                    || gx >= self.grid_side as isize
+                    || gy >= self.grid_side as isize
+                {
                     continue;
                 }
                 let cx = -self.cfg.extent_m + (gx as f64 + 0.5) * self.cfg.grid_m;
@@ -424,7 +441,10 @@ impl World {
             for dx in -br..=br {
                 let gx = bx + dx;
                 let gy = by + dy;
-                if gx < 0 || gy < 0 || gx >= self.bucket_side as isize || gy >= self.bucket_side as isize
+                if gx < 0
+                    || gy < 0
+                    || gx >= self.bucket_side as isize
+                    || gy >= self.bucket_side as isize
                 {
                     continue;
                 }
@@ -441,7 +461,10 @@ impl World {
 
     /// Number of planned sites within `radius_m` of a point.
     pub fn sites_within(&self, p: XY, radius_m: f64) -> usize {
-        self.sites.iter().filter(|s| s.pos.dist(&p) <= radius_m).count()
+        self.sites
+            .iter()
+            .filter(|s| s.pos.dist(&p) <= radius_m)
+            .count()
     }
 
     /// Cell-site density (sites/km²) within `radius_m` of a point.
@@ -478,7 +501,9 @@ fn sample_mix(mix: &[(LandUse, f64)], rng: &mut Rng) -> LandUse {
         }
         r -= w;
     }
-    mix.last().map(|&(lu, _)| lu).unwrap_or(LandUse::BarrenLands)
+    mix.last()
+        .map(|&(lu, _)| lu)
+        .unwrap_or(LandUse::BarrenLands)
 }
 
 /// Knuth Poisson sampler (lambda is always small here: per-raster-cell).
@@ -520,7 +545,10 @@ mod tests {
         let b = World::generate(WorldCfg::city(7));
         assert_eq!(a.sites.len(), b.sites.len());
         assert_eq!(a.pois.len(), b.pois.len());
-        assert_eq!(a.land_use_at(XY::new(100.0, -250.0)), b.land_use_at(XY::new(100.0, -250.0)));
+        assert_eq!(
+            a.land_use_at(XY::new(100.0, -250.0)),
+            b.land_use_at(XY::new(100.0, -250.0))
+        );
     }
 
     #[test]
@@ -544,16 +572,32 @@ mod tests {
         let ctx = w.env_context(XY::new(0.0, 0.0), 500.0);
         assert_eq!(ctx.len(), 26);
         let lu_sum: f64 = ctx[..12].iter().sum();
-        assert!((lu_sum - 1.0).abs() < 1e-9, "land-use fractions sum to {lu_sum}");
-        assert!(ctx[12..].iter().all(|&c| c >= 0.0 && c.fract() == 0.0), "PoI counts are counts");
+        assert!(
+            (lu_sum - 1.0).abs() < 1e-9,
+            "land-use fractions sum to {lu_sum}"
+        );
+        assert!(
+            ctx[12..].iter().all(|&c| c >= 0.0 && c.fract() == 0.0),
+            "PoI counts are counts"
+        );
     }
 
     #[test]
     fn city_center_denser_than_rural() {
         let w = World::generate(WorldCfg::region(42));
         // Find one district center of each kind and compare local density.
-        let cc = w.districts.iter().find(|d| d.kind == DistrictKind::CityCenter).unwrap().center;
-        let ru = w.districts.iter().find(|d| d.kind == DistrictKind::Rural).unwrap().center;
+        let cc = w
+            .districts
+            .iter()
+            .find(|d| d.kind == DistrictKind::CityCenter)
+            .unwrap()
+            .center;
+        let ru = w
+            .districts
+            .iter()
+            .find(|d| d.kind == DistrictKind::Rural)
+            .unwrap()
+            .center;
         let d_cc = w.site_density_at(cc, 1500.0);
         let d_ru = w.site_density_at(ru, 1500.0);
         assert!(

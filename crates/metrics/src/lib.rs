@@ -24,14 +24,23 @@ use serde::{Deserialize, Serialize};
 pub fn mae(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "mae: length mismatch");
     assert!(!a.is_empty(), "mae: empty series");
-    a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+        / a.len() as f64
 }
 
 /// Root-mean-square error between two equal-length series.
 pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "rmse: length mismatch");
     assert!(!a.is_empty(), "rmse: empty series");
-    (a.iter().zip(b.iter()).map(|(x, y)| (x - y).powi(2)).sum::<f64>() / a.len() as f64).sqrt()
+    (a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        / a.len() as f64)
+        .sqrt()
 }
 
 /// Dynamic-time-warping distance between two series with absolute-value
@@ -117,7 +126,9 @@ impl Histogram {
     /// Bin centers.
     pub fn centers(&self) -> Vec<f64> {
         let w = (self.hi - self.lo) / self.counts.len() as f64;
-        (0..self.counts.len()).map(|i| self.lo + (i as f64 + 0.5) * w).collect()
+        (0..self.counts.len())
+            .map(|i| self.lo + (i as f64 + 0.5) * w)
+            .collect()
     }
 }
 
@@ -165,7 +176,10 @@ pub fn ecdf(xs: &[f64]) -> Vec<(f64, f64)> {
     let mut v = xs.to_vec();
     v.sort_by(|p, q| p.partial_cmp(q).unwrap_or(std::cmp::Ordering::Equal));
     let n = v.len() as f64;
-    v.into_iter().enumerate().map(|(i, x)| (x, (i + 1) as f64 / n)).collect()
+    v.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
 }
 
 /// Mean of a slice (0 for empty).
@@ -209,7 +223,11 @@ pub struct Fidelity {
 impl Fidelity {
     /// Compute all three metrics between a real and generated series.
     pub fn compute(real: &[f64], generated: &[f64]) -> Fidelity {
-        Fidelity { mae: mae(real, generated), dtw: dtw(real, generated), hwd: hwd(real, generated) }
+        Fidelity {
+            mae: mae(real, generated),
+            dtw: dtw(real, generated),
+            hwd: hwd(real, generated),
+        }
     }
 
     /// Average several fidelity results (e.g. across scenarios).
@@ -280,7 +298,10 @@ mod tests {
         let a: Vec<f64> = (0..2000).map(|i| (i % 100) as f64 / 10.0).collect();
         let b: Vec<f64> = a.iter().map(|x| x + 3.0).collect();
         let d = hwd(&a, &b);
-        assert!((d - 3.0).abs() < 0.05, "W1 of a 3-shift should be 3, got {d}");
+        assert!(
+            (d - 3.0).abs() < 0.05,
+            "W1 of a 3-shift should be 3, got {d}"
+        );
     }
 
     #[test]
@@ -337,10 +358,25 @@ mod tests {
 
     #[test]
     fn fidelity_average() {
-        let a = Fidelity { mae: 1.0, dtw: 2.0, hwd: 3.0 };
-        let b = Fidelity { mae: 3.0, dtw: 4.0, hwd: 5.0 };
+        let a = Fidelity {
+            mae: 1.0,
+            dtw: 2.0,
+            hwd: 3.0,
+        };
+        let b = Fidelity {
+            mae: 3.0,
+            dtw: 4.0,
+            hwd: 5.0,
+        };
         let avg = Fidelity::average(&[a, b]);
-        assert_eq!(avg, Fidelity { mae: 2.0, dtw: 3.0, hwd: 4.0 });
+        assert_eq!(
+            avg,
+            Fidelity {
+                mae: 2.0,
+                dtw: 3.0,
+                hwd: 4.0
+            }
+        );
     }
 
     #[test]

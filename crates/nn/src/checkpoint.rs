@@ -45,7 +45,11 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             CheckpointError::Json(e) => write!(f, "checkpoint JSON error: {e}"),
             CheckpointError::MissingParam(n) => write!(f, "checkpoint missing parameter {n:?}"),
-            CheckpointError::ShapeMismatch { name, expected, found } => write!(
+            CheckpointError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
                 f,
                 "checkpoint shape mismatch for {name:?}: expected {expected:?}, found {found:?}"
             ),
@@ -69,7 +73,10 @@ impl From<serde_json::Error> for CheckpointError {
 
 /// Snapshot a store into a checkpoint value.
 pub fn snapshot(store: &ParamStore) -> Checkpoint {
-    let params = store.iter().map(|p| (p.name.clone(), p.value.clone())).collect();
+    let params = store
+        .iter()
+        .map(|p| (p.name.clone(), p.value.clone()))
+        .collect();
     Checkpoint { version: 1, params }
 }
 
@@ -120,7 +127,7 @@ mod tests {
     use crate::rng::Rng;
 
     #[test]
-    fn snapshot_restore_roundtrip() {
+    fn snapshot_restore_roundtrip() -> Result<(), CheckpointError> {
         let mut rng = Rng::seed_from(1);
         let mut store = ParamStore::new();
         store.add_xavier("a", 2, 3, &mut rng);
@@ -130,10 +137,11 @@ mod tests {
         let mut store2 = ParamStore::new();
         store2.add_zeros("a", 2, 3);
         store2.add_zeros("b", 4, 1);
-        restore(&mut store2, &ckpt).unwrap();
+        restore(&mut store2, &ckpt)?;
         for (p, q) in store.iter().zip(store2.iter()) {
             assert_eq!(p.value, q.value);
         }
+        Ok(())
     }
 
     #[test]
@@ -142,7 +150,10 @@ mod tests {
         let ckpt = snapshot(&store);
         let mut store2 = ParamStore::new();
         store2.add_zeros("only-here", 1, 1);
-        assert!(matches!(restore(&mut store2, &ckpt), Err(CheckpointError::MissingParam(_))));
+        assert!(matches!(
+            restore(&mut store2, &ckpt),
+            Err(CheckpointError::MissingParam(_))
+        ));
     }
 
     #[test]
@@ -159,18 +170,22 @@ mod tests {
     }
 
     #[test]
-    fn file_roundtrip() {
+    fn file_roundtrip() -> Result<(), CheckpointError> {
         let mut rng = Rng::seed_from(2);
         let mut store = ParamStore::new();
         store.add_xavier("w", 3, 3, &mut rng);
         let dir = std::env::temp_dir().join("gendt-nn-ckpt-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join("ckpt.json");
-        save_to_file(&store, &path).unwrap();
+        save_to_file(&store, &path)?;
         let mut store2 = ParamStore::new();
         store2.add_zeros("w", 3, 3);
-        load_from_file(&mut store2, &path).unwrap();
-        assert_eq!(store.value(crate::params::ParamId(0)), store2.value(crate::params::ParamId(0)));
+        load_from_file(&mut store2, &path)?;
+        assert_eq!(
+            store.value(crate::params::ParamId(0)),
+            store2.value(crate::params::ParamId(0))
+        );
         std::fs::remove_file(&path).ok();
+        Ok(())
     }
 }

@@ -15,8 +15,25 @@ use crate::params::{ParamId, ParamStore};
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NodeId(usize);
 
+impl NodeId {
+    /// Position of the node on the tape (nodes are numbered in recording
+    /// order starting at 0). Used by external tape auditors.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One recorded tape operation.
+///
+/// The enum is public so external verification tooling (the `gendt-audit`
+/// crate) can walk a recorded tape and re-derive every node's shape and
+/// inputs with an *exhaustive* `match` — adding a variant without
+/// updating the audit rules is a compile error, which is the point.
+/// Graphs can only be built through the checked [`Graph`] constructors;
+/// the variants carry no invariants of their own beyond what those
+/// constructors established.
 #[derive(Clone, Debug)]
-enum Op {
+pub enum Op {
     /// Constant input (no gradient).
     Input,
     /// Parameter leaf; backward accumulates into the store.
@@ -35,8 +52,8 @@ enum Op {
     MulCol(NodeId, NodeId),
     /// `a * s` for scalar `s`.
     Scale(NodeId, f32),
-    /// `a + s` for scalar `s` (the offset is kept for Debug output).
-    Offset(NodeId, #[allow(dead_code)] f32),
+    /// `a + s` for scalar `s` (the offset shows up in [`Op::describe`]).
+    Offset(NodeId, f32),
     /// Elementwise sigmoid.
     Sigmoid(NodeId),
     /// Elementwise tanh.
@@ -60,17 +77,40 @@ enum Op {
     /// Fused LSTM cell update: pre-activation `gates` (`rows x 4*hidden`,
     /// ordered `[i | f | g | o]`) plus previous cell state -> `[h | c]`
     /// (`rows x 2*hidden`).
-    LstmCell { gates: NodeId, c_prev: NodeId, hidden: usize },
+    LstmCell {
+        /// Pre-activation gate block, `rows x 4*hidden`, ordered `[i | f | g | o]`.
+        gates: NodeId,
+        /// Previous cell state, `rows x hidden`.
+        c_prev: NodeId,
+        /// LSTM hidden size.
+        hidden: usize,
+    },
     /// Fused SRNN noisy renormalization `(x + a*n) * rowsum(x)/rowsum(x+a*n)`
     /// with the stored noise `n` entering as a constant and the denominator
     /// treated as locally constant (matching the op-by-op composition).
-    NoisyRenorm { x: NodeId, a: f32, noise: Matrix },
+    NoisyRenorm {
+        /// Input activations.
+        x: NodeId,
+        /// Noise amplitude.
+        a: f32,
+        /// Sampled standard-normal noise, same shape as `x` (constant).
+        noise: Matrix,
+    },
     /// `(a + b) + row_broadcast(bias)` in one pass (LSTM gate assembly).
     AddAddRow(NodeId, NodeId, NodeId),
     /// Masked group mean: rows of `x` are scaled by the constant column
     /// `mask`, summed in consecutive groups of `group`, and the reduced
     /// rows scaled by the constant column `scale`.
-    MaskedGroupMean { x: NodeId, mask: Matrix, scale: Matrix, group: usize },
+    MaskedGroupMean {
+        /// Input rows, `rows x cols` with `rows % group == 0`.
+        x: NodeId,
+        /// Per-row weight column, `rows x 1` (constant).
+        mask: Matrix,
+        /// Per-group normalizer column, `rows/group x 1` (constant).
+        scale: Matrix,
+        /// Consecutive rows reduced per output row.
+        group: usize,
+    },
     /// Mean of all elements -> `1 x 1`.
     Mean(NodeId),
     /// Mean of squared difference `mean((a-b)^2)` -> `1 x 1`.
@@ -81,7 +121,106 @@ enum Op {
     WeightedSum(Vec<(NodeId, f32)>),
     /// Gaussian negative log-likelihood of constant targets given
     /// `(mu, sigma)` nodes -> `1 x 1`. Sigma must be positive.
-    GaussianNll { mu: NodeId, sigma: NodeId, target: Matrix },
+    GaussianNll {
+        /// Predicted mean, same shape as `target`.
+        mu: NodeId,
+        /// Predicted standard deviation (positive), same shape as `target`.
+        sigma: NodeId,
+        /// Observed values (constant).
+        target: Matrix,
+    },
+}
+
+impl Op {
+    /// The variant name, for diagnostics and audit reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Input => "Input",
+            Op::Param(_) => "Param",
+            Op::MatMul(..) => "MatMul",
+            Op::Add(..) => "Add",
+            Op::Sub(..) => "Sub",
+            Op::Mul(..) => "Mul",
+            Op::AddRow(..) => "AddRow",
+            Op::MulCol(..) => "MulCol",
+            Op::Scale(..) => "Scale",
+            Op::Offset(..) => "Offset",
+            Op::Sigmoid(_) => "Sigmoid",
+            Op::Tanh(_) => "Tanh",
+            Op::LeakyRelu(..) => "LeakyRelu",
+            Op::Exp(_) => "Exp",
+            Op::Softplus(_) => "Softplus",
+            Op::ConcatCols(..) => "ConcatCols",
+            Op::SliceCols(..) => "SliceCols",
+            Op::SliceRows(..) => "SliceRows",
+            Op::RowSum(_) => "RowSum",
+            Op::SumRowGroups(..) => "SumRowGroups",
+            Op::LstmCell { .. } => "LstmCell",
+            Op::NoisyRenorm { .. } => "NoisyRenorm",
+            Op::AddAddRow(..) => "AddAddRow",
+            Op::MaskedGroupMean { .. } => "MaskedGroupMean",
+            Op::Mean(_) => "Mean",
+            Op::MseLoss(..) => "MseLoss",
+            Op::BceWithLogits(..) => "BceWithLogits",
+            Op::WeightedSum(_) => "WeightedSum",
+            Op::GaussianNll { .. } => "GaussianNll",
+        }
+    }
+
+    /// Human-readable description including the scalar attributes that
+    /// change the op's semantics (scale factor, offset, slice bounds,
+    /// group size, …). Used by sanitizer panics and verifier reports.
+    pub fn describe(&self) -> String {
+        match self {
+            Op::Scale(_, s) => format!("Scale(*{s})"),
+            Op::Offset(_, s) => format!("Offset(+{s})"),
+            Op::LeakyRelu(_, slope) => format!("LeakyRelu(slope={slope})"),
+            Op::SliceCols(_, c0, c1) => format!("SliceCols({c0}..{c1})"),
+            Op::SliceRows(_, r0, r1) => format!("SliceRows({r0}..{r1})"),
+            Op::SumRowGroups(_, group) => format!("SumRowGroups(group={group})"),
+            Op::LstmCell { hidden, .. } => format!("LstmCell(hidden={hidden})"),
+            Op::NoisyRenorm { a, .. } => format!("NoisyRenorm(a={a})"),
+            Op::MaskedGroupMean { group, .. } => format!("MaskedGroupMean(group={group})"),
+            Op::WeightedSum(terms) => format!("WeightedSum({} terms)", terms.len()),
+            other => other.name().to_string(),
+        }
+    }
+
+    /// The tape nodes this op reads, in argument order. Leaves (inputs,
+    /// parameters) have none; constant matrices stored inside an op (noise,
+    /// masks, targets) are not nodes and do not appear here.
+    pub fn inputs(&self) -> Vec<NodeId> {
+        match self {
+            Op::Input | Op::Param(_) => Vec::new(),
+            Op::MatMul(a, b)
+            | Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::AddRow(a, b)
+            | Op::MulCol(a, b)
+            | Op::ConcatCols(a, b)
+            | Op::MseLoss(a, b) => vec![*a, *b],
+            Op::Scale(a, _)
+            | Op::Offset(a, _)
+            | Op::Sigmoid(a)
+            | Op::Tanh(a)
+            | Op::LeakyRelu(a, _)
+            | Op::Exp(a)
+            | Op::Softplus(a)
+            | Op::SliceCols(a, _, _)
+            | Op::SliceRows(a, _, _)
+            | Op::RowSum(a)
+            | Op::SumRowGroups(a, _)
+            | Op::Mean(a)
+            | Op::BceWithLogits(a, _)
+            | Op::NoisyRenorm { x: a, .. }
+            | Op::MaskedGroupMean { x: a, .. } => vec![*a],
+            Op::LstmCell { gates, c_prev, .. } => vec![*gates, *c_prev],
+            Op::AddAddRow(a, b, bias) => vec![*a, *b, *bias],
+            Op::WeightedSum(terms) => terms.iter().map(|&(id, _)| id).collect(),
+            Op::GaussianNll { mu, sigma, .. } => vec![*mu, *sigma],
+        }
+    }
 }
 
 struct Node {
@@ -136,7 +275,10 @@ fn lstm_cell_forward(
         for (a, &x) in act[..2 * hidden].iter_mut().zip(&gr[..2 * hidden]) {
             *a = sig(x); // i, f
         }
-        for (a, &x) in act[2 * hidden..3 * hidden].iter_mut().zip(&gr[2 * hidden..3 * hidden]) {
+        for (a, &x) in act[2 * hidden..3 * hidden]
+            .iter_mut()
+            .zip(&gr[2 * hidden..3 * hidden])
+        {
             *a = th(x); // candidate
         }
         for (a, &x) in act[3 * hidden..].iter_mut().zip(&gr[3 * hidden..]) {
@@ -179,7 +321,10 @@ fn lstm_cell_backward(
         for (a, &x) in act[..2 * hidden].iter_mut().zip(&gr[..2 * hidden]) {
             *a = sig(x); // i, f
         }
-        for (a, &x) in act[2 * hidden..3 * hidden].iter_mut().zip(&gr[2 * hidden..3 * hidden]) {
+        for (a, &x) in act[2 * hidden..3 * hidden]
+            .iter_mut()
+            .zip(&gr[2 * hidden..3 * hidden])
+        {
             *a = th(x); // candidate
         }
         for (a, &x) in act[3 * hidden..].iter_mut().zip(&gr[3 * hidden..]) {
@@ -212,12 +357,71 @@ fn lstm_cell_backward(
 impl Graph {
     /// Empty tape.
     pub fn new() -> Self {
-        Graph { nodes: Vec::with_capacity(256), param_nodes: std::collections::HashMap::new() }
+        Graph {
+            nodes: Vec::with_capacity(256),
+            param_nodes: std::collections::HashMap::new(),
+        }
     }
 
     fn push(&mut self, op: Op, value: Matrix, needs_grad: bool) -> NodeId {
-        self.nodes.push(Node { op, value, grad: None, needs_grad });
+        if crate::sanitize::sanitize_enabled() {
+            self.sanitize_forward(&op, &value);
+        }
+        self.nodes.push(Node {
+            op,
+            value,
+            grad: None,
+            needs_grad,
+        });
         NodeId(self.nodes.len() - 1)
+    }
+
+    /// Sanitizer-mode forward check: every value recorded on the tape must
+    /// have consistent shape metadata and contain only finite numbers.
+    /// Panics with the offending op, its attributes, and the state of its
+    /// inputs, so a NaN is caught at the op that *created* it rather than
+    /// steps later in a loss or a checkpoint.
+    fn sanitize_forward(&self, op: &Op, value: &Matrix) {
+        if value.data.len() != value.rows * value.cols {
+            panic!(
+                "GENDT_SANITIZE: op {} (node {}) produced inconsistent shape metadata: \
+                 {}x{} but {} elements{}",
+                op.describe(),
+                self.nodes.len(),
+                value.rows,
+                value.cols,
+                value.data.len(),
+                self.sanitize_inputs(op)
+            );
+        }
+        if value.has_non_finite() {
+            panic!(
+                "GENDT_SANITIZE: op {} (node {}) produced a non-finite value (shape {}x{}){}",
+                op.describe(),
+                self.nodes.len(),
+                value.rows,
+                value.cols,
+                self.sanitize_inputs(op)
+            );
+        }
+    }
+
+    /// One line per input node: op, shape, and whether it already holds
+    /// non-finite values (i.e. whether the corruption is upstream).
+    fn sanitize_inputs(&self, op: &Op) -> String {
+        let mut s = String::new();
+        for id in op.inputs() {
+            let n = &self.nodes[id.0];
+            s.push_str(&format!(
+                "\n  input node {} = {} (shape {}x{}, non_finite={})",
+                id.0,
+                n.op.describe(),
+                n.value.rows,
+                n.value.cols,
+                n.value.has_non_finite()
+            ));
+        }
+        s
     }
 
     fn needs(&self, id: NodeId) -> bool {
@@ -227,6 +431,21 @@ impl Graph {
     /// Forward value of a node.
     pub fn value(&self, id: NodeId) -> &Matrix {
         &self.nodes[id.0].value
+    }
+
+    /// The recorded operation of a node (for tape auditing).
+    pub fn op(&self, id: NodeId) -> &Op {
+        &self.nodes[id.0].op
+    }
+
+    /// Whether a node participates in gradient computation.
+    pub fn node_needs_grad(&self, id: NodeId) -> bool {
+        self.nodes[id.0].needs_grad
+    }
+
+    /// All node ids on the tape, in recording order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
     }
 
     /// Gradient of a node after [`Graph::backward`]; `None` if it did not
@@ -300,7 +519,12 @@ impl Graph {
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(va.shape(), vb.shape(), "sub shape mismatch");
-        let data = va.data.iter().zip(vb.data.iter()).map(|(&x, &y)| x - y).collect();
+        let data = va
+            .data
+            .iter()
+            .zip(vb.data.iter())
+            .map(|(&x, &y)| x - y)
+            .collect();
         let v = Matrix::from_vec(va.rows, va.cols, data);
         let ng = self.needs(a) || self.needs(b);
         self.push(Op::Sub(a, b), v, ng)
@@ -310,7 +534,12 @@ impl Graph {
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(va.shape(), vb.shape(), "mul shape mismatch");
-        let data = va.data.iter().zip(vb.data.iter()).map(|(&x, &y)| x * y).collect();
+        let data = va
+            .data
+            .iter()
+            .zip(vb.data.iter())
+            .map(|(&x, &y)| x * y)
+            .collect();
         let v = Matrix::from_vec(va.rows, va.cols, data);
         let ng = self.needs(a) || self.needs(b);
         self.push(Op::Mul(a, b), v, ng)
@@ -387,7 +616,9 @@ impl Graph {
 
     /// Leaky ReLU.
     pub fn leaky_relu(&mut self, a: NodeId, slope: f32) -> NodeId {
-        let v = self.nodes[a.0].value.map(|x| if x >= 0.0 { x } else { slope * x });
+        let v = self.nodes[a.0]
+            .value
+            .map(|x| if x >= 0.0 { x } else { slope * x });
         let ng = self.needs(a);
         self.push(Op::LeakyRelu(a, slope), v, ng)
     }
@@ -439,7 +670,11 @@ impl Graph {
     /// Panics if the range is empty, out of order, or past the row count.
     pub fn slice_rows(&mut self, a: NodeId, r0: usize, r1: usize) -> NodeId {
         let va = &self.nodes[a.0].value;
-        assert!(r0 < r1 && r1 <= va.rows, "slice_rows: bad range {r0}..{r1} of {}", va.rows);
+        assert!(
+            r0 < r1 && r1 <= va.rows,
+            "slice_rows: bad range {r0}..{r1} of {}",
+            va.rows
+        );
         let cols = va.cols;
         let v = Matrix::from_vec(r1 - r0, cols, va.data[r0 * cols..r1 * cols].to_vec());
         let ng = self.needs(a);
@@ -469,7 +704,11 @@ impl Graph {
     pub fn sum_row_groups(&mut self, a: NodeId, group: usize) -> NodeId {
         let va = &self.nodes[a.0].value;
         assert!(group > 0, "sum_row_groups: group must be positive");
-        assert_eq!(va.rows % group, 0, "sum_row_groups: rows not divisible by group");
+        assert_eq!(
+            va.rows % group,
+            0,
+            "sum_row_groups: rows not divisible by group"
+        );
         let rows = va.rows / group;
         let cols = va.cols;
         let mut v = Matrix::zeros(rows, cols);
@@ -501,15 +740,37 @@ impl Graph {
     pub fn lstm_cell(&mut self, gates: NodeId, c_prev: NodeId, hidden: usize) -> NodeId {
         let (vg, vc) = (&self.nodes[gates.0].value, &self.nodes[c_prev.0].value);
         assert!(hidden > 0, "lstm_cell: hidden must be positive");
-        assert_eq!(vg.cols, 4 * hidden, "lstm_cell: gates must be rows x 4*hidden");
-        assert_eq!(vc.shape(), (vg.rows, hidden), "lstm_cell: c_prev shape mismatch");
+        assert_eq!(
+            vg.cols,
+            4 * hidden,
+            "lstm_cell: gates must be rows x 4*hidden"
+        );
+        assert_eq!(
+            vc.shape(),
+            (vg.rows, hidden),
+            "lstm_cell: c_prev shape mismatch"
+        );
         let v = if crate::kernels::reference_kernels() {
             lstm_cell_forward(vg, vc, hidden, sigmoid, f32::tanh)
         } else {
-            lstm_cell_forward(vg, vc, hidden, crate::kernels::fast_sigmoid, crate::kernels::fast_tanh)
+            lstm_cell_forward(
+                vg,
+                vc,
+                hidden,
+                crate::kernels::fast_sigmoid,
+                crate::kernels::fast_tanh,
+            )
         };
         let ng = self.needs(gates) || self.needs(c_prev);
-        self.push(Op::LstmCell { gates, c_prev, hidden }, v, ng)
+        self.push(
+            Op::LstmCell {
+                gates,
+                c_prev,
+                hidden,
+            },
+            v,
+            ng,
+        )
     }
 
     /// Fused SRNN noisy renormalization (paper appendix A.2), one node in
@@ -562,8 +823,11 @@ impl Graph {
     /// # Panics
     /// Panics on shape mismatch or if `bias` is not `1 x cols`.
     pub fn add_add_row(&mut self, a: NodeId, b: NodeId, bias: NodeId) -> NodeId {
-        let (va, vb, vbias) =
-            (&self.nodes[a.0].value, &self.nodes[b.0].value, &self.nodes[bias.0].value);
+        let (va, vb, vbias) = (
+            &self.nodes[a.0].value,
+            &self.nodes[b.0].value,
+            &self.nodes[bias.0].value,
+        );
         assert_eq!(va.shape(), vb.shape(), "add_add_row shape mismatch");
         assert_eq!(vbias.rows, 1, "add_add_row: bias must be a row vector");
         assert_eq!(va.cols, vbias.cols, "add_add_row bias column mismatch");
@@ -597,7 +861,11 @@ impl Graph {
     ) -> NodeId {
         let vx = &self.nodes[x.0].value;
         assert!(group > 0, "masked_group_mean: group must be positive");
-        assert_eq!(vx.rows % group, 0, "masked_group_mean: rows not divisible by group");
+        assert_eq!(
+            vx.rows % group,
+            0,
+            "masked_group_mean: rows not divisible by group"
+        );
         let rows = vx.rows / group;
         let cols = vx.cols;
         assert_eq!(mask.shape(), (vx.rows, 1), "masked_group_mean: mask shape");
@@ -619,7 +887,12 @@ impl Graph {
         }
         let ng = self.needs(x);
         self.push(
-            Op::MaskedGroupMean { x, mask: mask.clone(), scale: scale.clone(), group },
+            Op::MaskedGroupMean {
+                x,
+                mask: mask.clone(),
+                scale: scale.clone(),
+                group,
+            },
             v,
             ng,
         )
@@ -637,7 +910,12 @@ impl Graph {
         let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(va.shape(), vb.shape(), "mse_loss shape mismatch");
         let n = va.data.len().max(1) as f32;
-        let s: f32 = va.data.iter().zip(vb.data.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum();
+        let s: f32 = va
+            .data
+            .iter()
+            .zip(vb.data.iter())
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum();
         let v = Matrix::from_vec(1, 1, vec![s / n]);
         let ng = self.needs(a) || self.needs(b);
         self.push(Op::MseLoss(a, b), v, ng)
@@ -701,6 +979,15 @@ impl Graph {
         if !self.nodes[id.0].needs_grad {
             return;
         }
+        if crate::sanitize::sanitize_enabled() && g.has_non_finite() {
+            panic!(
+                "GENDT_SANITIZE: non-finite gradient flowing into node {} ({}, shape {}x{})",
+                id.0,
+                self.nodes[id.0].op.describe(),
+                self.nodes[id.0].value.rows,
+                self.nodes[id.0].value.cols
+            );
+        }
         match &mut self.nodes[id.0].grad {
             Some(existing) => existing.add_assign(&g),
             slot @ None => *slot = Some(g),
@@ -713,13 +1000,19 @@ impl Graph {
     /// # Panics
     /// Panics if `loss` is not `1 x 1`.
     pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
-        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "backward needs a scalar loss");
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward needs a scalar loss"
+        );
         self.nodes[loss.0].grad = Some(Matrix::from_vec(1, 1, vec![1.0]));
         for i in (0..=loss.0).rev() {
             if !self.nodes[i].needs_grad {
                 continue;
             }
-            let Some(g) = self.nodes[i].grad.take() else { continue };
+            let Some(g) = self.nodes[i].grad.take() else {
+                continue;
+            };
             // Re-insert so callers can inspect grads after backward.
             self.nodes[i].grad = Some(g.clone());
             let op = self.nodes[i].op.clone();
@@ -747,12 +1040,22 @@ impl Graph {
                 Op::Mul(a, b) => {
                     if self.needs(a) {
                         let vb = &self.nodes[b.0].value;
-                        let data = g.data.iter().zip(vb.data.iter()).map(|(&x, &y)| x * y).collect();
+                        let data = g
+                            .data
+                            .iter()
+                            .zip(vb.data.iter())
+                            .map(|(&x, &y)| x * y)
+                            .collect();
                         self.accum(a, Matrix::from_vec(g.rows, g.cols, data));
                     }
                     if self.needs(b) {
                         let va = &self.nodes[a.0].value;
-                        let data = g.data.iter().zip(va.data.iter()).map(|(&x, &y)| x * y).collect();
+                        let data = g
+                            .data
+                            .iter()
+                            .zip(va.data.iter())
+                            .map(|(&x, &y)| x * y)
+                            .collect();
                         self.accum(b, Matrix::from_vec(g.rows, g.cols, data));
                     }
                 }
@@ -799,12 +1102,22 @@ impl Graph {
                 Op::Offset(a, _) => self.accum(a, g),
                 Op::Sigmoid(a) => {
                     let y = &self.nodes[i].value;
-                    let data = g.data.iter().zip(y.data.iter()).map(|(&gi, &yi)| gi * yi * (1.0 - yi)).collect();
+                    let data = g
+                        .data
+                        .iter()
+                        .zip(y.data.iter())
+                        .map(|(&gi, &yi)| gi * yi * (1.0 - yi))
+                        .collect();
                     self.accum(a, Matrix::from_vec(g.rows, g.cols, data));
                 }
                 Op::Tanh(a) => {
                     let y = &self.nodes[i].value;
-                    let data = g.data.iter().zip(y.data.iter()).map(|(&gi, &yi)| gi * (1.0 - yi * yi)).collect();
+                    let data = g
+                        .data
+                        .iter()
+                        .zip(y.data.iter())
+                        .map(|(&gi, &yi)| gi * (1.0 - yi * yi))
+                        .collect();
                     self.accum(a, Matrix::from_vec(g.rows, g.cols, data));
                 }
                 Op::LeakyRelu(a, slope) => {
@@ -819,12 +1132,22 @@ impl Graph {
                 }
                 Op::Exp(a) => {
                     let y = &self.nodes[i].value;
-                    let data = g.data.iter().zip(y.data.iter()).map(|(&gi, &yi)| gi * yi).collect();
+                    let data = g
+                        .data
+                        .iter()
+                        .zip(y.data.iter())
+                        .map(|(&gi, &yi)| gi * yi)
+                        .collect();
                     self.accum(a, Matrix::from_vec(g.rows, g.cols, data));
                 }
                 Op::Softplus(a) => {
                     let x = &self.nodes[a.0].value;
-                    let data = g.data.iter().zip(x.data.iter()).map(|(&gi, &xi)| gi * sigmoid(xi)).collect();
+                    let data = g
+                        .data
+                        .iter()
+                        .zip(x.data.iter())
+                        .map(|(&gi, &xi)| gi * sigmoid(xi))
+                        .collect();
                     self.accum(a, Matrix::from_vec(g.rows, g.cols, data));
                 }
                 Op::ConcatCols(a, b) => {
@@ -876,7 +1199,11 @@ impl Graph {
                     }
                     self.accum(a, ga);
                 }
-                Op::LstmCell { gates, c_prev, hidden } => {
+                Op::LstmCell {
+                    gates,
+                    c_prev,
+                    hidden,
+                } => {
                     let (dg, dc) = {
                         let vg = &self.nodes[gates.0].value;
                         let vc = &self.nodes[c_prev.0].value;
@@ -947,7 +1274,12 @@ impl Graph {
                         self.accum(bias, gb);
                     }
                 }
-                Op::MaskedGroupMean { x, mask, scale, group } => {
+                Op::MaskedGroupMean {
+                    x,
+                    mask,
+                    scale,
+                    group,
+                } => {
                     let (rows, cols) = self.nodes[x.0].value.shape();
                     let mut dx = Matrix::zeros(rows, cols);
                     for r in 0..g.rows {
@@ -975,10 +1307,15 @@ impl Graph {
                         let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
                         let n = va.data.len().max(1) as f32;
                         let s = 2.0 * g.data[0] / n;
-                        let diff: Vec<f32> =
-                            va.data.iter().zip(vb.data.iter()).map(|(&x, &y)| s * (x - y)).collect();
+                        let diff: Vec<f32> = va
+                            .data
+                            .iter()
+                            .zip(vb.data.iter())
+                            .map(|(&x, &y)| s * (x - y))
+                            .collect();
                         let ga = Matrix::from_vec(va.rows, va.cols, diff.clone());
-                        let gb = Matrix::from_vec(va.rows, va.cols, diff.iter().map(|&d| -d).collect());
+                        let gb =
+                            Matrix::from_vec(va.rows, va.cols, diff.iter().map(|&d| -d).collect());
                         (ga, gb)
                     };
                     if self.needs(a) {
@@ -1125,7 +1462,10 @@ mod tests {
     fn grad_bce_with_logits() {
         check_grad(|g, s, w| {
             let wn = g.param(s, w);
-            g.bce_with_logits(wn, Matrix::from_vec(2, 3, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]))
+            g.bce_with_logits(
+                wn,
+                Matrix::from_vec(2, 3, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]),
+            )
         });
     }
 
@@ -1168,7 +1508,11 @@ mod tests {
         // Gradients flow through both the gates and the previous cell state.
         check_grad(|g, s, w| {
             let wn = g.param(s, w); // 2 x 3
-            let k = g.input(Matrix::from_vec(3, 4, (0..12).map(|i| 0.3 - 0.07 * i as f32).collect()));
+            let k = g.input(Matrix::from_vec(
+                3,
+                4,
+                (0..12).map(|i| 0.3 - 0.07 * i as f32).collect(),
+            ));
             let gates = g.matmul(wn, k); // 2 x 4, hidden = 1
             let c_prev = g.slice_cols(wn, 0, 1); // 2 x 1
             let hc = g.lstm_cell(gates, c_prev, 1);
@@ -1181,9 +1525,20 @@ mod tests {
         let mut rng = Rng::seed_from(29);
         let h = 5;
         let rows = 4;
-        let gates_m =
-            Matrix::from_vec(rows, 4 * h, (0..rows * 4 * h).map(|_| rng.uniform(-3.0, 3.0) as f32).collect());
-        let c_m = Matrix::from_vec(rows, h, (0..rows * h).map(|_| rng.uniform(-1.0, 1.0) as f32).collect());
+        let gates_m = Matrix::from_vec(
+            rows,
+            4 * h,
+            (0..rows * 4 * h)
+                .map(|_| rng.uniform(-3.0, 3.0) as f32)
+                .collect(),
+        );
+        let c_m = Matrix::from_vec(
+            rows,
+            h,
+            (0..rows * h)
+                .map(|_| rng.uniform(-1.0, 1.0) as f32)
+                .collect(),
+        );
 
         let mut g = Graph::new();
         let gates = g.input(gates_m.clone());
@@ -1239,7 +1594,11 @@ mod tests {
     fn add_add_row_matches_unfused_bitwise() {
         let mut rng = Rng::seed_from(53);
         let mk = |rng: &mut Rng, r: usize, c: usize| {
-            Matrix::from_vec(r, c, (0..r * c).map(|_| rng.uniform(-1.0, 1.0) as f32).collect())
+            Matrix::from_vec(
+                r,
+                c,
+                (0..r * c).map(|_| rng.uniform(-1.0, 1.0) as f32).collect(),
+            )
         };
         let mut store = ParamStore::new();
         let wa = store.add("a", mk(&mut rng, 3, 4));
@@ -1248,18 +1607,29 @@ mod tests {
 
         store.zero_grad();
         let mut g = Graph::new();
-        let (a, b, bias) = (g.param(&store, wa), g.param(&store, wb), g.param(&store, wbias));
+        let (a, b, bias) = (
+            g.param(&store, wa),
+            g.param(&store, wb),
+            g.param(&store, wbias),
+        );
         let fused = g.add_add_row(a, b, bias);
         let target = g.input(Matrix::zeros(3, 4));
         let loss = g.mse_loss(fused, target);
         g.backward(loss, &mut store);
         let fv = g.value(fused).clone();
-        let (ga1, gb1, gc1) =
-            (store.grad(wa).clone(), store.grad(wb).clone(), store.grad(wbias).clone());
+        let (ga1, gb1, gc1) = (
+            store.grad(wa).clone(),
+            store.grad(wb).clone(),
+            store.grad(wbias).clone(),
+        );
 
         store.zero_grad();
         let mut g2 = Graph::new();
-        let (a, b, bias) = (g2.param(&store, wa), g2.param(&store, wb), g2.param(&store, wbias));
+        let (a, b, bias) = (
+            g2.param(&store, wa),
+            g2.param(&store, wb),
+            g2.param(&store, wbias),
+        );
         let pre = g2.add(a, b);
         let unfused = g2.add_row(pre, bias);
         let target = g2.input(Matrix::zeros(3, 4));
@@ -1279,7 +1649,13 @@ mod tests {
         let mut store = ParamStore::new();
         let w = store.add(
             "x",
-            Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.uniform(-1.0, 1.0) as f32).collect()),
+            Matrix::from_vec(
+                rows,
+                cols,
+                (0..rows * cols)
+                    .map(|_| rng.uniform(-1.0, 1.0) as f32)
+                    .collect(),
+            ),
         );
         let mask = Matrix::from_vec(rows, 1, vec![1.0, 1.0, 0.0, 1.0, 0.0, 0.0]);
         let scale = Matrix::from_vec(rows / group, 1, vec![0.5, 1.0]);
@@ -1315,7 +1691,9 @@ mod tests {
         let mut rng = Rng::seed_from(41);
         let (rows, cols) = (4, 6);
         let a = 0.25f32;
-        let xd: Vec<f32> = (0..rows * cols).map(|_| rng.uniform(-1.0, 1.0) as f32).collect();
+        let xd: Vec<f32> = (0..rows * cols)
+            .map(|_| rng.uniform(-1.0, 1.0) as f32)
+            .collect();
         let ud: Vec<f32> = (0..rows * cols).map(|_| rng.uniform01() as f32).collect();
         let u = Matrix::from_vec(rows, cols, ud);
 
@@ -1357,8 +1735,50 @@ mod tests {
         let loss2 = g2.mean(unfused);
         g2.backward(loss2, &mut store);
 
-        assert_eq!(fused_val.data, g2.value(unfused).data, "forward values differ");
+        assert_eq!(
+            fused_val.data,
+            g2.value(unfused).data,
+            "forward values differ"
+        );
         assert_eq!(fused_grad.data, store.grad(w).data, "gradients differ");
+    }
+
+    #[test]
+    fn slice_rows_matches_selection_matmul_bitwise() {
+        let mut rng = Rng::seed_from(19);
+        let mut store = ParamStore::new();
+        let w = store.add_xavier("w", 5, 3, &mut rng);
+        let (r0, r1) = (1usize, 4usize);
+
+        let mut g = Graph::new();
+        let x = g.param(&store, w);
+        let sliced = g.slice_rows(x, r0, r1);
+        let loss = g.mean(sliced);
+        g.backward(loss, &mut store);
+        let sliced_val = g.value(sliced).clone();
+        let sliced_grad = store.grad(w).clone();
+
+        // Reference: multiply by a 0/1 row-selection matrix. Each output
+        // element accumulates zeros plus exactly one selected value, and
+        // 0 + x == x in f32, so forward and backward agree bitwise.
+        store.zero_grad();
+        let mut g2 = Graph::new();
+        let x2 = g2.param(&store, w);
+        let mut sel = Matrix::zeros(r1 - r0, 5);
+        for i in 0..(r1 - r0) {
+            sel.data[i * 5 + (r0 + i)] = 1.0;
+        }
+        let s = g2.input(sel);
+        let picked = g2.matmul(s, x2);
+        let loss2 = g2.mean(picked);
+        g2.backward(loss2, &mut store);
+
+        assert_eq!(
+            sliced_val.data,
+            g2.value(picked).data,
+            "forward values differ"
+        );
+        assert_eq!(sliced_grad.data, store.grad(w).data, "gradients differ");
     }
 
     #[test]

@@ -25,10 +25,21 @@ pub struct Linear {
 
 impl Linear {
     /// Register a new layer's parameters in `store`.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let w = store.add_xavier(&format!("{name}.w"), in_dim, out_dim, rng);
         let b = store.add_zeros(&format!("{name}.b"), 1, out_dim);
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Record `x W + b` on `g`. `x` is `batch x in_dim`.
@@ -39,7 +50,13 @@ impl Linear {
     /// Like [`Linear::forward`], but with `frozen = true` the weights enter
     /// as constants (no gradient to the parameters; gradients still flow
     /// through to `x`).
-    pub fn forward_mode(&self, g: &mut Graph, store: &ParamStore, x: NodeId, frozen: bool) -> NodeId {
+    pub fn forward_mode(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: NodeId,
+        frozen: bool,
+    ) -> NodeId {
         let (w, b) = if frozen {
             (g.param_frozen(store, self.w), g.param_frozen(store, self.b))
         } else {
@@ -63,7 +80,10 @@ pub struct LstmState {
 impl LstmState {
     /// Zero state for the given batch size and hidden dimension.
     pub fn zeros(batch: usize, hidden: usize) -> Self {
-        LstmState { h: Matrix::zeros(batch, hidden), c: Matrix::zeros(batch, hidden) }
+        LstmState {
+            h: Matrix::zeros(batch, hidden),
+            c: Matrix::zeros(batch, hidden),
+        }
     }
 }
 
@@ -112,7 +132,13 @@ pub struct Lstm {
 impl Lstm {
     /// Register a new LSTM's parameters. The forget-gate bias is set to 1,
     /// the standard trick for gradient flow on long sequences.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let w_ih = store.add_xavier(&format!("{name}.w_ih"), in_dim, 4 * hidden, rng);
         let w_hh = store.add_xavier(&format!("{name}.w_hh"), hidden, 4 * hidden, rng);
         let mut bias = Matrix::zeros(1, 4 * hidden);
@@ -120,7 +146,13 @@ impl Lstm {
             bias.data[c] = 1.0;
         }
         let b = store.add(&format!("{name}.b"), bias);
-        Lstm { w_ih, w_hh, b, in_dim, hidden }
+        Lstm {
+            w_ih,
+            w_hh,
+            b,
+            in_dim,
+            hidden,
+        }
     }
 
     /// One LSTM step: consumes `x_t` (`batch x in_dim`) and the previous
@@ -152,7 +184,11 @@ impl Lstm {
                 g.param_frozen(store, self.b),
             )
         } else {
-            (g.param(store, self.w_ih), g.param(store, self.w_hh), g.param(store, self.b))
+            (
+                g.param(store, self.w_ih),
+                g.param(store, self.w_hh),
+                g.param(store, self.b),
+            )
         };
         let xi = g.matmul(x, w_ih);
         let hh = g.matmul(state.h, w_hh);
@@ -295,7 +331,10 @@ pub struct Mlp {
 impl Mlp {
     /// Build an MLP with the given layer sizes, e.g. `[in, h1, h2, out]`.
     pub fn new(store: &mut ParamStore, name: &str, sizes: &[usize], rng: &mut Rng) -> Self {
-        assert!(sizes.len() >= 2, "MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "MLP needs at least input and output sizes"
+        );
         let layers = sizes
             .windows(2)
             .enumerate()
@@ -355,7 +394,11 @@ pub fn dropout(g: &mut Graph, x: NodeId, p: f32, rng: &mut Rng) -> NodeId {
     let keep = 1.0 - p;
     let mut mask = Matrix::zeros(shape.0, shape.1);
     for m in mask.data.iter_mut() {
-        *m = if rng.bernoulli(keep as f64) { 1.0 / keep } else { 0.0 };
+        *m = if rng.bernoulli(keep as f64) {
+            1.0 / keep
+        } else {
+            0.0
+        };
     }
     let m = g.input(mask);
     g.mul(x, m)

@@ -24,6 +24,9 @@
 //!   matrix kernels (the kernels themselves are internal to the crate;
 //!   `Matrix::matmul*` is the public surface).
 //! * [`checkpoint`] — JSON save/restore by parameter name.
+//! * [`sanitize`] — opt-in `GENDT_SANITIZE=1` mode: every forward value
+//!   and backward gradient is checked for NaN/Inf and shape corruption
+//!   at op granularity.
 //! * [`rng::Rng`] — a fixed-algorithm deterministic RNG.
 //!
 //! ## Example
@@ -58,16 +61,18 @@ mod kernels;
 pub mod layers;
 pub mod matrix;
 pub mod params;
+pub mod sanitize;
 pub mod threads;
 /// Deterministic RNG (re-exported from `gendt-rng`).
 pub mod rng {
     pub use gendt_rng::*;
 }
 
-pub use graph::{Graph, NodeId};
+pub use graph::{Graph, NodeId, Op};
+pub use kernels::set_reference_kernels;
 pub use layers::{dropout, Linear, Lstm, LstmNodeState, LstmState, Mlp, StochasticCfg};
 pub use matrix::Matrix;
 pub use params::{Adam, ParamId, ParamStore, Sgd};
 pub use rng::Rng;
-pub use kernels::set_reference_kernels;
+pub use sanitize::{sanitize_enabled, set_sanitize};
 pub use threads::{num_threads, set_num_threads};

@@ -24,12 +24,20 @@ pub struct Matrix {
 impl Matrix {
     /// An all-zeros matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A matrix filled with a constant.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Build from a row-major data vector.
@@ -43,7 +51,11 @@ impl Matrix {
 
     /// Build a `1 x n` row vector.
     pub fn row(data: Vec<f32>) -> Self {
-        Matrix { rows: 1, cols: data.len(), data }
+        Matrix {
+            rows: 1,
+            cols: data.len(),
+            data,
+        }
     }
 
     /// Element at `(r, c)`.
@@ -256,10 +268,8 @@ impl Matrix {
         let cols = self.cols + rhs.cols;
         let mut out = Matrix::zeros(self.rows, cols);
         for r in 0..self.rows {
-            out.data[r * cols..r * cols + self.cols]
-                .copy_from_slice(self.row_slice(r));
-            out.data[r * cols + self.cols..(r + 1) * cols]
-                .copy_from_slice(rhs.row_slice(r));
+            out.data[r * cols..r * cols + self.cols].copy_from_slice(self.row_slice(r));
+            out.data[r * cols + self.cols..(r + 1) * cols].copy_from_slice(rhs.row_slice(r));
         }
         out
     }

@@ -39,7 +39,11 @@ impl ParamStore {
     /// Register a parameter with an explicit initial value.
     pub fn add(&mut self, name: &str, value: Matrix) -> ParamId {
         let grad = Matrix::zeros(value.rows, value.cols);
-        self.params.push(Param { name: name.to_string(), value, grad });
+        self.params.push(Param {
+            name: name.to_string(),
+            value,
+            grad,
+        });
         ParamId(self.params.len() - 1)
     }
 
@@ -87,7 +91,11 @@ impl ParamStore {
     /// # Panics
     /// Panics if the stores have different parameter layouts.
     pub fn accumulate_grads_from(&mut self, other: &ParamStore) {
-        assert_eq!(self.params.len(), other.params.len(), "param store layout mismatch");
+        assert_eq!(
+            self.params.len(),
+            other.params.len(),
+            "param store layout mismatch"
+        );
         for (p, o) in self.params.iter_mut().zip(other.params.iter()) {
             p.grad.add_assign(&o.grad);
         }
@@ -168,7 +176,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard betas for the given learning rate.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Apply one update step using the gradients currently in `store`.

@@ -45,7 +45,10 @@ pub fn num_threads() -> usize {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(MAX_THREADS)
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
 }
 
 /// Override the worker count in-process (wins over `GENDT_THREADS`).
@@ -58,7 +61,9 @@ pub fn set_num_threads(n: usize) {
     NUM_THREADS.store(n, Ordering::Relaxed);
     // Keep the rayon global pool in step; the vendored shim lets the
     // latest value win.
-    let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global();
 }
 
 /// Run `task(chunk_index, chunk)` over disjoint `chunk_len`-element
@@ -112,7 +117,11 @@ mod tests {
                 }
             });
             for (i, v) in data.iter().enumerate() {
-                assert_eq!(*v, 1.0 + (i / 10) as f32, "element {i} wrong for {threads} threads");
+                assert_eq!(
+                    *v,
+                    1.0 + (i / 10) as f32,
+                    "element {i} wrong for {threads} threads"
+                );
             }
         }
         set_num_threads(1);

@@ -95,7 +95,13 @@ impl Deployment {
             let gy = (((c.pos.y + extent_m) / bucket_m) as isize).clamp(0, side as isize - 1);
             buckets[gy as usize * side + gx as usize].push(c.id);
         }
-        Deployment { cells, extent_m, bucket_m, side, buckets }
+        Deployment {
+            cells,
+            extent_m,
+            bucket_m,
+            side,
+            buckets,
+        }
     }
 
     /// Number of cells.
@@ -167,9 +173,16 @@ mod tests {
         let a0 = d.cells[0].azimuth_deg;
         let a1 = d.cells[1].azimuth_deg;
         let a2 = d.cells[2].azimuth_deg;
-        let mut diffs = [(a1 - a0).rem_euclid(360.0), (a2 - a1).rem_euclid(360.0), (a0 - a2).rem_euclid(360.0)];
+        let mut diffs = [
+            (a1 - a0).rem_euclid(360.0),
+            (a2 - a1).rem_euclid(360.0),
+            (a0 - a2).rem_euclid(360.0),
+        ];
         diffs.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        assert!(diffs.iter().all(|d| (d - 120.0).abs() < 1e-6), "azimuths {a0} {a1} {a2}");
+        assert!(
+            diffs.iter().all(|d| (d - 120.0).abs() < 1e-6),
+            "azimuths {a0} {a1} {a2}"
+        );
     }
 
     #[test]
@@ -221,8 +234,12 @@ mod tests {
         let w = World::generate(WorldCfg::region(13));
         let d = Deployment::from_world(&w);
         let avg = |k: DistrictKind| {
-            let v: Vec<f64> =
-                d.cells.iter().filter(|c| c.district == k).map(|c| c.p_max_dbm).collect();
+            let v: Vec<f64> = d
+                .cells
+                .iter()
+                .filter(|c| c.district == k)
+                .map(|c| c.p_max_dbm)
+                .collect();
             v.iter().sum::<f64>() / v.len().max(1) as f64
         };
         assert!(avg(DistrictKind::Rural) > avg(DistrictKind::CityCenter));

@@ -129,7 +129,13 @@ impl<'a> KpiEngine<'a> {
         let shadows = (0..deployment.len() as u32)
             .map(|id| ShadowField::new(world.cfg.seed, id, &prop))
             .collect();
-        KpiEngine { world, deployment, prop, cfg, shadows }
+        KpiEngine {
+            world,
+            deployment,
+            prop,
+            cfg,
+            shadows,
+        }
     }
 
     /// KPI configuration in use.
@@ -158,7 +164,9 @@ impl<'a> KpiEngine<'a> {
         for pt in &traj.points {
             let dt = (pt.t - last_t).max(1e-3);
             last_t = pt.t;
-            let mut visible = self.deployment.cells_within(pt.pos, self.cfg.serving_range_m);
+            let mut visible = self
+                .deployment
+                .cells_within(pt.pos, self.cfg.serving_range_m);
             visible.truncate(self.cfg.max_cells);
             if visible.is_empty() {
                 // Out of coverage: emit a floor sample attached to the last
@@ -183,11 +191,14 @@ impl<'a> KpiEngine<'a> {
             let mut powers: Vec<(CellId, f64, f64)> = Vec::with_capacity(visible.len());
             for &id in &visible {
                 let cell = self.deployment.cell(id);
-                let fading = fadings
-                    .entry(id)
-                    .or_insert_with(|| Fading::new(pass_seed ^ ((id as u64 + 1) << 20), &self.prop));
+                let fading = fadings.entry(id).or_insert_with(|| {
+                    Fading::new(pass_seed ^ ((id as u64 + 1) << 20), &self.prop)
+                });
                 let pass_shadow = pass_shadows.entry(id).or_insert_with(|| {
-                    Fading::new_pass_shadow(pass_seed ^ ((id as u64 + 1) << 21) ^ 0x5AD0, &self.prop)
+                    Fading::new_pass_shadow(
+                        pass_seed ^ ((id as u64 + 1) << 21) ^ 0x5AD0,
+                        &self.prop,
+                    )
                 });
                 let (load, _) = {
                     let entry = loads.entry(id).or_insert_with(|| {
@@ -199,12 +210,19 @@ impl<'a> KpiEngine<'a> {
                     // OU load update.
                     let rho = (-dt / self.cfg.load_tau_s).exp();
                     let (l, r) = entry;
-                    *l = (self.cfg.mean_load + rho * (*l - self.cfg.mean_load)
+                    *l = (self.cfg.mean_load
+                        + rho * (*l - self.cfg.mean_load)
                         + (1.0 - rho * rho).sqrt() * self.cfg.load_sigma * r.normal())
                     .clamp(0.05, 0.95);
                     (*l, ())
                 };
-                let mean = mean_rx_power_dbm(&self.prop, self.world, cell, pt.pos, &self.shadows[id as usize]);
+                let mean = mean_rx_power_dbm(
+                    &self.prop,
+                    self.world,
+                    cell,
+                    pt.pos,
+                    &self.shadows[id as usize],
+                );
                 let p = mean + fading.step(dt) + pass_shadow.step(dt);
                 powers.push((id, p, load));
             }
@@ -221,7 +239,11 @@ impl<'a> KpiEngine<'a> {
                     best
                 }
             };
-            let cur_power = powers.iter().find(|&&(id, _, _)| id == cur).map(|&(_, p, _)| p).unwrap();
+            let cur_power = powers
+                .iter()
+                .find(|&&(id, _, _)| id == cur)
+                .map(|&(_, p, _)| p)
+                .unwrap();
             let serving_id = if best != cur && powers[0].1 > cur_power + self.cfg.a3_hysteresis_db {
                 if a3_candidate == Some(best) {
                     a3_count += 1;
@@ -265,8 +287,8 @@ impl<'a> KpiEngine<'a> {
             // dominates; we compute it from the serving power directly).
             let rsrp_dbm = (serving_p - rb_factor).clamp(-140.0, -44.0);
             // RSRQ = N_RB * RSRP / RSSI in linear terms, expressed in dB.
-            let rsrq_db = (10.0 * (self.cfg.n_rb as f64).log10() + rsrp_dbm - rssi_dbm)
-                .clamp(-19.5, -3.0);
+            let rsrq_db =
+                (10.0 * (self.cfg.n_rb as f64).log10() + rsrp_dbm - rssi_dbm).clamp(-19.5, -3.0);
             let sinr_db = mw_to_dbm(serving_mw) - mw_to_dbm(interference_mw + noise_mw);
             let cqi = cqi_from_sinr(sinr_db + rng.uniform(-0.5, 0.5));
 
@@ -344,11 +366,18 @@ mod tests {
     fn kpis_in_valid_ranges() {
         let (w, d) = setup();
         let engine = KpiEngine::new(&w, &d, PropagationCfg::default(), KpiCfg::default());
-        let traj = generate(&w, &TrajectoryCfg::new(Scenario::Walk, 300.0, XY::new(0.0, 0.0), 1));
+        let traj = generate(
+            &w,
+            &TrajectoryCfg::new(Scenario::Walk, 300.0, XY::new(0.0, 0.0), 1),
+        );
         let samples = engine.measure(&traj, 99);
         assert_eq!(samples.len(), traj.points.len());
         for s in &samples {
-            assert!((-140.0..=-44.0).contains(&s.rsrp_dbm), "RSRP {}", s.rsrp_dbm);
+            assert!(
+                (-140.0..=-44.0).contains(&s.rsrp_dbm),
+                "RSRP {}",
+                s.rsrp_dbm
+            );
             assert!((-19.5..=-3.0).contains(&s.rsrq_db), "RSRQ {}", s.rsrq_db);
             assert!((1..=15).contains(&s.cqi), "CQI {}", s.cqi);
             assert!(s.sinr_db.is_finite());
@@ -360,7 +389,10 @@ mod tests {
     fn city_rsrp_is_plausible() {
         let (w, d) = setup();
         let engine = KpiEngine::new(&w, &d, PropagationCfg::default(), KpiCfg::default());
-        let traj = generate(&w, &TrajectoryCfg::new(Scenario::Tram, 900.0, XY::new(0.0, 0.0), 2));
+        let traj = generate(
+            &w,
+            &TrajectoryCfg::new(Scenario::Tram, 900.0, XY::new(0.0, 0.0), 2),
+        );
         let samples = engine.measure(&traj, 3);
         let mean: f64 = samples.iter().map(|s| s.rsrp_dbm).sum::<f64>() / samples.len() as f64;
         assert!((-105.0..-65.0).contains(&mean), "mean RSRP {mean}");
@@ -370,7 +402,10 @@ mod tests {
     fn repeated_passes_differ_but_correlate() {
         let (w, d) = setup();
         let engine = KpiEngine::new(&w, &d, PropagationCfg::default(), KpiCfg::default());
-        let traj = generate(&w, &TrajectoryCfg::new(Scenario::Tram, 300.0, XY::new(0.0, 0.0), 2));
+        let traj = generate(
+            &w,
+            &TrajectoryCfg::new(Scenario::Tram, 300.0, XY::new(0.0, 0.0), 2),
+        );
         let a = engine.measure(&traj, 1);
         let b = engine.measure(&traj, 2);
         let diff: f64 = a
@@ -389,7 +424,10 @@ mod tests {
     fn same_seed_is_deterministic() {
         let (w, d) = setup();
         let engine = KpiEngine::new(&w, &d, PropagationCfg::default(), KpiCfg::default());
-        let traj = generate(&w, &TrajectoryCfg::new(Scenario::Bus, 200.0, XY::new(0.0, 0.0), 2));
+        let traj = generate(
+            &w,
+            &TrajectoryCfg::new(Scenario::Bus, 200.0, XY::new(0.0, 0.0), 2),
+        );
         let a = engine.measure(&traj, 5);
         let b = engine.measure(&traj, 5);
         for (x, y) in a.iter().zip(b.iter()) {
@@ -402,10 +440,15 @@ mod tests {
     fn handovers_happen_on_moving_trajectories() {
         let (w, d) = setup();
         let engine = KpiEngine::new(&w, &d, PropagationCfg::default(), KpiCfg::default());
-        let traj = generate(&w, &TrajectoryCfg::new(Scenario::Tram, 1200.0, XY::new(0.0, 0.0), 4));
+        let traj = generate(
+            &w,
+            &TrajectoryCfg::new(Scenario::Tram, 1200.0, XY::new(0.0, 0.0), 4),
+        );
         let samples = engine.measure(&traj, 7);
-        let changes =
-            samples.windows(2).filter(|wn| wn[0].serving != wn[1].serving).count();
+        let changes = samples
+            .windows(2)
+            .filter(|wn| wn[0].serving != wn[1].serving)
+            .count();
         assert!(changes >= 3, "expected handovers, got {changes}");
         let dwell = avg_serving_dwell_s(&samples);
         assert!((10.0..300.0).contains(&dwell), "dwell {dwell}");
@@ -415,8 +458,14 @@ mod tests {
     fn faster_scenarios_have_shorter_dwell() {
         let (w, d) = setup();
         let engine = KpiEngine::new(&w, &d, PropagationCfg::default(), KpiCfg::default());
-        let walk = generate(&w, &TrajectoryCfg::new(Scenario::Walk, 2000.0, XY::new(0.0, 0.0), 4));
-        let tram = generate(&w, &TrajectoryCfg::new(Scenario::Tram, 2000.0, XY::new(0.0, 0.0), 4));
+        let walk = generate(
+            &w,
+            &TrajectoryCfg::new(Scenario::Walk, 2000.0, XY::new(0.0, 0.0), 4),
+        );
+        let tram = generate(
+            &w,
+            &TrajectoryCfg::new(Scenario::Tram, 2000.0, XY::new(0.0, 0.0), 4),
+        );
         let dwell_walk = avg_serving_dwell_s(&engine.measure(&walk, 1));
         let dwell_tram = avg_serving_dwell_s(&engine.measure(&tram, 1));
         assert!(
@@ -441,7 +490,10 @@ mod tests {
     fn inter_handover_times_positive() {
         let (w, d) = setup();
         let engine = KpiEngine::new(&w, &d, PropagationCfg::default(), KpiCfg::default());
-        let traj = generate(&w, &TrajectoryCfg::new(Scenario::Tram, 1800.0, XY::new(0.0, 0.0), 8));
+        let traj = generate(
+            &w,
+            &TrajectoryCfg::new(Scenario::Tram, 1800.0, XY::new(0.0, 0.0), 8),
+        );
         let times = inter_handover_times(&engine.measure(&traj, 2));
         assert!(times.iter().all(|&t| t > 0.0));
     }

@@ -181,20 +181,30 @@ impl Fading {
     pub fn with(seed: u64, sigma: f64, tau_s: f64) -> Self {
         let mut rng = Rng::seed_from(seed);
         let state = rng.normal() * sigma;
-        Fading { rng, sigma, tau_s, state }
+        Fading {
+            rng,
+            sigma,
+            tau_s,
+            state,
+        }
     }
 
     /// Advance by `dt` seconds and return the fading value in dB.
     pub fn step(&mut self, dt: f64) -> f64 {
         let rho = (-dt / self.tau_s).exp();
-        self.state =
-            rho * self.state + (1.0 - rho * rho).sqrt() * self.sigma * self.rng.normal();
+        self.state = rho * self.state + (1.0 - rho * rho).sqrt() * self.sigma * self.rng.normal();
         self.state
     }
 }
 
 /// Received wideband power from `cell` at `ue`, excluding fading, in dBm.
-pub fn mean_rx_power_dbm(cfg: &PropagationCfg, world: &World, cell: &Cell, ue: XY, shadow: &ShadowField) -> f64 {
+pub fn mean_rx_power_dbm(
+    cfg: &PropagationCfg,
+    world: &World,
+    cell: &Cell,
+    ue: XY,
+    shadow: &ShadowField,
+) -> f64 {
     let lu = world.land_use_at(ue);
     let pl = pathloss_db(cfg, cell.pos.dist(&ue), lu);
     let gain = antenna_gain_db(cfg, cell, ue);
@@ -204,8 +214,8 @@ pub fn mean_rx_power_dbm(cfg: &PropagationCfg, world: &World, cell: &Cell, ue: X
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gendt_geo::world::DistrictKind;
     use gendt_geo::coords::LatLon;
+    use gendt_geo::world::DistrictKind;
 
     fn cfg() -> PropagationCfg {
         PropagationCfg::default()
@@ -281,7 +291,10 @@ mod tests {
             near_diff += (f.at(p) - f.at(XY::new(p.x + 5.0, p.y))).abs();
             far_diff += (f.at(p) - f.at(XY::new(p.x + 2000.0, p.y))).abs();
         }
-        assert!(near_diff / n as f64 * 3.0 < far_diff / n as f64, "near {near_diff}, far {far_diff}");
+        assert!(
+            near_diff / n as f64 * 3.0 < far_diff / n as f64,
+            "near {near_diff}, far {far_diff}"
+        );
     }
 
     #[test]
@@ -306,7 +319,10 @@ mod tests {
         assert!(mean.abs() < 0.35, "fading mean {mean}");
         // Lag-1 autocorrelation should be near exp(-1/tau) = exp(-0.25).
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
-        let cov: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>()
+        let cov: f64 = xs
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
             / (xs.len() - 1) as f64;
         let rho = cov / var;
         assert!((rho - (-0.25f64).exp()).abs() < 0.1, "rho {rho}");

@@ -71,10 +71,12 @@ pub fn qoe_series(cfg: &QoeCfg, samples: &[KpiSample], seed: u64) -> Vec<QoeSamp
             let tput = cfg.bandwidth_hz * se * share * noise / 1e6;
             let per_raw =
                 1.0 / (1.0 + ((s.sinr_db - cfg.per_midpoint_db) / cfg.per_slope_db).exp());
-            let per = (per_raw + cfg.per_floor
-                + 0.01 * rng.normal().abs())
-            .clamp(0.0, 1.0);
-            QoeSample { t: s.t, throughput_mbps: tput, per }
+            let per = (per_raw + cfg.per_floor + 0.01 * rng.normal().abs()).clamp(0.0, 1.0);
+            QoeSample {
+                t: s.t,
+                throughput_mbps: tput,
+                per,
+            }
         })
         .collect()
 }
@@ -131,7 +133,11 @@ mod tests {
         // single-digit Mbps range like the paper's iPerf3 traces.
         let cfg = QoeCfg::default();
         let q = qoe_series(&cfg, &[sample(5.0, 0.5)], 7)[0];
-        assert!((0.5..30.0).contains(&q.throughput_mbps), "tput {}", q.throughput_mbps);
+        assert!(
+            (0.5..30.0).contains(&q.throughput_mbps),
+            "tput {}",
+            q.throughput_mbps
+        );
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! depending on `StdRng`'s unspecified algorithm, so checkpoints and
 //! regression baselines stay stable across `rand` upgrades.
 
+#![forbid(unsafe_code)]
+
 /// A small, fast, deterministic RNG.
 #[derive(Clone, Debug)]
 pub struct Rng {
@@ -24,7 +26,14 @@ impl Rng {
     /// Create an RNG from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
         let mut sm = seed;
-        Rng { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
     }
 
     /// Derive an independent child RNG; useful for giving each model

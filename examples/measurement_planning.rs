@@ -13,9 +13,15 @@ use gendt_geo::XY;
 
 fn main() {
     println!("building dataset and training a GenDT model on the city core...");
-    let ds = dataset_a(&BuildCfg { scale: 0.10, ..BuildCfg::full(33) });
+    let ds = dataset_a(&BuildCfg {
+        scale: 0.10,
+        ..BuildCfg::full(33)
+    });
     let cfg = GenDtCfg::fast(4, 33);
-    let ctx_cfg = ContextCfg { max_cells: cfg.window.max_cells, ..ContextCfg::default() };
+    let ctx_cfg = ContextCfg {
+        max_cells: cfg.window.max_cells,
+        ..ContextCfg::default()
+    };
     // Train on city-center runs only, so outskirts routes are genuinely
     // unfamiliar to the model.
     let mut pool = Vec::new();

@@ -19,7 +19,10 @@ fn main() {
 
     // --- Phase 0: pretrain on the "historical" source city -------------
     println!("pretraining on the source city (historical drive tests)...");
-    let src = dataset_a(&BuildCfg { scale: 0.10, ..BuildCfg::full(11) });
+    let src = dataset_a(&BuildCfg {
+        scale: 0.10,
+        ..BuildCfg::full(11)
+    });
     let src_ctx_cfg = ContextCfg {
         max_cells: cfg.window.max_cells,
         coord_scale_m: src.world.cfg.extent_m,
@@ -40,7 +43,10 @@ fn main() {
 
     // --- Phase 1: arrive in the new region ------------------------------
     println!("\nentering the target region (different country, unseen deployment)...");
-    let tgt = dataset_b(&BuildCfg { scale: 0.06, ..BuildCfg::full(12) });
+    let tgt = dataset_b(&BuildCfg {
+        scale: 0.06,
+        ..BuildCfg::full(12)
+    });
     let tgt_ctx_cfg = ContextCfg {
         max_cells: pretrained.cfg().window.max_cells,
         coord_scale_m: tgt.world.cfg.extent_m,
@@ -59,7 +65,11 @@ fn main() {
     }
 
     // --- Phase 2: the collect→retrain cycle ----------------------------
-    let tcfg = TransferCfg { steps_per_cycle: 40, max_cycles: 3, ..TransferCfg::default() };
+    let tcfg = TransferCfg {
+        steps_per_cycle: 40,
+        max_cycles: 3,
+        ..TransferCfg::default()
+    };
     let outcome = transfer_to_region(pretrained, &bootstrap, &candidates, &boot_ctx, &tcfg);
     println!("\ncycle | pool windows | model uncertainty | collected candidate");
     for s in &outcome.steps {
@@ -68,7 +78,9 @@ fn main() {
             s.cycle,
             s.pool_size,
             s.uncertainty,
-            s.collected.map(|i| i.to_string()).unwrap_or_else(|| "-".into())
+            s.collected
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "-".into())
         );
     }
     println!(

@@ -25,9 +25,15 @@ fn main() {
     qoe.fit(&bundle, 6);
 
     // Re-train a slightly larger GenDT for generation quality.
-    let ds = dataset_a(&BuildCfg { scale: 0.10, ..BuildCfg::full(55) });
+    let ds = dataset_a(&BuildCfg {
+        scale: 0.10,
+        ..BuildCfg::full(55)
+    });
     let cfg = GenDtCfg::fast(4, 55);
-    let ctx_cfg = ContextCfg { max_cells: cfg.window.max_cells, ..ContextCfg::default() };
+    let ctx_cfg = ContextCfg {
+        max_cells: cfg.window.max_cells,
+        ..ContextCfg::default()
+    };
     let mut pool = Vec::new();
     for run in &ds.runs {
         let ctx = extract(&ds.world, &ds.deployment, &run.traj, &ctx_cfg);
@@ -41,7 +47,10 @@ fn main() {
         &bundle.ds.world,
         &TrajectoryCfg::new(Scenario::CityDrive, 480.0, XY::new(-1200.0, 800.0), 77),
     );
-    let ctx_cfg2 = ContextCfg { max_cells: bundle.model_cfg.window.max_cells, ..ContextCfg::default() };
+    let ctx_cfg2 = ContextCfg {
+        max_cells: bundle.model_cfg.window.max_cells,
+        ..ContextCfg::default()
+    };
     let ctx = extract(&bundle.ds.world, &bundle.ds.deployment, &route, &ctx_cfg2);
     let gen = generate_series(&mut model, &ctx, &Kpi::DATASET_A, false, 7);
     let rsrp = gen.channel(Kpi::Rsrp).unwrap();
@@ -61,8 +70,14 @@ fn main() {
         }
         tputs.push(t);
     }
-    println!("\npredicted QoE along the planned route ({} samples):", tputs.len());
-    println!("  mean throughput {:.2} Mbit/s", gendt_metrics::mean(&tputs));
+    println!(
+        "\npredicted QoE along the planned route ({} samples):",
+        tputs.len()
+    );
+    println!(
+        "  mean throughput {:.2} Mbit/s",
+        gendt_metrics::mean(&tputs)
+    );
     println!(
         "  worst segment  {:.2} Mbit/s",
         tputs.iter().cloned().fold(f64::MAX, f64::min)

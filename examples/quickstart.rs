@@ -17,7 +17,10 @@ fn main() {
     // 1. Build a synthetic city drive-test dataset (the stand-in for a
     //    real measurement campaign; see DESIGN.md §2).
     println!("building synthetic Dataset A...");
-    let ds = dataset_a(&BuildCfg { scale: 0.12, ..BuildCfg::full(42) });
+    let ds = dataset_a(&BuildCfg {
+        scale: 0.12,
+        ..BuildCfg::full(42)
+    });
     println!(
         "  {} runs, {} samples, {} cells",
         ds.runs.len(),
@@ -27,17 +30,27 @@ fn main() {
 
     // 2. Extract context and windows, then train GenDT.
     let cfg = GenDtCfg::fast(4, 42);
-    let ctx_cfg = ContextCfg { max_cells: cfg.window.max_cells, ..ContextCfg::default() };
+    let ctx_cfg = ContextCfg {
+        max_cells: cfg.window.max_cells,
+        ..ContextCfg::default()
+    };
     let mut pool = Vec::new();
     for run in &ds.runs {
         let ctx = extract(&ds.world, &ds.deployment, &run.traj, &ctx_cfg);
         pool.extend(windows(run, &ctx, &Kpi::DATASET_A, &cfg.window));
     }
-    println!("training GenDT on {} windows ({} steps)...", pool.len(), cfg.steps);
+    println!(
+        "training GenDT on {} windows ({} steps)...",
+        pool.len(),
+        cfg.steps
+    );
     let mut model = GenDt::new(cfg);
     model.train(&pool);
     let last = model.trace.last().unwrap();
-    println!("  final losses: mse={:.4}, gan_d={:.4}", last.mse, last.gan_d);
+    println!(
+        "  final losses: mse={:.4}, gan_d={:.4}",
+        last.mse, last.gan_d
+    );
 
     // 3. Plan a NEW drive-test route that was never measured, and generate
     //    its KPI series from context alone.
@@ -48,7 +61,10 @@ fn main() {
     let new_ctx = extract(&ds.world, &ds.deployment, &new_route, &ctx_cfg);
     let series = generate_series(&mut model, &new_ctx, &Kpi::DATASET_A, false, 7);
     let rsrp = series.channel(Kpi::Rsrp).expect("RSRP channel");
-    println!("\ngenerated {} samples for the unseen bus route", rsrp.len());
+    println!(
+        "\ngenerated {} samples for the unseen bus route",
+        rsrp.len()
+    );
     println!(
         "  RSRP: mean {:.1} dBm, min {:.1}, max {:.1}",
         gendt_metrics::mean(rsrp),
@@ -62,14 +78,20 @@ fn main() {
         &ds.world,
         &ds.deployment,
         PropagationCfg::default(),
-        KpiCfg { serving_range_m: 2000.0, ..KpiCfg::default() },
+        KpiCfg {
+            serving_range_m: 2000.0,
+            ..KpiCfg::default()
+        },
     );
     let truth = engine.measure(&new_route, 999);
     let real_rsrp: Vec<f64> = truth.iter().map(|s| s.rsrp_dbm).collect();
     let n = real_rsrp.len().min(rsrp.len());
     let f = Fidelity::compute(&real_rsrp[..n], &rsrp[..n]);
     println!("\nfidelity vs (simulated) ground truth over the new route:");
-    println!("  MAE {:.2} dB | DTW {:.2} | HWD {:.2}", f.mae, f.dtw, f.hwd);
+    println!(
+        "  MAE {:.2} dB | DTW {:.2} | HWD {:.2}",
+        f.mae, f.dtw, f.hwd
+    );
     println!("\nNo field measurement was needed to produce the generated series —");
     println!("that is the drive-testing effort GenDT saves.");
 }

@@ -18,9 +18,15 @@ use gendt_radio::cells::{Cell, Deployment};
 
 fn main() {
     println!("building dataset and training GenDT...");
-    let ds = dataset_a(&BuildCfg { scale: 0.12, ..BuildCfg::full(21) });
+    let ds = dataset_a(&BuildCfg {
+        scale: 0.12,
+        ..BuildCfg::full(21)
+    });
     let cfg = GenDtCfg::fast(4, 21);
-    let ctx_cfg = ContextCfg { max_cells: cfg.window.max_cells, ..ContextCfg::default() };
+    let ctx_cfg = ContextCfg {
+        max_cells: cfg.window.max_cells,
+        ..ContextCfg::default()
+    };
     let mut pool = Vec::new();
     for run in &ds.runs {
         let ctx = extract(&ds.world, &ds.deployment, &run.traj, &ctx_cfg);
@@ -64,19 +70,25 @@ fn main() {
     let near: Vec<usize> = (0..n)
         .filter(|&k| route.points[k].pos.dist(&mid) < 800.0)
         .collect();
-    let mean_near = |s: &[f64]| {
-        gendt_metrics::mean(&near.iter().map(|&k| s[k]).collect::<Vec<_>>())
-    };
+    let mean_near =
+        |s: &[f64]| gendt_metrics::mean(&near.iter().map(|&k| s[k]).collect::<Vec<_>>());
     let mean_before = mean_near(&rsrp_before);
     let mean_after = mean_near(&rsrp_after);
     let weak = |s: &[f64]| {
         100.0 * near.iter().filter(|&&k| s[k] < -100.0).count() as f64 / near.len().max(1) as f64
     };
-    println!("\nwhat-if: add a 3-sector site at ({:.0} m, {:.0} m) on the route", mid.x, mid.y);
+    println!(
+        "\nwhat-if: add a 3-sector site at ({:.0} m, {:.0} m) on the route",
+        mid.x, mid.y
+    );
     println!("  samples within 800 m of the new site: {}", near.len());
     println!("  mean generated RSRP there, before: {mean_before:.1} dBm");
     println!("  mean generated RSRP there, after:  {mean_after:.1} dBm");
-    println!("  samples below -100 dBm: {:.1}% -> {:.1}%", weak(&rsrp_before), weak(&rsrp_after));
+    println!(
+        "  samples below -100 dBm: {:.1}% -> {:.1}%",
+        weak(&rsrp_before),
+        weak(&rsrp_after)
+    );
     if mean_after > mean_before + 0.5 {
         println!("  => the model predicts the new site improves local coverage.");
     } else {

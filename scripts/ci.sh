@@ -1,9 +1,23 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, tests, and lint for the whole workspace.
-# Run from the repo root: ./scripts/ci.sh
+# Tier-1 gate: build, tests, lint, and the audit layer for the whole
+# workspace. Run from the repo root: ./scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if command -v rustfmt >/dev/null 2>&1; then
+  cargo fmt --check
+else
+  echo "ci: rustfmt not installed, skipping format check"
+fi
 
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+# Verification layer (crates/audit): repo-invariant lint, per-op
+# finite-difference gradcheck, tape verifier, and a sanitized
+# (GENDT_SANITIZE) train step + generation smoke run.
+cargo run --release -p gendt-audit -- lint
+cargo run --release -p gendt-audit -- gradcheck
+cargo run --release -p gendt-audit -- verify
+cargo run --release -p gendt-audit -- smoke

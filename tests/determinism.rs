@@ -15,7 +15,10 @@ fn world_deployment_trajectory_kpis_are_deterministic() {
     let run = |seed: u64| -> Vec<f64> {
         let w = World::generate(WorldCfg::city(seed));
         let d = Deployment::from_world(&w);
-        let t = generate(&w, &TrajectoryCfg::new(Scenario::Bus, 120.0, XY::new(0.0, 0.0), 5));
+        let t = generate(
+            &w,
+            &TrajectoryCfg::new(Scenario::Bus, 120.0, XY::new(0.0, 0.0), 5),
+        );
         let e = KpiEngine::new(&w, &d, PropagationCfg::default(), KpiCfg::default());
         e.measure(&t, 9).iter().map(|s| s.rsrp_dbm).collect()
     };

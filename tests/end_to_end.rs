@@ -90,8 +90,14 @@ fn dataset_b_serving_channel_supports_handover_analysis() {
     }
     // The continuous channel must move when the serving id changes often.
     if id_changes > 3 {
-        let moved = serv.windows(2).filter(|w| (w[1] - w[0]).abs() > 1e-6).count();
-        assert!(moved > 0, "serving channel is frozen despite {id_changes} handovers");
+        let moved = serv
+            .windows(2)
+            .filter(|w| (w[1] - w[0]).abs() > 1e-6)
+            .count();
+        assert!(
+            moved > 0,
+            "serving channel is frozen despite {id_changes} handovers"
+        );
     }
 }
 

@@ -48,7 +48,10 @@ fn out_of_coverage_trajectory_yields_floor_kpis_not_panics() {
         &world,
         &deployment,
         PropagationCfg::default(),
-        KpiCfg { serving_range_m: 50.0, ..KpiCfg::default() }, // absurdly small range
+        KpiCfg {
+            serving_range_m: 50.0,
+            ..KpiCfg::default()
+        }, // absurdly small range
     );
     let traj = Trajectory {
         scenario: Scenario::Walk,
@@ -73,13 +76,19 @@ fn generation_with_empty_cell_context_stays_finite() {
     let (mut model, _, _) = tiny_trained();
     // Hand-built context with NO visible cells and zeroed environment.
     let steps = (0..20)
-        .map(|_| StepContext { cells: Vec::new(), env: vec![0.0; ENV_ATTRS] })
+        .map(|_| StepContext {
+            cells: Vec::new(),
+            env: vec![0.0; ENV_ATTRS],
+        })
         .collect();
     let ctx = RunContext { steps };
     let out = generate_series(&mut model, &ctx, &Kpi::DATASET_A, false, 7);
     assert_eq!(out.len(), 20);
     for ch in &out.series {
-        assert!(ch.iter().all(|v| v.is_finite()), "non-finite KPI on empty context");
+        assert!(
+            ch.iter().all(|v| v.is_finite()),
+            "non-finite KPI on empty context"
+        );
     }
 }
 

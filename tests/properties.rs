@@ -159,7 +159,11 @@ fn kpi_denormalize_always_in_physical_range() {
 fn matmul_distributes_over_addition() {
     for_cases("matmul_distributes", |rng| {
         let rand_mat = |rng: &mut Rng, r: usize, c: usize| {
-            Matrix::from_vec(r, c, (0..r * c).map(|_| rng.uniform(-2.0, 2.0) as f32).collect())
+            Matrix::from_vec(
+                r,
+                c,
+                (0..r * c).map(|_| rng.uniform(-2.0, 2.0) as f32).collect(),
+            )
         };
         let a = rand_mat(rng, 3, 4);
         let b = rand_mat(rng, 4, 2);
@@ -182,12 +186,22 @@ fn autograd_matches_finite_differences_on_random_graphs() {
         let mut store = ParamStore::new();
         let w = store.add(
             "w",
-            Matrix::from_vec(2, 2, (0..4).map(|_| rng.uniform(-1.0, 1.0) as f32).collect()),
+            Matrix::from_vec(
+                2,
+                2,
+                (0..4).map(|_| rng.uniform(-1.0, 1.0) as f32).collect(),
+            ),
         );
-        let x_data =
-            Matrix::from_vec(3, 2, (0..6).map(|_| rng.uniform(-1.0, 1.0) as f32).collect());
-        let t_data =
-            Matrix::from_vec(3, 2, (0..6).map(|_| rng.uniform(-1.0, 1.0) as f32).collect());
+        let x_data = Matrix::from_vec(
+            3,
+            2,
+            (0..6).map(|_| rng.uniform(-1.0, 1.0) as f32).collect(),
+        );
+        let t_data = Matrix::from_vec(
+            3,
+            2,
+            (0..6).map(|_| rng.uniform(-1.0, 1.0) as f32).collect(),
+        );
         let eval = |store: &ParamStore| -> f32 {
             let mut g = Graph::new();
             let x = g.input(x_data.clone());

@@ -58,7 +58,10 @@ impl Criterion {
 
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { c: self, name: name.into() }
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
     }
 }
 
@@ -158,7 +161,10 @@ fn run_bench(name: &str, cfg: &Criterion, f: &mut dyn FnMut(&mut Bencher)) {
     let warm_start = Instant::now();
     let mut per_iter = Duration::from_secs(1);
     loop {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         if b.elapsed > Duration::ZERO {
             per_iter = b.elapsed / iters.max(1) as u32;
@@ -175,7 +181,10 @@ fn run_bench(name: &str, cfg: &Criterion, f: &mut dyn FnMut(&mut Bencher)) {
 
     let mut samples: Vec<f64> = Vec::with_capacity(cfg.sample_size);
     for _ in 0..cfg.sample_size {
-        let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         samples.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
     }

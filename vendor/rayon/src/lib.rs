@@ -26,7 +26,10 @@ pub fn current_num_threads() -> usize {
     if n != 0 {
         return n;
     }
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(16)
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(16)
 }
 
 /// Error from [`ThreadPoolBuilder::build_global`]. Never actually
@@ -87,12 +90,18 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         match self.inner {
             Some(ts) => {
                 ts.spawn(move || {
-                    let s = Scope { inner: Some(ts), _env: PhantomData };
+                    let s = Scope {
+                        inner: Some(ts),
+                        _env: PhantomData,
+                    };
                     f(&s);
                 });
             }
             None => {
-                let s = Scope { inner: None, _env: PhantomData };
+                let s = Scope {
+                    inner: None,
+                    _env: PhantomData,
+                };
                 f(&s);
             }
         }
@@ -108,11 +117,17 @@ where
     R: Send,
 {
     if current_num_threads() <= 1 {
-        let s = Scope { inner: None, _env: PhantomData };
+        let s = Scope {
+            inner: None,
+            _env: PhantomData,
+        };
         f(&s)
     } else {
         std::thread::scope(|ts| {
-            let s = Scope { inner: Some(ts), _env: PhantomData };
+            let s = Scope {
+                inner: Some(ts),
+                _env: PhantomData,
+            };
             f(&s)
         })
     }
@@ -139,7 +154,10 @@ mod tests {
     #[test]
     fn scope_joins_all_spawns() {
         let counter = AtomicU32::new(0);
-        ThreadPoolBuilder::new().num_threads(4).build_global().unwrap();
+        ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global()
+            .unwrap();
         scope(|s| {
             for _ in 0..8 {
                 s.spawn(|_| {
@@ -153,7 +171,10 @@ mod tests {
     #[test]
     fn inline_scope_runs_spawns() {
         let counter = AtomicU32::new(0);
-        let s = Scope { inner: None, _env: PhantomData };
+        let s = Scope {
+            inner: None,
+            _env: PhantomData,
+        };
         s.spawn(|_| {
             counter.fetch_add(1, Ordering::SeqCst);
         });

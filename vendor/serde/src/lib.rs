@@ -56,7 +56,9 @@ impl Error {
 
     /// "expected X while deserializing Y" helper.
     pub fn expected(what: &str, ty: &str) -> Self {
-        Error { msg: format!("expected {what} while deserializing {ty}") }
+        Error {
+            msg: format!("expected {what} while deserializing {ty}"),
+        }
     }
 }
 
@@ -285,7 +287,10 @@ impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
     fn from_value(v: &Value) -> Result<Self, Error> {
         let s = v.as_seq_for("array")?;
         if s.len() != N {
-            return Err(Error::msg(format!("expected array of length {N}, got {}", s.len())));
+            return Err(Error::msg(format!(
+                "expected array of length {N}, got {}",
+                s.len()
+            )));
         }
         let mut out = [T::default(); N];
         for (slot, item) in out.iter_mut().zip(s.iter()) {
@@ -323,7 +328,10 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     fn from_value(v: &Value) -> Result<Self, Error> {
         let s = v.as_seq_for("tuple")?;
         if s.len() != 2 {
-            return Err(Error::msg(format!("expected 2-tuple, got length {}", s.len())));
+            return Err(Error::msg(format!(
+                "expected 2-tuple, got length {}",
+                s.len()
+            )));
         }
         Ok((A::from_value(&s[0])?, B::from_value(&s[1])?))
     }
@@ -331,7 +339,11 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
-        Value::Seq(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
     }
 }
 
@@ -339,22 +351,35 @@ impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
     fn from_value(v: &Value) -> Result<Self, Error> {
         let s = v.as_seq_for("tuple")?;
         if s.len() != 3 {
-            return Err(Error::msg(format!("expected 3-tuple, got length {}", s.len())));
+            return Err(Error::msg(format!(
+                "expected 3-tuple, got length {}",
+                s.len()
+            )));
         }
-        Ok((A::from_value(&s[0])?, B::from_value(&s[1])?, C::from_value(&s[2])?))
+        Ok((
+            A::from_value(&s[0])?,
+            B::from_value(&s[1])?,
+            C::from_value(&s[2])?,
+        ))
     }
 }
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
 impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         let m = v.as_map_for("BTreeMap")?;
-        m.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+        m.iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
     }
 }
 
@@ -367,7 +392,10 @@ mod tests {
         assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
         assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
         assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
-        assert_eq!(String::from_value(&"x".to_string().to_value()).unwrap(), "x");
+        assert_eq!(
+            String::from_value(&"x".to_string().to_value()).unwrap(),
+            "x"
+        );
     }
 
     #[test]

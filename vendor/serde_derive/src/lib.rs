@@ -208,7 +208,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let arms: Vec<String> = variants
                 .iter()
                 .map(|v| {
-                    format!("Self::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))")
+                    format!(
+                        "Self::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                    )
                 })
                 .collect();
             format!(
@@ -221,7 +223,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("vendored serde_derive: generated invalid Serialize impl")
+    code.parse()
+        .expect("vendored serde_derive: generated invalid Serialize impl")
 }
 
 /// `#[derive(Deserialize)]` — implements `serde::Deserialize::from_value`.
@@ -286,5 +289,6 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("vendored serde_derive: generated invalid Deserialize impl")
+    code.parse()
+        .expect("vendored serde_derive: generated invalid Deserialize impl")
 }

@@ -52,12 +52,18 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 
 /// Deserialize a value from JSON text.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::new(format!("trailing characters at offset {}", p.pos)));
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
     }
     Ok(T::from_value(&v)?)
 }
@@ -93,7 +99,12 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
     }
 }
 
-fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) -> Result<(), Error> {
+fn write_value(
+    v: &Value,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
     match v {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -187,7 +198,10 @@ impl<'a> Parser<'a> {
             self.pos += lit.len();
             Ok(v)
         } else {
-            Err(Error::new(format!("invalid literal at offset {}", self.pos)))
+            Err(Error::new(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
         }
     }
 
@@ -226,7 +240,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Seq(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at offset {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at offset {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -254,7 +273,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Map(entries));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at offset {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -319,10 +343,7 @@ impl<'a> Parser<'a> {
                             }
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -414,7 +435,10 @@ mod tests {
 
     #[test]
     fn pretty_output_parses_back() {
-        let v = vec![(String::from("a"), vec![1u32, 2]), (String::from("b"), vec![])];
+        let v = vec![
+            (String::from("a"), vec![1u32, 2]),
+            (String::from("b"), vec![]),
+        ];
         let s = to_string_pretty(&v).unwrap();
         assert!(s.contains('\n'));
         assert_eq!(from_str::<Vec<(String, Vec<u32>)>>(&s).unwrap(), v);
@@ -422,7 +446,10 @@ mod tests {
 
     #[test]
     fn unicode_escapes() {
-        assert_eq!(from_str::<String>("\"\\u00e9\\ud83d\\ude00\"").unwrap(), "é😀");
+        assert_eq!(
+            from_str::<String>("\"\\u00e9\\ud83d\\ude00\"").unwrap(),
+            "é😀"
+        );
     }
 
     #[test]
