@@ -6,13 +6,15 @@
 //! 1. **`unsafe-forbid`** — every crate root under `crates/*/src`
 //!    (`lib.rs`, `main.rs`, `bin/*.rs`) carries `#![forbid(unsafe_code)]`.
 //! 2. **`no-unwrap`** — no `.unwrap()` / `.expect(` in the hot autograd
-//!    and training files outside `#[cfg(test)]`, and nowhere at all in
-//!    the checkpoint modules (error paths there must propagate).
+//!    and training files or the serve request path outside
+//!    `#[cfg(test)]`, and nowhere at all in the checkpoint modules
+//!    (error paths there must propagate).
 //! 3. **`determinism`** — no wall-clock or entropy sources
 //!    (`SystemTime`, `Instant::now`, `thread_rng`, `from_entropy`,
-//!    `rand::random`) in the training path, and no `HashMap` in the
-//!    checkpoint modules (serialized output must iterate in a stable
-//!    order — `BTreeMap` only).
+//!    `rand::random`) in the training path or in serve's batch assembly
+//!    (a served response must depend on seeds, never arrival timing),
+//!    and no `HashMap` in the checkpoint modules (serialized output
+//!    must iterate in a stable order — `BTreeMap` only).
 //! 4. **`fused-bitwise`** — every fused tape op has a bitwise
 //!    equivalence test in `graph.rs` (a test fn whose name contains the
 //!    op name and `bitwise`), so fused rewrites stay provably identical
@@ -49,11 +51,17 @@ impl fmt::Display for Violation {
 }
 
 /// Files where `.unwrap()` / `.expect(` are banned outside `#[cfg(test)]`.
+/// The serve request-path files are held to the same bar: a panicking
+/// handler thread takes its connection (or the whole scheduler) with it.
 const NO_UNWRAP_NONTEST: &[&str] = &[
     "crates/nn/src/graph.rs",
     "crates/nn/src/kernels.rs",
     "crates/nn/src/matrix.rs",
     "crates/core/src/trainer.rs",
+    "crates/serve/src/http.rs",
+    "crates/serve/src/scheduler.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/batch.rs",
 ];
 
 /// Files where `.unwrap()` / `.expect(` are banned everywhere, tests
@@ -75,6 +83,9 @@ const DETERMINISM_FILES: &[&str] = &[
     "crates/core/src/trainer.rs",
     "crates/core/src/generator.rs",
     "crates/core/src/generate.rs",
+    // The batch assembly feeding generation must be clock-free, or a
+    // served response could depend on arrival timing instead of seeds.
+    "crates/serve/src/batch.rs",
 ];
 
 /// Tokens that smell of wall clocks or ambient entropy.

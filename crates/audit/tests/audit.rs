@@ -365,6 +365,28 @@ mod tests {
         "crates/core/src/checkpoint.rs",
         "use std::collections::HashMap;\npub fn save(_m: &HashMap<String, f32>) {}\n",
     );
+    // Serve request path. Seed 7 (no-unwrap): a handler unwrap in
+    // server.rs; the poison-recovery `unwrap_or_else` is a decoy — it is
+    // the idiom the real serve code uses and must not fire.
+    write_fixture(
+        &root,
+        "crates/serve/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub mod server;\n",
+    );
+    write_fixture(&root, "crates/serve/src/http.rs", CLEAN_FILE);
+    write_fixture(&root, "crates/serve/src/scheduler.rs", CLEAN_FILE);
+    write_fixture(
+        &root,
+        "crates/serve/src/server.rs",
+        "use std::sync::Mutex;\npub fn handle(m: &Mutex<u8>) -> u8 {\n    let held = *m.lock().unwrap_or_else(|poisoned| poisoned.into_inner());\n    let v: Option<u8> = Some(held);\n    v.unwrap() // seeded violation\n}\n",
+    );
+    // Seed 8 (determinism): a wall clock in batch assembly would make a
+    // served response depend on arrival timing — must fire.
+    write_fixture(
+        &root,
+        "crates/serve/src/batch.rs",
+        "pub fn assemble() {\n    let _t = std::time::Instant::now();\n}\n",
+    );
     FixtureDir(root)
 }
 
@@ -400,6 +422,14 @@ fn lint_detects_seeded_violations_and_ignores_decoys() {
             .any(|v| v.rule == "fused-bitwise" && v.message.contains("sum_row_groups")),
         "missing bitwise test not caught"
     );
+    assert!(
+        has("no-unwrap", "crates/serve/src/server.rs"),
+        "seeded handler unwrap not caught"
+    );
+    assert!(
+        has("determinism", "crates/serve/src/batch.rs"),
+        "Instant::now in batch assembly not caught"
+    );
 
     // Decoys must stay quiet.
     let graph_unwraps: Vec<_> = violations
@@ -418,6 +448,15 @@ fn lint_detects_seeded_violations_and_ignores_decoys() {
     assert!(
         !has("determinism", "crates/core/src/generator.rs"),
         "SystemTime inside a comment must not fire"
+    );
+    let server_unwraps: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == "no-unwrap" && v.file == "crates/serve/src/server.rs")
+        .collect();
+    assert_eq!(
+        server_unwraps.len(),
+        1,
+        "poison-recovery unwrap_or_else must not fire: {server_unwraps:?}"
     );
     assert!(
         !violations

@@ -11,6 +11,13 @@ use gendt_nn::checkpoint::{restore, snapshot, Checkpoint, CheckpointError};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
+/// Magic string at the start of every headered checkpoint file. The
+/// first line is `GENDTCKPT <version>`, then the JSON body.
+pub const MAGIC: &str = "GENDTCKPT";
+
+/// Format version written by [`save_model_to_file`].
+pub const FORMAT_VERSION: u32 = 2;
+
 /// On-disk model format.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct ModelCheckpoint {
@@ -35,11 +42,14 @@ pub fn save_model(model: &GenDt) -> ModelCheckpoint {
     }
 }
 
-/// Write a model checkpoint to a JSON file.
+/// Write a model checkpoint to a file: a `GENDTCKPT <version>` header
+/// line followed by the JSON body. The header lets the registry reject
+/// foreign files before attempting a multi-megabyte JSON parse.
 pub fn save_model_to_file(model: &GenDt, path: &Path) -> Result<(), CheckpointError> {
     let ckpt = save_model(model);
     let json = serde_json::to_string(&ckpt).map_err(CheckpointError::Json)?;
-    std::fs::write(path, json).map_err(CheckpointError::Io)?;
+    let body = format!("{MAGIC} {FORMAT_VERSION}\n{json}");
+    std::fs::write(path, body).map_err(CheckpointError::Io)?;
     Ok(())
 }
 
@@ -53,10 +63,54 @@ pub fn load_model(ckpt: &ModelCheckpoint) -> Result<GenDt, CheckpointError> {
     Ok(model)
 }
 
-/// Read a model checkpoint from a JSON file.
+/// Parse the file body into a [`ModelCheckpoint`], accepting both the
+/// headered format and legacy headerless JSON (files that start with
+/// `{`). Anything else is rejected with a descriptive [`Format`] error
+/// rather than a JSON parse failure deep inside a foreign file.
+///
+/// [`Format`]: CheckpointError::Format
+pub fn parse_model_checkpoint(text: &str) -> Result<ModelCheckpoint, CheckpointError> {
+    let json = if let Some(rest) = text.strip_prefix(MAGIC) {
+        let (header, body) = match rest.split_once('\n') {
+            Some(split) => split,
+            None => {
+                return Err(CheckpointError::Format(
+                    "header line has no body after it (truncated file?)".to_string(),
+                ))
+            }
+        };
+        let version: u32 = header.trim().parse().map_err(|_| {
+            CheckpointError::Format(format!(
+                "malformed header {:?}: expected `{MAGIC} <version>`",
+                header.trim()
+            ))
+        })?;
+        if version > FORMAT_VERSION {
+            return Err(CheckpointError::Format(format!(
+                "format version {version} is newer than supported {FORMAT_VERSION}"
+            )));
+        }
+        body
+    } else if text.trim_start().starts_with('{') {
+        // Legacy headerless checkpoint: plain JSON from format v1.
+        text
+    } else {
+        let head: String = text.chars().take(16).collect();
+        return Err(CheckpointError::Format(format!(
+            "not a GenDT checkpoint: expected `{MAGIC}` header or JSON body, found {head:?}"
+        )));
+    };
+    serde_json::from_str(json).map_err(|e| {
+        CheckpointError::Format(format!(
+            "checkpoint body is not valid model JSON (truncated file?): {e}"
+        ))
+    })
+}
+
+/// Read a model checkpoint from a file (headered or legacy headerless).
 pub fn load_model_from_file(path: &Path) -> Result<GenDt, CheckpointError> {
-    let json = std::fs::read_to_string(path).map_err(CheckpointError::Io)?;
-    let ckpt: ModelCheckpoint = serde_json::from_str(&json).map_err(CheckpointError::Json)?;
+    let text = std::fs::read_to_string(path).map_err(CheckpointError::Io)?;
+    let ckpt = parse_model_checkpoint(&text)?;
     load_model(&ckpt)
 }
 
@@ -121,6 +175,67 @@ mod tests {
         assert_eq!(restored.cfg().hidden, model.cfg().hidden);
         std::fs::remove_file(&path).ok();
         Ok(())
+    }
+
+    #[test]
+    fn headered_file_roundtrip_and_legacy_load() -> Result<(), CheckpointError> {
+        let (model, _) = tiny_trained();
+        let dir = std::env::temp_dir().join("gendt-model-ckpt-header-test");
+        std::fs::create_dir_all(&dir).map_err(CheckpointError::Io)?;
+
+        // New files carry the magic header.
+        let path = dir.join("headered.json");
+        save_model_to_file(&model, &path)?;
+        let text = std::fs::read_to_string(&path).map_err(CheckpointError::Io)?;
+        assert!(text.starts_with("GENDTCKPT 2\n"), "missing header");
+        load_model_from_file(&path)?;
+
+        // A legacy headerless file (plain JSON, format v1) still loads.
+        let legacy = dir.join("legacy.json");
+        let json = serde_json::to_string(&save_model(&model)).map_err(CheckpointError::Json)?;
+        std::fs::write(&legacy, json).map_err(CheckpointError::Io)?;
+        load_model_from_file(&legacy)?;
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&legacy).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn load_rejects_foreign_and_truncated_files() {
+        // A foreign file is rejected with a Format error naming the magic.
+        match parse_model_checkpoint("\u{89}PNG not a checkpoint") {
+            Err(CheckpointError::Format(msg)) => {
+                assert!(msg.contains("not a GenDT checkpoint"), "{msg}")
+            }
+            other => panic!("foreign file accepted: {other:?}"),
+        }
+
+        // A truncated headered file gives a descriptive body error.
+        match parse_model_checkpoint("GENDTCKPT 2\n{\"version\":2,\"cfg\":{") {
+            Err(CheckpointError::Format(msg)) => {
+                assert!(msg.contains("truncated"), "{msg}")
+            }
+            other => panic!("truncated file accepted: {other:?}"),
+        }
+
+        // A header with no body at all.
+        assert!(matches!(
+            parse_model_checkpoint("GENDTCKPT 2"),
+            Err(CheckpointError::Format(_))
+        ));
+
+        // A malformed version field.
+        assert!(matches!(
+            parse_model_checkpoint("GENDTCKPT banana\n{}"),
+            Err(CheckpointError::Format(_))
+        ));
+
+        // A future format version is rejected, not misparsed.
+        match parse_model_checkpoint("GENDTCKPT 99\n{}") {
+            Err(CheckpointError::Format(msg)) => assert!(msg.contains("newer"), "{msg}"),
+            other => panic!("future version accepted: {other:?}"),
+        }
     }
 
     #[test]

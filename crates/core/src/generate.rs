@@ -162,6 +162,126 @@ pub fn generate_series(
     }
 }
 
+/// One request in a batched generation call: a trajectory context plus
+/// the explicit sample seed that makes its output reproducible.
+pub struct GenBatchItem<'a> {
+    /// Trajectory context to generate for.
+    pub ctx: &'a RunContext,
+    /// Sample seed, same meaning as `generate_series`'s `sample_seed`.
+    pub seed: u64,
+}
+
+/// Generate series for several independent requests in one batched
+/// forward pass per window index.
+///
+/// Each result is **bitwise-identical** to what
+/// [`generate_series`]`(model, item.ctx, kpis, false, item.seed)` returns
+/// for that item alone: every request keeps its own RNG stream (seeded
+/// from its own seed, advanced in single-request order), and all batched
+/// compute ops are row-local — see `Generator::forward_gen_batch`. This
+/// is the micro-batching entry point the serving layer coalesces
+/// concurrent `/generate` requests onto.
+///
+/// Requests whose trajectories yield different window counts simply drop
+/// out of the batch once exhausted; the batch shrinks over window index.
+pub fn generate_series_batch(
+    model: &GenDt,
+    kpis: &[Kpi],
+    items: &[GenBatchItem],
+) -> Vec<GeneratedSeries> {
+    let cfg: GenDtCfg = model.cfg().clone();
+    assert_eq!(
+        kpis.len(),
+        cfg.n_ch,
+        "KPI list does not match model channels"
+    );
+    let n = items.len();
+    let wins: Vec<Vec<Window>> = items
+        .iter()
+        .map(|it| generation_windows(it.ctx, cfg.n_ch, &cfg.generation_window()))
+        .collect();
+    let mut rngs: Vec<gendt_nn::Rng> = items
+        .iter()
+        .map(|it| gendt_nn::Rng::seed_from(it.seed))
+        .collect();
+    let mut carries: Vec<CarryState> = (0..n).map(|_| CarryState::zeros(&cfg, 1)).collect();
+    let mut norm: Vec<Vec<Vec<f32>>> = vec![vec![Vec::new(); cfg.n_ch]; n];
+
+    let hid = cfg.hidden;
+    let tail_w = cfg.n_ch * cfg.window.ar_context;
+    let max_wins = wins.iter().map(|w| w.len()).max().unwrap_or(0);
+    for wi in 0..max_wins {
+        let active: Vec<usize> = (0..n).filter(|&i| wi < wins[i].len()).collect();
+        let wrefs: Vec<&Window> = active.iter().map(|&i| &wins[i][wi]).collect();
+        let bn = active.len();
+
+        // Stack per-request carry rows and RNG streams for the active set.
+        let mut carry_b = CarryState::zeros(&cfg, bn);
+        let mut rng_b: Vec<gendt_nn::Rng> = Vec::with_capacity(bn);
+        for (r, &i) in active.iter().enumerate() {
+            carry_b.agg_h.data[r * hid..(r + 1) * hid].copy_from_slice(&carries[i].agg_h.data);
+            carry_b.agg_c.data[r * hid..(r + 1) * hid].copy_from_slice(&carries[i].agg_c.data);
+            carry_b.ar_tail.data[r * tail_w..(r + 1) * tail_w]
+                .copy_from_slice(&carries[i].ar_tail.data);
+            rng_b.push(rngs[i].clone());
+        }
+
+        let mut g = Graph::new();
+        let fwd = model
+            .generator
+            .forward_gen_batch(&mut g, &wrefs, &carry_b, &mut rng_b);
+
+        for &out in &fwd.outputs {
+            let v = g.value(out);
+            for (r, &i) in active.iter().enumerate() {
+                for (ch, acc) in norm[i].iter_mut().enumerate() {
+                    acc.push(v.data[r * cfg.n_ch + ch]);
+                }
+            }
+        }
+        // Split the carry rows and advanced RNG streams back out.
+        for (r, &i) in active.iter().enumerate() {
+            carries[i]
+                .agg_h
+                .data
+                .copy_from_slice(&fwd.carry.agg_h.data[r * hid..(r + 1) * hid]);
+            carries[i]
+                .agg_c
+                .data
+                .copy_from_slice(&fwd.carry.agg_c.data[r * hid..(r + 1) * hid]);
+            carries[i]
+                .ar_tail
+                .data
+                .copy_from_slice(&fwd.carry.ar_tail.data[r * tail_w..(r + 1) * tail_w]);
+            rngs[i] = rng_b[r].clone();
+        }
+    }
+
+    norm.into_iter()
+        .map(|per_ch| {
+            let series: Vec<Vec<f64>> = per_ch
+                .into_iter()
+                .enumerate()
+                .map(|(ch, s)| s.into_iter().map(|v| kpis[ch].denormalize(v)).collect())
+                .collect();
+            if gendt_nn::sanitize_enabled() {
+                for (ch, s) in series.iter().enumerate() {
+                    if let Some(t) = s.iter().position(|v| !v.is_finite()) {
+                        panic!(
+                            "GENDT_SANITIZE: batched series for KPI {:?} is non-finite at step {t}",
+                            kpis[ch]
+                        );
+                    }
+                }
+            }
+            GeneratedSeries {
+                kpis: kpis.to_vec(),
+                series,
+            }
+        })
+        .collect()
+}
+
 /// ResGen distribution-parameter statistics from repeated MC-dropout
 /// passes — the inputs of the model-uncertainty measure.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -306,6 +426,44 @@ mod tests {
         assert!(cqi
             .iter()
             .all(|&v| (1.0..=15.0).contains(&v) && v.fract() == 0.0));
+    }
+
+    #[test]
+    fn batched_generation_is_bitwise_equal_to_direct() {
+        let (mut model, ctx) = tiny_model_and_ctx();
+        assert!(ctx.steps.len() >= 40, "fixture trajectory too short");
+        // Different-length views of the trajectory give the requests
+        // different window counts (the batch shrinks over window index)
+        // and different visible-cell sets (padding inside the batch).
+        let short = RunContext {
+            steps: ctx.steps[..20].to_vec(),
+        };
+        let mid = RunContext {
+            steps: ctx.steps[7..37].to_vec(),
+        };
+        let items = [
+            GenBatchItem {
+                ctx: &short,
+                seed: 101,
+            },
+            GenBatchItem {
+                ctx: &ctx,
+                seed: 202,
+            },
+            GenBatchItem {
+                ctx: &mid,
+                seed: 303,
+            },
+        ];
+        let batched = generate_series_batch(&model, &Kpi::DATASET_A, &items);
+        assert_eq!(batched.len(), items.len());
+        for (it, got) in items.iter().zip(batched.iter()) {
+            let direct = generate_series(&mut model, it.ctx, &Kpi::DATASET_A, false, it.seed);
+            assert_eq!(direct.kpis, got.kpis);
+            // Exact f64 equality: the batched pass must be
+            // bitwise-identical to the single-request pass.
+            assert_eq!(direct.series, got.series, "batched output diverges");
+        }
     }
 
     #[test]

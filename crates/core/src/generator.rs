@@ -85,6 +85,17 @@ pub enum ArMode {
     FreeRunning,
 }
 
+/// Cell-slot count of a packed batch: the widest window, at least one
+/// slot so an empty-cell window still drives the node LSTM.
+fn batch_max_cells(windows: &[&Window]) -> usize {
+    windows
+        .iter()
+        .map(|w| w.cells.len())
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
 impl Generator {
     /// Initialize a generator with Xavier weights.
     pub fn new(cfg: GenDtCfg, rng: &mut Rng) -> Self {
@@ -207,26 +218,8 @@ impl Generator {
         let h = self.cfg.hidden;
         let n_z0 = self.cfg.n_z0;
         let in_dim = CELL_FEATS + n_z0;
-        let max_cells = windows
-            .iter()
-            .map(|w| w.cells.len())
-            .max()
-            .unwrap_or(1)
-            .max(1);
+        let max_cells = batch_max_cells(windows);
         let p = b * max_cells;
-
-        // Average only over real cells via a per-row 1/count...
-        let mut inv_count = Matrix::zeros(b, 1);
-        for (bi, w) in windows.iter().enumerate() {
-            inv_count.data[bi] = 1.0 / w.cells.len().max(1) as f32;
-        }
-        // ...and mask padded slots (sentinel features) out of the sum.
-        let mut mask = Matrix::zeros(p, 1);
-        for (bi, w) in windows.iter().enumerate() {
-            for j in 0..w.cells.len().min(max_cells) {
-                mask.data[bi * max_cells + j] = 1.0;
-            }
-        }
 
         let draw_h = self.cfg.ablation.srnn && self.cfg.stochastic.a_h != 0.0;
         let draw_c = self.cfg.ablation.srnn && self.cfg.stochastic.a_c != 0.0;
@@ -271,11 +264,43 @@ impl Generator {
             }
         }
 
+        self.node_packed_graph(g, windows, max_cells, xs, &u_h, &u_c)
+    }
+
+    /// Packed node-LSTM graph from pre-drawn inputs and noise: shared by
+    /// [`Generator::node_h_avg_packed`] (training draw order) and
+    /// [`Generator::forward_gen_batch`] (per-request draw order).
+    fn node_packed_graph(
+        &self,
+        g: &mut Graph,
+        windows: &[&Window],
+        max_cells: usize,
+        xs: Vec<Matrix>,
+        u_h: &[Matrix],
+        u_c: &[Matrix],
+    ) -> Vec<NodeId> {
+        let b = windows.len();
+        let h = self.cfg.hidden;
+        let p = b * max_cells;
+
+        // Average only over real cells via a per-row 1/count...
+        let mut inv_count = Matrix::zeros(b, 1);
+        for (bi, w) in windows.iter().enumerate() {
+            inv_count.data[bi] = 1.0 / w.cells.len().max(1) as f32;
+        }
+        // ...and mask padded slots (sentinel features) out of the sum.
+        let mut mask = Matrix::zeros(p, 1);
+        for (bi, w) in windows.iter().enumerate() {
+            for j in 0..w.cells.len().min(max_cells) {
+                mask.data[bi * max_cells + j] = 1.0;
+            }
+        }
+
         let mut st = LstmNodeState {
             h: g.input(Matrix::zeros(p, h)),
             c: g.input(Matrix::zeros(p, h)),
         };
-        let mut h_avg_steps: Vec<NodeId> = Vec::with_capacity(l);
+        let mut h_avg_steps: Vec<NodeId> = Vec::with_capacity(xs.len());
         for (t, x) in xs.into_iter().enumerate() {
             let xn = g.input(x);
             st = self.node_lstm.step(g, &self.store, xn, st);
@@ -291,6 +316,234 @@ impl Generator {
             h_avg_steps.push(g.masked_group_mean(st.h, &mask, &inv_count, max_cells));
         }
         h_avg_steps
+    }
+
+    /// Free-running generation forward for a batch of *independent
+    /// requests*, each with its own RNG stream.
+    ///
+    /// Row `r` of every per-step output is bitwise-identical to what a
+    /// single-request [`Generator::forward`] (`ArMode::FreeRunning`,
+    /// `mc_dropout = false`, batch of one) produces for `windows[r]`
+    /// with `rngs[r]` in the same starting state. Two properties make
+    /// this hold: every compute op in the pass is row-local with a fixed
+    /// accumulation order independent of the total row count (blocked
+    /// GEMM, elementwise ops, per-row `noisy_renorm`, j-ascending
+    /// `masked_group_mean` whose padded slots contribute exact zeros),
+    /// and all noise is pre-drawn here per request in exactly the order
+    /// a single-request forward consumes it (node z0/SRNN uniforms with
+    /// j outer and t inner, then per-step aggregation uniforms, then
+    /// per-step ResGen z1 and eps). Padded cell slots — a request with
+    /// fewer cells than the batch maximum — get sentinel features and
+    /// neutral noise that consume **nothing** from the request's RNG,
+    /// since those slots do not exist in its single-request run.
+    ///
+    /// `carry` holds one row per request; the returned carry splits the
+    /// same way. This is the serving path's batched entry point.
+    pub fn forward_gen_batch(
+        &self,
+        g: &mut Graph,
+        windows: &[&Window],
+        carry: &CarryState,
+        rngs: &mut [Rng],
+    ) -> ForwardOut {
+        let b = windows.len();
+        assert_eq!(b, rngs.len(), "one RNG stream per request");
+        let l = self.batch_len(windows);
+        let h = self.cfg.hidden;
+        let n_z0 = self.cfg.n_z0;
+        let n_z1 = self.cfg.n_z1;
+        let n_ch = self.cfg.n_ch;
+        let m = self.cfg.window.ar_context;
+        let in_dim = CELL_FEATS + n_z0;
+        let max_cells = batch_max_cells(windows);
+        let p = b * max_cells;
+        let draw_h = self.cfg.ablation.srnn && self.cfg.stochastic.a_h != 0.0;
+        let draw_c = self.cfg.ablation.srnn && self.cfg.stochastic.a_c != 0.0;
+        let resgen_on = self.cfg.ablation.resgen;
+
+        // ---- Pre-draw all noise, per request, in single-request order.
+        let noise_rows = |draw: bool| if draw { p } else { 0 };
+        let mut xs: Vec<Matrix> = (0..l).map(|_| Matrix::zeros(p, in_dim)).collect();
+        let mut u_h: Vec<Matrix> = (0..l)
+            .map(|_| Matrix::zeros(noise_rows(draw_h), h))
+            .collect();
+        let mut u_c: Vec<Matrix> = (0..l)
+            .map(|_| Matrix::zeros(noise_rows(draw_c), h))
+            .collect();
+        let agg_rows = |draw: bool| if draw { b } else { 0 };
+        let mut agg_u_h: Vec<Matrix> = (0..l).map(|_| Matrix::zeros(agg_rows(draw_h), h)).collect();
+        let mut agg_u_c: Vec<Matrix> = (0..l).map(|_| Matrix::zeros(agg_rows(draw_c), h)).collect();
+        let res_rows = |on: bool| if on { b } else { 0 };
+        let mut z1s: Vec<Matrix> = (0..l)
+            .map(|_| Matrix::zeros(res_rows(resgen_on), n_z1))
+            .collect();
+        let mut epss: Vec<Matrix> = (0..l)
+            .map(|_| Matrix::zeros(res_rows(resgen_on), n_ch))
+            .collect();
+
+        for (bi, w) in windows.iter().enumerate() {
+            let own_cells = w.cells.len().max(1);
+            let rng = &mut rngs[bi];
+            // Node phase: z0 and SRNN uniforms for the request's own
+            // cell slots only, j outer and t inner — the order a
+            // single-request forward draws them.
+            for j in 0..own_cells {
+                for t in 0..l {
+                    let feats = if j < w.cells.len() {
+                        w.cells[j][t]
+                    } else {
+                        [0.0, 0.0, 0.0, 0.0, 1.0]
+                    };
+                    let row = (bi * max_cells + j) * in_dim;
+                    xs[t].data[row..row + CELL_FEATS].copy_from_slice(&feats);
+                    for k in 0..n_z0 {
+                        xs[t].data[row + CELL_FEATS + k] = (rng.normal() * 0.1) as f32;
+                    }
+                    if draw_h {
+                        let rh = (bi * max_cells + j) * h;
+                        for v in u_h[t].data[rh..rh + h].iter_mut() {
+                            *v = rng.uniform01() as f32;
+                        }
+                    }
+                    if draw_c {
+                        let rc = (bi * max_cells + j) * h;
+                        for v in u_c[t].data[rc..rc + h].iter_mut() {
+                            *v = rng.uniform01() as f32;
+                        }
+                    }
+                }
+            }
+            // Padded slots: sentinel features, zero z0, neutral uniforms.
+            // Their hidden rows are masked out of the group mean and they
+            // draw nothing from the request's RNG.
+            for j in own_cells..max_cells {
+                for t in 0..l {
+                    let row = (bi * max_cells + j) * in_dim;
+                    xs[t].data[row + CELL_FEATS - 1] = 1.0;
+                    if draw_h {
+                        let rh = (bi * max_cells + j) * h;
+                        for v in u_h[t].data[rh..rh + h].iter_mut() {
+                            *v = 0.5;
+                        }
+                    }
+                    if draw_c {
+                        let rc = (bi * max_cells + j) * h;
+                        for v in u_c[t].data[rc..rc + h].iter_mut() {
+                            *v = 0.5;
+                        }
+                    }
+                }
+            }
+            // Aggregation phase: per-step SRNN uniforms, h then c.
+            for t in 0..l {
+                if draw_h {
+                    let r = bi * h;
+                    for v in agg_u_h[t].data[r..r + h].iter_mut() {
+                        *v = rng.uniform01() as f32;
+                    }
+                }
+                if draw_c {
+                    let r = bi * h;
+                    for v in agg_u_c[t].data[r..r + h].iter_mut() {
+                        *v = rng.uniform01() as f32;
+                    }
+                }
+            }
+            // ResGen phase: per-step z1 then eps.
+            if resgen_on {
+                for t in 0..l {
+                    let rz = bi * n_z1;
+                    for v in z1s[t].data[rz..rz + n_z1].iter_mut() {
+                        *v = rng.normal() as f32;
+                    }
+                    let re = bi * n_ch;
+                    for v in epss[t].data[re..re + n_ch].iter_mut() {
+                        *v = rng.normal() as f32;
+                    }
+                }
+            }
+        }
+
+        // ---- Node + aggregation networks -----------------------------
+        let h_avg_steps = self.node_packed_graph(g, windows, max_cells, xs, &u_h, &u_c);
+        let mut agg_state = LstmNodeState {
+            h: g.input(carry.agg_h.clone()),
+            c: g.input(carry.agg_c.clone()),
+        };
+        let mut base_steps: Vec<NodeId> = Vec::with_capacity(l);
+        for (t, &havg) in h_avg_steps.iter().enumerate() {
+            agg_state = self.agg_lstm.step(g, &self.store, havg, agg_state);
+            if self.cfg.ablation.srnn {
+                agg_state = self.agg_lstm.stochastic_with_noise(
+                    g,
+                    self.cfg.stochastic,
+                    agg_state,
+                    &agg_u_h[t],
+                    &agg_u_c[t],
+                );
+            }
+            base_steps.push(self.head.forward(g, &self.store, agg_state.h));
+        }
+
+        // ---- ResGen, free running ------------------------------------
+        let mut outputs: Vec<NodeId> = Vec::with_capacity(l);
+        let mut res_mu_steps: Vec<NodeId> = Vec::new();
+        let mut res_sigma_steps: Vec<NodeId> = Vec::new();
+        let mut ar_prev: NodeId = g.input(carry.ar_tail.clone());
+        for (t, &base) in base_steps.iter().enumerate() {
+            let out_t = if resgen_on {
+                let mut env = Matrix::zeros(b, ENV_ATTRS);
+                for (bi, w) in windows.iter().enumerate() {
+                    env.data[bi * ENV_ATTRS..(bi + 1) * ENV_ATTRS].copy_from_slice(&w.env[t]);
+                }
+                let env_node = g.input(env);
+                let z1_node = g.input(z1s[t].clone());
+                let cat1 = g.concat_cols(env_node, z1_node);
+                let res_in = g.concat_cols(cat1, ar_prev);
+                let hidden = self.resgen.forward(g, &self.store, res_in);
+                let mu = self.res_mu.forward(g, &self.store, hidden);
+                let sigma_raw = self.res_sigma.forward(g, &self.store, hidden);
+                let sigma_sp = g.softplus(sigma_raw);
+                let sigma = g.offset(sigma_sp, 1e-3);
+                let eps_node = g.input(epss[t].clone());
+                let noise = g.mul(sigma, eps_node);
+                let residual = g.add(mu, noise);
+                res_mu_steps.push(mu);
+                res_sigma_steps.push(sigma);
+                g.add(base, residual)
+            } else {
+                base
+            };
+            outputs.push(out_t);
+            if resgen_on {
+                let out_vals = g.value(out_t).clone();
+                let prev_vals = g.value(ar_prev).clone();
+                let mut next = Matrix::zeros(b, n_ch * m);
+                for bi in 0..b {
+                    for ch in 0..n_ch {
+                        for k in 0..m - 1 {
+                            next.data[bi * n_ch * m + ch * m + k] =
+                                prev_vals.data[bi * n_ch * m + ch * m + k + 1];
+                        }
+                        next.data[bi * n_ch * m + ch * m + m - 1] = out_vals.data[bi * n_ch + ch];
+                    }
+                }
+                ar_prev = g.input(next);
+            }
+        }
+
+        let carry_out = CarryState {
+            agg_h: g.value(agg_state.h).clone(),
+            agg_c: g.value(agg_state.c).clone(),
+            ar_tail: g.value(ar_prev).clone(),
+        };
+        ForwardOut {
+            outputs,
+            h_avg: h_avg_steps,
+            res_mu: res_mu_steps,
+            res_sigma: res_sigma_steps,
+            carry: carry_out,
+        }
     }
 
     /// GNN-node network, reference per-cell loop: one LSTM pass per cell

@@ -61,7 +61,8 @@ pub use checkpoint::{
 };
 pub use discriminator::Discriminator;
 pub use generate::{
-    generate_series, generation_windows, model_uncertainty, GeneratedSeries, UncertaintyReport,
+    generate_series, generate_series_batch, generation_windows, model_uncertainty, GenBatchItem,
+    GeneratedSeries, UncertaintyReport,
 };
 pub use generator::{ArMode, CarryState, ForwardOut, Generator};
 pub use trainer::{GenDt, StepTrace};

@@ -98,15 +98,34 @@ impl Histogram {
     /// # Panics
     /// Panics if `bins == 0` or `hi <= lo`.
     pub fn new(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        let mut h = Self::empty(lo, hi, bins);
+        for &x in xs {
+            h.push(x);
+        }
+        h
+    }
+
+    /// An empty histogram ready for streaming [`Histogram::push`] calls
+    /// (the serving layer's latency and batch-size accumulators).
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn empty(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(hi > lo, "histogram range is empty");
-        let mut counts = vec![0u64; bins];
-        let w = (hi - lo) / bins as f64;
-        for &x in xs {
-            let idx = (((x - lo) / w).floor() as i64).clamp(0, bins as i64 - 1) as usize;
-            counts[idx] += 1;
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0u64; bins],
         }
-        Histogram { lo, hi, counts }
+    }
+
+    /// Record one observation (out-of-range values clamp to edge bins).
+    pub fn push(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let w = (self.hi - self.lo) / bins as f64;
+        let idx = (((x - self.lo) / w).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
     }
 
     /// Total count.
@@ -129,6 +148,76 @@ impl Histogram {
         (0..self.counts.len())
             .map(|i| self.lo + (i as f64 + 0.5) * w)
             .collect()
+    }
+
+    /// Streaming quantile estimate: locate the bin holding the `q`-th
+    /// observation and interpolate linearly within it (the classic
+    /// grouped-data quantile). Accuracy is bounded by the bin width —
+    /// the exact path for raw samples is [`quantile_sorted`].
+    ///
+    /// Returns `f64::NAN` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        // Rank of the wanted observation in [0, n].
+        let rank = q * n as f64;
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let upto = below + c;
+            if rank <= upto as f64 {
+                let within = (rank - below as f64) / c as f64;
+                return self.lo + (i as f64 + within.clamp(0.0, 1.0)) * w;
+            }
+            below = upto;
+        }
+        self.hi
+    }
+}
+
+/// The latency summary triple the serving layer reports: median and the
+/// two tail quantiles operators alarm on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Quantiles {
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Quantiles {
+    /// Streaming estimate from a binned [`Histogram`] (accuracy bounded
+    /// by the bin width). NaN triple for an empty histogram.
+    pub fn from_histogram(h: &Histogram) -> Quantiles {
+        Quantiles {
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+        }
+    }
+
+    /// Exact quantiles of raw samples: sorts a copy and interpolates via
+    /// [`quantile_sorted`].
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty.
+    pub fn from_samples(xs: &[f64]) -> Quantiles {
+        assert!(!xs.is_empty(), "quantiles of an empty sample");
+        let mut v = xs.to_vec();
+        v.sort_by(|p, q| p.partial_cmp(q).unwrap_or(std::cmp::Ordering::Equal));
+        Quantiles {
+            p50: quantile_sorted(&v, 0.50),
+            p95: quantile_sorted(&v, 0.95),
+            p99: quantile_sorted(&v, 0.99),
+        }
     }
 }
 
@@ -328,6 +417,69 @@ mod tests {
         assert!((p[0] - 0.6).abs() < 1e-12);
         assert_eq!(h.total(), 5);
         assert_eq!(h.centers(), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn histogram_push_matches_batch_constructor() {
+        let xs = [0.1, 0.2, 0.9, 1.5, -4.0, 0.55];
+        let batch = Histogram::new(&xs, 0.0, 1.0, 4);
+        let mut streamed = Histogram::empty(0.0, 1.0, 4);
+        for &x in &xs {
+            streamed.push(x);
+        }
+        assert_eq!(batch.counts, streamed.counts);
+    }
+
+    #[test]
+    fn histogram_quantile_tracks_exact_within_bin_width() {
+        // 10k uniform-ish samples over [0, 100): with 100 bins the
+        // streaming estimate must sit within one bin width of the exact
+        // sorted-sample quantile.
+        let xs: Vec<f64> = (0..10_000).map(|i| (i % 1000) as f64 / 10.0).collect();
+        let h = Histogram::new(&xs, 0.0, 100.0, 100);
+        let stream = Quantiles::from_histogram(&h);
+        let exact = Quantiles::from_samples(&xs);
+        let bin_w = 1.0;
+        assert!(
+            (stream.p50 - exact.p50).abs() <= bin_w,
+            "{stream:?} vs {exact:?}"
+        );
+        assert!(
+            (stream.p95 - exact.p95).abs() <= bin_w,
+            "{stream:?} vs {exact:?}"
+        );
+        assert!(
+            (stream.p99 - exact.p99).abs() <= bin_w,
+            "{stream:?} vs {exact:?}"
+        );
+    }
+
+    #[test]
+    fn histogram_quantile_orders_and_bounds() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64 * 0.731).sin() * 50.0).collect();
+        let h = Histogram::new(&xs, -50.0, 50.0, 64);
+        let q = Quantiles::from_histogram(&h);
+        assert!(q.p50 <= q.p95 && q.p95 <= q.p99, "{q:?} not monotone");
+        assert!(q.p50 >= -50.0 && q.p99 <= 50.0);
+        assert!(h.quantile(0.0) >= -50.0);
+        assert!(h.quantile(1.0) <= 50.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_nan() {
+        let h = Histogram::empty(0.0, 1.0, 8);
+        assert!(h.quantile(0.5).is_nan());
+        assert!(Quantiles::from_histogram(&h).p99.is_nan());
+    }
+
+    #[test]
+    fn from_samples_known_values() {
+        // 1..=100: p50 interpolates to 50.5, p95 to 95.05, p99 to 99.01.
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let q = Quantiles::from_samples(&xs);
+        assert!((q.p50 - 50.5).abs() < 1e-9, "p50 {}", q.p50);
+        assert!((q.p95 - 95.05).abs() < 1e-9, "p95 {}", q.p95);
+        assert!((q.p99 - 99.01).abs() < 1e-9, "p99 {}", q.p99);
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub enum CheckpointError {
     Json(serde_json::Error),
     /// A parameter in the store has no entry in the checkpoint.
     MissingParam(String),
+    /// The file is not a recognizable checkpoint (bad magic, unsupported
+    /// format version, or a truncated/foreign body).
+    Format(String),
     /// Checkpoint entry shape does not match the store's parameter.
     ShapeMismatch {
         /// Parameter name.
@@ -44,6 +47,7 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             CheckpointError::Json(e) => write!(f, "checkpoint JSON error: {e}"),
+            CheckpointError::Format(msg) => write!(f, "checkpoint format error: {msg}"),
             CheckpointError::MissingParam(n) => write!(f, "checkpoint missing parameter {n:?}"),
             CheckpointError::ShapeMismatch {
                 name,

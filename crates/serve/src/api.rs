@@ -1,0 +1,97 @@
+//! Wire types for the HTTP API.
+//!
+//! Requests describe a trajectory *specification* (scenario, duration,
+//! start point, seed) rather than shipping raw coordinates: the server
+//! owns the world model, so a short JSON body fully determines the
+//! context — and, with the explicit `sample_seed`, the entire response.
+
+use gendt::GeneratedSeries;
+use gendt_geo::trajectory::Scenario;
+use serde::{Deserialize, Serialize};
+
+/// Body of `POST /generate`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GenerateRequest {
+    /// Registry name of the model to generate with.
+    pub model: String,
+    /// Trajectory scenario: `walk`, `bus`, `tram`, `city_drive`, or
+    /// `highway`.
+    pub scenario: String,
+    /// Trajectory duration in seconds.
+    pub duration_s: f64,
+    /// Trajectory start, meters east of the world origin.
+    pub start_x: f64,
+    /// Trajectory start, meters north of the world origin.
+    pub start_y: f64,
+    /// Trajectory synthesis seed.
+    pub traj_seed: u64,
+    /// Generation sample seed: the response is bitwise-reproducible
+    /// given the same model, trajectory specification, and this seed.
+    pub sample_seed: u64,
+}
+
+/// Body of a successful `POST /generate` response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GenerateResponse {
+    /// The model that served the request.
+    pub model: String,
+    /// The generated multi-KPI series, physical units.
+    pub series: GeneratedSeries,
+}
+
+/// Body of `GET /models` and of a successful `POST /reload` response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelsResponse {
+    /// Registry model names, sorted.
+    pub models: Vec<String>,
+}
+
+/// Body of any error response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Human-readable description of what went wrong.
+    pub error: String,
+}
+
+/// Parse the wire scenario name.
+pub fn parse_scenario(s: &str) -> Option<Scenario> {
+    match s {
+        "walk" => Some(Scenario::Walk),
+        "bus" => Some(Scenario::Bus),
+        "tram" => Some(Scenario::Tram),
+        "city_drive" => Some(Scenario::CityDrive),
+        "highway" => Some(Scenario::Highway),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_json_roundtrip() {
+        let req = GenerateRequest {
+            model: "paper_a".to_string(),
+            scenario: "walk".to_string(),
+            duration_s: 120.0,
+            start_x: 10.5,
+            start_y: -3.25,
+            traj_seed: 7,
+            sample_seed: 99,
+        };
+        let json = serde_json::to_string(&req).expect("serialize");
+        let back: GenerateRequest = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.model, req.model);
+        assert_eq!(back.sample_seed, req.sample_seed);
+        assert_eq!(back.start_y, req.start_y);
+    }
+
+    #[test]
+    fn scenario_names_cover_all_variants() {
+        for name in ["walk", "bus", "tram", "city_drive", "highway"] {
+            assert!(parse_scenario(name).is_some(), "unknown scenario {name}");
+        }
+        assert!(parse_scenario("teleport").is_none());
+    }
+}

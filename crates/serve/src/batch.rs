@@ -1,0 +1,37 @@
+//! Batched generation execution: the pure compute step the scheduler
+//! hands coalesced requests to.
+//!
+//! This module feeds generation and must stay deterministic: no clocks,
+//! no ambient randomness — every output is a function of (model,
+//! context, seed) alone, which is what makes a batched response
+//! bitwise-equal to its single-request counterpart.
+
+use crate::registry::ModelEntry;
+use gendt::{generate_series_batch, GenBatchItem, GeneratedSeries};
+use gendt_data::context::RunContext;
+use std::sync::Arc;
+
+/// One queued generation job: the model pinned at dispatch time, the
+/// extracted context, and the request's explicit sample seed.
+pub struct GenJob {
+    /// Model entry the request resolved; pinned so a `/reload` cannot
+    /// swap the model out from under a queued request.
+    pub entry: Arc<ModelEntry>,
+    /// Extracted trajectory context (possibly shared via the cache).
+    pub ctx: Arc<RunContext>,
+    /// Generation sample seed from the request.
+    pub sample_seed: u64,
+}
+
+/// Run one coalesced batch against a single model. Jobs must all carry
+/// the same `entry` the caller grouped by; results align with `jobs`.
+pub fn run_batch(entry: &ModelEntry, jobs: &[GenJob]) -> Vec<GeneratedSeries> {
+    let items: Vec<GenBatchItem> = jobs
+        .iter()
+        .map(|j| GenBatchItem {
+            ctx: &j.ctx,
+            seed: j.sample_seed,
+        })
+        .collect();
+    generate_series_batch(&entry.model, &entry.kpis, &items)
+}

@@ -1,0 +1,272 @@
+//! `gendt-loadgen` — drive a `gendt-serve` instance at fixed concurrency
+//! and report serving latency/throughput.
+//!
+//! ```text
+//! gendt-loadgen [--addr HOST:PORT] [--concurrency N] [--requests N]
+//!               [--out PATH] [--quick] [--smoke]
+//! ```
+//!
+//! Without `--addr`, an in-process server is stood up against a freshly
+//! trained demo checkpoint — this is what CI uses, so the gate needs no
+//! external binaries (no curl in the container). `--quick` shrinks the
+//! run for CI; `--smoke` only checks one request plus a `/metrics`
+//! scrape and a clean shutdown. Results (p50/p95/p99 latency,
+//! throughput, batch occupancy) land in `BENCH_serve.json`.
+
+#![forbid(unsafe_code)]
+
+use gendt_serve::api::{GenerateRequest, GenerateResponse};
+use gendt_serve::http::http_request;
+use gendt_serve::scheduler::SchedCfg;
+use gendt_serve::{serve, ServerCfg, ServerHandle};
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchOut {
+    requests: usize,
+    concurrency: usize,
+    ok: u64,
+    rejected: u64,
+    failed: u64,
+    wall_s: f64,
+    throughput_rps: f64,
+    latency_ms: gendt_metrics::Quantiles,
+    batch_occupancy: f64,
+    batches: u64,
+}
+
+struct Opts {
+    addr: Option<String>,
+    concurrency: usize,
+    requests: usize,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut o = Opts {
+        addr: None,
+        concurrency: 8,
+        requests: 64,
+        out: "BENCH_serve.json".to_string(),
+        smoke: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => o.addr = Some(it.next().ok_or("--addr needs a value")?.clone()),
+            "--concurrency" => {
+                o.concurrency = it
+                    .next()
+                    .ok_or("--concurrency needs a value")?
+                    .parse()
+                    .map_err(|_| "--concurrency: bad value")?
+            }
+            "--requests" => {
+                o.requests = it
+                    .next()
+                    .ok_or("--requests needs a value")?
+                    .parse()
+                    .map_err(|_| "--requests: bad value")?
+            }
+            "--out" => o.out = it.next().ok_or("--out needs a value")?.clone(),
+            "--quick" => {
+                o.concurrency = 4;
+                o.requests = 16;
+            }
+            "--smoke" => o.smoke = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(o)
+}
+
+/// Stand up an in-process server over a demo checkpoint.
+fn inprocess_server() -> Result<ServerHandle, String> {
+    let dir = std::env::temp_dir().join("gendt-loadgen-models");
+    let ckpt = dir.join("demo_a.json");
+    if !ckpt.exists() {
+        eprintln!("training demo checkpoint at {} ...", ckpt.display());
+        gendt_serve::demo::write_demo_model(&ckpt, 1)?;
+    }
+    let cfg = ServerCfg {
+        sched: SchedCfg {
+            max_batch: 8,
+            max_wait_ms: 4,
+            queue_cap: 256,
+        },
+        ..ServerCfg::new(dir)
+    };
+    serve(cfg)
+}
+
+fn request_body(i: usize) -> String {
+    let req = GenerateRequest {
+        model: "demo_a".to_string(),
+        scenario: "walk".to_string(),
+        duration_s: 40.0,
+        start_x: 0.0,
+        start_y: 0.0,
+        // A handful of distinct routes: exercises both the context
+        // cache (repeats) and batched heterogeneity (distinct).
+        traj_seed: (i % 4) as u64,
+        sample_seed: i as u64,
+    };
+    serde_json::to_string(&req).unwrap_or_default()
+}
+
+fn scrape_counter(metrics_text: &str, name: &str) -> Option<f64> {
+    metrics_text
+        .lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn smoke(addr: &str) -> Result<(), String> {
+    let (status, body) = http_request(addr, "POST", "/generate", Some(&request_body(0)))
+        .map_err(|e| format!("generate: {e}"))?;
+    if status != 200 {
+        return Err(format!("generate returned {status}: {body}"));
+    }
+    let resp: GenerateResponse =
+        serde_json::from_str(&body).map_err(|e| format!("bad generate body: {e}"))?;
+    if resp.series.is_empty() {
+        return Err("generate returned an empty series".to_string());
+    }
+    let (status, text) =
+        http_request(addr, "GET", "/metrics", None).map_err(|e| format!("metrics: {e}"))?;
+    if status != 200 || !text.contains("gendt_serve_http_requests_total") {
+        return Err(format!("metrics scrape failed ({status})"));
+    }
+    println!(
+        "serve smoke OK: 1 request, {} KPI channels",
+        resp.series.kpis.len()
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_opts()?;
+    let (addr, handle) = match &opts.addr {
+        Some(a) => (a.clone(), None),
+        None => {
+            let h = inprocess_server()?;
+            (h.addr.to_string(), Some(h))
+        }
+    };
+
+    let result = if opts.smoke {
+        smoke(&addr)
+    } else {
+        drive(&addr, &opts)
+    };
+
+    if let Some(h) = handle {
+        h.shutdown();
+    }
+    result
+}
+
+fn drive(addr: &str, opts: &Opts) -> Result<(), String> {
+    let next = AtomicUsize::new(0);
+    let ok = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(opts.requests));
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..opts.concurrency.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= opts.requests {
+                    return;
+                }
+                let body = request_body(i);
+                let t0 = Instant::now();
+                match http_request(addr, "POST", "/generate", Some(&body)) {
+                    Ok((200, _)) => {
+                        let ms = t0.elapsed().as_secs_f64() * 1000.0;
+                        ok.fetch_add(1, Ordering::Relaxed);
+                        latencies
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .push(ms);
+                    }
+                    Ok((429, _)) => {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok((_, _)) | Err(_) => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let samples = latencies
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    if samples.is_empty() {
+        return Err("no request succeeded".to_string());
+    }
+    let (text_status, metrics_text) =
+        http_request(addr, "GET", "/metrics", None).map_err(|e| format!("metrics: {e}"))?;
+    if text_status != 200 {
+        return Err(format!("metrics scrape failed ({text_status})"));
+    }
+    let batched =
+        scrape_counter(&metrics_text, "gendt_serve_batched_requests_total").unwrap_or(0.0);
+    let batches = scrape_counter(&metrics_text, "gendt_serve_batches_total").unwrap_or(0.0);
+    let occupancy = if batches > 0.0 {
+        batched / batches
+    } else {
+        0.0
+    };
+
+    let out = BenchOut {
+        requests: opts.requests,
+        concurrency: opts.concurrency,
+        ok: ok.load(Ordering::Relaxed),
+        rejected: rejected.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
+        wall_s,
+        throughput_rps: ok.load(Ordering::Relaxed) as f64 / wall_s.max(1e-9),
+        latency_ms: gendt_metrics::Quantiles::from_samples(&samples),
+        batch_occupancy: occupancy,
+        batches: batches as u64,
+    };
+    let json = serde_json::to_string(&out).map_err(|e| format!("encoding results: {e}"))?;
+    std::fs::write(&opts.out, &json).map_err(|e| format!("writing {}: {e}", opts.out))?;
+    println!(
+        "loadgen: {} ok / {} rejected / {} failed in {:.2}s ({:.1} req/s), p50={:.1}ms p95={:.1}ms p99={:.1}ms, batch occupancy {:.2}",
+        out.ok,
+        out.rejected,
+        out.failed,
+        out.wall_s,
+        out.throughput_rps,
+        out.latency_ms.p50,
+        out.latency_ms.p95,
+        out.latency_ms.p99,
+        out.batch_occupancy,
+    );
+    println!("wrote {}", opts.out);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gendt-loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

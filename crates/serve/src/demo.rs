@@ -1,0 +1,59 @@
+//! Demo checkpoint for quickstarts, smoke tests, and the load generator:
+//! a small Dataset-A model trained just far enough to produce sane KPIs,
+//! in seconds, with no external data.
+
+use gendt::checkpoint::save_model_to_file;
+use gendt::{GenDt, GenDtCfg};
+use gendt_data::builders::{dataset_a, BuildCfg};
+use gendt_data::kpi_types::Kpi;
+use std::path::Path;
+
+/// Train the demo model: a reduced-size 4-channel (Dataset A) GenDT on
+/// the quick synthetic build. Deterministic for a given seed.
+pub fn demo_model(seed: u64) -> GenDt {
+    let mut cfg = GenDtCfg::fast(4, seed);
+    cfg.hidden = 8;
+    cfg.resgen_hidden = 8;
+    cfg.disc_hidden = 6;
+    cfg.window.len = 10;
+    cfg.window.stride = 10;
+    cfg.window.max_cells = 3;
+    cfg.steps = 4;
+    cfg.batch_size = 4;
+    let ds = dataset_a(&BuildCfg::quick(seed.wrapping_add(1)));
+    let mut pool = Vec::new();
+    for run in &ds.runs {
+        let ctx = gendt_data::context::extract(
+            &ds.world,
+            &ds.deployment,
+            &run.traj,
+            &gendt_data::context::ContextCfg {
+                max_cells: cfg.window.max_cells,
+                ..gendt_data::context::ContextCfg::default()
+            },
+        );
+        pool.extend(gendt_data::windows::windows(
+            run,
+            &ctx,
+            &Kpi::DATASET_A,
+            &cfg.window,
+        ));
+        if pool.len() >= 32 {
+            break;
+        }
+    }
+    let mut model = GenDt::new(cfg);
+    model.train(&pool);
+    model
+}
+
+/// Train the demo model and write its checkpoint to `path`.
+pub fn write_demo_model(path: &Path, seed: u64) -> Result<(), String> {
+    let model = demo_model(seed);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        }
+    }
+    save_model_to_file(&model, path).map_err(|e| format!("saving {}: {e}", path.display()))
+}

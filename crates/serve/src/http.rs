@@ -1,0 +1,193 @@
+//! Minimal HTTP/1.1 request parsing and response writing over
+//! `std::net::TcpStream` — just enough of the protocol for this
+//! service's `Connection: close` request/response exchanges, with hard
+//! caps on header and body size so a misbehaving client cannot balloon
+//! memory.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted header block, bytes.
+const MAX_HEADER: usize = 16 * 1024;
+/// Largest accepted body, bytes.
+const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed request: method, path, and raw body.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, query string included.
+    pub path: String,
+    /// Raw request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket failure mid-read.
+    Io(std::io::Error),
+    /// The bytes on the wire were not a parseable HTTP/1.1 request.
+    Malformed(String),
+    /// The request exceeded a size cap.
+    TooLarge(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+        }
+    }
+}
+
+/// Read one HTTP/1.1 request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    // Read until the end of the header block.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER {
+            return Err(HttpError::TooLarge(format!(
+                "header block exceeds {MAX_HEADER} bytes"
+            )));
+        }
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before end of headers".to_string(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let header_text = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = header_text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".to_string()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".to_string()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing path".to_string()))?
+        .to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    HttpError::Malformed(format!("bad content-length {:?}", value.trim()))
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds {MAX_BODY}"
+        )));
+    }
+
+    // Body: whatever arrived past the header block, then the remainder.
+    let mut body: Vec<u8> = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed mid-body".to_string(),
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request { method, path, body })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Write a complete response and flush. Always `Connection: close`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Shorthand for a JSON response.
+pub fn write_json(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    json: &str,
+) -> std::io::Result<()> {
+    write_response(stream, status, reason, "application/json", json.as_bytes())
+}
+
+/// Blocking one-shot HTTP client for tools and tests: send `method
+/// path` with an optional JSON body, return `(status, body)`.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), HttpError> {
+    let mut stream = TcpStream::connect(addr).map_err(HttpError::Io)?;
+    let body_bytes = body.unwrap_or("").as_bytes();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body_bytes.len()
+    );
+    stream.write_all(head.as_bytes()).map_err(HttpError::Io)?;
+    stream.write_all(body_bytes).map_err(HttpError::Io)?;
+    stream.flush().map_err(HttpError::Io)?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(HttpError::Io)?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| HttpError::Malformed("no header/body separator in response".to_string()))?;
+    let status_line = head
+        .lines()
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty response".to_string()))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line {status_line:?}")))?;
+    Ok((status, payload.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+}

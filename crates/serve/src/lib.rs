@@ -1,0 +1,41 @@
+//! Online generation service for GenDT models.
+//!
+//! The ROADMAP's north star is a system that serves drive-test KPIs to
+//! live consumers, not just batch binaries. This crate stands up that
+//! serving path with **no dependencies beyond the workspace** (the build
+//! container is offline): a threaded HTTP/1.1 server over
+//! `std::net::TcpListener` with
+//!
+//! * a [micro-batching scheduler](scheduler) that coalesces concurrent
+//!   `/generate` requests for the same model into one batched forward
+//!   pass over `gendt::generate_series_batch`, with a bounded queue that
+//!   sheds load (HTTP 429) instead of collapsing;
+//! * a [checkpoint registry](registry) loading named models from a
+//!   directory, hot-swappable via `/reload` without dropping in-flight
+//!   requests;
+//! * a [context cache](cache) so repeated trajectories skip
+//!   `gendt_data::extract`;
+//! * a `/metrics` endpoint in Prometheus text format built on
+//!   `gendt_metrics::Histogram`.
+//!
+//! Determinism is preserved end to end: a request carries an explicit
+//! sample seed, and a batched response is bitwise-equal to a direct
+//! `generate_series` call with the same seed (each request keeps its own
+//! RNG stream inside the batch — see `Generator::forward_gen_batch`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod batch;
+pub mod cache;
+pub mod demo;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod scheduler;
+pub mod server;
+
+pub use api::{ErrorResponse, GenerateRequest, GenerateResponse, ModelsResponse};
+pub use registry::{ModelEntry, Registry};
+pub use server::{serve, ServerCfg, ServerHandle};

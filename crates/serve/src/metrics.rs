@@ -1,0 +1,205 @@
+//! Serving metrics and their Prometheus text rendering.
+//!
+//! Counters are lock-free atomics on the request path; the latency and
+//! batch-size distributions stream into `gendt_metrics::Histogram`
+//! behind short-lived mutexes and render as quantile summaries via
+//! `gendt_metrics::Quantiles`.
+
+use gendt_metrics::{Histogram, Quantiles};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Shared serving metrics.
+pub struct ServeMetrics {
+    /// Requests received, any endpoint.
+    pub http_requests: AtomicU64,
+    /// `/generate` requests answered 200.
+    pub generate_ok: AtomicU64,
+    /// `/generate` requests shed with 429 (queue full).
+    pub generate_rejected: AtomicU64,
+    /// `/generate` requests failed with 4xx/5xx other than 429.
+    pub generate_failed: AtomicU64,
+    /// Jobs currently queued in the scheduler.
+    pub queue_depth: AtomicU64,
+    /// Total requests that went through a batched forward pass.
+    pub batched_requests: AtomicU64,
+    /// Total batched forward passes.
+    pub batches: AtomicU64,
+    latency_ms: Mutex<Histogram>,
+    batch_size: Mutex<Histogram>,
+}
+
+impl ServeMetrics {
+    /// Fresh metrics. `max_batch` sizes the batch-occupancy histogram.
+    pub fn new(max_batch: usize) -> ServeMetrics {
+        ServeMetrics {
+            http_requests: AtomicU64::new(0),
+            generate_ok: AtomicU64::new(0),
+            generate_rejected: AtomicU64::new(0),
+            generate_failed: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            // 0..10s in 25ms bins: generation latencies land well inside.
+            latency_ms: Mutex::new(Histogram::empty(0.0, 10_000.0, 400)),
+            batch_size: Mutex::new(Histogram::empty(0.0, max_batch.max(1) as f64 + 1.0, {
+                max_batch.max(1) + 1
+            })),
+        }
+    }
+
+    /// Record one `/generate` end-to-end latency, milliseconds.
+    pub fn observe_latency_ms(&self, ms: f64) {
+        self.latency_ms
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(ms);
+    }
+
+    /// Record one executed batch of `n` coalesced requests.
+    pub fn observe_batch(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(n as u64, Ordering::Relaxed);
+        self.batch_size
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(n as f64);
+    }
+
+    /// Render the Prometheus text exposition for `/metrics`.
+    pub fn render(&self, models_live: usize, cache_hits: u64, cache_misses: u64) -> String {
+        let mut out = String::with_capacity(2048);
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+            ));
+        };
+        counter(
+            &mut out,
+            "gendt_serve_http_requests_total",
+            "Requests received, any endpoint.",
+            self.http_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_serve_generate_ok_total",
+            "Generate requests answered 200.",
+            self.generate_ok.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_serve_generate_rejected_total",
+            "Generate requests shed with 429.",
+            self.generate_rejected.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_serve_generate_failed_total",
+            "Generate requests failed (non-429 errors).",
+            self.generate_failed.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "gendt_serve_queue_depth",
+            "Jobs currently queued in the scheduler.",
+            self.queue_depth.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "gendt_serve_models_live",
+            "Models currently loaded in the registry.",
+            models_live as u64,
+        );
+        counter(
+            &mut out,
+            "gendt_serve_context_cache_hits_total",
+            "Context cache hits.",
+            cache_hits,
+        );
+        counter(
+            &mut out,
+            "gendt_serve_context_cache_misses_total",
+            "Context cache misses.",
+            cache_misses,
+        );
+        counter(
+            &mut out,
+            "gendt_serve_batched_requests_total",
+            "Requests that went through a batched forward pass.",
+            self.batched_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_serve_batches_total",
+            "Batched forward passes executed.",
+            self.batches.load(Ordering::Relaxed),
+        );
+        {
+            let lat = self
+                .latency_ms
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            render_summary(
+                &mut out,
+                "gendt_serve_latency_ms",
+                "Generate end-to-end latency, milliseconds.",
+                &lat,
+            );
+        }
+        {
+            let bs = self
+                .batch_size
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            render_summary(
+                &mut out,
+                "gendt_serve_batch_size",
+                "Coalesced requests per batched forward pass.",
+                &bs,
+            );
+        }
+        out
+    }
+}
+
+fn render_summary(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    let n = h.total();
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
+    if n > 0 {
+        let q = Quantiles::from_histogram(h);
+        out.push_str(&format!("{name}{{quantile=\"0.5\"}} {}\n", q.p50));
+        out.push_str(&format!("{name}{{quantile=\"0.95\"}} {}\n", q.p95));
+        out.push_str(&format!("{name}{{quantile=\"0.99\"}} {}\n", q.p99));
+    }
+    out.push_str(&format!("{name}_count {n}\n"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_core_series() {
+        let m = ServeMetrics::new(8);
+        m.http_requests.fetch_add(3, Ordering::Relaxed);
+        m.observe_latency_ms(12.0);
+        m.observe_batch(4);
+        let text = m.render(2, 5, 7);
+        for needle in [
+            "gendt_serve_http_requests_total 3",
+            "gendt_serve_models_live 2",
+            "gendt_serve_context_cache_hits_total 5",
+            "gendt_serve_latency_ms_count 1",
+            "gendt_serve_batch_size_count 1",
+            "gendt_serve_batched_requests_total 4",
+            "gendt_serve_batches_total 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

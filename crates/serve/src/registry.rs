@@ -1,0 +1,144 @@
+//! Checkpoint registry: named models loaded from a directory, with
+//! atomic hot-swap.
+//!
+//! Every `*.json` file in the model directory becomes one entry named by
+//! its file stem. The live set is an `Arc`-swapped immutable map, so
+//! `/reload` replaces the whole set in one store while in-flight
+//! requests keep generating against the `Arc<ModelEntry>` they resolved
+//! at dispatch time — a request never observes a half-swapped model.
+
+use gendt::checkpoint::load_model_from_file;
+use gendt::trainer::GenDt;
+use gendt_data::kpi_types::Kpi;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+/// One loaded model plus everything a request needs to generate with it.
+pub struct ModelEntry {
+    /// Registry name (checkpoint file stem).
+    pub name: String,
+    /// The loaded model.
+    pub model: GenDt,
+    /// KPI channels, inferred from the model's channel count.
+    pub kpis: Vec<Kpi>,
+}
+
+type ModelMap = BTreeMap<String, Arc<ModelEntry>>;
+
+/// The registry: a directory plus the currently live model set.
+pub struct Registry {
+    dir: PathBuf,
+    current: RwLock<Arc<ModelMap>>,
+}
+
+/// The checkpoint does not record its KPI list, so infer it from the
+/// channel count — the two dataset layouts of the paper.
+fn infer_kpis(n_ch: usize) -> Result<Vec<Kpi>, String> {
+    match n_ch {
+        4 => Ok(Kpi::DATASET_A.to_vec()),
+        2 => Ok(Kpi::DATASET_B.to_vec()),
+        other => Err(format!(
+            "cannot infer KPI list for a {other}-channel model (expected 4 or 2)"
+        )),
+    }
+}
+
+fn scan_dir(dir: &Path) -> Result<ModelMap, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut map = ModelMap::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        // Skip benchmark/result JSON that happens to share the directory.
+        if stem.starts_with("BENCH_") || stem.starts_with("RESULTS") {
+            continue;
+        }
+        let model =
+            load_model_from_file(&path).map_err(|e| format!("loading {}: {e}", path.display()))?;
+        let kpis =
+            infer_kpis(model.cfg().n_ch).map_err(|e| format!("loading {}: {e}", path.display()))?;
+        map.insert(
+            stem.to_string(),
+            Arc::new(ModelEntry {
+                name: stem.to_string(),
+                model,
+                kpis,
+            }),
+        );
+    }
+    if map.is_empty() {
+        return Err(format!("no model checkpoints found in {}", dir.display()));
+    }
+    Ok(map)
+}
+
+impl Registry {
+    /// Load every checkpoint in `dir`. Fails if the directory holds no
+    /// loadable model — an empty registry cannot serve anything.
+    pub fn load(dir: &Path) -> Result<Registry, String> {
+        let map = scan_dir(dir)?;
+        Ok(Registry {
+            dir: dir.to_path_buf(),
+            current: RwLock::new(Arc::new(map)),
+        })
+    }
+
+    /// Rescan the directory and atomically swap in the new model set.
+    /// On any load failure the previous set stays live — a bad deploy
+    /// never takes down serving.
+    pub fn reload(&self) -> Result<usize, String> {
+        let map = scan_dir(&self.dir)?;
+        let n = map.len();
+        let mut cur = self
+            .current
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *cur = Arc::new(map);
+        Ok(n)
+    }
+
+    /// Resolve a model by name. The returned `Arc` stays valid across
+    /// reloads, pinning the exact model version a request started with.
+    pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
+        let cur = self
+            .current
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        cur.get(name).cloned()
+    }
+
+    /// Sorted model names currently live.
+    pub fn names(&self) -> Vec<String> {
+        let cur = self
+            .current
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        cur.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kpi_inference_matches_dataset_layouts() {
+        assert_eq!(infer_kpis(4).as_deref(), Ok(&Kpi::DATASET_A[..]));
+        assert_eq!(infer_kpis(2).as_deref(), Ok(&Kpi::DATASET_B[..]));
+        assert!(infer_kpis(3).is_err());
+    }
+
+    #[test]
+    fn missing_dir_is_a_load_error() {
+        let err = Registry::load(Path::new("/nonexistent/gendt-models"));
+        assert!(err.is_err());
+    }
+}

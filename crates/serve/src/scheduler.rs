@@ -1,0 +1,205 @@
+//! Micro-batching scheduler.
+//!
+//! `/generate` handlers submit jobs into a bounded queue; a worker
+//! thread pops the oldest job and coalesces every queued job for the
+//! *same model instance* into one batched forward pass, waiting up to
+//! `max_wait_ms` for the batch to fill. Batching keys on the
+//! `Arc<ModelEntry>` identity rather than the model name, so jobs
+//! resolved before and after a `/reload` never share a batch — each
+//! request is served bitwise-exactly by the model version it resolved.
+//!
+//! When the queue is full, `submit` fails fast and the server answers
+//! 429: shedding load beats collapsing under it.
+
+use crate::batch::{run_batch, GenJob};
+use crate::metrics::ServeMetrics;
+use gendt::GeneratedSeries;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Scheduler tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedCfg {
+    /// Most requests coalesced into one forward pass.
+    pub max_batch: usize,
+    /// How long the worker waits for a batch to fill, milliseconds.
+    pub max_wait_ms: u64,
+    /// Bounded queue capacity; submits beyond it are rejected.
+    pub queue_cap: usize,
+}
+
+impl Default for SchedCfg {
+    fn default() -> Self {
+        SchedCfg {
+            max_batch: 8,
+            max_wait_ms: 5,
+            queue_cap: 64,
+        }
+    }
+}
+
+/// Why a job was not accepted.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — answer 429.
+    QueueFull,
+    /// The scheduler is shutting down.
+    ShuttingDown,
+}
+
+/// A generation result delivered back to the waiting handler.
+pub type JobResult = Result<GeneratedSeries, String>;
+
+struct Pending {
+    job: GenJob,
+    reply: mpsc::Sender<JobResult>,
+}
+
+/// The shared scheduler state.
+pub struct Scheduler {
+    cfg: SchedCfg,
+    queue: Mutex<VecDeque<Pending>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    metrics: Arc<ServeMetrics>,
+}
+
+impl Scheduler {
+    /// New scheduler publishing queue/batch stats into `metrics`.
+    pub fn new(cfg: SchedCfg, metrics: Arc<ServeMetrics>) -> Scheduler {
+        Scheduler {
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            metrics,
+        }
+    }
+
+    /// Enqueue a job. Returns the receiver the caller blocks on, or an
+    /// error when the queue is full (shed load) or shutting down.
+    pub fn submit(&self, job: GenJob) -> Result<mpsc::Receiver<JobResult>, SubmitError> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let mut q = self
+            .queue
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if q.len() >= self.cfg.queue_cap {
+            return Err(SubmitError::QueueFull);
+        }
+        let (tx, rx) = mpsc::channel();
+        q.push_back(Pending { job, reply: tx });
+        self.metrics
+            .queue_depth
+            .store(q.len() as u64, Ordering::Relaxed);
+        drop(q);
+        self.cv.notify_one();
+        Ok(rx)
+    }
+
+    /// Worker loop: pop, coalesce, execute, reply. Runs until
+    /// [`Scheduler::stop`] and an empty queue.
+    pub fn run_worker(&self) {
+        loop {
+            let batch = match self.next_batch() {
+                Some(b) => b,
+                None => return,
+            };
+            let n = batch.len();
+            let entry = batch[0].job.entry.clone();
+            let jobs: Vec<&GenJob> = batch.iter().map(|p| &p.job).collect();
+            // A panic inside generation (e.g. a sanitizer trip) must not
+            // kill the worker: convert it into per-request errors.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let owned: Vec<GenJob> = jobs
+                    .iter()
+                    .map(|j| GenJob {
+                        entry: j.entry.clone(),
+                        ctx: j.ctx.clone(),
+                        sample_seed: j.sample_seed,
+                    })
+                    .collect();
+                run_batch(&entry, &owned)
+            }));
+            self.metrics.observe_batch(n);
+            match result {
+                Ok(series) => {
+                    for (pending, out) in batch.into_iter().zip(series) {
+                        let _ = pending.reply.send(Ok(out));
+                    }
+                }
+                Err(_) => {
+                    for pending in batch {
+                        let _ = pending
+                            .reply
+                            .send(Err("generation failed (internal panic)".to_string()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Block until at least one job is queued (or shutdown), then
+    /// collect up to `max_batch` jobs for the head job's model, waiting
+    /// up to `max_wait_ms` for stragglers.
+    fn next_batch(&self) -> Option<Vec<Pending>> {
+        let mut q = self
+            .queue
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        loop {
+            if let Some(head) = q.pop_front() {
+                let mut batch = vec![head];
+                let deadline = Instant::now() + Duration::from_millis(self.cfg.max_wait_ms);
+                loop {
+                    // Collect queued jobs for the same model instance.
+                    let mut rest = VecDeque::with_capacity(q.len());
+                    while let Some(p) = q.pop_front() {
+                        if batch.len() < self.cfg.max_batch
+                            && Arc::ptr_eq(&p.job.entry, &batch[0].job.entry)
+                        {
+                            batch.push(p);
+                        } else {
+                            rest.push_back(p);
+                        }
+                    }
+                    *q = rest;
+                    let now = Instant::now();
+                    if batch.len() >= self.cfg.max_batch || now >= deadline {
+                        break;
+                    }
+                    let (guard, _timeout) = self
+                        .cv
+                        .wait_timeout(q, deadline - now)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    q = guard;
+                    if self.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
+                self.metrics
+                    .queue_depth
+                    .store(q.len() as u64, Ordering::Relaxed);
+                return Some(batch);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            let guard = self
+                .cv
+                .wait(q)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            q = guard;
+        }
+    }
+
+    /// Ask workers to exit once the queue drains, and wake them.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+}

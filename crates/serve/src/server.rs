@@ -1,0 +1,407 @@
+//! The HTTP server: accept loop, routing, and the `/generate` handler
+//! wiring registry → cache → scheduler together.
+//!
+//! Threading model: one acceptor thread, one detached thread per
+//! connection (`Connection: close`, so connections are short-lived), and
+//! a configurable number of scheduler workers executing batched forward
+//! passes. Shutdown is cooperative — `POST /shutdown` (or
+//! [`ServerHandle::shutdown`]) raises a flag, wakes the acceptor with a
+//! self-connection, and lets workers drain.
+
+use crate::api::{
+    parse_scenario, ErrorResponse, GenerateRequest, GenerateResponse, ModelsResponse,
+};
+use crate::batch::GenJob;
+use crate::cache::{ContextCache, ContextKey};
+use crate::http::{read_request, write_json, write_response, Request};
+use crate::metrics::ServeMetrics;
+use crate::registry::Registry;
+use crate::scheduler::{SchedCfg, Scheduler, SubmitError};
+use gendt_data::context::{extract, ContextCfg};
+use gendt_geo::{trajectory, World, WorldCfg, XY};
+use gendt_radio::Deployment;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Longest trajectory a request may ask for, seconds. Guards against a
+/// single request occupying a worker for minutes.
+const MAX_DURATION_S: f64 = 4.0 * 3600.0;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerCfg {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 for tests).
+    pub addr: String,
+    /// Directory of model checkpoints.
+    pub models_dir: PathBuf,
+    /// Seed of the synthetic world served against.
+    pub world_seed: u64,
+    /// Micro-batching scheduler knobs.
+    pub sched: SchedCfg,
+    /// Context cache capacity (entries).
+    pub cache_cap: usize,
+    /// Scheduler worker threads.
+    pub workers: usize,
+}
+
+impl ServerCfg {
+    /// Defaults for a models directory: one worker, port picked by the
+    /// OS, the paper's world seed.
+    pub fn new(models_dir: PathBuf) -> ServerCfg {
+        ServerCfg {
+            addr: "127.0.0.1:0".to_string(),
+            models_dir,
+            world_seed: 1,
+            sched: SchedCfg::default(),
+            cache_cap: 128,
+            workers: 1,
+        }
+    }
+}
+
+struct ServerState {
+    registry: Registry,
+    world: World,
+    deployment: Deployment,
+    metrics: Arc<ServeMetrics>,
+    scheduler: Arc<Scheduler>,
+    cache: ContextCache,
+    shutdown: AtomicBool,
+}
+
+/// A running server: its bound address and the means to stop it.
+pub struct ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Shared metrics (for in-process inspection by tools and tests).
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        self.state.metrics.clone()
+    }
+
+    /// Block until the acceptor exits (i.e. until `/shutdown`).
+    pub fn join(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Stop the server: raise the flag, wake the acceptor, join
+    /// everything.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        self.state.scheduler.stop();
+        // The acceptor blocks in accept(); a throwaway connection wakes it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Start serving. Returns once the listener is bound and workers are up.
+pub fn serve(cfg: ServerCfg) -> Result<ServerHandle, String> {
+    let registry = Registry::load(&cfg.models_dir)?;
+    let world = World::generate(WorldCfg::city(cfg.world_seed));
+    let deployment = Deployment::from_world(&world);
+    let metrics = Arc::new(ServeMetrics::new(cfg.sched.max_batch));
+    let scheduler = Arc::new(Scheduler::new(cfg.sched, metrics.clone()));
+    let listener =
+        TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("no local addr: {e}"))?;
+
+    let state = Arc::new(ServerState {
+        registry,
+        world,
+        deployment,
+        metrics,
+        scheduler: scheduler.clone(),
+        cache: ContextCache::new(cfg.cache_cap),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let mut workers = Vec::with_capacity(cfg.workers.max(1));
+    for _ in 0..cfg.workers.max(1) {
+        let sched = scheduler.clone();
+        workers.push(std::thread::spawn(move || sched.run_worker()));
+    }
+
+    let accept_state = state.clone();
+    let acceptor = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_state.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let conn_state = accept_state.clone();
+            match stream {
+                Ok(s) => {
+                    std::thread::spawn(move || handle_conn(&conn_state, s));
+                }
+                Err(_) => continue,
+            }
+        }
+        accept_state.scheduler.stop();
+    });
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn error_body(msg: &str) -> String {
+    serde_json::to_string(&ErrorResponse {
+        error: msg.to_string(),
+    })
+    .unwrap_or_else(|_| format!("{{\"error\":{msg:?}}}"))
+}
+
+fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let req = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = write_json(
+                &mut stream,
+                400,
+                "Bad Request",
+                &error_body(&format!("{e}")),
+            );
+            return;
+        }
+    };
+    state.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/generate") => handle_generate(state, &mut stream, &req),
+        ("GET", "/models") => {
+            let body = serde_json::to_string(&ModelsResponse {
+                models: state.registry.names(),
+            })
+            .unwrap_or_else(|_| "{}".to_string());
+            let _ = write_json(&mut stream, 200, "OK", &body);
+        }
+        ("POST", "/reload") => match state.registry.reload() {
+            Ok(_) => {
+                let body = serde_json::to_string(&ModelsResponse {
+                    models: state.registry.names(),
+                })
+                .unwrap_or_else(|_| "{}".to_string());
+                let _ = write_json(&mut stream, 200, "OK", &body);
+            }
+            Err(e) => {
+                let _ = write_json(&mut stream, 500, "Internal Server Error", &error_body(&e));
+            }
+        },
+        ("GET", "/metrics") => {
+            let (hits, misses) = state.cache.stats();
+            let text = state
+                .metrics
+                .render(state.registry.names().len(), hits, misses);
+            let _ = write_response(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                text.as_bytes(),
+            );
+        }
+        ("GET", "/healthz") => {
+            let _ = write_response(&mut stream, 200, "OK", "text/plain", b"ok\n");
+        }
+        ("POST", "/shutdown") => {
+            state.shutdown.store(true, Ordering::Release);
+            state.scheduler.stop();
+            let _ = write_response(&mut stream, 200, "OK", "text/plain", b"shutting down\n");
+            // Wake the acceptor so it observes the flag.
+            if let Ok(local) = stream.local_addr() {
+                let _ = TcpStream::connect(local);
+            }
+        }
+        _ => {
+            let _ = write_json(&mut stream, 404, "Not Found", &error_body("no such route"));
+        }
+    }
+}
+
+fn handle_generate(state: &Arc<ServerState>, stream: &mut TcpStream, req: &Request) {
+    let started = Instant::now();
+    let fail = |state: &Arc<ServerState>| {
+        state
+            .metrics
+            .generate_failed
+            .fetch_add(1, Ordering::Relaxed);
+    };
+
+    let body = String::from_utf8_lossy(&req.body);
+    let parsed: GenerateRequest = match serde_json::from_str(&body) {
+        Ok(p) => p,
+        Err(e) => {
+            fail(state);
+            let _ = write_json(
+                stream,
+                400,
+                "Bad Request",
+                &error_body(&format!("bad request body: {e}")),
+            );
+            return;
+        }
+    };
+    let Some(scenario) = parse_scenario(&parsed.scenario) else {
+        fail(state);
+        let _ = write_json(
+            stream,
+            400,
+            "Bad Request",
+            &error_body(&format!("unknown scenario {:?}", parsed.scenario)),
+        );
+        return;
+    };
+    if !(parsed.duration_s.is_finite()
+        && parsed.duration_s > 0.0
+        && parsed.duration_s <= MAX_DURATION_S
+        && parsed.start_x.is_finite()
+        && parsed.start_y.is_finite())
+    {
+        fail(state);
+        let _ = write_json(
+            stream,
+            400,
+            "Bad Request",
+            &error_body("duration/start out of range"),
+        );
+        return;
+    }
+    let Some(entry) = state.registry.get(&parsed.model) else {
+        fail(state);
+        let _ = write_json(
+            stream,
+            404,
+            "Not Found",
+            &error_body(&format!("unknown model {:?}", parsed.model)),
+        );
+        return;
+    };
+
+    // Context: cached by trajectory spec + extraction cfg; extraction
+    // runs outside the cache lock.
+    let ctx_cfg = ContextCfg {
+        max_cells: entry.model.cfg().window.max_cells,
+        ..ContextCfg::default()
+    };
+    let key = ContextKey::new(
+        &parsed.scenario,
+        parsed.duration_s,
+        parsed.start_x,
+        parsed.start_y,
+        parsed.traj_seed,
+        &ctx_cfg,
+    );
+    let ctx = match state.cache.get(key) {
+        Some(c) => c,
+        None => {
+            let traj_cfg = trajectory::TrajectoryCfg::new(
+                scenario,
+                parsed.duration_s,
+                XY {
+                    x: parsed.start_x,
+                    y: parsed.start_y,
+                },
+                parsed.traj_seed,
+            );
+            let traj = trajectory::generate(&state.world, &traj_cfg);
+            let built = Arc::new(extract(&state.world, &state.deployment, &traj, &ctx_cfg));
+            state.cache.insert(key, built.clone());
+            built
+        }
+    };
+
+    let job = GenJob {
+        entry: entry.clone(),
+        ctx,
+        sample_seed: parsed.sample_seed,
+    };
+    let rx = match state.scheduler.submit(job) {
+        Ok(rx) => rx,
+        Err(SubmitError::QueueFull) => {
+            state
+                .metrics
+                .generate_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = write_json(
+                stream,
+                429,
+                "Too Many Requests",
+                &error_body("generation queue is full, retry later"),
+            );
+            return;
+        }
+        Err(SubmitError::ShuttingDown) => {
+            fail(state);
+            let _ = write_json(
+                stream,
+                503,
+                "Service Unavailable",
+                &error_body("server is shutting down"),
+            );
+            return;
+        }
+    };
+    match rx.recv() {
+        Ok(Ok(series)) => {
+            let resp = GenerateResponse {
+                model: entry.name.clone(),
+                series,
+            };
+            match serde_json::to_string(&resp) {
+                Ok(body) => {
+                    state.metrics.generate_ok.fetch_add(1, Ordering::Relaxed);
+                    state
+                        .metrics
+                        .observe_latency_ms(started.elapsed().as_secs_f64() * 1000.0);
+                    let _ = write_json(stream, 200, "OK", &body);
+                }
+                Err(e) => {
+                    fail(state);
+                    let _ = write_json(
+                        stream,
+                        500,
+                        "Internal Server Error",
+                        &error_body(&format!("response encoding failed: {e}")),
+                    );
+                }
+            }
+        }
+        Ok(Err(e)) => {
+            fail(state);
+            let _ = write_json(stream, 500, "Internal Server Error", &error_body(&e));
+        }
+        Err(_) => {
+            fail(state);
+            let _ = write_json(
+                stream,
+                500,
+                "Internal Server Error",
+                &error_body("worker dropped the request"),
+            );
+        }
+    }
+}

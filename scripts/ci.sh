@@ -21,3 +21,8 @@ cargo run --release -p gendt-audit -- lint
 cargo run --release -p gendt-audit -- gradcheck
 cargo run --release -p gendt-audit -- verify
 cargo run --release -p gendt-audit -- smoke
+
+# Serving layer (crates/serve): one end-to-end request against an
+# in-process server, then a CI-sized load run refreshing BENCH_serve.json.
+cargo run --release -p gendt-serve --bin gendt-loadgen -- --smoke
+cargo run --release -p gendt-serve --bin gendt-loadgen -- --quick --out BENCH_serve.json
