@@ -19,6 +19,10 @@
 //!    equivalence test in `graph.rs` (a test fn whose name contains the
 //!    op name and `bitwise`), so fused rewrites stay provably identical
 //!    to their unfused compositions.
+//! 5. **`no-prints`** — no bare `println!` / `eprintln!` outside
+//!    `#[cfg(test)]` in files whose console output is routed through the
+//!    `gendt-trace` macros (`out!` / `info!` / `error!`), keeping
+//!    verbosity env-controlled and quiet by default.
 //!
 //! The vendored stand-ins under `vendor/` model *external* crates and
 //! are deliberately out of scope.
@@ -30,7 +34,8 @@ use std::path::{Path, PathBuf};
 #[derive(Clone, Debug)]
 pub struct Violation {
     /// Rule family (`unsafe-forbid`, `no-unwrap`, `determinism`,
-    /// `fused-bitwise`, or `lint-config` for missing targets).
+    /// `fused-bitwise`, `no-prints`, or `lint-config` for missing
+    /// targets).
     pub rule: &'static str,
     /// File the finding is in, relative to the linted root.
     pub file: String,
@@ -97,6 +102,17 @@ const NONDET_TOKENS: &[&str] = &[
     "rand::random",
 ];
 
+/// Files whose console output must flow through the `gendt-trace`
+/// macros, so runs are quiet by default and `GENDT_LOG` controls
+/// progress chatter. A bare print here bypasses that switch.
+const NO_PRINT_FILES: &[&str] = &[
+    "crates/core/src/trainer.rs",
+    "crates/eval/src/main.rs",
+    "crates/eval/src/harness.rs",
+    "crates/bench/src/lib.rs",
+    "crates/bench/src/bin/bench_kernels.rs",
+];
+
 /// Fused ops that must each have a `*bitwise*` equivalence test in
 /// `graph.rs` proving them identical to their unfused composition.
 const FUSED_OPS: &[&str] = &[
@@ -115,6 +131,7 @@ pub fn run(root: &Path) -> Vec<Violation> {
     lint_no_unwrap(root, &mut out);
     lint_determinism(root, &mut out);
     lint_fused_bitwise(root, &mut out);
+    lint_no_prints(root, &mut out);
     out
 }
 
@@ -433,6 +450,32 @@ fn lint_determinism(root: &Path, out: &mut Vec<Violation>) {
                 file: rel.to_string(),
                 line: line_of(&src, byte),
                 message: "HashMap in checkpoint code: serialized output must use BTreeMap".into(),
+            });
+        }
+    }
+}
+
+fn lint_no_prints(root: &Path, out: &mut Vec<Violation>) {
+    for &rel in NO_PRINT_FILES {
+        let Some(src) = read(root, rel) else {
+            missing(out, "no-prints", rel);
+            continue;
+        };
+        let stripped = strip_source(&src);
+        let regions = test_regions(&stripped);
+        // "println!" is a suffix of "eprintln!", so one token scan
+        // covers both macros.
+        for byte in find_all(&stripped, "println!") {
+            if in_regions(&regions, byte) {
+                continue;
+            }
+            out.push(Violation {
+                rule: "no-prints",
+                file: rel.to_string(),
+                line: line_of(&src, byte),
+                message: "bare print in a telemetry-routed file; use \
+                          gendt_trace::{out!, info!, error!}"
+                    .into(),
             });
         }
     }

@@ -6,6 +6,7 @@
 //! cargo run --release -p gendt-audit -- lint [ROOT] # repo-invariant source lint
 //! cargo run --release -p gendt-audit -- verify      # tape-verify zoo + a real training graph
 //! cargo run --release -p gendt-audit -- smoke       # sanitized train step + generation
+//! cargo run --release -p gendt-audit -- trace-smoke # traced run: bitwise parity + Chrome-trace JSON
 //! cargo run --release -p gendt-audit -- all         # everything above
 //! ```
 //!
@@ -25,16 +26,20 @@ fn main() -> ExitCode {
         "lint" => run_lint(args.get(1).map(String::as_str).unwrap_or(".")),
         "verify" => run_verify(),
         "smoke" => run_smoke(),
+        "trace-smoke" => run_trace_smoke(),
         "all" => {
             // Non-short-circuiting: report every failing check at once.
             let l = run_lint(".");
             let g = run_gradcheck();
             let v = run_verify();
             let s = run_smoke();
-            l && g && v && s
+            let t = run_trace_smoke();
+            l && g && v && s && t
         }
         other => {
-            eprintln!("unknown subcommand `{other}` (expected gradcheck|lint|verify|smoke|all)");
+            eprintln!(
+                "unknown subcommand `{other}` (expected gradcheck|lint|verify|smoke|trace-smoke|all)"
+            );
             false
         }
     };
@@ -204,13 +209,21 @@ fn record_training_graph() -> (gendt_nn::Graph, gendt_nn::NodeId) {
     (g, loss)
 }
 
-fn run_smoke() -> bool {
-    use gendt::{generate_series, GenDt, GenDtCfg};
+/// A CI-sized training workload: a tiny model config, one synthetic
+/// run's context, and its window pool. `cfg_seed`/`data_seed` keep the
+/// smoke and trace-smoke gates on independent inputs.
+fn tiny_workload(
+    cfg_seed: u64,
+    data_seed: u64,
+) -> Option<(
+    gendt::GenDtCfg,
+    gendt_data::RunContext,
+    Vec<gendt_data::windows::Window>,
+)> {
+    use gendt::GenDtCfg;
     use gendt_data::{dataset_a, extract, windows, BuildCfg, ContextCfg, Kpi};
 
-    println!("== smoke: sanitized train step + generation ==");
-    gendt_nn::set_sanitize(true);
-    let mut cfg = GenDtCfg::fast(4, 31);
+    let mut cfg = GenDtCfg::fast(4, cfg_seed);
     cfg.hidden = 8;
     cfg.resgen_hidden = 8;
     cfg.disc_hidden = 6;
@@ -218,7 +231,7 @@ fn run_smoke() -> bool {
     cfg.window.stride = 8;
     cfg.window.max_cells = 2;
     cfg.batch_size = 4;
-    let ds = dataset_a(&BuildCfg::quick(32));
+    let ds = dataset_a(&BuildCfg::quick(data_seed));
     let run = &ds.runs[0];
     let ctx = extract(
         &ds.world,
@@ -231,9 +244,21 @@ fn run_smoke() -> bool {
     );
     let pool = windows(run, &ctx, &Kpi::DATASET_A, &cfg.window);
     if pool.is_empty() {
+        return None;
+    }
+    Some((cfg, ctx, pool))
+}
+
+fn run_smoke() -> bool {
+    use gendt::{generate_series, GenDt};
+    use gendt_data::Kpi;
+
+    println!("== smoke: sanitized train step + generation ==");
+    let Some((cfg, ctx, pool)) = tiny_workload(31, 32) else {
         println!("smoke: FAILED (no training windows)");
         return false;
-    }
+    };
+    gendt_nn::set_sanitize(true);
     let mut model = GenDt::new(cfg);
     let trace = model.train_step(&pool);
     let series = generate_series(&mut model, &ctx, &Kpi::DATASET_A, false, 3);
@@ -245,5 +270,188 @@ fn run_smoke() -> bool {
         trace.mse,
         series.len()
     );
+    ok
+}
+
+/// Chrome-trace validation: parse `json` and check that each expected
+/// name appears with the given category, that op-level events exist for
+/// both autodiff phases, and that every event carries the mandatory
+/// Trace Event Format fields.
+fn check_chrome_trace(json: &str) -> Result<(), String> {
+    let doc: serde::Value =
+        serde_json::from_str(json).map_err(|e| format!("exported trace is not valid JSON: {e}"))?;
+    let top = doc
+        .as_map_for("trace document")
+        .map_err(|e| e.to_string())?;
+    let events = serde::map_field(top, "traceEvents", "trace document")
+        .and_then(|v| v.as_seq_for("traceEvents"))
+        .map_err(|e| e.to_string())?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+    let mut seen: Vec<(String, String)> = Vec::new();
+    for ev in events {
+        let m = ev.as_map_for("trace event").map_err(|e| e.to_string())?;
+        let name = serde::map_field(m, "name", "trace event")
+            .and_then(|v| v.as_str_for("name"))
+            .map_err(|e| e.to_string())?;
+        let cat = serde::map_field(m, "cat", "trace event")
+            .and_then(|v| v.as_str_for("cat"))
+            .map_err(|e| e.to_string())?;
+        for field in ["ph", "ts", "dur", "pid", "tid"] {
+            serde::map_field(m, field, "trace event").map_err(|e| e.to_string())?;
+        }
+        seen.push((name.to_string(), cat.to_string()));
+    }
+    for (name, cat) in [("train_step", "span"), ("generate_series", "span")] {
+        if !seen.iter().any(|(n, c)| n == name && c == cat) {
+            return Err(format!("no `{name}` event with cat `{cat}`"));
+        }
+    }
+    for cat in ["op", "op.bwd"] {
+        if !seen.iter().any(|(_, c)| c == cat) {
+            return Err(format!("no per-op tape event with cat `{cat}`"));
+        }
+    }
+    Ok(())
+}
+
+/// Telemetry validation: every line must be a JSON object with a `kind`
+/// field, and at least one `train_step` record must carry the loss
+/// decomposition and gradient diagnostics.
+fn check_telemetry(lines: &[String]) -> Result<(), String> {
+    if lines.is_empty() {
+        return Err("no telemetry records were emitted".to_string());
+    }
+    let mut saw_train_step = false;
+    for line in lines {
+        let doc: serde::Value = serde_json::from_str(line)
+            .map_err(|e| format!("telemetry line is not valid JSON: {e} ({line})"))?;
+        let m = doc
+            .as_map_for("telemetry record")
+            .map_err(|e| e.to_string())?;
+        let kind = serde::map_field(m, "kind", "telemetry record")
+            .and_then(|v| v.as_str_for("kind"))
+            .map_err(|e| e.to_string())?;
+        if kind == "train_step" {
+            for field in [
+                "l_mse",
+                "lambda_l_js",
+                "grad_norm_g",
+                "update_norm_g",
+                "u_model",
+            ] {
+                serde::map_field(m, field, "train_step record")
+                    .and_then(|v| v.as_f64_for(field))
+                    .map_err(|e| e.to_string())?;
+            }
+            saw_train_step = true;
+        }
+    }
+    if !saw_train_step {
+        return Err("no `train_step` telemetry record".to_string());
+    }
+    Ok(())
+}
+
+fn run_trace_smoke() -> bool {
+    use gendt::{generate_series, GenDt};
+    use gendt_data::Kpi;
+
+    println!("== trace-smoke: traced train + generation, bitwise vs untraced ==");
+    let Some((cfg, ctx, pool)) = tiny_workload(41, 42) else {
+        println!("trace-smoke: FAILED (no training windows)");
+        return false;
+    };
+
+    // Baseline with tracing off.
+    gendt_trace::set_trace(false);
+    let mut base = GenDt::new(cfg.clone());
+    let base_step = base.train_step(&pool);
+    let base_series = generate_series(&mut base, &ctx, &Kpi::DATASET_A, false, 3);
+
+    // Same seeds with tracing on; clear every sink so the checks see
+    // only this run.
+    gendt_trace::set_trace(true);
+    gendt_trace::reset_ops();
+    let _ = gendt_trace::drain_spans();
+    let _ = gendt_trace::take_telemetry();
+    let mut traced = GenDt::new(cfg);
+    let traced_step = traced.train_step(&pool);
+    // Drain in two stages: each thread ring holds 16k events and a full
+    // step's op flood could otherwise evict the training spans before
+    // generation finishes.
+    let (mut events, _) = gendt_trace::drain_spans();
+    let traced_series = generate_series(&mut traced, &ctx, &Kpi::DATASET_A, false, 3);
+    let (gen_events, _) = gendt_trace::drain_spans();
+    events.extend(gen_events);
+    let (telemetry, _) = gendt_trace::take_telemetry();
+    gendt_trace::set_trace(false);
+
+    let mut ok = true;
+
+    // (1) Tracing must not perturb the math: bitwise-identical results.
+    if base_step.mse.to_bits() != traced_step.mse.to_bits() {
+        println!(
+            "  [FAIL] train_step mse differs under tracing: {} vs {}",
+            base_step.mse, traced_step.mse
+        );
+        ok = false;
+    }
+    let same_series = base_series.series.len() == traced_series.series.len()
+        && base_series
+            .series
+            .iter()
+            .zip(traced_series.series.iter())
+            .all(|(a, b)| {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+            });
+    if !same_series {
+        println!("  [FAIL] generated series is not bitwise-identical under tracing");
+        ok = false;
+    }
+
+    // (2) The exported Chrome trace parses and holds the expected spans.
+    let json = gendt_trace::chrome_trace_json(&events);
+    let out_path = std::env::temp_dir().join("gendt-trace-smoke.json");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        println!("  [FAIL] writing {}: {e}", out_path.display());
+        ok = false;
+    }
+    match check_chrome_trace(&json) {
+        Ok(()) => println!(
+            "  chrome trace: {} events -> {}",
+            events.len(),
+            out_path.display()
+        ),
+        Err(e) => {
+            println!("  [FAIL] chrome trace: {e}");
+            ok = false;
+        }
+    }
+
+    // (3) Per-step JSONL telemetry with the loss decomposition.
+    match check_telemetry(&telemetry) {
+        Ok(()) => println!("  telemetry: {} record(s)", telemetry.len()),
+        Err(e) => {
+            println!("  [FAIL] telemetry: {e}");
+            ok = false;
+        }
+    }
+
+    // (4) The hot-op table attributed time to real tape ops.
+    let table = gendt_trace::op_table();
+    if table.is_empty() {
+        println!("  [FAIL] op profiler recorded nothing");
+        ok = false;
+    } else {
+        print!("{}", gendt_trace::render_op_table(&table));
+    }
+    gendt_trace::reset_ops();
+
+    println!("trace-smoke: {}", if ok { "clean" } else { "FAILED" });
     ok
 }

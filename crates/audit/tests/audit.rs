@@ -387,6 +387,29 @@ mod tests {
         "crates/serve/src/batch.rs",
         "pub fn assemble() {\n    let _t = std::time::Instant::now();\n}\n",
     );
+    // Seed 9 (no-prints): a bare println! in a telemetry-routed file;
+    // prints in comments, strings, and #[cfg(test)] are decoys.
+    write_fixture(
+        &root,
+        "crates/eval/src/main.rs",
+        r#"
+// a comment saying println! must not fire
+pub fn report() {
+    let msg = "string saying eprintln! must not fire";
+    let _ = msg;
+    println!("seeded violation");
+}
+#[cfg(test)]
+mod tests {
+    fn exempt() {
+        eprintln!("prints in tests are fine");
+    }
+}
+"#,
+    );
+    write_fixture(&root, "crates/eval/src/harness.rs", CLEAN_FILE);
+    write_fixture(&root, "crates/bench/src/lib.rs", CLEAN_FILE);
+    write_fixture(&root, "crates/bench/src/bin/bench_kernels.rs", CLEAN_FILE);
     FixtureDir(root)
 }
 
@@ -430,6 +453,10 @@ fn lint_detects_seeded_violations_and_ignores_decoys() {
         has("determinism", "crates/serve/src/batch.rs"),
         "Instant::now in batch assembly not caught"
     );
+    assert!(
+        has("no-prints", "crates/eval/src/main.rs"),
+        "seeded bare println! not caught"
+    );
 
     // Decoys must stay quiet.
     let graph_unwraps: Vec<_> = violations
@@ -463,6 +490,19 @@ fn lint_detects_seeded_violations_and_ignores_decoys() {
             .iter()
             .any(|v| v.rule == "fused-bitwise" && v.message.contains("lstm_cell")),
         "covered fused ops must not fire"
+    );
+    let print_hits: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == "no-prints")
+        .collect();
+    assert_eq!(
+        print_hits.len(),
+        1,
+        "comment/string/test prints must not fire: {print_hits:?}"
+    );
+    assert_eq!(
+        print_hits[0].line, 6,
+        "violation should point at the seeded print line"
     );
 }
 

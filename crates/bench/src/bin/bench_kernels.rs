@@ -79,10 +79,13 @@ fn main() {
     let mut rng = Rng::seed_from(1);
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench_schema\": {},", gendt_trace::BENCH_SCHEMA).unwrap();
+    writeln!(json, "  \"git_rev\": \"{}\",", gendt_trace::git_rev()).unwrap();
+    writeln!(json, "  \"config\": {{\"threads\": {threads}}},").unwrap();
     writeln!(json, "  \"threads\": {threads},").unwrap();
 
     // ---- matmul kernels vs naive reference ----------------------------
-    println!("== matmul kernels (blocked vs naive), {threads} thread(s) ==");
+    gendt_trace::out!("== matmul kernels (blocked vs naive), {threads} thread(s) ==");
     writeln!(json, "  \"matmul\": [").unwrap();
     let mut rows: Vec<String> = Vec::new();
     for n in [64usize, 128, 256] {
@@ -107,7 +110,7 @@ fn main() {
             ),
         ] {
             let speedup = old_t / new_t;
-            println!(
+            gendt_trace::out!(
                 "{op} n={n:3}: naive {:8.1}us  blocked {:7.1}us  speedup {speedup:.2}x",
                 old_t * 1e6,
                 new_t * 1e6
@@ -126,7 +129,7 @@ fn main() {
         let new_t = time(|| x.matmul(&w), 2000);
         let old_t = time(|| x.matmul_naive(&w), 2000);
         let speedup = old_t / new_t;
-        println!(
+        gendt_trace::out!(
             "nn lstm-gate B={bsz:2}: naive {:8.1}us  blocked {:7.1}us  speedup {speedup:.2}x",
             old_t * 1e6,
             new_t * 1e6
@@ -140,7 +143,7 @@ fn main() {
     writeln!(json, "{}\n  ],", rows.join(",\n")).unwrap();
 
     // ---- generator forward: cell-packed vs per-cell -------------------
-    println!("== generator forward, B=8 max_cells=8 L=50 hidden=100 ==");
+    gendt_trace::out!("== generator forward, B=8 max_cells=8 L=50 hidden=100 ==");
     let mut cfg = GenDtCfg::paper(4, 3);
     cfg.window.len = 50;
     cfg.window.max_cells = 8;
@@ -180,7 +183,7 @@ fn main() {
     );
     gendt_nn::set_reference_kernels(false);
     let fwd_speedup = seed_t / packed_t;
-    println!(
+    gendt_trace::out!(
         "seed (per-cell, reference kernels) {:7.1}ms  per-cell {:7.1}ms  packed {:7.1}ms  speedup vs seed {fwd_speedup:.2}x",
         seed_t * 1e3,
         percell_t * 1e3,
@@ -197,7 +200,7 @@ fn main() {
     .unwrap();
 
     // ---- sharded training step ----------------------------------------
-    println!("== sharded train_step, fast cfg, B=8 ==");
+    gendt_trace::out!("== sharded train_step, fast cfg, B=8 ==");
     writeln!(json, "  \"train_step\": [").unwrap();
     let mut rows: Vec<String> = Vec::new();
     for shards in [1usize, 2, 4] {
@@ -223,7 +226,7 @@ fn main() {
             std::hint::black_box(model.train_step(&pool));
         }
         let per_step = t.elapsed().as_secs_f64() / reps as f64;
-        println!("shards={shards}: {:7.1}ms/step", per_step * 1e3);
+        gendt_trace::out!("shards={shards}: {:7.1}ms/step", per_step * 1e3);
         rows.push(format!(
             "    {{\"shards\": {shards}, \"ms_per_step\": {:.2}}}",
             per_step * 1e3
@@ -233,5 +236,5 @@ fn main() {
     writeln!(json, "}}").unwrap();
 
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
-    println!("wrote BENCH_kernels.json");
+    gendt_trace::out!("wrote BENCH_kernels.json");
 }

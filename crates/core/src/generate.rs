@@ -111,6 +111,7 @@ pub fn generate_series(
     mc_dropout: bool,
     sample_seed: u64,
 ) -> GeneratedSeries {
+    gendt_trace::span!("generate_series");
     let cfg: GenDtCfg = model.cfg().clone();
     assert_eq!(
         kpis.len(),
@@ -189,6 +190,7 @@ pub fn generate_series_batch(
     kpis: &[Kpi],
     items: &[GenBatchItem],
 ) -> Vec<GeneratedSeries> {
+    gendt_trace::span!("generate_series_batch", "items" => items.len());
     let cfg: GenDtCfg = model.cfg().clone();
     assert_eq!(
         kpis.len(),
@@ -308,6 +310,7 @@ pub fn model_uncertainty(
     n_samples: usize,
     seed: u64,
 ) -> UncertaintyReport {
+    gendt_trace::span!("model_uncertainty", "samples" => n_samples);
     assert!(n_samples >= 2, "need at least two MC samples");
     let cfg = model.cfg().clone();
     let wins = generation_windows(ctx, cfg.n_ch, &cfg.generation_window());

@@ -94,6 +94,7 @@ impl GenDt {
     /// # Panics
     /// Panics if `pool` is empty.
     pub fn train_step(&mut self, pool: &[Window]) -> StepTrace {
+        gendt_trace::span!("train_step");
         assert!(!pool.is_empty(), "empty training pool");
         let bsz = self.cfg().batch_size.min(pool.len());
         let batch: Vec<&Window> = (0..bsz)
@@ -267,11 +268,32 @@ impl GenDt {
             }
         }
         self.generator.store.scrub_non_finite_grads();
-        self.generator.store.clip_grad_norm(self.cfg().grad_clip);
+        let grad_norm_g = self.generator.store.clip_grad_norm(self.cfg().grad_clip);
+        // Telemetry-only parameter snapshot: the per-step update magnitude
+        // is the L2 distance the optimizer moves the generator weights.
+        let pre_step: Option<Vec<Vec<f32>>> = gendt_trace::trace_enabled().then(|| {
+            self.generator
+                .store
+                .iter()
+                .map(|p| p.value.data.clone())
+                .collect()
+        });
         self.opt_g.step(&mut self.generator.store);
+        let update_norm_g = pre_step
+            .map(|pre| {
+                let mut acc = 0.0f64;
+                for (p, old) in self.generator.store.iter().zip(pre.iter()) {
+                    for (&w, &o) in p.value.data.iter().zip(old.iter()) {
+                        let d = f64::from(w - o);
+                        acc += d * d;
+                    }
+                }
+                acc.sqrt()
+            })
+            .unwrap_or(0.0);
 
         // ---------------- Discriminator step -------------------------
-        let gan_d_val = if use_gan {
+        let (gan_d_val, grad_norm_d) = if use_gan {
             // Reassemble full-batch fakes/contexts from the contiguous
             // shard rows, in shard order.
             let stack = |pick: &dyn Fn(&ShardOut) -> &Vec<Matrix>| -> Vec<Matrix> {
@@ -308,13 +330,14 @@ impl GenDt {
             let v = gd.value(loss_d).data[0];
             gd.backward(loss_d, &mut self.discriminator.store);
             self.discriminator.store.scrub_non_finite_grads();
-            self.discriminator
+            let norm = self
+                .discriminator
                 .store
                 .clip_grad_norm(self.cfg().grad_clip);
             self.opt_d.step(&mut self.discriminator.store);
-            v
+            (v, norm)
         } else {
-            0.0
+            (0.0, 0.0)
         };
 
         let trace = StepTrace {
@@ -323,8 +346,65 @@ impl GenDt {
             gan_d: gan_d_val,
             sigma_mean,
         };
+        if gendt_trace::trace_enabled() {
+            let u_model = self.mc_uncertainty_probe(batch[0], step_seed);
+            gendt_trace::Record::new("train_step")
+                .int("step", self.trace.len() as i64)
+                .num("l_mse", f64::from(mse_val))
+                .num("l_js", f64::from(gan_g_val))
+                .num("lambda_l_js", f64::from(lambda * gan_g_val))
+                .num("l_d", f64::from(gan_d_val))
+                .num("sigma_mean", f64::from(sigma_mean))
+                .num("grad_norm_g", f64::from(grad_norm_g))
+                .num("grad_norm_d", f64::from(grad_norm_d))
+                .num("update_norm_g", update_norm_g)
+                .num("u_model", u_model)
+                .emit();
+        }
         self.trace.push(trace);
         trace
+    }
+
+    /// `U(G_θ)` estimated from two MC-dropout passes over one batch
+    /// window (paper §6.2.1, restricted to a single window so the cost
+    /// stays a small constant per traced step). The passes use their own
+    /// RNG streams derived from `step_seed` — never the trainer RNG — so
+    /// enabling telemetry cannot perturb the training trajectory.
+    fn mc_uncertainty_probe(&self, w: &Window, step_seed: u64) -> f64 {
+        let n_ch = self.cfg().n_ch;
+        let m = self.cfg().window.ar_context;
+        let run = |s: u64| -> (Vec<f32>, Vec<f32>) {
+            let mut rng = Rng::seed_from(step_seed ^ ((s + 1) << 32));
+            let mut carry = CarryState::zeros(self.cfg(), 1);
+            for ch in 0..n_ch {
+                for k in 0..m {
+                    carry.ar_tail.data[ch * m + k] = w.ar_seed[ch][k];
+                }
+            }
+            let mut g = Graph::new();
+            let fwd =
+                self.generator
+                    .forward(&mut g, &[w], &carry, ArMode::FreeRunning, true, &mut rng);
+            let mut mu = Vec::new();
+            let mut sg = Vec::new();
+            for (&mn, &sn) in fwd.res_mu.iter().zip(fwd.res_sigma.iter()) {
+                mu.extend_from_slice(&g.value(mn).data);
+                sg.extend_from_slice(&g.value(sn).data);
+            }
+            (mu, sg)
+        };
+        let (mu_a, sg_a) = run(0);
+        let (mu_b, sg_b) = run(1);
+        let t_len = mu_a.len().min(mu_b.len());
+        if t_len == 0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for t in 0..t_len {
+            acc += gendt_metrics::std_dev(&[f64::from(mu_a[t]), f64::from(mu_b[t])])
+                + gendt_metrics::std_dev(&[f64::from(sg_a[t]), f64::from(sg_b[t])]);
+        }
+        acc / t_len as f64
     }
 
     /// Borrow the internal RNG (generation utilities need it).

@@ -53,7 +53,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--list" => list = true,
             "--help" | "-h" => {
-                println!(
+                gendt_trace::out!(
                     "gendt-eval — regenerate the GenDT paper's tables and figures\n\n\
                      USAGE:\n  gendt-eval --exp <id[,id...]|all> [--quick] [--seed N] [--out DIR]\n  \
                      gendt-eval --list\n\nEXPERIMENTS:\n  {}",
@@ -78,13 +78,13 @@ fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}");
+            gendt_trace::error!("error: {e}");
             std::process::exit(2);
         }
     };
     if args.list {
         for e in EXPERIMENTS {
-            println!("{e}");
+            gendt_trace::out!("{e}");
         }
         return;
     }
@@ -95,7 +95,7 @@ fn main() {
     };
     for e in &exps {
         if !EXPERIMENTS.contains(&e.as_str()) {
-            eprintln!("error: unknown experiment {e:?}; use --list");
+            gendt_trace::error!("error: unknown experiment {e:?}; use --list");
             std::process::exit(2);
         }
     }
@@ -127,7 +127,7 @@ fn main() {
     let total = Instant::now();
     for id in &exps {
         let started = Instant::now();
-        eprintln!(
+        gendt_trace::info!(
             "[gendt-eval] running {id} ({} mode)...",
             if cfg.quick { "quick" } else { "full" }
         );
@@ -135,11 +135,11 @@ fn main() {
             r
         } else {
             if needs_a(id) && bundle_a.is_none() {
-                eprintln!("[gendt-eval] building & training Dataset A bundle...");
+                gendt_trace::info!("[gendt-eval] building & training Dataset A bundle...");
                 bundle_a = Some(Bundle::dataset_a(&cfg));
             }
             if needs_b(id) && bundle_b.is_none() {
-                eprintln!("[gendt-eval] building & training Dataset B bundle...");
+                gendt_trace::info!("[gendt-eval] building & training Dataset B bundle...");
                 bundle_b = Some(Bundle::dataset_b(&cfg));
             }
             match id.as_str() {
@@ -159,16 +159,16 @@ fn main() {
                 other => unreachable!("unhandled experiment {other}"),
             }
         };
-        println!("{}", report.to_markdown());
+        gendt_trace::out!("{}", report.to_markdown());
         if let Err(e) = report.write_to(&cfg.out_dir) {
-            eprintln!("warning: could not write report: {e}");
+            gendt_trace::error!("warning: could not write report: {e}");
         }
-        eprintln!(
+        gendt_trace::info!(
             "[gendt-eval] {id} done in {:.1}s",
             started.elapsed().as_secs_f64()
         );
     }
-    eprintln!(
+    gendt_trace::info!(
         "[gendt-eval] all done in {:.1}s",
         total.elapsed().as_secs_f64()
     );

@@ -483,6 +483,61 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "quantiles of an empty sample")]
+    fn from_samples_panics_on_empty_input() {
+        let _ = Quantiles::from_samples(&[]);
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile() {
+        let q = Quantiles::from_samples(&[42.5]);
+        assert_eq!(q.p50, 42.5);
+        assert_eq!(q.p95, 42.5);
+        assert_eq!(q.p99, 42.5);
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_to_the_value() {
+        let xs = vec![7.25; 1000];
+        let q = Quantiles::from_samples(&xs);
+        assert_eq!(q.p50, 7.25);
+        assert_eq!(q.p95, 7.25);
+        assert_eq!(q.p99, 7.25);
+        // The streaming path must agree to within one bin width even in
+        // the degenerate single-spike distribution.
+        let h = Histogram::new(&xs, 0.0, 10.0, 100);
+        let s = Quantiles::from_histogram(&h);
+        let bin_w = 0.1;
+        assert!((s.p50 - 7.25).abs() <= bin_w, "{s:?}");
+        assert!((s.p99 - 7.25).abs() <= bin_w, "{s:?}");
+    }
+
+    #[test]
+    fn histogram_and_raw_quantiles_agree_on_skewed_latencies() {
+        // Long-tailed latency-like distribution: i^1.5 scaled — the shape
+        // /metrics actually summarizes. Histogram estimates must track
+        // the exact sorted-sample quantiles within one bin width.
+        let xs: Vec<f64> = (0..5000).map(|i| (i as f64).powf(1.5) / 3000.0).collect();
+        let hi = xs.last().copied().unwrap() + 1e-9;
+        let h = Histogram::new(&xs, 0.0, hi, 200);
+        let stream = Quantiles::from_histogram(&h);
+        let exact = Quantiles::from_samples(&xs);
+        let bin_w = hi / 200.0;
+        assert!(
+            (stream.p50 - exact.p50).abs() <= bin_w,
+            "{stream:?} vs {exact:?}"
+        );
+        assert!(
+            (stream.p95 - exact.p95).abs() <= bin_w,
+            "{stream:?} vs {exact:?}"
+        );
+        assert!(
+            (stream.p99 - exact.p99).abs() <= bin_w,
+            "{stream:?} vs {exact:?}"
+        );
+    }
+
+    #[test]
     fn ecdf_is_monotone_to_one() {
         let e = ecdf(&[3.0, 1.0, 2.0]);
         assert_eq!(e[0].0, 1.0);

@@ -237,6 +237,11 @@ pub struct Graph {
     /// the same id reuse the node (and its value clone) instead of
     /// cloning the weight matrix once per use.
     param_nodes: std::collections::HashMap<ParamId, NodeId>,
+    /// Op profiler: completion time of the previous `push`, so the gap
+    /// to the next push (the op's forward compute in the caller) can be
+    /// attributed to the op being recorded. Zero until the first traced
+    /// push; only read while `gendt_trace::trace_enabled()`.
+    prof_last_ns: u64,
 }
 
 impl Default for Graph {
@@ -360,12 +365,16 @@ impl Graph {
         Graph {
             nodes: Vec::with_capacity(256),
             param_nodes: std::collections::HashMap::new(),
+            prof_last_ns: 0,
         }
     }
 
     fn push(&mut self, op: Op, value: Matrix, needs_grad: bool) -> NodeId {
         if crate::sanitize::sanitize_enabled() {
             self.sanitize_forward(&op, &value);
+        }
+        if gendt_trace::trace_enabled() {
+            self.profile_forward(&op, &value);
         }
         self.nodes.push(Node {
             op,
@@ -374,6 +383,54 @@ impl Graph {
             needs_grad,
         });
         NodeId(self.nodes.len() - 1)
+    }
+
+    /// Op-profiler forward hook: the wall time since the previous push
+    /// completed is attributed to the op being recorded — every op's
+    /// forward value is computed by its `Graph` constructor immediately
+    /// before `push`, so the gap *is* that op's forward compute (plus
+    /// negligible recording overhead). The first push of a tape gets a
+    /// zero duration; it has no predecessor to measure from.
+    fn profile_forward(&mut self, op: &Op, value: &Matrix) {
+        let now = gendt_trace::now_ns();
+        let dur = if self.prof_last_ns == 0 {
+            0
+        } else {
+            now.saturating_sub(self.prof_last_ns)
+        };
+        let (flops, bytes) = self.op_cost(op, value);
+        gendt_trace::record_op(op.name(), gendt_trace::Phase::Forward, dur, flops, bytes);
+        self.prof_last_ns = gendt_trace::now_ns();
+    }
+
+    /// Order-of-magnitude FLOP and byte-traffic estimates for one op
+    /// execution, from the shapes on the tape. MatMul is exact
+    /// (`2·m·k·n`); elementwise and reduction ops count a few flops per
+    /// element; bytes assume every input and the output move once.
+    /// Backward visits reuse the same estimate — gradient kernels touch
+    /// the same operands at the same shapes.
+    fn op_cost(&self, op: &Op, out: &Matrix) -> (u64, u64) {
+        let el = |id: &NodeId| self.nodes[id.0].value.data.len() as u64;
+        let out_el = out.data.len() as u64;
+        let in_el: u64 = op.inputs().iter().map(el).sum();
+        let bytes = 4 * (in_el + out_el);
+        let flops = match op {
+            Op::Input | Op::Param(_) => 0,
+            Op::MatMul(a, b) => {
+                let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                2 * va.rows as u64 * va.cols as u64 * vb.cols as u64
+            }
+            // Transcendental activations: charge a handful of flops per
+            // element for the polynomial kernels.
+            Op::Sigmoid(_) | Op::Tanh(_) | Op::Exp(_) | Op::Softplus(_) => 8 * out_el,
+            // Fused cell: 4 gate activations plus the state arithmetic.
+            Op::LstmCell { gates, .. } => 12 * el(gates),
+            Op::NoisyRenorm { .. } => 6 * out_el,
+            Op::GaussianNll { mu, .. } => 8 * el(mu),
+            Op::MseLoss(a, _) | Op::BceWithLogits(a, _) => 4 * el(a),
+            _ => in_el.max(out_el),
+        };
+        (flops, bytes)
     }
 
     /// Sanitizer-mode forward check: every value recorded on the tape must
@@ -1016,6 +1073,14 @@ impl Graph {
             // Re-insert so callers can inspect grads after backward.
             self.nodes[i].grad = Some(g.clone());
             let op = self.nodes[i].op.clone();
+            // Op profiler: time this op's gradient computation. Cost is
+            // estimated before the match because the op moves into it.
+            let prof = if gendt_trace::trace_enabled() {
+                let (flops, bytes) = self.op_cost(&op, &self.nodes[i].value);
+                Some((op.name(), flops, bytes, gendt_trace::now_ns()))
+            } else {
+                None
+            };
             match op {
                 Op::Input => {}
                 Op::Param(pid) => store.accumulate_grad(pid, &g),
@@ -1372,6 +1437,10 @@ impl Graph {
                         self.accum(sigma, gsigma);
                     }
                 }
+            }
+            if let Some((name, flops, bytes, t0)) = prof {
+                let dur = gendt_trace::now_ns().saturating_sub(t0);
+                gendt_trace::record_op(name, gendt_trace::Phase::Backward, dur, flops, bytes);
             }
         }
     }

@@ -25,8 +25,21 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+/// Load-driver knobs echoed into the artifact so a recorded run is
+/// reproducible from its own header.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchConfig {
+    requests: usize,
+    concurrency: usize,
+}
+
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchOut {
+    /// Versioned layout marker (`gendt_trace::BENCH_SCHEMA`); bumped when
+    /// a field changes meaning, so cross-PR comparisons can tell.
+    bench_schema: u32,
+    git_rev: String,
+    config: BenchConfig,
     requests: usize,
     concurrency: usize,
     ok: u64,
@@ -232,6 +245,12 @@ fn drive(addr: &str, opts: &Opts) -> Result<(), String> {
     };
 
     let out = BenchOut {
+        bench_schema: gendt_trace::BENCH_SCHEMA,
+        git_rev: gendt_trace::git_rev(),
+        config: BenchConfig {
+            requests: opts.requests,
+            concurrency: opts.concurrency,
+        },
         requests: opts.requests,
         concurrency: opts.concurrency,
         ok: ok.load(Ordering::Relaxed),

@@ -114,17 +114,20 @@ impl Scheduler {
             let jobs: Vec<&GenJob> = batch.iter().map(|p| &p.job).collect();
             // A panic inside generation (e.g. a sanitizer trip) must not
             // kill the worker: convert it into per-request errors.
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let owned: Vec<GenJob> = jobs
-                    .iter()
-                    .map(|j| GenJob {
-                        entry: j.entry.clone(),
-                        ctx: j.ctx.clone(),
-                        sample_seed: j.sample_seed,
-                    })
-                    .collect();
-                run_batch(&entry, &owned)
-            }));
+            let result = {
+                gendt_trace::span!("serve_batch", "batch" => n);
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let owned: Vec<GenJob> = jobs
+                        .iter()
+                        .map(|j| GenJob {
+                            entry: j.entry.clone(),
+                            ctx: j.ctx.clone(),
+                            sample_seed: j.sample_seed,
+                        })
+                        .collect();
+                    run_batch(&entry, &owned)
+                }))
+            };
             self.metrics.observe_batch(n);
             match result {
                 Ok(series) => {
@@ -153,6 +156,9 @@ impl Scheduler {
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         loop {
             if let Some(head) = q.pop_front() {
+                // Covers coalescing + the fill wait, not the idle block
+                // above — the assembly timeline, not queue idleness.
+                let _assembling = gendt_trace::span("serve_batch_assemble");
                 let mut batch = vec![head];
                 let deadline = Instant::now() + Duration::from_millis(self.cfg.max_wait_ms);
                 loop {

@@ -227,6 +227,26 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
         ("GET", "/healthz") => {
             let _ = write_response(&mut stream, 200, "OK", "text/plain", b"ok\n");
         }
+        ("GET", "/debug/trace") => {
+            // Non-destructive view of recent spans: `spans` is itself a
+            // complete Chrome-trace document, so it can be saved as-is
+            // and loaded into chrome://tracing or Perfetto. Per-op tape
+            // events are excluded here — one request produces thousands
+            // of them and they would evict the batch timelines; use
+            // `export_chrome_trace` for the full op-level view.
+            let (all, dropped) = gendt_trace::snapshot_spans(usize::MAX);
+            let mut spans: Vec<_> = all.into_iter().filter(|e| e.cat == "span").collect();
+            if spans.len() > 256 {
+                spans.drain(..spans.len() - 256);
+            }
+            let mut body = format!(
+                "{{\"enabled\":{},\"dropped\":{dropped},\"spans\":",
+                gendt_trace::trace_enabled()
+            );
+            body.push_str(&gendt_trace::chrome_trace_json(&spans));
+            body.push('}');
+            let _ = write_json(&mut stream, 200, "OK", &body);
+        }
         ("POST", "/shutdown") => {
             state.shutdown.store(true, Ordering::Release);
             state.scheduler.stop();

@@ -147,6 +147,42 @@ fn concurrent_batched_responses_are_bitwise_equal_to_direct() {
 }
 
 #[test]
+fn debug_trace_endpoint_reports_serve_spans() {
+    gendt_trace::set_trace(true);
+    let dir = fresh_model_dir("trace", 1);
+    let handle = serve(ServerCfg {
+        world_seed: WORLD_SEED,
+        ..ServerCfg::new(dir)
+    })
+    .expect("start server");
+    let addr = handle.addr.to_string();
+
+    let body = request_json(0, 7, 40.0);
+    let (status, resp) =
+        http_request(&addr, "POST", "/generate", Some(&body)).expect("request failed");
+    assert_eq!(status, 200, "generate failed: {resp}");
+
+    let (status, trace) = http_request(&addr, "GET", "/debug/trace", None).expect("trace failed");
+    handle.shutdown();
+    assert_eq!(status, 200, "debug endpoint failed: {trace}");
+    assert!(trace.contains("\"enabled\":true"), "flag missing: {trace}");
+    assert!(
+        trace.contains("\"traceEvents\""),
+        "not a Chrome-trace payload: {trace}"
+    );
+    // The worker records its batch span before replying to the handler,
+    // so by the time /generate returned it must be visible.
+    assert!(
+        trace.contains("\"serve_batch\""),
+        "serve batch span missing: {trace}"
+    );
+    assert!(
+        trace.contains("\"serve_batch_assemble\""),
+        "assembly span missing: {trace}"
+    );
+}
+
+#[test]
 fn full_queue_sheds_load_with_429() {
     let dir = fresh_model_dir("overload", 1);
     let handle = serve(ServerCfg {

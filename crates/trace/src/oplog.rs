@@ -1,0 +1,163 @@
+//! Per-op tape profiler: wall time and estimated FLOPs/bytes attributed
+//! to every autograd op kind, aggregated into a ranked hot-op table.
+//!
+//! The autograd layer calls [`record_op`] once per recorded forward node
+//! and once per backward op visit (only while tracing is enabled). Each
+//! call feeds two sinks: the global per-op aggregate read back by
+//! [`op_table`], and the span ring (category `"op"`) so per-op tape
+//! execution shows up on the Chrome-trace timeline next to the scoped
+//! spans.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Which half of autodiff an op timing belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Tape recording (the op's forward compute).
+    Forward,
+    /// Reverse sweep (the op's gradient compute).
+    Backward,
+}
+
+/// Aggregated cost of one op kind.
+#[derive(Clone, Debug, Default)]
+pub struct OpStat {
+    /// Op kind (`MatMul`, `LstmCell`, ...).
+    pub name: &'static str,
+    /// Forward executions.
+    pub fwd_count: u64,
+    /// Forward wall time, nanoseconds.
+    pub fwd_ns: u64,
+    /// Backward executions.
+    pub bwd_count: u64,
+    /// Backward wall time, nanoseconds.
+    pub bwd_ns: u64,
+    /// Estimated floating-point operations (forward + backward).
+    pub flops: u64,
+    /// Estimated bytes moved (forward + backward).
+    pub bytes: u64,
+}
+
+impl OpStat {
+    /// Total wall time across both phases, nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.fwd_ns + self.bwd_ns
+    }
+}
+
+static OPS: OnceLock<Mutex<BTreeMap<&'static str, OpStat>>> = OnceLock::new();
+
+fn ops() -> &'static Mutex<BTreeMap<&'static str, OpStat>> {
+    OPS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Record one op execution. `dur_ns` is the measured wall time;
+/// `flops`/`bytes` are the caller's estimates from the op's shapes.
+/// Only call while [`crate::trace_enabled`] — the autograd hooks guard
+/// the call so disabled runs never reach this function.
+pub fn record_op(name: &'static str, phase: Phase, dur_ns: u64, flops: u64, bytes: u64) {
+    {
+        let mut map = ops()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let stat = map.entry(name).or_insert_with(|| OpStat {
+            name,
+            ..OpStat::default()
+        });
+        match phase {
+            Phase::Forward => {
+                stat.fwd_count += 1;
+                stat.fwd_ns += dur_ns;
+            }
+            Phase::Backward => {
+                stat.bwd_count += 1;
+                stat.bwd_ns += dur_ns;
+            }
+        }
+        stat.flops += flops;
+        stat.bytes += bytes;
+    }
+    let cat = match phase {
+        Phase::Forward => "op",
+        Phase::Backward => "op.bwd",
+    };
+    let end = crate::now_ns();
+    crate::span::record_interval(
+        name,
+        cat,
+        end.saturating_sub(dur_ns),
+        dur_ns,
+        Some(("flops", flops as i64)),
+    );
+}
+
+/// The aggregate table, ranked by total wall time (hottest first).
+pub fn op_table() -> Vec<OpStat> {
+    let map = ops()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let mut rows: Vec<OpStat> = map.values().cloned().collect();
+    rows.sort_by(|a, b| b.total_ns().cmp(&a.total_ns()).then(a.name.cmp(b.name)));
+    rows
+}
+
+/// Clear the aggregate table (between profiled sections).
+pub fn reset_ops() {
+    ops()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .clear();
+}
+
+/// Render the ranked hot-op table as aligned text for terminals/logs.
+pub fn render_op_table(rows: &[OpStat]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>8} {:>10} {:>8} {:>10} {:>12} {:>12}\n",
+        "op", "fwd#", "fwd_ms", "bwd#", "bwd_ms", "~MFLOP", "~MB"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>10.3} {:>8} {:>10.3} {:>12.2} {:>12.2}\n",
+            r.name,
+            r.fwd_count,
+            r.fwd_ns as f64 / 1e6,
+            r.bwd_count,
+            r.bwd_ns as f64 / 1e6,
+            r.flops as f64 / 1e6,
+            r.bytes as f64 / 1e6,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_and_ranks_by_total_time() {
+        reset_ops();
+        record_op("TestCold", Phase::Forward, 10, 5, 5);
+        record_op("TestHot", Phase::Forward, 500, 100, 100);
+        record_op("TestHot", Phase::Backward, 700, 200, 200);
+        let rows = op_table();
+        let hot = rows.iter().find(|r| r.name == "TestHot").expect("TestHot");
+        let cold = rows
+            .iter()
+            .find(|r| r.name == "TestCold")
+            .expect("TestCold");
+        assert_eq!(hot.fwd_count, 1);
+        assert_eq!(hot.bwd_count, 1);
+        assert_eq!(hot.total_ns(), 1200);
+        assert_eq!(hot.flops, 300);
+        let hot_pos = rows.iter().position(|r| r.name == "TestHot");
+        let cold_pos = rows.iter().position(|r| r.name == "TestCold");
+        assert!(hot_pos < cold_pos, "hotter op must rank first");
+        assert_eq!(cold.total_ns(), 10);
+        let table = render_op_table(&rows);
+        assert!(table.contains("TestHot"));
+        reset_ops();
+    }
+}

@@ -1,0 +1,262 @@
+//! Scoped spans, per-thread ring buffers, and the Chrome-trace exporter.
+//!
+//! Every recording thread owns a small ring buffer behind its own mutex;
+//! the thread-local fast path locks an uncontended mutex, pushes one
+//! event, and unlocks — no global lock is ever taken while recording.
+//! A collector ([`drain_spans`] / [`snapshot_spans`]) walks the registry
+//! of all rings. Rings wrap: when full, the oldest event is evicted and
+//! counted, so a long traced run keeps the most recent window of
+//! activity instead of growing without bound.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Events kept per thread before the ring starts evicting the oldest.
+const RING_CAP: usize = 16_384;
+
+/// One completed span, ready for export.
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    /// Span name (`train_step`, an op kind, ...).
+    pub name: &'static str,
+    /// Category: `"span"` for scoped spans, `"op"` for tape ops.
+    pub cat: &'static str,
+    /// Start, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Recording thread, as a small registry-assigned index.
+    pub tid: u32,
+    /// Optional argument rendered into the event's `args` object
+    /// (e.g. `("batch", 7)` on a serve batch span).
+    pub arg: Option<(&'static str, i64)>,
+}
+
+struct Ring {
+    events: std::collections::VecDeque<SpanEvent>,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: SpanEvent) {
+        if self.events.len() >= RING_CAP {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+/// Registry of every thread's ring. Rings are kept alive after their
+/// thread exits so a drain still sees the final events of short-lived
+/// workers (rayon shards, serve handlers).
+static REGISTRY: OnceLock<Mutex<Vec<Arc<Mutex<Ring>>>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<Vec<Arc<Mutex<Ring>>>> {
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL_RING: std::cell::OnceCell<(Arc<Mutex<Ring>>, u32)> =
+        const { std::cell::OnceCell::new() };
+}
+
+fn record_event(ev: SpanEvent) {
+    LOCAL_RING.with(|cell| {
+        let (ring, tid) = cell.get_or_init(|| {
+            let ring = Arc::new(Mutex::new(Ring {
+                events: std::collections::VecDeque::with_capacity(64),
+                dropped: 0,
+            }));
+            let mut reg = registry()
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let tid = reg.len() as u32;
+            reg.push(ring.clone());
+            (ring, tid)
+        });
+        let mut ev = ev;
+        ev.tid = *tid;
+        ring.lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(ev);
+    });
+}
+
+/// RAII guard for a scoped span; records one [`SpanEvent`] on drop.
+pub struct SpanGuard {
+    name: &'static str,
+    cat: &'static str,
+    arg: Option<(&'static str, i64)>,
+    start_ns: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end = crate::now_ns();
+        record_event(SpanEvent {
+            name: self.name,
+            cat: self.cat,
+            start_ns: self.start_ns,
+            dur_ns: end.saturating_sub(self.start_ns),
+            tid: 0,
+            arg: self.arg,
+        });
+    }
+}
+
+/// Open a scoped span; `None` (and no work at all beyond one atomic
+/// load) when tracing is disabled. Prefer the [`crate::span!`] macro.
+pub fn span(name: &'static str) -> Option<SpanGuard> {
+    if !crate::trace_enabled() {
+        return None;
+    }
+    Some(SpanGuard {
+        name,
+        cat: "span",
+        arg: None,
+        start_ns: crate::now_ns(),
+    })
+}
+
+/// Like [`span`], with one integer argument attached to the event.
+pub fn span_arg(name: &'static str, key: &'static str, val: i64) -> Option<SpanGuard> {
+    if !crate::trace_enabled() {
+        return None;
+    }
+    Some(SpanGuard {
+        name,
+        cat: "span",
+        arg: Some((key, val)),
+        start_ns: crate::now_ns(),
+    })
+}
+
+/// Record a completed interval directly (used by the op profiler, which
+/// measures its own durations instead of holding guards).
+pub(crate) fn record_interval(
+    name: &'static str,
+    cat: &'static str,
+    start_ns: u64,
+    dur_ns: u64,
+    arg: Option<(&'static str, i64)>,
+) {
+    record_event(SpanEvent {
+        name,
+        cat,
+        start_ns,
+        dur_ns,
+        tid: 0,
+        arg,
+    });
+}
+
+/// Drain every thread's ring: returns all buffered events sorted by
+/// start time, plus the total number of events evicted by wraparound
+/// since the last drain.
+pub fn drain_spans() -> (Vec<SpanEvent>, u64) {
+    collect(true, usize::MAX)
+}
+
+/// Non-destructive snapshot of up to `limit` most recent events (sorted
+/// by start time) plus the cumulative eviction count. Serves
+/// `/debug/trace` without disturbing a concurrent exporter.
+pub fn snapshot_spans(limit: usize) -> (Vec<SpanEvent>, u64) {
+    collect(false, limit)
+}
+
+fn collect(drain: bool, limit: usize) -> (Vec<SpanEvent>, u64) {
+    let rings: Vec<Arc<Mutex<Ring>>> = registry()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .clone();
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    for ring in rings {
+        let mut r = ring.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if drain {
+            events.extend(r.events.drain(..));
+            dropped += r.dropped;
+            r.dropped = 0;
+        } else {
+            events.extend(r.events.iter().cloned());
+            dropped += r.dropped;
+        }
+    }
+    events.sort_by_key(|e| (e.start_ns, e.tid));
+    if events.len() > limit {
+        events.drain(..events.len() - limit);
+    }
+    (events, dropped)
+}
+
+/// Render events as Chrome Trace Event Format JSON
+/// (`{"traceEvents": [...]}`), loadable in `chrome://tracing` and
+/// Perfetto. Timestamps are microseconds with sub-µs precision kept as
+/// fractions, per the format.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 32);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        crate::json_escape_into(e.name, &mut out);
+        out.push_str(",\"cat\":");
+        crate::json_escape_into(e.cat, &mut out);
+        out.push_str(&format!(
+            ",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}",
+            e.start_ns as f64 / 1000.0,
+            e.dur_ns as f64 / 1000.0,
+            e.tid
+        ));
+        if let Some((k, v)) = e.arg {
+            out.push_str(",\"args\":{");
+            crate::json_escape_into(k, &mut out);
+            out.push_str(&format!(":{v}}}"));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Drain all spans and write them as Chrome-trace JSON to `path`.
+/// Returns the number of events written.
+pub fn export_chrome_trace(path: &std::path::Path) -> std::io::Result<usize> {
+    let (events, _dropped) = drain_spans();
+    std::fs::write(path, chrome_trace_json(&events))?;
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _guard = crate::TEST_FLAG_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        crate::set_trace(false);
+        assert!(span("never").is_none());
+    }
+
+    #[test]
+    fn chrome_json_escapes_and_renders_args() {
+        let ev = SpanEvent {
+            name: "a\"b",
+            cat: "span",
+            start_ns: 1500,
+            dur_ns: 2500,
+            tid: 3,
+            arg: Some(("batch", 7)),
+        };
+        let json = chrome_trace_json(&[ev]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"a\\\"b\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2.500"));
+        assert!(json.contains("\"args\":{\"batch\":7}"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Structured training telemetry: JSONL records, one per training
+//! step/epoch, built with [`Record`] and collected in a bounded
+//! in-memory buffer. When `GENDT_TELEMETRY=path` is set (or
+//! [`set_telemetry_path`] is called) every record is also appended to
+//! that file as it is emitted, so a long run can be tailed live.
+//!
+//! The builder renders JSON by hand — this crate must stay
+//! zero-dependency — and maps non-finite floats to `null` (JSON has no
+//! NaN), so a diverging run produces parseable telemetry all the way to
+//! the blowup.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+/// Most records kept in memory before the oldest are evicted.
+const MEM_CAP: usize = 65_536;
+
+struct Sink {
+    /// Explicit path override (None until set; env is consulted lazily).
+    path: Option<PathBuf>,
+    env_resolved: bool,
+    lines: std::collections::VecDeque<String>,
+    dropped: u64,
+}
+
+static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+
+fn sink() -> &'static Mutex<Sink> {
+    SINK.get_or_init(|| {
+        Mutex::new(Sink {
+            path: None,
+            env_resolved: false,
+            lines: std::collections::VecDeque::new(),
+            dropped: 0,
+        })
+    })
+}
+
+/// Route telemetry records to a file (appended as JSONL), or `None` to
+/// keep them in memory only. Overrides `GENDT_TELEMETRY`.
+pub fn set_telemetry_path(path: Option<PathBuf>) {
+    let mut s = sink()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    s.path = path;
+    s.env_resolved = true;
+}
+
+/// Drain the in-memory telemetry buffer: all buffered JSONL lines in
+/// emission order, plus how many older lines were evicted by the cap.
+pub fn take_telemetry() -> (Vec<String>, u64) {
+    let mut s = sink()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let lines = s.lines.drain(..).collect();
+    let dropped = s.dropped;
+    s.dropped = 0;
+    (lines, dropped)
+}
+
+/// Builder for one telemetry record (one JSONL line).
+///
+/// ```
+/// gendt_trace::Record::new("train_step")
+///     .int("step", 3)
+///     .num("l_mse", 0.25)
+///     .emit();
+/// let (lines, _) = gendt_trace::take_telemetry();
+/// assert!(lines.last().unwrap().contains("\"l_mse\":0.25"));
+/// ```
+pub struct Record {
+    buf: String,
+}
+
+impl Record {
+    /// Start a record of the given kind (`{"kind":"train_step",...}`).
+    pub fn new(kind: &str) -> Record {
+        let mut buf = String::with_capacity(160);
+        buf.push_str("{\"kind\":");
+        crate::json_escape_into(kind, &mut buf);
+        Record { buf }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.buf.push(',');
+        crate::json_escape_into(key, &mut self.buf);
+        self.buf.push(':');
+    }
+
+    /// Add a float field; non-finite values render as `null`.
+    pub fn num(mut self, key: &str, v: f64) -> Record {
+        self.key(key);
+        if v.is_finite() {
+            let s = v.to_string();
+            self.buf.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                self.buf.push_str(".0");
+            }
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Add an integer field.
+    pub fn int(mut self, key: &str, v: i64) -> Record {
+        self.key(key);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, v: &str) -> Record {
+        self.key(key);
+        crate::json_escape_into(v, &mut self.buf);
+        self
+    }
+
+    /// Finish the record: buffer it in memory and append it to the
+    /// telemetry file when one is configured.
+    pub fn emit(mut self) {
+        self.buf.push('}');
+        let line = self.buf;
+        let mut s = sink()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if !s.env_resolved {
+            s.path = std::env::var("GENDT_TELEMETRY").ok().map(PathBuf::from);
+            s.env_resolved = true;
+        }
+        if let Some(path) = s.path.clone() {
+            // Append per record so a live run can be tailed; errors are
+            // reported once per failing emit but never panic a trainer.
+            let res = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| writeln!(f, "{line}"));
+            if let Err(e) = res {
+                crate::error!(
+                    "gendt-trace: telemetry write to {} failed: {e}",
+                    path.display()
+                );
+            }
+        }
+        if s.lines.len() >= MEM_CAP {
+            s.lines.pop_front();
+            s.dropped += 1;
+        }
+        s.lines.push_back(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_renders_all_field_kinds_and_nan_as_null() {
+        Record::new("unit\"test")
+            .int("step", 42)
+            .num("loss", 0.5)
+            .num("bad", f64::NAN)
+            .str("note", "a\nb")
+            .emit();
+        let (lines, _) = take_telemetry();
+        // Tests share the global buffer; find our record instead of
+        // assuming it is the newest line.
+        let line = lines
+            .iter()
+            .find(|l| l.contains("unit\\\"test"))
+            .expect("one record");
+        assert!(line.starts_with("{\"kind\":\"unit\\\"test\""));
+        assert!(line.contains("\"step\":42"));
+        assert!(line.contains("\"loss\":0.5"));
+        assert!(line.contains("\"bad\":null"));
+        assert!(line.contains("\"note\":\"a\\nb\""));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn integral_floats_keep_a_fraction_marker() {
+        Record::new("fraction_marker").num("v", 2.0).emit();
+        let (lines, _) = take_telemetry();
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("fraction_marker") && l.contains("\"v\":2.0")));
+    }
+}

@@ -1,0 +1,94 @@
+//! Integration tests for the span ring buffers: wraparound accounting
+//! and draining while other threads are still recording.
+
+use std::sync::Mutex;
+
+/// The tests share one global collector, so they must not interleave.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Must match `RING_CAP` in `span.rs`.
+const RING_CAP: usize = 16_384;
+
+#[test]
+fn ring_wraparound_keeps_newest_and_counts_drops() {
+    let _guard = TRACE_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    gendt_trace::set_trace(true);
+    gendt_trace::drain_spans();
+
+    let total = RING_CAP + 1000;
+    for _ in 0..total {
+        let _span = gendt_trace::span("wrap");
+    }
+    let (events, dropped) = gendt_trace::drain_spans();
+    assert_eq!(
+        events.len() + dropped as usize,
+        total,
+        "every recorded span is either kept or counted as dropped"
+    );
+    assert_eq!(events.len(), RING_CAP, "ring keeps exactly its capacity");
+    assert_eq!(dropped, 1000, "overflow evicts the oldest, one per push");
+    // The survivors are the newest: sorted drain must end at the last
+    // span's start time, which is >= every evicted span's.
+    assert!(events.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+    gendt_trace::set_trace(false);
+}
+
+#[test]
+fn drain_under_concurrent_recording_loses_nothing() {
+    let _guard = TRACE_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    gendt_trace::set_trace(true);
+    gendt_trace::drain_spans();
+
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 1000;
+    let mut harvested = 0usize;
+    let mut dropped_total = 0u64;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    let _span = gendt_trace::span_arg("concurrent", "i", 1);
+                }
+            });
+        }
+        // Drain repeatedly while recorders run: a drain mid-flight must
+        // never corrupt a ring or double-count an event.
+        for _ in 0..50 {
+            let (events, dropped) = gendt_trace::drain_spans();
+            harvested += events.len();
+            dropped_total += dropped;
+            std::thread::yield_now();
+        }
+    });
+    let (events, dropped) = gendt_trace::drain_spans();
+    harvested += events.len();
+    dropped_total += dropped;
+    assert_eq!(
+        harvested + dropped_total as usize,
+        THREADS * PER_THREAD,
+        "events harvested across drains plus evictions must equal events recorded"
+    );
+    gendt_trace::set_trace(false);
+}
+
+#[test]
+fn snapshot_is_non_destructive() {
+    let _guard = TRACE_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    gendt_trace::set_trace(true);
+    gendt_trace::drain_spans();
+
+    for _ in 0..10 {
+        let _span = gendt_trace::span("peek");
+    }
+    let (snap, _) = gendt_trace::snapshot_spans(5);
+    assert_eq!(snap.len(), 5, "snapshot honors its limit");
+    let (all, _) = gendt_trace::drain_spans();
+    assert_eq!(all.len(), 10, "snapshot left the rings untouched");
+    gendt_trace::set_trace(false);
+}

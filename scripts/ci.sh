@@ -22,6 +22,11 @@ cargo run --release -p gendt-audit -- gradcheck
 cargo run --release -p gendt-audit -- verify
 cargo run --release -p gendt-audit -- smoke
 
+# Trace smoke gate: tiny train + generation with GENDT_TRACE active,
+# asserting bitwise parity with the untraced run and that the exported
+# Chrome-trace JSON parses with the expected spans + telemetry records.
+cargo run --release -p gendt-audit -- trace-smoke
+
 # Serving layer (crates/serve): one end-to-end request against an
 # in-process server, then a CI-sized load run refreshing BENCH_serve.json.
 cargo run --release -p gendt-serve --bin gendt-loadgen -- --smoke

@@ -134,6 +134,20 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, Error>;
 }
 
+// `Value` round-trips through itself, so callers can parse arbitrary
+// JSON (`serde_json::from_str::<Value>`) and inspect it generically.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 // ---- primitive impls ---------------------------------------------------
 
 macro_rules! int_impls {
