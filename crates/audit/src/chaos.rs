@@ -1,0 +1,273 @@
+//! Chaos gate: drive a **real** server and a **real** trainer under
+//! seeded fault schedules and assert the resilience contract end to end.
+//!
+//! The unit tests in `gendt-faults`, `gendt-serve`, and `gendt`'s
+//! checkpoint module each pin one mechanism in isolation; this gate is
+//! the integration witness CI runs (`gendt-audit -- chaos`):
+//!
+//! * **Serving under faults** — an in-process server takes a baseline
+//!   `/v1/generate` response, then faults are armed one schedule at a
+//!   time: `io_err@serve.batch` must surface as typed `unavailable`
+//!   envelopes with `Retry-After` (never a panic or a hung connection),
+//!   `io_err@registry.scan` must be absorbed by `/v1/reload`'s bounded
+//!   backoff retries, and `drop@http.accept` must look like an ordinary
+//!   transient to a retrying client. Once the schedules drain, the same
+//!   request must reproduce the baseline **bitwise**, and the server
+//!   must still drain gracefully.
+//! * **Checkpointing under faults** — a trained model saves a baseline
+//!   checkpoint; an injected `io_err@checkpoint.write` must fail the
+//!   *next* save cleanly while `latest` keeps resolving to the intact
+//!   baseline (bitwise-identical on resume), and a truncated newest
+//!   checkpoint must fall back to the previous loadable one.
+//!
+//! Faults are armed via [`gendt_faults::set_spec`] (process-global), so
+//! this gate owns the fault plan for its whole run and always clears it
+//! on exit, even on failure.
+
+use gendt_faults::{clear_faults, injected_count, retry_with_backoff, set_spec, GendtError};
+use gendt_serve::api::ErrorEnvelope;
+use gendt_serve::http::{http_request, http_request_full};
+use gendt_serve::{serve, ServerCfg};
+use std::path::PathBuf;
+
+/// Clears the process-global fault plan when dropped, so a failing
+/// assertion can't leak armed faults into later gates.
+struct FaultPlanGuard;
+
+impl Drop for FaultPlanGuard {
+    fn drop(&mut self) {
+        clear_faults();
+    }
+}
+
+/// Run both chaos legs; returns `true` when the resilience contract
+/// held everywhere.
+pub fn run() -> bool {
+    println!("== chaos: real server + trainer under seeded fault schedules ==");
+    let _guard = FaultPlanGuard;
+    let mut ok = true;
+    match serve_leg() {
+        Ok(()) => println!("  serve leg: clean"),
+        Err(e) => {
+            println!("  [FAIL] serve leg: {e}");
+            ok = false;
+        }
+    }
+    match trainer_leg() {
+        Ok(()) => println!("  trainer leg: clean"),
+        Err(e) => {
+            println!("  [FAIL] trainer leg: {e}");
+            ok = false;
+        }
+    }
+    println!("chaos: {}", if ok { "clean" } else { "FAILED" });
+    ok
+}
+
+fn check(cond: bool, what: &str) -> Result<(), GendtError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(GendtError::internal(what))
+    }
+}
+
+fn generate_body() -> String {
+    // Hand-rolled JSON keeps this independent of request-type changes;
+    // the serde round-trip is pinned by gendt-serve's own tests.
+    "{\"model\":\"demo\",\"scenario\":\"walk\",\"duration_s\":30.0,\
+     \"start_x\":0.0,\"start_y\":0.0,\"traj_seed\":3,\"sample_seed\":17}"
+        .to_string()
+}
+
+fn serve_leg() -> Result<(), GendtError> {
+    let dir = std::env::temp_dir().join("gendt-chaos-models");
+    let ckpt = dir.join("demo.json");
+    if !ckpt.exists() {
+        gendt_serve::demo::write_demo_model(&ckpt, 1).map_err(|e| e.wrap("demo model"))?;
+    }
+    let cfg = ServerCfg::builder(dir)
+        .workers(1)
+        .build()
+        .map_err(|e| e.wrap("chaos server config"))?;
+    let handle = serve(cfg).map_err(|e| e.wrap("chaos server start"))?;
+    let addr = handle.addr.to_string();
+    clear_faults();
+
+    // Baseline: the answer every post-fault request must reproduce.
+    let body = generate_body();
+    let base = http_request_full(&addr, "POST", "/v1/generate", &[], Some(&body))
+        .map_err(|e| GendtError::unavailable(format!("baseline generate: {e}")))?;
+    check(base.status == 200, "baseline generate did not return 200")?;
+
+    // Schedule 1: the next two generation batches abort with injected
+    // io errors. Each must answer a typed retryable `unavailable`
+    // envelope with Retry-After — not a panic, not a hang.
+    set_spec("io_err@serve.batch:n=2", 11)?;
+    for attempt in 0..2 {
+        let resp = http_request_full(&addr, "POST", "/v1/generate", &[], Some(&body))
+            .map_err(|e| GendtError::unavailable(format!("faulted generate {attempt}: {e}")))?;
+        check(resp.status == 503, "faulted batch must answer 503")?;
+        check(
+            resp.header("retry-after") == Some("1"),
+            "shed response must carry Retry-After",
+        )?;
+        let env: ErrorEnvelope = serde_json::from_str(&resp.body)
+            .map_err(|e| GendtError::internal(format!("shed body is not an envelope: {e}")))?;
+        check(env.code == "unavailable", "shed envelope code")?;
+        check(env.retryable, "injected io errors must be retryable")?;
+    }
+    let after = http_request_full(&addr, "POST", "/v1/generate", &[], Some(&body))
+        .map_err(|e| GendtError::unavailable(format!("post-fault generate: {e}")))?;
+    check(
+        after.status == 200,
+        "request after fault drain must succeed",
+    )?;
+    check(
+        after.body == base.body,
+        "post-fault response must be bitwise-identical to the baseline",
+    )?;
+
+    // Schedule 2: one injected scan failure; /v1/reload's bounded
+    // backoff retries must absorb it without surfacing an error.
+    let injected_before = injected_count();
+    set_spec("io_err@registry.scan:n=1", 12)?;
+    let (status, reload_body) = http_request(&addr, "POST", "/v1/reload", None)
+        .map_err(|e| GendtError::unavailable(format!("reload: {e}")))?;
+    check(
+        status == 200,
+        "reload must retry through a single injected scan failure",
+    )?;
+    check(
+        reload_body.contains("demo"),
+        "reload answer must list the model",
+    )?;
+    check(
+        injected_count() > injected_before,
+        "the scan fault was never actually injected",
+    )?;
+
+    // Schedule 3: the acceptor drops the next connection on the floor.
+    // To a client with jittered-backoff retries that is an ordinary
+    // transient; the retry loop must land on the healthy server.
+    set_spec("drop@http.accept:n=1", 13)?;
+    let (status, health) = retry_with_backoff(
+        5,
+        40,
+        4,
+        21,
+        || {
+            http_request(&addr, "GET", "/v1/healthz", None)
+                .map_err(|e| GendtError::unavailable(format!("healthz: {e}")))
+        },
+        |e| e.retryable(),
+    )
+    .map_err(|e| e.wrap("healthz never recovered from a dropped connection"))?;
+    check(
+        status == 200 && health == "ok\n",
+        "healthz after the dropped connection",
+    )?;
+
+    // All schedules drained: same request, same bits, graceful drain.
+    clear_faults();
+    let final_resp = http_request_full(&addr, "POST", "/v1/generate", &[], Some(&body))
+        .map_err(|e| GendtError::unavailable(format!("final generate: {e}")))?;
+    check(final_resp.status == 200, "final generate")?;
+    check(
+        final_resp.body == base.body,
+        "response after all faults cleared must match the baseline bitwise",
+    )?;
+    let (status, drain) = http_request(&addr, "POST", "/v1/shutdown", None)
+        .map_err(|e| GendtError::unavailable(format!("shutdown: {e}")))?;
+    check(
+        status == 200 && drain == "draining\n",
+        "graceful drain must acknowledge",
+    )?;
+    handle.join();
+    Ok(())
+}
+
+/// A CI-sized trained model: tiny config, one synthetic run's window
+/// pool, one optimizer step — enough that checkpoints carry real Adam
+/// state and RNG positions.
+fn tiny_trained_model() -> Result<gendt::GenDt, GendtError> {
+    use gendt_data::{dataset_a, extract, windows, BuildCfg, ContextCfg, Kpi};
+
+    let mut cfg = gendt::GenDtCfg::fast(4, 51);
+    cfg.hidden = 8;
+    cfg.resgen_hidden = 8;
+    cfg.disc_hidden = 6;
+    cfg.window.len = 8;
+    cfg.window.stride = 8;
+    cfg.window.max_cells = 2;
+    cfg.batch_size = 4;
+    let ds = dataset_a(&BuildCfg::quick(52));
+    let run = &ds.runs[0];
+    let ctx = extract(
+        &ds.world,
+        &ds.deployment,
+        &run.traj,
+        &ContextCfg {
+            max_cells: 2,
+            ..ContextCfg::default()
+        },
+    );
+    let pool = windows(run, &ctx, &Kpi::DATASET_A, &cfg.window);
+    check(!pool.is_empty(), "synthetic dataset produced no windows")?;
+    let mut model = gendt::GenDt::new(cfg);
+    let trace = model.train_step(&pool);
+    check(trace.mse.is_finite(), "training step diverged")?;
+    Ok(model)
+}
+
+fn trainer_leg() -> Result<(), GendtError> {
+    use gendt::{resume_latest, save_train, save_train_checkpoint};
+
+    let model = tiny_trained_model()?;
+    let dir: PathBuf = std::env::temp_dir().join("gendt-chaos-ckpt");
+    let _ = std::fs::remove_dir_all(&dir);
+    clear_faults();
+
+    // Baseline save; its serialized form is the bitwise reference.
+    save_train_checkpoint(&model, 1, &dir)
+        .map_err(|e| GendtError::internal(format!("baseline save: {e}")))?;
+    let baseline = serde_json::to_string(&save_train(&model, 1))
+        .map_err(|e| GendtError::internal(format!("baseline encode: {e}")))?;
+
+    // An injected write fault must fail the save cleanly — and leave
+    // `latest` resolving to the intact baseline, bitwise.
+    set_spec("io_err@checkpoint.write:n=1", 31)?;
+    check(
+        save_train_checkpoint(&model, 2, &dir).is_err(),
+        "the injected write fault never surfaced",
+    )?;
+    clear_faults();
+    let (resumed, step, _path) = resume_latest(&dir)
+        .map_err(|e| GendtError::internal(format!("resume after faulted save: {e}")))?;
+    check(step == 1, "latest must still point at the pre-fault step")?;
+    let resumed_json = serde_json::to_string(&save_train(&resumed, 1))
+        .map_err(|e| GendtError::internal(format!("resumed encode: {e}")))?;
+    check(
+        resumed_json == baseline,
+        "resumed state must be bitwise-identical to the pre-fault checkpoint",
+    )?;
+
+    // A truncated newest checkpoint (torn write, no fsync) must fall
+    // back to the previous loadable one instead of failing the resume.
+    let newest = save_train_checkpoint(&model, 2, &dir)
+        .map_err(|e| GendtError::internal(format!("clean save: {e}")))?;
+    let bytes = std::fs::read(&newest).map_err(GendtError::from)?;
+    std::fs::write(&newest, &bytes[..bytes.len() / 2]).map_err(GendtError::from)?;
+    let (_fallback, step, path) = resume_latest(&dir)
+        .map_err(|e| GendtError::internal(format!("resume with torn newest: {e}")))?;
+    check(
+        step == 1,
+        "resume must fall back past the torn checkpoint to step 1",
+    )?;
+    check(
+        path.file_name()
+            .is_some_and(|n| n != newest.file_name().unwrap_or_default()),
+        "fallback must not claim to have loaded the torn file",
+    )?;
+    Ok(())
+}

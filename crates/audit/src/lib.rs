@@ -21,8 +21,14 @@
 //! * [`lint`] — repo-invariant source lint (plain file walking, no
 //!   external deps): `#![forbid(unsafe_code)]` in every crate root, no
 //!   `unwrap()`/`expect()` in the hot autograd/training files outside
-//!   `#[cfg(test)]`, no nondeterminism sources in training paths, and a
-//!   bitwise-equivalence test for every fused op.
+//!   `#[cfg(test)]`, no nondeterminism sources in training paths, a
+//!   bitwise-equivalence test for every fused op, and the `GendtError`
+//!   taxonomy (no `Result<_, String>`, no raw `panic!`) in the serve
+//!   request path and the trainer checkpoint path.
+//! * [`chaos`] — drives a real in-process server and a real trainer
+//!   under seeded [`gendt_faults`] schedules; asserts typed shed
+//!   envelopes, retry absorption, crash-safe checkpoints, and bitwise
+//!   recovery once the faults clear.
 //!
 //! The `GENDT_SANITIZE=1` runtime mode itself lives in
 //! [`gendt_nn::sanitize`]; this crate's binary drives a sanitized smoke
@@ -32,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod gradcheck;
 pub mod lint;
 pub mod tape;

@@ -23,6 +23,12 @@
 //!    `#[cfg(test)]` in files whose console output is routed through the
 //!    `gendt-trace` macros (`out!` / `info!` / `error!`), keeping
 //!    verbosity env-controlled and quiet by default.
+//! 6. **`error-taxonomy`** — the serve request path and the trainer
+//!    checkpoint path speak [`gendt_faults::GendtError`] only: no
+//!    `Result<_, String>` signatures (stringly errors erase the
+//!    code/HTTP-status/exit-code mapping) and no raw `panic!` outside
+//!    `#[cfg(test)]` (a panicking handler or checkpoint writer turns a
+//!    recoverable fault into an outage).
 //!
 //! The vendored stand-ins under `vendor/` model *external* crates and
 //! are deliberately out of scope.
@@ -34,8 +40,8 @@ use std::path::{Path, PathBuf};
 #[derive(Clone, Debug)]
 pub struct Violation {
     /// Rule family (`unsafe-forbid`, `no-unwrap`, `determinism`,
-    /// `fused-bitwise`, `no-prints`, or `lint-config` for missing
-    /// targets).
+    /// `fused-bitwise`, `no-prints`, `error-taxonomy`, or `lint-config`
+    /// for missing targets).
     pub rule: &'static str,
     /// File the finding is in, relative to the linted root.
     pub file: String,
@@ -113,6 +119,22 @@ const NO_PRINT_FILES: &[&str] = &[
     "crates/bench/src/bin/bench_kernels.rs",
 ];
 
+/// Files that must speak the `GendtError` taxonomy: the serve request
+/// path and the trainer checkpoint path. `Result<_, String>` loses the
+/// code → HTTP-status / exit-code mapping, and a raw `panic!` outside
+/// tests turns a recoverable fault into a dead handler thread or a
+/// half-written checkpoint.
+const ERROR_TAXONOMY_FILES: &[&str] = &[
+    "crates/serve/src/http.rs",
+    "crates/serve/src/scheduler.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/registry.rs",
+    "crates/serve/src/api.rs",
+    "crates/serve/src/bin/gendt_serve.rs",
+    "crates/core/src/checkpoint.rs",
+    "crates/core/src/bin/gendt_train.rs",
+];
+
 /// Fused ops that must each have a `*bitwise*` equivalence test in
 /// `graph.rs` proving them identical to their unfused composition.
 const FUSED_OPS: &[&str] = &[
@@ -132,6 +154,7 @@ pub fn run(root: &Path) -> Vec<Violation> {
     lint_determinism(root, &mut out);
     lint_fused_bitwise(root, &mut out);
     lint_no_prints(root, &mut out);
+    lint_error_taxonomy(root, &mut out);
     out
 }
 
@@ -476,6 +499,91 @@ fn lint_no_prints(root: &Path, out: &mut Vec<Violation>) {
                 message: "bare print in a telemetry-routed file; use \
                           gendt_trace::{out!, info!, error!}"
                     .into(),
+            });
+        }
+    }
+}
+
+/// Byte offsets of `Result<` tokens whose *error* type argument is
+/// exactly `String`, found by matching the generic bracket nesting and
+/// splitting the arguments at top-level commas. Catches
+/// `Result<T, String>` for arbitrarily nested `T` without firing on
+/// `Vec<(String, String)>` or map types.
+fn result_string_offsets(stripped: &str) -> Vec<usize> {
+    let b = stripped.as_bytes();
+    let mut hits = Vec::new();
+    for byte in find_all(stripped, "Result<") {
+        // Token boundary: `IoResult<` or `result<` must not match.
+        if byte > 0 {
+            let prev = b[byte - 1];
+            if prev.is_ascii_alphanumeric() || prev == b'_' {
+                continue;
+            }
+        }
+        let open = byte + "Result<".len() - 1;
+        let mut depth = 0usize;
+        let mut top_commas = Vec::new();
+        let mut close = None;
+        for (j, &c) in b.iter().enumerate().skip(open) {
+            match c {
+                b'<' | b'(' | b'[' => depth += 1,
+                b'>' | b')' | b']' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                b',' if depth == 1 => top_commas.push(j),
+                _ => {}
+            }
+        }
+        let (Some(close), Some(&comma)) = (close, top_commas.first()) else {
+            continue; // Result<T> alias or unclosed — not our shape
+        };
+        if stripped[comma + 1..close].trim() == "String" {
+            hits.push(byte);
+        }
+    }
+    hits
+}
+
+fn lint_error_taxonomy(root: &Path, out: &mut Vec<Violation>) {
+    for &rel in ERROR_TAXONOMY_FILES {
+        let Some(src) = read(root, rel) else {
+            missing(out, "error-taxonomy", rel);
+            continue;
+        };
+        let stripped = strip_source(&src);
+        let regions = test_regions(&stripped);
+        for byte in result_string_offsets(&stripped) {
+            if in_regions(&regions, byte) {
+                continue;
+            }
+            out.push(Violation {
+                rule: "error-taxonomy",
+                file: rel.to_string(),
+                line: line_of(&src, byte),
+                message: "Result<_, String> in a taxonomy file; use gendt_faults::GendtError"
+                    .into(),
+            });
+        }
+        for byte in find_all(&stripped, "panic!") {
+            if in_regions(&regions, byte) {
+                continue;
+            }
+            // Token boundary: `dont_panic!` must not match.
+            if byte > 0 {
+                let prev = stripped.as_bytes()[byte - 1];
+                if prev.is_ascii_alphanumeric() || prev == b'_' {
+                    continue;
+                }
+            }
+            out.push(Violation {
+                rule: "error-taxonomy",
+                file: rel.to_string(),
+                line: line_of(&src, byte),
+                message: "raw panic! outside #[cfg(test)]; propagate a GendtError instead".into(),
             });
         }
     }

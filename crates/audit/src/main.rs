@@ -7,6 +7,7 @@
 //! cargo run --release -p gendt-audit -- verify      # tape-verify zoo + a real training graph
 //! cargo run --release -p gendt-audit -- smoke       # sanitized train step + generation
 //! cargo run --release -p gendt-audit -- trace-smoke # traced run: bitwise parity + Chrome-trace JSON
+//! cargo run --release -p gendt-audit -- chaos       # server + trainer under seeded fault schedules
 //! cargo run --release -p gendt-audit -- all         # everything above
 //! ```
 //!
@@ -14,7 +15,7 @@
 
 #![forbid(unsafe_code)]
 
-use gendt_audit::{gradcheck, lint, tape, zoo};
+use gendt_audit::{chaos, gradcheck, lint, tape, zoo};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
         "verify" => run_verify(),
         "smoke" => run_smoke(),
         "trace-smoke" => run_trace_smoke(),
+        "chaos" => chaos::run(),
         "all" => {
             // Non-short-circuiting: report every failing check at once.
             let l = run_lint(".");
@@ -34,11 +36,12 @@ fn main() -> ExitCode {
             let v = run_verify();
             let s = run_smoke();
             let t = run_trace_smoke();
-            l && g && v && s && t
+            let c = chaos::run();
+            l && g && v && s && t && c
         }
         other => {
             eprintln!(
-                "unknown subcommand `{other}` (expected gradcheck|lint|verify|smoke|trace-smoke|all)"
+                "unknown subcommand `{other}` (expected gradcheck|lint|verify|smoke|trace-smoke|chaos|all)"
             );
             false
         }

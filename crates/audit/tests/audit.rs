@@ -387,6 +387,44 @@ mod tests {
         "crates/serve/src/batch.rs",
         "pub fn assemble() {\n    let _t = std::time::Instant::now();\n}\n",
     );
+    // Seed 10 (error-taxonomy): a stringly-typed Result AND a raw panic!
+    // in the registry (request path). The `Vec<(String, String)>` header
+    // type and the `IoResult<` prefix are decoys that must not fire.
+    write_fixture(
+        &root,
+        "crates/serve/src/registry.rs",
+        r#"
+pub type IoResult<T> = std::result::Result<T, std::io::Error>;
+pub fn headers() -> Vec<(String, String)> {
+    Vec::new()
+}
+pub fn scan() -> Result<Vec<u8>, String> {
+    panic!("seeded violation")
+}
+"#,
+    );
+    // Error-taxonomy decoys: the violating tokens inside #[cfg(test)],
+    // comments, and strings are all exempt.
+    write_fixture(
+        &root,
+        "crates/serve/src/api.rs",
+        r#"
+// a comment mentioning Result<T, String> and panic! must not fire
+pub fn encode() -> Result<u8, std::io::Error> {
+    let msg = "string saying panic! and Result<u8, String> must not fire";
+    let _ = msg;
+    Ok(0)
+}
+#[cfg(test)]
+mod tests {
+    fn exempt() -> Result<(), String> {
+        panic!("panics in tests are fine")
+    }
+}
+"#,
+    );
+    write_fixture(&root, "crates/serve/src/bin/gendt_serve.rs", CLEAN_FILE);
+    write_fixture(&root, "crates/core/src/bin/gendt_train.rs", CLEAN_FILE);
     // Seed 9 (no-prints): a bare println! in a telemetry-routed file;
     // prints in comments, strings, and #[cfg(test)] are decoys.
     write_fixture(
@@ -457,6 +495,18 @@ fn lint_detects_seeded_violations_and_ignores_decoys() {
         has("no-prints", "crates/eval/src/main.rs"),
         "seeded bare println! not caught"
     );
+    assert!(
+        violations.iter().any(|v| v.rule == "error-taxonomy"
+            && v.file == "crates/serve/src/registry.rs"
+            && v.message.contains("Result<_, String>")),
+        "seeded stringly Result not caught"
+    );
+    assert!(
+        violations.iter().any(|v| v.rule == "error-taxonomy"
+            && v.file == "crates/serve/src/registry.rs"
+            && v.message.contains("panic!")),
+        "seeded raw panic! not caught"
+    );
 
     // Decoys must stay quiet.
     let graph_unwraps: Vec<_> = violations
@@ -503,6 +553,21 @@ fn lint_detects_seeded_violations_and_ignores_decoys() {
     assert_eq!(
         print_hits[0].line, 6,
         "violation should point at the seeded print line"
+    );
+    let taxonomy_hits: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == "error-taxonomy")
+        .collect();
+    assert_eq!(
+        taxonomy_hits.len(),
+        2,
+        "type-alias/tuple/comment/string/test decoys must not fire: {taxonomy_hits:?}"
+    );
+    assert!(
+        taxonomy_hits
+            .iter()
+            .all(|v| v.file == "crates/serve/src/registry.rs"),
+        "only the seeded registry file may fire: {taxonomy_hits:?}"
     );
 }
 

@@ -1,0 +1,182 @@
+//! `gendt-train` — train a GenDT model with crash-safe checkpointing
+//! and bitwise-identical resume.
+//!
+//! ```text
+//! gendt-train --out DIR [--steps N] [--seed S] [--ckpt-every K] [--resume]
+//! ```
+//!
+//! The training workload is the synthetic dataset-A pool derived from
+//! `--seed`, so two invocations with the same flags run the same
+//! trajectory. Every `--ckpt-every` steps the full training state
+//! (parameters, Adam moments, RNG, loss trace) is written atomically
+//! into `DIR` and the rolling `latest` pointer is advanced; `--resume`
+//! picks up from the newest loadable checkpoint — after a SIGKILL at
+//! any point the continuation is bitwise-identical to an uninterrupted
+//! run. The final model lands in `DIR/final.json`.
+//!
+//! Fault probes: `checkpoint.write`, `checkpoint.read`, and a `slow` /
+//! `io_err` point at `train.step` (see `GENDT_FAULTS` in DESIGN.md §10).
+
+#![forbid(unsafe_code)]
+
+use gendt::checkpoint::{resume_latest, save_model_to_file, save_train_checkpoint};
+use gendt::{GenDt, GenDtCfg};
+use gendt_data::builders::{dataset_a, BuildCfg};
+use gendt_data::context::{extract, ContextCfg};
+use gendt_data::kpi_types::Kpi;
+use gendt_data::windows::{windows as make_windows, Window};
+use gendt_faults::{ErrorKind, GendtError};
+use gendt_nn::checkpoint::CheckpointError;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    out: PathBuf,
+    steps: u64,
+    seed: u64,
+    ckpt_every: u64,
+    resume: bool,
+}
+
+fn parse_opts() -> Result<Opts, GendtError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<PathBuf> = None;
+    let mut steps = 12u64;
+    let mut seed = 7u64;
+    let mut ckpt_every = 2u64;
+    let mut resume = false;
+    let mut it = argv.iter();
+    let need = |flag: &str, v: Option<&String>| -> Result<String, GendtError> {
+        v.cloned()
+            .ok_or_else(|| GendtError::config(format!("{flag} needs a value")))
+    };
+    let int = |flag: &str, v: String| -> Result<u64, GendtError> {
+        v.parse()
+            .map_err(|_| GendtError::config(format!("{flag}: '{v}' is not an integer")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(PathBuf::from(need("--out", it.next())?)),
+            "--steps" => steps = int("--steps", need("--steps", it.next())?)?,
+            "--seed" => seed = int("--seed", need("--seed", it.next())?)?,
+            "--ckpt-every" => {
+                ckpt_every = int("--ckpt-every", need("--ckpt-every", it.next())?)?;
+                if ckpt_every == 0 {
+                    return Err(GendtError::config("--ckpt-every must be > 0"));
+                }
+            }
+            "--resume" => resume = true,
+            other => return Err(GendtError::config(format!("unknown flag {other}"))),
+        }
+    }
+    Ok(Opts {
+        out: out.ok_or_else(|| GendtError::config("--out DIR is required"))?,
+        steps,
+        seed,
+        ckpt_every,
+        resume,
+    })
+}
+
+/// Map checkpoint-layer failures onto the workspace taxonomy.
+fn from_ckpt(e: CheckpointError) -> GendtError {
+    match e {
+        CheckpointError::Io(e) => GendtError::from(e),
+        CheckpointError::Format(msg) => GendtError::corrupt(msg),
+        other => GendtError::corrupt(other.to_string()),
+    }
+}
+
+/// Deterministic training pool: dataset A built from the run seed.
+fn training_pool(cfg: &GenDtCfg, seed: u64) -> Vec<Window> {
+    let ds = dataset_a(&BuildCfg::quick(seed ^ 0x0DD5_EEDF_00D5));
+    let run = &ds.runs[0];
+    let ctx = extract(
+        &ds.world,
+        &ds.deployment,
+        &run.traj,
+        &ContextCfg {
+            max_cells: cfg.window.max_cells,
+            ..ContextCfg::default()
+        },
+    );
+    make_windows(run, &ctx, &Kpi::DATASET_A, &cfg.window)
+}
+
+fn train_cfg(seed: u64, steps: u64) -> Result<GenDtCfg, GendtError> {
+    let mut cfg = GenDtCfg::builder(4, seed)
+        .hidden(8)
+        .resgen_hidden(8)
+        .disc_hidden(4)
+        .window(10, 10)
+        .max_cells(2)
+        .batch_size(4)
+        .build()?;
+    cfg.steps = steps as usize;
+    Ok(cfg)
+}
+
+fn run() -> Result<(), GendtError> {
+    let opts = parse_opts()?;
+    let cfg = train_cfg(opts.seed, opts.steps)?;
+    let pool = training_pool(&cfg, opts.seed);
+    if pool.is_empty() {
+        return Err(GendtError::internal("training pool came out empty"));
+    }
+
+    let (mut model, mut step) = if opts.resume {
+        let (model, step, path) = resume_latest(&opts.out).map_err(from_ckpt)?;
+        if model.cfg().seed != cfg.seed {
+            return Err(GendtError::corrupt(format!(
+                "checkpoint {} was trained with seed {}, not --seed {}",
+                path.display(),
+                model.cfg().seed,
+                cfg.seed
+            )));
+        }
+        gendt_trace::info!("resumed from {} at step {step}", path.display());
+        (model, step)
+    } else {
+        (GenDt::new(cfg), 0)
+    };
+
+    while step < opts.steps {
+        // Chaos schedules slow the loop here so a kill-and-resume test
+        // can reliably land its SIGKILL mid-run.
+        gendt_faults::sleep_if_slow("train.step");
+        gendt_faults::fail_io("train.step").map_err(GendtError::from)?;
+        model.train_step(&pool);
+        step += 1;
+        if step % opts.ckpt_every == 0 && step < opts.steps {
+            let path = save_train_checkpoint(&model, step, &opts.out).map_err(from_ckpt)?;
+            gendt_trace::info!("checkpoint at step {step}: {}", path.display());
+        }
+    }
+
+    std::fs::create_dir_all(&opts.out).map_err(GendtError::from)?;
+    let final_path = opts.out.join("final.json");
+    save_model_to_file(&model, &final_path).map_err(from_ckpt)?;
+    gendt_trace::out!(
+        "trained {} steps (seed {}), final model at {}",
+        opts.steps,
+        opts.seed,
+        final_path.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            gendt_trace::error!("gendt-train: {e}");
+            if e.kind() == ErrorKind::Config {
+                gendt_trace::error!(
+                    "usage: gendt-train --out DIR [--steps N] [--seed S] \
+                     [--ckpt-every K] [--resume]"
+                );
+            }
+            ExitCode::from(e.exit_code())
+        }
+    }
+}

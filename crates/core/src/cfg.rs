@@ -1,6 +1,7 @@
 //! GenDT model configuration and ablation switches.
 
 use gendt_data::windows::WindowCfg;
+use gendt_faults::GendtError;
 use gendt_nn::StochasticCfg;
 use serde::{Deserialize, Serialize};
 
@@ -142,6 +143,145 @@ impl GenDtCfg {
             }
         }
     }
+
+    /// Start a validated builder from the `fast` profile. `build()`
+    /// rejects degenerate values (zero batch window, zero-size layers,
+    /// non-finite learning rates) with a descriptive [`GendtError`]
+    /// instead of panicking deep inside training.
+    pub fn builder(n_ch: usize, seed: u64) -> GenDtCfgBuilder {
+        GenDtCfgBuilder {
+            cfg: GenDtCfg::fast(n_ch, seed),
+        }
+    }
+
+    /// Check every field for degenerate values. Construction through
+    /// [`builder`](Self::builder) calls this; direct struct literals can
+    /// call it before handing the config to [`crate::GenDt::new`].
+    pub fn validate(&self) -> Result<(), GendtError> {
+        let bad = |msg: String| Err(GendtError::config(format!("GenDtCfg: {msg}")));
+        if self.n_ch == 0 {
+            return bad("n_ch must be > 0 (no KPI channels to model)".into());
+        }
+        if self.hidden == 0 || self.resgen_hidden == 0 || self.disc_hidden == 0 {
+            return bad(format!(
+                "layer sizes must be > 0 (hidden={}, resgen_hidden={}, disc_hidden={})",
+                self.hidden, self.resgen_hidden, self.disc_hidden
+            ));
+        }
+        if self.window.len == 0 {
+            return bad("window.len must be > 0 (zero batch window)".into());
+        }
+        if self.window.stride == 0 {
+            return bad("window.stride must be > 0 (windowing would not advance)".into());
+        }
+        if self.window.max_cells == 0 {
+            return bad("window.max_cells must be > 0 (no serving-cell candidates)".into());
+        }
+        if self.batch_size == 0 {
+            return bad("batch_size must be > 0".into());
+        }
+        if self.train_shards == 0 {
+            return bad("train_shards must be > 0".into());
+        }
+        for (name, lr) in [("lr_g", self.lr_g), ("lr_d", self.lr_d)] {
+            if !(lr.is_finite() && lr > 0.0) {
+                return bad(format!("{name}={lr} must be finite and > 0"));
+            }
+        }
+        if !(self.lambda_gan.is_finite() && self.lambda_gan >= 0.0) {
+            return bad(format!(
+                "lambda_gan={} must be finite and >= 0",
+                self.lambda_gan
+            ));
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return bad(format!("dropout={} must be in [0, 1)", self.dropout));
+        }
+        if !(self.grad_clip.is_finite() && self.grad_clip > 0.0) {
+            return bad(format!(
+                "grad_clip={} must be finite and > 0",
+                self.grad_clip
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`GenDtCfg`] whose `build()` validates instead of
+/// letting a bad value panic later (`gen_range(0)`, zero-size matmul).
+#[derive(Clone, Debug)]
+pub struct GenDtCfgBuilder {
+    cfg: GenDtCfg,
+}
+
+impl GenDtCfgBuilder {
+    /// LSTM hidden dimension.
+    pub fn hidden(mut self, hidden: usize) -> Self {
+        self.cfg.hidden = hidden;
+        self
+    }
+
+    /// ResGen hidden layer width.
+    pub fn resgen_hidden(mut self, width: usize) -> Self {
+        self.cfg.resgen_hidden = width;
+        self
+    }
+
+    /// Discriminator hidden dimension.
+    pub fn disc_hidden(mut self, width: usize) -> Self {
+        self.cfg.disc_hidden = width;
+        self
+    }
+
+    /// Batch window length and stride.
+    pub fn window(mut self, len: usize, stride: usize) -> Self {
+        self.cfg.window.len = len;
+        self.cfg.window.stride = stride;
+        self
+    }
+
+    /// Serving-cell candidates per step.
+    pub fn max_cells(mut self, max_cells: usize) -> Self {
+        self.cfg.window.max_cells = max_cells;
+        self
+    }
+
+    /// Mini-batch size (windows per step).
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.cfg.batch_size = batch_size;
+        self
+    }
+
+    /// Training steps.
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.cfg.steps = steps;
+        self
+    }
+
+    /// Generator / discriminator learning rates.
+    pub fn learning_rates(mut self, lr_g: f32, lr_d: f32) -> Self {
+        self.cfg.lr_g = lr_g;
+        self.cfg.lr_d = lr_d;
+        self
+    }
+
+    /// Data-parallel shards per training step.
+    pub fn train_shards(mut self, shards: usize) -> Self {
+        self.cfg.train_shards = shards;
+        self
+    }
+
+    /// Ablation switches.
+    pub fn ablation(mut self, ablation: Ablation) -> Self {
+        self.cfg.ablation = ablation;
+        self
+    }
+
+    /// Validate and return the configuration.
+    pub fn build(self) -> Result<GenDtCfg, GendtError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +303,50 @@ mod tests {
         let c = GenDtCfg::fast(2, 1);
         let w = c.generation_window();
         assert_eq!(w.stride, w.len);
+    }
+
+    #[test]
+    fn builder_validates_and_rejects_degenerate_configs() {
+        let cfg = GenDtCfg::builder(4, 1)
+            .hidden(16)
+            .window(20, 5)
+            .batch_size(4)
+            .steps(10)
+            .build()
+            .expect("valid config builds");
+        assert_eq!(cfg.hidden, 16);
+        assert_eq!(cfg.window.len, 20);
+
+        // Zero batch window is the canonical degenerate value.
+        let err = GenDtCfg::builder(4, 1)
+            .window(0, 5)
+            .build()
+            .expect_err("zero window must be rejected");
+        assert_eq!(err.kind(), gendt_faults::ErrorKind::Config);
+        assert!(err.context().contains("zero batch window"), "{err}");
+
+        for bad in [
+            GenDtCfg::builder(0, 1).build(),
+            GenDtCfg::builder(4, 1).hidden(0).build(),
+            GenDtCfg::builder(4, 1).window(10, 0).build(),
+            GenDtCfg::builder(4, 1).batch_size(0).build(),
+            GenDtCfg::builder(4, 1).train_shards(0).build(),
+            GenDtCfg::builder(4, 1).learning_rates(-1.0, 1e-3).build(),
+            GenDtCfg::builder(4, 1)
+                .learning_rates(f32::NAN, 1e-3)
+                .build(),
+        ] {
+            let err = bad.expect_err("degenerate config must be rejected");
+            assert_eq!(err.kind(), gendt_faults::ErrorKind::Config);
+        }
+    }
+
+    #[test]
+    fn paper_and_fast_profiles_validate() {
+        GenDtCfg::paper(4, 1)
+            .validate()
+            .expect("paper profile valid");
+        GenDtCfg::fast(2, 1).validate().expect("fast profile valid");
     }
 
     #[test]

@@ -55,9 +55,11 @@ pub mod trainer;
 pub mod transfer;
 
 pub use active::{run_selection, ActiveConfig, SelectionPoint, SelectionPolicy};
-pub use cfg::{Ablation, GenDtCfg};
+pub use cfg::{Ablation, GenDtCfg, GenDtCfgBuilder};
 pub use checkpoint::{
-    load_model, load_model_from_file, save_model, save_model_to_file, ModelCheckpoint,
+    load_model, load_model_from_file, load_train_checkpoint, parse_train_checkpoint, restore_train,
+    resume_latest, save_model, save_model_to_file, save_train, save_train_checkpoint,
+    ModelCheckpoint, TrainCheckpoint, LATEST_POINTER,
 };
 pub use discriminator::Discriminator;
 pub use generate::{

@@ -41,9 +41,11 @@ pub struct GenDt {
     pub discriminator: Discriminator,
     /// Loss history, one entry per training step.
     pub trace: Vec<StepTrace>,
-    opt_g: Adam,
-    opt_d: Adam,
-    rng: Rng,
+    // pub(crate) so `checkpoint` can snapshot/restore the full training
+    // state (optimizer moments + RNG) for bitwise-identical resume.
+    pub(crate) opt_g: Adam,
+    pub(crate) opt_d: Adam,
+    pub(crate) rng: Rng,
 }
 
 impl GenDt {

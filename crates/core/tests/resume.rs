@@ -1,0 +1,172 @@
+//! Kill-and-resume: SIGKILL `gendt-train` mid-run, resume from the
+//! rolling `latest` checkpoint, and require the final model to be
+//! bitwise-identical to an uninterrupted run with the same seed.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Serializes tests that arm the process-global fault plan.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn train_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_gendt-train")
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gendt-resume-{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn run_to_completion(dir: &Path, resume: bool) {
+    let mut cmd = Command::new(train_bin());
+    cmd.args(["--out"])
+        .arg(dir)
+        .args(["--steps", "10", "--seed", "7", "--ckpt-every", "2"])
+        .env_remove("GENDT_FAULTS")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if resume {
+        cmd.arg("--resume");
+    }
+    let status = cmd.status().expect("spawn gendt-train");
+    assert!(status.success(), "gendt-train failed: {status:?}");
+}
+
+fn has_checkpoint(dir: &Path) -> bool {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok()).any(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name.starts_with("step_") && name.ends_with(".ckpt")
+            })
+        })
+        .unwrap_or(false)
+}
+
+#[test]
+fn kill_and_resume_is_bitwise_identical() {
+    // Uninterrupted baseline with the same seed and step count.
+    let baseline = fresh_dir("baseline");
+    run_to_completion(&baseline, false);
+    let want = std::fs::read(baseline.join("final.json")).expect("baseline final model");
+
+    // Victim run: slowed via the fault harness so the SIGKILL reliably
+    // lands mid-training, after at least one checkpoint exists.
+    let victim = fresh_dir("victim");
+    let mut child = Command::new(train_bin())
+        .args(["--out"])
+        .arg(&victim)
+        .args(["--steps", "10", "--seed", "7", "--ckpt-every", "2"])
+        .env("GENDT_FAULTS", "slow@train.step:ms=200")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn gendt-train victim");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !has_checkpoint(&victim) {
+        assert!(Instant::now() < deadline, "no checkpoint appeared in 60s");
+        if let Some(status) = child.try_wait().expect("poll child") {
+            panic!("victim exited before it could be killed: {status:?}");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL the victim"); // SIGKILL on unix
+    child.wait().expect("reap the victim");
+
+    // Resume from whatever the kill left behind and finish the run.
+    run_to_completion(&victim, true);
+    let got = std::fs::read(victim.join("final.json")).expect("resumed final model");
+    assert_eq!(
+        got, want,
+        "resumed final model differs bitwise from the uninterrupted run"
+    );
+
+    std::fs::remove_dir_all(&baseline).ok();
+    std::fs::remove_dir_all(&victim).ok();
+}
+
+#[test]
+fn resume_without_checkpoints_fails_with_taxonomy_exit_code() {
+    let dir = fresh_dir("empty-resume");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let status = Command::new(train_bin())
+        .args(["--out"])
+        .arg(&dir)
+        .args(["--steps", "4", "--seed", "7", "--resume"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn gendt-train");
+    // "no training checkpoint found" is a Corrupt-kind failure → exit 4.
+    assert_eq!(status.code(), Some(4), "unexpected exit: {status:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_flags_exit_with_config_code() {
+    let status = Command::new(train_bin())
+        .args(["--steps", "banana"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn gendt-train");
+    assert_eq!(status.code(), Some(2), "config errors map to exit 2");
+}
+
+#[test]
+fn injected_write_fault_never_corrupts_the_latest_checkpoint() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = fresh_dir("write-fault");
+
+    let mut cfg = gendt::GenDtCfg::builder(4, 57)
+        .hidden(8)
+        .resgen_hidden(8)
+        .disc_hidden(4)
+        .window(10, 10)
+        .max_cells(2)
+        .batch_size(4)
+        .build()
+        .expect("valid config");
+    cfg.steps = 2;
+    let ds = gendt_data::builders::dataset_a(&gendt_data::builders::BuildCfg::quick(58));
+    let run = &ds.runs[0];
+    let ctx = gendt_data::context::extract(
+        &ds.world,
+        &ds.deployment,
+        &run.traj,
+        &gendt_data::context::ContextCfg {
+            max_cells: 2,
+            ..Default::default()
+        },
+    );
+    let pool = gendt_data::windows::windows(
+        run,
+        &ctx,
+        &gendt_data::kpi_types::Kpi::DATASET_A,
+        &cfg.window,
+    );
+
+    let mut model = gendt::GenDt::new(cfg);
+    model.train_step(&pool);
+    gendt::save_train_checkpoint(&model, 1, &dir).expect("first checkpoint");
+
+    // Every subsequent write fails with an injected io::Error; the
+    // step-1 checkpoint and its `latest` pointer must survive untouched.
+    gendt_faults::set_spec("io_err@checkpoint.write:n=100", 3).expect("arm faults");
+    model.train_step(&pool);
+    let res = gendt::save_train_checkpoint(&model, 2, &dir);
+    gendt_faults::clear_faults();
+    let err = res.expect_err("injected write fault must surface");
+    assert!(
+        err.to_string().contains("injected fault"),
+        "undescriptive error: {err}"
+    );
+
+    let (_model, step, _path) = gendt::resume_latest(&dir).expect("resume after failed write");
+    assert_eq!(step, 1, "failed write must leave the old latest intact");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -12,6 +12,7 @@ use gendt_eval::{
     exp_ablation, exp_coverage, exp_efficiency, exp_extra, exp_fidelity, exp_usecases,
     run_standalone, Bundle, EvalCfg, Report, EXPERIMENTS,
 };
+use gendt_faults::GendtError;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -23,7 +24,7 @@ struct Args {
     list: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Args, GendtError> {
     let mut exps = Vec::new();
     let mut quick = false;
     let mut seed = 42u64;
@@ -35,7 +36,9 @@ fn parse_args() -> Result<Args, String> {
         match argv[i].as_str() {
             "--exp" => {
                 i += 1;
-                let v = argv.get(i).ok_or("--exp needs a value")?;
+                let v = argv
+                    .get(i)
+                    .ok_or_else(|| GendtError::config("--exp needs a value"))?;
                 exps.extend(v.split(',').map(|s| s.trim().to_string()));
             }
             "--quick" => quick = true,
@@ -43,13 +46,16 @@ fn parse_args() -> Result<Args, String> {
                 i += 1;
                 seed = argv
                     .get(i)
-                    .ok_or("--seed needs a value")?
+                    .ok_or_else(|| GendtError::config("--seed needs a value"))?
                     .parse()
-                    .map_err(|e| format!("bad seed: {e}"))?;
+                    .map_err(|e| GendtError::config(format!("bad seed: {e}")))?;
             }
             "--out" => {
                 i += 1;
-                out = PathBuf::from(argv.get(i).ok_or("--out needs a value")?);
+                out = PathBuf::from(
+                    argv.get(i)
+                        .ok_or_else(|| GendtError::config("--out needs a value"))?,
+                );
             }
             "--list" => list = true,
             "--help" | "-h" => {
@@ -61,7 +67,11 @@ fn parse_args() -> Result<Args, String> {
                 );
                 std::process::exit(0);
             }
-            other => return Err(format!("unknown argument {other:?} (try --help)")),
+            other => {
+                return Err(GendtError::config(format!(
+                    "unknown argument {other:?} (try --help)"
+                )))
+            }
         }
         i += 1;
     }
@@ -79,7 +89,7 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             gendt_trace::error!("error: {e}");
-            std::process::exit(2);
+            std::process::exit(e.exit_code() as i32);
         }
     };
     if args.list {
@@ -95,8 +105,9 @@ fn main() {
     };
     for e in &exps {
         if !EXPERIMENTS.contains(&e.as_str()) {
-            gendt_trace::error!("error: unknown experiment {e:?}; use --list");
-            std::process::exit(2);
+            let err = GendtError::config(format!("unknown experiment {e:?}; use --list"));
+            gendt_trace::error!("error: {err}");
+            std::process::exit(err.exit_code() as i32);
         }
     }
     exps.dedup();

@@ -1,0 +1,262 @@
+//! The workspace error taxonomy: one carrier type, three projections
+//! (HTTP status, typed JSON envelope code, CLI exit code).
+
+use std::fmt;
+
+/// Failure classification shared by every GenDT surface.
+///
+/// The kind decides all three projections of an error — HTTP status,
+/// envelope `code` string, and CLI exit code — plus the default
+/// `retryable` flag, so callers never invent their own mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request itself is malformed (bad JSON, unknown scenario,
+    /// out-of-range duration). Not retryable: resending won't help.
+    InvalidRequest,
+    /// A named resource (model, checkpoint, route) does not exist.
+    NotFound,
+    /// The server is saturated and shed the request. Retry after a
+    /// short delay (HTTP 429 + `Retry-After`).
+    Overloaded,
+    /// The service is temporarily unable to answer (draining, mid
+    /// reload, injected outage). Retry after a short delay (HTTP 503).
+    Unavailable,
+    /// A deadline expired before the work completed (HTTP 504).
+    Timeout,
+    /// An I/O operation failed (disk, socket). Often transient.
+    Io,
+    /// Stored state failed validation (torn checkpoint, foreign file,
+    /// shape mismatch). Never retryable: the bytes are wrong.
+    Corrupt,
+    /// Invalid configuration (zero batch window, bad port, flag misuse).
+    Config,
+    /// A bug: invariant violation, panic caught at a boundary.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Stable snake_case code used in the v1 JSON error envelope.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorKind::InvalidRequest => "invalid_request",
+            ErrorKind::NotFound => "not_found",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Unavailable => "unavailable",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Io => "io_error",
+            ErrorKind::Corrupt => "corrupt",
+            ErrorKind::Config => "config",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// HTTP status this kind maps to on the serve surface.
+    pub fn http_status(self) -> u16 {
+        match self {
+            ErrorKind::InvalidRequest => 400,
+            ErrorKind::NotFound => 404,
+            ErrorKind::Overloaded => 429,
+            ErrorKind::Unavailable => 503,
+            ErrorKind::Timeout => 504,
+            ErrorKind::Io | ErrorKind::Corrupt | ErrorKind::Config | ErrorKind::Internal => 500,
+        }
+    }
+
+    /// Process exit code this kind maps to on the CLI surface.
+    /// 0 is success; 1 is reserved for internal faults.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorKind::Internal => 1,
+            ErrorKind::InvalidRequest | ErrorKind::Config => 2,
+            ErrorKind::Io => 3,
+            ErrorKind::Corrupt => 4,
+            ErrorKind::NotFound => 5,
+            ErrorKind::Timeout => 6,
+            ErrorKind::Overloaded | ErrorKind::Unavailable => 7,
+        }
+    }
+
+    /// Whether a client should retry by default for this kind.
+    pub fn default_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorKind::Overloaded | ErrorKind::Unavailable | ErrorKind::Timeout | ErrorKind::Io
+        )
+    }
+}
+
+/// The workspace error type: a kind plus human context plus an explicit
+/// retryable flag (defaulted from the kind, overridable per error).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GendtError {
+    kind: ErrorKind,
+    context: String,
+    retryable: bool,
+}
+
+impl GendtError {
+    /// Build an error of `kind` with human-readable context.
+    pub fn new(kind: ErrorKind, context: impl Into<String>) -> Self {
+        GendtError {
+            kind,
+            context: context.into(),
+            retryable: kind.default_retryable(),
+        }
+    }
+
+    /// Shorthand: [`ErrorKind::InvalidRequest`].
+    pub fn invalid(context: impl Into<String>) -> Self {
+        GendtError::new(ErrorKind::InvalidRequest, context)
+    }
+
+    /// Shorthand: [`ErrorKind::NotFound`].
+    pub fn not_found(context: impl Into<String>) -> Self {
+        GendtError::new(ErrorKind::NotFound, context)
+    }
+
+    /// Shorthand: [`ErrorKind::Overloaded`].
+    pub fn overloaded(context: impl Into<String>) -> Self {
+        GendtError::new(ErrorKind::Overloaded, context)
+    }
+
+    /// Shorthand: [`ErrorKind::Unavailable`].
+    pub fn unavailable(context: impl Into<String>) -> Self {
+        GendtError::new(ErrorKind::Unavailable, context)
+    }
+
+    /// Shorthand: [`ErrorKind::Timeout`].
+    pub fn timeout(context: impl Into<String>) -> Self {
+        GendtError::new(ErrorKind::Timeout, context)
+    }
+
+    /// Shorthand: [`ErrorKind::Io`].
+    pub fn io(context: impl Into<String>) -> Self {
+        GendtError::new(ErrorKind::Io, context)
+    }
+
+    /// Shorthand: [`ErrorKind::Corrupt`].
+    pub fn corrupt(context: impl Into<String>) -> Self {
+        GendtError::new(ErrorKind::Corrupt, context)
+    }
+
+    /// Shorthand: [`ErrorKind::Config`].
+    pub fn config(context: impl Into<String>) -> Self {
+        GendtError::new(ErrorKind::Config, context)
+    }
+
+    /// Shorthand: [`ErrorKind::Internal`].
+    pub fn internal(context: impl Into<String>) -> Self {
+        GendtError::new(ErrorKind::Internal, context)
+    }
+
+    /// Override the retryable flag (e.g. an `Io` error known permanent).
+    pub fn with_retryable(mut self, retryable: bool) -> Self {
+        self.retryable = retryable;
+        self
+    }
+
+    /// Prefix the context with an outer layer's description.
+    pub fn wrap(mut self, outer: impl fmt::Display) -> Self {
+        self.context = format!("{outer}: {}", self.context);
+        self
+    }
+
+    /// This error's kind.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The human-readable context string.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// Stable envelope code (delegates to the kind).
+    pub fn code(&self) -> &'static str {
+        self.kind.code()
+    }
+
+    /// HTTP status (delegates to the kind).
+    pub fn http_status(&self) -> u16 {
+        self.kind.http_status()
+    }
+
+    /// CLI exit code (delegates to the kind).
+    pub fn exit_code(&self) -> u8 {
+        self.kind.exit_code()
+    }
+
+    /// Whether a client should retry this particular error.
+    pub fn retryable(&self) -> bool {
+        self.retryable
+    }
+}
+
+impl fmt::Display for GendtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.code(), self.context)
+    }
+}
+
+impl std::error::Error for GendtError {}
+
+impl From<std::io::Error> for GendtError {
+    fn from(e: std::io::Error) -> Self {
+        let kind = match e.kind() {
+            std::io::ErrorKind::NotFound => ErrorKind::NotFound,
+            _ => ErrorKind::Io,
+        };
+        GendtError::new(kind, e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_projections_are_consistent() {
+        let kinds = [
+            ErrorKind::InvalidRequest,
+            ErrorKind::NotFound,
+            ErrorKind::Overloaded,
+            ErrorKind::Unavailable,
+            ErrorKind::Timeout,
+            ErrorKind::Io,
+            ErrorKind::Corrupt,
+            ErrorKind::Config,
+            ErrorKind::Internal,
+        ];
+        let mut codes = std::collections::BTreeSet::new();
+        for k in kinds {
+            assert!(codes.insert(k.code()), "duplicate code {}", k.code());
+            assert!((400..=599).contains(&k.http_status()) || k.http_status() == 500);
+            assert!(k.exit_code() >= 1, "exit code 0 is success");
+        }
+        // Shed-load statuses must be retryable so clients back off and retry.
+        assert!(ErrorKind::Overloaded.default_retryable());
+        assert!(ErrorKind::Unavailable.default_retryable());
+        assert!(ErrorKind::Timeout.default_retryable());
+        assert!(!ErrorKind::Corrupt.default_retryable());
+    }
+
+    #[test]
+    fn retryable_override_and_wrap() {
+        let e = GendtError::io("disk on fire").with_retryable(false);
+        assert!(!e.retryable());
+        let wrapped = e.wrap("loading checkpoint");
+        assert_eq!(wrapped.context(), "loading checkpoint: disk on fire");
+        assert_eq!(
+            wrapped.to_string(),
+            "io_error: loading checkpoint: disk on fire"
+        );
+    }
+
+    #[test]
+    fn io_error_conversion_maps_not_found() {
+        let nf = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert_eq!(GendtError::from(nf).kind(), ErrorKind::NotFound);
+        let other = std::io::Error::other("torn");
+        assert_eq!(GendtError::from(other).kind(), ErrorKind::Io);
+    }
+}

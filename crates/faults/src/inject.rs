@@ -1,0 +1,252 @@
+//! The armed fault plan and the probe functions.
+//!
+//! A plan is resolved once from `GENDT_FAULTS` / `GENDT_FAULTS_SEED`
+//! (or installed in-process with [`set_spec`]). Each probe call walks
+//! the rules for its probe name; whether the *k*-th occurrence fires is
+//! a pure function of `(seed, kind, probe, k)` — no shared RNG stream,
+//! no lock on the decision path — so a chaos schedule replays
+//! bit-for-bit regardless of thread interleaving. Unarmed probes cost
+//! one relaxed atomic load.
+
+use crate::spec::{parse_spec, FaultKind, FaultRule, Trigger};
+use crate::GendtError;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+const UNRESOLVED: u8 = 0;
+const EMPTY: u8 = 1;
+const ARMED: u8 = 2;
+
+/// Tri-state mirror of the plan slot so the common (no faults) path is
+/// a single relaxed load with no lock.
+static STATE: AtomicU8 = AtomicU8::new(UNRESOLVED);
+static SLOT: OnceLock<RwLock<Option<Arc<Plan>>>> = OnceLock::new();
+/// Total faults injected since process start (all probes, all rules).
+static INJECTED: AtomicU64 = AtomicU64::new(0);
+
+struct Armed {
+    rule: FaultRule,
+    /// `kind@probe`, leaked once at arm time so trace marks (which need
+    /// `&'static str`) can carry the rule identity.
+    label: &'static str,
+    /// Per-rule decision seed: mixes the plan seed with the rule identity
+    /// so two rules on the same probe draw independent coins.
+    seed: u64,
+    occurrences: AtomicU64,
+}
+
+struct Plan {
+    rules: Vec<Armed>,
+}
+
+fn slot() -> &'static RwLock<Option<Arc<Plan>>> {
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn arm(rules: Vec<FaultRule>, seed: u64) {
+    let armed = rules
+        .into_iter()
+        .map(|rule| {
+            let label: &'static str =
+                Box::leak(format!("{}@{}", rule.kind.token(), rule.probe).into_boxed_str());
+            let rule_seed = mix(seed ^ fnv1a(label));
+            Armed {
+                rule,
+                label,
+                seed: rule_seed,
+                occurrences: AtomicU64::new(0),
+            }
+        })
+        .collect();
+    *slot().write().unwrap_or_else(|p| p.into_inner()) = Some(Arc::new(Plan { rules: armed }));
+    STATE.store(ARMED, Ordering::Release);
+}
+
+/// Install a fault plan in-process (wins over `GENDT_FAULTS`). The seed
+/// plays the role of `GENDT_FAULTS_SEED`: same spec + same seed replays
+/// the same fault schedule.
+pub fn set_spec(spec: &str, seed: u64) -> Result<(), GendtError> {
+    let rules = parse_spec(spec)?;
+    arm(rules, seed);
+    Ok(())
+}
+
+/// Disarm all faults in-process. Probes return to their no-op fast path;
+/// the injected-count total is preserved.
+pub fn clear_faults() {
+    *slot().write().unwrap_or_else(|p| p.into_inner()) = None;
+    STATE.store(EMPTY, Ordering::Release);
+}
+
+/// Total number of faults injected since process start.
+pub fn injected_count() -> u64 {
+    INJECTED.load(Ordering::Relaxed)
+}
+
+fn current() -> Option<Arc<Plan>> {
+    match STATE.load(Ordering::Acquire) {
+        EMPTY => return None,
+        ARMED => {}
+        _ => {
+            // First probe in the process: resolve the environment once.
+            match std::env::var("GENDT_FAULTS") {
+                Ok(spec) if !spec.trim().is_empty() => {
+                    let seed = std::env::var("GENDT_FAULTS_SEED")
+                        .ok()
+                        .and_then(|s| s.trim().parse().ok())
+                        .unwrap_or(0u64);
+                    match parse_spec(&spec) {
+                        Ok(rules) => arm(rules, seed),
+                        Err(e) => {
+                            // A broken spec must be loud but must not take
+                            // down the request path that tripped the probe.
+                            gendt_trace::error!("GENDT_FAULTS ignored: {e}");
+                            STATE.store(EMPTY, Ordering::Release);
+                        }
+                    }
+                }
+                _ => STATE.store(EMPTY, Ordering::Release),
+            }
+        }
+    }
+    slot().read().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+/// Walk the plan for `probe`; returns the first matching rule of `kind`
+/// that fires at this occurrence.
+fn fire(kind: FaultKind, probe: &str) -> Option<(u64, &'static str)> {
+    let plan = current()?;
+    for armed in plan
+        .rules
+        .iter()
+        .filter(|a| a.rule.kind == kind && a.rule.probe == probe)
+    {
+        let occ = armed.occurrences.fetch_add(1, Ordering::Relaxed);
+        let hit = match armed.rule.trigger {
+            Trigger::FirstN(n) => occ < n,
+            Trigger::Probability(p) => {
+                // The k-th coin is a pure function of (rule seed, k).
+                let x = mix(armed.seed ^ occ.wrapping_mul(0xA24B_AED4_963E_E407));
+                ((x >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+            }
+        };
+        if hit {
+            INJECTED.fetch_add(1, Ordering::Relaxed);
+            gendt_trace::mark(armed.label, "fault");
+            return Some((armed.rule.ms, armed.label));
+        }
+    }
+    None
+}
+
+/// `io_err` probe: returns an injected [`std::io::Error`] when an armed
+/// rule fires. Call as `fail_io("checkpoint.write")?` at the top of the
+/// guarded operation.
+pub fn fail_io(probe: &str) -> std::io::Result<()> {
+    match fire(FaultKind::IoErr, probe) {
+        Some((_, label)) => Err(std::io::Error::other(format!("injected fault {label}"))),
+        None => Ok(()),
+    }
+}
+
+/// `slow` probe: returns the injected delay in milliseconds when an
+/// armed rule fires. The caller decides how to wait, which keeps
+/// clock-free files (e.g. the batch kernel) free of sleeps.
+pub fn slow_ms(probe: &str) -> Option<u64> {
+    fire(FaultKind::Slow, probe).map(|(ms, _)| ms)
+}
+
+/// Convenience wrapper over [`slow_ms`] that sleeps in place.
+pub fn sleep_if_slow(probe: &str) {
+    if let Some(ms) = slow_ms(probe) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+/// `drop` probe: true when the probed unit of work should be discarded
+/// (e.g. close a just-accepted connection without reading it).
+pub fn should_drop(probe: &str) -> bool {
+    fire(FaultKind::Drop, probe).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that flip the global plan.
+    static PLAN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn unarmed_probes_are_silent() {
+        let _g = PLAN_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        clear_faults();
+        assert!(fail_io("nope").is_ok());
+        assert!(slow_ms("nope").is_none());
+        assert!(!should_drop("nope"));
+    }
+
+    #[test]
+    fn first_n_fires_exactly_n_times() {
+        let _g = PLAN_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_spec("drop@t.accept:n=3", 9).expect("spec parses");
+        let fired: usize = (0..10).filter(|_| should_drop("t.accept")).count();
+        assert_eq!(fired, 3);
+        clear_faults();
+        assert!(!should_drop("t.accept"));
+    }
+
+    #[test]
+    fn probability_schedule_replays_bitwise() {
+        let _g = PLAN_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let run = |seed: u64| -> Vec<bool> {
+            set_spec("io_err@t.write:p=0.5", seed).expect("spec parses");
+            let pattern = (0..64).map(|_| fail_io("t.write").is_err()).collect();
+            clear_faults();
+            pattern
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        assert_ne!(a, c, "different seeds should differ");
+        assert!(a.iter().any(|&f| f) && !a.iter().all(|&f| f), "p=0.5 mixes");
+    }
+
+    #[test]
+    fn slow_rule_reports_its_delay_and_counts() {
+        let _g = PLAN_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_spec("slow@t.batch:ms=7,n=2", 1).expect("spec parses");
+        let before = injected_count();
+        assert_eq!(slow_ms("t.batch"), Some(7));
+        assert_eq!(slow_ms("t.batch"), Some(7));
+        assert_eq!(slow_ms("t.batch"), None);
+        assert_eq!(injected_count() - before, 2);
+        clear_faults();
+    }
+
+    #[test]
+    fn rules_only_match_their_probe_and_kind() {
+        let _g = PLAN_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_spec("io_err@t.a:n=100", 5).expect("spec parses");
+        assert!(fail_io("t.b").is_ok(), "different probe");
+        assert!(slow_ms("t.a").is_none(), "different kind");
+        assert!(fail_io("t.a").is_err(), "armed probe fires");
+        clear_faults();
+    }
+}

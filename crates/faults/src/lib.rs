@@ -1,0 +1,36 @@
+//! # gendt-faults — resilience substrate for the GenDT workspace
+//!
+//! Three things live here:
+//!
+//! * [`GendtError`] / [`ErrorKind`] — the workspace error taxonomy. One
+//!   carrier type maps every failure to an HTTP status + typed JSON
+//!   envelope code (`{code, message, retryable}`) on the serve side and
+//!   to a CLI exit code on the binary side, replacing ad-hoc
+//!   `Result<_, String>` plumbing.
+//! * [`parse_spec`] + the probe functions in [`inject`] — a
+//!   deterministic fault-injection harness. `GENDT_FAULTS=<spec>` (e.g.
+//!   `io_err@checkpoint.write:p=0.3;slow@serve.batch:ms=500;drop@http.accept:n=5`)
+//!   arms named probe points sprinkled through serve and the trainer.
+//!   Whether the *k*-th occurrence of a probe fires is a pure function
+//!   of `(seed, probe, k)`, so a chaos schedule replays bit-for-bit.
+//! * [`Backoff`] — bounded retries with deterministic jittered
+//!   exponential backoff, used by `/reload` and checkpoint loads.
+//!
+//! The harness is std-only and costs one relaxed atomic load per probe
+//! when no fault plan is armed — cheap enough to leave compiled into
+//! production binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod inject;
+mod retry;
+mod spec;
+
+pub use error::{ErrorKind, GendtError};
+pub use inject::{
+    clear_faults, fail_io, injected_count, set_spec, should_drop, sleep_if_slow, slow_ms,
+};
+pub use retry::{retry_with_backoff, Backoff};
+pub use spec::{parse_spec, FaultKind, FaultRule, Trigger};

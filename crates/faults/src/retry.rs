@@ -1,0 +1,174 @@
+//! Bounded retries with deterministic jittered exponential backoff.
+
+use gendt_rng::Rng;
+use std::time::Duration;
+
+/// Bounded exponential backoff with deterministic jitter.
+///
+/// Delay for attempt *k* (0-based) is `base_ms · 2^k · j` with jitter
+/// `j ∈ [0.75, 1.25)` drawn from a seeded stream, capped at `cap_ms`.
+/// Same seed ⇒ same delay schedule, so retry timing is replayable in
+/// chaos runs.
+#[derive(Debug)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    max_attempts: u32,
+    attempt: u32,
+    rng: Rng,
+}
+
+impl Backoff {
+    /// A backoff allowing `max_attempts` total tries (so up to
+    /// `max_attempts - 1` sleeps between them).
+    pub fn new(base_ms: u64, cap_ms: u64, max_attempts: u32, seed: u64) -> Self {
+        Backoff {
+            base_ms,
+            cap_ms,
+            max_attempts,
+            attempt: 0,
+            rng: Rng::seed_from(seed ^ 0x6261_636b_6f66_6621),
+        }
+    }
+
+    /// Delay to wait before the *next* attempt, or `None` when the
+    /// attempt budget is exhausted.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt + 1 >= self.max_attempts {
+            return None;
+        }
+        let exp = self.base_ms.saturating_mul(1u64 << self.attempt.min(20));
+        let jitter = 0.75 + 0.5 * self.rng.uniform01();
+        let ms = ((exp as f64 * jitter) as u64).min(self.cap_ms);
+        self.attempt += 1;
+        Some(Duration::from_millis(ms))
+    }
+
+    /// Attempts consumed so far (via [`next_delay`](Self::next_delay)).
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+}
+
+/// Run `op` up to `max_attempts` times, sleeping a jittered exponential
+/// delay between tries while `is_transient` says the error is worth
+/// retrying. Returns the first success or the last error.
+pub fn retry_with_backoff<T, E>(
+    base_ms: u64,
+    cap_ms: u64,
+    max_attempts: u32,
+    seed: u64,
+    mut op: impl FnMut() -> Result<T, E>,
+    mut is_transient: impl FnMut(&E) -> bool,
+) -> Result<T, E> {
+    let mut backoff = Backoff::new(base_ms, cap_ms, max_attempts, seed);
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                if !is_transient(&e) {
+                    return Err(e);
+                }
+                match backoff.next_delay() {
+                    Some(d) => std::thread::sleep(d),
+                    None => return Err(e),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_bounded() {
+        let collect = |seed| {
+            let mut b = Backoff::new(10, 1_000, 5, seed);
+            let mut ds = Vec::new();
+            while let Some(d) = b.next_delay() {
+                ds.push(d.as_millis() as u64);
+            }
+            ds
+        };
+        let a = collect(7);
+        assert_eq!(a, collect(7), "same seed ⇒ same schedule");
+        assert_eq!(a.len(), 4, "5 attempts ⇒ 4 sleeps");
+        for (k, &ms) in a.iter().enumerate() {
+            let exp = 10u64 << k;
+            let lo = (exp as f64 * 0.75) as u64;
+            let hi = (exp as f64 * 1.25) as u64 + 1;
+            assert!(
+                (lo..=hi).contains(&ms),
+                "attempt {k}: {ms}ms vs [{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn delays_are_capped() {
+        let mut b = Backoff::new(100, 150, 10, 3);
+        let mut last = 0;
+        while let Some(d) = b.next_delay() {
+            last = d.as_millis() as u64;
+            assert!(last <= 150);
+        }
+        assert_eq!(last, 150, "tail of the schedule hits the cap");
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_failures() {
+        let mut calls = 0;
+        let out: Result<u32, &str> = retry_with_backoff(
+            0,
+            0,
+            5,
+            1,
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err("transient")
+                } else {
+                    Ok(99)
+                }
+            },
+            |_| true,
+        );
+        assert_eq!(out, Ok(99));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn retry_stops_on_permanent_errors_and_budget() {
+        let mut calls = 0;
+        let out: Result<(), &str> = retry_with_backoff(
+            0,
+            0,
+            5,
+            1,
+            || {
+                calls += 1;
+                Err("permanent")
+            },
+            |_| false,
+        );
+        assert_eq!(out, Err("permanent"));
+        assert_eq!(calls, 1, "permanent errors are not retried");
+
+        let mut calls = 0;
+        let out: Result<(), &str> = retry_with_backoff(
+            0,
+            0,
+            3,
+            1,
+            || {
+                calls += 1;
+                Err("transient")
+            },
+            |_| true,
+        );
+        assert_eq!(out, Err("transient"));
+        assert_eq!(calls, 3, "attempt budget is honored");
+    }
+}

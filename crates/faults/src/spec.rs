@@ -1,0 +1,212 @@
+//! The `GENDT_FAULTS` spec grammar.
+//!
+//! ```text
+//! spec  := rule (';' rule)*
+//! rule  := kind '@' probe [':' param (',' param)*]
+//! kind  := 'io_err' | 'slow' | 'drop'
+//! param := 'p=' FLOAT   probability per occurrence, in [0, 1]
+//!        | 'n=' INT     fire only for the first n occurrences
+//!        | 'ms=' INT    injected delay (required for 'slow')
+//! ```
+//!
+//! Example: `io_err@checkpoint.write:p=0.3;slow@serve.batch:ms=500;drop@http.accept:n=5`
+
+use crate::{ErrorKind, GendtError};
+
+/// What an armed rule does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Make the probed I/O operation return an injected `io::Error`.
+    IoErr,
+    /// Delay the probed operation by `ms` milliseconds.
+    Slow,
+    /// Drop the probed unit of work (e.g. close an accepted connection).
+    Drop,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Result<Self, GendtError> {
+        match s {
+            "io_err" => Ok(FaultKind::IoErr),
+            "slow" => Ok(FaultKind::Slow),
+            "drop" => Ok(FaultKind::Drop),
+            other => Err(GendtError::new(
+                ErrorKind::Config,
+                format!("unknown fault kind '{other}' (expected io_err|slow|drop)"),
+            )),
+        }
+    }
+
+    /// The spec token for this kind.
+    pub fn token(self) -> &'static str {
+        match self {
+            FaultKind::IoErr => "io_err",
+            FaultKind::Slow => "slow",
+            FaultKind::Drop => "drop",
+        }
+    }
+}
+
+/// When a rule fires, relative to the per-probe occurrence counter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Trigger {
+    /// Fire on every occurrence whose seeded coin lands under `p`.
+    Probability(f64),
+    /// Fire on the first `n` occurrences, then go quiet.
+    FirstN(u64),
+}
+
+/// One parsed fault rule.
+#[derive(Clone, Debug)]
+pub struct FaultRule {
+    /// What to do when the rule fires.
+    pub kind: FaultKind,
+    /// The probe point the rule is attached to (e.g. `serve.batch`).
+    pub probe: String,
+    /// When the rule fires.
+    pub trigger: Trigger,
+    /// Delay for `slow` rules, milliseconds.
+    pub ms: u64,
+}
+
+/// Parse a full `GENDT_FAULTS` spec into rules.
+pub fn parse_spec(spec: &str) -> Result<Vec<FaultRule>, GendtError> {
+    let mut rules = Vec::new();
+    for raw in spec.split(';') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        rules.push(parse_rule(raw)?);
+    }
+    if rules.is_empty() {
+        return Err(GendtError::new(
+            ErrorKind::Config,
+            format!("fault spec '{spec}' contains no rules"),
+        ));
+    }
+    Ok(rules)
+}
+
+fn parse_rule(raw: &str) -> Result<FaultRule, GendtError> {
+    let bad =
+        |msg: String| GendtError::new(ErrorKind::Config, format!("fault rule '{raw}': {msg}"));
+    let (head, params) = match raw.split_once(':') {
+        Some((h, p)) => (h, Some(p)),
+        None => (raw, None),
+    };
+    let (kind_s, probe) = head
+        .split_once('@')
+        .ok_or_else(|| bad("missing '@probe'".to_string()))?;
+    let kind = FaultKind::parse(kind_s.trim()).map_err(|e| bad(e.context().to_string()))?;
+    let probe = probe.trim();
+    if probe.is_empty() {
+        return Err(bad("empty probe name".to_string()));
+    }
+
+    let mut p: Option<f64> = None;
+    let mut n: Option<u64> = None;
+    let mut ms: Option<u64> = None;
+    if let Some(params) = params {
+        for kv in params.split(',') {
+            let kv = kv.trim();
+            if kv.is_empty() {
+                continue;
+            }
+            let (k, v) = kv
+                .split_once('=')
+                .ok_or_else(|| bad(format!("param '{kv}' is not k=v")))?;
+            match k.trim() {
+                "p" => {
+                    let val: f64 = v
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad(format!("p='{v}' is not a float")))?;
+                    if !(0.0..=1.0).contains(&val) {
+                        return Err(bad(format!("p={val} outside [0, 1]")));
+                    }
+                    p = Some(val);
+                }
+                "n" => {
+                    n = Some(
+                        v.trim()
+                            .parse()
+                            .map_err(|_| bad(format!("n='{v}' is not an integer")))?,
+                    )
+                }
+                "ms" => {
+                    ms = Some(
+                        v.trim()
+                            .parse()
+                            .map_err(|_| bad(format!("ms='{v}' is not an integer")))?,
+                    )
+                }
+                other => return Err(bad(format!("unknown param '{other}'"))),
+            }
+        }
+    }
+    if p.is_some() && n.is_some() {
+        return Err(bad("give p= or n=, not both".to_string()));
+    }
+    if kind == FaultKind::Slow && ms.is_none() {
+        return Err(bad("slow rules need ms=".to_string()));
+    }
+    let trigger = match (p, n) {
+        (Some(p), None) => Trigger::Probability(p),
+        (None, Some(n)) => Trigger::FirstN(n),
+        // No trigger param: fire on every occurrence.
+        (None, None) => Trigger::Probability(1.0),
+        (Some(_), Some(_)) => unreachable!("rejected above"),
+    };
+    Ok(FaultRule {
+        kind,
+        probe: probe.to_string(),
+        trigger,
+        ms: ms.unwrap_or(0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_example() {
+        let rules = parse_spec(
+            "io_err@checkpoint.write:p=0.3;slow@serve.batch:ms=500;drop@http.accept:n=5",
+        )
+        .expect("spec parses");
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].kind, FaultKind::IoErr);
+        assert_eq!(rules[0].probe, "checkpoint.write");
+        assert_eq!(rules[0].trigger, Trigger::Probability(0.3));
+        assert_eq!(rules[1].kind, FaultKind::Slow);
+        assert_eq!(rules[1].ms, 500);
+        assert_eq!(rules[2].kind, FaultKind::Drop);
+        assert_eq!(rules[2].trigger, Trigger::FirstN(5));
+    }
+
+    #[test]
+    fn bare_rule_fires_always() {
+        let rules = parse_spec("io_err@registry.scan").expect("spec parses");
+        assert_eq!(rules[0].trigger, Trigger::Probability(1.0));
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "boom@x",
+            "io_err",
+            "io_err@",
+            "io_err@x:p=2.0",
+            "io_err@x:p=0.1,n=3",
+            "io_err@x:q=1",
+            "slow@x:p=0.5",
+            "io_err@x:p=abc",
+        ] {
+            let err = parse_spec(bad).expect_err(&format!("'{bad}' should be rejected"));
+            assert_eq!(err.kind(), ErrorKind::Config, "'{bad}' → {err}");
+        }
+    }
+}

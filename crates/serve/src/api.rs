@@ -6,6 +6,7 @@
 //! context — and, with the explicit `sample_seed`, the entire response.
 
 use gendt::GeneratedSeries;
+use gendt_faults::GendtError;
 use gendt_geo::trajectory::Scenario;
 use serde::{Deserialize, Serialize};
 
@@ -46,11 +47,35 @@ pub struct ModelsResponse {
     pub models: Vec<String>,
 }
 
-/// Body of any error response.
+/// Body of any legacy (unversioned) error response.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ErrorResponse {
     /// Human-readable description of what went wrong.
     pub error: String,
+}
+
+/// Body of any `/v1/*` error response: the typed envelope of the
+/// workspace error taxonomy (DESIGN.md §10).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ErrorEnvelope {
+    /// Stable machine-readable error code (`invalid_request`,
+    /// `overloaded`, `timeout`, ...).
+    pub code: String,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Whether retrying the identical request may succeed.
+    pub retryable: bool,
+}
+
+impl ErrorEnvelope {
+    /// Envelope for a taxonomy error.
+    pub fn from_error(err: &GendtError) -> ErrorEnvelope {
+        ErrorEnvelope {
+            code: err.code().to_string(),
+            message: err.context().to_string(),
+            retryable: err.retryable(),
+        }
+    }
 }
 
 /// Parse the wire scenario name.
@@ -85,6 +110,19 @@ mod tests {
         assert_eq!(back.model, req.model);
         assert_eq!(back.sample_seed, req.sample_seed);
         assert_eq!(back.start_y, req.start_y);
+    }
+
+    #[test]
+    fn error_envelope_mirrors_the_taxonomy() {
+        let err = GendtError::overloaded("generation queue is full");
+        let env = ErrorEnvelope::from_error(&err);
+        assert_eq!(env.code, "overloaded");
+        assert!(env.retryable);
+        let json = serde_json::to_string(&env).expect("serialize");
+        let back: ErrorEnvelope = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.code, env.code);
+        assert_eq!(back.retryable, env.retryable);
+        assert_eq!(back.message, "generation queue is full");
     }
 
     #[test]

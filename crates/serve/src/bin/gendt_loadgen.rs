@@ -15,6 +15,7 @@
 
 #![forbid(unsafe_code)]
 
+use gendt_faults::GendtError;
 use gendt_serve::api::{GenerateRequest, GenerateResponse};
 use gendt_serve::http::http_request;
 use gendt_serve::scheduler::SchedCfg;
@@ -60,7 +61,7 @@ struct Opts {
     smoke: bool,
 }
 
-fn parse_opts() -> Result<Opts, String> {
+fn parse_opts() -> Result<Opts, GendtError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut o = Opts {
         addr: None,
@@ -69,38 +70,39 @@ fn parse_opts() -> Result<Opts, String> {
         out: "BENCH_serve.json".to_string(),
         smoke: false,
     };
+    let need = |flag: &str| GendtError::config(format!("{flag} needs a value"));
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--addr" => o.addr = Some(it.next().ok_or("--addr needs a value")?.clone()),
+            "--addr" => o.addr = Some(it.next().ok_or_else(|| need("--addr"))?.clone()),
             "--concurrency" => {
                 o.concurrency = it
                     .next()
-                    .ok_or("--concurrency needs a value")?
+                    .ok_or_else(|| need("--concurrency"))?
                     .parse()
-                    .map_err(|_| "--concurrency: bad value")?
+                    .map_err(|_| GendtError::config("--concurrency: bad value"))?
             }
             "--requests" => {
                 o.requests = it
                     .next()
-                    .ok_or("--requests needs a value")?
+                    .ok_or_else(|| need("--requests"))?
                     .parse()
-                    .map_err(|_| "--requests: bad value")?
+                    .map_err(|_| GendtError::config("--requests: bad value"))?
             }
-            "--out" => o.out = it.next().ok_or("--out needs a value")?.clone(),
+            "--out" => o.out = it.next().ok_or_else(|| need("--out"))?.clone(),
             "--quick" => {
                 o.concurrency = 4;
                 o.requests = 16;
             }
             "--smoke" => o.smoke = true,
-            other => return Err(format!("unknown flag {other}")),
+            other => return Err(GendtError::config(format!("unknown flag {other}"))),
         }
     }
     Ok(o)
 }
 
 /// Stand up an in-process server over a demo checkpoint.
-fn inprocess_server() -> Result<ServerHandle, String> {
+fn inprocess_server() -> Result<ServerHandle, GendtError> {
     let dir = std::env::temp_dir().join("gendt-loadgen-models");
     let ckpt = dir.join("demo_a.json");
     if !ckpt.exists() {
@@ -141,21 +143,25 @@ fn scrape_counter(metrics_text: &str, name: &str) -> Option<f64> {
         .and_then(|v| v.parse().ok())
 }
 
-fn smoke(addr: &str) -> Result<(), String> {
-    let (status, body) = http_request(addr, "POST", "/generate", Some(&request_body(0)))
-        .map_err(|e| format!("generate: {e}"))?;
+fn smoke(addr: &str) -> Result<(), GendtError> {
+    let (status, body) = http_request(addr, "POST", "/v1/generate", Some(&request_body(0)))
+        .map_err(|e| GendtError::unavailable(format!("generate: {e}")))?;
     if status != 200 {
-        return Err(format!("generate returned {status}: {body}"));
+        return Err(GendtError::internal(format!(
+            "generate returned {status}: {body}"
+        )));
     }
-    let resp: GenerateResponse =
-        serde_json::from_str(&body).map_err(|e| format!("bad generate body: {e}"))?;
+    let resp: GenerateResponse = serde_json::from_str(&body)
+        .map_err(|e| GendtError::internal(format!("bad generate body: {e}")))?;
     if resp.series.is_empty() {
-        return Err("generate returned an empty series".to_string());
+        return Err(GendtError::internal("generate returned an empty series"));
     }
-    let (status, text) =
-        http_request(addr, "GET", "/metrics", None).map_err(|e| format!("metrics: {e}"))?;
+    let (status, text) = http_request(addr, "GET", "/v1/metrics", None)
+        .map_err(|e| GendtError::unavailable(format!("metrics: {e}")))?;
     if status != 200 || !text.contains("gendt_serve_http_requests_total") {
-        return Err(format!("metrics scrape failed ({status})"));
+        return Err(GendtError::internal(format!(
+            "metrics scrape failed ({status})"
+        )));
     }
     println!(
         "serve smoke OK: 1 request, {} KPI channels",
@@ -164,7 +170,7 @@ fn smoke(addr: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), GendtError> {
     let opts = parse_opts()?;
     let (addr, handle) = match &opts.addr {
         Some(a) => (a.clone(), None),
@@ -186,7 +192,7 @@ fn run() -> Result<(), String> {
     result
 }
 
-fn drive(addr: &str, opts: &Opts) -> Result<(), String> {
+fn drive(addr: &str, opts: &Opts) -> Result<(), GendtError> {
     let next = AtomicUsize::new(0);
     let ok = AtomicU64::new(0);
     let rejected = AtomicU64::new(0);
@@ -203,7 +209,7 @@ fn drive(addr: &str, opts: &Opts) -> Result<(), String> {
                 }
                 let body = request_body(i);
                 let t0 = Instant::now();
-                match http_request(addr, "POST", "/generate", Some(&body)) {
+                match http_request(addr, "POST", "/v1/generate", Some(&body)) {
                     Ok((200, _)) => {
                         let ms = t0.elapsed().as_secs_f64() * 1000.0;
                         ok.fetch_add(1, Ordering::Relaxed);
@@ -228,12 +234,14 @@ fn drive(addr: &str, opts: &Opts) -> Result<(), String> {
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner());
     if samples.is_empty() {
-        return Err("no request succeeded".to_string());
+        return Err(GendtError::unavailable("no request succeeded"));
     }
-    let (text_status, metrics_text) =
-        http_request(addr, "GET", "/metrics", None).map_err(|e| format!("metrics: {e}"))?;
+    let (text_status, metrics_text) = http_request(addr, "GET", "/v1/metrics", None)
+        .map_err(|e| GendtError::unavailable(format!("metrics: {e}")))?;
     if text_status != 200 {
-        return Err(format!("metrics scrape failed ({text_status})"));
+        return Err(GendtError::internal(format!(
+            "metrics scrape failed ({text_status})"
+        )));
     }
     let batched =
         scrape_counter(&metrics_text, "gendt_serve_batched_requests_total").unwrap_or(0.0);
@@ -262,8 +270,10 @@ fn drive(addr: &str, opts: &Opts) -> Result<(), String> {
         batch_occupancy: occupancy,
         batches: batches as u64,
     };
-    let json = serde_json::to_string(&out).map_err(|e| format!("encoding results: {e}"))?;
-    std::fs::write(&opts.out, &json).map_err(|e| format!("writing {}: {e}", opts.out))?;
+    let json = serde_json::to_string(&out)
+        .map_err(|e| GendtError::internal(format!("encoding results: {e}")))?;
+    std::fs::write(&opts.out, &json)
+        .map_err(|e| GendtError::from(e).wrap(format!("writing {}", opts.out)))?;
     println!(
         "loadgen: {} ok / {} rejected / {} failed in {:.2}s ({:.1} req/s), p50={:.1}ms p95={:.1}ms p99={:.1}ms, batch occupancy {:.2}",
         out.ok,
@@ -285,7 +295,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("gendt-loadgen: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

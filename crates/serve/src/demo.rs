@@ -6,6 +6,7 @@ use gendt::checkpoint::save_model_to_file;
 use gendt::{GenDt, GenDtCfg};
 use gendt_data::builders::{dataset_a, BuildCfg};
 use gendt_data::kpi_types::Kpi;
+use gendt_faults::GendtError;
 use std::path::Path;
 
 /// Train the demo model: a reduced-size 4-channel (Dataset A) GenDT on
@@ -48,12 +49,14 @@ pub fn demo_model(seed: u64) -> GenDt {
 }
 
 /// Train the demo model and write its checkpoint to `path`.
-pub fn write_demo_model(path: &Path, seed: u64) -> Result<(), String> {
+pub fn write_demo_model(path: &Path, seed: u64) -> Result<(), GendtError> {
     let model = demo_model(seed);
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+            std::fs::create_dir_all(dir)
+                .map_err(|e| GendtError::from(e).wrap(format!("mkdir {}", dir.display())))?;
         }
     }
-    save_model_to_file(&model, path).map_err(|e| format!("saving {}: {e}", path.display()))
+    save_model_to_file(&model, path)
+        .map_err(|e| GendtError::io(format!("saving {}: {e}", path.display())))
 }

@@ -12,15 +12,27 @@ const MAX_HEADER: usize = 16 * 1024;
 /// Largest accepted body, bytes.
 const MAX_BODY: usize = 1024 * 1024;
 
-/// A parsed request: method, path, and raw body.
+/// A parsed request: method, path, headers, and raw body.
 #[derive(Debug)]
 pub struct Request {
     /// Request method (`GET`, `POST`, ...).
     pub method: String,
     /// Request path, query string included.
     pub path: String,
+    /// Header `(name, value)` pairs in wire order, names as sent.
+    pub headers: Vec<(String, String)>,
     /// Raw request body (empty when no `Content-Length`).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Why a request could not be read.
@@ -83,6 +95,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         .to_string();
 
     let mut content_length = 0usize;
+    let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
@@ -90,6 +103,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
                     HttpError::Malformed(format!("bad content-length {:?}", value.trim()))
                 })?;
             }
+            headers.push((name.trim().to_string(), value.trim().to_string()));
         }
     }
     if content_length > MAX_BODY {
@@ -111,7 +125,12 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     }
     body.truncate(content_length);
 
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -126,10 +145,30 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_extra(stream, status, reason, content_type, &[], body)
+}
+
+/// [`write_response`] with extra headers (`Retry-After`, `Deprecation`,
+/// ...) between the standard block and the body.
+pub fn write_response_extra(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -145,6 +184,45 @@ pub fn write_json(
     write_response(stream, status, reason, "application/json", json.as_bytes())
 }
 
+/// Shorthand for a JSON response with extra headers.
+pub fn write_json_extra(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra: &[(&str, &str)],
+    json: &str,
+) -> std::io::Result<()> {
+    write_response_extra(
+        stream,
+        status,
+        reason,
+        "application/json",
+        extra,
+        json.as_bytes(),
+    )
+}
+
+/// A parsed client-side response: status, headers, and body text.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Response header `(name, value)` pairs in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Response body text.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First response header with the given name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
 /// Blocking one-shot HTTP client for tools and tests: send `method
 /// path` with an optional JSON body, return `(status, body)`.
 pub fn http_request(
@@ -153,12 +231,33 @@ pub fn http_request(
     path: &str,
     body: Option<&str>,
 ) -> Result<(u16, String), HttpError> {
+    let resp = http_request_full(addr, method, path, &[], body)?;
+    Ok((resp.status, resp.body))
+}
+
+/// [`http_request`] with extra request headers and the full parsed
+/// response (status, headers, body) — tests use this to pin
+/// `Retry-After` and `Deprecation` headers.
+pub fn http_request_full(
+    addr: &str,
+    method: &str,
+    path: &str,
+    extra: &[(&str, &str)],
+    body: Option<&str>,
+) -> Result<HttpResponse, HttpError> {
     let mut stream = TcpStream::connect(addr).map_err(HttpError::Io)?;
     let body_bytes = body.unwrap_or("").as_bytes();
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
         body_bytes.len()
     );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes()).map_err(HttpError::Io)?;
     stream.write_all(body_bytes).map_err(HttpError::Io)?;
     stream.flush().map_err(HttpError::Io)?;
@@ -169,8 +268,8 @@ pub fn http_request(
     let (head, payload) = text
         .split_once("\r\n\r\n")
         .ok_or_else(|| HttpError::Malformed("no header/body separator in response".to_string()))?;
-    let status_line = head
-        .lines()
+    let mut lines = head.lines();
+    let status_line = lines
         .next()
         .ok_or_else(|| HttpError::Malformed("empty response".to_string()))?;
     let status: u16 = status_line
@@ -178,7 +277,17 @@ pub fn http_request(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| HttpError::Malformed(format!("bad status line {status_line:?}")))?;
-    Ok((status, payload.to_string()))
+    let headers = lines
+        .filter_map(|line| {
+            line.split_once(':')
+                .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+        })
+        .collect();
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: payload.to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -189,5 +298,18 @@ mod tests {
     fn header_end_detection() {
         assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
         assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let req = Request {
+            method: "POST".to_string(),
+            path: "/v1/generate".to_string(),
+            headers: vec![("Deadline-Ms".to_string(), "250".to_string())],
+            body: Vec::new(),
+        };
+        assert_eq!(req.header("deadline-ms"), Some("250"));
+        assert_eq!(req.header("DEADLINE-MS"), Some("250"));
+        assert_eq!(req.header("retry-after"), None);
     }
 }

@@ -22,6 +22,13 @@
 //! sample seed, and a batched response is bitwise-equal to a direct
 //! `generate_series` call with the same seed (each request keeps its own
 //! RNG stream inside the batch — see `Generator::forward_gen_batch`).
+//!
+//! The API is versioned: `/v1/*` routes answer errors with the typed
+//! `{code, message, retryable}` envelope of the workspace taxonomy
+//! (`gendt_faults::GendtError`); the original unversioned routes remain
+//! as deprecated aliases (`Deprecation: true`). Requests may carry a
+//! `Deadline-Ms` header propagated into the scheduler, and shutdown
+//! drains gracefully — see DESIGN.md §10.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +43,6 @@ pub mod registry;
 pub mod scheduler;
 pub mod server;
 
-pub use api::{ErrorResponse, GenerateRequest, GenerateResponse, ModelsResponse};
+pub use api::{ErrorEnvelope, ErrorResponse, GenerateRequest, GenerateResponse, ModelsResponse};
 pub use registry::{ModelEntry, Registry};
-pub use server::{serve, ServerCfg, ServerHandle};
+pub use server::{serve, ServerCfg, ServerCfgBuilder, ServerHandle};

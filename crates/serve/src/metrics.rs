@@ -19,6 +19,8 @@ pub struct ServeMetrics {
     pub generate_rejected: AtomicU64,
     /// `/generate` requests failed with 4xx/5xx other than 429.
     pub generate_failed: AtomicU64,
+    /// Jobs whose per-request deadline expired while still queued.
+    pub deadline_expired: AtomicU64,
     /// Jobs currently queued in the scheduler.
     pub queue_depth: AtomicU64,
     /// Total requests that went through a batched forward pass.
@@ -37,6 +39,7 @@ impl ServeMetrics {
             generate_ok: AtomicU64::new(0),
             generate_rejected: AtomicU64::new(0),
             generate_failed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -102,6 +105,18 @@ impl ServeMetrics {
             "gendt_serve_generate_failed_total",
             "Generate requests failed (non-429 errors).",
             self.generate_failed.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_serve_deadline_expired_total",
+            "Jobs whose deadline expired while still queued.",
+            self.deadline_expired.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_serve_faults_injected_total",
+            "Faults injected by the GENDT_FAULTS harness, process-wide.",
+            gendt_faults::injected_count(),
         );
         gauge(
             &mut out,
@@ -198,6 +213,8 @@ mod tests {
             "gendt_serve_batch_size_count 1",
             "gendt_serve_batched_requests_total 4",
             "gendt_serve_batches_total 1",
+            "gendt_serve_deadline_expired_total",
+            "gendt_serve_faults_injected_total",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

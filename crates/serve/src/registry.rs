@@ -6,10 +6,16 @@
 //! `/reload` replaces the whole set in one store while in-flight
 //! requests keep generating against the `Arc<ModelEntry>` they resolved
 //! at dispatch time — a request never observes a half-swapped model.
+//!
+//! Loads go through `gendt_faults::retry_with_backoff`: transient I/O
+//! failures (including the injected `io_err@registry.scan` probe) are
+//! retried a bounded number of times with jittered exponential backoff
+//! before the error surfaces.
 
 use gendt::checkpoint::load_model_from_file;
 use gendt::trainer::GenDt;
 use gendt_data::kpi_types::Kpi;
+use gendt_faults::{retry_with_backoff, GendtError};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
@@ -32,24 +38,34 @@ pub struct Registry {
     current: RwLock<Arc<ModelMap>>,
 }
 
+/// Retry budget for directory scans: 3 attempts, 10 ms base delay
+/// capped at 160 ms. Small enough that `/reload` stays interactive,
+/// large enough to ride out a torn deploy.
+const SCAN_ATTEMPTS: u32 = 3;
+const SCAN_BASE_MS: u64 = 10;
+const SCAN_CAP_MS: u64 = 160;
+
 /// The checkpoint does not record its KPI list, so infer it from the
 /// channel count — the two dataset layouts of the paper.
-fn infer_kpis(n_ch: usize) -> Result<Vec<Kpi>, String> {
+fn infer_kpis(n_ch: usize) -> Result<Vec<Kpi>, GendtError> {
     match n_ch {
         4 => Ok(Kpi::DATASET_A.to_vec()),
         2 => Ok(Kpi::DATASET_B.to_vec()),
-        other => Err(format!(
+        other => Err(GendtError::corrupt(format!(
             "cannot infer KPI list for a {other}-channel model (expected 4 or 2)"
-        )),
+        ))),
     }
 }
 
-fn scan_dir(dir: &Path) -> Result<ModelMap, String> {
-    let entries =
-        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+fn scan_dir(dir: &Path) -> Result<ModelMap, GendtError> {
+    gendt_faults::fail_io("registry.scan")
+        .map_err(|e| GendtError::io(format!("scanning {}: {e}", dir.display())))?;
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| GendtError::from(e).wrap(format!("cannot read {}", dir.display())))?;
     let mut map = ModelMap::new();
     for entry in entries {
-        let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        let entry = entry
+            .map_err(|e| GendtError::from(e).wrap(format!("cannot list {}", dir.display())))?;
         let path = entry.path();
         if path.extension().and_then(|e| e.to_str()) != Some("json") {
             continue;
@@ -61,10 +77,10 @@ fn scan_dir(dir: &Path) -> Result<ModelMap, String> {
         if stem.starts_with("BENCH_") || stem.starts_with("RESULTS") {
             continue;
         }
-        let model =
-            load_model_from_file(&path).map_err(|e| format!("loading {}: {e}", path.display()))?;
-        let kpis =
-            infer_kpis(model.cfg().n_ch).map_err(|e| format!("loading {}: {e}", path.display()))?;
+        let model = load_model_from_file(&path)
+            .map_err(|e| GendtError::corrupt(format!("loading {}: {e}", path.display())))?;
+        let kpis = infer_kpis(model.cfg().n_ch)
+            .map_err(|e| e.wrap(format!("loading {}", path.display())))?;
         map.insert(
             stem.to_string(),
             Arc::new(ModelEntry {
@@ -75,16 +91,38 @@ fn scan_dir(dir: &Path) -> Result<ModelMap, String> {
         );
     }
     if map.is_empty() {
-        return Err(format!("no model checkpoints found in {}", dir.display()));
+        return Err(GendtError::not_found(format!(
+            "no model checkpoints found in {}",
+            dir.display()
+        )));
     }
     Ok(map)
+}
+
+/// Scan with bounded retries on transient (retryable) failures.
+fn scan_dir_retrying(dir: &Path) -> Result<ModelMap, GendtError> {
+    // Deterministic jitter seed derived from the directory path.
+    let seed = dir
+        .to_string_lossy()
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+        });
+    retry_with_backoff(
+        SCAN_BASE_MS,
+        SCAN_CAP_MS,
+        SCAN_ATTEMPTS,
+        seed,
+        || scan_dir(dir),
+        |e: &GendtError| e.retryable(),
+    )
 }
 
 impl Registry {
     /// Load every checkpoint in `dir`. Fails if the directory holds no
     /// loadable model — an empty registry cannot serve anything.
-    pub fn load(dir: &Path) -> Result<Registry, String> {
-        let map = scan_dir(dir)?;
+    pub fn load(dir: &Path) -> Result<Registry, GendtError> {
+        let map = scan_dir_retrying(dir)?;
         Ok(Registry {
             dir: dir.to_path_buf(),
             current: RwLock::new(Arc::new(map)),
@@ -94,8 +132,8 @@ impl Registry {
     /// Rescan the directory and atomically swap in the new model set.
     /// On any load failure the previous set stays live — a bad deploy
     /// never takes down serving.
-    pub fn reload(&self) -> Result<usize, String> {
-        let map = scan_dir(&self.dir)?;
+    pub fn reload(&self) -> Result<usize, GendtError> {
+        let map = scan_dir_retrying(&self.dir)?;
         let n = map.len();
         let mut cur = self
             .current
@@ -131,14 +169,16 @@ mod tests {
 
     #[test]
     fn kpi_inference_matches_dataset_layouts() {
-        assert_eq!(infer_kpis(4).as_deref(), Ok(&Kpi::DATASET_A[..]));
-        assert_eq!(infer_kpis(2).as_deref(), Ok(&Kpi::DATASET_B[..]));
+        assert_eq!(infer_kpis(4).ok().as_deref(), Some(&Kpi::DATASET_A[..]));
+        assert_eq!(infer_kpis(2).ok().as_deref(), Some(&Kpi::DATASET_B[..]));
         assert!(infer_kpis(3).is_err());
     }
 
     #[test]
-    fn missing_dir_is_a_load_error() {
-        let err = Registry::load(Path::new("/nonexistent/gendt-models"));
-        assert!(err.is_err());
+    fn missing_dir_is_a_not_found_error() {
+        let err = Registry::load(Path::new("/nonexistent/gendt-models"))
+            .err()
+            .expect("load must fail");
+        assert_eq!(err.kind(), gendt_faults::ErrorKind::NotFound);
     }
 }

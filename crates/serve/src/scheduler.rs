@@ -9,11 +9,16 @@
 //! request is served bitwise-exactly by the model version it resolved.
 //!
 //! When the queue is full, `submit` fails fast and the server answers
-//! 429: shedding load beats collapsing under it.
+//! 429: shedding load beats collapsing under it. Jobs carry an optional
+//! absolute deadline: one still queued when its deadline passes is
+//! answered with a `Timeout` taxonomy error instead of wasting a
+//! forward pass. The batch execution path hosts the `serve.batch`
+//! `slow`/`io_err` chaos probes (DESIGN.md §10).
 
 use crate::batch::{run_batch, GenJob};
 use crate::metrics::ServeMetrics;
 use gendt::GeneratedSeries;
+use gendt_faults::GendtError;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -50,11 +55,14 @@ pub enum SubmitError {
 }
 
 /// A generation result delivered back to the waiting handler.
-pub type JobResult = Result<GeneratedSeries, String>;
+pub type JobResult = Result<GeneratedSeries, GendtError>;
 
 struct Pending {
     job: GenJob,
     reply: mpsc::Sender<JobResult>,
+    /// Absolute per-request deadline; a job still queued past it is
+    /// answered with a `Timeout` error instead of being executed.
+    deadline: Option<Instant>,
 }
 
 /// The shared scheduler state.
@@ -78,9 +86,14 @@ impl Scheduler {
         }
     }
 
-    /// Enqueue a job. Returns the receiver the caller blocks on, or an
-    /// error when the queue is full (shed load) or shutting down.
-    pub fn submit(&self, job: GenJob) -> Result<mpsc::Receiver<JobResult>, SubmitError> {
+    /// Enqueue a job with an optional absolute deadline. Returns the
+    /// receiver the caller blocks on, or an error when the queue is
+    /// full (shed load) or shutting down.
+    pub fn submit(
+        &self,
+        job: GenJob,
+        deadline: Option<Instant>,
+    ) -> Result<mpsc::Receiver<JobResult>, SubmitError> {
         if self.shutdown.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
         }
@@ -92,7 +105,11 @@ impl Scheduler {
             return Err(SubmitError::QueueFull);
         }
         let (tx, rx) = mpsc::channel();
-        q.push_back(Pending { job, reply: tx });
+        q.push_back(Pending {
+            job,
+            reply: tx,
+            deadline,
+        });
         self.metrics
             .queue_depth
             .store(q.len() as u64, Ordering::Relaxed);
@@ -109,9 +126,42 @@ impl Scheduler {
                 Some(b) => b,
                 None => return,
             };
-            let n = batch.len();
-            let entry = batch[0].job.entry.clone();
-            let jobs: Vec<&GenJob> = batch.iter().map(|p| &p.job).collect();
+            // Expired deadlines are answered without burning a forward
+            // pass — the client already gave up or is about to.
+            let now = Instant::now();
+            let mut live = Vec::with_capacity(batch.len());
+            for pending in batch {
+                match pending.deadline {
+                    Some(d) if now >= d => {
+                        self.metrics
+                            .deadline_expired
+                            .fetch_add(1, Ordering::Relaxed);
+                        let _ = pending.reply.send(Err(GendtError::timeout(
+                            "deadline expired before the batch ran",
+                        )));
+                    }
+                    _ => live.push(pending),
+                }
+            }
+            if live.is_empty() {
+                continue;
+            }
+
+            // Chaos probes: schedules can stall or fail whole batches
+            // here to exercise client retries and drain behavior.
+            gendt_faults::sleep_if_slow("serve.batch");
+            if let Err(e) = gendt_faults::fail_io("serve.batch") {
+                for pending in live {
+                    let _ = pending
+                        .reply
+                        .send(Err(GendtError::unavailable(format!("batch aborted: {e}"))));
+                }
+                continue;
+            }
+
+            let n = live.len();
+            let entry = live[0].job.entry.clone();
+            let jobs: Vec<&GenJob> = live.iter().map(|p| &p.job).collect();
             // A panic inside generation (e.g. a sanitizer trip) must not
             // kill the worker: convert it into per-request errors.
             let result = {
@@ -131,15 +181,15 @@ impl Scheduler {
             self.metrics.observe_batch(n);
             match result {
                 Ok(series) => {
-                    for (pending, out) in batch.into_iter().zip(series) {
+                    for (pending, out) in live.into_iter().zip(series) {
                         let _ = pending.reply.send(Ok(out));
                     }
                 }
                 Err(_) => {
-                    for pending in batch {
-                        let _ = pending
-                            .reply
-                            .send(Err("generation failed (internal panic)".to_string()));
+                    for pending in live {
+                        let _ = pending.reply.send(Err(GendtError::internal(
+                            "generation failed (internal panic)",
+                        )));
                     }
                 }
             }

@@ -1,28 +1,39 @@
 //! The HTTP server: accept loop, routing, and the `/generate` handler
 //! wiring registry → cache → scheduler together.
 //!
+//! Routing is versioned: every endpoint lives under `/v1/*` and answers
+//! errors with the typed [`ErrorEnvelope`] of the workspace taxonomy;
+//! the original unversioned paths remain as deprecated aliases that
+//! keep the legacy `{"error": ...}` shape and carry a
+//! `Deprecation: true` response header. Load-shed (429) and draining
+//! (503) responses carry `Retry-After` on both surfaces.
+//!
 //! Threading model: one acceptor thread, one detached thread per
 //! connection (`Connection: close`, so connections are short-lived), and
 //! a configurable number of scheduler workers executing batched forward
-//! passes. Shutdown is cooperative — `POST /shutdown` (or
+//! passes. Shutdown is cooperative and graceful — `POST /shutdown` (or
 //! [`ServerHandle::shutdown`]) raises a flag, wakes the acceptor with a
-//! self-connection, and lets workers drain.
+//! self-connection, stops accepting, lets workers flush every queued
+//! batch, and waits for in-flight connections to finish. (Safe std
+//! cannot install a SIGTERM handler, so process supervisors signal
+//! drain through `POST /shutdown`; see DESIGN.md §10.)
 
 use crate::api::{
-    parse_scenario, ErrorResponse, GenerateRequest, GenerateResponse, ModelsResponse,
+    parse_scenario, ErrorEnvelope, ErrorResponse, GenerateRequest, GenerateResponse, ModelsResponse,
 };
 use crate::batch::GenJob;
 use crate::cache::{ContextCache, ContextKey};
-use crate::http::{read_request, write_json, write_response, Request};
+use crate::http::{read_request, write_json, write_json_extra, write_response_extra, Request};
 use crate::metrics::ServeMetrics;
 use crate::registry::Registry;
 use crate::scheduler::{SchedCfg, Scheduler, SubmitError};
 use gendt_data::context::{extract, ContextCfg};
+use gendt_faults::GendtError;
 use gendt_geo::{trajectory, World, WorldCfg, XY};
 use gendt_radio::Deployment;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -30,6 +41,14 @@ use std::time::{Duration, Instant};
 /// Longest trajectory a request may ask for, seconds. Guards against a
 /// single request occupying a worker for minutes.
 const MAX_DURATION_S: f64 = 4.0 * 3600.0;
+
+/// How long shutdown waits for in-flight connections to finish.
+const DRAIN_WAIT: Duration = Duration::from_secs(10);
+
+/// After `POST /shutdown` the listener stays open this long, answering
+/// health checks with 503 and shedding new work, before the hard close
+/// — so load balancers observe the drain instead of connection resets.
+const DRAIN_GRACE: Duration = Duration::from_millis(400);
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -46,6 +65,9 @@ pub struct ServerCfg {
     pub cache_cap: usize,
     /// Scheduler worker threads.
     pub workers: usize,
+    /// Default per-request deadline, milliseconds; `0` means none. A
+    /// request's `Deadline-Ms` header overrides it.
+    pub default_deadline_ms: u64,
 }
 
 impl ServerCfg {
@@ -59,7 +81,115 @@ impl ServerCfg {
             sched: SchedCfg::default(),
             cache_cap: 128,
             workers: 1,
+            default_deadline_ms: 0,
         }
+    }
+
+    /// Start a validated builder from [`ServerCfg::new`] defaults.
+    pub fn builder(models_dir: PathBuf) -> ServerCfgBuilder {
+        ServerCfgBuilder {
+            cfg: ServerCfg::new(models_dir),
+            default_deadline_ms: 0,
+        }
+    }
+
+    /// Reject degenerate values with a descriptive [`GendtError`].
+    pub fn validate(&self) -> Result<(), GendtError> {
+        let bad = |msg: String| Err(GendtError::config(format!("ServerCfg: {msg}")));
+        match self.addr.rsplit_once(':') {
+            Some((host, port)) if !host.is_empty() => {
+                if port.parse::<u16>().is_err() {
+                    return bad(format!("bad port in addr {:?}", self.addr));
+                }
+            }
+            _ => return bad(format!("addr {:?} is not host:port", self.addr)),
+        }
+        if self.workers == 0 {
+            return bad("workers must be > 0 (nothing would execute batches)".into());
+        }
+        if self.cache_cap == 0 {
+            return bad("cache_cap must be > 0".into());
+        }
+        if self.sched.max_batch == 0 {
+            return bad("sched.max_batch must be > 0".into());
+        }
+        if self.sched.queue_cap == 0 {
+            return bad("sched.queue_cap must be > 0 (every submit would shed)".into());
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ServerCfg`] whose `build()` validates instead of
+/// letting a bad value bind nothing or shed every request.
+#[derive(Clone, Debug)]
+pub struct ServerCfgBuilder {
+    cfg: ServerCfg,
+    /// Signed so a caller-supplied negative timeout is caught in
+    /// `build()` rather than silently wrapping.
+    default_deadline_ms: i64,
+}
+
+impl ServerCfgBuilder {
+    /// Bind address (`host:port`).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.addr = addr.into();
+        self
+    }
+
+    /// Seed of the synthetic world served against.
+    pub fn world_seed(mut self, seed: u64) -> Self {
+        self.cfg.world_seed = seed;
+        self
+    }
+
+    /// Most requests coalesced into one forward pass.
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.cfg.sched.max_batch = n;
+        self
+    }
+
+    /// How long the worker waits for a batch to fill, milliseconds.
+    pub fn max_wait_ms(mut self, ms: u64) -> Self {
+        self.cfg.sched.max_wait_ms = ms;
+        self
+    }
+
+    /// Bounded scheduler queue capacity.
+    pub fn queue_cap(mut self, n: usize) -> Self {
+        self.cfg.sched.queue_cap = n;
+        self
+    }
+
+    /// Context cache capacity (entries).
+    pub fn cache_cap(mut self, n: usize) -> Self {
+        self.cfg.cache_cap = n;
+        self
+    }
+
+    /// Scheduler worker threads.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.workers = n;
+        self
+    }
+
+    /// Default per-request deadline, milliseconds (`0` = none).
+    pub fn default_deadline_ms(mut self, ms: i64) -> Self {
+        self.default_deadline_ms = ms;
+        self
+    }
+
+    /// Validate and return the configuration.
+    pub fn build(mut self) -> Result<ServerCfg, GendtError> {
+        if self.default_deadline_ms < 0 {
+            return Err(GendtError::config(format!(
+                "ServerCfg: default_deadline_ms={} must not be negative",
+                self.default_deadline_ms
+            )));
+        }
+        self.cfg.default_deadline_ms = self.default_deadline_ms as u64;
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -70,7 +200,29 @@ struct ServerState {
     metrics: Arc<ServeMetrics>,
     scheduler: Arc<Scheduler>,
     cache: ContextCache,
+    /// Drain requested: shed new work, report unhealthy, keep answering.
+    draining: AtomicBool,
+    /// Hard close: the acceptor exits as soon as it observes this.
     shutdown: AtomicBool,
+    /// Connection handlers currently running; drain waits for zero.
+    active: AtomicU64,
+    default_deadline_ms: u64,
+}
+
+impl ServerState {
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire) || self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// Decrements the in-flight connection count when a handler exits,
+/// panic or not.
+struct ActiveGuard<'a>(&'a AtomicU64);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// A running server: its bound address and the means to stop it.
@@ -88,7 +240,8 @@ impl ServerHandle {
         self.state.metrics.clone()
     }
 
-    /// Block until the acceptor exits (i.e. until `/shutdown`).
+    /// Block until the acceptor exits (i.e. until `/shutdown`), then
+    /// drain workers and in-flight connections.
     pub fn join(mut self) {
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
@@ -96,11 +249,13 @@ impl ServerHandle {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        wait_for_drain(&self.state);
     }
 
-    /// Stop the server: raise the flag, wake the acceptor, join
-    /// everything.
+    /// Stop the server gracefully: stop accepting, flush every queued
+    /// batch, wait for in-flight connections, join everything.
     pub fn shutdown(mut self) {
+        self.state.draining.store(true, Ordering::Release);
         self.state.shutdown.store(true, Ordering::Release);
         self.state.scheduler.stop();
         // The acceptor blocks in accept(); a throwaway connection wakes it.
@@ -111,21 +266,31 @@ impl ServerHandle {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        wait_for_drain(&self.state);
+    }
+}
+
+/// Block (bounded) until every in-flight connection handler returned.
+fn wait_for_drain(state: &Arc<ServerState>) {
+    let deadline = Instant::now() + DRAIN_WAIT;
+    while state.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
     }
 }
 
 /// Start serving. Returns once the listener is bound and workers are up.
-pub fn serve(cfg: ServerCfg) -> Result<ServerHandle, String> {
+pub fn serve(cfg: ServerCfg) -> Result<ServerHandle, GendtError> {
+    cfg.validate()?;
     let registry = Registry::load(&cfg.models_dir)?;
     let world = World::generate(WorldCfg::city(cfg.world_seed));
     let deployment = Deployment::from_world(&world);
     let metrics = Arc::new(ServeMetrics::new(cfg.sched.max_batch));
     let scheduler = Arc::new(Scheduler::new(cfg.sched, metrics.clone()));
-    let listener =
-        TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+    let listener = TcpListener::bind(&cfg.addr)
+        .map_err(|e| GendtError::from(e).wrap(format!("cannot bind {}", cfg.addr)))?;
     let addr = listener
         .local_addr()
-        .map_err(|e| format!("no local addr: {e}"))?;
+        .map_err(|e| GendtError::from(e).wrap("no local addr"))?;
 
     let state = Arc::new(ServerState {
         registry,
@@ -134,7 +299,10 @@ pub fn serve(cfg: ServerCfg) -> Result<ServerHandle, String> {
         metrics,
         scheduler: scheduler.clone(),
         cache: ContextCache::new(cfg.cache_cap),
+        draining: AtomicBool::new(false),
         shutdown: AtomicBool::new(false),
+        active: AtomicU64::new(0),
+        default_deadline_ms: cfg.default_deadline_ms,
     });
 
     let mut workers = Vec::with_capacity(cfg.workers.max(1));
@@ -149,10 +317,20 @@ pub fn serve(cfg: ServerCfg) -> Result<ServerHandle, String> {
             if accept_state.shutdown.load(Ordering::Acquire) {
                 break;
             }
-            let conn_state = accept_state.clone();
             match stream {
                 Ok(s) => {
-                    std::thread::spawn(move || handle_conn(&conn_state, s));
+                    // Chaos probe: drop accepted connections on the
+                    // floor so clients exercise their retry paths.
+                    if gendt_faults::should_drop("http.accept") {
+                        drop(s);
+                        continue;
+                    }
+                    let conn_state = accept_state.clone();
+                    conn_state.active.fetch_add(1, Ordering::AcqRel);
+                    std::thread::spawn(move || {
+                        let _guard = ActiveGuard(&conn_state.active);
+                        handle_conn(&conn_state, s);
+                    });
                 }
                 Err(_) => continue,
             }
@@ -175,6 +353,51 @@ fn error_body(msg: &str) -> String {
     .unwrap_or_else(|_| format!("{{\"error\":{msg:?}}}"))
 }
 
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Error",
+    }
+}
+
+/// Extra headers for a successful response on the given API surface:
+/// legacy routes announce their deprecation.
+fn surface_headers(v1: bool) -> &'static [(&'static str, &'static str)] {
+    if v1 {
+        &[]
+    } else {
+        &[("Deprecation", "true")]
+    }
+}
+
+/// Write a taxonomy error on the right surface: typed envelope on
+/// `/v1/*`, legacy `{"error"}` on unversioned routes, `Retry-After` on
+/// load-shed and draining responses either way.
+fn write_error(stream: &mut TcpStream, v1: bool, err: &GendtError) {
+    let status = err.http_status();
+    let mut extra: Vec<(&str, &str)> = Vec::new();
+    if !v1 {
+        extra.push(("Deprecation", "true"));
+    }
+    if status == 429 || status == 503 {
+        extra.push(("Retry-After", "1"));
+    }
+    let body = if v1 {
+        serde_json::to_string(&ErrorEnvelope::from_error(err)).unwrap_or_else(|_| {
+            format!("{{\"code\":\"internal\",\"message\":{:?}}}", err.context())
+        })
+    } else {
+        error_body(err.context())
+    };
+    let _ = write_json_extra(stream, status, reason(status), &extra, &body);
+}
+
 fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let req = match read_request(&mut stream) {
@@ -190,14 +413,23 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
         }
     };
     state.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/generate") => handle_generate(state, &mut stream, &req),
+
+    // `/v1/<route>` and `<route>` dispatch identically; the flag decides
+    // the error shape and deprecation headers.
+    let (route, v1) = match req.path.strip_prefix("/v1") {
+        Some("") => ("/".to_string(), true),
+        Some(rest) if rest.starts_with('/') => (rest.to_string(), true),
+        _ => (req.path.clone(), false),
+    };
+
+    match (req.method.as_str(), route.as_str()) {
+        ("POST", "/generate") => handle_generate(state, &mut stream, &req, v1),
         ("GET", "/models") => {
             let body = serde_json::to_string(&ModelsResponse {
                 models: state.registry.names(),
             })
             .unwrap_or_else(|_| "{}".to_string());
-            let _ = write_json(&mut stream, 200, "OK", &body);
+            let _ = write_json_extra(&mut stream, 200, "OK", surface_headers(v1), &body);
         }
         ("POST", "/reload") => match state.registry.reload() {
             Ok(_) => {
@@ -205,27 +437,49 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
                     models: state.registry.names(),
                 })
                 .unwrap_or_else(|_| "{}".to_string());
-                let _ = write_json(&mut stream, 200, "OK", &body);
+                let _ = write_json_extra(&mut stream, 200, "OK", surface_headers(v1), &body);
             }
-            Err(e) => {
-                let _ = write_json(&mut stream, 500, "Internal Server Error", &error_body(&e));
-            }
+            Err(e) => write_error(&mut stream, v1, &e),
         },
         ("GET", "/metrics") => {
             let (hits, misses) = state.cache.stats();
             let text = state
                 .metrics
                 .render(state.registry.names().len(), hits, misses);
-            let _ = write_response(
+            let _ = write_response_extra(
                 &mut stream,
                 200,
                 "OK",
                 "text/plain; version=0.0.4",
+                surface_headers(v1),
                 text.as_bytes(),
             );
         }
         ("GET", "/healthz") => {
-            let _ = write_response(&mut stream, 200, "OK", "text/plain", b"ok\n");
+            // A draining server is not healthy for new work: report 503
+            // so load balancers rotate it out while in-flight batches
+            // finish.
+            if state.is_draining() {
+                let mut extra = surface_headers(v1).to_vec();
+                extra.push(("Retry-After", "1"));
+                let _ = write_response_extra(
+                    &mut stream,
+                    503,
+                    "Service Unavailable",
+                    "text/plain",
+                    &extra,
+                    b"draining\n",
+                );
+            } else {
+                let _ = write_response_extra(
+                    &mut stream,
+                    200,
+                    "OK",
+                    "text/plain",
+                    surface_headers(v1),
+                    b"ok\n",
+                );
+            }
         }
         ("GET", "/debug/trace") => {
             // Non-destructive view of recent spans: `spans` is itself a
@@ -245,81 +499,114 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
             );
             body.push_str(&gendt_trace::chrome_trace_json(&spans));
             body.push('}');
-            let _ = write_json(&mut stream, 200, "OK", &body);
+            let _ = write_json_extra(&mut stream, 200, "OK", surface_headers(v1), &body);
         }
         ("POST", "/shutdown") => {
-            state.shutdown.store(true, Ordering::Release);
+            // Graceful drain: stop taking generation work immediately
+            // (queued batches still flush), keep the listener answering
+            // 503s for a grace window, then hard-close the acceptor.
+            state.draining.store(true, Ordering::Release);
             state.scheduler.stop();
-            let _ = write_response(&mut stream, 200, "OK", "text/plain", b"shutting down\n");
-            // Wake the acceptor so it observes the flag.
-            if let Ok(local) = stream.local_addr() {
-                let _ = TcpStream::connect(local);
-            }
+            let _ = write_response_extra(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain",
+                surface_headers(v1),
+                b"draining\n",
+            );
+            let local = stream.local_addr().ok();
+            let closer_state = state.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(DRAIN_GRACE);
+                closer_state.shutdown.store(true, Ordering::Release);
+                // Wake the acceptor so it observes the flag.
+                if let Some(local) = local {
+                    let _ = TcpStream::connect(local);
+                }
+            });
         }
-        _ => {
-            let _ = write_json(&mut stream, 404, "Not Found", &error_body("no such route"));
+        _ => write_error(
+            &mut stream,
+            v1,
+            &GendtError::not_found(format!("no such route {:?}", req.path)),
+        ),
+    }
+}
+
+/// Per-request deadline: the `Deadline-Ms` header wins, then the
+/// server default; `None` means unbounded.
+fn request_deadline(
+    state: &ServerState,
+    req: &Request,
+    started: Instant,
+) -> Result<Option<Instant>, GendtError> {
+    let ms = match req.header("deadline-ms") {
+        Some(raw) => {
+            let ms: u64 = raw.parse().map_err(|_| {
+                GendtError::invalid(format!(
+                    "Deadline-Ms: {raw:?} is not a non-negative integer"
+                ))
+            })?;
+            if ms == 0 {
+                return Err(GendtError::invalid("Deadline-Ms must be > 0"));
+            }
+            Some(ms)
+        }
+        None if state.default_deadline_ms > 0 => Some(state.default_deadline_ms),
+        None => None,
+    };
+    Ok(ms.map(|m| started + Duration::from_millis(m)))
+}
+
+fn handle_generate(state: &Arc<ServerState>, stream: &mut TcpStream, req: &Request, v1: bool) {
+    let started = Instant::now();
+    match generate_response(state, req, started) {
+        Ok(body) => {
+            state.metrics.generate_ok.fetch_add(1, Ordering::Relaxed);
+            state
+                .metrics
+                .observe_latency_ms(started.elapsed().as_secs_f64() * 1000.0);
+            let _ = write_json_extra(stream, 200, "OK", surface_headers(v1), &body);
+        }
+        Err(e) => {
+            let shed = e.kind() == gendt_faults::ErrorKind::Overloaded;
+            let counter = if shed {
+                &state.metrics.generate_rejected
+            } else {
+                &state.metrics.generate_failed
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            write_error(stream, v1, &e);
         }
     }
 }
 
-fn handle_generate(state: &Arc<ServerState>, stream: &mut TcpStream, req: &Request) {
-    let started = Instant::now();
-    let fail = |state: &Arc<ServerState>| {
-        state
-            .metrics
-            .generate_failed
-            .fetch_add(1, Ordering::Relaxed);
-    };
-
+/// The generate pipeline: validate, resolve, extract, submit, await.
+/// Every failure is a taxonomy error; the caller picks the wire shape.
+fn generate_response(
+    state: &Arc<ServerState>,
+    req: &Request,
+    started: Instant,
+) -> Result<String, GendtError> {
     let body = String::from_utf8_lossy(&req.body);
-    let parsed: GenerateRequest = match serde_json::from_str(&body) {
-        Ok(p) => p,
-        Err(e) => {
-            fail(state);
-            let _ = write_json(
-                stream,
-                400,
-                "Bad Request",
-                &error_body(&format!("bad request body: {e}")),
-            );
-            return;
-        }
-    };
-    let Some(scenario) = parse_scenario(&parsed.scenario) else {
-        fail(state);
-        let _ = write_json(
-            stream,
-            400,
-            "Bad Request",
-            &error_body(&format!("unknown scenario {:?}", parsed.scenario)),
-        );
-        return;
-    };
+    let parsed: GenerateRequest = serde_json::from_str(&body)
+        .map_err(|e| GendtError::invalid(format!("bad request body: {e}")))?;
+    let scenario = parse_scenario(&parsed.scenario)
+        .ok_or_else(|| GendtError::invalid(format!("unknown scenario {:?}", parsed.scenario)))?;
     if !(parsed.duration_s.is_finite()
         && parsed.duration_s > 0.0
         && parsed.duration_s <= MAX_DURATION_S
         && parsed.start_x.is_finite()
         && parsed.start_y.is_finite())
     {
-        fail(state);
-        let _ = write_json(
-            stream,
-            400,
-            "Bad Request",
-            &error_body("duration/start out of range"),
-        );
-        return;
+        return Err(GendtError::invalid("duration/start out of range"));
     }
-    let Some(entry) = state.registry.get(&parsed.model) else {
-        fail(state);
-        let _ = write_json(
-            stream,
-            404,
-            "Not Found",
-            &error_body(&format!("unknown model {:?}", parsed.model)),
-        );
-        return;
-    };
+    let deadline = request_deadline(state, req, started)?;
+    let entry = state
+        .registry
+        .get(&parsed.model)
+        .ok_or_else(|| GendtError::not_found(format!("unknown model {:?}", parsed.model)))?;
 
     // Context: cached by trajectory spec + extraction cfg; extraction
     // runs outside the cache lock.
@@ -359,69 +646,17 @@ fn handle_generate(state: &Arc<ServerState>, stream: &mut TcpStream, req: &Reque
         ctx,
         sample_seed: parsed.sample_seed,
     };
-    let rx = match state.scheduler.submit(job) {
-        Ok(rx) => rx,
-        Err(SubmitError::QueueFull) => {
-            state
-                .metrics
-                .generate_rejected
-                .fetch_add(1, Ordering::Relaxed);
-            let _ = write_json(
-                stream,
-                429,
-                "Too Many Requests",
-                &error_body("generation queue is full, retry later"),
-            );
-            return;
-        }
-        Err(SubmitError::ShuttingDown) => {
-            fail(state);
-            let _ = write_json(
-                stream,
-                503,
-                "Service Unavailable",
-                &error_body("server is shutting down"),
-            );
-            return;
-        }
+    let rx = state.scheduler.submit(job, deadline).map_err(|e| match e {
+        SubmitError::QueueFull => GendtError::overloaded("generation queue is full, retry later"),
+        SubmitError::ShuttingDown => GendtError::unavailable("server is shutting down"),
+    })?;
+    let series = rx
+        .recv()
+        .map_err(|_| GendtError::internal("worker dropped the request"))??;
+    let resp = GenerateResponse {
+        model: entry.name.clone(),
+        series,
     };
-    match rx.recv() {
-        Ok(Ok(series)) => {
-            let resp = GenerateResponse {
-                model: entry.name.clone(),
-                series,
-            };
-            match serde_json::to_string(&resp) {
-                Ok(body) => {
-                    state.metrics.generate_ok.fetch_add(1, Ordering::Relaxed);
-                    state
-                        .metrics
-                        .observe_latency_ms(started.elapsed().as_secs_f64() * 1000.0);
-                    let _ = write_json(stream, 200, "OK", &body);
-                }
-                Err(e) => {
-                    fail(state);
-                    let _ = write_json(
-                        stream,
-                        500,
-                        "Internal Server Error",
-                        &error_body(&format!("response encoding failed: {e}")),
-                    );
-                }
-            }
-        }
-        Ok(Err(e)) => {
-            fail(state);
-            let _ = write_json(stream, 500, "Internal Server Error", &error_body(&e));
-        }
-        Err(_) => {
-            fail(state);
-            let _ = write_json(
-                stream,
-                500,
-                "Internal Server Error",
-                &error_body("worker dropped the request"),
-            );
-        }
-    }
+    serde_json::to_string(&resp)
+        .map_err(|e| GendtError::internal(format!("response encoding failed: {e}")))
 }

@@ -131,6 +131,24 @@ pub fn span_arg(name: &'static str, key: &'static str, val: i64) -> Option<SpanG
     })
 }
 
+/// Record an instantaneous marker event (zero duration) on the span
+/// timeline. Used by the fault-injection harness to stamp each injected
+/// fault so chaos runs can be correlated with latency spikes in the
+/// Chrome-trace view. No-op (one relaxed atomic load) when tracing is off.
+pub fn mark(name: &'static str, cat: &'static str) {
+    if !crate::trace_enabled() {
+        return;
+    }
+    record_event(SpanEvent {
+        name,
+        cat,
+        start_ns: crate::now_ns(),
+        dur_ns: 0,
+        tid: 0,
+        arg: None,
+    });
+}
+
 /// Record a completed interval directly (used by the op profiler, which
 /// measures its own durations instead of holding guards).
 pub(crate) fn record_interval(

@@ -27,6 +27,14 @@ cargo run --release -p gendt-audit -- smoke
 # Chrome-trace JSON parses with the expected spans + telemetry records.
 cargo run --release -p gendt-audit -- trace-smoke
 
+# Chaos gate: a real in-process server and a real trainer under seeded
+# fault schedules (io_err@serve.batch, io_err@registry.scan,
+# drop@http.accept, io_err@checkpoint.write). Asserts typed shed
+# envelopes with Retry-After, retry absorption on /v1/reload, crash-safe
+# checkpoints with fallback past torn files, and bitwise-identical
+# output once the faults clear.
+cargo run --release -p gendt-audit -- chaos
+
 # Serving layer (crates/serve): one end-to-end request against an
 # in-process server, then a CI-sized load run refreshing BENCH_serve.json.
 cargo run --release -p gendt-serve --bin gendt-loadgen -- --smoke
