@@ -29,6 +29,13 @@
 //!    code/HTTP-status/exit-code mapping) and no raw `panic!` outside
 //!    `#[cfg(test)]` (a panicking handler or checkpoint writer turns a
 //!    recoverable fault into an outage).
+//! 7. **`plan-no-alloc`** — no heap allocation (`Vec::new`,
+//!    `with_capacity`, `vec!`, `Matrix::zeros`) in the compiled-plan
+//!    step path of `crates/nn/src/plan.rs`, between the
+//!    `// plan-lint: begin step path` and `// plan-lint: end step path`
+//!    markers. The plan executor's whole point is zero allocation per
+//!    replayed step; a line that must allocate (reference-kernel
+//!    fallbacks) carries `// plan-lint: allow-alloc <why>`.
 //!
 //! The vendored stand-ins under `vendor/` model *external* crates and
 //! are deliberately out of scope.
@@ -155,6 +162,7 @@ pub fn run(root: &Path) -> Vec<Violation> {
     lint_fused_bitwise(root, &mut out);
     lint_no_prints(root, &mut out);
     lint_error_taxonomy(root, &mut out);
+    lint_plan_no_alloc(root, &mut out);
     out
 }
 
@@ -584,6 +592,65 @@ fn lint_error_taxonomy(root: &Path, out: &mut Vec<Violation>) {
                 file: rel.to_string(),
                 line: line_of(&src, byte),
                 message: "raw panic! outside #[cfg(test)]; propagate a GendtError instead".into(),
+            });
+        }
+    }
+}
+
+/// Allocation tokens banned inside the plan executor's step path.
+const PLAN_ALLOC_TOKENS: &[&str] = &["Vec::new(", "with_capacity(", "vec!", "Matrix::zeros("];
+
+/// The comment exempting one line from `plan-no-alloc` (must state why).
+const PLAN_ALLOW: &str = "// plan-lint: allow-alloc";
+
+fn lint_plan_no_alloc(root: &Path, out: &mut Vec<Violation>) {
+    let rel = "crates/nn/src/plan.rs";
+    let Some(src) = read(root, rel) else {
+        missing(out, "plan-no-alloc", rel);
+        return;
+    };
+    let begin = src.find("// plan-lint: begin step path");
+    let end = src.find("// plan-lint: end step path");
+    let (Some(begin), Some(end)) = (begin, end) else {
+        out.push(Violation {
+            rule: "plan-no-alloc",
+            file: rel.to_string(),
+            line: 0,
+            message: "step-path markers missing \
+                      (`// plan-lint: begin step path` / `// plan-lint: end step path`)"
+                .into(),
+        });
+        return;
+    };
+    if end <= begin {
+        out.push(Violation {
+            rule: "plan-no-alloc",
+            file: rel.to_string(),
+            line: line_of(&src, end),
+            message: "`end step path` marker precedes `begin step path`".into(),
+        });
+        return;
+    }
+    let stripped = strip_source(&src);
+    let lines: Vec<&str> = src.lines().collect();
+    for &token in PLAN_ALLOC_TOKENS {
+        for byte in find_all(&stripped, token) {
+            if byte < begin || byte > end {
+                continue;
+            }
+            let line = line_of(&src, byte);
+            if lines.get(line - 1).is_some_and(|l| l.contains(PLAN_ALLOW)) {
+                continue;
+            }
+            out.push(Violation {
+                rule: "plan-no-alloc",
+                file: rel.to_string(),
+                line,
+                message: format!(
+                    "heap allocation `{token}` inside the plan step path; \
+                     hoist it into plan build, or justify it with \
+                     `{PLAN_ALLOW} <why>` on the same line"
+                ),
             });
         }
     }

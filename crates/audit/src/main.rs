@@ -7,6 +7,7 @@
 //! cargo run --release -p gendt-audit -- verify      # tape-verify zoo + a real training graph
 //! cargo run --release -p gendt-audit -- smoke       # sanitized train step + generation
 //! cargo run --release -p gendt-audit -- trace-smoke # traced run: bitwise parity + Chrome-trace JSON
+//! cargo run --release -p gendt-audit -- plan-parity # compiled plans vs interpreted tape, bitwise
 //! cargo run --release -p gendt-audit -- chaos       # server + trainer under seeded fault schedules
 //! cargo run --release -p gendt-audit -- all         # everything above
 //! ```
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
         "verify" => run_verify(),
         "smoke" => run_smoke(),
         "trace-smoke" => run_trace_smoke(),
+        "plan-parity" => run_plan_parity(),
         "chaos" => chaos::run(),
         "all" => {
             // Non-short-circuiting: report every failing check at once.
@@ -36,12 +38,13 @@ fn main() -> ExitCode {
             let v = run_verify();
             let s = run_smoke();
             let t = run_trace_smoke();
+            let p = run_plan_parity();
             let c = chaos::run();
-            l && g && v && s && t && c
+            l && g && v && s && t && p && c
         }
         other => {
             eprintln!(
-                "unknown subcommand `{other}` (expected gradcheck|lint|verify|smoke|trace-smoke|chaos|all)"
+                "unknown subcommand `{other}` (expected gradcheck|lint|verify|smoke|trace-smoke|plan-parity|chaos|all)"
             );
             false
         }
@@ -273,6 +276,86 @@ fn run_smoke() -> bool {
         trace.mse,
         series.len()
     );
+    ok
+}
+
+fn run_plan_parity() -> bool {
+    use gendt::{generate_series, generate_series_batch, GenBatchItem, GenDt};
+    use gendt_data::Kpi;
+
+    println!("== plan-parity: compiled plans vs interpreted tape (bitwise) ==");
+    let Some((mut cfg, ctx, pool)) = tiny_workload(51, 52) else {
+        println!("plan-parity: FAILED (no training windows)");
+        return false;
+    };
+    cfg.steps = 6;
+    let mut ok = true;
+
+    // Train the same seed twice: interpreted tape vs compiled plans.
+    // Several steps so later steps replay cached plans, not fresh ones.
+    let train = |plan: bool| {
+        let mut model = GenDt::new(cfg.clone());
+        model.set_plan_mode(plan);
+        model.train(&pool);
+        model
+    };
+    let mut tape = train(false);
+    let mut plan = train(true);
+    let weights = |m: &GenDt| -> Vec<Vec<f32>> {
+        m.generator
+            .store
+            .iter()
+            .chain(m.discriminator.store.iter())
+            .map(|p| p.value.data.clone())
+            .collect()
+    };
+    let w_eq = weights(&tape) == weights(&plan);
+    let trace_eq = tape.trace.iter().map(|t| t.mse).collect::<Vec<_>>()
+        == plan.trace.iter().map(|t| t.mse).collect::<Vec<_>>();
+    println!(
+        "  train: weights {}, trace {}",
+        if w_eq { "bitwise-equal" } else { "DIVERGED" },
+        if trace_eq {
+            "bitwise-equal"
+        } else {
+            "DIVERGED"
+        },
+    );
+    ok &= w_eq && trace_eq;
+
+    // Generation: single-request and batched, compiled + cached replay.
+    tape.set_plan_mode(false);
+    let base = generate_series(&mut tape, &ctx, &Kpi::DATASET_A, false, 7);
+    plan.set_plan_mode(true);
+    let first = generate_series(&mut plan, &ctx, &Kpi::DATASET_A, false, 7);
+    let replay = generate_series(&mut plan, &ctx, &Kpi::DATASET_A, false, 7);
+    let gen_eq = base.series == first.series && base.series == replay.series;
+    println!(
+        "  generate: compiled + cached replay {}",
+        if gen_eq { "bitwise-equal" } else { "DIVERGED" }
+    );
+    ok &= gen_eq;
+
+    let items = [
+        GenBatchItem { ctx: &ctx, seed: 8 },
+        GenBatchItem { ctx: &ctx, seed: 9 },
+    ];
+    let b_base = generate_series_batch(&tape, &Kpi::DATASET_A, &items);
+    let b_first = generate_series_batch(&plan, &Kpi::DATASET_A, &items);
+    let b_replay = generate_series_batch(&plan, &Kpi::DATASET_A, &items);
+    let batch_eq = (0..items.len())
+        .all(|k| b_base[k].series == b_first[k].series && b_base[k].series == b_replay[k].series);
+    println!(
+        "  generate_series_batch: compiled + cached replay {}",
+        if batch_eq {
+            "bitwise-equal"
+        } else {
+            "DIVERGED"
+        }
+    );
+    ok &= batch_eq;
+
+    println!("plan-parity: {}", if ok { "clean" } else { "FAILED" });
     ok
 }
 

@@ -334,6 +334,25 @@ mod tests {
     write_fixture(&root, "crates/nn/src/params.rs", CLEAN_FILE);
     write_fixture(&root, "crates/nn/src/threads.rs", CLEAN_FILE);
     write_fixture(&root, "crates/nn/src/sanitize.rs", CLEAN_FILE);
+    // Seed 11 (plan-no-alloc): a Matrix::zeros inside the plan step
+    // path. Allocations outside the markers, tokens in comments, and
+    // the `allow-alloc`-exempted line are decoys that must not fire.
+    write_fixture(
+        &root,
+        "crates/nn/src/plan.rs",
+        r#"
+pub fn build() {
+    let _v: Vec<u8> = Vec::new(); // outside the markers: fine
+}
+// plan-lint: begin step path
+pub fn step() {
+    // a comment mentioning vec! must not fire
+    let _m = Matrix::zeros(1, 1); // seeded violation
+    let _w: Vec<f32> = Vec::with_capacity(4); // plan-lint: allow-alloc (reference kernels)
+}
+// plan-lint: end step path
+"#,
+    );
     // Seed 3 (no-unwrap anywhere): checkpoint unwrap INSIDE #[cfg(test)]
     // still fires — the rule has no test exemption there.
     write_fixture(
@@ -568,6 +587,24 @@ fn lint_detects_seeded_violations_and_ignores_decoys() {
             .iter()
             .all(|v| v.file == "crates/serve/src/registry.rs"),
         "only the seeded registry file may fire: {taxonomy_hits:?}"
+    );
+    let plan_hits: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == "plan-no-alloc")
+        .collect();
+    assert_eq!(
+        plan_hits.len(),
+        1,
+        "outside-marker/comment/allow-alloc decoys must not fire: {plan_hits:?}"
+    );
+    assert_eq!(
+        plan_hits[0].line, 8,
+        "violation should point at the seeded allocation line"
+    );
+    assert!(
+        plan_hits[0].message.contains("Matrix::zeros("),
+        "violation should name the allocating token: {}",
+        plan_hits[0].message
     );
 }
 

@@ -9,12 +9,21 @@
 
 #![forbid(unsafe_code)]
 
-use gendt::{ArMode, CarryState, GenDt, GenDtCfg, Generator};
+use gendt::{generate_series_batch, ArMode, CarryState, GenBatchItem, GenDt, GenDtCfg, Generator};
+use gendt_data::builders::{dataset_a, BuildCfg};
+use gendt_data::context::{extract, ContextCfg};
 use gendt_data::windows::Window;
+use gendt_data::Kpi;
 use gendt_geo::landuse::ENV_ATTRS;
 use gendt_nn::{Graph, Matrix, Rng};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+// Counting allocator so the `plan` section can report bytes-allocated
+// per step alongside wall time (two thread-local increments per malloc;
+// negligible against the timed kernels).
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
 
 fn rand_mat(rng: &mut Rng, r: usize, c: usize) -> Matrix {
     Matrix::from_vec(
@@ -232,7 +241,123 @@ fn main() {
             per_step * 1e3
         ));
     }
-    writeln!(json, "{}\n  ]", rows.join(",\n")).unwrap();
+    writeln!(json, "{}\n  ],", rows.join(",\n")).unwrap();
+
+    // ---- compiled plans (GENDT_PLAN) vs interpreted tape --------------
+    // Paper shapes (B=8, hidden=100, L=50), one thread and one shard so
+    // the thread-local allocation counters see every byte of the step.
+    gendt_trace::out!("== compiled plan vs interpreted tape, B=8 hidden=100 L=50, 1 thread ==");
+    gendt_nn::set_num_threads(1);
+    let mut pcfg = GenDtCfg::paper(4, 3);
+    pcfg.steps = 1;
+    pcfg.train_shards = 1;
+    let pool: Vec<Window> = (0..16)
+        .map(|_| {
+            synth_window(
+                &mut rng,
+                pcfg.window.len,
+                pcfg.window.max_cells,
+                pcfg.n_ch,
+                pcfg.window.ar_context,
+            )
+        })
+        .collect();
+    // Both models start from the same cfg seed, so tape and plan draw
+    // identical batch sequences and the comparison is apples-to-apples.
+    let measure_train = |plan: bool| -> (f64, f64, f64) {
+        let mut model = GenDt::new(pcfg.clone());
+        model.set_plan_mode(plan);
+        // Warm-up covers every plan key the step cadence cycles through
+        // (teacher-forced vs free-running, discriminator cadence).
+        for _ in 0..4 {
+            model.train_step(&pool);
+        }
+        let reps = 3;
+        let mut secs = f64::MAX;
+        let before = alloc_counter::snapshot();
+        for _ in 0..4 {
+            let t = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(model.train_step(&pool));
+            }
+            secs = secs.min(t.elapsed().as_secs_f64() / reps as f64);
+        }
+        let traffic = alloc_counter::snapshot().since(before);
+        (
+            secs,
+            traffic.allocs as f64 / (4 * reps) as f64,
+            traffic.bytes as f64 / (4 * reps) as f64,
+        )
+    };
+    let (tt_s, tt_allocs, tt_bytes) = measure_train(false);
+    let (pt_s, pt_allocs, pt_bytes) = measure_train(true);
+    let train_speedup = tt_s / pt_s;
+    gendt_trace::out!(
+        "train_step:     tape {:7.1}ms {:9.0} allocs {:11.0} B   plan {:7.1}ms {:9.0} allocs {:11.0} B   speedup {train_speedup:.2}x",
+        tt_s * 1e3, tt_allocs, tt_bytes, pt_s * 1e3, pt_allocs, pt_bytes
+    );
+
+    // Batched generation: 8 concurrent requests over a real quick-build
+    // trajectory (4 windows of L=50 each, batch stays full throughout).
+    let ds = dataset_a(&BuildCfg::quick(21));
+    let run = &ds.runs[0];
+    let ctx = extract(
+        &ds.world,
+        &ds.deployment,
+        &run.traj,
+        &ContextCfg {
+            max_cells: pcfg.window.max_cells,
+            ..ContextCfg::default()
+        },
+    );
+    let items: Vec<GenBatchItem> = (0..8)
+        .map(|i| GenBatchItem {
+            ctx: &ctx,
+            seed: 100 + i,
+        })
+        .collect();
+    let measure_gen = |plan: bool| -> (f64, f64, f64) {
+        let mut model = GenDt::new(pcfg.clone());
+        model.set_plan_mode(plan);
+        std::hint::black_box(generate_series_batch(&model, &Kpi::DATASET_A, &items));
+        let reps = 3;
+        let mut secs = f64::MAX;
+        let before = alloc_counter::snapshot();
+        for _ in 0..4 {
+            let t = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(generate_series_batch(&model, &Kpi::DATASET_A, &items));
+            }
+            secs = secs.min(t.elapsed().as_secs_f64() / reps as f64);
+        }
+        let traffic = alloc_counter::snapshot().since(before);
+        (
+            secs,
+            traffic.allocs as f64 / (4 * reps) as f64,
+            traffic.bytes as f64 / (4 * reps) as f64,
+        )
+    };
+    let (tg_s, tg_allocs, tg_bytes) = measure_gen(false);
+    let (pg_s, pg_allocs, pg_bytes) = measure_gen(true);
+    let gen_speedup = tg_s / pg_s;
+    gendt_trace::out!(
+        "batch_generate: tape {:7.1}ms {:9.0} allocs {:11.0} B   plan {:7.1}ms {:9.0} allocs {:11.0} B   speedup {gen_speedup:.2}x",
+        tg_s * 1e3, tg_allocs, tg_bytes, pg_s * 1e3, pg_allocs, pg_bytes
+    );
+    writeln!(
+        json,
+        "  \"plan\": {{\n    \"threads\": 1,\n    \"train_step\": {{\"b\": {}, \"hidden\": {}, \"l\": {}, \"tape_ms\": {:.2}, \"plan_ms\": {:.2}, \"speedup\": {train_speedup:.2}, \"tape_allocs_per_step\": {tt_allocs:.0}, \"plan_allocs_per_step\": {pt_allocs:.0}, \"tape_bytes_per_step\": {tt_bytes:.0}, \"plan_bytes_per_step\": {pt_bytes:.0}}},\n    \"batch_generate\": {{\"items\": 8, \"hidden\": {}, \"l\": {}, \"tape_ms\": {:.2}, \"plan_ms\": {:.2}, \"speedup\": {gen_speedup:.2}, \"tape_allocs_per_call\": {tg_allocs:.0}, \"plan_allocs_per_call\": {pg_allocs:.0}, \"tape_bytes_per_call\": {tg_bytes:.0}, \"plan_bytes_per_call\": {pg_bytes:.0}}}\n  }}",
+        pcfg.batch_size,
+        pcfg.hidden,
+        pcfg.window.len,
+        tt_s * 1e3,
+        pt_s * 1e3,
+        pcfg.hidden,
+        pcfg.window.len,
+        tg_s * 1e3,
+        pg_s * 1e3
+    )
+    .unwrap();
     writeln!(json, "}}").unwrap();
 
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");

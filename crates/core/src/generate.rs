@@ -13,7 +13,7 @@ use gendt_data::context::RunContext;
 use gendt_data::kpi_types::Kpi;
 use gendt_data::windows::{Window, WindowCfg};
 use gendt_geo::landuse::ENV_ATTRS;
-use gendt_nn::Graph;
+use gendt_nn::{Graph, PlanKey};
 use serde::{Deserialize, Serialize};
 
 /// Build generation windows from context alone (no KPI targets — this is
@@ -122,8 +122,25 @@ pub fn generate_series(
     let mut rng = gendt_nn::Rng::seed_from(sample_seed);
     let mut carry = CarryState::zeros(&cfg, 1);
     let mut norm: Vec<Vec<f32>> = vec![Vec::new(); cfg.n_ch];
+    let plan_on = model.plan_mode();
     for w in &wins {
-        let mut g = Graph::new();
+        let plan_key = plan_on.then(|| {
+            PlanKey::new(
+                "gen",
+                [
+                    1,
+                    w.env.len() as u64,
+                    crate::generator::batch_max_cells(&[w]) as u64,
+                    u64::from(mc_dropout),
+                    0,
+                    0,
+                ],
+            )
+        });
+        let mut g = match plan_key.as_ref().and_then(|k| model.plans.take(k)) {
+            Some(plan) => Graph::replay(plan),
+            None => Graph::new(),
+        };
         let fwd = model.generator.forward(
             &mut g,
             &[w],
@@ -139,6 +156,9 @@ pub fn generate_series(
             }
         }
         carry = fwd.carry;
+        if let Some(key) = plan_key {
+            model.plans.put(key, g.into_plan(None));
+        }
     }
     let series: Vec<Vec<f64>> = norm
         .into_iter()
@@ -228,7 +248,23 @@ pub fn generate_series_batch(
             rng_b.push(rngs[i].clone());
         }
 
-        let mut g = Graph::new();
+        let plan_key = model.plan_mode().then(|| {
+            PlanKey::new(
+                "gen_batch",
+                [
+                    bn as u64,
+                    cfg.generation_window().len as u64,
+                    crate::generator::batch_max_cells(&wrefs) as u64,
+                    0,
+                    0,
+                    0,
+                ],
+            )
+        });
+        let mut g = match plan_key.as_ref().and_then(|k| model.plans.take(k)) {
+            Some(plan) => Graph::replay(plan),
+            None => Graph::new(),
+        };
         let fwd = model
             .generator
             .forward_gen_batch(&mut g, &wrefs, &carry_b, &mut rng_b);
@@ -256,6 +292,9 @@ pub fn generate_series_batch(
                 .data
                 .copy_from_slice(&fwd.carry.ar_tail.data[r * tail_w..(r + 1) * tail_w]);
             rngs[i] = rng_b[r].clone();
+        }
+        if let Some(key) = plan_key {
+            model.plans.put(key, g.into_plan(None));
         }
     }
 
@@ -466,6 +505,37 @@ mod tests {
             // Exact f64 equality: the batched pass must be
             // bitwise-identical to the single-request pass.
             assert_eq!(direct.series, got.series, "batched output diverges");
+        }
+    }
+
+    #[test]
+    fn plan_mode_generation_is_bitwise_equal_to_interpreted() {
+        let (mut model, ctx) = tiny_model_and_ctx();
+        model.set_plan_mode(false);
+        let base = generate_series(&mut model, &ctx, &Kpi::DATASET_A, false, 9);
+        model.set_plan_mode(true);
+        // Run twice: the first compiles the plans, the second replays
+        // them from the cache — both must match the interpreted output.
+        let first = generate_series(&mut model, &ctx, &Kpi::DATASET_A, false, 9);
+        let replay = generate_series(&mut model, &ctx, &Kpi::DATASET_A, false, 9);
+        assert_eq!(base.series, first.series, "compiled pass diverges");
+        assert_eq!(base.series, replay.series, "cached replay diverges");
+
+        let items = [
+            GenBatchItem { ctx: &ctx, seed: 5 },
+            GenBatchItem { ctx: &ctx, seed: 6 },
+        ];
+        model.set_plan_mode(false);
+        let b_base = generate_series_batch(&model, &Kpi::DATASET_A, &items);
+        model.set_plan_mode(true);
+        let b_first = generate_series_batch(&model, &Kpi::DATASET_A, &items);
+        let b_replay = generate_series_batch(&model, &Kpi::DATASET_A, &items);
+        for k in 0..items.len() {
+            assert_eq!(b_base[k].series, b_first[k].series, "batch plan diverges");
+            assert_eq!(
+                b_base[k].series, b_replay[k].series,
+                "batch replay diverges"
+            );
         }
     }
 

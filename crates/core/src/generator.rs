@@ -87,7 +87,7 @@ pub enum ArMode {
 
 /// Cell-slot count of a packed batch: the widest window, at least one
 /// slot so an empty-cell window still drives the node LSTM.
-fn batch_max_cells(windows: &[&Window]) -> usize {
+pub(crate) fn batch_max_cells(windows: &[&Window]) -> usize {
     windows
         .iter()
         .map(|w| w.cells.len())

@@ -17,7 +17,7 @@ use crate::cfg::GenDtCfg;
 use crate::discriminator::Discriminator;
 use crate::generator::{ArMode, CarryState, ForwardOut, Generator};
 use gendt_data::windows::Window;
-use gendt_nn::{Adam, Graph, Matrix, NodeId, Rng};
+use gendt_nn::{Adam, Graph, Matrix, NodeId, ParamStore, PlanCache, PlanKey, Rng};
 use serde::{Deserialize, Serialize};
 
 /// Loss trace of one training step.
@@ -46,6 +46,14 @@ pub struct GenDt {
     pub(crate) opt_g: Adam,
     pub(crate) opt_d: Adam,
     pub(crate) rng: Rng,
+    /// Compiled execution plans keyed by graph shape, populated lazily by
+    /// the train/generate hot paths when [`GenDt::plan_mode`] is on.
+    pub(crate) plans: PlanCache,
+    plan_mode: bool,
+    /// Per-shard gradient stores, cloned once and reused every step
+    /// (re-cloning the full parameter store per shard per step serialized
+    /// sharded training on the allocator).
+    shard_grads: Vec<ParamStore>,
 }
 
 impl GenDt {
@@ -56,6 +64,9 @@ impl GenDt {
         let discriminator = Discriminator::new(&cfg, &mut rng);
         let opt_g = Adam::new(cfg.lr_g);
         let opt_d = Adam::new(cfg.lr_d);
+        let plan_mode = std::env::var("GENDT_PLAN")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         GenDt {
             generator,
             discriminator,
@@ -63,12 +74,29 @@ impl GenDt {
             opt_g,
             opt_d,
             rng,
+            plans: PlanCache::new(),
+            plan_mode,
+            shard_grads: Vec::new(),
         }
     }
 
     /// Model configuration.
     pub fn cfg(&self) -> &GenDtCfg {
         &self.generator.cfg
+    }
+
+    /// Whether compiled-plan execution is active. Defaults to the
+    /// `GENDT_PLAN=1` environment switch; forced off while
+    /// `GENDT_SANITIZE` is on (the sanitizer needs the interpreted tape's
+    /// per-op inspection).
+    pub fn plan_mode(&self) -> bool {
+        self.plan_mode && !gendt_nn::sanitize_enabled()
+    }
+
+    /// Enable or disable compiled-plan execution. Cached plans are kept;
+    /// they re-synchronize against the parameter stores on next use.
+    pub fn set_plan_mode(&mut self, on: bool) {
+        self.plan_mode = on;
     }
 
     /// Run `cfg.steps` training steps over a pool of training windows.
@@ -147,7 +175,6 @@ impl GenDt {
         };
 
         struct ShardOut {
-            grads: gendt_nn::ParamStore,
             mse: f32,
             gan_g: f32,
             sigma_mean: f32,
@@ -155,9 +182,19 @@ impl GenDt {
             ctx_steps: Vec<Matrix>,
         }
 
+        // Reuse the per-shard gradient stores across steps (cloning the
+        // full parameter store per shard per step was the dominant
+        // allocation of sharded training); zeroed inside each shard.
+        while self.shard_grads.len() < n_shards {
+            self.shard_grads.push(self.generator.store.clone());
+        }
+        let mut shard_grads = std::mem::take(&mut self.shard_grads);
+
+        let plan_on = self.plan_mode();
+        let plans = &self.plans;
         let generator = &self.generator;
         let discriminator = &self.discriminator;
-        let run_shard = |s: usize| -> ShardOut {
+        let run_shard = |s: usize, grads: &mut ParamStore| -> ShardOut {
             let range = ranges[s].clone();
             let shard: &[&Window] = &batch[range.clone()];
             let bs_s = shard.len();
@@ -177,7 +214,25 @@ impl GenDt {
                     }
                 }
             }
-            let mut g = Graph::new();
+            // Replay the compiled plan for this shard shape when one is
+            // cached; otherwise record the tape and compile it below.
+            let plan_key = plan_on.then(|| {
+                PlanKey::new(
+                    "train_g",
+                    [
+                        bs_s as u64,
+                        l as u64,
+                        crate::generator::batch_max_cells(shard) as u64,
+                        u64::from(matches!(ar_mode, ArMode::FreeRunning)),
+                        u64::from(use_gan),
+                        0,
+                    ],
+                )
+            });
+            let mut g = match plan_key.as_ref().and_then(|k| plans.take(k)) {
+                Some(plan) => Graph::replay(plan),
+                None => Graph::new(),
+            };
             let fwd: ForwardOut = generator.forward(&mut g, shard, &carry, ar_mode, true, &mut rng);
             // MSE across steps, on this shard's target rows.
             let mut mse_terms: Vec<(NodeId, f32)> = Vec::with_capacity(l);
@@ -210,14 +265,16 @@ impl GenDt {
                 (g.weighted_sum(vec![(mse_node, w_s)]), 0.0)
             };
             let mse_val = g.value(mse_node).data[0];
-            // Backward into a private clone; the trainer reduces clones
-            // in shard order afterwards.
-            let mut grads = generator.store.clone();
-            g.backward(loss_node, &mut grads);
+            // Backward into this shard's private store; the trainer
+            // reduces the stores in shard order afterwards.
+            grads.zero_grad();
+            g.backward(loss_node, grads);
             let fake_steps = fwd.outputs.iter().map(|&o| g.value(o).clone()).collect();
             let ctx_steps = fwd.h_avg.iter().map(|&hn| g.value(hn).clone()).collect();
+            if let Some(key) = plan_key {
+                plans.put(key, g.into_plan(Some(loss_node)));
+            }
             ShardOut {
-                grads,
                 mse: w_s * mse_val,
                 gan_g: w_s * gan_g_val,
                 sigma_mean: w_s * sigma_mean,
@@ -228,14 +285,22 @@ impl GenDt {
 
         let mut shard_outs: Vec<Option<ShardOut>> = (0..n_shards).map(|_| None).collect();
         if n_shards == 1 || gendt_nn::num_threads() <= 1 {
-            for (s, slot) in shard_outs.iter_mut().enumerate() {
-                *slot = Some(run_shard(s));
+            for (s, (slot, grads)) in shard_outs
+                .iter_mut()
+                .zip(shard_grads.iter_mut())
+                .enumerate()
+            {
+                *slot = Some(run_shard(s, grads));
             }
         } else {
             let run_shard = &run_shard;
             rayon::scope(|sc| {
-                for (s, slot) in shard_outs.iter_mut().enumerate() {
-                    sc.spawn(move |_| *slot = Some(run_shard(s)));
+                for (s, (slot, grads)) in shard_outs
+                    .iter_mut()
+                    .zip(shard_grads.iter_mut())
+                    .enumerate()
+                {
+                    sc.spawn(move |_| *slot = Some(run_shard(s, grads)));
                 }
             });
         }
@@ -247,12 +312,13 @@ impl GenDt {
         let mut mse_val = 0.0;
         let mut gan_g_val = 0.0;
         let mut sigma_mean = 0.0;
-        for out in &shard_outs {
-            self.generator.store.accumulate_grads_from(&out.grads);
+        for (out, grads) in shard_outs.iter().zip(shard_grads.iter()) {
+            self.generator.store.accumulate_grads_from(grads);
             mse_val += out.mse;
             gan_g_val += out.gan_g;
             sigma_mean += out.sigma_mean;
         }
+        self.shard_grads = shard_grads;
         // Under GENDT_SANITIZE the per-op checks inside each shard graph
         // already caught non-finite values at their birthplace; this
         // final check covers the cross-shard reduction itself and names
@@ -313,7 +379,13 @@ impl GenDt {
             };
             let fake_steps = stack(&|o: &ShardOut| &o.fake_steps);
             let ctx_steps = stack(&|o: &ShardOut| &o.ctx_steps);
-            let mut gd = Graph::new();
+            let plan_key = self
+                .plan_mode()
+                .then(|| PlanKey::new("train_d", [bsz as u64, l as u64, 0, 0, 0, 0]));
+            let mut gd = match plan_key.as_ref().and_then(|k| self.plans.take(k)) {
+                Some(plan) => Graph::replay(plan),
+                None => Graph::new(),
+            };
             let real_nodes: Vec<NodeId> =
                 real_steps.iter().map(|mtx| gd.input(mtx.clone())).collect();
             let fake_nodes: Vec<NodeId> =
@@ -331,6 +403,9 @@ impl GenDt {
             let loss_d = gd.weighted_sum(vec![(loss_r, 0.5), (loss_f, 0.5)]);
             let v = gd.value(loss_d).data[0];
             gd.backward(loss_d, &mut self.discriminator.store);
+            if let Some(key) = plan_key {
+                self.plans.put(key, gd.into_plan(Some(loss_d)));
+            }
             self.discriminator.store.scrub_non_finite_grads();
             let norm = self
                 .discriminator
@@ -522,6 +597,43 @@ mod tests {
             runs[0], runs[1],
             "trained weights depend on the thread count"
         );
+    }
+
+    #[test]
+    fn plan_mode_training_is_bitwise_equal_to_interpreted() {
+        let mut cfg = tiny_cfg();
+        cfg.steps = 8; // several steps so compiled plans replay from cache
+        let pool = training_pool(&cfg);
+        let mut runs: Vec<(Vec<Vec<f32>>, Vec<Vec<f32>>, Vec<f32>)> = Vec::new();
+        for plan in [false, true] {
+            let mut model = GenDt::new(cfg.clone());
+            model.set_plan_mode(plan);
+            model.train(&pool);
+            runs.push((
+                model
+                    .generator
+                    .store
+                    .iter()
+                    .map(|p| p.value.data.clone())
+                    .collect(),
+                model
+                    .discriminator
+                    .store
+                    .iter()
+                    .map(|p| p.value.data.clone())
+                    .collect(),
+                model.trace.iter().map(|t| t.mse).collect(),
+            ));
+        }
+        assert_eq!(
+            runs[0].0, runs[1].0,
+            "generator weights diverge under plans"
+        );
+        assert_eq!(
+            runs[0].1, runs[1].1,
+            "discriminator weights diverge under plans"
+        );
+        assert_eq!(runs[0].2, runs[1].2, "training trace diverges under plans");
     }
 
     #[test]

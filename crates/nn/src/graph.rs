@@ -10,6 +10,7 @@
 
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
+use crate::plan::{Mode, Plan};
 
 /// Handle to a node in a [`Graph`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -228,9 +229,21 @@ struct Node {
     value: Matrix,
     grad: Option<Matrix>,
     needs_grad: bool,
+    /// Whether [`Graph::value`] was called on this node — an *external*
+    /// read whose result escaped the tape. The plan compiler pins such
+    /// values in the arena (and refuses to fuse them away) so replay can
+    /// serve the same reads. `Cell` because `value` takes `&self`.
+    ext: std::cell::Cell<bool>,
 }
 
 /// A single-use reverse-mode autodiff tape.
+///
+/// A graph runs in one of two modes (see [`crate::plan`]): **record**
+/// (the default — ops execute eagerly and append to the tape) or
+/// **replay** ([`Graph::replay`] — the same builder code re-executes a
+/// compiled [`Plan`] against its preallocated arena, with every
+/// constructor validating that it matches the recorded step). Builder
+/// code is mode-agnostic; only construction differs.
 pub struct Graph {
     nodes: Vec<Node>,
     /// One leaf node per parameter: repeated [`Graph::param`] calls for
@@ -242,6 +255,8 @@ pub struct Graph {
     /// attributed to the op being recorded. Zero until the first traced
     /// push; only read while `gendt_trace::trace_enabled()`.
     prof_last_ns: u64,
+    /// Record (append to the tape) or replay (execute a compiled plan).
+    mode: Mode,
 }
 
 impl Default for Graph {
@@ -250,12 +265,52 @@ impl Default for Graph {
     }
 }
 
-fn sigmoid(x: f32) -> f32 {
+/// Numerically-stable libm sigmoid: the reference activation, also used
+/// unconditionally by the softplus and BCE backward passes.
+pub(crate) fn stable_sigmoid(x: f32) -> f32 {
     if x >= 0.0 {
         1.0 / (1.0 + (-x).exp())
     } else {
         let e = x.exp();
         e / (1.0 + e)
+    }
+}
+
+/// Gate activations of one LSTM row: sigmoid over the `i`/`f` and `o`
+/// blocks, tanh over the candidate block, dispatched over the active
+/// kernel set exactly like the tape's cell forward/backward.
+pub(crate) fn cell_act(gr: &[f32], act: &mut [f32], hidden: usize) {
+    if crate::kernels::reference_kernels() {
+        cell_act_with(gr, act, hidden, stable_sigmoid, f32::tanh);
+    } else {
+        cell_act_with(
+            gr,
+            act,
+            hidden,
+            crate::kernels::fast_sigmoid,
+            crate::kernels::fast_tanh,
+        );
+    }
+}
+
+fn cell_act_with(
+    gr: &[f32],
+    act: &mut [f32],
+    hidden: usize,
+    sig: impl Fn(f32) -> f32,
+    th: impl Fn(f32) -> f32,
+) {
+    for (a, &x) in act[..2 * hidden].iter_mut().zip(&gr[..2 * hidden]) {
+        *a = sig(x); // i, f
+    }
+    for (a, &x) in act[2 * hidden..3 * hidden]
+        .iter_mut()
+        .zip(&gr[2 * hidden..3 * hidden])
+    {
+        *a = th(x); // candidate
+    }
+    for (a, &x) in act[3 * hidden..].iter_mut().zip(&gr[3 * hidden..]) {
+        *a = sig(x); // o
     }
 }
 
@@ -360,13 +415,133 @@ fn lstm_cell_backward(
 }
 
 impl Graph {
-    /// Empty tape.
+    /// Empty tape in record mode.
     pub fn new() -> Self {
         Graph {
             nodes: Vec::with_capacity(256),
             param_nodes: std::collections::HashMap::new(),
             prof_last_ns: 0,
+            mode: Mode::Record,
         }
+    }
+
+    /// A graph that *replays* a compiled plan: the same builder code that
+    /// recorded the plan re-executes against its arena, and
+    /// [`Graph::into_plan`] recovers the plan afterwards for re-caching.
+    /// Allocates nothing.
+    pub fn replay(mut plan: Plan) -> Self {
+        plan.param_memo.clear();
+        Graph {
+            nodes: Vec::new(),
+            param_nodes: std::collections::HashMap::new(),
+            prof_last_ns: 0,
+            mode: Mode::Replay { plan, cursor: 0 },
+        }
+    }
+
+    /// Finish the tape into a compiled [`Plan`] (record mode), or recover
+    /// the replayed plan for re-caching (replay mode). `loss` names the
+    /// node [`Graph::backward`] runs from, or `None` for forward-only
+    /// (generation) plans.
+    ///
+    /// # Panics
+    /// Panics in replay mode if the builder did not replay the full
+    /// recorded op sequence — the plan key failed to determine the tape.
+    pub fn into_plan(self, loss: Option<NodeId>) -> Plan {
+        match self.mode {
+            Mode::Record => crate::plan::compile(
+                self.nodes
+                    .into_iter()
+                    .map(|n| crate::plan::Recorded {
+                        op: n.op,
+                        rows: n.value.rows,
+                        cols: n.value.cols,
+                        needs_grad: n.needs_grad,
+                        ext: n.ext.get(),
+                    })
+                    .collect(),
+                loss.map(|l| l.0),
+            ),
+            Mode::Replay { plan, cursor } => {
+                assert_eq!(
+                    cursor,
+                    plan.len(),
+                    "plan replay ended early: {cursor} of {} recorded steps ran; \
+                     the plan cache key does not fully determine the op sequence",
+                    plan.len()
+                );
+                plan
+            }
+        }
+    }
+
+    /// Replay-mode guard shared by the op constructors: match the op
+    /// being built against the recorded step at the cursor (the `check`
+    /// closure also refreshes per-step constants stored inside the op),
+    /// advance, and evaluate the step into the arena. Returns `None` in
+    /// record mode.
+    fn r_step(
+        &mut self,
+        expect: &'static str,
+        check: impl FnOnce(&mut Op) -> bool,
+        extra: Option<&Matrix>,
+    ) -> Option<NodeId> {
+        let Mode::Replay { plan, cursor } = &mut self.mode else {
+            return None;
+        };
+        let i = *cursor;
+        plan.expect_step(i, expect);
+        if !check(&mut plan.steps[i].op) {
+            plan.diverged(i, expect);
+        }
+        *cursor = i + 1;
+        plan.eval(i, extra);
+        Some(NodeId(i))
+    }
+
+    /// Replay-mode guard for input-like leaves: the recorded step must be
+    /// an `Input` with the same gradient flag and shape; its arena slot
+    /// receives the fresh value.
+    fn r_input(&mut self, value: &Matrix, needs_grad: bool) -> Option<NodeId> {
+        let Mode::Replay { plan, cursor } = &mut self.mode else {
+            return None;
+        };
+        let i = *cursor;
+        plan.expect_step(i, "Input");
+        if !matches!(plan.steps[i].op, Op::Input) || plan.steps[i].needs_grad != needs_grad {
+            plan.diverged(i, "Input");
+        }
+        *cursor = i + 1;
+        plan.write_value(i, value);
+        Some(NodeId(i))
+    }
+
+    /// Replay-mode guard for parameter leaves: synchronize the plan's
+    /// parameter slots against the store (version-gated, so unchanged
+    /// stores cost one integer compare), then either return the memoized
+    /// step for this id — mirroring record-mode memoization — or match
+    /// and advance past the recorded `Param` step.
+    fn r_param(&mut self, store: &ParamStore, id: ParamId) -> Option<NodeId> {
+        let Mode::Replay { plan, cursor } = &mut self.mode else {
+            return None;
+        };
+        plan.sync_params(store);
+        let memoize = !crate::kernels::reference_kernels();
+        if memoize {
+            if let Some(&(_, step)) = plan.param_memo.iter().find(|&&(pid, _)| pid == id) {
+                return Some(NodeId(step as usize));
+            }
+        }
+        let i = *cursor;
+        plan.expect_step(i, "Param");
+        if !matches!(plan.steps[i].op, Op::Param(p) if p == id) {
+            plan.diverged(i, "Param");
+        }
+        *cursor = i + 1;
+        if memoize {
+            plan.param_memo.push((id, i as u32));
+        }
+        Some(NodeId(i))
     }
 
     fn push(&mut self, op: Op, value: Matrix, needs_grad: bool) -> NodeId {
@@ -381,6 +556,7 @@ impl Graph {
             value,
             grad: None,
             needs_grad,
+            ext: std::cell::Cell::new(false),
         });
         NodeId(self.nodes.len() - 1)
     }
@@ -486,49 +662,95 @@ impl Graph {
     }
 
     /// Forward value of a node.
+    ///
+    /// In record mode this also marks the node as *externally read*: the
+    /// plan compiler pins such values in the arena so replays can serve
+    /// the same read (any value a builder inspects mid-build — e.g. the
+    /// generator's autoregressive feedback — must be read identically on
+    /// every execution of the same plan key, which it is, being the same
+    /// code).
     pub fn value(&self, id: NodeId) -> &Matrix {
-        &self.nodes[id.0].value
+        if let Mode::Replay { plan, cursor } = &self.mode {
+            return plan.ext_value(id.0, *cursor);
+        }
+        let n = &self.nodes[id.0];
+        n.ext.set(true);
+        &n.value
     }
 
     /// The recorded operation of a node (for tape auditing).
     pub fn op(&self, id: NodeId) -> &Op {
+        if let Mode::Replay { plan, .. } = &self.mode {
+            return &plan.steps[id.0].op;
+        }
         &self.nodes[id.0].op
     }
 
     /// Whether a node participates in gradient computation.
     pub fn node_needs_grad(&self, id: NodeId) -> bool {
+        if let Mode::Replay { plan, .. } = &self.mode {
+            return plan.steps[id.0].needs_grad;
+        }
         self.nodes[id.0].needs_grad
     }
 
     /// All node ids on the tape, in recording order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len()).map(NodeId)
+        (0..self.len()).map(NodeId)
     }
 
     /// Gradient of a node after [`Graph::backward`]; `None` if it did not
     /// participate in the loss or does not require gradients.
+    ///
+    /// # Panics
+    /// Panics in replay mode: plan execution keeps gradients in reused
+    /// arena slots and does not retain them for inspection. Inspect
+    /// gradients on a record-mode graph (the interpreted reference).
     pub fn grad(&self, id: NodeId) -> Option<&Matrix> {
+        assert!(
+            matches!(self.mode, Mode::Record),
+            "node gradients are not inspectable in plan replay mode"
+        );
         self.nodes[id.0].grad.as_ref()
     }
 
-    /// Number of nodes recorded so far.
+    /// Number of nodes recorded (or replayed) so far.
     pub fn len(&self) -> usize {
+        if let Mode::Replay { cursor, .. } = &self.mode {
+            return *cursor;
+        }
         self.nodes.len()
     }
 
     /// True if no nodes have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
     }
 
     /// Insert a constant (non-differentiable) input.
     pub fn input(&mut self, value: Matrix) -> NodeId {
+        if let Some(n) = self.r_input(&value, false) {
+            return n;
+        }
         self.push(Op::Input, value, false)
+    }
+
+    /// Insert a constant input from a reference, avoiding the caller-side
+    /// move (and, in replay mode, any allocation: the value is copied
+    /// straight into the node's arena slot).
+    pub fn input_ref(&mut self, value: &Matrix) -> NodeId {
+        if let Some(n) = self.r_input(value, false) {
+            return n;
+        }
+        self.push(Op::Input, value.clone(), false)
     }
 
     /// Insert a constant input that still receives a gradient (used by
     /// tests and by generator-through-discriminator plumbing).
     pub fn input_with_grad(&mut self, value: Matrix) -> NodeId {
+        if let Some(n) = self.r_input(&value, true) {
+            return n;
+        }
         self.push(Op::Input, value, true)
     }
 
@@ -537,6 +759,9 @@ impl Graph {
     /// must only contain trainable params from ONE store; params of other
     /// models must enter via [`Graph::param_frozen`].
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        if let Some(n) = self.r_param(store, id) {
+            return n;
+        }
         if crate::kernels::reference_kernels() {
             // Seed behavior: a fresh leaf (and value clone) per use.
             return self.push(Op::Param(id), store.value(id).clone(), true);
@@ -554,11 +779,21 @@ impl Graph {
     /// itself receives no gradient. Used for the discriminator inside the
     /// generator's update graph.
     pub fn param_frozen(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        if let Some(n) = self.r_input(store.value(id), false) {
+            return n;
+        }
         self.push(Op::Input, store.value(id).clone(), false)
     }
 
     /// Matrix product.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if let Some(n) = self.r_step(
+            "MatMul",
+            |op| matches!(op, Op::MatMul(x, y) if *x == a && *y == b),
+            None,
+        ) {
+            return n;
+        }
         let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
         let ng = self.needs(a) || self.needs(b);
         self.push(Op::MatMul(a, b), v, ng)
@@ -566,6 +801,13 @@ impl Graph {
 
     /// Elementwise sum.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if let Some(n) = self.r_step(
+            "Add",
+            |op| matches!(op, Op::Add(x, y) if *x == a && *y == b),
+            None,
+        ) {
+            return n;
+        }
         let mut v = self.nodes[a.0].value.clone();
         v.add_assign(&self.nodes[b.0].value);
         let ng = self.needs(a) || self.needs(b);
@@ -574,6 +816,13 @@ impl Graph {
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if let Some(n) = self.r_step(
+            "Sub",
+            |op| matches!(op, Op::Sub(x, y) if *x == a && *y == b),
+            None,
+        ) {
+            return n;
+        }
         let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(va.shape(), vb.shape(), "sub shape mismatch");
         let data = va
@@ -589,6 +838,13 @@ impl Graph {
 
     /// Hadamard product.
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if let Some(n) = self.r_step(
+            "Mul",
+            |op| matches!(op, Op::Mul(x, y) if *x == a && *y == b),
+            None,
+        ) {
+            return n;
+        }
         let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(va.shape(), vb.shape(), "mul shape mismatch");
         let data = va
@@ -604,6 +860,13 @@ impl Graph {
 
     /// Bias add: `a + b` where `b` is a `1 x cols` row broadcast over rows.
     pub fn add_row(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if let Some(n) = self.r_step(
+            "AddRow",
+            |op| matches!(op, Op::AddRow(x, y) if *x == a && *y == b),
+            None,
+        ) {
+            return n;
+        }
         let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(vb.rows, 1, "add_row: rhs must be a row vector");
         assert_eq!(va.cols, vb.cols, "add_row column mismatch");
@@ -619,6 +882,13 @@ impl Graph {
 
     /// Column broadcast multiply: `a * b` where `b` is `rows x 1`.
     pub fn mul_col(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if let Some(n) = self.r_step(
+            "MulCol",
+            |op| matches!(op, Op::MulCol(x, y) if *x == a && *y == b),
+            None,
+        ) {
+            return n;
+        }
         let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(vb.cols, 1, "mul_col: rhs must be a column vector");
         assert_eq!(va.rows, vb.rows, "mul_col row mismatch");
@@ -635,6 +905,13 @@ impl Graph {
 
     /// Scalar multiply.
     pub fn scale(&mut self, a: NodeId, s: f32) -> NodeId {
+        if let Some(n) = self.r_step(
+            "Scale",
+            |op| matches!(op, Op::Scale(x, s0) if *x == a && *s0 == s),
+            None,
+        ) {
+            return n;
+        }
         let v = self.nodes[a.0].value.map(|x| x * s);
         let ng = self.needs(a);
         self.push(Op::Scale(a, s), v, ng)
@@ -642,6 +919,13 @@ impl Graph {
 
     /// Scalar add.
     pub fn offset(&mut self, a: NodeId, s: f32) -> NodeId {
+        if let Some(n) = self.r_step(
+            "Offset",
+            |op| matches!(op, Op::Offset(x, s0) if *x == a && *s0 == s),
+            None,
+        ) {
+            return n;
+        }
         let v = self.nodes[a.0].value.map(|x| x + s);
         let ng = self.needs(a);
         self.push(Op::Offset(a, s), v, ng)
@@ -650,8 +934,15 @@ impl Graph {
     /// Elementwise sigmoid (vectorizable polynomial kernel; the libm
     /// reference when [`crate::kernels::set_reference_kernels`] is set).
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        if let Some(n) = self.r_step(
+            "Sigmoid",
+            |op| matches!(op, Op::Sigmoid(x) if *x == a),
+            None,
+        ) {
+            return n;
+        }
         let v = if crate::kernels::reference_kernels() {
-            self.nodes[a.0].value.map(sigmoid)
+            self.nodes[a.0].value.map(stable_sigmoid)
         } else {
             self.nodes[a.0].value.map(crate::kernels::fast_sigmoid)
         };
@@ -662,6 +953,9 @@ impl Graph {
     /// Elementwise tanh (vectorizable polynomial kernel; the libm
     /// reference when [`crate::kernels::set_reference_kernels`] is set).
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        if let Some(n) = self.r_step("Tanh", |op| matches!(op, Op::Tanh(x) if *x == a), None) {
+            return n;
+        }
         let v = if crate::kernels::reference_kernels() {
             self.nodes[a.0].value.map(f32::tanh)
         } else {
@@ -673,6 +967,13 @@ impl Graph {
 
     /// Leaky ReLU.
     pub fn leaky_relu(&mut self, a: NodeId, slope: f32) -> NodeId {
+        if let Some(n) = self.r_step(
+            "LeakyRelu",
+            |op| matches!(op, Op::LeakyRelu(x, s0) if *x == a && *s0 == slope),
+            None,
+        ) {
+            return n;
+        }
         let v = self.nodes[a.0]
             .value
             .map(|x| if x >= 0.0 { x } else { slope * x });
@@ -683,6 +984,9 @@ impl Graph {
     /// Elementwise exp (vectorizable polynomial kernel; the libm
     /// reference when [`crate::kernels::set_reference_kernels`] is set).
     pub fn exp(&mut self, a: NodeId) -> NodeId {
+        if let Some(n) = self.r_step("Exp", |op| matches!(op, Op::Exp(x) if *x == a), None) {
+            return n;
+        }
         let v = if crate::kernels::reference_kernels() {
             self.nodes[a.0].value.map(f32::exp)
         } else {
@@ -694,6 +998,13 @@ impl Graph {
 
     /// Elementwise softplus, numerically stabilized.
     pub fn softplus(&mut self, a: NodeId) -> NodeId {
+        if let Some(n) = self.r_step(
+            "Softplus",
+            |op| matches!(op, Op::Softplus(x) if *x == a),
+            None,
+        ) {
+            return n;
+        }
         let v = self.nodes[a.0].value.map(|x| {
             if x > 20.0 {
                 x
@@ -709,6 +1020,13 @@ impl Graph {
 
     /// Horizontal concatenation.
     pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if let Some(n) = self.r_step(
+            "ConcatCols",
+            |op| matches!(op, Op::ConcatCols(x, y) if *x == a && *y == b),
+            None,
+        ) {
+            return n;
+        }
         let v = self.nodes[a.0].value.concat_cols(&self.nodes[b.0].value);
         let ng = self.needs(a) || self.needs(b);
         self.push(Op::ConcatCols(a, b), v, ng)
@@ -716,6 +1034,13 @@ impl Graph {
 
     /// Column slice `c0..c1`.
     pub fn slice_cols(&mut self, a: NodeId, c0: usize, c1: usize) -> NodeId {
+        if let Some(n) = self.r_step(
+            "SliceCols",
+            |op| matches!(op, Op::SliceCols(x, a0, a1) if *x == a && *a0 == c0 && *a1 == c1),
+            None,
+        ) {
+            return n;
+        }
         let v = self.nodes[a.0].value.slice_cols(c0, c1);
         let ng = self.needs(a);
         self.push(Op::SliceCols(a, c0, c1), v, ng)
@@ -726,6 +1051,13 @@ impl Graph {
     /// # Panics
     /// Panics if the range is empty, out of order, or past the row count.
     pub fn slice_rows(&mut self, a: NodeId, r0: usize, r1: usize) -> NodeId {
+        if let Some(n) = self.r_step(
+            "SliceRows",
+            |op| matches!(op, Op::SliceRows(x, a0, a1) if *x == a && *a0 == r0 && *a1 == r1),
+            None,
+        ) {
+            return n;
+        }
         let va = &self.nodes[a.0].value;
         assert!(
             r0 < r1 && r1 <= va.rows,
@@ -740,6 +1072,9 @@ impl Graph {
 
     /// Row-wise sum, yielding a `rows x 1` column vector.
     pub fn row_sum(&mut self, a: NodeId) -> NodeId {
+        if let Some(n) = self.r_step("RowSum", |op| matches!(op, Op::RowSum(x) if *x == a), None) {
+            return n;
+        }
         let va = &self.nodes[a.0].value;
         let data = (0..va.rows).map(|r| va.row_slice(r).iter().sum()).collect();
         let v = Matrix::from_vec(va.rows, 1, data);
@@ -759,6 +1094,13 @@ impl Graph {
     /// # Panics
     /// Panics if `group == 0` or the row count is not divisible by it.
     pub fn sum_row_groups(&mut self, a: NodeId, group: usize) -> NodeId {
+        if let Some(n) = self.r_step(
+            "SumRowGroups",
+            |op| matches!(op, Op::SumRowGroups(x, g0) if *x == a && *g0 == group),
+            None,
+        ) {
+            return n;
+        }
         let va = &self.nodes[a.0].value;
         assert!(group > 0, "sum_row_groups: group must be positive");
         assert_eq!(
@@ -795,6 +1137,16 @@ impl Graph {
     /// # Panics
     /// Panics if `hidden == 0` or the shapes are inconsistent.
     pub fn lstm_cell(&mut self, gates: NodeId, c_prev: NodeId, hidden: usize) -> NodeId {
+        if let Some(n) = self.r_step(
+            "LstmCell",
+            |op| {
+                matches!(op, Op::LstmCell { gates: g0, c_prev: c0, hidden: h0 }
+                    if *g0 == gates && *c0 == c_prev && *h0 == hidden)
+            },
+            None,
+        ) {
+            return n;
+        }
         let (vg, vc) = (&self.nodes[gates.0].value, &self.nodes[c_prev.0].value);
         assert!(hidden > 0, "lstm_cell: hidden must be positive");
         assert_eq!(
@@ -808,7 +1160,7 @@ impl Graph {
             "lstm_cell: c_prev shape mismatch"
         );
         let v = if crate::kernels::reference_kernels() {
-            lstm_cell_forward(vg, vc, hidden, sigmoid, f32::tanh)
+            lstm_cell_forward(vg, vc, hidden, stable_sigmoid, f32::tanh)
         } else {
             lstm_cell_forward(
                 vg,
@@ -844,6 +1196,16 @@ impl Graph {
     /// # Panics
     /// Panics if `u`'s shape differs from `x`'s.
     pub fn noisy_renorm(&mut self, x: NodeId, a: f32, u: &Matrix) -> NodeId {
+        if let Some(n) = self.r_step(
+            "NoisyRenorm",
+            |op| {
+                matches!(op, Op::NoisyRenorm { x: x0, a: a0, noise }
+                    if *x0 == x && *a0 == a && noise.shape() == u.shape())
+            },
+            Some(u),
+        ) {
+            return n;
+        }
         let vx = &self.nodes[x.0].value;
         assert_eq!(u.shape(), vx.shape(), "noisy_renorm: noise shape mismatch");
         let (rows, cols) = vx.shape();
@@ -880,6 +1242,13 @@ impl Graph {
     /// # Panics
     /// Panics on shape mismatch or if `bias` is not `1 x cols`.
     pub fn add_add_row(&mut self, a: NodeId, b: NodeId, bias: NodeId) -> NodeId {
+        if let Some(n) = self.r_step(
+            "AddAddRow",
+            |op| matches!(op, Op::AddAddRow(x, y, z) if *x == a && *y == b && *z == bias),
+            None,
+        ) {
+            return n;
+        }
         let (va, vb, vbias) = (
             &self.nodes[a.0].value,
             &self.nodes[b.0].value,
@@ -916,6 +1285,31 @@ impl Graph {
         scale: &Matrix,
         group: usize,
     ) -> NodeId {
+        if let Some(n) = self.r_step(
+            "MaskedGroupMean",
+            |op| match op {
+                Op::MaskedGroupMean {
+                    x: x0,
+                    mask: m0,
+                    scale: s0,
+                    group: g0,
+                } if *x0 == x
+                    && *g0 == group
+                    && m0.shape() == mask.shape()
+                    && s0.shape() == scale.shape() =>
+                {
+                    // The mask and scale columns vary per batch (padding
+                    // pattern); refresh the recorded constants in place.
+                    m0.data.copy_from_slice(&mask.data);
+                    s0.data.copy_from_slice(&scale.data);
+                    true
+                }
+                _ => false,
+            },
+            None,
+        ) {
+            return n;
+        }
         let vx = &self.nodes[x.0].value;
         assert!(group > 0, "masked_group_mean: group must be positive");
         assert_eq!(
@@ -957,6 +1351,9 @@ impl Graph {
 
     /// Mean of all elements as a `1 x 1` scalar node.
     pub fn mean(&mut self, a: NodeId) -> NodeId {
+        if let Some(n) = self.r_step("Mean", |op| matches!(op, Op::Mean(x) if *x == a), None) {
+            return n;
+        }
         let v = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.mean()]);
         let ng = self.needs(a);
         self.push(Op::Mean(a), v, ng)
@@ -964,6 +1361,13 @@ impl Graph {
 
     /// Mean-squared-error loss `mean((a - b)^2)`.
     pub fn mse_loss(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if let Some(n) = self.r_step(
+            "MseLoss",
+            |op| matches!(op, Op::MseLoss(x, y) if *x == a && *y == b),
+            None,
+        ) {
+            return n;
+        }
         let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(va.shape(), vb.shape(), "mse_loss shape mismatch");
         let n = va.data.len().max(1) as f32;
@@ -983,6 +1387,19 @@ impl Graph {
     /// Numerically stable formulation
     /// `max(x,0) - x*t + ln(1 + e^{-|x|})`.
     pub fn bce_with_logits(&mut self, logits: NodeId, targets: Matrix) -> NodeId {
+        if let Some(n) = self.r_step(
+            "BceWithLogits",
+            |op| match op {
+                Op::BceWithLogits(l0, t0) if *l0 == logits && t0.shape() == targets.shape() => {
+                    t0.data.copy_from_slice(&targets.data);
+                    true
+                }
+                _ => false,
+            },
+            None,
+        ) {
+            return n;
+        }
         let vl = &self.nodes[logits.0].value;
         assert_eq!(vl.shape(), targets.shape(), "bce shape mismatch");
         let n = vl.data.len().max(1) as f32;
@@ -999,6 +1416,13 @@ impl Graph {
 
     /// Weighted sum of `1 x 1` scalar nodes (loss combination).
     pub fn weighted_sum(&mut self, terms: Vec<(NodeId, f32)>) -> NodeId {
+        if let Some(n) = self.r_step(
+            "WeightedSum",
+            |op| matches!(op, Op::WeightedSum(t0) if *t0 == terms),
+            None,
+        ) {
+            return n;
+        }
         let mut s = 0.0;
         let mut ng = false;
         for &(id, w) in &terms {
@@ -1016,6 +1440,23 @@ impl Graph {
     /// `sigma` must be elementwise positive (pass it through
     /// [`Graph::softplus`] plus a floor first).
     pub fn gaussian_nll(&mut self, mu: NodeId, sigma: NodeId, target: Matrix) -> NodeId {
+        if let Some(n) = self.r_step(
+            "GaussianNll",
+            |op| match op {
+                Op::GaussianNll {
+                    mu: m0,
+                    sigma: s0,
+                    target: t0,
+                } if *m0 == mu && *s0 == sigma && t0.shape() == target.shape() => {
+                    t0.data.copy_from_slice(&target.data);
+                    true
+                }
+                _ => false,
+            },
+            None,
+        ) {
+            return n;
+        }
         let (vm, vs) = (&self.nodes[mu.0].value, &self.nodes[sigma.0].value);
         assert_eq!(vm.shape(), vs.shape(), "gaussian_nll mu/sigma mismatch");
         assert_eq!(vm.shape(), target.shape(), "gaussian_nll target mismatch");
@@ -1057,6 +1498,16 @@ impl Graph {
     /// # Panics
     /// Panics if `loss` is not `1 x 1`.
     pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
+        if let Mode::Replay { plan, cursor } = &mut self.mode {
+            assert!(
+                loss.0 < *cursor,
+                "plan replay: backward from node {} but only {} steps replayed",
+                loss.0,
+                cursor
+            );
+            plan.backward(loss.0, store);
+            return;
+        }
         assert_eq!(
             self.nodes[loss.0].value.shape(),
             (1, 1),
@@ -1211,7 +1662,7 @@ impl Graph {
                         .data
                         .iter()
                         .zip(x.data.iter())
-                        .map(|(&gi, &xi)| gi * sigmoid(xi))
+                        .map(|(&gi, &xi)| gi * stable_sigmoid(xi))
                         .collect();
                     self.accum(a, Matrix::from_vec(g.rows, g.cols, data));
                 }
@@ -1273,7 +1724,7 @@ impl Graph {
                         let vg = &self.nodes[gates.0].value;
                         let vc = &self.nodes[c_prev.0].value;
                         if crate::kernels::reference_kernels() {
-                            lstm_cell_backward(&g, vg, vc, hidden, sigmoid, f32::tanh)
+                            lstm_cell_backward(&g, vg, vc, hidden, stable_sigmoid, f32::tanh)
                         } else {
                             lstm_cell_backward(
                                 &g,
@@ -1398,7 +1849,7 @@ impl Graph {
                         .data
                         .iter()
                         .zip(targets.data.iter())
-                        .map(|(&x, &t)| s * (sigmoid(x) - t))
+                        .map(|(&x, &t)| s * (stable_sigmoid(x) - t))
                         .collect();
                     self.accum(l, Matrix::from_vec(vl.rows, vl.cols, data));
                 }

@@ -114,14 +114,14 @@ pub(crate) fn fast_tanh(x: f32) -> f32 {
 }
 
 /// Output-tile rows held in registers by the microkernels.
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 /// Output-tile columns held in registers by the microkernels.
 ///
 /// The microkernels keep `MR` separate `[f32; NR]` accumulators as
 /// distinct local variables (not a 2-D array indexed by a runtime row
 /// number — LLVM demotes that to memory) so the constant-length column
 /// loops vectorize to full SIMD width.
-const NR: usize = 32;
+pub(crate) const NR: usize = 32;
 /// Output rows per parallel task. Fixed by shape, never by thread count.
 const CHUNK_ROWS: usize = 64;
 /// Minimum multiply-add count before parallel dispatch pays for itself.
@@ -261,41 +261,157 @@ fn micro_1(ar: &[f32], packed: &[f32]) -> [f32; NR] {
     c
 }
 
-/// Blocked `A·B` over one horizontal slab of output rows.
-fn nn_block(a: &[f32], kdim: usize, b: &[f32], n: usize, out: &mut [f32]) {
-    let rows = out.len() / n;
-    let mut packed = vec![0.0f32; kdim * NR];
+/// Write one fully accumulated output-tile row: plain store, or a
+/// single `+=` per element when `acc` is set. The accumulate form is
+/// bitwise identical to materializing the product and adding it
+/// elementwise afterwards, because each element's dot product is
+/// complete before the one addition happens.
+#[inline]
+fn store_row(dst: &mut [f32], src: &[f32], acc: bool) {
+    if acc {
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            *d += *s;
+        }
+    } else {
+        dst.copy_from_slice(src);
+    }
+}
+
+/// Blocked `A·B` over one horizontal slab of output rows. `packed` is
+/// caller scratch of at least `kdim * NR` elements.
+fn nn_block_ws(
+    a: &[f32],
+    kdim: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    packed: &mut [f32],
+    acc: bool,
+) {
+    let packed = &mut packed[..kdim * NR];
     let mut j0 = 0;
     while j0 < n {
         let jw = NR.min(n - j0);
-        pack_b(b, n, kdim, j0, jw, &mut packed);
-        let mut i0 = 0;
-        while i0 + MR <= rows {
-            let acc = micro_4(
-                &a[i0 * kdim..(i0 + 1) * kdim],
-                &a[(i0 + 1) * kdim..(i0 + 2) * kdim],
-                &a[(i0 + 2) * kdim..(i0 + 3) * kdim],
-                &a[(i0 + 3) * kdim..(i0 + 4) * kdim],
-                &packed,
-            );
-            for (r, cr) in acc.iter().enumerate() {
-                let o0 = (i0 + r) * n + j0;
-                out[o0..o0 + jw].copy_from_slice(&cr[..jw]);
-            }
-            i0 += MR;
-        }
-        for r in i0..rows {
-            let c = micro_1(&a[r * kdim..(r + 1) * kdim], &packed);
-            let o0 = r * n + j0;
-            out[o0..o0 + jw].copy_from_slice(&c[..jw]);
-        }
+        pack_b(b, n, kdim, j0, jw, packed);
+        nn_tiles(a, kdim, packed, n, j0, jw, out, acc);
         j0 += NR;
     }
+}
+
+/// Run the `MR x NR` microkernels for one packed column block against
+/// every output row of the slab. Shared by the packing loop above and
+/// the pre-packed kernel below, so the two are bitwise identical by
+/// construction.
+#[allow(clippy::too_many_arguments)]
+fn nn_tiles(
+    a: &[f32],
+    kdim: usize,
+    packed: &[f32],
+    n: usize,
+    j0: usize,
+    jw: usize,
+    out: &mut [f32],
+    acc: bool,
+) {
+    let rows = out.len() / n;
+    let mut i0 = 0;
+    while i0 + MR <= rows {
+        let tile = micro_4(
+            &a[i0 * kdim..(i0 + 1) * kdim],
+            &a[(i0 + 1) * kdim..(i0 + 2) * kdim],
+            &a[(i0 + 2) * kdim..(i0 + 3) * kdim],
+            &a[(i0 + 3) * kdim..(i0 + 4) * kdim],
+            packed,
+        );
+        for (r, cr) in tile.iter().enumerate() {
+            let o0 = (i0 + r) * n + j0;
+            store_row(&mut out[o0..o0 + jw], &cr[..jw], acc);
+        }
+        i0 += MR;
+    }
+    for r in i0..rows {
+        let c = micro_1(&a[r * kdim..(r + 1) * kdim], packed);
+        let o0 = r * n + j0;
+        store_row(&mut out[o0..o0 + jw], &c[..jw], acc);
+    }
+}
+
+/// Blocked `A·B` with self-owned scratch (gemm_nn dispatch target).
+fn nn_block(a: &[f32], kdim: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    let mut packed = vec![0.0f32; kdim * NR];
+    nn_block_ws(a, kdim, b, n, out, &mut packed, false);
 }
 
 /// Blocked `Aᵀ·B` over output rows `i0_glob..` of the full product.
 /// Output rows are columns of `a`, so `a` cannot be pre-sliced; the
 /// global row offset indexes into it instead.
+///
+/// `ws` is caller scratch of at least [`tn_ws_len`]`(rows, rdim)`
+/// elements, split into the `B` column pack and a contiguous transpose
+/// of this slab's `A` columns. Packing `A` once up front replaces the
+/// strided column gather that used to sit inside the tile loops and was
+/// this kernel's bottleneck; the microkernels then run on contiguous
+/// rows exactly as in the `nn` case. Accumulation order per element is
+/// unchanged (`rr` ascending), so results stay bit-for-bit identical.
+#[allow(clippy::too_many_arguments)]
+fn tn_block_ws(
+    a: &[f32],
+    m: usize,
+    rdim: usize,
+    i0_glob: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    ws: &mut [f32],
+    acc: bool,
+) {
+    let rows = out.len() / n;
+    if rdim == 0 {
+        if acc {
+            for o in out.iter_mut() {
+                *o += 0.0;
+            }
+        } else {
+            out.fill(0.0);
+        }
+        return;
+    }
+    let (packed_b, packed_a) = ws[..rdim * NR + rows * rdim].split_at_mut(rdim * NR);
+    for (r, dst) in packed_a.chunks_exact_mut(rdim).enumerate() {
+        let col = i0_glob + r;
+        for (rr, d) in dst.iter_mut().enumerate() {
+            *d = a[rr * m + col];
+        }
+    }
+    let mut j0 = 0;
+    while j0 < n {
+        let jw = NR.min(n - j0);
+        pack_b(b, n, rdim, j0, jw, packed_b);
+        let mut i0 = 0;
+        while i0 + MR <= rows {
+            let tile = micro_4(
+                &packed_a[i0 * rdim..(i0 + 1) * rdim],
+                &packed_a[(i0 + 1) * rdim..(i0 + 2) * rdim],
+                &packed_a[(i0 + 2) * rdim..(i0 + 3) * rdim],
+                &packed_a[(i0 + 3) * rdim..(i0 + 4) * rdim],
+                packed_b,
+            );
+            for (r, cr) in tile.iter().enumerate() {
+                let o0 = (i0 + r) * n + j0;
+                store_row(&mut out[o0..o0 + jw], &cr[..jw], acc);
+            }
+            i0 += MR;
+        }
+        for r in i0..rows {
+            let c = micro_1(&packed_a[r * rdim..(r + 1) * rdim], packed_b);
+            let o0 = r * n + j0;
+            store_row(&mut out[o0..o0 + jw], &c[..jw], acc);
+        }
+        j0 += NR;
+    }
+}
+
+/// Blocked `Aᵀ·B` with self-owned scratch (gemm_tn dispatch target).
 fn tn_block(
     a: &[f32],
     m: usize,
@@ -306,66 +422,191 @@ fn tn_block(
     out: &mut [f32],
 ) {
     let rows = out.len() / n;
-    let mut packed = vec![0.0f32; rdim * NR];
-    let mut j0 = 0;
-    while j0 < n {
-        let jw = NR.min(n - j0);
-        pack_b(b, n, rdim, j0, jw, &mut packed);
-        let mut i0 = 0;
-        while i0 + MR <= rows {
-            let col0 = i0_glob + i0;
-            let mut c0 = [0.0f32; NR];
-            let mut c1 = [0.0f32; NR];
-            let mut c2 = [0.0f32; NR];
-            let mut c3 = [0.0f32; NR];
-            for (rr, bk) in packed.chunks_exact(NR).enumerate() {
-                let bk = as_nr(bk);
-                let av = &a[rr * m + col0..rr * m + col0 + MR];
-                let x0 = av[0];
-                let x1 = av[1];
-                let x2 = av[2];
-                let x3 = av[3];
-                for j in 0..NR {
-                    c0[j] += x0 * bk[j];
-                    c1[j] += x1 * bk[j];
-                    c2[j] += x2 * bk[j];
-                    c3[j] += x3 * bk[j];
-                }
-            }
-            for (r, cr) in [c0, c1, c2, c3].iter().enumerate() {
-                let o0 = (i0 + r) * n + j0;
-                out[o0..o0 + jw].copy_from_slice(&cr[..jw]);
-            }
-            i0 += MR;
-        }
-        for r in i0..rows {
-            let col = i0_glob + r;
-            let mut c = [0.0f32; NR];
-            for (rr, bk) in packed.chunks_exact(NR).enumerate() {
-                let bk = as_nr(bk);
-                let x = a[rr * m + col];
-                for j in 0..NR {
-                    c[j] += x * bk[j];
-                }
-            }
-            let o0 = r * n + j0;
-            out[o0..o0 + jw].copy_from_slice(&c[..jw]);
-        }
-        j0 += NR;
-    }
+    let mut ws = vec![0.0f32; tn_ws_len(rows, rdim)];
+    tn_block_ws(a, m, rdim, i0_glob, b, n, out, &mut ws, false);
 }
 
 /// `A·Bᵀ` over one horizontal slab of output rows: row-row dot products
 /// with eight fixed partial-sum lanes.
-fn nt_block(a: &[f32], kdim: usize, b: &[f32], n: usize, out: &mut [f32]) {
+fn nt_block_ws(a: &[f32], kdim: usize, b: &[f32], n: usize, out: &mut [f32], acc: bool) {
     let rows = out.len() / n;
     for i in 0..rows {
         let arow = &a[i * kdim..(i + 1) * kdim];
         let orow = &mut out[i * n..(i + 1) * n];
         for (j, o) in orow.iter_mut().enumerate() {
-            *o = dot8(arow, &b[j * kdim..(j + 1) * kdim]);
+            let v = dot8(arow, &b[j * kdim..(j + 1) * kdim]);
+            if acc {
+                *o += v;
+            } else {
+                *o = v;
+            }
         }
     }
+}
+
+/// `A·Bᵀ` slab kernel (gemm_nt dispatch target).
+fn nt_block(a: &[f32], kdim: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    nt_block_ws(a, kdim, b, n, out, false);
+}
+
+/// Scratch length `gemm_nn_into` needs for `A (m x k) · B (k x n)`.
+pub(crate) fn nn_ws_len(kdim: usize) -> usize {
+    kdim * NR
+}
+
+/// Length of the whole-matrix column pack of a `kdim x n` `B`:
+/// `ceil(n/NR)` consecutive `kdim x NR` blocks (last one zero-padded),
+/// each exactly what [`pack_b`] produces for its column range.
+pub(crate) fn packed_b_len(kdim: usize, n: usize) -> usize {
+    n.div_ceil(NR) * kdim * NR
+}
+
+/// Pack every `NR`-column block of `b` into `dst` (length
+/// [`packed_b_len`]). The plan executor caches this per parameter and
+/// refreshes it once per store version, hoisting the per-call pack out
+/// of every GEMM that reads the parameter as its right operand.
+pub(crate) fn pack_b_full(b: &Matrix, dst: &mut [f32]) {
+    let (kdim, n) = (b.rows, b.cols);
+    debug_assert_eq!(dst.len(), packed_b_len(kdim, n), "pack_b_full length");
+    if kdim == 0 {
+        return;
+    }
+    let mut j0 = 0;
+    for block in dst.chunks_exact_mut(kdim * NR) {
+        let jw = NR.min(n - j0);
+        pack_b(&b.data, n, kdim, j0, jw, block);
+        j0 += NR;
+    }
+}
+
+/// `A·B` into a pre-shaped output where `b_packed` is the whole-matrix
+/// column pack from [`pack_b_full`] of a `a.cols x n` matrix. Bitwise
+/// identical to [`gemm_nn_into`]: the microkernels consume exactly the
+/// bytes [`pack_b`] would produce, in the same order, via the shared
+/// [`nn_tiles`] slab loop. Never allocates, at any thread count.
+pub(crate) fn gemm_nn_packed_into(
+    a: &Matrix,
+    b_packed: &[f32],
+    n: usize,
+    out: &mut Matrix,
+    acc: bool,
+) {
+    let (m, kdim) = (a.rows, a.cols);
+    debug_assert_eq!((out.rows, out.cols), (m, n), "gemm_nn_packed_into shape");
+    debug_assert_eq!(b_packed.len(), packed_b_len(kdim, n), "packed B length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if kdim == 0 {
+        // k = 0 product is all zeros; `acc` adds 0.0 per element, which
+        // matches the microkernels' zero-accumulator stores bitwise.
+        if acc {
+            for o in out.data.iter_mut() {
+                *o += 0.0;
+            }
+        } else {
+            out.data.fill(0.0);
+        }
+        return;
+    }
+    if m > CHUNK_ROWS && m * kdim * n >= PAR_FLOPS && threads::num_threads() > 1 {
+        threads::par_chunks_mut(&mut out.data, CHUNK_ROWS * n, |ci, chunk| {
+            let i0 = ci * CHUNK_ROWS;
+            let rows = chunk.len() / n;
+            packed_slab(
+                &a.data[i0 * kdim..(i0 + rows) * kdim],
+                kdim,
+                b_packed,
+                n,
+                chunk,
+                acc,
+            );
+        });
+    } else {
+        packed_slab(&a.data, kdim, b_packed, n, &mut out.data, acc);
+    }
+}
+
+/// One horizontal output slab of the pre-packed product: walk the packed
+/// column blocks, reusing [`nn_tiles`].
+fn packed_slab(a: &[f32], kdim: usize, b_packed: &[f32], n: usize, out: &mut [f32], acc: bool) {
+    let mut j0 = 0;
+    for block in b_packed.chunks_exact(kdim * NR) {
+        let jw = NR.min(n - j0);
+        nn_tiles(a, kdim, block, n, j0, jw, out, acc);
+        j0 += NR;
+    }
+}
+
+/// Scratch length `gemm_tn_into` needs for `Aᵀ (r x m)ᵀ · B (r x n)`:
+/// the `B` column pack plus the contiguous transpose of `A`'s columns.
+pub(crate) fn tn_ws_len(m: usize, rdim: usize) -> usize {
+    rdim * NR + m * rdim
+}
+
+/// Fold a fully materialized product into `out` (multi-thread fallback
+/// for the `_into` kernels): plain copy, or one `+=` per element.
+fn fold(out: &mut Matrix, res: &Matrix, acc: bool) {
+    if acc {
+        for (o, r) in out.data.iter_mut().zip(res.data.iter()) {
+            *o += *r;
+        }
+    } else {
+        out.data.copy_from_slice(&res.data);
+    }
+}
+
+/// `A·B` into a pre-shaped output using caller scratch (`ws` at least
+/// [`nn_ws_len`]`(a.cols)`); with `acc`, adds the product elementwise.
+///
+/// Bitwise identical to [`gemm_nn`] (+ `add_assign` when `acc`). At one
+/// worker this never allocates; the multi-thread dispatch falls back to
+/// the allocating kernel, whose chunked result is bitwise identical by
+/// the determinism contract.
+pub(crate) fn gemm_nn_into(a: &Matrix, b: &Matrix, out: &mut Matrix, ws: &mut [f32], acc: bool) {
+    let (m, kdim, n) = (a.rows, a.cols, b.cols);
+    debug_assert_eq!((out.rows, out.cols), (m, n), "gemm_nn_into shape");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if m > CHUNK_ROWS && m * kdim * n >= PAR_FLOPS && threads::num_threads() > 1 {
+        let res = gemm_nn(a, b); // plan-lint: allow-alloc (multi-thread fallback)
+        fold(out, &res, acc);
+        return;
+    }
+    nn_block_ws(&a.data, kdim, &b.data, n, &mut out.data, ws, acc);
+}
+
+/// `Aᵀ·B` into a pre-shaped output using caller scratch (`ws` at least
+/// [`tn_ws_len`]`(a.cols, a.rows)`); with `acc`, adds the product.
+pub(crate) fn gemm_tn_into(a: &Matrix, b: &Matrix, out: &mut Matrix, ws: &mut [f32], acc: bool) {
+    let (rdim, m, n) = (a.rows, a.cols, b.cols);
+    debug_assert_eq!((out.rows, out.cols), (m, n), "gemm_tn_into shape");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if m > CHUNK_ROWS && m * rdim * n >= PAR_FLOPS && threads::num_threads() > 1 {
+        let res = gemm_tn(a, b); // plan-lint: allow-alloc (multi-thread fallback)
+        fold(out, &res, acc);
+        return;
+    }
+    tn_block_ws(&a.data, m, rdim, 0, &b.data, n, &mut out.data, ws, acc);
+}
+
+/// `A·Bᵀ` into a pre-shaped output (no scratch needed); with `acc`,
+/// adds the product elementwise.
+pub(crate) fn gemm_nt_into(a: &Matrix, b: &Matrix, out: &mut Matrix, acc: bool) {
+    let (m, kdim, n) = (a.rows, a.cols, b.rows);
+    debug_assert_eq!((out.rows, out.cols), (m, n), "gemm_nt_into shape");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if m > CHUNK_ROWS && m * kdim * n >= PAR_FLOPS && threads::num_threads() > 1 {
+        let res = gemm_nt(a, b); // plan-lint: allow-alloc (multi-thread fallback)
+        fold(out, &res, acc);
+        return;
+    }
+    nt_block_ws(&a.data, kdim, &b.data, n, &mut out.data, acc);
 }
 
 /// Dot product with eight independent partial sums and a fixed
@@ -490,6 +731,58 @@ mod tests {
                 at.matmul_tn_naive(&b).data,
                 "tn {m}x{k}x{n}"
             );
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels_bitwise() {
+        // Both store and accumulate forms, against gemm + add_assign.
+        // Thread count is irrelevant: every path is bitwise identical
+        // by the determinism contract, including the multi-thread
+        // fallback inside the _into kernels.
+        let mut rng = Rng::seed_from(23);
+        for (m, k, n) in [(5, 9, 13), (64, 100, 32), (130, 67, 70)] {
+            let a = rand_mat(&mut rng, m, k);
+            let b = rand_mat(&mut rng, k, n);
+            let at = rand_mat(&mut rng, k, m);
+            let bt = rand_mat(&mut rng, n, k);
+            let base = rand_mat(&mut rng, m, n);
+            let mut ws = vec![0.0f32; super::nn_ws_len(k).max(super::tn_ws_len(m, k))];
+
+            let mut out = Matrix::zeros(m, n);
+            super::gemm_nn_into(&a, &b, &mut out, &mut ws, false);
+            assert_eq!(out.data, super::gemm_nn(&a, &b).data, "nn into {m}x{k}x{n}");
+            let mut acc = base.clone();
+            super::gemm_nn_into(&a, &b, &mut acc, &mut ws, true);
+            let mut refr = base.clone();
+            refr.add_assign(&super::gemm_nn(&a, &b));
+            assert_eq!(acc.data, refr.data, "nn acc {m}x{k}x{n}");
+
+            let mut out = Matrix::zeros(m, n);
+            super::gemm_tn_into(&at, &b, &mut out, &mut ws, false);
+            assert_eq!(
+                out.data,
+                super::gemm_tn(&at, &b).data,
+                "tn into {m}x{k}x{n}"
+            );
+            let mut acc = base.clone();
+            super::gemm_tn_into(&at, &b, &mut acc, &mut ws, true);
+            let mut refr = base.clone();
+            refr.add_assign(&super::gemm_tn(&at, &b));
+            assert_eq!(acc.data, refr.data, "tn acc {m}x{k}x{n}");
+
+            let mut out = Matrix::zeros(m, n);
+            super::gemm_nt_into(&a, &bt, &mut out, false);
+            assert_eq!(
+                out.data,
+                super::gemm_nt(&a, &bt).data,
+                "nt into {m}x{k}x{n}"
+            );
+            let mut acc = base.clone();
+            super::gemm_nt_into(&a, &bt, &mut acc, true);
+            let mut refr = base.clone();
+            refr.add_assign(&super::gemm_nt(&a, &bt));
+            assert_eq!(acc.data, refr.data, "nt acc {m}x{k}x{n}");
         }
     }
 

@@ -61,6 +61,7 @@ mod kernels;
 pub mod layers;
 pub mod matrix;
 pub mod params;
+pub mod plan;
 pub mod sanitize;
 pub mod threads;
 /// Deterministic RNG (re-exported from `gendt-rng`).
@@ -73,6 +74,7 @@ pub use kernels::set_reference_kernels;
 pub use layers::{dropout, Linear, Lstm, LstmNodeState, LstmState, Mlp, StochasticCfg};
 pub use matrix::Matrix;
 pub use params::{Adam, ParamId, ParamStore, Sgd};
+pub use plan::{fold_dims, LiveRange, Plan, PlanCache, PlanKey};
 pub use rng::Rng;
 pub use sanitize::{sanitize_enabled, set_sanitize};
 pub use threads::{num_threads, set_num_threads};

@@ -21,6 +21,18 @@ pub struct Matrix {
     pub data: Vec<f32>,
 }
 
+impl Default for Matrix {
+    /// An empty `0 x 0` matrix with no storage. Used as the placeholder
+    /// when buffers are temporarily moved out of the plan arena.
+    fn default() -> Self {
+        Matrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
+}
+
 impl Matrix {
     /// An all-zeros matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {

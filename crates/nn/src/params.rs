@@ -28,6 +28,12 @@ pub struct Param {
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct ParamStore {
     params: Vec<Param>,
+    /// Monotonic mutation counter: bumped whenever parameter *values*
+    /// may have changed (registration, `value_mut`, optimizer steps) —
+    /// but not by gradient traffic. Compiled plans compare it to decide
+    /// whether their parameter slots need re-synchronizing; plans start
+    /// at a sentinel version, so any store state triggers a first sync.
+    version: u64,
 }
 
 impl ParamStore {
@@ -36,9 +42,15 @@ impl ParamStore {
         Self::default()
     }
 
+    /// Current value-mutation version (see the field docs).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Register a parameter with an explicit initial value.
     pub fn add(&mut self, name: &str, value: Matrix) -> ParamId {
         let grad = Matrix::zeros(value.rows, value.cols);
+        self.version += 1;
         self.params.push(Param {
             name: name.to_string(),
             value,
@@ -68,6 +80,7 @@ impl ParamStore {
 
     /// Mutable value (used by checkpoint loading and tests).
     pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        self.version += 1;
         &mut self.params[id.0].value
     }
 
@@ -196,6 +209,7 @@ impl Adam {
             self.v.push(vec![0.0; n]);
         }
         self.t += 1;
+        store.version += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
         for (i, p) in store.params.iter_mut().enumerate() {
@@ -233,6 +247,7 @@ impl Sgd {
 
     /// Apply one `w -= lr * g` step.
     pub fn step(&mut self, store: &mut ParamStore) {
+        store.version += 1;
         for p in &mut store.params {
             for (w, &g) in p.value.data.iter_mut().zip(p.grad.data.iter()) {
                 *w -= self.lr * g;

@@ -1,0 +1,132 @@
+//! Proof of the plan executor's headline property: replaying a compiled
+//! plan — forward, backward, and optimizer step — performs **zero heap
+//! allocations** after the first (warm-up) replay.
+//!
+//! The test binary installs the vendored counting allocator globally and
+//! diffs its per-thread counters around replayed training steps. The
+//! production crates all `forbid(unsafe_code)`, so the allocator lives
+//! in `vendor/alloc-counter`; everything here is safe code.
+
+use alloc_counter::{snapshot, CountingAlloc};
+use gendt_nn::{Graph, Matrix, NodeId, ParamId, ParamStore, Rng, Sgd};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const BATCH: usize = 4;
+const IN: usize = 6;
+const HIDDEN: usize = 5;
+const OUT: usize = 3;
+
+struct Params {
+    w: ParamId,
+    wh: ParamId,
+    b: ParamId,
+    w2: ParamId,
+}
+
+fn init(store: &mut ParamStore, rng: &mut Rng) -> Params {
+    Params {
+        w: store.add_xavier("w", IN, 4 * HIDDEN, rng),
+        wh: store.add_xavier("wh", IN, 4 * HIDDEN, rng),
+        b: store.add_zeros("b", 1, 4 * HIDDEN),
+        w2: store.add_xavier("w2", HIDDEN, OUT, rng),
+    }
+}
+
+/// One training-step graph: gate matmuls (fusion-eligible), an LSTM
+/// cell consumed by its two covering slices (split-eligible, with the
+/// `c` half dead so its gradient never materializes), a head matmul,
+/// and an MSE loss. All leaves enter by reference so a replayed step
+/// never clones an input.
+fn build(
+    g: &mut Graph,
+    store: &ParamStore,
+    p: &Params,
+    x: &Matrix,
+    c0: &Matrix,
+    tgt: &Matrix,
+) -> NodeId {
+    let x = g.input_ref(x);
+    let w = g.param(store, p.w);
+    let wh = g.param(store, p.wh);
+    let b = g.param(store, p.b);
+    let w2 = g.param(store, p.w2);
+    let c_prev = g.input_ref(c0);
+    let xi = g.matmul(x, w);
+    let hh = g.matmul(x, wh);
+    let gates = g.add_add_row(xi, hh, b);
+    let cell = g.lstm_cell(gates, c_prev, HIDDEN);
+    let h = g.slice_cols(cell, 0, HIDDEN);
+    let _c = g.slice_cols(cell, HIDDEN, 2 * HIDDEN);
+    let y = g.matmul(h, w2);
+    let target = g.input_ref(tgt);
+    g.mse_loss(y, target)
+}
+
+#[test]
+fn replayed_train_steps_do_not_allocate() {
+    // Single-threaded: the counters are thread-local, and the blocked
+    // kernels' multi-thread fallback path allocates by design.
+    gendt_nn::set_num_threads(1);
+    let mut rng = Rng::seed_from(11);
+    let mut store = ParamStore::new();
+    let p = init(&mut store, &mut rng);
+    let mut opt = Sgd::new(0.05);
+
+    let mut x = Matrix::zeros(BATCH, IN);
+    let c0 = Matrix::zeros(BATCH, HIDDEN);
+    let mut tgt = Matrix::zeros(BATCH, OUT);
+    let fill = |m: &mut Matrix, rng: &mut Rng| {
+        for v in m.data.iter_mut() {
+            *v = rng.uniform(-1.0, 1.0) as f32;
+        }
+    };
+
+    // Record once. Reading the loss marks its step externally-read, so
+    // every replay can read it back too.
+    fill(&mut x, &mut rng);
+    fill(&mut tgt, &mut rng);
+    store.zero_grad();
+    let mut g = Graph::new();
+    let loss = build(&mut g, &store, &p, &x, &c0, &tgt);
+    g.backward(loss, &mut store);
+    assert!(g.value(loss).data[0].is_finite());
+    opt.step(&mut store);
+    let mut plan = g.into_plan(Some(loss));
+
+    // Warm-up replay: first param sync, scratch binding.
+    fill(&mut x, &mut rng);
+    fill(&mut tgt, &mut rng);
+    store.zero_grad();
+    let mut g = Graph::replay(plan);
+    let loss = build(&mut g, &store, &p, &x, &c0, &tgt);
+    g.backward(loss, &mut store);
+    opt.step(&mut store);
+    plan = g.into_plan(Some(loss));
+
+    // Measured replays: fresh data, forward, backward, optimizer —
+    // not one allocation allowed.
+    for step in 0..5 {
+        fill(&mut x, &mut rng);
+        fill(&mut tgt, &mut rng);
+        store.zero_grad();
+        let before = snapshot();
+        let mut g = Graph::replay(plan);
+        let loss = build(&mut g, &store, &p, &x, &c0, &tgt);
+        g.backward(loss, &mut store);
+        let l = g.value(loss).data[0];
+        plan = g.into_plan(Some(loss));
+        let after = snapshot();
+        opt.step(&mut store);
+        assert!(l.is_finite(), "loss went non-finite at step {step}");
+        let traffic = after.since(before);
+        assert_eq!(
+            (traffic.allocs, traffic.bytes),
+            (0, 0),
+            "replayed step {step} allocated {} time(s) / {} byte(s)",
+            traffic.allocs,
+            traffic.bytes
+        );
+    }
+}

@@ -35,3 +35,55 @@ pub fn run_batch(entry: &ModelEntry, jobs: &[GenJob]) -> Vec<GeneratedSeries> {
         .collect();
     generate_series_batch(&entry.model, &entry.kpis, &items)
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::demo_model;
+    use gendt_data::builders::{dataset_a, BuildCfg};
+    use gendt_data::kpi_types::Kpi;
+
+    /// The scheduler's compute step must produce the same bits whether
+    /// the model runs the interpreted tape or compiled plans; each
+    /// `ModelEntry` owns its plan cache, so a `/reload` (fresh entries)
+    /// invalidates plans by construction.
+    #[test]
+    fn plan_mode_batches_match_interpreted() {
+        let entry = |plan: bool| {
+            let mut model = demo_model(3);
+            model.set_plan_mode(plan);
+            ModelEntry {
+                name: "demo".to_string(),
+                model,
+                kpis: Kpi::DATASET_A.to_vec(),
+            }
+        };
+        let ds = dataset_a(&BuildCfg::quick(9));
+        let ctx = Arc::new(gendt_data::context::extract(
+            &ds.world,
+            &ds.deployment,
+            &ds.runs[0].traj,
+            &gendt_data::context::ContextCfg {
+                max_cells: 3,
+                ..gendt_data::context::ContextCfg::default()
+            },
+        ));
+        let tape = entry(false);
+        let plan = entry(true);
+        let jobs: Vec<GenJob> = [11u64, 12]
+            .iter()
+            .map(|&seed| GenJob {
+                entry: Arc::new(entry(false)),
+                ctx: Arc::clone(&ctx),
+                sample_seed: seed,
+            })
+            .collect();
+        let base = run_batch(&tape, &jobs);
+        let first = run_batch(&plan, &jobs);
+        let replay = run_batch(&plan, &jobs);
+        for k in 0..jobs.len() {
+            assert_eq!(base[k].series, first[k].series, "plan batch diverges");
+            assert_eq!(base[k].series, replay[k].series, "plan replay diverges");
+        }
+    }
+}

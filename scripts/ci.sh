@@ -27,6 +27,12 @@ cargo run --release -p gendt-audit -- smoke
 # Chrome-trace JSON parses with the expected spans + telemetry records.
 cargo run --release -p gendt-audit -- trace-smoke
 
+# Plan parity gate: the compiled-plan executor (GENDT_PLAN) must be
+# bitwise-identical to the interpreted tape for training (weights +
+# loss trace) and for single/batched generation, including cached
+# plan replays.
+cargo run --release -p gendt-audit -- plan-parity
+
 # Chaos gate: a real in-process server and a real trainer under seeded
 # fault schedules (io_err@serve.batch, io_err@registry.scan,
 # drop@http.accept, io_err@checkpoint.write). Asserts typed shed

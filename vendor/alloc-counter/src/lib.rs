@@ -1,0 +1,94 @@
+//! Allocation-counting global allocator (offline stand-in, see
+//! `vendor/README.md`): wraps the system allocator and keeps per-thread
+//! counters of allocation calls and bytes requested.
+//!
+//! Install it in a test or bench binary:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
+//! ```
+//!
+//! then bracket the region of interest with [`snapshot`] and diff the
+//! two [`Counts`]. Counters are thread-local, so a measurement only
+//! sees the current thread's traffic — worker pools (rayon bridges and
+//! the like) must be sized to one thread, or measured around, for an
+//! exact count.
+//!
+//! This crate is the workspace's one deliberate `unsafe` island: a
+//! `GlobalAlloc` impl cannot be written without it, and the production
+//! crates all carry `#![forbid(unsafe_code)]`. The unsafety is confined
+//! to forwarding the four allocator entry points to `std::alloc::System`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Cumulative allocator traffic on the current thread at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Number of allocation calls (`alloc`, `alloc_zeroed`, and the
+    /// growth side of `realloc`).
+    pub allocs: u64,
+    /// Total bytes requested by those calls.
+    pub bytes: u64,
+}
+
+impl Counts {
+    /// Traffic between `earlier` and `self` (saturating, so a stale
+    /// snapshot from another thread cannot underflow).
+    pub fn since(&self, earlier: Counts) -> Counts {
+        Counts {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Current thread's cumulative counters.
+pub fn snapshot() -> Counts {
+    Counts {
+        allocs: ALLOCS.with(|c| c.get()),
+        bytes: BYTES.with(|c| c.get()),
+    }
+}
+
+#[inline]
+fn record(bytes: usize) {
+    ALLOCS.with(|c| c.set(c.get() + 1));
+    BYTES.with(|c| c.set(c.get() + bytes as u64));
+}
+
+/// The counting allocator: forwards to [`System`], tallying per-thread.
+pub struct CountingAlloc;
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// GlobalAlloc contract; the counter updates are plain thread-local
+// stores with no aliasing or reentrancy (Cell ops do not allocate).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Only growth is a fresh allocation; shrinking reuses the block.
+        if new_size > layout.size() {
+            record(new_size);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
