@@ -29,6 +29,12 @@
 //!   under seeded [`gendt_faults`] schedules; asserts typed shed
 //!   envelopes, retry absorption, crash-safe checkpoints, and bitwise
 //!   recovery once the faults clear.
+//! * [`sync_check`] — explores thousands of thread interleavings of the
+//!   real serve scheduler/registry/cache state machines through the
+//!   `gendt-sync` facade and the vendored `interleave` model checker,
+//!   plus seeded-bug fixtures proving each detector (deadlock,
+//!   lock-order cycle, lost update, mixed-version batch) actually fires
+//!   and replays from its printed token.
 //!
 //! The `GENDT_SANITIZE=1` runtime mode itself lives in
 //! [`gendt_nn::sanitize`]; this crate's binary drives a sanitized smoke
@@ -41,5 +47,6 @@
 pub mod chaos;
 pub mod gradcheck;
 pub mod lint;
+pub mod sync_check;
 pub mod tape;
 pub mod zoo;

@@ -36,6 +36,19 @@
 //!    markers. The plan executor's whole point is zero allocation per
 //!    replayed step; a line that must allocate (reference-kernel
 //!    fallbacks) carries `// plan-lint: allow-alloc <why>`.
+//! 8. **`sync-discipline`** — files migrated onto the `gendt-sync`
+//!    facade never reach back into raw `std::sync` primitives
+//!    (`Mutex`, `Condvar`, `RwLock`, `mpsc`, `atomic`, `Barrier`;
+//!    `Arc` / `OnceLock` stay fine — the facade does not wrap them),
+//!    and never poison-unwrap a lock with `.lock().unwrap()` — the
+//!    facade's `lock()` returns the guard directly, so an unwrap there
+//!    means the code bypassed the facade (and the model checker).
+//! 9. **`atomic-ordering`** — in those same files, every relaxed
+//!    atomic ordering (`Relaxed`, `Acquire`, `Release`, `AcqRel`)
+//!    carries a `// sync:` justification in the same blank-line
+//!    delimited paragraph, stating what the ordering pairs with or why
+//!    none is needed. `SeqCst` needs no comment: it is the safe
+//!    default, and weakening it is what requires an argument.
 //!
 //! The vendored stand-ins under `vendor/` model *external* crates and
 //! are deliberately out of scope.
@@ -47,8 +60,9 @@ use std::path::{Path, PathBuf};
 #[derive(Clone, Debug)]
 pub struct Violation {
     /// Rule family (`unsafe-forbid`, `no-unwrap`, `determinism`,
-    /// `fused-bitwise`, `no-prints`, `error-taxonomy`, or `lint-config`
-    /// for missing targets).
+    /// `fused-bitwise`, `no-prints`, `error-taxonomy`, `plan-no-alloc`,
+    /// `sync-discipline`, `atomic-ordering`, or `lint-config` for
+    /// missing targets).
     pub rule: &'static str,
     /// File the finding is in, relative to the linted root.
     pub file: String,
@@ -163,6 +177,8 @@ pub fn run(root: &Path) -> Vec<Violation> {
     lint_no_prints(root, &mut out);
     lint_error_taxonomy(root, &mut out);
     lint_plan_no_alloc(root, &mut out);
+    lint_sync_discipline(root, &mut out);
+    lint_atomic_ordering(root, &mut out);
     out
 }
 
@@ -693,6 +709,176 @@ fn lint_fused_bitwise(root: &Path, out: &mut Vec<Violation>) {
                 message: format!(
                     "fused op `{op}` has no bitwise-equivalence test \
                      (expected a fn containing `{op}` and `bitwise`)"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rules: sync-discipline / atomic-ordering — the gendt-sync facade
+// ---------------------------------------------------------------------
+
+/// Files migrated onto the `gendt-sync` facade. These are exactly the
+/// modules `gendt-audit sync-check` model-checks; a raw `std::sync`
+/// primitive here is invisible to the checker, so the proof would no
+/// longer cover the shipped code.
+const SYNC_FACADE_FILES: &[&str] = &[
+    "crates/serve/src/scheduler.rs",
+    "crates/serve/src/registry.rs",
+    "crates/serve/src/cache.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/metrics.rs",
+    "crates/serve/src/bin/gendt_loadgen.rs",
+    "crates/trace/src/lib.rs",
+    "crates/trace/src/span.rs",
+    "crates/trace/src/telemetry.rs",
+    "crates/trace/src/oplog.rs",
+    "crates/faults/src/inject.rs",
+    "crates/nn/src/threads.rs",
+    "crates/nn/src/sanitize.rs",
+    "crates/nn/src/kernels.rs",
+    "crates/nn/src/plan.rs",
+];
+
+/// `std::sync` items that must come from `gendt_sync` instead. `Arc`
+/// and `OnceLock` are deliberately absent: they carry no blocking
+/// behavior for the scheduler to interpose on.
+const SYNC_BANNED_ITEMS: &[&str] = &["Mutex", "Condvar", "RwLock", "mpsc", "atomic", "Barrier"];
+
+/// Poison-unwrap suffixes banned outside `#[cfg(test)]` in facade
+/// files. The facade's `lock()` / `read()` / `write()` return the
+/// guard directly (poisoning is handled inside), so these compile only
+/// against raw `std` locks.
+const SYNC_POISON_UNWRAPS: &[&str] = &[
+    ".lock().unwrap",
+    ".lock().expect",
+    ".read().unwrap",
+    ".read().expect",
+    ".write().unwrap",
+    ".write().expect",
+];
+
+/// True when `word` occurs in `hay` bounded by non-identifier chars.
+fn has_word(hay: &str, word: &str) -> bool {
+    let b = hay.as_bytes();
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    for off in find_all(hay, word) {
+        let pre_ok = off == 0 || !is_ident(b[off - 1]);
+        let post = off + word.len();
+        let post_ok = post >= b.len() || !is_ident(b[post]);
+        if pre_ok && post_ok {
+            return true;
+        }
+    }
+    false
+}
+
+fn lint_sync_discipline(root: &Path, out: &mut Vec<Violation>) {
+    for &rel in SYNC_FACADE_FILES {
+        let Some(src) = read(root, rel) else {
+            missing(out, "sync-discipline", rel);
+            continue;
+        };
+        let stripped = strip_source(&src);
+        let tests = test_regions(&stripped);
+        // Raw std::sync primitives, banned everywhere in the file
+        // (tests included — they build against the same facade).
+        for byte in find_all(&stripped, "std::sync") {
+            // Scan to the end of the statement so multi-line
+            // `use std::sync::{..}` groups are covered too.
+            let span_end = stripped[byte..]
+                .find(';')
+                .map_or(stripped.len(), |i| byte + i);
+            let span = &stripped[byte..span_end.min(byte + 300)];
+            if let Some(item) = SYNC_BANNED_ITEMS.iter().find(|w| has_word(span, w)) {
+                out.push(Violation {
+                    rule: "sync-discipline",
+                    file: rel.to_string(),
+                    line: line_of(&stripped, byte),
+                    message: format!(
+                        "raw `std::sync::{item}` in a facade-migrated file; \
+                         use the `gendt_sync` equivalent so \
+                         `gendt-audit sync-check` can interpose on it"
+                    ),
+                });
+            }
+        }
+        // Poison-unwraps, banned outside tests.
+        for &tok in SYNC_POISON_UNWRAPS {
+            for byte in find_all(&stripped, tok) {
+                if in_regions(&tests, byte) {
+                    continue;
+                }
+                out.push(Violation {
+                    rule: "sync-discipline",
+                    file: rel.to_string(),
+                    line: line_of(&stripped, byte),
+                    message: format!(
+                        "`{tok}(..)` in a facade-migrated file; the facade's \
+                         guard methods return the guard directly and absorb \
+                         poisoning — this call bypasses them"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Atomic orderings that demand a written pairing argument.
+const RELAXED_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel"];
+
+/// True when the blank-line delimited paragraph containing 1-based
+/// `line` carries a `// sync:` comment on that line or above it.
+fn paragraph_has_sync_comment(lines: &[&str], line: usize) -> bool {
+    let mut i = line; // 1-based; inspect `lines[i - 1]` going upward
+    while i >= 1 {
+        let l = lines[i - 1];
+        if l.trim().is_empty() {
+            return false;
+        }
+        if l.contains("// sync:") {
+            return true;
+        }
+        i -= 1;
+    }
+    false
+}
+
+fn lint_atomic_ordering(root: &Path, out: &mut Vec<Violation>) {
+    for &rel in SYNC_FACADE_FILES {
+        let Some(src) = read(root, rel) else {
+            missing(out, "atomic-ordering", rel);
+            continue;
+        };
+        let stripped = strip_source(&src);
+        let tests = test_regions(&stripped);
+        let lines: Vec<&str> = src.lines().collect();
+        for byte in find_all(&stripped, "Ordering::") {
+            if in_regions(&tests, byte) {
+                continue;
+            }
+            let variant: String = stripped[byte + "Ordering::".len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            // Only atomic orderings; `SeqCst` (and `std::cmp::Ordering`
+            // variants like `Less`) need no justification.
+            if !RELAXED_ORDERINGS.contains(&variant.as_str()) {
+                continue;
+            }
+            let line = line_of(&stripped, byte);
+            if paragraph_has_sync_comment(&lines, line) {
+                continue;
+            }
+            out.push(Violation {
+                rule: "atomic-ordering",
+                file: rel.to_string(),
+                line,
+                message: format!(
+                    "`Ordering::{variant}` without a `// sync:` justification \
+                     in its paragraph; state what the ordering pairs with \
+                     (or why none is needed), or use `SeqCst`"
                 ),
             });
         }

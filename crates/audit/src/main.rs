@@ -9,6 +9,7 @@
 //! cargo run --release -p gendt-audit -- trace-smoke # traced run: bitwise parity + Chrome-trace JSON
 //! cargo run --release -p gendt-audit -- plan-parity # compiled plans vs interpreted tape, bitwise
 //! cargo run --release -p gendt-audit -- chaos       # server + trainer under seeded fault schedules
+//! cargo run --release -p gendt-audit -- sync-check  # schedule-explore serve's concurrency + detector fixtures
 //! cargo run --release -p gendt-audit -- all         # everything above
 //! ```
 //!
@@ -16,7 +17,7 @@
 
 #![forbid(unsafe_code)]
 
-use gendt_audit::{chaos, gradcheck, lint, tape, zoo};
+use gendt_audit::{chaos, gradcheck, lint, sync_check, tape, zoo};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
         "trace-smoke" => run_trace_smoke(),
         "plan-parity" => run_plan_parity(),
         "chaos" => chaos::run(),
+        "sync-check" => sync_check::run(),
         "all" => {
             // Non-short-circuiting: report every failing check at once.
             let l = run_lint(".");
@@ -40,11 +42,12 @@ fn main() -> ExitCode {
             let t = run_trace_smoke();
             let p = run_plan_parity();
             let c = chaos::run();
-            l && g && v && s && t && p && c
+            let y = sync_check::run();
+            l && g && v && s && t && p && c && y
         }
         other => {
             eprintln!(
-                "unknown subcommand `{other}` (expected gradcheck|lint|verify|smoke|trace-smoke|plan-parity|chaos|all)"
+                "unknown subcommand `{other}` (expected gradcheck|lint|verify|smoke|trace-smoke|plan-parity|chaos|sync-check|all)"
             );
             false
         }

@@ -1,0 +1,719 @@
+//! `sync-check` gate: schedule exploration over the real concurrent
+//! state machines in `gendt-serve`, driven by the vendored `interleave`
+//! model checker through the `gendt-sync` facade (DESIGN.md §12).
+//!
+//! Two halves, both mandatory for a green gate:
+//!
+//! 1. **Invariant zoo** — the actual production types
+//!    ([`Scheduler`], [`Registry`], [`ContextCache`], [`ServeMetrics`])
+//!    are exercised under thousands of explored thread interleavings,
+//!    asserting the invariants the serving path depends on: every
+//!    accepted job is answered exactly once, a batch never mixes model
+//!    versions across a `/reload`, Condvar waits survive spurious
+//!    wakeups, shutdown drains without stranding a reply channel, the
+//!    LRU cache stays linearizable, and `/metrics` rendering races
+//!    cleanly with writers. The forward pass is stubbed behind the
+//!    [`BatchRunner`] seam so the exploration budget goes to
+//!    interleavings, not inference.
+//! 2. **Detector fixtures** — deliberately buggy miniatures (lost
+//!    notify, name-keyed batching across a reload, ABBA lock inversion,
+//!    non-atomic read-modify-write) that each detector must flag, and
+//!    whose printed token must reproduce the failure in one replayed
+//!    schedule. A gate that only ever says "ok" proves nothing; the
+//!    fixtures prove the detectors actually fire.
+//!
+//! Failures print an `interleave` replay token (`rand:<seed>` /
+//! `dfs:<choices>`); feed it back through [`interleave::replay`] with
+//! the same config to step the identical schedule again.
+
+use gendt::{GenDt, GenDtCfg, GeneratedSeries};
+use gendt_data::context::RunContext;
+use gendt_data::Kpi;
+use gendt_serve::batch::GenJob;
+use gendt_serve::cache::{ContextCache, ContextKey};
+use gendt_serve::metrics::ServeMetrics;
+use gendt_serve::registry::{ModelEntry, ModelMap, Registry};
+use gendt_serve::scheduler::{BatchRunner, SchedCfg, Scheduler, SubmitError};
+use gendt_sync::atomic::{AtomicU64, Ordering};
+use gendt_sync::{thread, Condvar, Mutex};
+use interleave::{Config, FailureKind, Report};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// An untrained but fully constructed model entry: real type, minimal
+/// weights. The stub runner never executes it, so construction cost is
+/// all that matters.
+fn test_entry(name: &str, seed: u64) -> Arc<ModelEntry> {
+    let mut cfg = GenDtCfg::fast(4, seed);
+    cfg.hidden = 4;
+    cfg.resgen_hidden = 4;
+    cfg.disc_hidden = 4;
+    cfg.window.len = 4;
+    cfg.window.stride = 4;
+    cfg.window.max_cells = 2;
+    Arc::new(ModelEntry {
+        name: name.to_string(),
+        model: GenDt::new(cfg),
+        kpis: Kpi::DATASET_A.to_vec(),
+    })
+}
+
+fn empty_ctx() -> Arc<RunContext> {
+    Arc::new(RunContext { steps: Vec::new() })
+}
+
+/// Harness batch executor: asserts the scheduler's version-homogeneity
+/// contract and answers each job with a marker series carrying its
+/// sample seed, so submitters can verify they got *their* answer.
+struct StubRunner;
+
+impl BatchRunner for StubRunner {
+    fn run(&self, jobs: &[GenJob]) -> Vec<GeneratedSeries> {
+        assert!(
+            jobs.iter().all(|j| Arc::ptr_eq(&j.entry, &jobs[0].entry)),
+            "mixed-version batch: jobs from different model instances coalesced"
+        );
+        jobs.iter()
+            .map(|j| GeneratedSeries {
+                kpis: Vec::new(),
+                series: vec![vec![j.sample_seed as f64]],
+            })
+            .collect()
+    }
+}
+
+/// Settle every lazily-resolved global *before* exploration so harness
+/// bodies are schedule-deterministic from the first schedule onward
+/// (DFS enumeration and replay both require it).
+fn prewarm() {
+    gendt_trace::set_trace(false);
+    gendt_trace::set_log_level(0);
+    gendt_faults::clear_faults();
+    gendt_faults::sleep_if_slow("sync-check.prewarm");
+    let _ = gendt_faults::fail_io("sync-check.prewarm");
+}
+
+fn report_line(name: &str, r: &Report) -> bool {
+    match &r.failure {
+        None => {
+            println!(
+                "  [ok  ] {name:<24} {:>6} schedules, {:>8} steps",
+                r.schedules, r.steps_total
+            );
+            true
+        }
+        Some(f) => {
+            println!("  [FAIL] {name:<24} after {} schedules:", r.schedules);
+            for line in f.to_string().lines() {
+                println!("         {line}");
+            }
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Invariant zoo: real production types, green on correct code
+// ---------------------------------------------------------------------
+
+fn sched_cfg(max_batch: usize, max_wait_ms: u64, queue_cap: usize) -> SchedCfg {
+    SchedCfg {
+        max_batch,
+        max_wait_ms,
+        queue_cap,
+    }
+}
+
+/// Every accepted job is answered exactly once with its own result.
+fn model_sched_exactly_once(entry: &Arc<ModelEntry>, ctx: &Arc<RunContext>) -> Report {
+    let cfg = Config::random(2_500, 0x5eed_0001);
+    let (entry, ctx) = (entry.clone(), ctx.clone());
+    interleave::explore(&cfg, move || {
+        let metrics = Arc::new(ServeMetrics::new(4));
+        let sched = Arc::new(Scheduler::with_runner(
+            sched_cfg(2, 0, 8),
+            metrics.clone(),
+            Box::new(StubRunner),
+        ));
+        let worker = {
+            let s = sched.clone();
+            thread::spawn(move || s.run_worker())
+        };
+        let subs: Vec<_> = (0..2u64)
+            .map(|i| {
+                let s = sched.clone();
+                let (e, c) = (entry.clone(), ctx.clone());
+                thread::spawn(move || {
+                    let job = GenJob {
+                        entry: e,
+                        ctx: c,
+                        sample_seed: i,
+                    };
+                    let rx = s
+                        .submit(job, None)
+                        .expect("queue has room, not shutting down");
+                    let out = rx
+                        .recv()
+                        .expect("accepted job must be answered")
+                        .expect("stub batch cannot fail");
+                    assert_eq!(
+                        out.series[0][0], i as f64,
+                        "answer routed to wrong submitter"
+                    );
+                })
+            })
+            .collect();
+        for h in subs {
+            h.join().expect("submitter must not panic");
+        }
+        sched.stop();
+        worker.join().expect("worker must exit cleanly");
+        let answered = metrics.batched_requests.load(Ordering::Relaxed);
+        assert_eq!(answered, 2, "each accepted job through exactly one batch");
+    })
+}
+
+/// A batch never mixes model versions: jobs pinned to the pre-reload
+/// entry and jobs pinned to the post-reload entry must not coalesce,
+/// even though the entries share a registry name.
+fn model_sched_mixed_version(
+    v1: &Arc<ModelEntry>,
+    v2: &Arc<ModelEntry>,
+    ctx: &Arc<RunContext>,
+) -> Report {
+    let cfg = Config::random(2_500, 0x5eed_0002);
+    let (v1, v2, ctx) = (v1.clone(), v2.clone(), ctx.clone());
+    interleave::explore(&cfg, move || {
+        let metrics = Arc::new(ServeMetrics::new(4));
+        let sched = Arc::new(Scheduler::with_runner(
+            sched_cfg(4, 1, 8),
+            metrics,
+            Box::new(StubRunner), // asserts Arc::ptr_eq homogeneity
+        ));
+        let worker = {
+            let s = sched.clone();
+            thread::spawn(move || s.run_worker())
+        };
+        let entries = [v1.clone(), v1.clone(), v2.clone()];
+        let subs: Vec<_> = entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let s = sched.clone();
+                let c = ctx.clone();
+                thread::spawn(move || {
+                    let job = GenJob {
+                        entry: e,
+                        ctx: c,
+                        sample_seed: i as u64,
+                    };
+                    let rx = s.submit(job, None).expect("queue has room");
+                    rx.recv()
+                        .expect("accepted job must be answered")
+                        .expect("homogeneous batches cannot fail");
+                })
+            })
+            .collect();
+        for h in subs {
+            h.join().expect("submitter must not panic");
+        }
+        sched.stop();
+        worker.join().expect("worker must exit cleanly");
+    })
+}
+
+/// The worker's Condvar waits (idle block and batch-fill timeout) must
+/// tolerate spurious wakeups: extra injected wakeups change timing,
+/// never outcomes.
+fn model_sched_spurious(entry: &Arc<ModelEntry>, ctx: &Arc<RunContext>) -> Report {
+    let mut cfg = Config::random(1_500, 0x5eed_0003);
+    cfg.spurious = 4;
+    let (entry, ctx) = (entry.clone(), ctx.clone());
+    interleave::explore(&cfg, move || {
+        let metrics = Arc::new(ServeMetrics::new(4));
+        let sched = Arc::new(Scheduler::with_runner(
+            sched_cfg(2, 5, 8),
+            metrics,
+            Box::new(StubRunner),
+        ));
+        let worker = {
+            let s = sched.clone();
+            thread::spawn(move || s.run_worker())
+        };
+        let (e, c) = (entry.clone(), ctx.clone());
+        let s = sched.clone();
+        let sub = thread::spawn(move || {
+            let job = GenJob {
+                entry: e,
+                ctx: c,
+                sample_seed: 9,
+            };
+            let rx = s.submit(job, None).expect("queue has room");
+            let out = rx
+                .recv()
+                .expect("accepted job must be answered")
+                .expect("stub batch cannot fail");
+            assert_eq!(out.series[0][0], 9.0);
+        });
+        sub.join().expect("submitter must not panic");
+        sched.stop();
+        worker.join().expect("worker must exit cleanly");
+    })
+}
+
+/// Shutdown racing live submitters: every submit either fails fast
+/// (`ShuttingDown` / `QueueFull`) or its reply channel resolves — no
+/// accepted job is ever stranded by a worker that already exited. This
+/// is the exact race the under-lock shutdown check in
+/// `Scheduler::submit` closes.
+fn model_drain_flush(entry: &Arc<ModelEntry>, ctx: &Arc<RunContext>) -> Report {
+    let cfg = Config::random(2_500, 0x5eed_0004);
+    let (entry, ctx) = (entry.clone(), ctx.clone());
+    interleave::explore(&cfg, move || {
+        let metrics = Arc::new(ServeMetrics::new(4));
+        let sched = Arc::new(Scheduler::with_runner(
+            sched_cfg(2, 0, 8),
+            metrics,
+            Box::new(StubRunner),
+        ));
+        let worker = {
+            let s = sched.clone();
+            thread::spawn(move || s.run_worker())
+        };
+        let stopper = {
+            let s = sched.clone();
+            thread::spawn(move || s.stop())
+        };
+        let subs: Vec<_> = (0..2u64)
+            .map(|i| {
+                let s = sched.clone();
+                let (e, c) = (entry.clone(), ctx.clone());
+                thread::spawn(move || {
+                    let job = GenJob {
+                        entry: e,
+                        ctx: c,
+                        sample_seed: i,
+                    };
+                    match s.submit(job, None) {
+                        Ok(rx) => {
+                            // The drain guarantee: accepted ⇒ answered.
+                            rx.recv()
+                                .expect("accepted job stranded by shutdown")
+                                .expect("stub batch cannot fail");
+                        }
+                        Err(SubmitError::ShuttingDown) | Err(SubmitError::QueueFull) => {}
+                    }
+                })
+            })
+            .collect();
+        for h in subs {
+            h.join().expect("submitter must not panic");
+        }
+        stopper.join().expect("stopper must not panic");
+        worker.join().expect("worker must exit cleanly");
+    })
+}
+
+/// `/reload` swap racing readers: a name always resolves, and what it
+/// resolves to is a complete version — never a torn map.
+fn model_registry_swap(v1: &Arc<ModelEntry>, v2: &Arc<ModelEntry>) -> Report {
+    let cfg = Config::random(800, 0x5eed_0005);
+    let (v1, v2) = (v1.clone(), v2.clone());
+    interleave::explore(&cfg, move || {
+        let map_of = |e: &Arc<ModelEntry>| -> ModelMap {
+            let mut m = ModelMap::new();
+            m.insert(e.name.clone(), e.clone());
+            m
+        };
+        let reg = Arc::new(Registry::preloaded(map_of(&v1)));
+        let swapper = {
+            let r = reg.clone();
+            let next = map_of(&v2);
+            thread::spawn(move || r.install(next))
+        };
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let r = reg.clone();
+                let (a, b) = (v1.clone(), v2.clone());
+                thread::spawn(move || {
+                    let got = r.get("m").expect("name must resolve across the swap");
+                    assert!(
+                        Arc::ptr_eq(&got, &a) || Arc::ptr_eq(&got, &b),
+                        "resolved a model that is neither version"
+                    );
+                    assert_eq!(r.names(), vec!["m".to_string()]);
+                })
+            })
+            .collect();
+        for h in readers {
+            h.join().expect("reader must not panic");
+        }
+        swapper.join().expect("swapper must not panic");
+        assert!(Arc::ptr_eq(&reg.get("m").expect("resolves"), &v2));
+    })
+}
+
+/// LRU cache under concurrent insert/get: within-capacity entries are
+/// never lost, over-capacity keeps exactly `cap` survivors, and the
+/// hit/miss counters stay consistent with observed outcomes.
+fn model_cache_linearizes() -> Report {
+    let cfg = Config::random(1_500, 0x5eed_0006);
+    interleave::explore(&cfg, move || {
+        let k1 = ContextKey::new("walk", 60.0, 0.0, 0.0, 1, &Default::default());
+        let k2 = ContextKey::new("walk", 60.0, 0.0, 0.0, 2, &Default::default());
+
+        // Capacity 2, two keys: nothing can ever be evicted.
+        let roomy = Arc::new(ContextCache::new(2));
+        let writers: Vec<_> = [(k1, 1usize), (k2, 2usize)]
+            .into_iter()
+            .map(|(k, n)| {
+                let c = roomy.clone();
+                thread::spawn(move || {
+                    c.insert(
+                        k,
+                        Arc::new(RunContext {
+                            steps: Vec::with_capacity(n),
+                        }),
+                    );
+                    let got = c.get(k).expect("within-capacity entry lost");
+                    assert_eq!(got.steps.capacity(), n, "wrong context for key");
+                })
+            })
+            .collect();
+        for h in writers {
+            h.join().expect("writer must not panic");
+        }
+        assert!(roomy.get(k1).is_some() && roomy.get(k2).is_some());
+        assert_eq!(roomy.stats(), (4, 0), "hit/miss counters drifted");
+
+        // Capacity 1, two racing inserts: exactly one survivor.
+        let tight = Arc::new(ContextCache::new(1));
+        let writers: Vec<_> = [k1, k2]
+            .into_iter()
+            .map(|k| {
+                let c = tight.clone();
+                thread::spawn(move || c.insert(k, Arc::new(RunContext { steps: Vec::new() })))
+            })
+            .collect();
+        for h in writers {
+            h.join().expect("writer must not panic");
+        }
+        let survivors = [k1, k2].iter().filter(|&&k| tight.get(k).is_some()).count();
+        assert_eq!(
+            survivors, 1,
+            "LRU at capacity 1 must keep exactly one entry"
+        );
+        assert_eq!(tight.stats(), (1, 1));
+    })
+}
+
+/// `/metrics` rendering racing counter writers and histogram pushes:
+/// poison-tolerant locks mean a scrape can never wedge, and the final
+/// render reflects every completed observation.
+fn model_metrics_scrape() -> Report {
+    let cfg = Config::random(300, 0x5eed_0007);
+    interleave::explore(&cfg, move || {
+        let m = Arc::new(ServeMetrics::new(4));
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let m = m.clone();
+                thread::spawn(move || {
+                    m.http_requests.fetch_add(1, Ordering::Relaxed);
+                    m.observe_batch(2);
+                    m.observe_latency_ms(1.5);
+                })
+            })
+            .collect();
+        let scraper = {
+            let m = m.clone();
+            thread::spawn(move || {
+                // Mid-race scrape: must complete whatever the writers are
+                // doing; content is schedule-dependent, liveness is not.
+                let _ = m.render(1, 0, 0);
+            })
+        };
+        for h in writers {
+            h.join().expect("writer must not panic");
+        }
+        scraper.join().expect("scraper must not panic");
+        let text = m.render(1, 0, 0);
+        assert!(text.contains("gendt_serve_http_requests_total 2"));
+        assert!(text.contains("gendt_serve_batches_total 2"));
+        assert!(text.contains("gendt_serve_batched_requests_total 4"));
+        assert!(text.contains("gendt_serve_batch_size_count 2"));
+    })
+}
+
+/// Bounded-preemption DFS over the submit→batch→reply→stop cycle:
+/// exhaustive for small preemption counts, complementing the random
+/// models above with systematic coverage of the low-preemption space.
+fn model_sched_dfs(entry: &Arc<ModelEntry>, ctx: &Arc<RunContext>) -> Report {
+    let cfg = Config::dfs(1_500, 2);
+    let (entry, ctx) = (entry.clone(), ctx.clone());
+    interleave::explore(&cfg, move || {
+        let metrics = Arc::new(ServeMetrics::new(4));
+        let sched = Arc::new(Scheduler::with_runner(
+            sched_cfg(2, 0, 4),
+            metrics,
+            Box::new(StubRunner),
+        ));
+        let worker = {
+            let s = sched.clone();
+            thread::spawn(move || s.run_worker())
+        };
+        let job = GenJob {
+            entry: entry.clone(),
+            ctx: ctx.clone(),
+            sample_seed: 3,
+        };
+        let rx = sched.submit(job, None).expect("queue has room");
+        let out = rx
+            .recv()
+            .expect("accepted job must be answered")
+            .expect("stub batch cannot fail");
+        assert_eq!(out.series[0][0], 3.0);
+        sched.stop();
+        worker.join().expect("worker must exit cleanly");
+    })
+}
+
+// ---------------------------------------------------------------------
+// Detector fixtures: seeded bugs every detector must flag and replay
+// ---------------------------------------------------------------------
+
+/// Runs a fixture expected to fail with `want`, then replays the printed
+/// token and demands the same finding in exactly one schedule.
+fn expect_detected<F: Fn() + Clone>(
+    name: &str,
+    cfg: &Config,
+    want: &[FailureKind],
+    body: F,
+) -> (bool, u64) {
+    let report = interleave::explore(cfg, body.clone());
+    let explored = report.schedules;
+    let Some(failure) = report.failure else {
+        println!(
+            "  [FAIL] {name:<24} seeded bug NOT detected in {} schedules",
+            report.schedules
+        );
+        return (false, explored);
+    };
+    if !want.contains(&failure.kind) {
+        println!(
+            "  [FAIL] {name:<24} detected {:?}, expected one of {want:?}",
+            failure.kind
+        );
+        return (false, explored);
+    }
+    let token = failure.replay_token();
+    let replayed = interleave::replay(cfg, &token, body);
+    let reproduced = replayed
+        .failure
+        .as_ref()
+        .is_some_and(|f| f.kind == failure.kind);
+    if !reproduced {
+        println!(
+            "  [FAIL] {name:<24} token {token} did not reproduce {:?}",
+            failure.kind
+        );
+        return (false, explored + replayed.schedules);
+    }
+    println!(
+        "  [ok  ] {name:<24} detected {:?} at schedule #{}, replayed via {token}",
+        failure.kind, failure.schedule_index
+    );
+    (true, explored + replayed.schedules)
+}
+
+/// Seeded bug: the flag is set without `notify_one`. A waiter already
+/// parked sleeps forever — the lost-wakeup deadlock detector must fire.
+fn fixture_lost_notify() -> (bool, u64) {
+    let cfg = Config::random(400, 0xbad_0001);
+    expect_detected(
+        "fixture_lost_notify",
+        &cfg,
+        &[FailureKind::Deadlock],
+        || {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s1 = state.clone();
+            let waiter = thread::spawn(move || {
+                let (m, cv) = &*s1;
+                let mut g = m.lock();
+                while !*g {
+                    g = cv.wait(g);
+                }
+            });
+            let s2 = state.clone();
+            let setter = thread::spawn(move || {
+                let (m, _cv) = &*s2;
+                *m.lock() = true; // bug: no notify
+            });
+            let _ = setter.join();
+            let _ = waiter.join();
+        },
+    )
+}
+
+/// Seeded bug: a coalescer that groups by registry *name* instead of
+/// `Arc` identity. When jobs pinned to both versions of "m" are queued
+/// together, they coalesce into one batch and the homogeneity assert
+/// fires — exactly the reload hazard the real scheduler avoids by
+/// keying on `Arc::ptr_eq`.
+fn fixture_mixed_version(v1: &Arc<ModelEntry>, v2: &Arc<ModelEntry>) -> (bool, u64) {
+    let cfg = Config::random(400, 0xbad_0002);
+    let (v1, v2) = (v1.clone(), v2.clone());
+    expect_detected(
+        "fixture_mixed_version",
+        &cfg,
+        &[FailureKind::Panic],
+        move || {
+            let queue = Arc::new(Mutex::new(VecDeque::<Arc<ModelEntry>>::new()));
+            let producers: Vec<_> = [v1.clone(), v2.clone()]
+                .into_iter()
+                .map(|e| {
+                    let q = queue.clone();
+                    thread::spawn(move || q.lock().push_back(e))
+                })
+                .collect();
+            let batcher = {
+                let q = queue.clone();
+                thread::spawn(move || {
+                    let mut done = 0;
+                    while done < 2 {
+                        let mut q = q.lock();
+                        let Some(head) = q.pop_front() else {
+                            continue; // lock/unlock is a yield point
+                        };
+                        let mut batch = vec![head];
+                        // Bug: same *name* coalesces — versions alias.
+                        while q.front().is_some_and(|e| e.name == batch[0].name) {
+                            batch.extend(q.pop_front());
+                        }
+                        drop(q);
+                        assert!(
+                            batch.iter().all(|e| Arc::ptr_eq(e, &batch[0])),
+                            "mixed-version batch formed across a reload"
+                        );
+                        done += batch.len();
+                    }
+                })
+            };
+            for h in producers {
+                let _ = h.join();
+            }
+            let _ = batcher.join();
+        },
+    )
+}
+
+/// Seeded bug: ABBA acquisition order across two threads. The
+/// lock-order-graph detector must flag the cycle (or catch the fatal
+/// interleaving as a deadlock outright).
+fn fixture_lock_inversion() -> (bool, u64) {
+    let cfg = Config::random(400, 0xbad_0003);
+    expect_detected(
+        "fixture_lock_inversion",
+        &cfg,
+        &[FailureKind::LockOrderCycle, FailureKind::Deadlock],
+        || {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let (a1, b1) = (a.clone(), b.clone());
+            let h1 = thread::spawn(move || {
+                let _ga = a1.lock();
+                let _gb = b1.lock();
+            });
+            let (a2, b2) = (a.clone(), b.clone());
+            let h2 = thread::spawn(move || {
+                let _gb = b2.lock();
+                let _ga = a2.lock();
+            });
+            let _ = h1.join();
+            let _ = h2.join();
+        },
+    )
+}
+
+/// Seeded bug: non-atomic read-modify-write on a shared counter. The
+/// vector-clock lost-update detector must flag the overwrite of a value
+/// the storing thread never observed.
+fn fixture_lost_update() -> (bool, u64) {
+    let cfg = Config::random(400, 0xbad_0004);
+    expect_detected(
+        "fixture_lost_update",
+        &cfg,
+        &[FailureKind::LostUpdate],
+        || {
+            let counter = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = counter.clone();
+                    thread::spawn(move || {
+                        let v = c.load(Ordering::SeqCst);
+                        c.store(v + 1, Ordering::SeqCst); // bug: not a RMW
+                    })
+                })
+                .collect();
+            for h in handles {
+                let _ = h.join();
+            }
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// Gate entry point
+// ---------------------------------------------------------------------
+
+/// Runs the invariant zoo and the detector fixtures; prints one line per
+/// model and the explored-schedule totals. Returns `true` when every
+/// real-code model is finding-free AND every seeded bug was detected and
+/// replayed.
+pub fn run() -> bool {
+    println!("== sync-check: schedule exploration over serve's concurrent state machines ==");
+    prewarm();
+    let v1 = test_entry("m", 71);
+    let v2 = test_entry("m", 72);
+    let ctx = empty_ctx();
+
+    let mut ok = true;
+    let mut zoo_schedules = 0u64;
+    let mut zoo_steps = 0u64;
+    let models: [(&str, Report); 8] = [
+        ("sched_exactly_once", model_sched_exactly_once(&v1, &ctx)),
+        (
+            "sched_mixed_version",
+            model_sched_mixed_version(&v1, &v2, &ctx),
+        ),
+        ("sched_spurious_condvar", model_sched_spurious(&v1, &ctx)),
+        ("drain_flush", model_drain_flush(&v1, &ctx)),
+        ("registry_swap", model_registry_swap(&v1, &v2)),
+        ("cache_linearizes", model_cache_linearizes()),
+        ("metrics_scrape", model_metrics_scrape()),
+        ("sched_dfs_bounded", model_sched_dfs(&v1, &ctx)),
+    ];
+    for (name, report) in &models {
+        ok &= report_line(name, report);
+        zoo_schedules += report.schedules;
+        zoo_steps += report.steps_total;
+    }
+
+    println!("  -- detector fixtures (each must be caught and replayed) --");
+    let mut fixture_schedules = 0u64;
+    for (detected, schedules) in [
+        fixture_lost_notify(),
+        fixture_mixed_version(&v1, &v2),
+        fixture_lock_inversion(),
+        fixture_lost_update(),
+    ] {
+        ok &= detected;
+        fixture_schedules += schedules;
+    }
+
+    println!(
+        "sync-check: {} ({zoo_schedules} schedules / {zoo_steps} steps over real code, \
+         {fixture_schedules} over fixtures)",
+        if ok { "clean" } else { "FAILED" }
+    );
+    ok
+}

@@ -385,8 +385,11 @@ pub fn step() {
         "use std::collections::HashMap;\npub fn save(_m: &HashMap<String, f32>) {}\n",
     );
     // Serve request path. Seed 7 (no-unwrap): a handler unwrap in
-    // server.rs; the poison-recovery `unwrap_or_else` is a decoy — it is
-    // the idiom the real serve code uses and must not fire.
+    // server.rs; the poison-recovery `unwrap_or_else` is a no-unwrap
+    // decoy that must not fire there — but server.rs is also a
+    // facade-migrated file, so the same `std::sync::Mutex` import and
+    // `.lock().unwrap_or_else` ARE seeded `sync-discipline` violations
+    // (the real serve code routes both through `gendt_sync` now).
     write_fixture(
         &root,
         "crates/serve/src/lib.rs",
@@ -444,6 +447,79 @@ mod tests {
     );
     write_fixture(&root, "crates/serve/src/bin/gendt_serve.rs", CLEAN_FILE);
     write_fixture(&root, "crates/core/src/bin/gendt_train.rs", CLEAN_FILE);
+    // Seed 12 (sync-discipline): a multi-line `use std::sync::{..}`
+    // group smuggling in Mutex, and an mpsc import. The bare-Arc
+    // import, the comment/string mentions, and the in-test
+    // `.lock().unwrap()` are decoys that must not fire.
+    write_fixture(
+        &root,
+        "crates/trace/src/span.rs",
+        r#"
+// a comment naming std::sync::Mutex must not fire
+use std::sync::Arc;
+use std::sync::{
+    Mutex,
+    OnceLock,
+}; // seeded violation (Mutex)
+use std::sync::mpsc::Sender; // seeded violation (mpsc)
+pub fn label() -> &'static str {
+    "a string naming std::sync::Condvar must not fire"
+}
+#[cfg(test)]
+mod tests {
+    fn exempt() {
+        let m = super::Mutex::new(0u8);
+        let _ = m.lock().unwrap();
+    }
+}
+"#,
+    );
+    // Seed 13 (atomic-ordering): a Relaxed fetch_add with no `// sync:`
+    // in its paragraph, and an Acquire whose only justification sits in
+    // a DIFFERENT paragraph (blank line between — must not count). The
+    // justified Relaxed, the SeqCst, the comment mention, and the
+    // in-test load are decoys that must not fire.
+    write_fixture(
+        &root,
+        "crates/serve/src/metrics.rs",
+        r#"
+use gendt_sync::atomic::{AtomicU64, Ordering};
+
+pub fn tick(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed); // seeded violation
+}
+
+pub fn scrape(c: &AtomicU64) -> u64 {
+    // sync: monotonic counter scrape; no ordering needed.
+    c.load(Ordering::Relaxed)
+}
+
+// sync: a justification in a different paragraph must not count.
+
+pub fn far(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Acquire) // seeded violation
+}
+
+// a comment naming Ordering::Relaxed must not fire
+pub fn strict(c: &AtomicU64) -> u64 {
+    c.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    fn exempt(c: &super::AtomicU64) {
+        let _ = c.load(super::Ordering::Relaxed);
+    }
+}
+"#,
+    );
+    // Remaining facade-migrated files, clean.
+    write_fixture(&root, "crates/serve/src/cache.rs", CLEAN_FILE);
+    write_fixture(&root, "crates/serve/src/bin/gendt_loadgen.rs", CLEAN_FILE);
+    write_fixture(&root, "crates/trace/src/lib.rs", CLEAN_FILE);
+    write_fixture(&root, "crates/trace/src/telemetry.rs", CLEAN_FILE);
+    write_fixture(&root, "crates/trace/src/oplog.rs", CLEAN_FILE);
+    write_fixture(&root, "crates/faults/src/inject.rs", CLEAN_FILE);
     // Seed 9 (no-prints): a bare println! in a telemetry-routed file;
     // prints in comments, strings, and #[cfg(test)] are decoys.
     write_fixture(
@@ -587,6 +663,64 @@ fn lint_detects_seeded_violations_and_ignores_decoys() {
             .iter()
             .all(|v| v.file == "crates/serve/src/registry.rs"),
         "only the seeded registry file may fire: {taxonomy_hits:?}"
+    );
+    let sync_hits: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == "sync-discipline")
+        .collect();
+    assert_eq!(
+        sync_hits.len(),
+        4,
+        "expected the two span.rs imports plus the server.rs import and \
+         poison-unwrap; Arc import, comment/string mentions, and in-test \
+         lock().unwrap() must not fire: {sync_hits:?}"
+    );
+    assert_eq!(
+        sync_hits
+            .iter()
+            .filter(|v| v.file == "crates/trace/src/span.rs")
+            .count(),
+        2,
+        "span.rs should fire on the Mutex group import and the mpsc \
+         import only: {sync_hits:?}"
+    );
+    assert_eq!(
+        sync_hits
+            .iter()
+            .filter(|v| v.file == "crates/serve/src/server.rs")
+            .count(),
+        2,
+        "server.rs should fire on the Mutex import and the \
+         .lock().unwrap_or_else poison-unwrap: {sync_hits:?}"
+    );
+    let ordering_hits: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == "atomic-ordering")
+        .collect();
+    assert_eq!(
+        ordering_hits.len(),
+        2,
+        "justified/SeqCst/comment/in-test orderings must not fire: \
+         {ordering_hits:?}"
+    );
+    assert!(
+        ordering_hits
+            .iter()
+            .all(|v| v.file == "crates/serve/src/metrics.rs"),
+        "only the seeded metrics file may fire: {ordering_hits:?}"
+    );
+    assert!(
+        ordering_hits
+            .iter()
+            .any(|v| v.line == 5 && v.message.contains("Ordering::Relaxed")),
+        "unjustified Relaxed fetch_add not caught at its line: {ordering_hits:?}"
+    );
+    assert!(
+        ordering_hits
+            .iter()
+            .any(|v| v.message.contains("Ordering::Acquire")),
+        "cross-paragraph justification must not cover the Acquire load: \
+         {ordering_hits:?}"
     );
     let plan_hits: Vec<_> = violations
         .iter()

@@ -67,7 +67,7 @@ mod tests {
     #[test]
     fn generated_distribution_matches_training() {
         let train: Vec<f64> = (0..5000).map(|i| -100.0 + (i % 50) as f64).collect();
-        let f = Fdas::fit(&[Kpi::Rsrp], &[train.clone()]);
+        let f = Fdas::fit(&[Kpi::Rsrp], std::slice::from_ref(&train));
         let gen = &f.generate(5000, 3)[0];
         let d = gendt_metrics::hwd(&train, gen);
         assert!(d < 1.0, "FDaS HWD {d}");

@@ -604,7 +604,8 @@ mod tests {
         let mut cfg = tiny_cfg();
         cfg.steps = 8; // several steps so compiled plans replay from cache
         let pool = training_pool(&cfg);
-        let mut runs: Vec<(Vec<Vec<f32>>, Vec<Vec<f32>>, Vec<f32>)> = Vec::new();
+        type RunSnapshot = (Vec<Vec<f32>>, Vec<Vec<f32>>, Vec<f32>);
+        let mut runs: Vec<RunSnapshot> = Vec::new();
         for plan in [false, true] {
             let mut model = GenDt::new(cfg.clone());
             model.set_plan_mode(plan);

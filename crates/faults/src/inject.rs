@@ -10,8 +10,9 @@
 
 use crate::spec::{parse_spec, FaultKind, FaultRule, Trigger};
 use crate::GendtError;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use gendt_sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use gendt_sync::{thread, RwLock};
+use std::sync::{Arc, OnceLock};
 
 const UNRESOLVED: u8 = 0;
 const EMPTY: u8 = 1;
@@ -59,7 +60,7 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
-fn arm(rules: Vec<FaultRule>, seed: u64) {
+fn build_plan(rules: Vec<FaultRule>, seed: u64) -> Arc<Plan> {
     let armed = rules
         .into_iter()
         .map(|rule| {
@@ -74,7 +75,15 @@ fn arm(rules: Vec<FaultRule>, seed: u64) {
             }
         })
         .collect();
-    *slot().write().unwrap_or_else(|p| p.into_inner()) = Some(Arc::new(Plan { rules: armed }));
+    Arc::new(Plan { rules: armed })
+}
+
+fn arm(rules: Vec<FaultRule>, seed: u64) {
+    let mut guard = slot().write();
+    *guard = Some(build_plan(rules, seed));
+    // sync: every STATE transition happens under the slot write lock,
+    // so the tri-state mirror can never disagree with the plan slot;
+    // Release pairs with the Acquire fast-path load in current().
     STATE.store(ARMED, Ordering::Release);
 }
 
@@ -90,42 +99,62 @@ pub fn set_spec(spec: &str, seed: u64) -> Result<(), GendtError> {
 /// Disarm all faults in-process. Probes return to their no-op fast path;
 /// the injected-count total is preserved.
 pub fn clear_faults() {
-    *slot().write().unwrap_or_else(|p| p.into_inner()) = None;
+    let mut guard = slot().write();
+    *guard = None;
+    // sync: see arm() — transitions are serialized by the slot lock.
     STATE.store(EMPTY, Ordering::Release);
 }
 
 /// Total number of faults injected since process start.
 pub fn injected_count() -> u64 {
+    // sync: monotonic counter scraped by /metrics; no ordering needed.
     INJECTED.load(Ordering::Relaxed)
 }
 
 fn current() -> Option<Arc<Plan>> {
+    // sync: Acquire pairs with the Release stores under the slot lock,
+    // so an ARMED observation also sees the armed plan's rules.
     match STATE.load(Ordering::Acquire) {
         EMPTY => return None,
         ARMED => {}
-        _ => {
-            // First probe in the process: resolve the environment once.
-            match std::env::var("GENDT_FAULTS") {
-                Ok(spec) if !spec.trim().is_empty() => {
-                    let seed = std::env::var("GENDT_FAULTS_SEED")
-                        .ok()
-                        .and_then(|s| s.trim().parse().ok())
-                        .unwrap_or(0u64);
-                    match parse_spec(&spec) {
-                        Ok(rules) => arm(rules, seed),
-                        Err(e) => {
-                            // A broken spec must be loud but must not take
-                            // down the request path that tripped the probe.
-                            gendt_trace::error!("GENDT_FAULTS ignored: {e}");
-                            STATE.store(EMPTY, Ordering::Release);
-                        }
-                    }
+        _ => resolve_env(),
+    }
+    slot().read().clone()
+}
+
+/// First probe in the process: resolve `GENDT_FAULTS` exactly once.
+/// Double-checked under the slot write lock — two probes racing through
+/// the UNRESOLVED fast path must not both arm (and must not clobber a
+/// concurrent `set_spec`/`clear_faults` that beat them to the lock).
+fn resolve_env() {
+    let mut guard = slot().write();
+    // sync: re-checked under the lock; a racing resolver or an explicit
+    // set_spec may have settled STATE while we waited.
+    if STATE.load(Ordering::Acquire) != UNRESOLVED {
+        return;
+    }
+    match std::env::var("GENDT_FAULTS") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            let seed = std::env::var("GENDT_FAULTS_SEED")
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(0u64);
+            match parse_spec(&spec) {
+                Ok(rules) => {
+                    *guard = Some(build_plan(rules, seed));
+                    // sync: see arm() — serialized by the slot lock.
+                    STATE.store(ARMED, Ordering::Release);
                 }
-                _ => STATE.store(EMPTY, Ordering::Release),
+                Err(e) => {
+                    // A broken spec must be loud but must not take
+                    // down the request path that tripped the probe.
+                    gendt_trace::error!("GENDT_FAULTS ignored: {e}");
+                    STATE.store(EMPTY, Ordering::Release);
+                }
             }
         }
+        _ => STATE.store(EMPTY, Ordering::Release),
     }
-    slot().read().unwrap_or_else(|p| p.into_inner()).clone()
 }
 
 /// Walk the plan for `probe`; returns the first matching rule of `kind`
@@ -137,6 +166,8 @@ fn fire(kind: FaultKind, probe: &str) -> Option<(u64, &'static str)> {
         .iter()
         .filter(|a| a.rule.kind == kind && a.rule.probe == probe)
     {
+        // sync: per-rule occurrence ticket; the decision is a pure
+        // function of (seed, k), so no ordering is required.
         let occ = armed.occurrences.fetch_add(1, Ordering::Relaxed);
         let hit = match armed.rule.trigger {
             Trigger::FirstN(n) => occ < n,
@@ -147,6 +178,7 @@ fn fire(kind: FaultKind, probe: &str) -> Option<(u64, &'static str)> {
             }
         };
         if hit {
+            // sync: monotonic counter for /metrics only.
             INJECTED.fetch_add(1, Ordering::Relaxed);
             gendt_trace::mark(armed.label, "fault");
             return Some((armed.rule.ms, armed.label));
@@ -175,7 +207,7 @@ pub fn slow_ms(probe: &str) -> Option<u64> {
 /// Convenience wrapper over [`slow_ms`] that sleeps in place.
 pub fn sleep_if_slow(probe: &str) {
     if let Some(ms) = slow_ms(probe) {
-        std::thread::sleep(std::time::Duration::from_millis(ms));
+        thread::sleep(std::time::Duration::from_millis(ms));
     }
 }
 
@@ -190,11 +222,11 @@ mod tests {
     use super::*;
 
     /// Serializes tests that flip the global plan.
-    static PLAN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    static PLAN_LOCK: gendt_sync::Mutex<()> = gendt_sync::Mutex::new(());
 
     #[test]
     fn unarmed_probes_are_silent() {
-        let _g = PLAN_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _g = PLAN_LOCK.lock();
         clear_faults();
         assert!(fail_io("nope").is_ok());
         assert!(slow_ms("nope").is_none());
@@ -203,7 +235,7 @@ mod tests {
 
     #[test]
     fn first_n_fires_exactly_n_times() {
-        let _g = PLAN_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _g = PLAN_LOCK.lock();
         set_spec("drop@t.accept:n=3", 9).expect("spec parses");
         let fired: usize = (0..10).filter(|_| should_drop("t.accept")).count();
         assert_eq!(fired, 3);
@@ -213,7 +245,7 @@ mod tests {
 
     #[test]
     fn probability_schedule_replays_bitwise() {
-        let _g = PLAN_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _g = PLAN_LOCK.lock();
         let run = |seed: u64| -> Vec<bool> {
             set_spec("io_err@t.write:p=0.5", seed).expect("spec parses");
             let pattern = (0..64).map(|_| fail_io("t.write").is_err()).collect();
@@ -230,7 +262,7 @@ mod tests {
 
     #[test]
     fn slow_rule_reports_its_delay_and_counts() {
-        let _g = PLAN_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _g = PLAN_LOCK.lock();
         set_spec("slow@t.batch:ms=7,n=2", 1).expect("spec parses");
         let before = injected_count();
         assert_eq!(slow_ms("t.batch"), Some(7));
@@ -242,7 +274,7 @@ mod tests {
 
     #[test]
     fn rules_only_match_their_probe_and_kind() {
-        let _g = PLAN_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _g = PLAN_LOCK.lock();
         set_spec("io_err@t.a:n=100", 5).expect("spec parses");
         assert!(fail_io("t.b").is_ok(), "different probe");
         assert!(slow_ms("t.a").is_none(), "different kind");

@@ -2323,10 +2323,10 @@ mod tests {
             }
             chain.push(acc.unwrap());
         }
-        for r in 0..2 {
+        for (r, &node) in chain.iter().enumerate() {
             assert_eq!(
                 &g.value(grouped).data[r * 4..(r + 1) * 4],
-                &g2.value(chain[r]).data[..],
+                &g2.value(node).data[..],
                 "row {r} differs from add chain"
             );
         }

@@ -32,7 +32,7 @@
 
 use crate::matrix::Matrix;
 use crate::threads;
-use std::sync::atomic::{AtomicBool, Ordering};
+use gendt_sync::atomic::{AtomicBool, Ordering};
 
 /// When set, [`Matrix::matmul`] and the activation helpers fall back to
 /// the seed implementations (naive triple loop, libm transcendentals).
@@ -46,11 +46,14 @@ static REFERENCE_KERNELS: AtomicBool = AtomicBool::new(false);
 /// the reference path still enjoys this build's compiler flags, so
 /// speedups measured against it are conservative.
 pub fn set_reference_kernels(on: bool) {
+    // sync: benchmark toggle flipped between timed sections, never
+    // concurrently with kernel execution.
     REFERENCE_KERNELS.store(on, Ordering::Relaxed);
 }
 
 /// True when the seed reference implementations are selected.
 pub(crate) fn reference_kernels() -> bool {
+    // sync: see set_reference_kernels.
     REFERENCE_KERNELS.load(Ordering::Relaxed)
 }
 

@@ -479,9 +479,9 @@ mod tests {
             let mut seqs = vec![vec![0f32; tlen]; batch];
             let mut targets = vec![0f32; batch];
             for bi in 0..batch {
-                for t in 0..tlen {
+                for s in seqs[bi].iter_mut() {
                     let v = rng.uniform(-1.0, 1.0) as f32;
-                    seqs[bi][t] = v;
+                    *s = v;
                     targets[bi] += v / 4.0;
                 }
             }

@@ -14,7 +14,7 @@
 //! smoke train step, and any training run can be sanitized by exporting
 //! the environment variable — no rebuild needed.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use gendt_sync::atomic::{AtomicU8, Ordering};
 
 const UNRESOLVED: u8 = 0;
 const OFF: u8 = 1;
@@ -29,6 +29,7 @@ static STATE: AtomicU8 = AtomicU8::new(UNRESOLVED);
 /// later calls are a single atomic load. [`set_sanitize`] overrides the
 /// environment in-process.
 pub fn sanitize_enabled() -> bool {
+    // sync: isolated gate; nothing is published through it.
     match STATE.load(Ordering::Relaxed) {
         ON => true,
         OFF => false,
@@ -40,8 +41,15 @@ pub fn sanitize_enabled() -> bool {
                     .map(str::trim),
                 Some("1") | Some("true") | Some("on")
             );
-            STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
-            on
+            // sync: CAS so a racing resolver or an interleaved
+            // set_sanitize override wins exactly once.
+            let _ = STATE.compare_exchange(
+                UNRESOLVED,
+                if on { ON } else { OFF },
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            matches!(STATE.load(Ordering::Relaxed), ON)
         }
     }
 }
@@ -49,6 +57,7 @@ pub fn sanitize_enabled() -> bool {
 /// Force sanitizer mode on or off in-process (wins over `GENDT_SANITIZE`).
 /// Intended for tests and for embedders that sanitize selected phases.
 pub fn set_sanitize(on: bool) {
+    // sync: explicit override; last writer wins by design.
     STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
 }
 

@@ -15,7 +15,7 @@
 //! worker — so `GENDT_THREADS=1` and `GENDT_THREADS=16` produce
 //! bitwise-identical results on the same build.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use gendt_sync::atomic::{AtomicUsize, Ordering};
 
 /// Resolved worker count; 0 means "not yet resolved".
 static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -29,6 +29,7 @@ const MAX_THREADS: usize = 16;
 /// empty, or unparsable values fall back to available parallelism) and
 /// installs the rayon global pool; later calls are a single atomic load.
 pub fn num_threads() -> usize {
+    // sync: isolated config cell; the CAS below settles resolution.
     let n = NUM_THREADS.load(Ordering::Relaxed);
     if n != 0 {
         return n;
@@ -40,8 +41,16 @@ pub fn num_threads() -> usize {
         },
         Err(_) => default_threads(),
     };
-    set_num_threads(resolved);
-    resolved
+    // sync: CAS, not a store — two racing first calls (or a concurrent
+    // set_num_threads override) must settle on exactly one value; the
+    // loser adopts the winner's count instead of clobbering it.
+    match NUM_THREADS.compare_exchange(0, resolved, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => {
+            install_pool(resolved);
+            resolved
+        }
+        Err(settled) => settled,
+    }
 }
 
 fn default_threads() -> usize {
@@ -58,9 +67,14 @@ fn default_threads() -> usize {
 /// parallelism budget.
 pub fn set_num_threads(n: usize) {
     let n = n.clamp(1, MAX_THREADS);
+    // sync: explicit override; last writer wins by design.
     NUM_THREADS.store(n, Ordering::Relaxed);
-    // Keep the rayon global pool in step; the vendored shim lets the
-    // latest value win.
+    install_pool(n);
+}
+
+/// Keep the rayon global pool in step; the vendored shim lets the
+/// latest value win.
+fn install_pool(n: usize) {
     let _ = rayon::ThreadPoolBuilder::new()
         .num_threads(n)
         .build_global();

@@ -20,10 +20,10 @@ use gendt_serve::api::{GenerateRequest, GenerateResponse};
 use gendt_serve::http::http_request;
 use gendt_serve::scheduler::SchedCfg;
 use gendt_serve::{serve, ServerCfg, ServerHandle};
+use gendt_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use gendt_sync::Mutex;
 use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// Load-driver knobs echoed into the artifact so a recorded run is
@@ -203,6 +203,8 @@ fn drive(addr: &str, opts: &Opts) -> Result<(), GendtError> {
     std::thread::scope(|scope| {
         for _ in 0..opts.concurrency.max(1) {
             scope.spawn(|| loop {
+                // sync: work-stealing ticket + tallies; each counter is
+                // independent and joined before being read.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= opts.requests {
                     return;
@@ -213,10 +215,7 @@ fn drive(addr: &str, opts: &Opts) -> Result<(), GendtError> {
                     Ok((200, _)) => {
                         let ms = t0.elapsed().as_secs_f64() * 1000.0;
                         ok.fetch_add(1, Ordering::Relaxed);
-                        latencies
-                            .lock()
-                            .unwrap_or_else(|poisoned| poisoned.into_inner())
-                            .push(ms);
+                        latencies.lock().push(ms);
                     }
                     Ok((429, _)) => {
                         rejected.fetch_add(1, Ordering::Relaxed);
@@ -230,9 +229,7 @@ fn drive(addr: &str, opts: &Opts) -> Result<(), GendtError> {
     });
     let wall_s = started.elapsed().as_secs_f64();
 
-    let samples = latencies
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let samples = latencies.lock();
     if samples.is_empty() {
         return Err(GendtError::unavailable("no request succeeded"));
     }
@@ -261,6 +258,7 @@ fn drive(addr: &str, opts: &Opts) -> Result<(), GendtError> {
         },
         requests: opts.requests,
         concurrency: opts.concurrency,
+        // sync: scope join above ordered every worker's tallies.
         ok: ok.load(Ordering::Relaxed),
         rejected: rejected.load(Ordering::Relaxed),
         failed: failed.load(Ordering::Relaxed),

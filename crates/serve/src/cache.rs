@@ -8,9 +8,10 @@
 //! Eviction is least-recently-used over a fixed capacity.
 
 use gendt_data::context::{ContextCfg, RunContext};
+use gendt_sync::atomic::{AtomicU64, Ordering};
+use gendt_sync::Mutex;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// FNV-1a, 64-bit.
 fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
@@ -80,20 +81,20 @@ impl ContextCache {
 
     /// Look up a context, refreshing its recency on hit.
     pub fn get(&self, key: ContextKey) -> Option<Arc<RunContext>> {
-        let mut inner = self
-            .inner
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(&key) {
             Some((ctx, last_used)) => {
                 *last_used = tick;
                 let ctx = ctx.clone();
+                // sync: hit/miss are independent monotonic counters for
+                // /metrics; the map itself is guarded by `inner`.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(ctx)
             }
             None => {
+                // sync: see the hit counter above.
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -104,10 +105,7 @@ impl ContextCache {
     /// over capacity. (Extraction runs outside the cache lock; a racing
     /// duplicate insert is harmless — last writer wins.)
     pub fn insert(&self, key: ContextKey, ctx: Arc<RunContext>) {
-        let mut inner = self
-            .inner
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         inner.map.insert(key, (ctx, tick));
@@ -127,6 +125,7 @@ impl ContextCache {
     /// (hits, misses) counters for `/metrics`.
     pub fn stats(&self) -> (u64, u64) {
         (
+            // sync: scrape of independent counters; no ordering needed.
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )

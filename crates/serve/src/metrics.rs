@@ -6,8 +6,8 @@
 //! `gendt_metrics::Quantiles`.
 
 use gendt_metrics::{Histogram, Quantiles};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use gendt_sync::atomic::{AtomicU64, Ordering};
+use gendt_sync::Mutex;
 
 /// Shared serving metrics.
 pub struct ServeMetrics {
@@ -53,23 +53,23 @@ impl ServeMetrics {
 
     /// Record one `/generate` end-to-end latency, milliseconds.
     pub fn observe_latency_ms(&self, ms: f64) {
-        self.latency_ms
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .push(ms);
+        self.latency_ms.lock().push(ms);
     }
 
     /// Record one executed batch of `n` coalesced requests.
     pub fn observe_batch(&self, n: usize) {
+        // sync: monotonic counters scraped by /metrics; no ordering
+        // requirement between them and other state.
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests.fetch_add(n as u64, Ordering::Relaxed);
-        self.batch_size
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .push(n as f64);
+        self.batch_size.lock().push(n as f64);
     }
 
     /// Render the Prometheus text exposition for `/metrics`.
+    ///
+    /// All loads are Relaxed on purpose: each series is an independent
+    /// monotonic counter or gauge and a scrape needs no cross-counter
+    /// consistency.
     pub fn render(&self, models_live: usize, cache_hits: u64, cache_misses: u64) -> String {
         let mut out = String::with_capacity(2048);
         let counter = |out: &mut String, name: &str, help: &str, v: u64| {
@@ -82,6 +82,9 @@ impl ServeMetrics {
                 "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
             ));
         };
+        // sync: every load below is a Relaxed scrape of an independent
+        // monotonic counter or gauge; /metrics imposes no cross-counter
+        // ordering.
         counter(
             &mut out,
             "gendt_serve_http_requests_total",
@@ -155,10 +158,7 @@ impl ServeMetrics {
             self.batches.load(Ordering::Relaxed),
         );
         {
-            let lat = self
-                .latency_ms
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let lat = self.latency_ms.lock();
             render_summary(
                 &mut out,
                 "gendt_serve_latency_ms",
@@ -167,10 +167,7 @@ impl ServeMetrics {
             );
         }
         {
-            let bs = self
-                .batch_size
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let bs = self.batch_size.lock();
             render_summary(
                 &mut out,
                 "gendt_serve_batch_size",

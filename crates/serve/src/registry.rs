@@ -16,9 +16,10 @@ use gendt::checkpoint::load_model_from_file;
 use gendt::trainer::GenDt;
 use gendt_data::kpi_types::Kpi;
 use gendt_faults::{retry_with_backoff, GendtError};
+use gendt_sync::RwLock;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// One loaded model plus everything a request needs to generate with it.
 pub struct ModelEntry {
@@ -30,7 +31,8 @@ pub struct ModelEntry {
     pub kpis: Vec<Kpi>,
 }
 
-type ModelMap = BTreeMap<String, Arc<ModelEntry>>;
+/// The immutable live model set, swapped wholesale on reload.
+pub type ModelMap = BTreeMap<String, Arc<ModelEntry>>;
 
 /// The registry: a directory plus the currently live model set.
 pub struct Registry {
@@ -129,36 +131,43 @@ impl Registry {
         })
     }
 
+    /// Registry over an already-built model set, no directory backing.
+    /// Harness seam: `gendt-audit sync-check` explores resolve/install
+    /// interleavings against the real swap logic without touching disk.
+    pub fn preloaded(map: ModelMap) -> Registry {
+        Registry {
+            dir: PathBuf::new(),
+            current: RwLock::new(Arc::new(map)),
+        }
+    }
+
+    /// Atomically swap in `map` as the live model set (the reload
+    /// commit step, minus the directory scan).
+    pub fn install(&self, map: ModelMap) {
+        let mut cur = self.current.write();
+        *cur = Arc::new(map);
+    }
+
     /// Rescan the directory and atomically swap in the new model set.
     /// On any load failure the previous set stays live — a bad deploy
     /// never takes down serving.
     pub fn reload(&self) -> Result<usize, GendtError> {
         let map = scan_dir_retrying(&self.dir)?;
         let n = map.len();
-        let mut cur = self
-            .current
-            .write()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        *cur = Arc::new(map);
+        self.install(map);
         Ok(n)
     }
 
     /// Resolve a model by name. The returned `Arc` stays valid across
     /// reloads, pinning the exact model version a request started with.
     pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
-        let cur = self
-            .current
-            .read()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let cur = self.current.read();
         cur.get(name).cloned()
     }
 
     /// Sorted model names currently live.
     pub fn names(&self) -> Vec<String> {
-        let cur = self
-            .current
-            .read()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let cur = self.current.read();
         cur.keys().cloned().collect()
     }
 }

@@ -14,15 +14,24 @@
 //! answered with a `Timeout` taxonomy error instead of wasting a
 //! forward pass. The batch execution path hosts the `serve.batch`
 //! `slow`/`io_err` chaos probes (DESIGN.md §10).
+//!
+//! All synchronization goes through the `gendt_sync` facade so the
+//! queue/condvar state machine is explorable by `gendt-audit
+//! sync-check` (DESIGN.md §12). The forward pass itself is behind the
+//! [`BatchRunner`] seam: production runs [`run_batch`], harnesses swap
+//! in a stub so schedule exploration spends its budget on the
+//! interleavings, not on inference.
 
 use crate::batch::{run_batch, GenJob};
 use crate::metrics::ServeMetrics;
 use gendt::GeneratedSeries;
 use gendt_faults::GendtError;
+use gendt_sync::atomic::{AtomicBool, Ordering};
+use gendt_sync::time::Instant;
+use gendt_sync::{mpsc, Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Scheduler tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -57,6 +66,23 @@ pub enum SubmitError {
 /// A generation result delivered back to the waiting handler.
 pub type JobResult = Result<GeneratedSeries, GendtError>;
 
+/// Executes one coalesced batch. Production uses the real forward pass;
+/// the concurrency-check harness substitutes a stub that only asserts
+/// batch invariants, keeping schedule exploration cheap.
+pub trait BatchRunner: Send + Sync {
+    /// Run `jobs` (all pinned to the same model entry) and return one
+    /// series per job, aligned with `jobs`.
+    fn run(&self, jobs: &[GenJob]) -> Vec<GeneratedSeries>;
+}
+
+struct ProdRunner;
+
+impl BatchRunner for ProdRunner {
+    fn run(&self, jobs: &[GenJob]) -> Vec<GeneratedSeries> {
+        run_batch(&jobs[0].entry, jobs)
+    }
+}
+
 struct Pending {
     job: GenJob,
     reply: mpsc::Sender<JobResult>,
@@ -72,17 +98,28 @@ pub struct Scheduler {
     cv: Condvar,
     shutdown: AtomicBool,
     metrics: Arc<ServeMetrics>,
+    runner: Box<dyn BatchRunner>,
 }
 
 impl Scheduler {
     /// New scheduler publishing queue/batch stats into `metrics`.
     pub fn new(cfg: SchedCfg, metrics: Arc<ServeMetrics>) -> Scheduler {
+        Scheduler::with_runner(cfg, metrics, Box::new(ProdRunner))
+    }
+
+    /// New scheduler with a custom batch executor (harness seam).
+    pub fn with_runner(
+        cfg: SchedCfg,
+        metrics: Arc<ServeMetrics>,
+        runner: Box<dyn BatchRunner>,
+    ) -> Scheduler {
         Scheduler {
             cfg,
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             metrics,
+            runner,
         }
     }
 
@@ -94,13 +131,15 @@ impl Scheduler {
         job: GenJob,
         deadline: Option<Instant>,
     ) -> Result<mpsc::Receiver<JobResult>, SubmitError> {
+        let mut q = self.queue.lock();
+        // Checked under the queue lock: a check before taking it races
+        // with stop() — the job would be enqueued after the workers
+        // decided to exit and its reply channel would never resolve.
+        // sync: Acquire pairs with stop()'s Release store, itself made
+        // under this same lock.
         if self.shutdown.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
         }
-        let mut q = self
-            .queue
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
         if q.len() >= self.cfg.queue_cap {
             return Err(SubmitError::QueueFull);
         }
@@ -110,6 +149,8 @@ impl Scheduler {
             reply: tx,
             deadline,
         });
+        // sync: gauge only — published under the queue lock, read by
+        // /metrics with no ordering requirement.
         self.metrics
             .queue_depth
             .store(q.len() as u64, Ordering::Relaxed);
@@ -133,6 +174,8 @@ impl Scheduler {
             for pending in batch {
                 match pending.deadline {
                     Some(d) if now >= d => {
+                        // sync: monotonic counter, rendered by /metrics;
+                        // no synchronization piggybacks on it.
                         self.metrics
                             .deadline_expired
                             .fetch_add(1, Ordering::Relaxed);
@@ -160,7 +203,6 @@ impl Scheduler {
             }
 
             let n = live.len();
-            let entry = live[0].job.entry.clone();
             let jobs: Vec<&GenJob> = live.iter().map(|p| &p.job).collect();
             // A panic inside generation (e.g. a sanitizer trip) must not
             // kill the worker: convert it into per-request errors.
@@ -175,7 +217,7 @@ impl Scheduler {
                             sample_seed: j.sample_seed,
                         })
                         .collect();
-                    run_batch(&entry, &owned)
+                    self.runner.run(&owned)
                 }))
             };
             self.metrics.observe_batch(n);
@@ -200,10 +242,7 @@ impl Scheduler {
     /// collect up to `max_batch` jobs for the head job's model, waiting
     /// up to `max_wait_ms` for stragglers.
     fn next_batch(&self) -> Option<Vec<Pending>> {
-        let mut q = self
-            .queue
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut q = self.queue.lock();
         loop {
             if let Some(head) = q.pop_front() {
                 // Covers coalescing + the fill wait, not the idle block
@@ -230,13 +269,14 @@ impl Scheduler {
                     }
                     let (guard, _timeout) = self
                         .cv
-                        .wait_timeout(q, deadline - now)
-                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                        .wait_timeout(q, deadline.saturating_duration_since(now));
                     q = guard;
+                    // sync: Acquire pairs with stop()'s Release store.
                     if self.shutdown.load(Ordering::Acquire) {
                         break;
                     }
                 }
+                // sync: gauge only — published under the queue lock.
                 self.metrics
                     .queue_depth
                     .store(q.len() as u64, Ordering::Relaxed);
@@ -245,17 +285,182 @@ impl Scheduler {
             if self.shutdown.load(Ordering::Acquire) {
                 return None;
             }
-            let guard = self
-                .cv
-                .wait(q)
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
-            q = guard;
+            q = self.cv.wait(q);
         }
     }
 
     /// Ask workers to exit once the queue drains, and wake them.
     pub fn stop(&self) {
-        self.shutdown.store(true, Ordering::Release);
+        // sync: taking the queue lock orders this Release store against
+        // submit's under-lock Acquire check: after stop() returns, no
+        // new job can slip into the queue unobserved by exiting workers.
+        {
+            let _q = self.queue.lock();
+            self.shutdown.store(true, Ordering::Release);
+        }
         self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelEntry;
+    use gendt::{GenDt, GenDtCfg};
+    use gendt_data::context::RunContext;
+    use gendt_data::kpi_types::Kpi;
+    use gendt_sync::testing::inject_spurious_wakeups;
+    use gendt_sync::thread;
+
+    /// Answers each job with a marker series carrying its sample seed,
+    /// so tests can verify reply routing without running inference.
+    struct MarkerRunner;
+
+    impl BatchRunner for MarkerRunner {
+        fn run(&self, jobs: &[GenJob]) -> Vec<GeneratedSeries> {
+            jobs.iter()
+                .map(|j| GeneratedSeries {
+                    kpis: Vec::new(),
+                    series: vec![vec![j.sample_seed as f64]],
+                })
+                .collect()
+        }
+    }
+
+    fn test_entry() -> Arc<ModelEntry> {
+        let mut cfg = GenDtCfg::fast(4, 71);
+        cfg.hidden = 4;
+        cfg.resgen_hidden = 4;
+        cfg.disc_hidden = 4;
+        cfg.window.len = 4;
+        cfg.window.stride = 4;
+        cfg.window.max_cells = 2;
+        Arc::new(ModelEntry {
+            name: "m".to_string(),
+            model: GenDt::new(cfg),
+            kpis: Kpi::DATASET_A.to_vec(),
+        })
+    }
+
+    fn job(entry: &Arc<ModelEntry>, sample_seed: u64) -> GenJob {
+        GenJob {
+            entry: Arc::clone(entry),
+            ctx: Arc::new(RunContext { steps: Vec::new() }),
+            sample_seed,
+        }
+    }
+
+    fn sched(cfg: SchedCfg) -> (Arc<Scheduler>, Arc<ServeMetrics>) {
+        let metrics = Arc::new(ServeMetrics::new(cfg.max_batch));
+        let s = Arc::new(Scheduler::with_runner(
+            cfg,
+            Arc::clone(&metrics),
+            Box::new(MarkerRunner),
+        ));
+        (s, metrics)
+    }
+
+    /// Both Condvar sites — the idle block in `next_batch` and the
+    /// batch-fill `wait_timeout` — must treat a spurious wakeup as a
+    /// non-event: recheck state, re-arm with the remaining time, and
+    /// keep serving. One test (not two) because the injected budget is
+    /// process-wide and the harness runs tests concurrently.
+    #[test]
+    fn condvar_waits_absorb_spurious_wakeups() {
+        // Idle wait: the worker burns the whole budget parked on an
+        // empty queue, then must still answer real work and shut down.
+        let (s, _) = sched(SchedCfg {
+            max_batch: 1,
+            max_wait_ms: 1,
+            queue_cap: 8,
+        });
+        let entry = test_entry();
+        inject_spurious_wakeups(3);
+        let worker = {
+            let s = Arc::clone(&s);
+            thread::spawn(move || s.run_worker())
+        };
+        for seed in [7u64, 8] {
+            let rx = s.submit(job(&entry, seed), None).expect("queue open");
+            let out = rx
+                .recv()
+                .expect("worker exited instead of absorbing a spurious wakeup")
+                .expect("marker batch cannot fail");
+            assert_eq!(out.series, vec![vec![seed as f64]]);
+        }
+        s.stop();
+        worker.join().expect("worker panicked");
+
+        // Fill wait: spurious early returns from `wait_timeout` must not
+        // be mistaken for the fill deadline — a straggler submitted
+        // mid-window still joins the head job's batch.
+        let (s, metrics) = sched(SchedCfg {
+            max_batch: 4,
+            max_wait_ms: 200,
+            queue_cap: 8,
+        });
+        inject_spurious_wakeups(3);
+        let worker = {
+            let s = Arc::clone(&s);
+            thread::spawn(move || s.run_worker())
+        };
+        let rx_a = s.submit(job(&entry, 1), None).expect("queue open");
+        std::thread::sleep(Duration::from_millis(20));
+        let rx_b = s.submit(job(&entry, 2), None).expect("queue open");
+        let a = rx_a.recv().expect("reply dropped").expect("marker batch");
+        let b = rx_b.recv().expect("reply dropped").expect("marker batch");
+        assert_eq!(a.series, vec![vec![1.0]]);
+        assert_eq!(b.series, vec![vec![2.0]]);
+        assert_eq!(
+            metrics.batches.load(Ordering::SeqCst),
+            1,
+            "straggler must coalesce into the head batch, not run alone"
+        );
+        assert_eq!(metrics.batched_requests.load(Ordering::SeqCst), 2);
+        s.stop();
+        worker.join().expect("worker panicked");
+        inject_spurious_wakeups(0);
+    }
+
+    /// A job whose deadline has already passed when its batch is popped
+    /// is answered with a `Timeout` taxonomy error and never executed;
+    /// its batchmates still run.
+    #[test]
+    fn expired_deadline_is_answered_not_executed() {
+        let (s, metrics) = sched(SchedCfg {
+            max_batch: 8,
+            max_wait_ms: 1,
+            queue_cap: 8,
+        });
+        let entry = test_entry();
+        // Enqueue both before the worker exists so they pop as one
+        // batch deterministically; the second's deadline is already in
+        // the past by the time the worker checks it.
+        let rx_live = s.submit(job(&entry, 5), None).expect("queue open");
+        let rx_dead = s
+            .submit(job(&entry, 6), Some(Instant::now()))
+            .expect("queue open");
+        let worker = {
+            let s = Arc::clone(&s);
+            thread::spawn(move || s.run_worker())
+        };
+        let live = rx_live
+            .recv()
+            .expect("reply dropped")
+            .expect("live job runs");
+        assert_eq!(live.series, vec![vec![5.0]]);
+        let dead = rx_dead
+            .recv()
+            .expect("expired job must still be answered")
+            .expect_err("expired job must not execute");
+        assert_eq!(dead.kind(), gendt_faults::ErrorKind::Timeout);
+        assert_eq!(metrics.deadline_expired.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            metrics.batched_requests.load(Ordering::SeqCst),
+            1,
+            "only the live job may reach the runner"
+        );
+        s.stop();
+        worker.join().expect("worker panicked");
     }
 }

@@ -31,12 +31,13 @@ use gendt_data::context::{extract, ContextCfg};
 use gendt_faults::GendtError;
 use gendt_geo::{trajectory, World, WorldCfg, XY};
 use gendt_radio::Deployment;
+use gendt_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use gendt_sync::thread::{self, JoinHandle};
+use gendt_sync::time::Instant;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Longest trajectory a request may ask for, seconds. Guards against a
 /// single request occupying a worker for minutes.
@@ -211,6 +212,9 @@ struct ServerState {
 
 impl ServerState {
     fn is_draining(&self) -> bool {
+        // sync: pairs with the Release stores in shutdown paths so a
+        // handler that sees the flag also sees everything staged before
+        // the drain began.
         self.draining.load(Ordering::Acquire) || self.shutdown.load(Ordering::Acquire)
     }
 }
@@ -221,6 +225,8 @@ struct ActiveGuard<'a>(&'a AtomicU64);
 
 impl Drop for ActiveGuard<'_> {
     fn drop(&mut self) {
+        // sync: AcqRel so the drain loop's Acquire load of zero also
+        // observes every write the finished handler made.
         self.0.fetch_sub(1, Ordering::AcqRel);
     }
 }
@@ -255,6 +261,8 @@ impl ServerHandle {
     /// Stop the server gracefully: stop accepting, flush every queued
     /// batch, wait for in-flight connections, join everything.
     pub fn shutdown(mut self) {
+        // sync: Release pairs with the Acquire loads in is_draining and
+        // the accept loop.
         self.state.draining.store(true, Ordering::Release);
         self.state.shutdown.store(true, Ordering::Release);
         self.state.scheduler.stop();
@@ -273,8 +281,9 @@ impl ServerHandle {
 /// Block (bounded) until every in-flight connection handler returned.
 fn wait_for_drain(state: &Arc<ServerState>) {
     let deadline = Instant::now() + DRAIN_WAIT;
+    // sync: Acquire pairs with ActiveGuard's AcqRel decrement.
     while state.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
-        std::thread::sleep(Duration::from_millis(2));
+        thread::sleep(Duration::from_millis(2));
     }
 }
 
@@ -308,12 +317,15 @@ pub fn serve(cfg: ServerCfg) -> Result<ServerHandle, GendtError> {
     let mut workers = Vec::with_capacity(cfg.workers.max(1));
     for _ in 0..cfg.workers.max(1) {
         let sched = scheduler.clone();
-        workers.push(std::thread::spawn(move || sched.run_worker()));
+        workers.push(thread::spawn_named("sched-worker", move || {
+            sched.run_worker()
+        }));
     }
 
     let accept_state = state.clone();
-    let acceptor = std::thread::spawn(move || {
+    let acceptor = thread::spawn_named("acceptor", move || {
         for stream in listener.incoming() {
+            // sync: pairs with the Release store in shutdown paths.
             if accept_state.shutdown.load(Ordering::Acquire) {
                 break;
             }
@@ -326,8 +338,10 @@ pub fn serve(cfg: ServerCfg) -> Result<ServerHandle, GendtError> {
                         continue;
                     }
                     let conn_state = accept_state.clone();
+                    // sync: AcqRel, the counterpart of ActiveGuard's
+                    // decrement watched by wait_for_drain.
                     conn_state.active.fetch_add(1, Ordering::AcqRel);
-                    std::thread::spawn(move || {
+                    thread::spawn_named("conn", move || {
                         let _guard = ActiveGuard(&conn_state.active);
                         handle_conn(&conn_state, s);
                     });
@@ -412,6 +426,7 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
             return;
         }
     };
+    // sync: monotonic counter for /metrics only.
     state.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
 
     // `/v1/<route>` and `<route>` dispatch identically; the flag decides
@@ -505,6 +520,7 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
             // Graceful drain: stop taking generation work immediately
             // (queued batches still flush), keep the listener answering
             // 503s for a grace window, then hard-close the acceptor.
+            // sync: Release pairs with is_draining's Acquire load.
             state.draining.store(true, Ordering::Release);
             state.scheduler.stop();
             let _ = write_response_extra(
@@ -517,8 +533,9 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
             );
             let local = stream.local_addr().ok();
             let closer_state = state.clone();
-            std::thread::spawn(move || {
-                std::thread::sleep(DRAIN_GRACE);
+            thread::spawn_named("drain-closer", move || {
+                thread::sleep(DRAIN_GRACE);
+                // sync: Release pairs with the accept loop's Acquire.
                 closer_state.shutdown.store(true, Ordering::Release);
                 // Wake the acceptor so it observes the flag.
                 if let Some(local) = local {
@@ -563,6 +580,7 @@ fn handle_generate(state: &Arc<ServerState>, stream: &mut TcpStream, req: &Reque
     let started = Instant::now();
     match generate_response(state, req, started) {
         Ok(body) => {
+            // sync: monotonic counter for /metrics only.
             state.metrics.generate_ok.fetch_add(1, Ordering::Relaxed);
             state
                 .metrics
@@ -576,6 +594,7 @@ fn handle_generate(state: &Arc<ServerState>, stream: &mut TcpStream, req: &Reque
             } else {
                 &state.metrics.generate_failed
             };
+            // sync: monotonic counter for /metrics only.
             counter.fetch_add(1, Ordering::Relaxed);
             write_error(stream, v1, &e);
         }

@@ -1,0 +1,163 @@
+//! Facade atomics: identical to `std::sync::atomic` in production; under
+//! the `check` feature each access is also a model-checker yield point with
+//! happens-before (Acquire/Release edges) and lost-update bookkeeping.
+//!
+//! `Ordering` is re-exported from std — the facade does not change memory
+//! semantics, it only observes them.
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(feature = "check")]
+fn hook(key: usize, kind: interleave::AtomicKind, ord: Ordering) {
+    if interleave::participating() {
+        let acquire = matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst);
+        let release = matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst);
+        interleave::atomic_op(key, kind, acquire, release);
+    }
+}
+
+#[cfg(feature = "check")]
+fn destroy_hook(key: usize) {
+    if interleave::participating() {
+        interleave::object_destroyed(key);
+    }
+}
+
+macro_rules! common_ops {
+    ($std:ty, $t:ty) => {
+        /// Creates a new atomic (usable in statics).
+        pub const fn new(v: $t) -> Self {
+            Self {
+                inner: <$std>::new(v),
+            }
+        }
+
+        /// Atomic load.
+        #[inline]
+        pub fn load(&self, ord: Ordering) -> $t {
+            #[cfg(feature = "check")]
+            hook(self.key(), interleave::AtomicKind::Load, ord);
+            self.inner.load(ord)
+        }
+
+        /// Atomic store.
+        #[inline]
+        pub fn store(&self, v: $t, ord: Ordering) {
+            #[cfg(feature = "check")]
+            hook(self.key(), interleave::AtomicKind::Store, ord);
+            self.inner.store(v, ord);
+        }
+
+        /// Atomic swap (read-modify-write).
+        #[inline]
+        pub fn swap(&self, v: $t, ord: Ordering) -> $t {
+            #[cfg(feature = "check")]
+            hook(self.key(), interleave::AtomicKind::Rmw, ord);
+            self.inner.swap(v, ord)
+        }
+
+        /// Atomic compare-and-exchange (read-modify-write).
+        #[inline]
+        pub fn compare_exchange(
+            &self,
+            current: $t,
+            new: $t,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<$t, $t> {
+            #[cfg(feature = "check")]
+            hook(self.key(), interleave::AtomicKind::Rmw, success);
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+
+        #[cfg(feature = "check")]
+        fn key(&self) -> usize {
+            self as *const Self as usize
+        }
+    };
+}
+
+macro_rules! numeric_ops {
+    ($t:ty) => {
+        /// Atomic add, returning the previous value.
+        #[inline]
+        pub fn fetch_add(&self, v: $t, ord: Ordering) -> $t {
+            #[cfg(feature = "check")]
+            hook(self.key(), interleave::AtomicKind::Rmw, ord);
+            self.inner.fetch_add(v, ord)
+        }
+
+        /// Atomic subtract, returning the previous value.
+        #[inline]
+        pub fn fetch_sub(&self, v: $t, ord: Ordering) -> $t {
+            #[cfg(feature = "check")]
+            hook(self.key(), interleave::AtomicKind::Rmw, ord);
+            self.inner.fetch_sub(v, ord)
+        }
+    };
+}
+
+macro_rules! atomic_type {
+    ($(#[$meta:meta])* $name:ident, $std:ty, $t:ty) => {
+        $(#[$meta])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            common_ops!($std, $t);
+        }
+
+        #[cfg(feature = "check")]
+        impl Drop for $name {
+            fn drop(&mut self) {
+                destroy_hook(self as *const Self as usize);
+            }
+        }
+    };
+}
+
+atomic_type!(
+    /// Facade `std::sync::atomic::AtomicBool`.
+    AtomicBool,
+    std::sync::atomic::AtomicBool,
+    bool
+);
+atomic_type!(
+    /// Facade `std::sync::atomic::AtomicU8`.
+    AtomicU8,
+    std::sync::atomic::AtomicU8,
+    u8
+);
+atomic_type!(
+    /// Facade `std::sync::atomic::AtomicU32`.
+    AtomicU32,
+    std::sync::atomic::AtomicU32,
+    u32
+);
+atomic_type!(
+    /// Facade `std::sync::atomic::AtomicU64`.
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+atomic_type!(
+    /// Facade `std::sync::atomic::AtomicUsize`.
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+
+impl AtomicU8 {
+    numeric_ops!(u8);
+}
+impl AtomicU32 {
+    numeric_ops!(u32);
+}
+impl AtomicU64 {
+    numeric_ops!(u64);
+}
+impl AtomicUsize {
+    numeric_ops!(usize);
+}

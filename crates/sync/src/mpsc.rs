@@ -1,0 +1,197 @@
+//! Facade mpsc channel: `std::sync::mpsc` in production; a modeled queue
+//! under active exploration so `recv()` blocking is a scheduler decision.
+//!
+//! The personality is chosen per channel at creation time: a channel
+//! created on a participating thread is modeled, anything else is plain
+//! std. Checker harness bodies must therefore create their channels inside
+//! the explored body (the serve scheduler does: one reply channel per
+//! submitted job).
+
+/// Error returned by [`Sender::send`] when the receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+#[cfg(feature = "check")]
+mod model {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    pub(super) struct Shared<T> {
+        // Real primitives, but only ever touched by the thread currently
+        // granted by the model scheduler — never contended.
+        pub(super) queue: Mutex<VecDeque<T>>,
+        pub(super) senders: AtomicUsize,
+        pub(super) rx_alive: AtomicBool,
+    }
+
+    pub(super) fn shared_key<T>(s: &Arc<Shared<T>>) -> usize {
+        Arc::as_ptr(s) as usize
+    }
+
+    pub(super) fn new_shared<T>() -> Arc<Shared<T>> {
+        Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            senders: AtomicUsize::new(1),
+            rx_alive: AtomicBool::new(true),
+        })
+    }
+
+    pub(super) fn push<T>(s: &Arc<Shared<T>>, v: T) {
+        s.queue
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push_back(v);
+    }
+
+    pub(super) fn pop<T>(s: &Arc<Shared<T>>) -> Option<T> {
+        s.queue
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop_front()
+    }
+
+    pub(super) fn senders<T>(s: &Arc<Shared<T>>) -> usize {
+        s.senders.load(Ordering::SeqCst)
+    }
+}
+
+enum SenderInner<T> {
+    Std(std::sync::mpsc::Sender<T>),
+    #[cfg(feature = "check")]
+    Model(std::sync::Arc<model::Shared<T>>),
+}
+
+/// Facade `std::sync::mpsc::Sender`.
+pub struct Sender<T> {
+    inner: SenderInner<T>,
+}
+
+impl<T> Sender<T> {
+    /// Sends a value; fails if the receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match &self.inner {
+            SenderInner::Std(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            #[cfg(feature = "check")]
+            SenderInner::Model(s) => {
+                use std::sync::atomic::Ordering;
+                if !s.rx_alive.load(Ordering::SeqCst) {
+                    return Err(SendError(value));
+                }
+                // Preemption point before the publish, matching the real
+                // channel's internal synchronization.
+                interleave::yield_point();
+                model::push(s, value);
+                interleave::chan_published(model::shared_key(s));
+                Ok(())
+            }
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        match &self.inner {
+            SenderInner::Std(tx) => Sender {
+                inner: SenderInner::Std(tx.clone()),
+            },
+            #[cfg(feature = "check")]
+            SenderInner::Model(s) => {
+                use std::sync::atomic::Ordering;
+                s.senders.fetch_add(1, Ordering::SeqCst);
+                Sender {
+                    inner: SenderInner::Model(s.clone()),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(feature = "check")]
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if let SenderInner::Model(s) = &self.inner {
+            use std::sync::atomic::Ordering;
+            if s.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake blocked receivers so they observe
+                // the disconnect. Drop-safe (no yield, no panic).
+                interleave::chan_disconnected(model::shared_key(s));
+            }
+        }
+    }
+}
+
+enum ReceiverInner<T> {
+    Std(std::sync::mpsc::Receiver<T>),
+    #[cfg(feature = "check")]
+    Model(std::sync::Arc<model::Shared<T>>),
+}
+
+/// Facade `std::sync::mpsc::Receiver`.
+pub struct Receiver<T> {
+    inner: ReceiverInner<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a value arrives or all senders are dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        match &self.inner {
+            ReceiverInner::Std(rx) => rx.recv().map_err(|_| RecvError),
+            #[cfg(feature = "check")]
+            ReceiverInner::Model(s) => {
+                let key = model::shared_key(s);
+                loop {
+                    interleave::yield_point();
+                    if let Some(v) = model::pop(s) {
+                        interleave::chan_received(key);
+                        return Ok(v);
+                    }
+                    if model::senders(s) == 0 {
+                        return Err(RecvError);
+                    }
+                    interleave::chan_block(key);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(feature = "check")]
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if let ReceiverInner::Model(s) = &self.inner {
+            use std::sync::atomic::Ordering;
+            s.rx_alive.store(false, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Creates a channel. On a participating thread this is a modeled channel;
+/// otherwise plain `std::sync::mpsc::channel`.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    #[cfg(feature = "check")]
+    if interleave::participating() {
+        let shared = model::new_shared::<T>();
+        return (
+            Sender {
+                inner: SenderInner::Model(shared.clone()),
+            },
+            Receiver {
+                inner: ReceiverInner::Model(shared),
+            },
+        );
+    }
+    let (tx, rx) = std::sync::mpsc::channel();
+    (
+        Sender {
+            inner: SenderInner::Std(tx),
+        },
+        Receiver {
+            inner: ReceiverInner::Std(rx),
+        },
+    )
+}

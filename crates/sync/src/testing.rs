@@ -1,0 +1,45 @@
+//! Deterministic test hooks.
+//!
+//! Spurious wakeups are allowed by the `Condvar` contract but essentially
+//! impossible to provoke on demand with raw std. The facade makes them
+//! injectable: arm a budget here and the next N `wait`/`wait_timeout`
+//! calls (on any facade `Condvar`, any thread) return immediately without
+//! having been notified, exactly like an OS-level spurious wakeup. Works
+//! in both facade personalities; disarmed (the default) it costs one
+//! relaxed atomic load per blocking wait.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static SPURIOUS_BUDGET: AtomicU32 = AtomicU32::new(0);
+
+/// Arms `n` spurious wakeups process-wide. Each facade `Condvar::wait` /
+/// `wait_timeout` consumes one and returns immediately (not timed out).
+/// Intended for tests; call with 0 to disarm.
+pub fn inject_spurious_wakeups(n: u32) {
+    SPURIOUS_BUDGET.store(n, Ordering::SeqCst);
+}
+
+/// Consumes one armed spurious wakeup if any remain.
+pub(crate) fn consume_spurious() -> bool {
+    // sync: fast-path probe; the authoritative decrement below is SeqCst.
+    if SPURIOUS_BUDGET.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    SPURIOUS_BUDGET
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_consumed_exactly() {
+        inject_spurious_wakeups(2);
+        assert!(consume_spurious());
+        assert!(consume_spurious());
+        assert!(!consume_spurious());
+        inject_spurious_wakeups(0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Facade thread spawning: `std::thread` in production; modeled participant
+//! threads under active exploration (the spawned closure runs only when the
+//! schedule engine grants it).
+
+/// Facade `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    #[cfg(feature = "check")]
+    Model {
+        handle: interleave::ThreadHandle,
+        slot: std::sync::Arc<std::sync::Mutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, propagating its panic payload like
+    /// `std::thread::JoinHandle::join`.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            #[cfg(feature = "check")]
+            Inner::Model { handle, slot } => match handle.join() {
+                Ok(()) => {
+                    let v = slot.lock().unwrap_or_else(|p| p.into_inner()).take();
+                    Ok(v.expect("modeled thread finished without a result"))
+                }
+                Err(payload) => Err(payload),
+            },
+        }
+    }
+}
+
+/// Spawns a thread. On a participating thread the child joins the model
+/// (scheduled cooperatively); otherwise this is `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn_named("worker", f)
+}
+
+/// Like [`spawn`] but with a name that shows up in model-checker traces
+/// (and as the OS thread name).
+pub fn spawn_named<F, T>(name: &str, f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    #[cfg(feature = "check")]
+    if interleave::participating() {
+        let slot = std::sync::Arc::new(std::sync::Mutex::new(None));
+        let slot2 = slot.clone();
+        let handle = interleave::spawn(name.to_string(), move || {
+            let v = f();
+            *slot2.lock().unwrap_or_else(|p| p.into_inner()) = Some(v);
+        })
+        .expect("participating() checked above");
+        return JoinHandle {
+            inner: Inner::Model { handle, slot },
+        };
+    }
+    let h = std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(f)
+        .expect("failed to spawn thread");
+    JoinHandle {
+        inner: Inner::Std(h),
+    }
+}
+
+/// Facade `std::thread::sleep`. Under exploration real sleeping would stall
+/// the single granted thread, so it reduces to a schedule yield point
+/// (model time only advances through `wait_timeout` deadlines).
+pub fn sleep(dur: std::time::Duration) {
+    #[cfg(feature = "check")]
+    if interleave::participating() {
+        interleave::yield_point();
+        return;
+    }
+    std::thread::sleep(dur);
+}

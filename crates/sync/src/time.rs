@@ -1,0 +1,75 @@
+//! Facade `Instant`: real monotonic time in production, the model
+//! checker's virtual clock under active exploration (so `wait_timeout`
+//! deadlines are deterministic schedule events instead of wall time).
+
+use std::ops::Add;
+use std::time::Duration;
+
+/// Facade `std::time::Instant`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instant {
+    /// Real monotonic timestamp.
+    Real(std::time::Instant),
+    /// Virtual nanoseconds on the model clock.
+    #[cfg(feature = "check")]
+    Virtual(u64),
+}
+
+impl Instant {
+    /// Current time: virtual under active exploration, real otherwise.
+    pub fn now() -> Self {
+        #[cfg(feature = "check")]
+        if let Some(ns) = interleave::now_ns() {
+            return Instant::Virtual(ns);
+        }
+        Instant::Real(std::time::Instant::now())
+    }
+
+    /// Duration since `earlier`, zero if `earlier` is later.
+    pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+        match (*self, earlier) {
+            (Instant::Real(a), Instant::Real(b)) => a.saturating_duration_since(b),
+            #[cfg(feature = "check")]
+            (Instant::Virtual(a), Instant::Virtual(b)) => Duration::from_nanos(a.saturating_sub(b)),
+            #[cfg(feature = "check")]
+            _ => panic!("gendt-sync: mixed real/virtual Instant comparison"),
+        }
+    }
+
+    /// Duration since this instant was captured.
+    pub fn elapsed(&self) -> Duration {
+        Instant::now().saturating_duration_since(*self)
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+
+    fn add(self, rhs: Duration) -> Instant {
+        match self {
+            Instant::Real(t) => Instant::Real(t + rhs),
+            #[cfg(feature = "check")]
+            Instant::Virtual(ns) => Instant::Virtual(
+                ns.saturating_add(u64::try_from(rhs.as_nanos()).unwrap_or(u64::MAX)),
+            ),
+        }
+    }
+}
+
+impl PartialOrd for Instant {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Instant {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (*self, *other) {
+            (Instant::Real(a), Instant::Real(b)) => a.cmp(&b),
+            #[cfg(feature = "check")]
+            (Instant::Virtual(a), Instant::Virtual(b)) => a.cmp(&b),
+            #[cfg(feature = "check")]
+            _ => panic!("gendt-sync: mixed real/virtual Instant comparison"),
+        }
+    }
+}

@@ -21,6 +21,11 @@
 //! gate is off every instrumentation site costs one relaxed atomic load
 //! and never touches values, RNG streams, or control flow — traced and
 //! untraced runs are bitwise-identical.
+//!
+//! Synchronization goes through `gendt-sync`, the workspace's std-only
+//! threading substrate: in production builds the facade is plain
+//! `std::sync`, and under `gendt-audit sync-check` the same rings and
+//! sinks become model-checkable (DESIGN.md §12).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,7 +43,7 @@ pub use span::{
 pub use stamp::{git_rev, BENCH_SCHEMA};
 pub use telemetry::{set_telemetry_path, take_telemetry, Record};
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use gendt_sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -56,6 +61,8 @@ static STATE: AtomicU8 = AtomicU8::new(UNRESOLVED);
 /// cost of a disabled instrumentation site. [`set_trace`] overrides the
 /// environment in-process.
 pub fn trace_enabled() -> bool {
+    // sync: the flag is an isolated gate; nothing is published through
+    // it, so the hot-path load can stay relaxed.
     match STATE.load(Ordering::Relaxed) {
         ON => true,
         OFF => false,
@@ -64,8 +71,16 @@ pub fn trace_enabled() -> bool {
                 std::env::var("GENDT_TRACE").ok().as_deref().map(str::trim),
                 Some("1") | Some("true") | Some("on")
             );
-            STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
-            on
+            // sync: CAS instead of a blind store so a racing resolver
+            // (or an interleaved set_trace) wins exactly once — a store
+            // here could clobber a concurrent override.
+            let _ = STATE.compare_exchange(
+                UNRESOLVED,
+                if on { ON } else { OFF },
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            matches!(STATE.load(Ordering::Relaxed), ON)
         }
     }
 }
@@ -73,6 +88,7 @@ pub fn trace_enabled() -> bool {
 /// Force tracing on or off in-process (wins over `GENDT_TRACE`).
 /// Intended for tests and for embedders that trace selected phases.
 pub fn set_trace(on: bool) {
+    // sync: explicit override; last writer wins by design.
     STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
 }
 
@@ -85,6 +101,7 @@ static LOG_STATE: AtomicU8 = AtomicU8::new(UNRESOLVED);
 /// Resolved once from `GENDT_LOG` (`0`/`1`/`2`, or `info`/`debug`);
 /// [`set_log_level`] overrides the environment in-process.
 pub fn log_level() -> u8 {
+    // sync: isolated verbosity gate, same reasoning as trace_enabled.
     match LOG_STATE.load(Ordering::Relaxed) {
         UNRESOLVED => {
             let level = match std::env::var("GENDT_LOG").ok().as_deref().map(str::trim) {
@@ -92,8 +109,15 @@ pub fn log_level() -> u8 {
                 Some("2") | Some("debug") => 2,
                 _ => 0,
             };
-            LOG_STATE.store(level + 2, Ordering::Relaxed);
-            level
+            // sync: CAS so a concurrent set_log_level is not clobbered
+            // by the lazy env resolution.
+            let _ = LOG_STATE.compare_exchange(
+                UNRESOLVED,
+                level + 2,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            LOG_STATE.load(Ordering::Relaxed).saturating_sub(2)
         }
         stored => stored - 2,
     }
@@ -101,6 +125,7 @@ pub fn log_level() -> u8 {
 
 /// Force the log verbosity in-process (wins over `GENDT_LOG`).
 pub fn set_log_level(level: u8) {
+    // sync: explicit override; last writer wins by design.
     LOG_STATE.store(level.min(2) + 2, Ordering::Relaxed);
 }
 
@@ -196,7 +221,7 @@ pub(crate) fn json_escape_into(s: &str, out: &mut String) {
 
 /// Serializes unit tests that flip the global trace flag.
 #[cfg(test)]
-pub(crate) static TEST_FLAG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+pub(crate) static TEST_FLAG_LOCK: gendt_sync::Mutex<()> = gendt_sync::Mutex::new(());
 
 #[cfg(test)]
 mod tests {
@@ -204,9 +229,7 @@ mod tests {
 
     #[test]
     fn override_wins_and_sticks() {
-        let _guard = TEST_FLAG_LOCK
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let _guard = TEST_FLAG_LOCK.lock();
         set_trace(true);
         assert!(trace_enabled());
         set_trace(false);

@@ -8,8 +8,9 @@
 //! execution shows up on the Chrome-trace timeline next to the scoped
 //! spans.
 
+use gendt_sync::Mutex;
 use std::collections::BTreeMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
 /// Which half of autodiff an op timing belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,9 +59,7 @@ fn ops() -> &'static Mutex<BTreeMap<&'static str, OpStat>> {
 /// the call so disabled runs never reach this function.
 pub fn record_op(name: &'static str, phase: Phase, dur_ns: u64, flops: u64, bytes: u64) {
     {
-        let mut map = ops()
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut map = ops().lock();
         let stat = map.entry(name).or_insert_with(|| OpStat {
             name,
             ..OpStat::default()
@@ -94,9 +93,7 @@ pub fn record_op(name: &'static str, phase: Phase, dur_ns: u64, flops: u64, byte
 
 /// The aggregate table, ranked by total wall time (hottest first).
 pub fn op_table() -> Vec<OpStat> {
-    let map = ops()
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let map = ops().lock();
     let mut rows: Vec<OpStat> = map.values().cloned().collect();
     rows.sort_by(|a, b| b.total_ns().cmp(&a.total_ns()).then(a.name.cmp(b.name)));
     rows
@@ -104,10 +101,7 @@ pub fn op_table() -> Vec<OpStat> {
 
 /// Clear the aggregate table (between profiled sections).
 pub fn reset_ops() {
-    ops()
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-        .clear();
+    ops().lock().clear();
 }
 
 /// Render the ranked hot-op table as aligned text for terminals/logs.

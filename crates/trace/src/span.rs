@@ -8,7 +8,8 @@
 //! counted, so a long traced run keeps the most recent window of
 //! activity instead of growing without bound.
 
-use std::sync::{Arc, Mutex, OnceLock};
+use gendt_sync::Mutex;
+use std::sync::{Arc, OnceLock};
 
 /// Events kept per thread before the ring starts evicting the oldest.
 const RING_CAP: usize = 16_384;
@@ -67,18 +68,14 @@ fn record_event(ev: SpanEvent) {
                 events: std::collections::VecDeque::with_capacity(64),
                 dropped: 0,
             }));
-            let mut reg = registry()
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let mut reg = registry().lock();
             let tid = reg.len() as u32;
             reg.push(ring.clone());
             (ring, tid)
         });
         let mut ev = ev;
         ev.tid = *tid;
-        ring.lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .push(ev);
+        ring.lock().push(ev);
     });
 }
 
@@ -183,14 +180,11 @@ pub fn snapshot_spans(limit: usize) -> (Vec<SpanEvent>, u64) {
 }
 
 fn collect(drain: bool, limit: usize) -> (Vec<SpanEvent>, u64) {
-    let rings: Vec<Arc<Mutex<Ring>>> = registry()
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-        .clone();
+    let rings: Vec<Arc<Mutex<Ring>>> = registry().lock().clone();
     let mut events = Vec::new();
     let mut dropped = 0;
     for ring in rings {
-        let mut r = ring.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut r = ring.lock();
         if drain {
             events.extend(r.events.drain(..));
             dropped += r.dropped;
@@ -253,9 +247,7 @@ mod tests {
 
     #[test]
     fn disabled_span_records_nothing() {
-        let _guard = crate::TEST_FLAG_LOCK
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let _guard = crate::TEST_FLAG_LOCK.lock();
         crate::set_trace(false);
         assert!(span("never").is_none());
     }

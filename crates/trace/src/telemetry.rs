@@ -9,9 +9,10 @@
 //! NaN), so a diverging run produces parseable telemetry all the way to
 //! the blowup.
 
+use gendt_sync::Mutex;
 use std::io::Write;
 use std::path::PathBuf;
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
 /// Most records kept in memory before the oldest are evicted.
 const MEM_CAP: usize = 65_536;
@@ -40,9 +41,7 @@ fn sink() -> &'static Mutex<Sink> {
 /// Route telemetry records to a file (appended as JSONL), or `None` to
 /// keep them in memory only. Overrides `GENDT_TELEMETRY`.
 pub fn set_telemetry_path(path: Option<PathBuf>) {
-    let mut s = sink()
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let mut s = sink().lock();
     s.path = path;
     s.env_resolved = true;
 }
@@ -50,9 +49,7 @@ pub fn set_telemetry_path(path: Option<PathBuf>) {
 /// Drain the in-memory telemetry buffer: all buffered JSONL lines in
 /// emission order, plus how many older lines were evicted by the cap.
 pub fn take_telemetry() -> (Vec<String>, u64) {
-    let mut s = sink()
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let mut s = sink().lock();
     let lines = s.lines.drain(..).collect();
     let dropped = s.dropped;
     s.dropped = 0;
@@ -122,9 +119,7 @@ impl Record {
     pub fn emit(mut self) {
         self.buf.push('}');
         let line = self.buf;
-        let mut s = sink()
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut s = sink().lock();
         if !s.env_resolved {
             s.path = std::env::var("GENDT_TELEMETRY").ok().map(PathBuf::from);
             s.env_resolved = true;

@@ -33,6 +33,14 @@ cargo run --release -p gendt-audit -- trace-smoke
 # plan replays.
 cargo run --release -p gendt-audit -- plan-parity
 
+# Concurrency gate: the interleave model checker explores >10k thread
+# schedules of the real scheduler/registry/cache state machines through
+# the gendt-sync facade (forward pass stubbed), then proves every
+# detector fires on seeded-bug fixtures with a replayable token. The
+# whole run is bounded (seeded random + bounded-preemption DFS) and
+# stamps its explored-schedule count; budget is well under a minute.
+cargo run --release -p gendt-audit -- sync-check
+
 # Chaos gate: a real in-process server and a real trainer under seeded
 # fault schedules (io_err@serve.batch, io_err@registry.scan,
 # drop@http.accept, io_err@checkpoint.write). Asserts typed shed

@@ -1,0 +1,211 @@
+//! Schedule decision engines: seeded pseudo-random exploration and
+//! bounded-preemption depth-first enumeration, plus a fixed-choice replay
+//! engine for reproducing a failure from its printed token.
+
+use crate::rng::SplitMix64;
+
+/// A single decision point recorded by the DFS engine.
+///
+/// Options are enumerated by `rank`: rank 0 is the default option
+/// (continue the current thread when possible), ranks 1..n cover the
+/// remaining options in index order. This guarantees every option is
+/// eventually tried regardless of where the default sits.
+#[derive(Clone, Debug)]
+pub struct ChoicePoint {
+    /// Number of options that were available.
+    n: usize,
+    /// Enumeration rank taken on the current schedule.
+    rank: usize,
+    /// The "default" option (continue the current thread when possible).
+    default_idx: usize,
+    /// Whether non-default picks here are free (the running thread was
+    /// blocked, so *some* switch was forced) or count against the
+    /// preemption budget.
+    free: bool,
+}
+
+impl ChoicePoint {
+    fn chosen(&self) -> usize {
+        if self.rank == 0 {
+            self.default_idx
+        } else {
+            let idx = self.rank - 1;
+            if idx < self.default_idx {
+                idx
+            } else {
+                idx + 1
+            }
+        }
+    }
+}
+
+/// Decision engine driving one exploration run.
+pub enum Engine {
+    /// Uniform random choices from a per-schedule seed.
+    Random(SplitMix64),
+    /// Iterative bounded-preemption DFS over decision prefixes.
+    Dfs {
+        /// Decision prefix being replayed / extended this schedule.
+        stack: Vec<ChoicePoint>,
+        /// Cursor into `stack` during the current schedule.
+        cursor: usize,
+        /// Maximum non-forced context switches per schedule.
+        max_preemptions: u32,
+        /// Set when the prefix tree is exhausted.
+        exhausted: bool,
+    },
+    /// Replays an explicit recorded choice list (failure reproduction).
+    Fixed {
+        /// Recorded choices from the failing schedule.
+        choices: Vec<u32>,
+        /// Cursor into `choices`.
+        cursor: usize,
+    },
+}
+
+impl Engine {
+    /// Random engine for one schedule, seeded with that schedule's seed.
+    pub fn random(schedule_seed: u64) -> Self {
+        Engine::Random(SplitMix64::new(schedule_seed))
+    }
+
+    /// Fresh DFS engine with the given preemption bound.
+    pub fn dfs(max_preemptions: u32) -> Self {
+        Engine::Dfs {
+            stack: Vec::new(),
+            cursor: 0,
+            max_preemptions,
+            exhausted: false,
+        }
+    }
+
+    /// Fixed-replay engine over a recorded choice list.
+    pub fn fixed(choices: Vec<u32>) -> Self {
+        Engine::Fixed { choices, cursor: 0 }
+    }
+
+    /// Picks one of `n` options. `default_idx` is "keep running the current
+    /// thread" when that thread is still runnable; `free` marks decision
+    /// points where the current thread was blocked (a switch is forced and
+    /// does not consume DFS preemption budget).
+    pub fn choose(&mut self, n: usize, default_idx: usize, free: bool) -> usize {
+        debug_assert!(n > 0 && default_idx < n);
+        match self {
+            Engine::Random(rng) => rng.below(n),
+            Engine::Dfs { stack, cursor, .. } => {
+                let idx = if *cursor < stack.len() {
+                    // Replaying the mutated prefix. If the program offered a
+                    // different option count (should not happen for a
+                    // deterministic body), clamp defensively.
+                    stack[*cursor].chosen().min(n - 1)
+                } else {
+                    stack.push(ChoicePoint {
+                        n,
+                        rank: 0,
+                        default_idx,
+                        free,
+                    });
+                    default_idx
+                };
+                *cursor += 1;
+                idx
+            }
+            Engine::Fixed { choices, cursor } => {
+                let idx = choices
+                    .get(*cursor)
+                    .map(|&c| c as usize)
+                    .unwrap_or(default_idx);
+                *cursor += 1;
+                idx.min(n - 1)
+            }
+        }
+    }
+
+    /// Advances to the next schedule. Returns `false` when exploration is
+    /// complete (DFS tree exhausted, or a single-shot replay finished).
+    pub fn next_schedule(&mut self, next_seed: u64) -> bool {
+        match self {
+            Engine::Random(rng) => {
+                *rng = SplitMix64::new(next_seed);
+                true
+            }
+            Engine::Dfs {
+                stack,
+                cursor,
+                max_preemptions,
+                exhausted,
+            } => {
+                // Find the deepest choice point that can be advanced without
+                // blowing the preemption budget of its prefix. Every rank
+                // past 0 is a non-default option, so its cost is uniform:
+                // either the budget admits the next rank or none at all.
+                let mut i = stack.len();
+                while i > 0 {
+                    i -= 1;
+                    let budget_used: u32 = stack[..i]
+                        .iter()
+                        .map(|c| u32::from(!c.free && c.rank != 0))
+                        .sum();
+                    let cp = &mut stack[i];
+                    let cost = u32::from(!cp.free);
+                    if cp.rank + 1 < cp.n && budget_used + cost <= *max_preemptions {
+                        cp.rank += 1;
+                        stack.truncate(i + 1);
+                        *cursor = 0;
+                        return true;
+                    }
+                }
+                *exhausted = true;
+                false
+            }
+            Engine::Fixed { .. } => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dfs_enumerates_defaults_first() {
+        let mut e = Engine::dfs(2);
+        // First schedule: all defaults.
+        assert_eq!(e.choose(3, 0, false), 0);
+        assert_eq!(e.choose(2, 1, false), 1);
+        assert!(e.next_schedule(0));
+        // Second schedule: deepest point advanced past its default.
+        assert_eq!(e.choose(3, 0, false), 0);
+        assert_eq!(e.choose(2, 1, false), 0);
+    }
+
+    #[test]
+    fn dfs_respects_preemption_budget() {
+        let mut e = Engine::dfs(0);
+        // With budget 0 every non-forced point is pinned to its default,
+        // so a body with only non-free choices has exactly one schedule.
+        assert_eq!(e.choose(3, 1, false), 1);
+        assert_eq!(e.choose(3, 1, false), 1);
+        assert!(!e.next_schedule(0));
+    }
+
+    #[test]
+    fn dfs_free_points_always_enumerable() {
+        let mut e = Engine::dfs(0);
+        assert_eq!(e.choose(2, 0, true), 0);
+        assert!(e.next_schedule(0));
+        assert_eq!(e.choose(2, 0, true), 1);
+        assert!(!e.next_schedule(0));
+    }
+
+    #[test]
+    fn fixed_replays_choices() {
+        let mut e = Engine::fixed(vec![2, 0, 1]);
+        assert_eq!(e.choose(3, 0, false), 2);
+        assert_eq!(e.choose(2, 1, false), 0);
+        assert_eq!(e.choose(2, 0, false), 1);
+        // Past the recorded list: fall back to default.
+        assert_eq!(e.choose(4, 3, false), 3);
+        assert!(!e.next_schedule(0));
+    }
+}

@@ -1,0 +1,251 @@
+//! interleave — systematic concurrency exploration (shuttle-lite).
+//!
+//! Offline stand-in for a shuttle/loom-style model checker. A harness body
+//! is executed many times; each run ("schedule") serializes all participant
+//! threads so that exactly one runs at a time, and a decision engine picks
+//! which thread proceeds at every sync-op yield point. Two engines are
+//! provided: seeded pseudo-random exploration (good coverage per wall-clock
+//! second, every failure replayable from a printed `u64` seed) and a
+//! bounded-preemption iterative DFS (exhaustive for small bodies).
+//!
+//! Detectors: deadlock / lost wakeup (all live threads blocked), lock-order
+//! cycles (ABBA reported even when the fatal interleaving was not hit),
+//! atomic lost updates (per-object store logs + vector-clock suppression of
+//! happens-before-ordered overwrites), livelock (step budget), harness
+//! panics (assertion failures anywhere in the model), and leaked threads.
+//!
+//! The intended client is the `gendt-sync` facade: production code is
+//! migrated onto facade types that forward every acquire/release/wait/
+//! notify/load/store to this crate's runtime **only** while an exploration
+//! is active on a participant thread, so checked binaries behave bitwise
+//! identically outside the harness.
+//!
+//! Constraints on harness bodies: they must be deterministic given the
+//! schedule (no wall clock, no OS randomness), must join every thread they
+//! spawn, and must create channels *inside* the body so the modeled
+//! variants are used.
+
+#![forbid(unsafe_code)]
+
+mod engine;
+mod rng;
+mod rt;
+mod vc;
+
+pub use rt::{
+    atomic_op, chan_block, chan_disconnected, chan_published, chan_received, condvar_notify,
+    condvar_wait, mutex_lock, mutex_unlock, now_ns, object_destroyed, participating, rw_lock,
+    rw_unlock, spawn, yield_point, AtomicKind, ThreadHandle,
+};
+
+use engine::Engine;
+use rng::schedule_seed;
+use rt::{run_one_schedule, QuietPanics, RunCfg};
+use std::sync::Mutex as StdMutex;
+
+/// Exploration strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Seeded pseudo-random schedules; budget = `Config::schedules`.
+    Random,
+    /// Bounded-preemption iterative DFS; stops at exhaustion or budget.
+    Dfs {
+        /// Maximum non-forced context switches per schedule.
+        max_preemptions: u32,
+    },
+}
+
+/// Exploration configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Maximum number of schedules to run.
+    pub schedules: u64,
+    /// Base seed; per-schedule seeds are derived from it.
+    pub seed: u64,
+    /// Decision engine.
+    pub mode: Mode,
+    /// Per-schedule sync-op budget (livelock guard).
+    pub max_steps: u64,
+    /// Per-schedule budget of injectable spurious condvar wakeups.
+    pub spurious: u32,
+}
+
+impl Config {
+    /// Random exploration with sensible defaults.
+    pub fn random(schedules: u64, seed: u64) -> Self {
+        Self {
+            schedules,
+            seed,
+            mode: Mode::Random,
+            max_steps: 50_000,
+            spurious: 2,
+        }
+    }
+
+    /// Bounded-preemption DFS with sensible defaults.
+    pub fn dfs(max_schedules: u64, max_preemptions: u32) -> Self {
+        Self {
+            schedules: max_schedules,
+            seed: 0,
+            mode: Mode::Dfs { max_preemptions },
+            max_steps: 50_000,
+            spurious: 1,
+        }
+    }
+}
+
+/// What went wrong in a failing schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// All live threads blocked (includes lost wakeups).
+    Deadlock,
+    /// The lock-order graph acquired a cycle (ABBA).
+    LockOrderCycle,
+    /// A store overwrote a value the storing thread never observed.
+    LostUpdate,
+    /// Step budget exceeded.
+    Livelock,
+    /// A harness thread panicked (assertion failure).
+    Panic,
+    /// The body returned while spawned threads were still live.
+    ThreadLeak,
+}
+
+/// A failing schedule, replayable via [`replay`].
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Category of the finding.
+    pub kind: FailureKind,
+    /// Human-readable description.
+    pub message: String,
+    /// Index of the failing schedule within the run.
+    pub schedule_index: u64,
+    /// Per-schedule seed (replay token for random mode).
+    pub seed: u64,
+    /// Recorded decision list (replay token for any mode).
+    pub choices: Vec<u32>,
+    /// Recent scheduler transitions leading up to the failure.
+    pub trace: Vec<String>,
+    /// Engine that produced it: "random" or "dfs".
+    pub mode: &'static str,
+}
+
+impl Failure {
+    /// Compact token that [`replay`] accepts to reproduce this schedule.
+    pub fn replay_token(&self) -> String {
+        if self.mode == "random" {
+            format!("rand:{:016x}", self.seed)
+        } else {
+            let parts: Vec<String> = self.choices.iter().map(|c| c.to_string()).collect();
+            format!("dfs:{}", parts.join("."))
+        }
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:?} at schedule #{} (replay with {}):",
+            self.kind,
+            self.schedule_index,
+            self.replay_token()
+        )?;
+        writeln!(f, "  {}", self.message)?;
+        writeln!(f, "  last {} scheduler transitions:", self.trace.len())?;
+        for line in &self.trace {
+            writeln!(f, "    {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of an exploration run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Schedules actually executed.
+    pub schedules: u64,
+    /// Total sync-op steps across all schedules.
+    pub steps_total: u64,
+    /// First failure found, if any (exploration stops at the first).
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// True when no failure was found.
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+// Explorations mutate process-global state (the panic hook and the
+// participant model); serialize them.
+static GATE: StdMutex<()> = StdMutex::new(());
+
+/// Runs `body` under systematic exploration per `cfg`.
+///
+/// Stops at the first failing schedule. Nested explorations are serialized
+/// process-wide.
+pub fn explore<F: Fn()>(cfg: &Config, body: F) -> Report {
+    let _gate = GATE.lock().unwrap_or_else(|p| p.into_inner());
+    let _quiet = QuietPanics::install();
+    let run_cfg = RunCfg {
+        max_steps: cfg.max_steps,
+        spurious: cfg.spurious,
+    };
+    let (mut engine, mode_name) = match cfg.mode {
+        Mode::Random => (Engine::random(schedule_seed(cfg.seed, 0)), "random"),
+        Mode::Dfs { max_preemptions } => (Engine::dfs(max_preemptions), "dfs"),
+    };
+    let mut report = Report {
+        schedules: 0,
+        steps_total: 0,
+        failure: None,
+    };
+    for idx in 0..cfg.schedules {
+        let sseed = schedule_seed(cfg.seed, idx);
+        let (engine_back, outcome) = run_one_schedule(engine, &run_cfg, &body);
+        engine = engine_back;
+        report.schedules += 1;
+        report.steps_total += outcome.steps;
+        if let Some((kind, message, choices, trace)) = outcome.failure {
+            report.failure = Some(rt::make_failure(
+                kind, message, idx, sseed, choices, trace, mode_name,
+            ));
+            break;
+        }
+        if !engine.next_schedule(schedule_seed(cfg.seed, idx + 1)) {
+            break;
+        }
+    }
+    report
+}
+
+/// Replays a single schedule from a token printed by
+/// [`Failure::replay_token`]. `cfg` supplies `max_steps` and `spurious`
+/// (use the same values as the original exploration).
+pub fn replay<F: Fn()>(cfg: &Config, token: &str, body: F) -> Report {
+    let _gate = GATE.lock().unwrap_or_else(|p| p.into_inner());
+    let _quiet = QuietPanics::install();
+    let run_cfg = RunCfg {
+        max_steps: cfg.max_steps,
+        spurious: cfg.spurious,
+    };
+    let (engine, mode_name, seed) = if let Some(hex) = token.strip_prefix("rand:") {
+        let seed = u64::from_str_radix(hex, 16).unwrap_or(0);
+        (Engine::random(seed), "random", seed)
+    } else if let Some(list) = token.strip_prefix("dfs:") {
+        let choices: Vec<u32> = list.split('.').filter_map(|s| s.parse().ok()).collect();
+        (Engine::fixed(choices), "dfs", 0)
+    } else {
+        (Engine::fixed(Vec::new()), "dfs", 0)
+    };
+    let (_engine, outcome) = run_one_schedule(engine, &run_cfg, &body);
+    Report {
+        schedules: 1,
+        steps_total: outcome.steps,
+        failure: outcome.failure.map(|(kind, message, choices, trace)| {
+            rt::make_failure(kind, message, 0, seed, choices, trace, mode_name)
+        }),
+    }
+}

@@ -1,0 +1,1280 @@
+//! Exploration runtime: cooperative serialization of real OS threads.
+//!
+//! Exactly one *participant* thread executes user code at any moment. Every
+//! sync operation (lock, unlock, wait, notify, atomic access, channel op,
+//! spawn, join) is a yield point that hands control to the schedule engine,
+//! which picks the next thread to run. Blocking operations are modeled: the
+//! underlying `std` primitives owned by the facade are only ever taken
+//! uncontended, so the model alone decides who blocks and who proceeds.
+//!
+//! Detection machinery carried per schedule:
+//! - vector clocks (happens-before) on every thread and sync object,
+//! - a per-atomic store log driving lost-update reports,
+//! - a lock-order graph with cycle detection (ABBA deadlocks even when the
+//!   deadlocking interleaving itself was not hit),
+//! - an "all blocked" check at schedule points (deadlocks / lost wakeups),
+//! - a step budget (livelock / missed-progress guard).
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use crate::engine::Engine;
+use crate::vc::VectorClock;
+use crate::{Failure, FailureKind};
+
+/// Panic payload used to unwind participant threads when a schedule is
+/// aborted (failure found, budget exhausted, or end of schedule). Never
+/// escapes the crate: child wrappers and `explore` both swallow it.
+pub(crate) struct Abort;
+
+/// How many recent transitions are kept for failure reports.
+const TRACE_CAP: usize = 120;
+
+// ---------------------------------------------------------------------------
+// Thread-local participant identity
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct Ctx {
+    exp: Arc<Exploration>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+fn cur_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(exp: Arc<Exploration>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { exp, tid }));
+}
+
+fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// True when the calling thread is a registered participant of an active
+/// exploration. The facade consults this on every sync op; off the checker
+/// harness it is a single thread-local read returning `false`.
+pub fn participating() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+// ---------------------------------------------------------------------------
+// Model state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Wake {
+    Notified,
+    Spurious,
+    TimedOut,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    OnLock(usize),
+    OnRw {
+        key: usize,
+        write: bool,
+    },
+    OnCv {
+        cv: usize,
+        mutex: usize,
+        wake_at: Option<u64>,
+    },
+    OnRecv(usize),
+    OnJoin(usize),
+    Finished,
+}
+
+struct ThreadState {
+    name: String,
+    status: Status,
+    vc: VectorClock,
+    held: Vec<usize>,
+    last_loads: HashMap<usize, u64>,
+    pending_wake: Option<Wake>,
+}
+
+impl ThreadState {
+    fn new(name: String, vc: VectorClock) -> Self {
+        Self {
+            name,
+            status: Status::Runnable,
+            vc,
+            held: Vec::new(),
+            last_loads: HashMap::new(),
+            pending_wake: None,
+        }
+    }
+}
+
+struct StoreEvt {
+    version: u64,
+    tid: usize,
+    vc: VectorClock,
+}
+
+enum ObjState {
+    Mutex {
+        locked_by: Option<usize>,
+        vc: VectorClock,
+    },
+    Rw {
+        writer: Option<usize>,
+        readers: Vec<usize>,
+        vc: VectorClock,
+    },
+    Atomic {
+        version: u64,
+        vc: VectorClock,
+        stores: Vec<StoreEvt>,
+    },
+    Chan {
+        vc: VectorClock,
+    },
+}
+
+/// Scheduling option at a decision point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Opt {
+    Run(usize),
+    FireTimeout(usize),
+    Spurious(usize),
+}
+
+pub(crate) struct RunCfg {
+    pub max_steps: u64,
+    pub spurious: u32,
+}
+
+struct PendingFailure {
+    kind: FailureKind,
+    message: String,
+}
+
+struct ExpState {
+    engine: Option<Engine>,
+    threads: Vec<ThreadState>,
+    running: Option<usize>,
+    clock_ns: u64,
+    steps: u64,
+    max_steps: u64,
+    spurious_left: u32,
+    /// Participant OS threads whose wrapper has not yet returned. Teardown
+    /// blocks until this reaches zero so no thread outlives the schedule
+    /// (its unwind panic must land while the quiet panic hook is active).
+    os_live: usize,
+    aborted: bool,
+    failure: Option<PendingFailure>,
+    objects: HashMap<usize, ObjState>,
+    lock_edges: BTreeSet<(usize, usize)>,
+    choices: Vec<u32>,
+    trace: VecDeque<String>,
+}
+
+pub(crate) struct ScheduleOutcome {
+    pub steps: u64,
+    pub failure: Option<(FailureKind, String, Vec<u32>, Vec<String>)>,
+}
+
+impl ExpState {
+    fn trace_evt(&mut self, msg: String) {
+        if self.trace.len() == TRACE_CAP {
+            self.trace.pop_front();
+        }
+        self.trace
+            .push_back(format!("[step {:>5}] {}", self.steps, msg));
+    }
+
+    fn tname(&self, tid: usize) -> String {
+        format!("t{}:{}", tid, self.threads[tid].name)
+    }
+
+    fn fail(&mut self, kind: FailureKind, message: String) {
+        if self.failure.is_none() {
+            self.trace_evt(format!("FAILURE[{kind:?}]: {message}"));
+            self.failure = Some(PendingFailure { kind, message });
+        }
+        self.aborted = true;
+    }
+
+    fn choose(&mut self, n: usize, default_idx: usize, free: bool) -> usize {
+        let idx = self
+            .engine
+            .as_mut()
+            .expect("engine present during schedule")
+            .choose(n, default_idx, free);
+        self.choices.push(idx as u32);
+        idx
+    }
+
+    fn enabled(&self, tid: usize) -> bool {
+        match &self.threads[tid].status {
+            Status::Runnable => true,
+            Status::OnLock(k) => !matches!(
+                self.objects.get(k),
+                Some(ObjState::Mutex {
+                    locked_by: Some(_),
+                    ..
+                })
+            ),
+            Status::OnRw { key, write } => match self.objects.get(key) {
+                Some(ObjState::Rw {
+                    writer, readers, ..
+                }) => {
+                    if *write {
+                        writer.is_none() && readers.is_empty()
+                    } else {
+                        writer.is_none()
+                    }
+                }
+                _ => true,
+            },
+            Status::OnCv { .. } | Status::OnRecv(_) | Status::Finished => false,
+            Status::OnJoin(t) => self.threads[*t].status == Status::Finished,
+        }
+    }
+
+    /// Core decision point: pick the next thread to run. Loops over
+    /// timeout-fire / spurious-wake meta-choices until an actual thread is
+    /// granted, or reports a deadlock when nothing can ever run again.
+    fn reschedule(&mut self, current: usize) {
+        loop {
+            if self.aborted {
+                return;
+            }
+            let mut opts: Vec<Opt> = Vec::new();
+            for tid in 0..self.threads.len() {
+                if self.enabled(tid) {
+                    opts.push(Opt::Run(tid));
+                }
+            }
+            for tid in 0..self.threads.len() {
+                if let Status::OnCv {
+                    wake_at: Some(_), ..
+                } = self.threads[tid].status
+                {
+                    opts.push(Opt::FireTimeout(tid));
+                }
+            }
+            if self.spurious_left > 0 {
+                for tid in 0..self.threads.len() {
+                    if matches!(self.threads[tid].status, Status::OnCv { .. }) {
+                        opts.push(Opt::Spurious(tid));
+                    }
+                }
+            }
+            if opts.is_empty() {
+                if self.threads.iter().all(|t| t.status == Status::Finished) {
+                    self.running = None;
+                    return;
+                }
+                let blocked: Vec<String> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status != Status::Finished)
+                    .map(|(i, t)| format!("{} {:?}", self.tname(i), t.status))
+                    .collect();
+                let has_cv = blocked.iter().any(|b| b.contains("OnCv"));
+                let what = if has_cv {
+                    "deadlock (possible lost wakeup)"
+                } else {
+                    "deadlock"
+                };
+                self.fail(
+                    FailureKind::Deadlock,
+                    format!("{what}: all live threads blocked: {}", blocked.join("; ")),
+                );
+                return;
+            }
+            let default_idx = opts
+                .iter()
+                .position(|o| *o == Opt::Run(current))
+                .unwrap_or(0);
+            let free = opts[default_idx] != Opt::Run(current);
+            let idx = self.choose(opts.len(), default_idx, free);
+            match opts[idx] {
+                Opt::Run(t) => {
+                    if self.running != Some(t) {
+                        self.trace_evt(format!("switch -> {}", self.tname(t)));
+                    }
+                    self.running = Some(t);
+                    return;
+                }
+                Opt::FireTimeout(t) => {
+                    if let Status::OnCv {
+                        mutex,
+                        wake_at: Some(w),
+                        ..
+                    } = self.threads[t].status
+                    {
+                        self.clock_ns = self.clock_ns.max(w);
+                        self.threads[t].pending_wake = Some(Wake::TimedOut);
+                        self.threads[t].status = Status::OnLock(mutex);
+                        let name = self.tname(t);
+                        self.trace_evt(format!(
+                            "timeout fires for {name}, clock -> {} ns",
+                            self.clock_ns
+                        ));
+                    }
+                }
+                Opt::Spurious(t) => {
+                    if let Status::OnCv { mutex, .. } = self.threads[t].status {
+                        self.spurious_left -= 1;
+                        self.threads[t].pending_wake = Some(Wake::Spurious);
+                        self.threads[t].status = Status::OnLock(mutex);
+                        let name = self.tname(t);
+                        self.trace_evt(format!("spurious wakeup injected for {name}"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when `to` is reachable from `from` in the lock-order graph.
+    fn lock_path_exists(&self, from: usize, to: usize) -> bool {
+        let mut stack = vec![from];
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            for &(a, b) in self.lock_edges.iter() {
+                if a == n {
+                    stack.push(b);
+                }
+            }
+        }
+        false
+    }
+
+    fn record_lock_order(&mut self, tid: usize, key: usize) {
+        let held = self.threads[tid].held.clone();
+        for h in held {
+            if h == key {
+                continue;
+            }
+            if !self.lock_edges.contains(&(h, key)) {
+                // Adding h -> key closes a cycle iff key already reaches h.
+                if self.lock_path_exists(key, h) {
+                    let name = self.tname(tid);
+                    self.fail(
+                        FailureKind::LockOrderCycle,
+                        format!(
+                            "lock-order cycle: {name} acquires {key:#x} while holding {h:#x}, \
+                             but {key:#x} -> {h:#x} was observed on another path"
+                        ),
+                    );
+                }
+                self.lock_edges.insert((h, key));
+            }
+        }
+    }
+
+    fn acquire_mutex(&mut self, tid: usize, key: usize) {
+        let obj = self.objects.entry(key).or_insert(ObjState::Mutex {
+            locked_by: None,
+            vc: VectorClock::new(),
+        });
+        if !matches!(obj, ObjState::Mutex { .. }) {
+            *obj = ObjState::Mutex {
+                locked_by: None,
+                vc: VectorClock::new(),
+            };
+        }
+        if let ObjState::Mutex { locked_by, vc } = obj {
+            debug_assert!(locked_by.is_none(), "model granted a held mutex");
+            *locked_by = Some(tid);
+            let ovc = vc.clone();
+            self.threads[tid].vc.merge(&ovc);
+        }
+        self.record_lock_order(tid, key);
+        self.threads[tid].held.push(key);
+        self.threads[tid].status = Status::Runnable;
+        let name = self.tname(tid);
+        self.trace_evt(format!("{name} acquires mutex {key:#x}"));
+    }
+
+    fn release_mutex(&mut self, tid: usize, key: usize) {
+        let tvc = self.threads[tid].vc.clone();
+        if let Some(ObjState::Mutex { locked_by, vc }) = self.objects.get_mut(&key) {
+            *locked_by = None;
+            vc.merge(&tvc);
+        }
+        if let Some(pos) = self.threads[tid].held.iter().position(|&k| k == key) {
+            self.threads[tid].held.swap_remove(pos);
+        }
+        let name = self.tname(tid);
+        self.trace_evt(format!("{name} releases mutex {key:#x}"));
+    }
+
+    fn acquire_rw(&mut self, tid: usize, key: usize, write: bool) {
+        let obj = self.objects.entry(key).or_insert(ObjState::Rw {
+            writer: None,
+            readers: Vec::new(),
+            vc: VectorClock::new(),
+        });
+        if !matches!(obj, ObjState::Rw { .. }) {
+            *obj = ObjState::Rw {
+                writer: None,
+                readers: Vec::new(),
+                vc: VectorClock::new(),
+            };
+        }
+        if let ObjState::Rw {
+            writer,
+            readers,
+            vc,
+        } = obj
+        {
+            if write {
+                debug_assert!(writer.is_none() && readers.is_empty());
+                *writer = Some(tid);
+            } else {
+                debug_assert!(writer.is_none());
+                readers.push(tid);
+            }
+            let ovc = vc.clone();
+            self.threads[tid].vc.merge(&ovc);
+        }
+        self.record_lock_order(tid, key);
+        self.threads[tid].held.push(key);
+        self.threads[tid].status = Status::Runnable;
+        let name = self.tname(tid);
+        let kind = if write { "write" } else { "read" };
+        self.trace_evt(format!("{name} acquires rwlock({kind}) {key:#x}"));
+    }
+
+    fn release_rw(&mut self, tid: usize, key: usize, write: bool) {
+        let tvc = self.threads[tid].vc.clone();
+        if let Some(ObjState::Rw {
+            writer,
+            readers,
+            vc,
+        }) = self.objects.get_mut(&key)
+        {
+            if write {
+                *writer = None;
+            } else if let Some(pos) = readers.iter().position(|&r| r == tid) {
+                readers.swap_remove(pos);
+            }
+            vc.merge(&tvc);
+        }
+        if let Some(pos) = self.threads[tid].held.iter().position(|&k| k == key) {
+            self.threads[tid].held.swap_remove(pos);
+        }
+        let name = self.tname(tid);
+        self.trace_evt(format!("{name} releases rwlock {key:#x}"));
+    }
+
+    fn atomic_access(
+        &mut self,
+        tid: usize,
+        key: usize,
+        kind: AtomicKind,
+        acquire: bool,
+        release: bool,
+    ) {
+        let obj = self.objects.entry(key).or_insert(ObjState::Atomic {
+            version: 0,
+            vc: VectorClock::new(),
+            stores: Vec::new(),
+        });
+        if !matches!(obj, ObjState::Atomic { .. }) {
+            *obj = ObjState::Atomic {
+                version: 0,
+                vc: VectorClock::new(),
+                stores: Vec::new(),
+            };
+        }
+        let mut lost_update: Option<String> = None;
+        if let ObjState::Atomic {
+            version,
+            vc,
+            stores,
+        } = obj
+        {
+            let t = &mut self.threads[tid];
+            match kind {
+                AtomicKind::Load => {
+                    if acquire {
+                        t.vc.merge(vc);
+                    }
+                    t.last_loads.insert(key, *version);
+                }
+                AtomicKind::Store => {
+                    if let Some(&seen) = t.last_loads.get(&key) {
+                        for evt in stores.iter() {
+                            if evt.version > seen && evt.tid != tid && !evt.vc.dominated_by(&t.vc) {
+                                lost_update = Some(format!(
+                                    "lost update on atomic {key:#x}: thread {tid} stores after \
+                                     loading version {seen}, but thread {} concurrently stored \
+                                     version {} that was never observed",
+                                    evt.tid, evt.version
+                                ));
+                                break;
+                            }
+                        }
+                    }
+                    *version += 1;
+                    if release {
+                        vc.merge(&t.vc);
+                    }
+                    stores.push(StoreEvt {
+                        version: *version,
+                        tid,
+                        vc: t.vc.clone(),
+                    });
+                    t.last_loads.insert(key, *version);
+                }
+                AtomicKind::Rmw => {
+                    if acquire {
+                        t.vc.merge(vc);
+                    }
+                    *version += 1;
+                    if release {
+                        vc.merge(&t.vc);
+                    }
+                    stores.push(StoreEvt {
+                        version: *version,
+                        tid,
+                        vc: t.vc.clone(),
+                    });
+                    t.last_loads.insert(key, *version);
+                }
+            }
+        }
+        if let Some(msg) = lost_update {
+            self.fail(FailureKind::LostUpdate, msg);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration: the shared coordinator
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Exploration {
+    state: StdMutex<ExpState>,
+    cv: StdCondvar,
+}
+
+type Guard<'a> = StdMutexGuard<'a, ExpState>;
+
+impl Exploration {
+    pub(crate) fn new(engine: Engine, cfg: &RunCfg, root_name: &str) -> Self {
+        let mut threads = Vec::new();
+        let mut vc = VectorClock::new();
+        vc.tick(0);
+        threads.push(ThreadState::new(root_name.to_string(), vc));
+        Self {
+            state: StdMutex::new(ExpState {
+                engine: Some(engine),
+                threads,
+                running: Some(0),
+                clock_ns: 0,
+                steps: 0,
+                max_steps: cfg.max_steps,
+                spurious_left: cfg.spurious,
+                os_live: 0,
+                aborted: false,
+                failure: None,
+                objects: HashMap::new(),
+                lock_edges: BTreeSet::new(),
+                choices: Vec::new(),
+                trace: VecDeque::new(),
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock(&self) -> Guard<'_> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Op prologue: abort propagation, step accounting, livelock guard,
+    /// own-clock tick. `panic_on_abort` is false for ops reachable from
+    /// `Drop` impls (a panic inside a drop during unwind would abort the
+    /// process).
+    fn enter(&self, tid: usize, panic_on_abort: bool) -> Option<Guard<'_>> {
+        let mut st = self.lock();
+        if st.aborted {
+            drop(st);
+            if panic_on_abort {
+                panic_any(Abort);
+            }
+            return None;
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let budget = st.max_steps;
+            st.fail(
+                FailureKind::Livelock,
+                format!("step budget {budget} exceeded (livelock or runaway schedule)"),
+            );
+            drop(st);
+            self.cv.notify_all();
+            if panic_on_abort {
+                panic_any(Abort);
+            }
+            return None;
+        }
+        st.threads[tid].vc.tick(tid);
+        Some(st)
+    }
+
+    /// Blocks until this thread is granted. Panics with `Abort` on abort.
+    fn wait_granted<'a>(&'a self, mut st: Guard<'a>, tid: usize) -> Guard<'a> {
+        if !st.aborted && st.running == Some(tid) {
+            return st;
+        }
+        self.cv.notify_all();
+        loop {
+            if st.aborted {
+                drop(st);
+                self.cv.notify_all();
+                panic_any(Abort);
+            }
+            if st.running == Some(tid) {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Non-panicking variant for drop-context ops: returns `None` on abort.
+    fn wait_granted_opt<'a>(&'a self, mut st: Guard<'a>, tid: usize) -> Option<Guard<'a>> {
+        if !st.aborted && st.running == Some(tid) {
+            return Some(st);
+        }
+        self.cv.notify_all();
+        loop {
+            if st.aborted {
+                drop(st);
+                self.cv.notify_all();
+                return None;
+            }
+            if st.running == Some(tid) {
+                return Some(st);
+            }
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn yield_and_wait<'a>(&'a self, mut st: Guard<'a>, tid: usize) -> Guard<'a> {
+        st.reschedule(tid);
+        self.wait_granted(st, tid)
+    }
+
+    /// Op epilogue: if a failure was recorded while we held the grant, wake
+    /// all blocked threads so the abort propagates.
+    fn finish_op(&self, st: Guard<'_>) {
+        let aborted = st.aborted;
+        drop(st);
+        if aborted {
+            self.cv.notify_all();
+        }
+    }
+
+    // -- individual operations ------------------------------------------------
+
+    fn op_yield(&self, tid: usize) {
+        let Some(st) = self.enter(tid, true) else {
+            return;
+        };
+        let st = self.yield_and_wait(st, tid);
+        self.finish_op(st);
+    }
+
+    fn op_mutex_lock(&self, tid: usize, key: usize) {
+        let Some(mut st) = self.enter(tid, true) else {
+            return;
+        };
+        st.threads[tid].status = Status::OnLock(key);
+        let mut st = self.yield_and_wait(st, tid);
+        st.acquire_mutex(tid, key);
+        self.finish_op(st);
+    }
+
+    fn op_mutex_unlock(&self, tid: usize, key: usize) {
+        let Some(mut st) = self.enter(tid, false) else {
+            return;
+        };
+        st.release_mutex(tid, key);
+        st.reschedule(tid);
+        if let Some(st) = self.wait_granted_opt(st, tid) {
+            self.finish_op(st);
+        }
+    }
+
+    fn op_rw_lock(&self, tid: usize, key: usize, write: bool) {
+        let Some(mut st) = self.enter(tid, true) else {
+            return;
+        };
+        st.threads[tid].status = Status::OnRw { key, write };
+        let mut st = self.yield_and_wait(st, tid);
+        st.acquire_rw(tid, key, write);
+        self.finish_op(st);
+    }
+
+    fn op_rw_unlock(&self, tid: usize, key: usize, write: bool) {
+        let Some(mut st) = self.enter(tid, false) else {
+            return;
+        };
+        st.release_rw(tid, key, write);
+        st.reschedule(tid);
+        if let Some(st) = self.wait_granted_opt(st, tid) {
+            self.finish_op(st);
+        }
+    }
+
+    fn op_cv_wait(&self, tid: usize, cv: usize, mutex: usize, timeout_ns: Option<u64>) -> bool {
+        let Some(mut st) = self.enter(tid, true) else {
+            return false;
+        };
+        st.release_mutex(tid, mutex);
+        let wake_at = timeout_ns.map(|ns| st.clock_ns.saturating_add(ns));
+        st.threads[tid].pending_wake = None;
+        st.threads[tid].status = Status::OnCv { cv, mutex, wake_at };
+        let name = st.tname(tid);
+        st.trace_evt(format!(
+            "{name} waits on condvar {cv:#x} (mutex {mutex:#x}, timeout {timeout_ns:?} ns)"
+        ));
+        let mut st = self.yield_and_wait(st, tid);
+        st.acquire_mutex(tid, mutex);
+        let wake = st.threads[tid].pending_wake.take();
+        self.finish_op(st);
+        wake == Some(Wake::TimedOut)
+    }
+
+    fn op_cv_notify(&self, tid: usize, cv: usize, all: bool) {
+        let Some(mut st) = self.enter(tid, true) else {
+            return;
+        };
+        let waiters: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| matches!(st.threads[t].status, Status::OnCv { cv: c, .. } if c == cv))
+            .collect();
+        if waiters.is_empty() {
+            let name = st.tname(tid);
+            st.trace_evt(format!(
+                "{name} notifies condvar {cv:#x}: no waiters (signal dropped)"
+            ));
+        } else if all {
+            for &w in &waiters {
+                wake_waiter(&mut st, w, tid);
+            }
+        } else {
+            let idx = if waiters.len() == 1 {
+                0
+            } else {
+                st.choose(waiters.len(), 0, true)
+            };
+            wake_waiter(&mut st, waiters[idx], tid);
+        }
+        let st = self.yield_and_wait(st, tid);
+        self.finish_op(st);
+    }
+
+    fn op_atomic(&self, tid: usize, key: usize, kind: AtomicKind, acquire: bool, release: bool) {
+        let Some(st) = self.enter(tid, true) else {
+            return;
+        };
+        let mut st = self.yield_and_wait(st, tid);
+        st.atomic_access(tid, key, kind, acquire, release);
+        self.finish_op(st);
+    }
+
+    fn op_chan_published(&self, tid: usize, key: usize) {
+        let Some(mut st) = self.enter(tid, false) else {
+            return;
+        };
+        let tvc = st.threads[tid].vc.clone();
+        let obj = st.objects.entry(key).or_insert(ObjState::Chan {
+            vc: VectorClock::new(),
+        });
+        if let ObjState::Chan { vc } = obj {
+            vc.merge(&tvc);
+        }
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::OnRecv(key) {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+        self.finish_op(st);
+    }
+
+    fn op_chan_block(&self, tid: usize, key: usize) {
+        let Some(mut st) = self.enter(tid, true) else {
+            return;
+        };
+        st.threads[tid].status = Status::OnRecv(key);
+        let name = st.tname(tid);
+        st.trace_evt(format!("{name} blocks receiving on channel {key:#x}"));
+        let mut st = self.yield_and_wait(st, tid);
+        st.threads[tid].status = Status::Runnable;
+        self.finish_op(st);
+    }
+
+    fn op_chan_received(&self, tid: usize, key: usize) {
+        let Some(mut st) = self.enter(tid, false) else {
+            return;
+        };
+        if let Some(ObjState::Chan { vc }) = st.objects.get(&key) {
+            let ovc = vc.clone();
+            st.threads[tid].vc.merge(&ovc);
+        }
+        self.finish_op(st);
+    }
+
+    fn op_chan_disconnected(&self, tid: usize, key: usize) {
+        let Some(mut st) = self.enter(tid, false) else {
+            return;
+        };
+        let tvc = st.threads[tid].vc.clone();
+        if let Some(ObjState::Chan { vc }) = st.objects.get_mut(&key) {
+            vc.merge(&tvc);
+        }
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::OnRecv(key) {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+        self.finish_op(st);
+    }
+
+    fn op_join(&self, tid: usize, target: usize) {
+        let Some(mut st) = self.enter(tid, true) else {
+            return;
+        };
+        st.threads[tid].status = Status::OnJoin(target);
+        let mut st = self.yield_and_wait(st, tid);
+        let tvc = st.threads[target].vc.clone();
+        st.threads[tid].vc.merge(&tvc);
+        st.threads[tid].status = Status::Runnable;
+        self.finish_op(st);
+    }
+
+    fn op_destroyed(&self, tid: usize, key: usize) {
+        let Some(mut st) = self.enter(tid, false) else {
+            return;
+        };
+        st.objects.remove(&key);
+        self.finish_op(st);
+    }
+
+    fn finish_thread(&self, tid: usize, panic_msg: Option<String>) {
+        let mut st = self.lock();
+        st.threads[tid].status = Status::Finished;
+        let name = st.tname(tid);
+        st.trace_evt(format!("{name} finished"));
+        if let Some(msg) = panic_msg {
+            st.fail(FailureKind::Panic, format!("thread {name} panicked: {msg}"));
+        }
+        if !st.aborted {
+            st.reschedule(tid);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn finish_thread_aborted(&self, tid: usize) {
+        let mut st = self.lock();
+        st.threads[tid].status = Status::Finished;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// End-of-schedule teardown run by `explore` on the root thread. Returns
+    /// the engine (for the next schedule) and the outcome.
+    pub(crate) fn finish_root(
+        &self,
+        body_result: Result<(), Box<dyn std::any::Any + Send>>,
+    ) -> (Engine, ScheduleOutcome) {
+        let mut st = self.lock();
+        match body_result {
+            Err(p) => {
+                if p.downcast_ref::<Abort>().is_none() && st.failure.is_none() {
+                    let msg = panic_message(&*p);
+                    st.fail(FailureKind::Panic, format!("harness body panicked: {msg}"));
+                }
+            }
+            Ok(()) => {
+                let leaked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .skip(1)
+                    .filter(|(_, t)| t.status != Status::Finished)
+                    .map(|(i, _)| st.tname(i))
+                    .collect();
+                if !leaked.is_empty() && st.failure.is_none() {
+                    st.fail(
+                        FailureKind::ThreadLeak,
+                        format!(
+                            "harness returned with live threads (join them): {}",
+                            leaked.join(", ")
+                        ),
+                    );
+                }
+            }
+        }
+        st.aborted = true;
+        let engine = st.engine.take().expect("engine present at teardown");
+        let failure = st.failure.take().map(|f| {
+            (
+                f.kind,
+                f.message,
+                st.choices.clone(),
+                st.trace.iter().cloned().collect(),
+            )
+        });
+        let outcome = ScheduleOutcome {
+            steps: st.steps,
+            failure,
+        };
+        drop(st);
+        self.cv.notify_all();
+        // Wait for every participant OS thread to unwind and exit before
+        // handing the schedule back: a thread still parked here would panic
+        // with `Abort` only after the caller dropped the quiet panic hook.
+        let mut st = self.lock();
+        while st.os_live > 0 {
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        drop(st);
+        (engine, outcome)
+    }
+}
+
+fn wake_waiter(st: &mut Guard<'_>, w: usize, notifier: usize) {
+    let nvc = st.threads[notifier].vc.clone();
+    if let Status::OnCv { mutex, .. } = st.threads[w].status {
+        st.threads[w].pending_wake = Some(Wake::Notified);
+        st.threads[w].status = Status::OnLock(mutex);
+        st.threads[w].vc.merge(&nvc);
+        let wn = st.tname(w);
+        let nn = st.tname(notifier);
+        st.trace_evt(format!("{nn} notifies {wn}"));
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public facade-facing API
+// ---------------------------------------------------------------------------
+
+/// Kind of atomic access, from the modeled memory system's point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AtomicKind {
+    /// Pure load.
+    Load,
+    /// Pure store (lost-update candidate).
+    Store,
+    /// Read-modify-write (`fetch_*`, `swap`, `compare_exchange`): never a
+    /// lost update by construction.
+    Rmw,
+}
+
+/// Yield point with no model side effect (plain preemption opportunity).
+pub fn yield_point() {
+    if let Some(ctx) = cur_ctx() {
+        ctx.exp.op_yield(ctx.tid);
+    }
+}
+
+/// Models a blocking mutex acquisition. Returns with the model lock held.
+pub fn mutex_lock(key: usize) {
+    if let Some(ctx) = cur_ctx() {
+        ctx.exp.op_mutex_lock(ctx.tid, key);
+    }
+}
+
+/// Releases a model mutex. Safe to call from `Drop` impls.
+pub fn mutex_unlock(key: usize) {
+    if let Some(ctx) = cur_ctx() {
+        ctx.exp.op_mutex_unlock(ctx.tid, key);
+    }
+}
+
+/// Models a blocking rwlock acquisition (read or write).
+pub fn rw_lock(key: usize, write: bool) {
+    if let Some(ctx) = cur_ctx() {
+        ctx.exp.op_rw_lock(ctx.tid, key, write);
+    }
+}
+
+/// Releases a model rwlock. Safe to call from `Drop` impls.
+pub fn rw_unlock(key: usize, write: bool) {
+    if let Some(ctx) = cur_ctx() {
+        ctx.exp.op_rw_unlock(ctx.tid, key, write);
+    }
+}
+
+/// Models `Condvar::wait[_timeout]`. The caller must have dropped the real
+/// guard first; the model mutex is released and re-acquired around the
+/// blocked period. Returns true when the wait timed out.
+pub fn condvar_wait(cv: usize, mutex: usize, timeout_ns: Option<u64>) -> bool {
+    match cur_ctx() {
+        Some(ctx) => ctx.exp.op_cv_wait(ctx.tid, cv, mutex, timeout_ns),
+        None => false,
+    }
+}
+
+/// Models `notify_one` (`all = false`, waiter chosen by the engine) or
+/// `notify_all`.
+pub fn condvar_notify(cv: usize, all: bool) {
+    if let Some(ctx) = cur_ctx() {
+        ctx.exp.op_cv_notify(ctx.tid, cv, all);
+    }
+}
+
+/// Yield point plus happens-before/lost-update bookkeeping for one atomic
+/// access. Call before performing the real operation.
+pub fn atomic_op(key: usize, kind: AtomicKind, acquire: bool, release: bool) {
+    if let Some(ctx) = cur_ctx() {
+        ctx.exp.op_atomic(ctx.tid, key, kind, acquire, release);
+    }
+}
+
+/// After pushing into a channel: publishes the sender's clock and wakes
+/// blocked receivers. Drop-safe (used by `Sender::send`).
+pub fn chan_published(key: usize) {
+    if let Some(ctx) = cur_ctx() {
+        ctx.exp.op_chan_published(ctx.tid, key);
+    }
+}
+
+/// Blocks the calling thread until a sender publishes or disconnects.
+pub fn chan_block(key: usize) {
+    if let Some(ctx) = cur_ctx() {
+        ctx.exp.op_chan_block(ctx.tid, key);
+    }
+}
+
+/// After successfully popping from a channel: acquire the channel clock.
+pub fn chan_received(key: usize) {
+    if let Some(ctx) = cur_ctx() {
+        ctx.exp.op_chan_received(ctx.tid, key);
+    }
+}
+
+/// Last sender dropped: wakes blocked receivers so they observe disconnect.
+/// Drop-safe.
+pub fn chan_disconnected(key: usize) {
+    if let Some(ctx) = cur_ctx() {
+        ctx.exp.op_chan_disconnected(ctx.tid, key);
+    }
+}
+
+/// Removes per-object model state when a facade object is dropped, so a
+/// reused allocation address cannot alias stale state. Drop-safe.
+pub fn object_destroyed(key: usize) {
+    if let Some(ctx) = cur_ctx() {
+        ctx.exp.op_destroyed(ctx.tid, key);
+    }
+}
+
+/// Virtual clock reading in nanoseconds, `None` outside exploration.
+pub fn now_ns() -> Option<u64> {
+    cur_ctx().map(|ctx| {
+        let st = ctx.exp.lock();
+        st.clock_ns
+    })
+}
+
+/// Handle to a modeled thread spawned with [`spawn`].
+pub struct ThreadHandle {
+    tid: usize,
+    real: Option<std::thread::JoinHandle<()>>,
+    panic: Arc<StdMutex<Option<Box<dyn std::any::Any + Send>>>>,
+}
+
+impl ThreadHandle {
+    /// Model thread id (for diagnostics).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Blocks (in the model) until the thread finishes; propagates its panic
+    /// payload like `std::thread::JoinHandle::join`.
+    pub fn join(mut self) -> Result<(), Box<dyn std::any::Any + Send>> {
+        let ctx = cur_ctx().expect("interleave::ThreadHandle::join outside exploration");
+        ctx.exp.op_join(ctx.tid, self.tid);
+        if let Some(real) = self.real.take() {
+            let _ = real.join();
+        }
+        let payload = {
+            let mut slot = self.panic.lock().unwrap_or_else(|p| p.into_inner());
+            slot.take()
+        };
+        match payload {
+            Some(p) => Err(p),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Spawns a participant thread running `f` under the scheduler. Returns
+/// `None` when the caller is not participating (the facade then falls back
+/// to `std::thread::spawn`).
+pub fn spawn<F>(name: String, f: F) -> Option<ThreadHandle>
+where
+    F: FnOnce() + Send + 'static,
+{
+    let ctx = cur_ctx()?;
+    let exp = ctx.exp.clone();
+    let parent = ctx.tid;
+    let child_tid = {
+        let mut st = exp.lock();
+        if st.aborted {
+            drop(st);
+            panic_any(Abort);
+        }
+        let id = st.threads.len();
+        let mut vc = st.threads[parent].vc.clone();
+        vc.tick(id);
+        st.threads.push(ThreadState::new(name.clone(), vc));
+        st.os_live += 1;
+        let pn = st.tname(parent);
+        st.trace_evt(format!("{pn} spawns t{id}:{name}"));
+        id
+    };
+    let panic_slot: Arc<StdMutex<Option<Box<dyn std::any::Any + Send>>>> =
+        Arc::new(StdMutex::new(None));
+    let slot2 = panic_slot.clone();
+    let exp2 = exp.clone();
+    let real = std::thread::Builder::new()
+        .name(format!("interleave-{name}"))
+        .spawn(move || {
+            set_ctx(exp2.clone(), child_tid);
+            let granted = {
+                let mut st = exp2.lock();
+                loop {
+                    if st.aborted {
+                        break false;
+                    }
+                    if st.running == Some(child_tid) {
+                        break true;
+                    }
+                    st = exp2.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                }
+            };
+            if granted {
+                match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(()) => exp2.finish_thread(child_tid, None),
+                    Err(p) => {
+                        if p.downcast_ref::<Abort>().is_some() {
+                            exp2.finish_thread_aborted(child_tid);
+                        } else {
+                            let msg = panic_message(&*p);
+                            {
+                                let mut slot = slot2.lock().unwrap_or_else(|e| e.into_inner());
+                                *slot = Some(p);
+                            }
+                            exp2.finish_thread(child_tid, Some(msg));
+                        }
+                    }
+                }
+            } else {
+                exp2.finish_thread_aborted(child_tid);
+            }
+            clear_ctx();
+            let mut st = exp2.lock();
+            st.os_live -= 1;
+            drop(st);
+            exp2.cv.notify_all();
+        })
+        .expect("spawn interleave participant thread");
+    // Yield so the child is immediately schedulable.
+    exp.op_yield(parent);
+    Some(ThreadHandle {
+        tid: child_tid,
+        real: Some(real),
+        panic: panic_slot,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Explore driver plumbing (used by lib.rs)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn run_one_schedule<F: Fn()>(
+    engine: Engine,
+    cfg: &RunCfg,
+    body: &F,
+) -> (Engine, ScheduleOutcome) {
+    let exp = Arc::new(Exploration::new(engine, cfg, "root"));
+    set_ctx(exp.clone(), 0);
+    let result = catch_unwind(AssertUnwindSafe(body));
+    clear_ctx();
+    exp.finish_root(result)
+}
+
+/// Installs a panic hook that silences panics on participant threads for the
+/// duration of an exploration (aborts and harness assertion failures are
+/// captured in the report; the default hook would spam stderr). Restores the
+/// previous hook on drop.
+pub(crate) struct QuietPanics;
+
+impl QuietPanics {
+    pub(crate) fn install() -> Self {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if participating() {
+                return;
+            }
+            prev(info);
+        }));
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        // Drop our hook; fall back to the default. The previous hook is
+        // intentionally not reinstated exactly (it was moved into our
+        // closure), which matches the default-hook state of this workspace.
+        let _ = std::panic::take_hook();
+    }
+}
+
+/// Failure construction helper shared by explore/replay.
+pub(crate) fn make_failure(
+    kind: FailureKind,
+    message: String,
+    schedule_index: u64,
+    seed: u64,
+    choices: Vec<u32>,
+    trace: Vec<String>,
+    mode: &'static str,
+) -> Failure {
+    Failure {
+        kind,
+        message,
+        schedule_index,
+        seed,
+        choices,
+        trace,
+        mode,
+    }
+}

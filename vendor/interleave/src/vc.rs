@@ -1,0 +1,88 @@
+//! Vector clocks for happens-before tracking during exploration.
+//!
+//! Every modeled thread carries a clock; synchronization edges (mutex
+//! release→acquire, Release store→Acquire load, spawn, join, channel
+//! send→recv, notify→wake) merge clocks. The lost-update detector uses
+//! `dominated_by` to suppress reports for stores that are ordered into
+//! the overwriting thread.
+
+/// A vector clock indexed by model thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    slots: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The empty (all-zero) clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments this thread's own component.
+    pub fn tick(&mut self, tid: usize) {
+        if self.slots.len() <= tid {
+            self.slots.resize(tid + 1, 0);
+        }
+        self.slots[tid] += 1;
+    }
+
+    /// Component-wise maximum with `other` (the join operation).
+    pub fn merge(&mut self, other: &VectorClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (i, &v) in other.slots.iter().enumerate() {
+            if self.slots[i] < v {
+                self.slots[i] = v;
+            }
+        }
+    }
+
+    /// True when `self` ≤ `other` component-wise: every event in `self`
+    /// happens-before (or equals) the view in `other`.
+    pub fn dominated_by(&self, other: &VectorClock) -> bool {
+        self.slots.iter().enumerate().all(|(i, &v)| {
+            if v == 0 {
+                true
+            } else {
+                other.slots.get(i).copied().unwrap_or(0) >= v
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_merge() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(2);
+        b.merge(&a);
+        assert!(a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+    }
+
+    #[test]
+    fn incomparable() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(1);
+        assert!(!a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+    }
+
+    #[test]
+    fn empty_dominated_by_all() {
+        let e = VectorClock::new();
+        let mut a = VectorClock::new();
+        a.tick(3);
+        assert!(e.dominated_by(&a));
+        assert!(e.dominated_by(&VectorClock::new()));
+    }
+}

@@ -405,7 +405,7 @@ mod tests {
     fn primitives_round_trip() {
         assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
         assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert!(bool::from_value(&true.to_value()).unwrap());
         assert_eq!(
             String::from_value(&"x".to_string().to_value()).unwrap(),
             "x"
