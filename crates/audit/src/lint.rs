@@ -94,6 +94,12 @@ const NO_UNWRAP_NONTEST: &[&str] = &[
     "crates/serve/src/scheduler.rs",
     "crates/serve/src/server.rs",
     "crates/serve/src/batch.rs",
+    // The fleet routing path: a panicking router connection thread
+    // strands its client, and a panicking supervisor leaks workers.
+    "crates/fleet/src/router.rs",
+    "crates/fleet/src/forward.rs",
+    "crates/fleet/src/membership.rs",
+    "crates/fleet/src/supervisor.rs",
 ];
 
 /// Files where `.unwrap()` / `.expect(` are banned everywhere, tests
@@ -154,6 +160,15 @@ const ERROR_TAXONOMY_FILES: &[&str] = &[
     "crates/serve/src/bin/gendt_serve.rs",
     "crates/core/src/checkpoint.rs",
     "crates/core/src/bin/gendt_train.rs",
+    // The fleet speaks the same envelope contract as the workers it
+    // fronts; a stringly error here would leak an untyped 500 to
+    // clients that were promised the taxonomy.
+    "crates/fleet/src/router.rs",
+    "crates/fleet/src/forward.rs",
+    "crates/fleet/src/membership.rs",
+    "crates/fleet/src/supervisor.rs",
+    "crates/fleet/src/loadgen.rs",
+    "crates/fleet/src/bin/gendt_fleet.rs",
 ];
 
 /// Fused ops that must each have a `*bitwise*` equivalence test in
@@ -739,6 +754,14 @@ const SYNC_FACADE_FILES: &[&str] = &[
     "crates/nn/src/sanitize.rs",
     "crates/nn/src/kernels.rs",
     "crates/nn/src/plan.rs",
+    // The fleet router: membership/ring state and the forwarding path
+    // are exactly what `sync-check fleet` explores.
+    "crates/fleet/src/membership.rs",
+    "crates/fleet/src/router.rs",
+    "crates/fleet/src/metrics.rs",
+    "crates/fleet/src/forward.rs",
+    "crates/fleet/src/supervisor.rs",
+    "crates/fleet/src/loadgen.rs",
 ];
 
 /// `std::sync` items that must come from `gendt_sync` instead. `Arc`

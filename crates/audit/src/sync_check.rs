@@ -29,16 +29,20 @@
 use gendt::{GenDt, GenDtCfg, GeneratedSeries};
 use gendt_data::context::RunContext;
 use gendt_data::Kpi;
+use gendt_faults::GendtError;
+use gendt_serve::api::InfoResponse;
 use gendt_serve::batch::GenJob;
 use gendt_serve::cache::{ContextCache, ContextKey};
+use gendt_serve::http::HttpResponse;
 use gendt_serve::metrics::ServeMetrics;
 use gendt_serve::registry::{ModelEntry, ModelMap, Registry};
 use gendt_serve::scheduler::{BatchRunner, SchedCfg, Scheduler, SubmitError};
-use gendt_sync::atomic::{AtomicU64, Ordering};
+use gendt_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use gendt_sync::{thread, Condvar, Mutex};
 use interleave::{Config, FailureKind, Report};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// An untrained but fully constructed model entry: real type, minimal
 /// weights. The stub runner never executes it, so construction cost is
@@ -53,6 +57,7 @@ fn test_entry(name: &str, seed: u64) -> Arc<ModelEntry> {
     cfg.window.max_cells = 2;
     Arc::new(ModelEntry {
         name: name.to_string(),
+        version: 0,
         model: GenDt::new(cfg),
         kpis: Kpi::DATASET_A.to_vec(),
     })
@@ -662,6 +667,186 @@ fn fixture_lost_update() -> (bool, u64) {
 }
 
 // ---------------------------------------------------------------------
+// Fleet models: health flaps racing the forwarding path
+// ---------------------------------------------------------------------
+
+/// Stub probe/forwarder pair sharing one health switch: worker `a0`
+/// answers only while the switch says up; `a1` is always up. The same
+/// switch feeds both so the checker can interleave a health transition
+/// anywhere inside a forward attempt.
+struct FlapNet {
+    a0_down: AtomicBool,
+}
+
+impl gendt_fleet::Probe for FlapNet {
+    fn healthz(&self, addr: &str) -> Result<bool, GendtError> {
+        // sync: SeqCst switch read; pairs with the flapper's store and
+        // is itself the raced state under exploration.
+        Ok(!(addr == "a0" && self.a0_down.load(Ordering::SeqCst)))
+    }
+
+    fn info(&self, _addr: &str) -> Result<InfoResponse, GendtError> {
+        Ok(InfoResponse {
+            models: Vec::new(),
+            queue_depth: 0,
+            max_batch: 8,
+            draining: false,
+        })
+    }
+}
+
+impl gendt_fleet::Forwarder for FlapNet {
+    fn forward(
+        &self,
+        addr: &str,
+        _method: &str,
+        _path: &str,
+        _headers: &[(String, String)],
+        _body: Option<&str>,
+        _timeout: Duration,
+    ) -> Result<HttpResponse, GendtError> {
+        // sync: SeqCst switch read; see healthz above.
+        if addr == "a0" && self.a0_down.load(Ordering::SeqCst) {
+            return Err(GendtError::unavailable("model: a0 is down"));
+        }
+        Ok(HttpResponse {
+            status: 200,
+            headers: Vec::new(),
+            body: format!("{{\"worker\":\"{addr}\"}}"),
+        })
+    }
+}
+
+fn fleet_body() -> &'static str {
+    "{\"model\":\"demo_a\",\"scenario\":\"walk\",\"duration_s\":10.0,\"start_x\":0.0,\
+     \"start_y\":0.0,\"traj_seed\":1,\"sample_seed\":2}"
+}
+
+/// Health flaps racing request forwarding through the real
+/// [`Membership`] + [`gendt_fleet::dispatch_generate`] path: every
+/// accepted request gets a definite, typed answer — 200 from a live
+/// worker or a retryable 503 envelope — never a strand, never an
+/// untyped error, no matter where the flap lands inside the
+/// route→forward→evict→retry window.
+fn model_fleet_flap_vs_forward() -> Report {
+    let cfg = Config::random(700, 0x5eed_0010);
+    interleave::explore(&cfg, move || {
+        let net = Arc::new(FlapNet {
+            a0_down: AtomicBool::new(false),
+        });
+        let metrics = Arc::new(gendt_fleet::FleetMetrics::new());
+        let membership = Arc::new(gendt_fleet::Membership::new(3, metrics.clone()));
+        membership.register("w0", "a0");
+        membership.register("w1", "a1");
+
+        let flapper = {
+            let (net, membership) = (net.clone(), membership.clone());
+            thread::spawn(move || {
+                // sync: SeqCst switch write; raced against forwards.
+                net.a0_down.store(true, Ordering::SeqCst);
+                membership.poll_once(net.as_ref());
+                net.a0_down.store(false, Ordering::SeqCst);
+                membership.poll_once(net.as_ref());
+            })
+        };
+        let clients: Vec<_> = (0..2)
+            .map(|_| {
+                let (net, membership, metrics) = (net.clone(), membership.clone(), metrics.clone());
+                thread::spawn(move || {
+                    let routed = gendt_fleet::dispatch_generate(
+                        &membership,
+                        net.as_ref(),
+                        &metrics,
+                        "/v1/generate",
+                        fleet_body(),
+                        None,
+                        gendt_sync::time::Instant::now(),
+                        Duration::from_millis(50),
+                    );
+                    match routed.status {
+                        200 => assert!(
+                            routed.body.contains("\"worker\":\"a"),
+                            "200 without a worker body: {}",
+                            routed.body
+                        ),
+                        503 => assert!(
+                            routed.body.contains("\"retryable\":true"),
+                            "untyped 503: {}",
+                            routed.body
+                        ),
+                        other => panic!("stranded/untyped answer: {other} {}", routed.body),
+                    }
+                })
+            })
+            .collect();
+        for h in clients {
+            h.join().expect("client must not panic");
+        }
+        flapper.join().expect("flapper must not panic");
+
+        // Quiesced with a0 back up: one more poll restores full
+        // membership; eviction is memoryless.
+        membership.poll_once(net.as_ref());
+        assert_eq!(membership.healthy_count(), 2, "rejoin lost a worker");
+        assert!(membership.route("demo_a", "walk").is_some());
+    })
+}
+
+/// Forward-path eviction ([`Membership::report_failure`]) racing the
+/// health poller and a routing reader: the ring never shows a member
+/// that was not registered, routing stays definite (Some over a
+/// non-empty healthy set, None only if everything is down), and the
+/// final poll converges to the probe's truth.
+fn model_fleet_evict_vs_poll() -> Report {
+    let cfg = Config::random(700, 0x5eed_0011);
+    interleave::explore(&cfg, move || {
+        let net = Arc::new(FlapNet {
+            a0_down: AtomicBool::new(false),
+        });
+        let metrics = Arc::new(gendt_fleet::FleetMetrics::new());
+        let membership = Arc::new(gendt_fleet::Membership::new(5, metrics));
+        membership.register("w0", "a0");
+        membership.register("w1", "a1");
+
+        let evictor = {
+            let m = membership.clone();
+            thread::spawn(move || {
+                m.report_failure("w0");
+            })
+        };
+        let poller = {
+            let (net, m) = (net.clone(), membership.clone());
+            thread::spawn(move || {
+                m.poll_once(net.as_ref());
+            })
+        };
+        let reader = {
+            let m = membership.clone();
+            thread::spawn(move || {
+                let ring = m.ring();
+                for member in ring.members() {
+                    assert!(
+                        member == "w0" || member == "w1",
+                        "ring holds unregistered member {member}"
+                    );
+                }
+                // w1 is never evicted, so routing must stay definite.
+                let (_, addr) = m.route("demo_a", "walk").expect("route with w1 healthy");
+                assert!(addr == "a0" || addr == "a1");
+            })
+        };
+        for h in [evictor, poller, reader] {
+            h.join().expect("fleet thread must not panic");
+        }
+        // Converge: with the probe reporting both up, one pass restores
+        // both members regardless of who won the race above.
+        membership.poll_once(net.as_ref());
+        assert_eq!(membership.healthy_count(), 2);
+        assert_eq!(membership.ring().len(), 2);
+    })
+}
+
+// ---------------------------------------------------------------------
 // Gate entry point
 // ---------------------------------------------------------------------
 
@@ -679,7 +864,7 @@ pub fn run() -> bool {
     let mut ok = true;
     let mut zoo_schedules = 0u64;
     let mut zoo_steps = 0u64;
-    let models: [(&str, Report); 8] = [
+    let models: [(&str, Report); 10] = [
         ("sched_exactly_once", model_sched_exactly_once(&v1, &ctx)),
         (
             "sched_mixed_version",
@@ -691,6 +876,8 @@ pub fn run() -> bool {
         ("cache_linearizes", model_cache_linearizes()),
         ("metrics_scrape", model_metrics_scrape()),
         ("sched_dfs_bounded", model_sched_dfs(&v1, &ctx)),
+        ("fleet_flap_vs_forward", model_fleet_flap_vs_forward()),
+        ("fleet_evict_vs_poll", model_fleet_evict_vs_poll()),
     ];
     for (name, report) in &models {
         ok &= report_line(name, report);

@@ -1,0 +1,413 @@
+//! `gendt-fleet` — sharded multi-process GenDT serving.
+//!
+//! ```text
+//! gendt-fleet --models DIR [--workers N] [--addr HOST:PORT]
+//!             [--seed N] [--service-ms N]
+//! gendt-fleet smoke
+//! gendt-fleet bench [--out PATH] [--workers 1,2,4,8] [--quick]
+//!                   [--service-ms N] [--seed N] [--requests N]
+//! ```
+//!
+//! The default command spawns N worker processes (each today's
+//! single-node `gendt-serve` scheduler, unchanged), fronts them with
+//! the consistent-hash router, and serves `/v1/*` until
+//! `POST /v1/shutdown`. `smoke` is the CI gate: parity vs single-node,
+//! failover on a killed worker, typed envelopes throughout. `bench`
+//! measures throughput scaling across worker counts and grafts a
+//! `fleet` section onto `BENCH_serve.json`.
+//!
+//! The placement seed comes from `--seed`, falling back to the
+//! `GENDT_FLEET_SEED` env var, falling back to 1.
+
+#![forbid(unsafe_code)]
+
+use gendt_faults::{ErrorKind, GendtError};
+use gendt_fleet::loadgen::{bench_fleet, start_fleet, FleetBenchCfg};
+use gendt_fleet::supervisor::maybe_run_worker;
+use gendt_fleet::HttpForwarder;
+use gendt_serve::http::{http_request, http_request_full};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> String {
+    "usage: gendt-fleet --models DIR [--workers N] [--addr HOST:PORT] [--seed N] \
+     [--service-ms N]\n\
+     \x20      gendt-fleet smoke\n\
+     \x20      gendt-fleet bench [--out PATH] [--workers 1,2,4,8] [--quick] \
+     [--service-ms N] [--seed N] [--requests N]"
+        .to_string()
+}
+
+fn parse_num<T: std::str::FromStr>(
+    args: &mut std::slice::Iter<String>,
+    flag: &str,
+) -> Result<T, GendtError> {
+    let v = args
+        .next()
+        .ok_or_else(|| GendtError::config(format!("{flag} needs a value")))?;
+    v.parse()
+        .map_err(|_| GendtError::config(format!("{flag}: bad value {v:?}")))
+}
+
+fn env_seed() -> u64 {
+    std::env::var("GENDT_FLEET_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn run_fleet(argv: &[String]) -> Result<(), GendtError> {
+    let mut models: Option<String> = None;
+    let mut workers = 4usize;
+    let mut addr = "127.0.0.1:8090".to_string();
+    let mut seed = env_seed();
+    let mut service_ms = 0u64;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--models" => {
+                models = Some(
+                    it.next()
+                        .ok_or_else(|| GendtError::config("--models needs a value"))?
+                        .clone(),
+                )
+            }
+            "--workers" => workers = parse_num(&mut it, "--workers")?,
+            "--addr" => {
+                addr = it
+                    .next()
+                    .ok_or_else(|| GendtError::config("--addr needs a value"))?
+                    .clone()
+            }
+            "--seed" => seed = parse_num(&mut it, "--seed")?,
+            "--service-ms" => service_ms = parse_num(&mut it, "--service-ms")?,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            other => return Err(GendtError::config(format!("unknown flag {other}"))),
+        }
+    }
+    let models = models.ok_or_else(|| GendtError::config("--models DIR is required"))?;
+    if workers == 0 {
+        return Err(GendtError::config("--workers must be > 0"));
+    }
+
+    let mut fleet = start_fleet(&models, workers, seed, service_ms)?;
+    // Rebind the router onto the requested public address: start_fleet
+    // binds an ephemeral port, which is right for smoke/bench but not
+    // for `gendt-fleet --addr`. Simplest correct move: start the
+    // public-facing router directly here instead.
+    if addr != "127.0.0.1:0" {
+        let metrics = fleet.router.metrics();
+        let old = std::mem::replace(
+            &mut fleet.router,
+            gendt_fleet::route_serve(
+                gendt_fleet::RouterCfg {
+                    addr: addr.clone(),
+                    seed,
+                    ..gendt_fleet::RouterCfg::new()
+                },
+                fleet.membership.clone(),
+                std::sync::Arc::new(gendt_fleet::HttpProbe),
+                std::sync::Arc::new(HttpForwarder),
+                metrics,
+            )?,
+        );
+        old.shutdown();
+    }
+    println!(
+        "gendt-fleet: routing {} worker(s) on http://{} (seed {seed})",
+        workers, fleet.router.addr
+    );
+    for w in &fleet.pool {
+        println!("  {} -> http://{}", w.id, w.addr);
+    }
+    let gendt_fleet::loadgen::Fleet {
+        mut pool, router, ..
+    } = fleet;
+    router.join();
+    let clean = gendt_fleet::drain_pool(&mut pool, &HttpForwarder);
+    println!("gendt-fleet stopped ({clean}/{workers} workers drained cleanly)");
+    Ok(())
+}
+
+/// The CI smoke gate. Self-contained: trains a demo checkpoint in a
+/// temp dir, runs a 2-worker fleet plus a 1-worker reference, and
+/// checks parity, failover, and envelope discipline.
+fn smoke() -> Result<(), GendtError> {
+    let dir = std::env::temp_dir().join("gendt-fleet-smoke-models");
+    let ckpt = dir.join("demo_a.json");
+    if !ckpt.exists() {
+        eprintln!("smoke: training demo checkpoint at {} ...", ckpt.display());
+        gendt_serve::demo::write_demo_model(&ckpt, 1)?;
+    }
+    let models = dir.to_string_lossy().into_owned();
+
+    // Reference: a single worker behind its own router (same seed), so
+    // parity compares fleet routing against single-node output.
+    let reference = start_fleet(&models, 1, 7, 0)?;
+    let fleet = start_fleet(&models, 2, 7, 0)?;
+    let scenarios = ["walk", "bus", "tram", "city_drive", "highway"];
+    let body_for = |scenario: &str| {
+        format!(
+            "{{\"model\":\"demo_a\",\"scenario\":\"{scenario}\",\"duration_s\":20.0,\
+             \"start_x\":0.0,\"start_y\":0.0,\"traj_seed\":3,\"sample_seed\":11}}"
+        )
+    };
+
+    // 1. Bitwise parity: every scenario, fleet output == single-node
+    //    output, and repeat calls are deterministic.
+    for scenario in &scenarios {
+        let body = body_for(scenario);
+        let (s1, via_fleet) = http_request(&fleet.addr(), "POST", "/v1/generate", Some(&body))
+            .map_err(|e| GendtError::unavailable(format!("smoke fleet request: {e}")))?;
+        let (s2, via_single) = http_request(&reference.addr(), "POST", "/v1/generate", Some(&body))
+            .map_err(|e| GendtError::unavailable(format!("smoke reference request: {e}")))?;
+        if s1 != 200 || s2 != 200 {
+            return Err(GendtError::internal(format!(
+                "smoke parity: scenario {scenario} got {s1}/{s2}, want 200/200"
+            )));
+        }
+        if via_fleet != via_single {
+            return Err(GendtError::internal(format!(
+                "smoke parity: scenario {scenario}: fleet and single-node bodies differ"
+            )));
+        }
+        let (_, again) = http_request(&fleet.addr(), "POST", "/v1/generate", Some(&body))
+            .map_err(|e| GendtError::unavailable(format!("smoke repeat request: {e}")))?;
+        if again != via_fleet {
+            return Err(GendtError::internal(format!(
+                "smoke determinism: scenario {scenario}: repeat through fleet differs"
+            )));
+        }
+    }
+    println!("smoke: parity ok across {} scenarios", scenarios.len());
+
+    // 2. Kill one worker. Every subsequent request must get a definite,
+    //    well-formed answer: 200 (failover worked) or a typed retryable
+    //    503 envelope — never a hang, never an untyped error.
+    let mut fleet = fleet;
+    let victim = fleet.pool.remove(0);
+    let victim_id = victim.id.clone();
+    {
+        let mut victim = victim;
+        victim.kill()?;
+    }
+    let mut saw_ok = false;
+    for i in 0..20usize {
+        let body = body_for(scenarios[i % scenarios.len()]);
+        let resp = http_request_full(&fleet.addr(), "POST", "/v1/generate", &[], Some(&body))
+            .map_err(|e| {
+                GendtError::internal(format!("smoke failover: request {i} got no answer: {e}"))
+            })?;
+        match resp.status {
+            200 => saw_ok = true,
+            503 => {
+                if !resp.body.contains("\"retryable\":true") {
+                    return Err(GendtError::internal(format!(
+                        "smoke failover: 503 without typed retryable envelope: {}",
+                        resp.body
+                    )));
+                }
+                if resp.header("retry-after").is_none() {
+                    return Err(GendtError::internal(
+                        "smoke failover: 503 without Retry-After",
+                    ));
+                }
+            }
+            other => {
+                return Err(GendtError::internal(format!(
+                    "smoke failover: unexpected status {other}: {}",
+                    resp.body
+                )));
+            }
+        }
+    }
+    if !saw_ok {
+        return Err(GendtError::internal(
+            "smoke failover: no request succeeded after killing one of two workers",
+        ));
+    }
+    println!("smoke: failover ok after killing {victim_id}");
+
+    // 3. The fleet status must have noticed: one healthy worker left.
+    //    (Forward-path eviction is immediate; poll may lag a beat.)
+    let mut healthy_one = false;
+    for _ in 0..25 {
+        let (status, body) = http_request(&fleet.addr(), "GET", "/v1/fleet", None)
+            .map_err(|e| GendtError::unavailable(format!("smoke /v1/fleet: {e}")))?;
+        if status == 200 && body.contains("\"healthy\":1") {
+            healthy_one = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    if !healthy_one {
+        return Err(GendtError::internal(
+            "smoke: /v1/fleet never reported exactly 1 healthy worker",
+        ));
+    }
+    println!("smoke: membership converged to 1 healthy worker");
+
+    // 4. Router metrics render and carry fleet series.
+    let (status, metrics_text) = http_request(&fleet.addr(), "GET", "/v1/metrics", None)
+        .map_err(|e| GendtError::unavailable(format!("smoke /v1/metrics: {e}")))?;
+    if status != 200 || !metrics_text.contains("gendt_fleet_forwarded_total") {
+        return Err(GendtError::internal("smoke: router /v1/metrics incomplete"));
+    }
+
+    // 5. Graceful teardown: drain must answer and workers must exit.
+    let (status, _) = http_request(&fleet.addr(), "POST", "/v1/shutdown", None)
+        .map_err(|e| GendtError::unavailable(format!("smoke shutdown: {e}")))?;
+    if status != 200 {
+        return Err(GendtError::internal(format!(
+            "smoke: router shutdown answered {status}"
+        )));
+    }
+    let gendt_fleet::loadgen::Fleet {
+        mut pool, router, ..
+    } = fleet;
+    router.join();
+    let survivors = pool.len();
+    let clean = gendt_fleet::drain_pool(&mut pool, &HttpForwarder);
+    if clean < survivors {
+        return Err(GendtError::internal(format!(
+            "smoke: only {clean}/{survivors} surviving workers drained cleanly"
+        )));
+    }
+    reference.shutdown();
+    println!("smoke: PASS");
+    Ok(())
+}
+
+fn bench(argv: &[String]) -> Result<(), GendtError> {
+    let mut cfg = FleetBenchCfg::new();
+    cfg.seed = env_seed();
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out_path = it
+                    .next()
+                    .ok_or_else(|| GendtError::config("--out needs a value"))?
+                    .clone()
+            }
+            "--workers" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| GendtError::config("--workers needs a value"))?;
+                cfg.worker_counts = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .map_err(|_| GendtError::config(format!("--workers: bad count {s:?}")))
+                    })
+                    .collect::<Result<Vec<usize>, GendtError>>()?;
+            }
+            "--quick" => {
+                cfg.worker_counts = vec![1, 2];
+                cfg.requests = 64;
+                cfg.max_steps = 3;
+            }
+            "--service-ms" => cfg.service_ms = parse_num(&mut it, "--service-ms")?,
+            "--seed" => cfg.seed = parse_num(&mut it, "--seed")?,
+            "--requests" => cfg.requests = parse_num(&mut it, "--requests")?,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            other => return Err(GendtError::config(format!("unknown flag {other}"))),
+        }
+    }
+
+    let dir = std::env::temp_dir().join("gendt-fleet-bench-models");
+    for (i, name) in gendt_fleet::loadgen::BENCH_MODELS.iter().enumerate() {
+        let ckpt = dir.join(format!("{name}.json"));
+        if !ckpt.exists() {
+            eprintln!("bench: training demo checkpoint at {} ...", ckpt.display());
+            gendt_serve::demo::write_demo_model(&ckpt, 1 + i as u64)?;
+        }
+    }
+    let models = dir.to_string_lossy().into_owned();
+
+    let out = bench_fleet(&models, &cfg, &mut |line| println!("{line}"))?;
+    let json = merge_fleet_section(&out_path, &out)?;
+    std::fs::write(&out_path, &json)
+        .map_err(|e| GendtError::from(e).wrap(format!("writing {out_path}")))?;
+    println!("wrote fleet section to {out_path}");
+    Ok(())
+}
+
+/// Graft the fleet section onto an existing bench artifact (preserving
+/// the single-node numbers `gendt-loadgen` wrote), or start a fresh
+/// artifact holding only the fleet section.
+fn merge_fleet_section(
+    path: &str,
+    out: &gendt_fleet::loadgen::FleetBenchOut,
+) -> Result<String, GendtError> {
+    let fleet_json = serde_json::to_string(out)
+        .map_err(|e| GendtError::internal(format!("encoding fleet results: {e}")))?;
+    let fleet_value: serde::Value = serde_json::from_str(&fleet_json)
+        .map_err(|e| GendtError::internal(format!("re-parsing fleet results: {e}")))?;
+
+    let mut doc: serde::Value = match std::fs::read_to_string(path) {
+        Ok(old) => serde_json::from_str(&old).unwrap_or(serde::Value::Map(Vec::new())),
+        Err(_) => serde::Value::Map(Vec::new()),
+    };
+    if !matches!(doc, serde::Value::Map(_)) {
+        doc = serde::Value::Map(Vec::new());
+    }
+    if let serde::Value::Map(entries) = &mut doc {
+        if entries.iter().all(|(k, _)| k != "bench_schema") {
+            entries.push((
+                "bench_schema".to_string(),
+                serde::Value::Int(gendt_trace::BENCH_SCHEMA as i128),
+            ));
+        }
+        if entries.iter().all(|(k, _)| k != "git_rev") {
+            entries.push((
+                "git_rev".to_string(),
+                serde::Value::Str(gendt_trace::git_rev()),
+            ));
+        }
+        match entries.iter_mut().find(|(k, _)| k == "fleet") {
+            Some((_, slot)) => *slot = fleet_value,
+            None => entries.push(("fleet".to_string(), fleet_value)),
+        }
+    }
+    serde_json::to_string_pretty(&doc)
+        .map_err(|e| GendtError::internal(format!("encoding merged artifact: {e}")))
+}
+
+fn run() -> Result<(), GendtError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("smoke") => smoke(),
+        Some("bench") => bench(&argv[1..]),
+        Some("--help") | Some("-h") => {
+            println!("{}", usage());
+            Ok(())
+        }
+        _ => run_fleet(&argv),
+    }
+}
+
+fn main() -> ExitCode {
+    // Worker mode: this same binary, re-exec'd by the supervisor.
+    if let Some(code) = maybe_run_worker() {
+        return ExitCode::from(code);
+    }
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gendt-fleet: {e}");
+            if e.kind() == ErrorKind::Config {
+                eprintln!("{}", usage());
+            }
+            ExitCode::from(e.exit_code())
+        }
+    }
+}

@@ -1,0 +1,573 @@
+//! Health-gated replica membership: which workers exist, which are in
+//! the ring, and what each one serves.
+//!
+//! All mutable state sits behind one `gendt_sync::Mutex` so the audit
+//! sync-check gate can explore health flaps racing request forwarding
+//! (`gendt-audit sync-check`, models `fleet_*`). Transport is abstracted
+//! behind the [`Probe`] trait: production polls HTTP `/v1/healthz` +
+//! `/v1/info`; the checker substitutes deterministic stubs.
+//!
+//! Eviction has two triggers with one meaning — the worker leaves the
+//! ring and its keys redistribute minimally:
+//! * the poller observes a failed/unhealthy `/v1/healthz` (draining
+//!   workers answer 503, so a drain is an eviction too);
+//! * the forward path reports a transport failure
+//!   ([`Membership::report_failure`]), which evicts immediately instead
+//!   of waiting out a poll interval.
+//!
+//! A worker that passes a later health check rejoins the ring.
+//!
+//! Dispatch uses consistent hashing *with bounded loads*
+//! ([`Membership::route_bounded`]): a key normally lands on its ring
+//! owner (cache affinity, deterministic placement), but a worker whose
+//! routed in-flight count exceeds 1.125× the fleet mean is skipped and
+//! the key spills to the next worker in its stable failover order.
+//! Workers are stateless replicas of the same seeded world, so a spill
+//! changes placement, never the response bytes.
+
+use crate::metrics::FleetMetrics;
+use crate::ring::{key_hash, Ring, DEFAULT_VNODES};
+use gendt_faults::GendtError;
+use gendt_serve::api::InfoResponse;
+use gendt_sync::atomic::{AtomicU64, Ordering};
+use gendt_sync::Mutex;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Bounded-load factor as a ratio: a worker may hold at most
+/// `ceil(LOAD_NUM/LOAD_DEN × mean in-flight)` routed requests before
+/// new keys spill to the next worker in their failover order (the
+/// "consistent hashing with bounded loads" policy). 9/8 keeps shard
+/// affinity for ~all traffic below saturation while capping how far a
+/// hot shard can pull ahead of the fleet mean — under sustained
+/// overload aggregate throughput approaches `workers / (9/8)` of one
+/// worker's, whatever the key skew.
+const LOAD_NUM: u64 = 9;
+const LOAD_DEN: u64 = 8;
+
+/// Worker transport for health/discovery, substitutable for checking.
+pub trait Probe: Send + Sync {
+    /// `GET /v1/healthz`: `Ok(true)` healthy, `Ok(false)` alive but
+    /// unhealthy/draining, `Err` unreachable.
+    fn healthz(&self, addr: &str) -> Result<bool, GendtError>;
+    /// `GET /v1/info`: what the worker serves.
+    fn info(&self, addr: &str) -> Result<InfoResponse, GendtError>;
+}
+
+/// One worker's last-known state.
+#[derive(Clone, Debug)]
+pub struct WorkerView {
+    /// Stable worker id (ring member id).
+    pub id: String,
+    /// `host:port` the worker listens on.
+    pub addr: String,
+    /// In the ring right now?
+    pub healthy: bool,
+    /// Model names the worker advertised (empty until discovered).
+    pub models: Vec<String>,
+    /// Advertised checkpoint versions, aligned with `models`.
+    pub versions: Vec<u64>,
+    /// Last advertised queue depth.
+    pub queue_depth: u64,
+}
+
+struct Slot {
+    addr: String,
+    healthy: bool,
+    models: Vec<String>,
+    versions: Vec<u64>,
+    queue_depth: u64,
+    /// Requests the router currently has outstanding on this worker.
+    /// Shared out through [`RouteGrant`] so completion can decrement
+    /// without taking the membership lock.
+    inflight: Arc<AtomicU64>,
+}
+
+/// A routing decision plus an RAII in-flight token: the grant holds one
+/// unit of the target worker's load until dropped, which is what the
+/// bounded-load limit in [`Membership::route_bounded`] counts.
+pub struct RouteGrant {
+    /// Chosen worker id.
+    pub id: String,
+    /// Chosen worker address.
+    pub addr: String,
+    /// True when the bounded-load limit skipped the key's owner.
+    pub spilled: bool,
+    token: Arc<AtomicU64>,
+}
+
+impl Drop for RouteGrant {
+    fn drop(&mut self) {
+        // sync: load-balancing heuristic counter only; guards no memory.
+        self.token.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+struct Inner {
+    workers: BTreeMap<String, Slot>,
+    ring: Arc<Ring>,
+}
+
+/// The membership table plus the current ring.
+pub struct Membership {
+    seed: u64,
+    vnodes: usize,
+    metrics: Arc<FleetMetrics>,
+    inner: Mutex<Inner>,
+}
+
+/// What one poll pass observed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PollStats {
+    /// Probes attempted.
+    pub checked: usize,
+    /// Probes that failed or reported unhealthy.
+    pub failed: usize,
+    /// Health transitions (either direction).
+    pub transitions: usize,
+}
+
+impl Membership {
+    /// Empty membership routing with `seed`.
+    pub fn new(seed: u64, metrics: Arc<FleetMetrics>) -> Membership {
+        Membership {
+            seed,
+            vnodes: DEFAULT_VNODES,
+            metrics,
+            inner: Mutex::new(Inner {
+                workers: BTreeMap::new(),
+                ring: Arc::new(Ring::build(seed, &[], DEFAULT_VNODES)),
+            }),
+        }
+    }
+
+    /// The routing seed (`GENDT_FLEET_SEED`).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Add a worker, optimistically healthy (the supervisor registers a
+    /// worker only after its ready handshake); the first poll corrects.
+    pub fn register(&self, id: &str, addr: &str) {
+        let mut inner = self.inner.lock();
+        inner.workers.insert(
+            id.to_string(),
+            Slot {
+                addr: addr.to_string(),
+                healthy: true,
+                models: Vec::new(),
+                versions: Vec::new(),
+                queue_depth: 0,
+                inflight: Arc::new(AtomicU64::new(0)),
+            },
+        );
+        self.rebuild_ring(&mut inner);
+    }
+
+    /// Remove a worker entirely (supervisor reaped the process).
+    pub fn deregister(&self, id: &str) {
+        let mut inner = self.inner.lock();
+        if inner.workers.remove(id).is_some() {
+            self.rebuild_ring(&mut inner);
+        }
+    }
+
+    /// Route a request key to `(worker id, addr)`: ring walk from the
+    /// key's owner, first healthy worker that advertises the model (a
+    /// worker whose model list is still undiscovered is assumed able).
+    pub fn route(&self, model: &str, scenario: &str) -> Option<(String, String)> {
+        let key = key_hash(self.seed, model, scenario);
+        let inner = self.inner.lock();
+        let ring = inner.ring.clone();
+        for id in ring.walk(key) {
+            if let Some(slot) = inner.workers.get(id) {
+                if slot.healthy
+                    && (slot.models.is_empty() || slot.models.iter().any(|m| m == model))
+                {
+                    return Some((id.to_string(), slot.addr.clone()));
+                }
+            }
+        }
+        None
+    }
+
+    /// [`Membership::route`] with consistent hashing under bounded
+    /// loads: walk the key's failover order and take the first eligible
+    /// worker whose routed in-flight count is under
+    /// `ceil(1.125 × fleet mean)`; if every eligible worker is at the
+    /// limit, fall back to the key's owner (the limit shapes placement,
+    /// it never rejects). An idle fleet always routes to the owner, so
+    /// placement stays seeded-deterministic when load is not a factor.
+    /// The returned grant holds one unit of in-flight load until drop.
+    pub fn route_bounded(&self, model: &str, scenario: &str) -> Option<RouteGrant> {
+        let key = key_hash(self.seed, model, scenario);
+        let inner = self.inner.lock();
+        let ring = inner.ring.clone();
+        // sync: heuristic balancing reads; each counter is independent.
+        let (healthy, total_inflight) = inner
+            .workers
+            .values()
+            .filter(|s| s.healthy)
+            .fold((0u64, 0u64), |(n, t), s| {
+                (n + 1, t + s.inflight.load(Ordering::Relaxed))
+            });
+        if healthy == 0 {
+            return None;
+        }
+        let cap = ((total_inflight + 1) * LOAD_NUM).div_ceil(healthy * LOAD_DEN);
+        let grant = |id: &str, slot: &Slot, spilled: bool| -> RouteGrant {
+            // sync: load-balancing heuristic counter only.
+            slot.inflight.fetch_add(1, Ordering::Relaxed);
+            RouteGrant {
+                id: id.to_string(),
+                addr: slot.addr.clone(),
+                spilled,
+                token: slot.inflight.clone(),
+            }
+        };
+        let mut owner: Option<&str> = None;
+        for id in ring.walk(key) {
+            let Some(slot) = inner.workers.get(id) else {
+                continue;
+            };
+            if !slot.healthy || !(slot.models.is_empty() || slot.models.iter().any(|m| m == model))
+            {
+                continue;
+            }
+            let spilled = owner.is_some();
+            owner.get_or_insert(id);
+            // sync: heuristic balancing read.
+            if slot.inflight.load(Ordering::Relaxed) < cap {
+                if spilled {
+                    // sync: monotonic counter for /metrics only.
+                    self.metrics.spills.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(grant(id, slot, spilled));
+            }
+        }
+        // Every eligible worker is at the limit: the owner takes it.
+        let id = owner?;
+        let slot = inner.workers.get(id)?;
+        Some(grant(id, slot, false))
+    }
+
+    /// Forward-path failure: evict `id` from the ring immediately so
+    /// the next request reroutes instead of re-timing-out. Returns true
+    /// if this call performed the eviction.
+    pub fn report_failure(&self, id: &str) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(slot) = inner.workers.get_mut(id) else {
+            return false;
+        };
+        if !slot.healthy {
+            return false;
+        }
+        slot.healthy = false;
+        // sync: monotonic counter for /metrics only.
+        self.metrics
+            .evictions
+            .fetch_add(1, gendt_sync::atomic::Ordering::Relaxed);
+        self.rebuild_ring(&mut inner);
+        true
+    }
+
+    /// One health/discovery pass over every worker. Probing runs
+    /// outside the lock (it does network I/O); observations apply in
+    /// one locked commit, so routing sees either the old or the new
+    /// membership, never a torn one.
+    pub fn poll_once(&self, probe: &dyn Probe) -> PollStats {
+        let targets: Vec<(String, String)> = {
+            let inner = self.inner.lock();
+            inner
+                .workers
+                .iter()
+                .map(|(id, s)| (id.clone(), s.addr.clone()))
+                .collect()
+        };
+        let mut stats = PollStats {
+            checked: targets.len(),
+            ..PollStats::default()
+        };
+        let mut observed: Vec<(String, bool, Option<InfoResponse>)> =
+            Vec::with_capacity(targets.len());
+        for (id, addr) in targets {
+            // sync: monotonic counter for /metrics only.
+            self.metrics
+                .health_checks
+                .fetch_add(1, gendt_sync::atomic::Ordering::Relaxed);
+            let healthy = matches!(probe.healthz(&addr), Ok(true));
+            let info = if healthy {
+                probe.info(&addr).ok()
+            } else {
+                None
+            };
+            if !healthy {
+                stats.failed += 1;
+                // sync: monotonic counter for /metrics only.
+                self.metrics
+                    .health_check_failures
+                    .fetch_add(1, gendt_sync::atomic::Ordering::Relaxed);
+            }
+            observed.push((id, healthy, info));
+        }
+
+        let mut inner = self.inner.lock();
+        let mut changed = false;
+        for (id, healthy, info) in observed {
+            let Some(slot) = inner.workers.get_mut(&id) else {
+                continue; // deregistered while we probed
+            };
+            if slot.healthy != healthy {
+                stats.transitions += 1;
+                changed = true;
+                // sync: monotonic counters for /metrics only.
+                if healthy {
+                    self.metrics
+                        .rejoins
+                        .fetch_add(1, gendt_sync::atomic::Ordering::Relaxed);
+                } else {
+                    self.metrics
+                        .evictions
+                        .fetch_add(1, gendt_sync::atomic::Ordering::Relaxed);
+                }
+            }
+            slot.healthy = healthy;
+            if let Some(info) = info {
+                slot.models = info.models.iter().map(|m| m.name.clone()).collect();
+                slot.versions = info.models.iter().map(|m| m.version).collect();
+                slot.queue_depth = info.queue_depth;
+            }
+        }
+        if changed {
+            self.rebuild_ring(&mut inner);
+        }
+        stats
+    }
+
+    /// Current state of every worker, sorted by id.
+    pub fn snapshot(&self) -> Vec<WorkerView> {
+        let inner = self.inner.lock();
+        inner
+            .workers
+            .iter()
+            .map(|(id, s)| WorkerView {
+                id: id.clone(),
+                addr: s.addr.clone(),
+                healthy: s.healthy,
+                models: s.models.clone(),
+                versions: s.versions.clone(),
+                queue_depth: s.queue_depth,
+            })
+            .collect()
+    }
+
+    /// Workers currently in the ring.
+    pub fn healthy_count(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.workers.values().filter(|s| s.healthy).count()
+    }
+
+    /// Union of advertised model names across healthy workers, sorted.
+    pub fn model_names(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        let set: BTreeSet<String> = inner
+            .workers
+            .values()
+            .filter(|s| s.healthy)
+            .flat_map(|s| s.models.iter().cloned())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Addresses of healthy workers (broadcast targets for `/reload`).
+    pub fn healthy_addrs(&self) -> Vec<(String, String)> {
+        let inner = self.inner.lock();
+        inner
+            .workers
+            .iter()
+            .filter(|(_, s)| s.healthy)
+            .map(|(id, s)| (id.clone(), s.addr.clone()))
+            .collect()
+    }
+
+    /// The live ring (an immutable snapshot).
+    pub fn ring(&self) -> Arc<Ring> {
+        let inner = self.inner.lock();
+        inner.ring.clone()
+    }
+
+    fn rebuild_ring(&self, inner: &mut Inner) {
+        let healthy: Vec<String> = inner
+            .workers
+            .iter()
+            .filter(|(_, s)| s.healthy)
+            .map(|(id, _)| id.clone())
+            .collect();
+        inner.ring = Arc::new(Ring::build(self.seed, &healthy, self.vnodes));
+        // sync: monotonic counter for /metrics only.
+        self.metrics
+            .ring_rebuilds
+            .fetch_add(1, gendt_sync::atomic::Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendt_serve::api::ModelInfo;
+
+    /// Deterministic stub: a fixed health answer per address.
+    struct StubProbe {
+        down: Vec<String>,
+    }
+
+    impl Probe for StubProbe {
+        fn healthz(&self, addr: &str) -> Result<bool, GendtError> {
+            if self.down.iter().any(|d| d == addr) {
+                Err(GendtError::unavailable("stub: down"))
+            } else {
+                Ok(true)
+            }
+        }
+
+        fn info(&self, _addr: &str) -> Result<InfoResponse, GendtError> {
+            Ok(InfoResponse {
+                models: vec![ModelInfo {
+                    name: "demo_a".to_string(),
+                    version: 7,
+                    n_ch: 4,
+                }],
+                queue_depth: 2,
+                max_batch: 8,
+                draining: false,
+            })
+        }
+    }
+
+    fn fresh() -> Membership {
+        Membership::new(11, Arc::new(FleetMetrics::new()))
+    }
+
+    #[test]
+    fn register_route_evict_rejoin() {
+        let m = fresh();
+        m.register("w0", "127.0.0.1:1000");
+        m.register("w1", "127.0.0.1:1001");
+        assert_eq!(m.healthy_count(), 2);
+        let (id, _) = m.route("demo_a", "walk").expect("route");
+        assert!(id == "w0" || id == "w1");
+
+        // Forward failure evicts immediately; routing fails over.
+        assert!(m.report_failure(&id));
+        assert!(!m.report_failure(&id), "double-evict must be a no-op");
+        assert_eq!(m.healthy_count(), 1);
+        let (id2, _) = m.route("demo_a", "walk").expect("failover route");
+        assert_ne!(id2, id);
+
+        // A passing poll re-admits and discovers models.
+        let stats = m.poll_once(&StubProbe { down: vec![] });
+        assert_eq!(stats.checked, 2);
+        assert_eq!(stats.transitions, 1);
+        assert_eq!(m.healthy_count(), 2);
+        let view = m.snapshot();
+        assert!(view.iter().all(|w| w.models == vec!["demo_a".to_string()]));
+        assert_eq!(m.model_names(), vec!["demo_a".to_string()]);
+    }
+
+    #[test]
+    fn poll_evicts_unreachable_worker() {
+        let m = fresh();
+        m.register("w0", "127.0.0.1:1000");
+        m.register("w1", "127.0.0.1:1001");
+        let stats = m.poll_once(&StubProbe {
+            down: vec!["127.0.0.1:1001".to_string()],
+        });
+        assert_eq!(stats.failed, 1);
+        assert_eq!(m.healthy_count(), 1);
+        // All traffic lands on the survivor.
+        for scenario in ["walk", "bus", "tram", "city_drive", "highway"] {
+            let (id, _) = m.route("demo_a", scenario).expect("route");
+            assert_eq!(id, "w0");
+        }
+    }
+
+    #[test]
+    fn route_respects_model_ownership() {
+        let m = fresh();
+        m.register("w0", "127.0.0.1:1000");
+        m.register("w1", "127.0.0.1:1001");
+        m.poll_once(&StubProbe { down: vec![] });
+        // Discovered model lists say only demo_a exists.
+        assert!(m.route("demo_a", "walk").is_some());
+        assert!(
+            m.route("missing_model", "walk").is_none(),
+            "no worker advertises missing_model"
+        );
+    }
+
+    #[test]
+    fn bounded_route_is_owner_when_idle() {
+        let m = fresh();
+        m.register("w0", "127.0.0.1:1000");
+        m.register("w1", "127.0.0.1:1001");
+        let (owner, _) = m.route("demo_a", "walk").expect("owner");
+        for _ in 0..3 {
+            let g = m.route_bounded("demo_a", "walk").expect("grant");
+            assert_eq!(g.id, owner, "idle fleet must route to the ring owner");
+            assert!(!g.spilled);
+            // g drops here: in-flight returns to zero between requests.
+        }
+    }
+
+    #[test]
+    fn bounded_route_spills_past_saturated_owner() {
+        let m = fresh();
+        m.register("w0", "127.0.0.1:1000");
+        m.register("w1", "127.0.0.1:1001");
+        let (owner, _) = m.route("demo_a", "walk").expect("owner");
+        // Pile held grants onto the owner until the limit trips. With
+        // all load on one of two workers, cap = ceil(1.125 × mean) is
+        // passed quickly; the next grant must spill to the other worker.
+        let mut held = vec![m.route_bounded("demo_a", "walk").expect("grant")];
+        assert_eq!(held[0].id, owner);
+        let spilled = loop {
+            let g = m.route_bounded("demo_a", "walk").expect("grant");
+            if g.spilled {
+                break g;
+            }
+            assert_eq!(g.id, owner);
+            assert!(held.len() < 64, "bounded-load limit never tripped");
+            held.push(g);
+        };
+        assert_ne!(spilled.id, owner, "spill must land on the other worker");
+        drop(spilled);
+        drop(held);
+        // Load released: the owner takes the key again.
+        let g = m.route_bounded("demo_a", "walk").expect("grant");
+        assert_eq!(g.id, owner);
+        assert!(!g.spilled);
+    }
+
+    #[test]
+    fn bounded_route_single_worker_never_rejects() {
+        let m = fresh();
+        m.register("w0", "127.0.0.1:1000");
+        // Far past any load limit, the sole worker still takes the key.
+        let held: Vec<_> = (0..32)
+            .map(|_| m.route_bounded("demo_a", "walk").expect("grant"))
+            .collect();
+        assert!(held.iter().all(|g| g.id == "w0" && !g.spilled));
+    }
+
+    #[test]
+    fn empty_membership_routes_nowhere() {
+        let m = fresh();
+        assert!(m.route("demo_a", "walk").is_none());
+        assert_eq!(m.healthy_count(), 0);
+        assert_eq!(
+            m.poll_once(&StubProbe { down: vec![] }),
+            PollStats::default()
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Router-side fleet metrics and their Prometheus text rendering.
+
+use gendt_metrics::{Histogram, Quantiles};
+use gendt_sync::atomic::{AtomicU64, Ordering};
+use gendt_sync::Mutex;
+
+/// Shared router metrics. Counters are lock-free atomics on the
+/// forwarding path; the routed-latency distribution streams into a
+/// histogram behind a short-lived mutex.
+pub struct FleetMetrics {
+    /// Requests received by the router, any endpoint.
+    pub http_requests: AtomicU64,
+    /// Generate requests forwarded to a worker and answered.
+    pub forwarded: AtomicU64,
+    /// Forward attempts that failed at the transport (worker down,
+    /// timeout) and triggered failover.
+    pub forward_errors: AtomicU64,
+    /// Generate requests that found no healthy owner in the ring.
+    pub no_owner: AtomicU64,
+    /// Generate requests routed past their key's owner because the
+    /// owner was over the bounded-load limit.
+    pub spills: AtomicU64,
+    /// Generate requests whose propagated deadline expired in routing.
+    pub deadline_expired: AtomicU64,
+    /// Workers evicted from the ring (health check or forward failure).
+    pub evictions: AtomicU64,
+    /// Workers re-admitted after passing a health check again.
+    pub rejoins: AtomicU64,
+    /// Ring rebuilds (any membership/health transition).
+    pub ring_rebuilds: AtomicU64,
+    /// Health probes attempted.
+    pub health_checks: AtomicU64,
+    /// Health probes that failed or reported unhealthy.
+    pub health_check_failures: AtomicU64,
+    latency_ms: Mutex<Histogram>,
+}
+
+impl FleetMetrics {
+    /// Fresh metrics.
+    pub fn new() -> FleetMetrics {
+        FleetMetrics {
+            http_requests: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+            forward_errors: AtomicU64::new(0),
+            no_owner: AtomicU64::new(0),
+            spills: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
+            ring_rebuilds: AtomicU64::new(0),
+            health_checks: AtomicU64::new(0),
+            health_check_failures: AtomicU64::new(0),
+            // 0..10s in 25ms bins, same shape as the worker's histogram.
+            latency_ms: Mutex::new(Histogram::empty(0.0, 10_000.0, 400)),
+        }
+    }
+
+    /// Record one routed end-to-end latency, milliseconds.
+    pub fn observe_latency_ms(&self, ms: f64) {
+        self.latency_ms.lock().push(ms);
+    }
+
+    /// Render the Prometheus text exposition for the router's
+    /// `/metrics`.
+    pub fn render(&self, workers_total: usize, workers_healthy: usize) -> String {
+        let mut out = String::with_capacity(2048);
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+            ));
+        };
+        // sync: every load below is a Relaxed scrape of an independent
+        // monotonic counter or gauge; /metrics imposes no cross-counter
+        // ordering.
+        counter(
+            &mut out,
+            "gendt_fleet_http_requests_total",
+            "Requests received by the router, any endpoint.",
+            self.http_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_fleet_forwarded_total",
+            "Generate requests forwarded to a worker and answered.",
+            self.forwarded.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_fleet_forward_errors_total",
+            "Forward attempts that failed at the transport.",
+            self.forward_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_fleet_no_owner_total",
+            "Generate requests with no healthy owner in the ring.",
+            self.no_owner.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_fleet_spills_total",
+            "Requests routed past the key owner by the bounded-load limit.",
+            self.spills.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_fleet_deadline_expired_total",
+            "Requests whose propagated deadline expired in routing.",
+            self.deadline_expired.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_fleet_evictions_total",
+            "Workers evicted from the ring.",
+            self.evictions.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_fleet_rejoins_total",
+            "Workers re-admitted after passing a health check.",
+            self.rejoins.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_fleet_ring_rebuilds_total",
+            "Consistent-hash ring rebuilds.",
+            self.ring_rebuilds.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_fleet_health_checks_total",
+            "Health probes attempted.",
+            self.health_checks.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_fleet_health_check_failures_total",
+            "Health probes that failed or reported unhealthy.",
+            self.health_check_failures.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "gendt_fleet_workers",
+            "Workers registered with the router.",
+            workers_total as u64,
+        );
+        gauge(
+            &mut out,
+            "gendt_fleet_workers_healthy",
+            "Workers currently healthy (in the ring).",
+            workers_healthy as u64,
+        );
+        {
+            let lat = self.latency_ms.lock();
+            let n = lat.total();
+            out.push_str(
+                "# HELP gendt_fleet_latency_ms Routed end-to-end latency, milliseconds.\n# TYPE gendt_fleet_latency_ms summary\n",
+            );
+            if n > 0 {
+                let q = Quantiles::from_histogram(&lat);
+                out.push_str(&format!(
+                    "gendt_fleet_latency_ms{{quantile=\"0.5\"}} {}\n",
+                    q.p50
+                ));
+                out.push_str(&format!(
+                    "gendt_fleet_latency_ms{{quantile=\"0.95\"}} {}\n",
+                    q.p95
+                ));
+                out.push_str(&format!(
+                    "gendt_fleet_latency_ms{{quantile=\"0.99\"}} {}\n",
+                    q.p99
+                ));
+                out.push_str(&format!(
+                    "gendt_fleet_latency_ms{{quantile=\"0.999\"}} {}\n",
+                    q.p999
+                ));
+            }
+            out.push_str(&format!("gendt_fleet_latency_ms_count {n}\n"));
+        }
+        out
+    }
+}
+
+impl Default for FleetMetrics {
+    fn default() -> Self {
+        FleetMetrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_core_series() {
+        let m = FleetMetrics::new();
+        m.http_requests.fetch_add(5, Ordering::Relaxed);
+        m.forwarded.fetch_add(4, Ordering::Relaxed);
+        m.observe_latency_ms(8.0);
+        let text = m.render(4, 3);
+        for needle in [
+            "gendt_fleet_http_requests_total 5",
+            "gendt_fleet_forwarded_total 4",
+            "gendt_fleet_workers 4",
+            "gendt_fleet_workers_healthy 3",
+            "gendt_fleet_latency_ms_count 1",
+            "gendt_fleet_evictions_total 0",
+            "quantile=\"0.999\"",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Seeded consistent-hash ring over worker ids.
+//!
+//! Each member contributes `vnodes_per` virtual nodes whose positions
+//! are a pure function of `(seed, member id, vnode index)`, so the same
+//! `GENDT_FLEET_SEED` always produces the same placement — a fleet run
+//! is replayable key-for-key. A request key `(model, scenario)` routes
+//! to the first virtual node at or clockwise-after its hash; when a
+//! member joins or is health-evicted, only the arcs adjacent to its
+//! virtual nodes change owner, so ~1/N of keys move (the property tests
+//! in `tests/ring_props.rs` pin both balance and disruption).
+
+use std::collections::BTreeSet;
+
+/// Virtual nodes per member: enough that 8 members balance within the
+/// ±15% the property tests demand (the per-member share deviation
+/// shrinks like 1/√vnodes; 96 left ~16% outliers), small enough that
+/// rebuilds stay trivially cheap (8×256 entries sort in microseconds).
+pub const DEFAULT_VNODES: usize = 256;
+
+/// SplitMix64 finalizer — the avalanche step that turns structured
+/// input (sequential vnode indices, similar ids) into uniform ring
+/// positions.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a string.
+fn fnv1a(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+    })
+}
+
+/// An immutable consistent-hash ring. Rebuilt wholesale on membership
+/// change and swapped behind the membership lock — readers never see a
+/// half-built ring.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    seed: u64,
+    /// `(position, member index)` sorted by position.
+    vnodes: Vec<(u64, u32)>,
+    members: Vec<String>,
+}
+
+impl Ring {
+    /// Build a ring over `members` (deduplicated, order-insensitive)
+    /// with `vnodes_per` virtual nodes each.
+    pub fn build(seed: u64, members: &[String], vnodes_per: usize) -> Ring {
+        let members: Vec<String> = members
+            .iter()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .cloned()
+            .collect();
+        let vnodes_per = vnodes_per.max(1);
+        let mut vnodes = Vec::with_capacity(members.len() * vnodes_per);
+        for (idx, id) in members.iter().enumerate() {
+            let base = mix64(seed ^ fnv1a(id));
+            for v in 0..vnodes_per {
+                let pos = mix64(base ^ ((v as u64) << 32 | v as u64));
+                vnodes.push((pos, idx as u32));
+            }
+        }
+        // Position ties (vanishingly rare) break by member index so the
+        // ring is a pure function of its inputs.
+        vnodes.sort_unstable();
+        Ring {
+            seed,
+            vnodes,
+            members,
+        }
+    }
+
+    /// The routing hash of a request key under this ring's seed.
+    pub fn key_hash(&self, model: &str, scenario: &str) -> u64 {
+        key_hash(self.seed, model, scenario)
+    }
+
+    /// Member ids in the ring, sorted.
+    pub fn members(&self) -> &[String] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member owning `key`: the first virtual node at or after the
+    /// key position, wrapping around. `None` on an empty ring.
+    pub fn owner(&self, key: u64) -> Option<&str> {
+        self.walk(key).next()
+    }
+
+    /// Walk distinct members in ring order starting at `key`'s owner —
+    /// the failover order when the primary cannot take the request.
+    pub fn walk(&self, key: u64) -> RingWalk<'_> {
+        let start = self
+            .vnodes
+            .partition_point(|&(pos, _)| pos < key)
+            .checked_rem(self.vnodes.len())
+            .unwrap_or(0);
+        RingWalk {
+            ring: self,
+            at: start,
+            steps: 0,
+            seen: vec![false; self.members.len()],
+        }
+    }
+}
+
+/// Iterator over distinct members in ring order from a key position.
+pub struct RingWalk<'a> {
+    ring: &'a Ring,
+    at: usize,
+    steps: usize,
+    seen: Vec<bool>,
+}
+
+impl<'a> Iterator for RingWalk<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        while self.steps < self.ring.vnodes.len() {
+            let (_, idx) = self.ring.vnodes[self.at];
+            self.at = (self.at + 1) % self.ring.vnodes.len();
+            self.steps += 1;
+            let idx = idx as usize;
+            if !self.seen[idx] {
+                self.seen[idx] = true;
+                return Some(&self.ring.members[idx]);
+            }
+        }
+        None
+    }
+}
+
+/// The routing hash of `(model, scenario)` under `seed`. Exposed as a
+/// free function so callers can compute a key without holding a ring.
+pub fn key_hash(seed: u64, model: &str, scenario: &str) -> u64 {
+    // Length-prefix-free mixing: hash the two fields separately so
+    // ("ab", "c") and ("a", "bc") cannot collide structurally.
+    mix64(seed ^ fnv1a(model).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ fnv1a(scenario).rotate_left(17))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("w{i}")).collect()
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = Ring::build(1, &[], DEFAULT_VNODES);
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner(42), None);
+    }
+
+    #[test]
+    fn single_member_owns_everything() {
+        let ring = Ring::build(1, &ids(1), DEFAULT_VNODES);
+        for k in 0..64u64 {
+            assert_eq!(ring.owner(mix64(k)), Some("w0"));
+        }
+    }
+
+    #[test]
+    fn placement_is_seed_deterministic() {
+        let a = Ring::build(7, &ids(4), DEFAULT_VNODES);
+        let b = Ring::build(7, &ids(4), DEFAULT_VNODES);
+        let c = Ring::build(8, &ids(4), DEFAULT_VNODES);
+        let keys: Vec<u64> = (0..256).map(|k| mix64(k)).collect();
+        let route = |r: &Ring| -> Vec<String> {
+            keys.iter()
+                .map(|&k| r.owner(k).unwrap_or("").to_string())
+                .collect()
+        };
+        assert_eq!(route(&a), route(&b), "same seed must place identically");
+        assert_ne!(route(&a), route(&c), "seed must matter");
+    }
+
+    #[test]
+    fn member_order_does_not_matter() {
+        let fwd = Ring::build(3, &ids(5), DEFAULT_VNODES);
+        let mut rev = ids(5);
+        rev.reverse();
+        let rev = Ring::build(3, &rev, DEFAULT_VNODES);
+        for k in (0..512u64).map(mix64) {
+            assert_eq!(fwd.owner(k), rev.owner(k));
+        }
+    }
+
+    #[test]
+    fn walk_yields_every_member_once() {
+        let ring = Ring::build(5, &ids(6), DEFAULT_VNODES);
+        let seen: Vec<&str> = ring.walk(12345).collect();
+        assert_eq!(seen.len(), 6);
+        let set: BTreeSet<&str> = seen.iter().copied().collect();
+        assert_eq!(set.len(), 6, "walk must yield distinct members");
+        // The walk starts at the owner.
+        assert_eq!(ring.owner(12345), Some(seen[0]));
+    }
+
+    #[test]
+    fn key_hash_separates_fields() {
+        assert_ne!(key_hash(1, "ab", "c"), key_hash(1, "a", "bc"));
+        assert_ne!(key_hash(1, "m", "walk"), key_hash(1, "m", "bus"));
+        assert_ne!(key_hash(1, "m", "walk"), key_hash(2, "m", "walk"));
+        assert_eq!(key_hash(9, "m", "walk"), key_hash(9, "m", "walk"));
+    }
+}

@@ -1,0 +1,824 @@
+//! The fleet router: a std-only HTTP front-end that consistent-hashes
+//! `/v1/generate` by `(model, scenario)` onto the worker pool.
+//!
+//! Worker responses — including typed v1 error envelopes — are returned
+//! to the client verbatim (status, `Retry-After`, body). Errors that
+//! originate *in the router* (no healthy owner, deadline expired in
+//! routing, every failover attempt failed) are answered with the same
+//! typed envelope shape, so a fleet client sees exactly one error
+//! contract. A request's `Deadline-Ms` is propagated minus the time
+//! already spent routing; a forward attempt is additionally bounded by
+//! the router's forward timeout, so a dead worker costs milliseconds,
+//! not a client timeout.
+//!
+//! The core routing decision ([`dispatch_generate`]) is a free function
+//! over the [`Membership`]/[`Forwarder`] seams: the audit sync-check
+//! gate drives it with stub transports under the `interleave` model
+//! checker to prove health flaps racing forwarding never strand an
+//! accepted request.
+
+use crate::forward::Forwarder;
+use crate::membership::{Membership, Probe};
+use crate::metrics::FleetMetrics;
+use gendt_faults::GendtError;
+use gendt_serve::api::{ErrorEnvelope, GenerateRequest, ModelsResponse};
+use gendt_serve::http::{read_request, write_json, write_json_extra, write_response_extra};
+use gendt_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use gendt_sync::thread::{self, JoinHandle};
+use gendt_sync::time::Instant;
+use serde::Serialize;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How many distinct workers one request may try before giving up: the
+/// ring owner plus one failover. More would trade tail latency for
+/// availability the second attempt already provides.
+const MAX_ATTEMPTS: usize = 2;
+
+/// How long shutdown waits for in-flight connections to finish.
+const DRAIN_WAIT: Duration = Duration::from_secs(10);
+
+/// Grace window between `POST /shutdown` and the hard listener close.
+const DRAIN_GRACE: Duration = Duration::from_millis(300);
+
+/// Router configuration.
+#[derive(Clone, Debug)]
+pub struct RouterCfg {
+    /// Bind address (port 0 for tests).
+    pub addr: String,
+    /// Fleet placement seed (`GENDT_FLEET_SEED`).
+    pub seed: u64,
+    /// Health poll interval, milliseconds.
+    pub health_interval_ms: u64,
+    /// Per-attempt forward timeout, milliseconds (a propagated deadline
+    /// can only shorten it).
+    pub forward_timeout_ms: u64,
+}
+
+impl RouterCfg {
+    /// Defaults: loopback with an OS-assigned port, seed 1, 200 ms
+    /// health polls, 10 s forward budget.
+    pub fn new() -> RouterCfg {
+        RouterCfg {
+            addr: "127.0.0.1:0".to_string(),
+            seed: 1,
+            health_interval_ms: 200,
+            forward_timeout_ms: 10_000,
+        }
+    }
+
+    /// Reject degenerate values.
+    pub fn validate(&self) -> Result<(), GendtError> {
+        if self
+            .addr
+            .rsplit_once(':')
+            .is_none_or(|(host, port)| host.is_empty() || port.parse::<u16>().is_err())
+        {
+            return Err(GendtError::config(format!(
+                "RouterCfg: addr {:?} is not host:port",
+                self.addr
+            )));
+        }
+        if self.health_interval_ms == 0 {
+            return Err(GendtError::config(
+                "RouterCfg: health_interval_ms must be > 0",
+            ));
+        }
+        if self.forward_timeout_ms == 0 {
+            return Err(GendtError::config(
+                "RouterCfg: forward_timeout_ms must be > 0",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RouterCfg {
+    fn default() -> Self {
+        RouterCfg::new()
+    }
+}
+
+struct RouterState {
+    membership: Arc<Membership>,
+    forwarder: Arc<dyn Forwarder>,
+    metrics: Arc<FleetMetrics>,
+    forward_timeout: Duration,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    active: AtomicU64,
+}
+
+impl RouterState {
+    fn is_draining(&self) -> bool {
+        // sync: pairs with the Release stores in shutdown paths.
+        self.draining.load(Ordering::Acquire) || self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// Decrements the in-flight connection count when a handler exits.
+struct ActiveGuard<'a>(&'a AtomicU64);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        // sync: AcqRel so the drain loop's Acquire load of zero also
+        // observes every write the finished handler made.
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A running router: bound address plus the means to stop it.
+pub struct RouterHandle {
+    /// The address the router actually bound.
+    pub addr: SocketAddr,
+    state: Arc<RouterState>,
+    acceptor: Option<JoinHandle<()>>,
+    poller: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// Shared router metrics.
+    pub fn metrics(&self) -> Arc<FleetMetrics> {
+        self.state.metrics.clone()
+    }
+
+    /// Block until the acceptor exits (i.e. until `/shutdown`), then
+    /// drain the poller and in-flight connections.
+    pub fn join(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.finish();
+    }
+
+    /// Stop the router gracefully.
+    pub fn shutdown(mut self) {
+        // sync: Release pairs with the Acquire loads in is_draining and
+        // the accept/poll loops.
+        self.state.draining.store(true, Ordering::Release);
+        self.state.shutdown.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        // sync: Release pairs with the poll loop's Acquire.
+        self.state.shutdown.store(true, Ordering::Release);
+        if let Some(p) = self.poller.take() {
+            let _ = p.join();
+        }
+        let deadline = Instant::now() + DRAIN_WAIT;
+        // sync: Acquire pairs with ActiveGuard's AcqRel decrement.
+        while self.state.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+/// Start the router over an existing membership. Returns once the
+/// listener is bound and the health poller is up.
+pub fn route_serve(
+    cfg: RouterCfg,
+    membership: Arc<Membership>,
+    probe: Arc<dyn Probe>,
+    forwarder: Arc<dyn Forwarder>,
+    metrics: Arc<FleetMetrics>,
+) -> Result<RouterHandle, GendtError> {
+    cfg.validate()?;
+    let listener = TcpListener::bind(&cfg.addr)
+        .map_err(|e| GendtError::from(e).wrap(format!("cannot bind {}", cfg.addr)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| GendtError::from(e).wrap("no local addr"))?;
+
+    let state = Arc::new(RouterState {
+        membership: membership.clone(),
+        forwarder,
+        metrics,
+        forward_timeout: Duration::from_millis(cfg.forward_timeout_ms),
+        draining: AtomicBool::new(false),
+        shutdown: AtomicBool::new(false),
+        active: AtomicU64::new(0),
+    });
+
+    // Discover the pool before taking traffic, then keep polling.
+    membership.poll_once(probe.as_ref());
+    let poll_state = state.clone();
+    let interval = Duration::from_millis(cfg.health_interval_ms);
+    let poller = thread::spawn_named("fleet-health", move || {
+        // sync: pairs with the Release store in shutdown paths.
+        while !poll_state.shutdown.load(Ordering::Acquire) {
+            thread::sleep(interval);
+            poll_state.membership.poll_once(probe.as_ref());
+        }
+    });
+
+    let accept_state = state.clone();
+    let acceptor = thread::spawn_named("fleet-acceptor", move || {
+        for stream in listener.incoming() {
+            // sync: pairs with the Release store in shutdown paths.
+            if accept_state.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            match stream {
+                Ok(s) => {
+                    let conn_state = accept_state.clone();
+                    // sync: AcqRel, the counterpart of ActiveGuard's
+                    // decrement watched by the drain loop.
+                    conn_state.active.fetch_add(1, Ordering::AcqRel);
+                    thread::spawn_named("fleet-conn", move || {
+                        let _guard = ActiveGuard(&conn_state.active);
+                        handle_conn(&conn_state, s);
+                    });
+                }
+                Err(_) => continue,
+            }
+        }
+    });
+
+    Ok(RouterHandle {
+        addr,
+        state,
+        acceptor: Some(acceptor),
+        poller: Some(poller),
+    })
+}
+
+/// A fully-formed response: status, extra headers, JSON body.
+pub struct Routed {
+    /// HTTP status to answer.
+    pub status: u16,
+    /// Extra headers (e.g. `Retry-After`) to include.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl Routed {
+    fn error(err: &GendtError) -> Routed {
+        let status = err.http_status();
+        let mut headers = Vec::new();
+        if status == 429 || status == 503 {
+            headers.push(("Retry-After".to_string(), "1".to_string()));
+        }
+        let body = serde_json::to_string(&ErrorEnvelope::from_error(err)).unwrap_or_else(|_| {
+            format!("{{\"code\":\"internal\",\"message\":{:?}}}", err.context())
+        });
+        Routed {
+            status,
+            headers,
+            body,
+        }
+    }
+}
+
+/// Route and forward one generate request; always returns a definite
+/// response. `deadline_ms` is the client's remaining budget at `started`.
+///
+/// The attempt loop is the availability story: a transport failure
+/// evicts the worker from the ring ([`Membership::report_failure`]) and
+/// retries the next owner, so a crashed worker degrades one request to
+/// a fast failover instead of stranding it. Worker HTTP responses of
+/// any status are final — they are the worker's answer, not a transport
+/// failure — and pass through verbatim.
+#[allow(clippy::too_many_arguments)] // the explicit seams are the point: sync-check injects each one
+pub fn dispatch_generate(
+    membership: &Membership,
+    forwarder: &dyn Forwarder,
+    metrics: &FleetMetrics,
+    path: &str,
+    body: &str,
+    deadline_ms: Option<u64>,
+    started: Instant,
+    forward_timeout: Duration,
+) -> Routed {
+    let parsed: GenerateRequest = match serde_json::from_str(body) {
+        Ok(p) => p,
+        Err(e) => {
+            return Routed::error(&GendtError::invalid(format!("bad request body: {e}")));
+        }
+    };
+
+    let mut last_err: Option<GendtError> = None;
+    for _attempt in 0..MAX_ATTEMPTS {
+        // Deadline minus elapsed routing time; expired means a 504
+        // without burning a worker slot.
+        let budget = match remaining_budget(deadline_ms, started, forward_timeout) {
+            Ok(b) => b,
+            Err(e) => {
+                // sync: monotonic counter for /metrics only.
+                metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                return Routed::error(&e);
+            }
+        };
+        // Bounded-load consistent hashing: the key's owner unless it is
+        // over the bounded-load limit (1.125× the fleet-mean in-flight), else the next
+        // worker in the key's failover order. The grant holds one unit
+        // of the target's load until this attempt resolves.
+        let Some(grant) = membership.route_bounded(&parsed.model, &parsed.scenario) else {
+            // sync: monotonic counter for /metrics only.
+            metrics.no_owner.fetch_add(1, Ordering::Relaxed);
+            return Routed::error(&GendtError::unavailable(format!(
+                "no healthy worker owns ({}, {})",
+                parsed.model, parsed.scenario
+            )));
+        };
+        let (worker_id, addr) = (grant.id.clone(), grant.addr.clone());
+        let mut headers: Vec<(String, String)> = Vec::new();
+        if let Some(ms) = budget.propagate_ms {
+            headers.push(("Deadline-Ms".to_string(), ms.to_string()));
+        }
+        gendt_trace::span!("fleet_forward");
+        match forwarder.forward(&addr, "POST", path, &headers, Some(body), budget.timeout) {
+            Ok(resp) => {
+                // sync: monotonic counter for /metrics only.
+                metrics.forwarded.fetch_add(1, Ordering::Relaxed);
+                metrics.observe_latency_ms(started.elapsed().as_secs_f64() * 1000.0);
+                let mut out_headers = Vec::new();
+                if let Some(ra) = resp.header("retry-after") {
+                    out_headers.push(("Retry-After".to_string(), ra.to_string()));
+                }
+                return Routed {
+                    status: resp.status,
+                    headers: out_headers,
+                    body: resp.body,
+                };
+            }
+            Err(e) => {
+                // sync: monotonic counter for /metrics only.
+                metrics.forward_errors.fetch_add(1, Ordering::Relaxed);
+                membership.report_failure(&worker_id);
+                last_err = Some(e.wrap(format!("worker {worker_id}")));
+            }
+        }
+    }
+    let err = last_err
+        .unwrap_or_else(|| GendtError::unavailable("no forward attempt ran"))
+        .wrap("fleet forwarding failed")
+        .with_retryable(true);
+    Routed::error(&err)
+}
+
+struct Budget {
+    /// What to tell the worker (`Deadline-Ms`), if the client set one.
+    propagate_ms: Option<u64>,
+    /// Socket budget for this attempt.
+    timeout: Duration,
+}
+
+fn remaining_budget(
+    deadline_ms: Option<u64>,
+    started: Instant,
+    forward_timeout: Duration,
+) -> Result<Budget, GendtError> {
+    match deadline_ms {
+        None => Ok(Budget {
+            propagate_ms: None,
+            timeout: forward_timeout,
+        }),
+        Some(total) => {
+            let elapsed_ms = (started.elapsed().as_secs_f64() * 1000.0) as u64;
+            if elapsed_ms >= total {
+                return Err(GendtError::timeout(format!(
+                    "deadline of {total} ms expired during routing"
+                )));
+            }
+            let remaining = total - elapsed_ms;
+            Ok(Budget {
+                propagate_ms: Some(remaining),
+                timeout: forward_timeout.min(Duration::from_millis(remaining)),
+            })
+        }
+    }
+}
+
+/// Router-level fleet status (`GET /v1/fleet`).
+#[derive(Debug, Serialize)]
+struct FleetStatus {
+    seed: u64,
+    workers: usize,
+    healthy: usize,
+    models: Vec<String>,
+    members: Vec<FleetWorker>,
+}
+
+#[derive(Debug, Serialize)]
+struct FleetWorker {
+    id: String,
+    addr: String,
+    healthy: bool,
+    models: Vec<String>,
+    versions: Vec<u64>,
+    queue_depth: u64,
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Error",
+    }
+}
+
+fn write_routed(stream: &mut TcpStream, routed: &Routed) {
+    let extra: Vec<(&str, &str)> = routed
+        .headers
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.as_str()))
+        .collect();
+    let _ = write_json_extra(
+        stream,
+        routed.status,
+        reason(routed.status),
+        &extra,
+        &routed.body,
+    );
+}
+
+fn handle_conn(state: &Arc<RouterState>, mut stream: TcpStream) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let req = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            write_routed(
+                &mut stream,
+                &Routed::error(&GendtError::invalid(format!("{e}"))),
+            );
+            return;
+        }
+    };
+    // sync: monotonic counter for /metrics only.
+    state.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+
+    // Same surface split as the worker: `/v1/<route>` and `<route>`
+    // dispatch identically; forwarding preserves the client's path so
+    // the worker picks the response shape the client asked for.
+    let route = match req.path.strip_prefix("/v1") {
+        Some("") => "/".to_string(),
+        Some(rest) if rest.starts_with('/') => rest.to_string(),
+        _ => req.path.clone(),
+    };
+
+    match (req.method.as_str(), route.as_str()) {
+        ("POST", "/generate") => {
+            if state.is_draining() {
+                write_routed(
+                    &mut stream,
+                    &Routed::error(&GendtError::unavailable("router is draining")),
+                );
+                return;
+            }
+            let deadline_ms = match parse_deadline(req.header("deadline-ms")) {
+                Ok(d) => d,
+                Err(e) => {
+                    write_routed(&mut stream, &Routed::error(&e));
+                    return;
+                }
+            };
+            let body = String::from_utf8_lossy(&req.body).into_owned();
+            let routed = dispatch_generate(
+                &state.membership,
+                state.forwarder.as_ref(),
+                state.metrics.as_ref(),
+                &req.path,
+                &body,
+                deadline_ms,
+                started,
+                state.forward_timeout,
+            );
+            write_routed(&mut stream, &routed);
+        }
+        ("GET", "/models") => {
+            let body = serde_json::to_string(&ModelsResponse {
+                models: state.membership.model_names(),
+            })
+            .unwrap_or_else(|_| "{}".to_string());
+            let _ = write_json(&mut stream, 200, "OK", &body);
+        }
+        ("GET", "/fleet") => {
+            let members = state
+                .membership
+                .snapshot()
+                .into_iter()
+                .map(|w| FleetWorker {
+                    id: w.id,
+                    addr: w.addr,
+                    healthy: w.healthy,
+                    models: w.models,
+                    versions: w.versions,
+                    queue_depth: w.queue_depth,
+                })
+                .collect::<Vec<_>>();
+            let body = serde_json::to_string(&FleetStatus {
+                seed: state.membership.seed(),
+                workers: members.len(),
+                healthy: state.membership.healthy_count(),
+                models: state.membership.model_names(),
+                members,
+            })
+            .unwrap_or_else(|_| "{}".to_string());
+            let _ = write_json(&mut stream, 200, "OK", &body);
+        }
+        ("GET", "/healthz") => {
+            let healthy = !state.is_draining() && state.membership.healthy_count() > 0;
+            if healthy {
+                let _ = write_response_extra(&mut stream, 200, "OK", "text/plain", &[], b"ok\n");
+            } else {
+                let _ = write_response_extra(
+                    &mut stream,
+                    503,
+                    "Service Unavailable",
+                    "text/plain",
+                    &[("Retry-After", "1")],
+                    b"no healthy workers\n",
+                );
+            }
+        }
+        ("GET", "/metrics") => {
+            let snapshot = state.membership.snapshot();
+            let healthy = snapshot.iter().filter(|w| w.healthy).count();
+            let text = state.metrics.render(snapshot.len(), healthy);
+            let _ = write_response_extra(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                &[],
+                text.as_bytes(),
+            );
+        }
+        ("POST", "/reload") => {
+            let routed = broadcast_reload(state, &req.path);
+            write_routed(&mut stream, &routed);
+        }
+        ("POST", "/shutdown") => {
+            // sync: Release pairs with is_draining's Acquire load.
+            state.draining.store(true, Ordering::Release);
+            let _ = write_response_extra(&mut stream, 200, "OK", "text/plain", &[], b"draining\n");
+            let local = stream.local_addr().ok();
+            let closer_state = state.clone();
+            thread::spawn_named("fleet-drain-closer", move || {
+                thread::sleep(DRAIN_GRACE);
+                // sync: Release pairs with the accept loop's Acquire.
+                closer_state.shutdown.store(true, Ordering::Release);
+                if let Some(local) = local {
+                    let _ = TcpStream::connect(local);
+                }
+            });
+        }
+        _ => write_routed(
+            &mut stream,
+            &Routed::error(&GendtError::not_found(format!(
+                "no such route {:?}",
+                req.path
+            ))),
+        ),
+    }
+}
+
+fn parse_deadline(raw: Option<&str>) -> Result<Option<u64>, GendtError> {
+    match raw {
+        None => Ok(None),
+        Some(raw) => {
+            let ms: u64 = raw.parse().map_err(|_| {
+                GendtError::invalid(format!(
+                    "Deadline-Ms: {raw:?} is not a non-negative integer"
+                ))
+            })?;
+            if ms == 0 {
+                return Err(GendtError::invalid("Deadline-Ms must be > 0"));
+            }
+            Ok(Some(ms))
+        }
+    }
+}
+
+/// Fan `/reload` out to every healthy worker; succeed only if all did.
+fn broadcast_reload(state: &Arc<RouterState>, path: &str) -> Routed {
+    let targets = state.membership.healthy_addrs();
+    if targets.is_empty() {
+        return Routed::error(&GendtError::unavailable("no healthy workers to reload"));
+    }
+    for (id, addr) in &targets {
+        match state
+            .forwarder
+            .forward(addr, "POST", path, &[], None, state.forward_timeout)
+        {
+            Ok(resp) if resp.status == 200 => {}
+            Ok(resp) => {
+                return Routed {
+                    status: resp.status,
+                    headers: Vec::new(),
+                    body: resp.body,
+                };
+            }
+            Err(e) => {
+                state.membership.report_failure(id);
+                return Routed::error(&e.wrap(format!("reloading worker {id}")));
+            }
+        }
+    }
+    let body = serde_json::to_string(&ModelsResponse {
+        models: state.membership.model_names(),
+    })
+    .unwrap_or_else(|_| "{}".to_string());
+    Routed {
+        status: 200,
+        headers: Vec::new(),
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendt_serve::http::HttpResponse;
+
+    struct OkForwarder;
+    impl Forwarder for OkForwarder {
+        fn forward(
+            &self,
+            _addr: &str,
+            _method: &str,
+            _path: &str,
+            headers: &[(String, String)],
+            _body: Option<&str>,
+            _timeout: Duration,
+        ) -> Result<HttpResponse, GendtError> {
+            let deadline = headers
+                .iter()
+                .find(|(n, _)| n == "Deadline-Ms")
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default();
+            Ok(HttpResponse {
+                status: 200,
+                headers: Vec::new(),
+                body: format!("{{\"deadline\":\"{deadline}\"}}"),
+            })
+        }
+    }
+
+    struct DeadForwarder;
+    impl Forwarder for DeadForwarder {
+        fn forward(
+            &self,
+            _addr: &str,
+            _method: &str,
+            _path: &str,
+            _headers: &[(String, String)],
+            _body: Option<&str>,
+            _timeout: Duration,
+        ) -> Result<HttpResponse, GendtError> {
+            Err(GendtError::unavailable("stub: connection refused"))
+        }
+    }
+
+    fn body() -> String {
+        "{\"model\":\"demo_a\",\"scenario\":\"walk\",\"duration_s\":10.0,\"start_x\":0.0,\
+         \"start_y\":0.0,\"traj_seed\":1,\"sample_seed\":2}"
+            .to_string()
+    }
+
+    fn fresh_membership() -> (Arc<Membership>, Arc<FleetMetrics>) {
+        let metrics = Arc::new(FleetMetrics::new());
+        let m = Arc::new(Membership::new(5, metrics.clone()));
+        m.register("w0", "127.0.0.1:1000");
+        m.register("w1", "127.0.0.1:1001");
+        (m, metrics)
+    }
+
+    #[test]
+    fn bad_body_is_a_typed_400() {
+        let (m, metrics) = fresh_membership();
+        let r = dispatch_generate(
+            &m,
+            &OkForwarder,
+            &metrics,
+            "/v1/generate",
+            "not json",
+            None,
+            Instant::now(),
+            Duration::from_secs(1),
+        );
+        assert_eq!(r.status, 400);
+        assert!(r.body.contains("invalid_request"), "{}", r.body);
+    }
+
+    #[test]
+    fn healthy_worker_response_passes_through() {
+        let (m, metrics) = fresh_membership();
+        let r = dispatch_generate(
+            &m,
+            &OkForwarder,
+            &metrics,
+            "/v1/generate",
+            &body(),
+            None,
+            Instant::now(),
+            Duration::from_secs(1),
+        );
+        assert_eq!(r.status, 200);
+        // No client deadline: none propagated.
+        assert!(r.body.contains("\"deadline\":\"\""), "{}", r.body);
+    }
+
+    #[test]
+    fn deadline_propagates_minus_elapsed() {
+        let (m, metrics) = fresh_membership();
+        let r = dispatch_generate(
+            &m,
+            &OkForwarder,
+            &metrics,
+            "/v1/generate",
+            &body(),
+            Some(5_000),
+            Instant::now(),
+            Duration::from_secs(30),
+        );
+        assert_eq!(r.status, 200);
+        // Propagated value is ≤ the original and > 0.
+        let ms: u64 = r
+            .body
+            .trim_start_matches("{\"deadline\":\"")
+            .trim_end_matches("\"}")
+            .parse()
+            .expect("deadline in stub body");
+        assert!(ms > 0 && ms <= 5_000, "propagated {ms}");
+    }
+
+    #[test]
+    fn expired_deadline_is_a_504_without_forwarding() {
+        let (m, metrics) = fresh_membership();
+        let started = Instant::now();
+        thread::sleep(Duration::from_millis(15));
+        let r = dispatch_generate(
+            &m,
+            &OkForwarder,
+            &metrics,
+            "/v1/generate",
+            &body(),
+            Some(5),
+            started,
+            Duration::from_secs(1),
+        );
+        assert_eq!(r.status, 504);
+        assert!(r.body.contains("timeout"), "{}", r.body);
+        assert_eq!(metrics.forwarded.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn dead_pool_degrades_to_typed_retryable_503() {
+        let (m, metrics) = fresh_membership();
+        let r = dispatch_generate(
+            &m,
+            &DeadForwarder,
+            &metrics,
+            "/v1/generate",
+            &body(),
+            None,
+            Instant::now(),
+            Duration::from_secs(1),
+        );
+        assert_eq!(r.status, 503);
+        assert!(r.body.contains("\"retryable\":true"), "{}", r.body);
+        assert!(
+            r.headers
+                .iter()
+                .any(|(n, v)| n == "Retry-After" && v == "1"),
+            "{:?}",
+            r.headers
+        );
+        // Both workers were evicted by the failed attempts.
+        assert_eq!(m.healthy_count(), 0);
+        assert_eq!(metrics.forward_errors.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn empty_ring_is_a_typed_503() {
+        let metrics = Arc::new(FleetMetrics::new());
+        let m = Membership::new(5, metrics.clone());
+        let r = dispatch_generate(
+            &m,
+            &OkForwarder,
+            &metrics,
+            "/v1/generate",
+            &body(),
+            None,
+            Instant::now(),
+            Duration::from_secs(1),
+        );
+        assert_eq!(r.status, 503);
+        assert!(r.body.contains("unavailable"), "{}", r.body);
+        assert_eq!(metrics.no_owner.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Router integration tests against real in-process workers: two
+//! [`gendt_serve`] servers stand in for the pool (no process spawning,
+//! so the test is fast and sandbox-friendly), and the router fronts
+//! them over real loopback HTTP.
+
+use gendt_fleet::{route_serve, FleetMetrics, HttpForwarder, HttpProbe, Membership, RouterCfg};
+use gendt_serve::http::{http_request, http_request_full};
+use gendt_serve::{serve, ServerCfg, ServerHandle};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn models_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("gendt-fleet-itest-models");
+    let ckpt = dir.join("demo_a.json");
+    if !ckpt.exists() {
+        gendt_serve::demo::write_demo_model(&ckpt, 1).expect("demo checkpoint");
+    }
+    dir
+}
+
+fn worker() -> ServerHandle {
+    serve(ServerCfg::new(models_dir())).expect("worker up")
+}
+
+struct TestFleet {
+    router: gendt_fleet::RouterHandle,
+    membership: Arc<Membership>,
+    workers: Vec<ServerHandle>,
+}
+
+impl TestFleet {
+    fn start(n: usize) -> TestFleet {
+        let workers: Vec<ServerHandle> = (0..n).map(|_| worker()).collect();
+        let metrics = Arc::new(FleetMetrics::new());
+        let membership = Arc::new(Membership::new(9, metrics.clone()));
+        for (i, w) in workers.iter().enumerate() {
+            membership.register(&format!("w{i}"), &w.addr.to_string());
+        }
+        let cfg = RouterCfg {
+            health_interval_ms: 50,
+            ..RouterCfg::new()
+        };
+        let router = route_serve(
+            cfg,
+            membership.clone(),
+            Arc::new(HttpProbe),
+            Arc::new(HttpForwarder),
+            metrics,
+        )
+        .expect("router up");
+        TestFleet {
+            router,
+            membership,
+            workers,
+        }
+    }
+
+    fn addr(&self) -> String {
+        self.router.addr.to_string()
+    }
+
+    fn stop(self) {
+        self.router.shutdown();
+        for w in self.workers {
+            w.shutdown();
+        }
+    }
+}
+
+fn body(scenario: &str, sample_seed: u64) -> String {
+    format!(
+        "{{\"model\":\"demo_a\",\"scenario\":\"{scenario}\",\"duration_s\":20.0,\
+         \"start_x\":0.0,\"start_y\":0.0,\"traj_seed\":2,\"sample_seed\":{sample_seed}}}"
+    )
+}
+
+#[test]
+fn routed_generate_matches_direct_worker_bitwise() {
+    let fleet = TestFleet::start(2);
+    for scenario in ["walk", "bus", "tram", "city_drive", "highway"] {
+        let b = body(scenario, 5);
+        let (rs, routed) =
+            http_request(&fleet.addr(), "POST", "/v1/generate", Some(&b)).expect("routed");
+        assert_eq!(rs, 200, "routed {scenario}: {routed}");
+        // Any single worker gives the canonical answer: generation is
+        // deterministic in the request, not in the serving process.
+        let direct_addr = fleet.workers[0].addr.to_string();
+        let (ds, direct) =
+            http_request(&direct_addr, "POST", "/v1/generate", Some(&b)).expect("direct");
+        assert_eq!(ds, 200);
+        assert_eq!(routed, direct, "scenario {scenario} differs through router");
+    }
+    fleet.stop();
+}
+
+#[test]
+fn models_and_fleet_endpoints_reflect_membership() {
+    let fleet = TestFleet::start(2);
+    let (s, models) = http_request(&fleet.addr(), "GET", "/v1/models", None).expect("models");
+    assert_eq!(s, 200);
+    assert!(models.contains("demo_a"), "{models}");
+
+    let (s, status) = http_request(&fleet.addr(), "GET", "/v1/fleet", None).expect("fleet");
+    assert_eq!(s, 200);
+    assert!(status.contains("\"workers\":2"), "{status}");
+    assert!(status.contains("\"healthy\":2"), "{status}");
+    assert!(status.contains("\"seed\":9"), "{status}");
+
+    let (s, _) = http_request(&fleet.addr(), "GET", "/v1/healthz", None).expect("healthz");
+    assert_eq!(s, 200);
+    fleet.stop();
+}
+
+#[test]
+fn dead_worker_fails_over_without_stranding() {
+    let fleet = TestFleet::start(2);
+    // Hard-stop one worker out from under the router.
+    let victim = fleet.workers[1].addr.to_string();
+    let _ = http_request(&victim, "POST", "/v1/shutdown", None);
+    // Give the two-phase drain a beat to close the listener.
+    std::thread::sleep(std::time::Duration::from_millis(700));
+
+    // Every request still gets a definite answer; at least one 200.
+    let mut ok = 0;
+    for i in 0..10u64 {
+        let b = body(["walk", "bus", "tram"][i as usize % 3], i);
+        let resp = http_request_full(&fleet.addr(), "POST", "/v1/generate", &[], Some(&b))
+            .expect("request answered");
+        match resp.status {
+            200 => ok += 1,
+            503 => assert!(
+                resp.body.contains("\"retryable\":true"),
+                "untyped 503: {}",
+                resp.body
+            ),
+            other => panic!("unexpected status {other}: {}", resp.body),
+        }
+    }
+    assert!(ok > 0, "no request succeeded after failover");
+
+    // The health poller converges to 1 healthy member.
+    let mut healthy = fleet.membership.healthy_count();
+    for _ in 0..50 {
+        if healthy == 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        healthy = fleet.membership.healthy_count();
+    }
+    assert_eq!(healthy, 1, "membership never converged");
+    fleet.stop();
+}
+
+#[test]
+fn deadline_expired_in_routing_is_504() {
+    let fleet = TestFleet::start(1);
+    // Deadline-Ms: 1 will be expired by the time routing runs.
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let resp = http_request_full(
+        &fleet.addr(),
+        "POST",
+        "/v1/generate",
+        &[("Deadline-Ms", "1")],
+        Some(&body("walk", 1)),
+    )
+    .expect("answered");
+    // Either the router noticed (504) or the worker shed it (503) —
+    // both are typed; what must not happen is a success or a hang.
+    assert!(
+        resp.status == 504 || resp.status == 503,
+        "status {}: {}",
+        resp.status,
+        resp.body
+    );
+    assert!(resp.body.contains("\"code\""), "untyped: {}", resp.body);
+    fleet.stop();
+}
+
+#[test]
+fn draining_router_sheds_with_typed_envelope() {
+    let fleet = TestFleet::start(1);
+    let (s, b) = http_request(&fleet.addr(), "POST", "/v1/shutdown", None).expect("shutdown");
+    assert_eq!(s, 200, "{b}");
+    // Until the listener closes, new generates are shed typed.
+    if let Ok(resp) = http_request_full(
+        &fleet.addr(),
+        "POST",
+        "/v1/generate",
+        &[],
+        Some(&body("walk", 1)),
+    ) {
+        assert_eq!(resp.status, 503, "{}", resp.body);
+        assert!(resp.body.contains("unavailable"), "{}", resp.body);
+    }
+    // Router winds down on its own after the drain grace.
+    fleet.router.join();
+    for w in fleet.workers {
+        w.shutdown();
+    }
+}

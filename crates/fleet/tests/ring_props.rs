@@ -1,0 +1,134 @@
+//! Property tests for the consistent-hash ring: balance and minimal
+//! disruption — the two claims the fleet design leans on.
+
+use gendt_fleet::key_hash;
+use gendt_fleet::ring::{Ring, DEFAULT_VNODES};
+
+fn members(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("w{i}")).collect()
+}
+
+/// A deterministic population of request keys shaped like real traffic:
+/// a few models crossed with many scenarios.
+fn traffic_keys(seed: u64, n: usize) -> Vec<u64> {
+    const MODELS: [&str; 4] = ["demo_a", "demo_b", "campus", "highway_v2"];
+    (0..n)
+        .map(|i| {
+            let model = MODELS[i % MODELS.len()];
+            let scenario = format!("scn{}", i / MODELS.len());
+            key_hash(seed, model, &scenario)
+        })
+        .collect()
+}
+
+fn owners(ring: &Ring, keys: &[u64]) -> Vec<String> {
+    keys.iter()
+        .map(|&k| ring.owner(k).expect("non-empty ring").to_string())
+        .collect()
+}
+
+/// Across 8 workers, every worker's share of a large key population
+/// stays within ±15% of the fair share — the ISSUE's balance bound.
+#[test]
+fn eight_workers_balance_within_15_percent() {
+    for seed in [1u64, 7, 42] {
+        let ring = Ring::build(seed, &members(8), DEFAULT_VNODES);
+        let keys = traffic_keys(seed, 16_000);
+        let assigned = owners(&ring, &keys);
+        let fair = keys.len() as f64 / 8.0;
+        for id in ring.members() {
+            let got = assigned.iter().filter(|o| *o == id).count() as f64;
+            let dev = (got - fair).abs() / fair;
+            assert!(
+                dev <= 0.15,
+                "seed {seed}: {id} holds {got} of {} keys ({:.1}% off fair share)",
+                keys.len(),
+                dev * 100.0
+            );
+        }
+    }
+}
+
+/// Adding a 9th worker moves roughly 1/9 of keys — and every move goes
+/// *to* the new worker (no unrelated reshuffling).
+#[test]
+fn join_moves_about_one_nth_and_only_to_joiner() {
+    let seed = 11u64;
+    let before = Ring::build(seed, &members(8), DEFAULT_VNODES);
+    let after = Ring::build(seed, &members(9), DEFAULT_VNODES);
+    let keys = traffic_keys(seed, 16_000);
+    let a = owners(&before, &keys);
+    let b = owners(&after, &keys);
+    let mut moved = 0usize;
+    for (old, new) in a.iter().zip(&b) {
+        if old != new {
+            moved += 1;
+            assert_eq!(new, "w8", "a key moved to {new}, not to the joiner");
+        }
+    }
+    let frac = moved as f64 / keys.len() as f64;
+    // Expect ~1/9 ≈ 11.1%; accept a generous band around it.
+    assert!(
+        (0.05..=0.20).contains(&frac),
+        "join moved {:.1}% of keys, expected ~11%",
+        frac * 100.0
+    );
+}
+
+/// Evicting one of 8 workers moves exactly that worker's keys (~1/8)
+/// and strands nothing: evicted keys all land on surviving workers.
+#[test]
+fn evict_moves_only_the_victims_keys() {
+    let seed = 23u64;
+    let before = Ring::build(seed, &members(8), DEFAULT_VNODES);
+    let survivors: Vec<String> = members(8).into_iter().filter(|m| m != "w3").collect();
+    let after = Ring::build(seed, &survivors, DEFAULT_VNODES);
+    let keys = traffic_keys(seed, 16_000);
+    let a = owners(&before, &keys);
+    let b = owners(&after, &keys);
+    let mut moved = 0usize;
+    for (old, new) in a.iter().zip(&b) {
+        if old == "w3" {
+            moved += 1;
+            assert_ne!(new, "w3", "evicted worker still owns a key");
+        } else {
+            assert_eq!(old, new, "a key not owned by the victim moved on evict");
+        }
+        assert!(survivors.contains(new), "key routed off the ring");
+    }
+    let frac = moved as f64 / keys.len() as f64;
+    assert!(
+        (0.06..=0.19).contains(&frac),
+        "evict moved {:.1}% of keys, expected ~12.5%",
+        frac * 100.0
+    );
+}
+
+/// Rejoin after evict restores the exact original placement — eviction
+/// is memoryless, so a health flap cannot slowly scramble the ring.
+#[test]
+fn rejoin_restores_original_placement() {
+    let seed = 5u64;
+    let full = Ring::build(seed, &members(8), DEFAULT_VNODES);
+    let survivors: Vec<String> = members(8).into_iter().filter(|m| m != "w5").collect();
+    let down = Ring::build(seed, &survivors, DEFAULT_VNODES);
+    let back = Ring::build(seed, &members(8), DEFAULT_VNODES);
+    let keys = traffic_keys(seed, 4_000);
+    assert_ne!(owners(&full, &keys), owners(&down, &keys));
+    assert_eq!(owners(&full, &keys), owners(&back, &keys));
+}
+
+/// The failover walk's second member differs from the first and is
+/// stable for a fixed ring — the router's retry target is
+/// deterministic.
+#[test]
+fn failover_order_is_stable_and_distinct() {
+    let ring = Ring::build(3, &members(8), DEFAULT_VNODES);
+    for &k in &traffic_keys(3, 512) {
+        let first: Vec<&str> = ring.walk(k).take(2).collect();
+        let second: Vec<&str> = ring.walk(k).take(2).collect();
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 2);
+        assert_ne!(first[0], first[1]);
+    }
+}

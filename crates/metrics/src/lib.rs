@@ -181,8 +181,8 @@ impl Histogram {
     }
 }
 
-/// The latency summary triple the serving layer reports: median and the
-/// two tail quantiles operators alarm on.
+/// The latency summary the serving layer reports: median plus the tail
+/// quantiles operators alarm on, up to p99.9 for fleet-scale SLOs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Quantiles {
     /// Median (50th percentile).
@@ -191,16 +191,19 @@ pub struct Quantiles {
     pub p95: f64,
     /// 99th percentile.
     pub p99: f64,
+    /// 99.9th percentile — the deep tail open-loop load exposes.
+    pub p999: f64,
 }
 
 impl Quantiles {
     /// Streaming estimate from a binned [`Histogram`] (accuracy bounded
-    /// by the bin width). NaN triple for an empty histogram.
+    /// by the bin width). NaN quadruple for an empty histogram.
     pub fn from_histogram(h: &Histogram) -> Quantiles {
         Quantiles {
             p50: h.quantile(0.50),
             p95: h.quantile(0.95),
             p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
         }
     }
 
@@ -217,6 +220,7 @@ impl Quantiles {
             p50: quantile_sorted(&v, 0.50),
             p95: quantile_sorted(&v, 0.95),
             p99: quantile_sorted(&v, 0.99),
+            p999: quantile_sorted(&v, 0.999),
         }
     }
 }
@@ -459,8 +463,11 @@ mod tests {
         let xs: Vec<f64> = (0..500).map(|i| (i as f64 * 0.731).sin() * 50.0).collect();
         let h = Histogram::new(&xs, -50.0, 50.0, 64);
         let q = Quantiles::from_histogram(&h);
-        assert!(q.p50 <= q.p95 && q.p95 <= q.p99, "{q:?} not monotone");
-        assert!(q.p50 >= -50.0 && q.p99 <= 50.0);
+        assert!(
+            q.p50 <= q.p95 && q.p95 <= q.p99 && q.p99 <= q.p999,
+            "{q:?} not monotone"
+        );
+        assert!(q.p50 >= -50.0 && q.p999 <= 50.0);
         assert!(h.quantile(0.0) >= -50.0);
         assert!(h.quantile(1.0) <= 50.0);
     }
@@ -474,12 +481,14 @@ mod tests {
 
     #[test]
     fn from_samples_known_values() {
-        // 1..=100: p50 interpolates to 50.5, p95 to 95.05, p99 to 99.01.
+        // 1..=100: p50 interpolates to 50.5, p95 to 95.05, p99 to 99.01,
+        // p99.9 to 99.901.
         let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         let q = Quantiles::from_samples(&xs);
         assert!((q.p50 - 50.5).abs() < 1e-9, "p50 {}", q.p50);
         assert!((q.p95 - 95.05).abs() < 1e-9, "p95 {}", q.p95);
         assert!((q.p99 - 99.01).abs() < 1e-9, "p99 {}", q.p99);
+        assert!((q.p999 - 99.901).abs() < 1e-9, "p999 {}", q.p999);
     }
 
     #[test]
@@ -494,6 +503,7 @@ mod tests {
         assert_eq!(q.p50, 42.5);
         assert_eq!(q.p95, 42.5);
         assert_eq!(q.p99, 42.5);
+        assert_eq!(q.p999, 42.5);
     }
 
     #[test]
@@ -503,6 +513,7 @@ mod tests {
         assert_eq!(q.p50, 7.25);
         assert_eq!(q.p95, 7.25);
         assert_eq!(q.p99, 7.25);
+        assert_eq!(q.p999, 7.25);
         // The streaming path must agree to within one bin width even in
         // the degenerate single-spike distribution.
         let h = Histogram::new(&xs, 0.0, 10.0, 100);

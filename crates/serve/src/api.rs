@@ -47,6 +47,33 @@ pub struct ModelsResponse {
     pub models: Vec<String>,
 }
 
+/// One advertised model in an `InfoResponse`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Registry model name.
+    pub name: String,
+    /// Checkpoint content version (FNV-1a of the checkpoint bytes, `0`
+    /// for in-memory entries).
+    pub version: u64,
+    /// KPI channel count.
+    pub n_ch: usize,
+}
+
+/// Body of `GET /v1/info`: what a worker advertises to the fleet router
+/// — loaded models with checkpoint versions, live queue depth, batching
+/// capacity, and drain state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InfoResponse {
+    /// Loaded models, sorted by name.
+    pub models: Vec<ModelInfo>,
+    /// Jobs currently queued in the scheduler.
+    pub queue_depth: u64,
+    /// Scheduler micro-batch capacity.
+    pub max_batch: usize,
+    /// Whether the worker is draining (will refuse new work).
+    pub draining: bool,
+}
+
 /// Body of any legacy (unversioned) error response.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ErrorResponse {

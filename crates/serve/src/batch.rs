@@ -54,6 +54,7 @@ mod tests {
             model.set_plan_mode(plan);
             ModelEntry {
                 name: "demo".to_string(),
+                version: 0,
                 model,
                 kpis: Kpi::DATASET_A.to_vec(),
             }

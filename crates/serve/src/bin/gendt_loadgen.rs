@@ -1,37 +1,43 @@
-//! `gendt-loadgen` — drive a `gendt-serve` instance at fixed concurrency
-//! and report serving latency/throughput.
+//! `gendt-loadgen` — drive a `gendt-serve` instance with open-loop
+//! Poisson arrivals and report serving latency/throughput.
 //!
 //! ```text
-//! gendt-loadgen [--addr HOST:PORT] [--concurrency N] [--requests N]
-//!               [--out PATH] [--quick] [--smoke]
+//! gendt-loadgen [--addr HOST:PORT] [--rate RPS] [--requests N]
+//!               [--max-inflight N] [--seed N] [--out PATH]
+//!               [--quick] [--smoke]
 //! ```
 //!
-//! Without `--addr`, an in-process server is stood up against a freshly
-//! trained demo checkpoint — this is what CI uses, so the gate needs no
-//! external binaries (no curl in the container). `--quick` shrinks the
-//! run for CI; `--smoke` only checks one request plus a `/metrics`
-//! scrape and a clean shutdown. Results (p50/p95/p99 latency,
-//! throughput, batch occupancy) land in `BENCH_serve.json`.
+//! Arrivals are offered at the configured rate whether or not earlier
+//! requests returned (open loop), so tail latency reflects queueing
+//! rather than client back-pressure; the arrival schedule is seeded and
+//! exactly reproducible. Without `--addr`, an in-process server is
+//! stood up against a freshly trained demo checkpoint — this is what CI
+//! uses, so the gate needs no external binaries (no curl in the
+//! container). `--quick` shrinks the run for CI; `--smoke` only checks
+//! one request plus a `/metrics` scrape and a clean shutdown. Results
+//! (p50/p95/p99/p99.9 latency, offered vs achieved throughput, batch
+//! occupancy) land in `BENCH_serve.json`.
 
 #![forbid(unsafe_code)]
 
 use gendt_faults::GendtError;
 use gendt_serve::api::{GenerateRequest, GenerateResponse};
 use gendt_serve::http::http_request;
+use gendt_serve::loadgen::{drive_open_loop, OpenLoopCfg};
 use gendt_serve::scheduler::SchedCfg;
 use gendt_serve::{serve, ServerCfg, ServerHandle};
-use gendt_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use gendt_sync::Mutex;
 use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
-use std::time::Instant;
 
 /// Load-driver knobs echoed into the artifact so a recorded run is
 /// reproducible from its own header.
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchConfig {
+    mode: String,
+    rate_rps: f64,
     requests: usize,
-    concurrency: usize,
+    max_inflight: usize,
+    seed: u64,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -41,13 +47,13 @@ struct BenchOut {
     bench_schema: u32,
     git_rev: String,
     config: BenchConfig,
-    requests: usize,
-    concurrency: usize,
+    offered_rps: f64,
+    achieved_rps: f64,
     ok: u64,
     rejected: u64,
     failed: u64,
+    client_shed: u64,
     wall_s: f64,
-    throughput_rps: f64,
     latency_ms: gendt_metrics::Quantiles,
     batch_occupancy: f64,
     batches: u64,
@@ -55,8 +61,7 @@ struct BenchOut {
 
 struct Opts {
     addr: Option<String>,
-    concurrency: usize,
-    requests: usize,
+    cfg: OpenLoopCfg,
     out: String,
     smoke: bool,
 }
@@ -65,39 +70,59 @@ fn parse_opts() -> Result<Opts, GendtError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut o = Opts {
         addr: None,
-        concurrency: 8,
-        requests: 64,
+        cfg: OpenLoopCfg {
+            rate_rps: 400.0,
+            requests: 512,
+            seed: 1,
+            max_inflight: 256,
+        },
         out: "BENCH_serve.json".to_string(),
         smoke: false,
     };
     let need = |flag: &str| GendtError::config(format!("{flag} needs a value"));
+    let bad = |flag: &str| GendtError::config(format!("{flag}: bad value"));
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => o.addr = Some(it.next().ok_or_else(|| need("--addr"))?.clone()),
-            "--concurrency" => {
-                o.concurrency = it
+            "--rate" => {
+                o.cfg.rate_rps = it
                     .next()
-                    .ok_or_else(|| need("--concurrency"))?
+                    .ok_or_else(|| need("--rate"))?
                     .parse()
-                    .map_err(|_| GendtError::config("--concurrency: bad value"))?
+                    .map_err(|_| bad("--rate"))?
             }
             "--requests" => {
-                o.requests = it
+                o.cfg.requests = it
                     .next()
                     .ok_or_else(|| need("--requests"))?
                     .parse()
-                    .map_err(|_| GendtError::config("--requests: bad value"))?
+                    .map_err(|_| bad("--requests"))?
+            }
+            "--max-inflight" => {
+                o.cfg.max_inflight = it
+                    .next()
+                    .ok_or_else(|| need("--max-inflight"))?
+                    .parse()
+                    .map_err(|_| bad("--max-inflight"))?
+            }
+            "--seed" => {
+                o.cfg.seed = it
+                    .next()
+                    .ok_or_else(|| need("--seed"))?
+                    .parse()
+                    .map_err(|_| bad("--seed"))?
             }
             "--out" => o.out = it.next().ok_or_else(|| need("--out"))?.clone(),
             "--quick" => {
-                o.concurrency = 4;
-                o.requests = 16;
+                o.cfg.rate_rps = 250.0;
+                o.cfg.requests = 96;
             }
             "--smoke" => o.smoke = true,
             other => return Err(GendtError::config(format!("unknown flag {other}"))),
         }
     }
+    o.cfg.validate()?;
     Ok(o)
 }
 
@@ -193,46 +218,8 @@ fn run() -> Result<(), GendtError> {
 }
 
 fn drive(addr: &str, opts: &Opts) -> Result<(), GendtError> {
-    let next = AtomicUsize::new(0);
-    let ok = AtomicU64::new(0);
-    let rejected = AtomicU64::new(0);
-    let failed = AtomicU64::new(0);
-    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(opts.requests));
+    let report = drive_open_loop(addr, &request_body, &opts.cfg)?;
 
-    let started = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..opts.concurrency.max(1) {
-            scope.spawn(|| loop {
-                // sync: work-stealing ticket + tallies; each counter is
-                // independent and joined before being read.
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= opts.requests {
-                    return;
-                }
-                let body = request_body(i);
-                let t0 = Instant::now();
-                match http_request(addr, "POST", "/v1/generate", Some(&body)) {
-                    Ok((200, _)) => {
-                        let ms = t0.elapsed().as_secs_f64() * 1000.0;
-                        ok.fetch_add(1, Ordering::Relaxed);
-                        latencies.lock().push(ms);
-                    }
-                    Ok((429, _)) => {
-                        rejected.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Ok((_, _)) | Err(_) => {
-                        failed.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            });
-        }
-    });
-    let wall_s = started.elapsed().as_secs_f64();
-
-    let samples = latencies.lock();
-    if samples.is_empty() {
-        return Err(GendtError::unavailable("no request succeeded"));
-    }
     let (text_status, metrics_text) = http_request(addr, "GET", "/v1/metrics", None)
         .map_err(|e| GendtError::unavailable(format!("metrics: {e}")))?;
     if text_status != 200 {
@@ -253,39 +240,69 @@ fn drive(addr: &str, opts: &Opts) -> Result<(), GendtError> {
         bench_schema: gendt_trace::BENCH_SCHEMA,
         git_rev: gendt_trace::git_rev(),
         config: BenchConfig {
-            requests: opts.requests,
-            concurrency: opts.concurrency,
+            mode: "open_loop_poisson".to_string(),
+            rate_rps: opts.cfg.rate_rps,
+            requests: opts.cfg.requests,
+            max_inflight: opts.cfg.max_inflight,
+            seed: opts.cfg.seed,
         },
-        requests: opts.requests,
-        concurrency: opts.concurrency,
-        // sync: scope join above ordered every worker's tallies.
-        ok: ok.load(Ordering::Relaxed),
-        rejected: rejected.load(Ordering::Relaxed),
-        failed: failed.load(Ordering::Relaxed),
-        wall_s,
-        throughput_rps: ok.load(Ordering::Relaxed) as f64 / wall_s.max(1e-9),
-        latency_ms: gendt_metrics::Quantiles::from_samples(&samples),
+        offered_rps: report.offered_rps,
+        achieved_rps: report.achieved_rps,
+        ok: report.ok,
+        rejected: report.rejected,
+        failed: report.failed,
+        client_shed: report.client_shed,
+        wall_s: report.wall_s,
+        latency_ms: report.latency_ms,
         batch_occupancy: occupancy,
         batches: batches as u64,
     };
-    let json = serde_json::to_string(&out)
-        .map_err(|e| GendtError::internal(format!("encoding results: {e}")))?;
+    // Preserve an existing fleet section (written by `gendt-fleet
+    // bench`) when refreshing the single-node numbers in place.
+    let json = match merge_preserving_fleet(&opts.out, &out) {
+        Some(merged) => merged,
+        None => serde_json::to_string(&out)
+            .map_err(|e| GendtError::internal(format!("encoding results: {e}")))?,
+    };
     std::fs::write(&opts.out, &json)
         .map_err(|e| GendtError::from(e).wrap(format!("writing {}", opts.out)))?;
     println!(
-        "loadgen: {} ok / {} rejected / {} failed in {:.2}s ({:.1} req/s), p50={:.1}ms p95={:.1}ms p99={:.1}ms, batch occupancy {:.2}",
+        "loadgen: offered {:.0} rps → achieved {:.1} rps ({} ok / {} rejected / {} failed / {} client-shed) in {:.2}s, p50={:.1}ms p95={:.1}ms p99={:.1}ms p99.9={:.1}ms, batch occupancy {:.2}",
+        out.offered_rps,
+        out.achieved_rps,
         out.ok,
         out.rejected,
         out.failed,
+        out.client_shed,
         out.wall_s,
-        out.throughput_rps,
         out.latency_ms.p50,
         out.latency_ms.p95,
         out.latency_ms.p99,
+        out.latency_ms.p999,
         out.batch_occupancy,
     );
     println!("wrote {}", opts.out);
     Ok(())
+}
+
+/// If `path` already holds a bench artifact with a `fleet` section,
+/// graft that section onto the fresh single-node results so the two
+/// producers (`gendt-loadgen`, `gendt-fleet bench`) can share one file.
+fn merge_preserving_fleet(path: &str, out: &BenchOut) -> Option<String> {
+    let old = std::fs::read_to_string(path).ok()?;
+    let old: serde::Value = serde_json::from_str(&old).ok()?;
+    let fleet = old
+        .as_map_for("bench artifact")
+        .ok()?
+        .iter()
+        .find(|(k, _)| k == "fleet")
+        .map(|(_, v)| v.clone())?;
+    let fresh = serde_json::to_string(out).ok()?;
+    let mut doc: serde::Value = serde_json::from_str(&fresh).ok()?;
+    if let serde::Value::Map(entries) = &mut doc {
+        entries.push(("fleet".to_string(), fleet));
+    }
+    serde_json::to_string(&doc).ok()
 }
 
 fn main() -> ExitCode {

@@ -38,11 +38,15 @@ pub mod batch;
 pub mod cache;
 pub mod demo;
 pub mod http;
+pub mod loadgen;
 pub mod metrics;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
 
-pub use api::{ErrorEnvelope, ErrorResponse, GenerateRequest, GenerateResponse, ModelsResponse};
+pub use api::{
+    ErrorEnvelope, ErrorResponse, GenerateRequest, GenerateResponse, InfoResponse, ModelInfo,
+    ModelsResponse,
+};
 pub use registry::{ModelEntry, Registry};
 pub use server::{serve, ServerCfg, ServerCfgBuilder, ServerHandle};

@@ -1,0 +1,319 @@
+//! Open-loop load generation: seeded Poisson arrivals against a serving
+//! endpoint.
+//!
+//! A closed loop (fixed concurrency, next request sent when the last
+//! returns) lets a slow server set the arrival rate, hiding queueing
+//! collapse; an *open* loop keeps offering work at the configured rate
+//! regardless of completions, so the measured tail (p99/p99.9) reflects
+//! what real traffic would see. Arrivals are exponential inter-arrival
+//! samples from a seeded [`gendt_rng::Rng`], so a load run is exactly
+//! reproducible from `(rate, requests, seed)`.
+//!
+//! Used by `gendt-loadgen` (single node) and `gendt-fleet bench`
+//! (router + worker pool), including the saturation-knee sweep that
+//! ramps the offered rate until achieved throughput stops following it.
+
+use crate::http::http_request;
+use gendt_faults::GendtError;
+use gendt_metrics::Quantiles;
+use gendt_rng::Rng;
+use gendt_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use gendt_sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Open-loop driver knobs.
+#[derive(Clone, Debug)]
+pub struct OpenLoopCfg {
+    /// Offered arrival rate, requests per second.
+    pub rate_rps: f64,
+    /// Total arrivals to offer.
+    pub requests: usize,
+    /// Seed of the arrival process (inter-arrival samples).
+    pub seed: u64,
+    /// Hard cap on concurrently in-flight requests: an arrival that
+    /// would exceed it is dropped client-side (counted, not blocked —
+    /// blocking would close the loop).
+    pub max_inflight: usize,
+}
+
+impl OpenLoopCfg {
+    /// Validated defaults at the given rate: 256 arrivals, seed 1,
+    /// inflight capped at 256.
+    pub fn at_rate(rate_rps: f64) -> OpenLoopCfg {
+        OpenLoopCfg {
+            rate_rps,
+            requests: 256,
+            seed: 1,
+            max_inflight: 256,
+        }
+    }
+
+    /// Reject degenerate values.
+    pub fn validate(&self) -> Result<(), GendtError> {
+        if !(self.rate_rps.is_finite() && self.rate_rps > 0.0) {
+            return Err(GendtError::config(format!(
+                "open-loop rate_rps={} must be finite and > 0",
+                self.rate_rps
+            )));
+        }
+        if self.requests == 0 {
+            return Err(GendtError::config("open-loop requests must be > 0"));
+        }
+        if self.max_inflight == 0 {
+            return Err(GendtError::config("open-loop max_inflight must be > 0"));
+        }
+        Ok(())
+    }
+}
+
+/// What one open-loop run measured.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Configured arrival rate, requests per second.
+    pub offered_rps: f64,
+    /// Completed-OK rate over the wall-clock of the run.
+    pub achieved_rps: f64,
+    /// Requests answered 200.
+    pub ok: u64,
+    /// Requests shed by the server (429/503).
+    pub rejected: u64,
+    /// Requests that failed any other way (other status, socket error).
+    pub failed: u64,
+    /// Arrivals dropped client-side at the `max_inflight` cap.
+    pub client_shed: u64,
+    /// Wall-clock from first arrival to last completion, seconds.
+    pub wall_s: f64,
+    /// End-to-end latency quantiles of the OK requests, milliseconds.
+    pub latency_ms: Quantiles,
+}
+
+/// Deterministic arrival schedule: cumulative exponential inter-arrival
+/// offsets (seconds from run start) for `n` arrivals at `rate_rps`.
+pub fn arrival_offsets(rate_rps: f64, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rng::seed_from(seed);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            // Inverse-CDF exponential sample; 1-u keeps ln() finite.
+            let u = rng.uniform01();
+            t += -(1.0 - u).ln() / rate_rps;
+            t
+        })
+        .collect()
+}
+
+/// Drive `addr` open-loop: offer `cfg.requests` arrivals of
+/// `POST /v1/generate` with bodies from `body_of(i)` at the configured
+/// Poisson rate, and report achieved throughput plus latency quantiles.
+pub fn drive_open_loop(
+    addr: &str,
+    body_of: &(dyn Fn(usize) -> String + Sync),
+    cfg: &OpenLoopCfg,
+) -> Result<LoadReport, GendtError> {
+    cfg.validate()?;
+    let offsets = arrival_offsets(cfg.rate_rps, cfg.requests, cfg.seed);
+    let ok = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let mut client_shed = 0u64;
+    let inflight = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(cfg.requests));
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for (i, &offset) in offsets.iter().enumerate() {
+            // Hold the arrival process to its schedule. Sleeps are
+            // coarse near the end, so finish with short naps.
+            loop {
+                let elapsed = started.elapsed().as_secs_f64();
+                if elapsed >= offset {
+                    break;
+                }
+                let wait = offset - elapsed;
+                if wait > 0.002 {
+                    std::thread::sleep(Duration::from_secs_f64(wait - 0.001));
+                } else {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+            // sync: inflight is a soft admission gauge; exactness under
+            // racing decrements is not required, only boundedness.
+            if inflight.load(Ordering::Relaxed) >= cfg.max_inflight {
+                client_shed += 1;
+                continue;
+            }
+            inflight.fetch_add(1, Ordering::Relaxed);
+            let body = body_of(i);
+            let (ok, rejected, failed, inflight, latencies) =
+                (&ok, &rejected, &failed, &inflight, &latencies);
+            scope.spawn(move || {
+                let t0 = Instant::now();
+                // sync: independent tally counters, joined by the scope
+                // before anyone reads them.
+                match http_request(addr, "POST", "/v1/generate", Some(&body)) {
+                    Ok((200, _)) => {
+                        let ms = t0.elapsed().as_secs_f64() * 1000.0;
+                        ok.fetch_add(1, Ordering::Relaxed);
+                        latencies.lock().push(ms);
+                    }
+                    Ok((429, _)) | Ok((503, _)) => {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok((_, _)) | Err(_) => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                inflight.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let samples = latencies.lock();
+    if samples.is_empty() {
+        return Err(GendtError::unavailable(format!(
+            "open-loop run against {addr}: no request succeeded"
+        )));
+    }
+    // sync: the scope join above ordered every worker's tallies.
+    let ok_n = ok.load(Ordering::Relaxed);
+    Ok(LoadReport {
+        offered_rps: cfg.rate_rps,
+        achieved_rps: ok_n as f64 / wall_s.max(1e-9),
+        ok: ok_n,
+        rejected: rejected.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
+        client_shed,
+        wall_s,
+        latency_ms: Quantiles::from_samples(&samples),
+    })
+}
+
+/// One point of a saturation sweep.
+#[derive(Clone, Debug)]
+pub struct KneePoint {
+    /// Offered rate at this step, requests per second.
+    pub offered_rps: f64,
+    /// What the target actually completed, requests per second.
+    pub achieved_rps: f64,
+    /// The full report of the step.
+    pub report: LoadReport,
+}
+
+/// Find the saturation knee: ramp the offered rate geometrically from
+/// `start_rps` until achieved throughput falls below
+/// `follow_frac` of offered (the target stopped keeping up) or
+/// `max_steps` is exhausted. Returns every step measured, in order; the
+/// knee is the last step that still kept up (or the best achieved step
+/// when nothing kept up).
+pub fn saturation_sweep(
+    addr: &str,
+    body_of: &(dyn Fn(usize) -> String + Sync),
+    base: &OpenLoopCfg,
+    start_rps: f64,
+    growth: f64,
+    follow_frac: f64,
+    max_steps: usize,
+) -> Result<Vec<KneePoint>, GendtError> {
+    if !(growth.is_finite() && growth > 1.0) {
+        return Err(GendtError::config(format!(
+            "saturation sweep growth={growth} must be > 1"
+        )));
+    }
+    let mut points = Vec::new();
+    let mut rate = start_rps;
+    for step in 0..max_steps.max(1) {
+        let cfg = OpenLoopCfg {
+            rate_rps: rate,
+            // Decorrelate arrival schedules across steps.
+            seed: base.seed.wrapping_add(step as u64),
+            ..base.clone()
+        };
+        let report = drive_open_loop(addr, body_of, &cfg)?;
+        let kept_up = report.achieved_rps >= follow_frac * report.offered_rps;
+        points.push(KneePoint {
+            offered_rps: report.offered_rps,
+            achieved_rps: report.achieved_rps,
+            report,
+        });
+        if !kept_up {
+            break;
+        }
+        rate *= growth;
+    }
+    Ok(points)
+}
+
+/// The knee of a sweep: highest achieved throughput observed.
+pub fn knee_of(points: &[KneePoint]) -> Option<&KneePoint> {
+    points.iter().max_by(|a, b| {
+        a.achieved_rps
+            .partial_cmp(&b.achieved_rps)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_offsets_are_deterministic_and_increasing() {
+        let a = arrival_offsets(100.0, 64, 7);
+        let b = arrival_offsets(100.0, 64, 7);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[1] > w[0], "offsets must strictly increase");
+        }
+        let c = arrival_offsets(100.0, 64, 8);
+        assert_ne!(a, c, "different seeds must give different schedules");
+    }
+
+    #[test]
+    fn arrival_rate_matches_configured_rate() {
+        // Mean inter-arrival of Exp(rate) is 1/rate; over 4000 samples
+        // the empirical rate should land within 10%.
+        let n = 4000;
+        let xs = arrival_offsets(250.0, n, 3);
+        let empirical = n as f64 / xs.last().copied().unwrap_or(1.0);
+        assert!(
+            (empirical - 250.0).abs() < 25.0,
+            "empirical rate {empirical} too far from 250"
+        );
+    }
+
+    #[test]
+    fn cfg_validation_rejects_degenerates() {
+        assert!(OpenLoopCfg::at_rate(100.0).validate().is_ok());
+        assert!(OpenLoopCfg::at_rate(0.0).validate().is_err());
+        assert!(OpenLoopCfg::at_rate(f64::NAN).validate().is_err());
+        let mut c = OpenLoopCfg::at_rate(10.0);
+        c.requests = 0;
+        assert!(c.validate().is_err());
+        let mut c = OpenLoopCfg::at_rate(10.0);
+        c.max_inflight = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn knee_picks_best_achieved() {
+        let mk = |o: f64, a: f64| KneePoint {
+            offered_rps: o,
+            achieved_rps: a,
+            report: LoadReport {
+                offered_rps: o,
+                achieved_rps: a,
+                ok: 1,
+                rejected: 0,
+                failed: 0,
+                client_shed: 0,
+                wall_s: 1.0,
+                latency_ms: Quantiles::default(),
+            },
+        };
+        let pts = vec![mk(100.0, 99.0), mk(160.0, 155.0), mk(256.0, 140.0)];
+        let knee = knee_of(&pts).expect("non-empty");
+        assert_eq!(knee.offered_rps, 160.0);
+        assert!(knee_of(&[]).is_none());
+    }
+}

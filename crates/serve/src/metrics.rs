@@ -187,6 +187,7 @@ fn render_summary(out: &mut String, name: &str, help: &str, h: &Histogram) {
         out.push_str(&format!("{name}{{quantile=\"0.5\"}} {}\n", q.p50));
         out.push_str(&format!("{name}{{quantile=\"0.95\"}} {}\n", q.p95));
         out.push_str(&format!("{name}{{quantile=\"0.99\"}} {}\n", q.p99));
+        out.push_str(&format!("{name}{{quantile=\"0.999\"}} {}\n", q.p999));
     }
     out.push_str(&format!("{name}_count {n}\n"));
 }

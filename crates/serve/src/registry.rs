@@ -25,10 +25,23 @@ use std::sync::Arc;
 pub struct ModelEntry {
     /// Registry name (checkpoint file stem).
     pub name: String,
+    /// Checkpoint content version: FNV-1a hash of the checkpoint file
+    /// bytes, `0` for preloaded (in-memory) entries. The fleet router
+    /// compares versions across workers via `/v1/info` to detect a torn
+    /// deploy before routing to it.
+    pub version: u64,
     /// The loaded model.
     pub model: GenDt,
     /// KPI channels, inferred from the model's channel count.
     pub kpis: Vec<Kpi>,
+}
+
+/// FNV-1a over a byte slice — the checkpoint content hash used as the
+/// wire-visible model `version`.
+pub fn content_version(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+    })
 }
 
 /// The immutable live model set, swapped wholesale on reload.
@@ -83,10 +96,13 @@ fn scan_dir(dir: &Path) -> Result<ModelMap, GendtError> {
             .map_err(|e| GendtError::corrupt(format!("loading {}: {e}", path.display())))?;
         let kpis = infer_kpis(model.cfg().n_ch)
             .map_err(|e| e.wrap(format!("loading {}", path.display())))?;
+        let bytes = std::fs::read(&path)
+            .map_err(|e| GendtError::from(e).wrap(format!("hashing {}", path.display())))?;
         map.insert(
             stem.to_string(),
             Arc::new(ModelEntry {
                 name: stem.to_string(),
+                version: content_version(&bytes),
                 model,
                 kpis,
             }),
@@ -169,6 +185,13 @@ impl Registry {
     pub fn names(&self) -> Vec<String> {
         let cur = self.current.read();
         cur.keys().cloned().collect()
+    }
+
+    /// Snapshot of the live entries, sorted by name — the `/v1/info`
+    /// advertisement (name, version, channel count).
+    pub fn entries(&self) -> Vec<Arc<ModelEntry>> {
+        let cur = self.current.read();
+        cur.values().cloned().collect()
     }
 }
 

@@ -337,6 +337,7 @@ mod tests {
         cfg.window.max_cells = 2;
         Arc::new(ModelEntry {
             name: "m".to_string(),
+            version: 0,
             model: GenDt::new(cfg),
             kpis: Kpi::DATASET_A.to_vec(),
         })

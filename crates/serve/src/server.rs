@@ -19,7 +19,8 @@
 //! drain through `POST /shutdown`; see DESIGN.md §10.)
 
 use crate::api::{
-    parse_scenario, ErrorEnvelope, ErrorResponse, GenerateRequest, GenerateResponse, ModelsResponse,
+    parse_scenario, ErrorEnvelope, ErrorResponse, GenerateRequest, GenerateResponse, InfoResponse,
+    ModelInfo, ModelsResponse,
 };
 use crate::batch::GenJob;
 use crate::cache::{ContextCache, ContextKey};
@@ -208,6 +209,8 @@ struct ServerState {
     /// Connection handlers currently running; drain waits for zero.
     active: AtomicU64,
     default_deadline_ms: u64,
+    /// Scheduler micro-batch capacity, advertised on `/v1/info`.
+    max_batch: usize,
 }
 
 impl ServerState {
@@ -312,6 +315,7 @@ pub fn serve(cfg: ServerCfg) -> Result<ServerHandle, GendtError> {
         shutdown: AtomicBool::new(false),
         active: AtomicU64::new(0),
         default_deadline_ms: cfg.default_deadline_ms,
+        max_batch: cfg.sched.max_batch,
     });
 
     let mut workers = Vec::with_capacity(cfg.workers.max(1));
@@ -442,6 +446,30 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
         ("GET", "/models") => {
             let body = serde_json::to_string(&ModelsResponse {
                 models: state.registry.names(),
+            })
+            .unwrap_or_else(|_| "{}".to_string());
+            let _ = write_json_extra(&mut stream, 200, "OK", surface_headers(v1), &body);
+        }
+        ("GET", "/info") => {
+            // Fleet discovery: what this worker serves right now. The
+            // router polls this alongside /healthz to learn shard
+            // ownership instead of hardcoding it.
+            let models = state
+                .registry
+                .entries()
+                .iter()
+                .map(|e| ModelInfo {
+                    name: e.name.clone(),
+                    version: e.version,
+                    n_ch: e.model.cfg().n_ch,
+                })
+                .collect();
+            let body = serde_json::to_string(&InfoResponse {
+                models,
+                // sync: gauge scrape; no cross-counter consistency needed.
+                queue_depth: state.metrics.queue_depth.load(Ordering::Relaxed),
+                max_batch: state.max_batch,
+                draining: state.is_draining(),
             })
             .unwrap_or_else(|_| "{}".to_string());
             let _ = write_json_extra(&mut stream, 200, "OK", surface_headers(v1), &body);

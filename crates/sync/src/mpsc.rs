@@ -15,6 +15,15 @@ pub struct SendError<T>(pub T);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with no value available.
+    Timeout,
+    /// All senders were dropped with the queue empty.
+    Disconnected,
+}
+
 #[cfg(feature = "check")]
 mod model {
     use std::collections::VecDeque;
@@ -155,6 +164,32 @@ impl<T> Receiver<T> {
                     }
                     interleave::chan_block(key);
                 }
+            }
+        }
+    }
+
+    /// Blocks until a value arrives, all senders are dropped, or
+    /// `timeout` passes. Under active exploration the timeout is a
+    /// schedule event: the checker may fire it on any empty poll, which
+    /// over-approximates every real firing time.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        match &self.inner {
+            ReceiverInner::Std(rx) => rx.recv_timeout(timeout).map_err(|e| match e {
+                std::sync::mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                std::sync::mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            }),
+            #[cfg(feature = "check")]
+            ReceiverInner::Model(s) => {
+                let _ = timeout;
+                interleave::yield_point();
+                if let Some(v) = model::pop(s) {
+                    interleave::chan_received(model::shared_key(s));
+                    return Ok(v);
+                }
+                if model::senders(s) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                Err(RecvTimeoutError::Timeout)
             }
         }
     }

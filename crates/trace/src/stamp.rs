@@ -6,7 +6,12 @@ use std::path::Path;
 /// Version of the bench-output schema. Bump when a field in
 /// `BENCH_serve.json` / `BENCH_kernels.json` changes meaning, so the
 /// cross-PR bench trajectory can tell layouts apart.
-pub const BENCH_SCHEMA: u32 = 1;
+///
+/// v2: serve bench moved from fixed-concurrency closed loop to
+/// open-loop Poisson arrivals (`offered_rps`/`achieved_rps`), latency
+/// quantiles gained `p999`, and `BENCH_serve.json` gained a `fleet`
+/// scaling section.
+pub const BENCH_SCHEMA: u32 = 2;
 
 /// The current git revision, resolved by reading `.git/HEAD` (and the
 /// ref file it points at) from the working directory or any ancestor.

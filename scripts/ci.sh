@@ -53,3 +53,10 @@ cargo run --release -p gendt-audit -- chaos
 # in-process server, then a CI-sized load run refreshing BENCH_serve.json.
 cargo run --release -p gendt-serve --bin gendt-loadgen -- --smoke
 cargo run --release -p gendt-serve --bin gendt-loadgen -- --quick --out BENCH_serve.json
+
+# Fleet gate (crates/fleet): router + 2 real worker processes. Asserts
+# bitwise parity with single-node serving across all five scenarios,
+# failover after killing a worker (typed retryable 503 envelopes, at
+# least one success, no stranded request), membership convergence on
+# /v1/fleet, and a clean two-phase drain.
+cargo run --release -p gendt-fleet --bin gendt-fleet -- smoke
