@@ -49,6 +49,12 @@
 //!    delimited paragraph, stating what the ordering pairs with or why
 //!    none is needed. `SeqCst` needs no comment: it is the safe
 //!    default, and weakening it is what requires an argument.
+//! 10. **`trace-propagation`** — every `/v1` request-path entry point
+//!     (the worker server and the fleet router) references
+//!     `traceid::TRACE_HEADER` outside `#[cfg(test)]`: a handler file
+//!     that never touches the `Gendt-Trace-Id` header drops the
+//!     distributed trace context, orphaning its spans from the
+//!     cross-process timeline `gendt-obs assemble` stitches.
 //!
 //! The vendored stand-ins under `vendor/` model *external* crates and
 //! are deliberately out of scope.
@@ -61,8 +67,8 @@ use std::path::{Path, PathBuf};
 pub struct Violation {
     /// Rule family (`unsafe-forbid`, `no-unwrap`, `determinism`,
     /// `fused-bitwise`, `no-prints`, `error-taxonomy`, `plan-no-alloc`,
-    /// `sync-discipline`, `atomic-ordering`, or `lint-config` for
-    /// missing targets).
+    /// `sync-discipline`, `atomic-ordering`, `trace-propagation`, or
+    /// `lint-config` for missing targets).
     pub rule: &'static str,
     /// File the finding is in, relative to the linted root.
     pub file: String,
@@ -194,6 +200,7 @@ pub fn run(root: &Path) -> Vec<Violation> {
     lint_plan_no_alloc(root, &mut out);
     lint_sync_discipline(root, &mut out);
     lint_atomic_ordering(root, &mut out);
+    lint_trace_propagation(root, &mut out);
     out
 }
 
@@ -762,6 +769,10 @@ const SYNC_FACADE_FILES: &[&str] = &[
     "crates/fleet/src/forward.rs",
     "crates/fleet/src/supervisor.rs",
     "crates/fleet/src/loadgen.rs",
+    // Observability plumbing sits on every request path; its gates and
+    // rings must stay visible to the interleaving checker.
+    "crates/obs/src/traceid.rs",
+    "crates/obs/src/flightrec.rs",
 ];
 
 /// `std::sync` items that must come from `gendt_sync` instead. `Arc`
@@ -903,6 +914,43 @@ fn lint_atomic_ordering(root: &Path, out: &mut Vec<Violation>) {
                      in its paragraph; state what the ordering pairs with \
                      (or why none is needed), or use `SeqCst`"
                 ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: trace-propagation — /v1 handlers must thread Gendt-Trace-Id
+// ---------------------------------------------------------------------
+
+/// `/v1` request-path entry points. Each must reference
+/// `traceid::TRACE_HEADER` (the `Gendt-Trace-Id` header) outside
+/// `#[cfg(test)]`: a handler that never touches it drops the trace
+/// context, so its spans fall out of the cross-process timeline.
+const TRACE_PROP_FILES: &[&str] = &["crates/serve/src/server.rs", "crates/fleet/src/router.rs"];
+
+fn lint_trace_propagation(root: &Path, out: &mut Vec<Violation>) {
+    for &rel in TRACE_PROP_FILES {
+        let Some(src) = read(root, rel) else {
+            missing(out, "trace-propagation", rel);
+            continue;
+        };
+        let stripped = strip_source(&src);
+        let tests = test_regions(&stripped);
+        let satisfied = find_all(&stripped, "TRACE_HEADER")
+            .into_iter()
+            .any(|byte| !in_regions(&tests, byte));
+        if !satisfied {
+            out.push(Violation {
+                rule: "trace-propagation",
+                file: rel.to_string(),
+                line: 0,
+                message: "`/v1` handler file never references \
+                          `traceid::TRACE_HEADER`; propagate the \
+                          `Gendt-Trace-Id` header through the request \
+                          path so worker spans stay stitched to the \
+                          router timeline"
+                    .to_string(),
             });
         }
     }

@@ -10,6 +10,7 @@
 //! cargo run --release -p gendt-audit -- plan-parity # compiled plans vs interpreted tape, bitwise
 //! cargo run --release -p gendt-audit -- chaos       # server + trainer under seeded fault schedules
 //! cargo run --release -p gendt-audit -- sync-check  # schedule-explore serve's concurrency + detector fixtures
+//! cargo run --release -p gendt-audit -- obs-smoke   # fleet trace propagation + federation + flight recorder
 //! cargo run --release -p gendt-audit -- all         # everything above
 //! ```
 //!
@@ -17,11 +18,16 @@
 
 #![forbid(unsafe_code)]
 
-use gendt_audit::{chaos, gradcheck, lint, sync_check, tape, zoo};
+use gendt_audit::{chaos, gradcheck, lint, obs_smoke, sync_check, tape, zoo};
 use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // Worker mode: obs-smoke spawns a fleet, whose supervisor re-execs
+    // the current binary (this one) as its workers.
+    if let Some(code) = gendt_fleet::supervisor::maybe_run_worker() {
+        return ExitCode::from(code);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let ok = match cmd {
@@ -33,6 +39,7 @@ fn main() -> ExitCode {
         "plan-parity" => run_plan_parity(),
         "chaos" => chaos::run(),
         "sync-check" => sync_check::run(),
+        "obs-smoke" => obs_smoke::run(),
         "all" => {
             // Non-short-circuiting: report every failing check at once.
             let l = run_lint(".");
@@ -43,11 +50,12 @@ fn main() -> ExitCode {
             let p = run_plan_parity();
             let c = chaos::run();
             let y = sync_check::run();
-            l && g && v && s && t && p && c && y
+            let o = obs_smoke::run();
+            l && g && v && s && t && p && c && y && o
         }
         other => {
             eprintln!(
-                "unknown subcommand `{other}` (expected gradcheck|lint|verify|smoke|trace-smoke|plan-parity|chaos|sync-check|all)"
+                "unknown subcommand `{other}` (expected gradcheck|lint|verify|smoke|trace-smoke|plan-parity|chaos|sync-check|obs-smoke|all)"
             );
             false
         }

@@ -162,7 +162,7 @@ fn model_sched_exactly_once(entry: &Arc<ModelEntry>, ctx: &Arc<RunContext>) -> R
                         .expect("accepted job must be answered")
                         .expect("stub batch cannot fail");
                     assert_eq!(
-                        out.series[0][0], i as f64,
+                        out.series.series[0][0], i as f64,
                         "answer routed to wrong submitter"
                     );
                 })
@@ -258,7 +258,7 @@ fn model_sched_spurious(entry: &Arc<ModelEntry>, ctx: &Arc<RunContext>) -> Repor
                 .recv()
                 .expect("accepted job must be answered")
                 .expect("stub batch cannot fail");
-            assert_eq!(out.series[0][0], 9.0);
+            assert_eq!(out.series.series[0][0], 9.0);
         });
         sub.join().expect("submitter must not panic");
         sched.stop();
@@ -476,7 +476,7 @@ fn model_sched_dfs(entry: &Arc<ModelEntry>, ctx: &Arc<RunContext>) -> Report {
             .recv()
             .expect("accepted job must be answered")
             .expect("stub batch cannot fail");
-        assert_eq!(out.series[0][0], 3.0);
+        assert_eq!(out.series.series[0][0], 3.0);
         sched.stop();
         worker.join().expect("worker must exit cleanly");
     })

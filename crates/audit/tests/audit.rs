@@ -397,10 +397,20 @@ pub fn step() {
     );
     write_fixture(&root, "crates/serve/src/http.rs", CLEAN_FILE);
     write_fixture(&root, "crates/serve/src/scheduler.rs", CLEAN_FILE);
+    // Seed 14 (trace-propagation): this same server.rs never references
+    // `TRACE_HEADER` outside tests — the comment mention and the
+    // in-test use below are decoys that must not satisfy the rule.
     write_fixture(
         &root,
         "crates/serve/src/server.rs",
-        "use std::sync::Mutex;\npub fn handle(m: &Mutex<u8>) -> u8 {\n    let held = *m.lock().unwrap_or_else(|poisoned| poisoned.into_inner());\n    let v: Option<u8> = Some(held);\n    v.unwrap() // seeded violation\n}\n",
+        "// a comment naming TRACE_HEADER must not satisfy trace-propagation\nuse std::sync::Mutex;\npub fn handle(m: &Mutex<u8>) -> u8 {\n    let held = *m.lock().unwrap_or_else(|poisoned| poisoned.into_inner());\n    let v: Option<u8> = Some(held);\n    v.unwrap() // seeded violation\n}\n#[cfg(test)]\nmod tests {\n    const TRACE_HEADER: &str = \"Gendt-Trace-Id\";\n    fn exempt() -> &'static str {\n        TRACE_HEADER\n    }\n}\n",
+    );
+    // The router fixture DOES propagate the trace header (outside
+    // tests), so trace-propagation must stay quiet on it.
+    write_fixture(
+        &root,
+        "crates/fleet/src/router.rs",
+        "pub const TRACE_HEADER: &str = \"Gendt-Trace-Id\";\npub fn propagate(headers: &mut Vec<(String, String)>, id: u64) {\n    headers.push((TRACE_HEADER.to_string(), format!(\"{id:016x}\")));\n}\n",
     );
     // Seed 8 (determinism): a wall clock in batch assembly would make a
     // served response depend on arrival timing — must fire.
@@ -721,6 +731,20 @@ fn lint_detects_seeded_violations_and_ignores_decoys() {
             .any(|v| v.message.contains("Ordering::Acquire")),
         "cross-paragraph justification must not cover the Acquire load: \
          {ordering_hits:?}"
+    );
+    let trace_prop_hits: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == "trace-propagation")
+        .collect();
+    assert_eq!(
+        trace_prop_hits.len(),
+        1,
+        "comment/in-test TRACE_HEADER mentions must not satisfy the \
+         rule, and the propagating router must not fire: {trace_prop_hits:?}"
+    );
+    assert_eq!(
+        trace_prop_hits[0].file, "crates/serve/src/server.rs",
+        "the handler file that drops Gendt-Trace-Id should fire"
     );
     let plan_hits: Vec<_> = violations
         .iter()

@@ -90,6 +90,43 @@ impl Default for FleetBenchCfg {
     }
 }
 
+/// The `config` header of the fleet section (`BENCH_SCHEMA` v3): the
+/// resolved seed (`GENDT_FLEET_SEED` / `--seed`), the worker-count
+/// ladder, and every sweep knob — enough to rerun the bench from the
+/// stamp alone.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetBenchConfig {
+    /// Placement + arrival seed as resolved (`GENDT_FLEET_SEED`).
+    pub seed: u64,
+    /// Worker-count ladder measured, in sweep order.
+    pub worker_counts: Vec<usize>,
+    /// Emulated per-batch service time, ms (`0` = none).
+    pub service_ms: u64,
+    /// Arrivals per sweep step.
+    pub requests: usize,
+    /// Sweep start rate per worker, requests per second.
+    pub start_rps_per_worker: f64,
+    /// Geometric ramp factor between sweep steps.
+    pub growth: f64,
+    /// Sweep steps per worker count.
+    pub max_steps: usize,
+}
+
+impl FleetBenchCfg {
+    /// The stamped `config` header for this run.
+    pub fn header(&self) -> FleetBenchConfig {
+        FleetBenchConfig {
+            seed: self.seed,
+            worker_counts: self.worker_counts.clone(),
+            service_ms: self.service_ms,
+            requests: self.requests,
+            start_rps_per_worker: self.start_rps_per_worker,
+            growth: self.growth,
+            max_steps: self.max_steps,
+        }
+    }
+}
+
 /// One sweep step as it lands in the bench JSON.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchStep {
@@ -125,6 +162,9 @@ pub struct ScalePoint {
 /// The `fleet` section of `BENCH_serve.json`.
 #[derive(Clone, Debug, Serialize)]
 pub struct FleetBenchOut {
+    /// Full sweep configuration as resolved — the stamp header that
+    /// makes the numbers reproducible without the shell invocation.
+    pub config: FleetBenchConfig,
     /// Placement + arrival seed (`GENDT_FLEET_SEED`).
     pub seed: u64,
     /// Emulated per-batch service time, ms (`0` = none; see module
@@ -172,8 +212,21 @@ pub fn start_fleet(
     seed: u64,
     service_ms: u64,
 ) -> Result<Fleet, GendtError> {
+    start_fleet_with_env(models_dir, n, seed, service_ms, &[])
+}
+
+/// [`start_fleet`] with extra env vars applied to every worker process
+/// — how the obs-smoke gate turns on `GENDT_TRACE` fleet-wide without
+/// touching the parent's environment.
+pub fn start_fleet_with_env(
+    models_dir: &str,
+    n: usize,
+    seed: u64,
+    service_ms: u64,
+    env: &[(String, String)],
+) -> Result<Fleet, GendtError> {
     let spec = WorkerSpec::new(models_dir);
-    let mut extra_env: Vec<(String, String)> = Vec::new();
+    let mut extra_env: Vec<(String, String)> = env.to_vec();
     if service_ms > 0 {
         extra_env.push((
             "GENDT_FAULTS".to_string(),
@@ -323,6 +376,7 @@ pub fn bench_fleet(
         });
     }
     Ok(FleetBenchOut {
+        config: cfg.header(),
         seed: cfg.seed,
         service_ms_emulated: cfg.service_ms,
         requests_per_step: cfg.requests,
@@ -351,6 +405,26 @@ mod tests {
             40,
             "40 consecutive bodies must cover all 8×5 routing keys"
         );
+    }
+
+    #[test]
+    fn bench_out_stamps_the_config_header() {
+        let mut cfg = FleetBenchCfg::new();
+        cfg.seed = 42;
+        cfg.worker_counts = vec![1, 2, 4];
+        let out = FleetBenchOut {
+            config: cfg.header(),
+            seed: cfg.seed,
+            service_ms_emulated: cfg.service_ms,
+            requests_per_step: cfg.requests,
+            scaling: Vec::new(),
+        };
+        let json = serde_json::to_string(&out).expect("serialize");
+        assert!(
+            json.contains("\"config\":{\"seed\":42,\"worker_counts\":[1,2,4]"),
+            "fleet section must lead with the seed + worker ladder header: {json}"
+        );
+        assert!(json.contains("\"max_steps\":6"));
     }
 
     #[test]

@@ -70,6 +70,8 @@ pub struct WorkerView {
     pub versions: Vec<u64>,
     /// Last advertised queue depth.
     pub queue_depth: u64,
+    /// Requests the router currently has in flight on this worker.
+    pub inflight: u64,
 }
 
 struct Slot {
@@ -242,6 +244,7 @@ impl Membership {
                 if spilled {
                     // sync: monotonic counter for /metrics only.
                     self.metrics.spills.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.spill_to(id);
                 }
                 return Some(grant(id, slot, spilled));
             }
@@ -358,6 +361,8 @@ impl Membership {
                 models: s.models.clone(),
                 versions: s.versions.clone(),
                 queue_depth: s.queue_depth,
+                // sync: heuristic gauge scrape for /metrics only.
+                inflight: s.inflight.load(Ordering::Relaxed),
             })
             .collect()
     }

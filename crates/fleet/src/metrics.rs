@@ -3,6 +3,29 @@
 use gendt_metrics::{Histogram, Quantiles};
 use gendt_sync::atomic::{AtomicU64, Ordering};
 use gendt_sync::Mutex;
+use std::collections::BTreeMap;
+
+/// How a routed generate request reached its worker — the label on the
+/// outcome-split latency histograms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// Served by the key's ring owner on the first attempt.
+    Owner,
+    /// Routed past a saturated owner by the bounded-load limit.
+    Spill,
+    /// Served only after at least one failover retry.
+    Retry,
+}
+
+impl RouteOutcome {
+    fn label(self) -> &'static str {
+        match self {
+            RouteOutcome::Owner => "owner",
+            RouteOutcome::Spill => "spill",
+            RouteOutcome::Retry => "retry",
+        }
+    }
+}
 
 /// Shared router metrics. Counters are lock-free atomics on the
 /// forwarding path; the routed-latency distribution streams into a
@@ -32,7 +55,12 @@ pub struct FleetMetrics {
     pub health_checks: AtomicU64,
     /// Health probes that failed or reported unhealthy.
     pub health_check_failures: AtomicU64,
-    latency_ms: Mutex<Histogram>,
+    /// Routed latency split by how the request reached its worker:
+    /// owner-hit, bounded-load spill, failover retry. Rendered both
+    /// per-outcome and merged into the combined series.
+    latency_by_outcome: [Mutex<Histogram>; 3],
+    /// Spill counts per spilled-past owner, keyed by worker id.
+    spills_by_worker: Mutex<BTreeMap<String, u64>>,
 }
 
 impl FleetMetrics {
@@ -50,19 +78,49 @@ impl FleetMetrics {
             ring_rebuilds: AtomicU64::new(0),
             health_checks: AtomicU64::new(0),
             health_check_failures: AtomicU64::new(0),
-            // 0..10s in 25ms bins, same shape as the worker's histogram.
-            latency_ms: Mutex::new(Histogram::empty(0.0, 10_000.0, 400)),
+            // 0..10s in 25ms bins, same shape as the worker's histogram
+            // so federation can bucket-merge router and worker series.
+            latency_by_outcome: [
+                Mutex::new(Histogram::empty(0.0, 10_000.0, 400)),
+                Mutex::new(Histogram::empty(0.0, 10_000.0, 400)),
+                Mutex::new(Histogram::empty(0.0, 10_000.0, 400)),
+            ],
+            spills_by_worker: Mutex::new(BTreeMap::new()),
         }
     }
 
-    /// Record one routed end-to-end latency, milliseconds.
+    /// Record one routed end-to-end latency, milliseconds, on the
+    /// owner-hit path. Alias for [`FleetMetrics::observe_routed_ms`]
+    /// with [`RouteOutcome::Owner`].
     pub fn observe_latency_ms(&self, ms: f64) {
-        self.latency_ms.lock().push(ms);
+        self.observe_routed_ms(RouteOutcome::Owner, ms);
+    }
+
+    /// Record one routed end-to-end latency, milliseconds, labeled by
+    /// how the request reached its worker.
+    pub fn observe_routed_ms(&self, outcome: RouteOutcome, ms: f64) {
+        self.latency_by_outcome[outcome as usize].lock().push(ms);
+    }
+
+    /// Count one bounded-load spill that landed on worker `id`.
+    pub fn spill_to(&self, id: &str) {
+        *self
+            .spills_by_worker
+            .lock()
+            .entry(id.to_string())
+            .or_insert(0) += 1;
     }
 
     /// Render the Prometheus text exposition for the router's
-    /// `/metrics`.
-    pub fn render(&self, workers_total: usize, workers_healthy: usize) -> String {
+    /// `/metrics`. `per_worker_inflight` carries the live in-flight
+    /// request count per worker id (from the membership snapshot) so
+    /// the bounded-load state is visible per worker.
+    pub fn render(
+        &self,
+        workers_total: usize,
+        workers_healthy: usize,
+        per_worker_inflight: &[(String, u64)],
+    ) -> String {
         let mut out = String::with_capacity(2048);
         let counter = |out: &mut String, name: &str, help: &str, v: u64| {
             out.push_str(&format!(
@@ -155,14 +213,67 @@ impl FleetMetrics {
             "Workers currently healthy (in the ring).",
             workers_healthy as u64,
         );
+        if !per_worker_inflight.is_empty() {
+            out.push_str(
+                "# HELP gendt_fleet_worker_inflight Requests in flight per worker.\n# TYPE gendt_fleet_worker_inflight gauge\n",
+            );
+            for (id, inflight) in per_worker_inflight {
+                out.push_str(&format!(
+                    "gendt_fleet_worker_inflight{{worker=\"{id}\"}} {inflight}\n"
+                ));
+            }
+        }
         {
-            let lat = self.latency_ms.lock();
+            let spills = self.spills_by_worker.lock();
+            if !spills.is_empty() {
+                out.push_str(
+                    "# HELP gendt_fleet_worker_spills_total Bounded-load spills landed per worker.\n# TYPE gendt_fleet_worker_spills_total counter\n",
+                );
+                for (id, n) in spills.iter() {
+                    out.push_str(&format!(
+                        "gendt_fleet_worker_spills_total{{worker=\"{id}\"}} {n}\n"
+                    ));
+                }
+            }
+        }
+        // Combined routed latency is the exact bucket-merge of the three
+        // outcome lanes — the same primitive federation applies across
+        // workers, exercised here inside one process.
+        let mut combined = Histogram::empty(0.0, 10_000.0, 400);
+        out.push_str(
+            "# HELP gendt_fleet_routed_latency_ms Routed latency by path outcome, milliseconds.\n# TYPE gendt_fleet_routed_latency_ms summary\n",
+        );
+        for outcome in [
+            RouteOutcome::Owner,
+            RouteOutcome::Spill,
+            RouteOutcome::Retry,
+        ] {
+            let lat = self.latency_by_outcome[outcome as usize].lock();
+            combined.merge(&lat);
             let n = lat.total();
+            let label = outcome.label();
+            if n > 0 {
+                let q = Quantiles::from_histogram(&lat);
+                out.push_str(&format!(
+                    "gendt_fleet_routed_latency_ms{{outcome=\"{label}\",quantile=\"0.5\"}} {}\n",
+                    q.p50
+                ));
+                out.push_str(&format!(
+                    "gendt_fleet_routed_latency_ms{{outcome=\"{label}\",quantile=\"0.99\"}} {}\n",
+                    q.p99
+                ));
+            }
+            out.push_str(&format!(
+                "gendt_fleet_routed_latency_ms_count{{outcome=\"{label}\"}} {n}\n"
+            ));
+        }
+        {
+            let n = combined.total();
             out.push_str(
                 "# HELP gendt_fleet_latency_ms Routed end-to-end latency, milliseconds.\n# TYPE gendt_fleet_latency_ms summary\n",
             );
             if n > 0 {
-                let q = Quantiles::from_histogram(&lat);
+                let q = Quantiles::from_histogram(&combined);
                 out.push_str(&format!(
                     "gendt_fleet_latency_ms{{quantile=\"0.5\"}} {}\n",
                     q.p50
@@ -202,7 +313,7 @@ mod tests {
         m.http_requests.fetch_add(5, Ordering::Relaxed);
         m.forwarded.fetch_add(4, Ordering::Relaxed);
         m.observe_latency_ms(8.0);
-        let text = m.render(4, 3);
+        let text = m.render(4, 3, &[]);
         for needle in [
             "gendt_fleet_http_requests_total 5",
             "gendt_fleet_forwarded_total 4",
@@ -211,6 +322,28 @@ mod tests {
             "gendt_fleet_latency_ms_count 1",
             "gendt_fleet_evictions_total 0",
             "quantile=\"0.999\"",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn outcome_lanes_merge_into_combined_latency() {
+        let m = FleetMetrics::new();
+        m.observe_routed_ms(RouteOutcome::Owner, 10.0);
+        m.observe_routed_ms(RouteOutcome::Spill, 60.0);
+        m.observe_routed_ms(RouteOutcome::Retry, 120.0);
+        m.spill_to("w1");
+        m.spill_to("w1");
+        let text = m.render(2, 2, &[("w0".to_string(), 3), ("w1".to_string(), 1)]);
+        for needle in [
+            "gendt_fleet_routed_latency_ms_count{outcome=\"owner\"} 1",
+            "gendt_fleet_routed_latency_ms_count{outcome=\"spill\"} 1",
+            "gendt_fleet_routed_latency_ms_count{outcome=\"retry\"} 1",
+            "gendt_fleet_latency_ms_count 3",
+            "gendt_fleet_worker_inflight{worker=\"w0\"} 3",
+            "gendt_fleet_worker_inflight{worker=\"w1\"} 1",
+            "gendt_fleet_worker_spills_total{worker=\"w1\"} 2",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

@@ -19,8 +19,11 @@
 
 use crate::forward::Forwarder;
 use crate::membership::{Membership, Probe};
-use crate::metrics::FleetMetrics;
-use gendt_faults::GendtError;
+use crate::metrics::{FleetMetrics, RouteOutcome};
+use gendt_faults::{ErrorKind, GendtError};
+use gendt_obs::clock::ClockTable;
+use gendt_obs::slo::{SloCfg, SloTracker};
+use gendt_obs::{flightrec, promtext, traceid};
 use gendt_serve::api::{ErrorEnvelope, GenerateRequest, ModelsResponse};
 use gendt_serve::http::{read_request, write_json, write_json_extra, write_response_extra};
 use gendt_sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -41,6 +44,11 @@ const DRAIN_WAIT: Duration = Duration::from_secs(10);
 
 /// Grace window between `POST /shutdown` and the hard listener close.
 const DRAIN_GRACE: Duration = Duration::from_millis(300);
+
+/// Per-worker budget when the federated `/metrics` scrape fans out; a
+/// slow worker must not stall the whole exposition for the full
+/// forward timeout.
+const SCRAPE_TIMEOUT: Duration = Duration::from_millis(2500);
 
 /// Router configuration.
 #[derive(Clone, Debug)]
@@ -108,6 +116,11 @@ struct RouterState {
     draining: AtomicBool,
     shutdown: AtomicBool,
     active: AtomicU64,
+    /// Per-worker clock-offset estimates fed by forward brackets,
+    /// exported on `/debug/trace` for the timeline assembler.
+    clock: ClockTable,
+    /// Rolling-window SLO accounting over routed generate traffic.
+    slo: SloTracker,
 }
 
 impl RouterState {
@@ -203,6 +216,8 @@ pub fn route_serve(
         draining: AtomicBool::new(false),
         shutdown: AtomicBool::new(false),
         active: AtomicU64::new(0),
+        clock: ClockTable::new(),
+        slo: SloTracker::new(SloCfg::default()),
     });
 
     // Discover the pool before taking traffic, then keep polling.
@@ -248,7 +263,9 @@ pub fn route_serve(
     })
 }
 
-/// A fully-formed response: status, extra headers, JSON body.
+/// A fully-formed response: status, extra headers, JSON body, plus the
+/// observability facts the connection handler feeds into the flight
+/// recorder and clock table.
 pub struct Routed {
     /// HTTP status to answer.
     pub status: u16,
@@ -256,9 +273,39 @@ pub struct Routed {
     pub headers: Vec<(String, String)>,
     /// Response body.
     pub body: String,
+    /// Flight-recorder outcome code
+    /// ([`gendt_obs::flightrec::outcome`]).
+    pub outcome: u8,
+    /// Worker id that answered (empty when no worker was reached).
+    pub worker: String,
+    /// Scenario code of the parsed request (255 when unparsed).
+    pub scenario: u8,
+    /// Microseconds inside the winning forward attempt.
+    pub forward_us: u32,
+    /// Clock sample from the winning hop: router `now_ns` before and
+    /// after the forward plus the worker's echoed
+    /// `Gendt-Worker-Time-Ns` reading.
+    pub clock_sample: Option<(u64, u64, u64)>,
 }
 
 impl Routed {
+    fn plain(status: u16, headers: Vec<(String, String)>, body: String) -> Routed {
+        Routed {
+            status,
+            headers,
+            body,
+            outcome: if status == 200 {
+                flightrec::outcome::OK
+            } else {
+                flightrec::outcome::FAILED
+            },
+            worker: String::new(),
+            scenario: 255,
+            forward_us: 0,
+            clock_sample: None,
+        }
+    }
+
     fn error(err: &GendtError) -> Routed {
         let status = err.http_status();
         let mut headers = Vec::new();
@@ -268,10 +315,20 @@ impl Routed {
         let body = serde_json::to_string(&ErrorEnvelope::from_error(err)).unwrap_or_else(|_| {
             format!("{{\"code\":\"internal\",\"message\":{:?}}}", err.context())
         });
+        let outcome = match err.kind() {
+            ErrorKind::Timeout => flightrec::outcome::EXPIRED,
+            ErrorKind::Overloaded => flightrec::outcome::REJECTED,
+            _ => flightrec::outcome::FAILED,
+        };
         Routed {
             status,
             headers,
             body,
+            outcome,
+            worker: String::new(),
+            scenario: 255,
+            forward_us: 0,
+            clock_sample: None,
         }
     }
 }
@@ -302,9 +359,14 @@ pub fn dispatch_generate(
             return Routed::error(&GendtError::invalid(format!("bad request body: {e}")));
         }
     };
+    let scenario = flightrec::scenario_code(&parsed.scenario);
+    // The trace context entered by the connection handler (0 when the
+    // caller runs outside one, e.g. the sync-check harness): stamped on
+    // the forwarded hop so worker spans nest under the router's.
+    let trace = gendt_trace::current_trace();
 
     let mut last_err: Option<GendtError> = None;
-    for _attempt in 0..MAX_ATTEMPTS {
+    for attempt in 0..MAX_ATTEMPTS {
         // Deadline minus elapsed routing time; expired means a 504
         // without burning a worker slot.
         let budget = match remaining_budget(deadline_ms, started, forward_timeout) {
@@ -312,7 +374,9 @@ pub fn dispatch_generate(
             Err(e) => {
                 // sync: monotonic counter for /metrics only.
                 metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
-                return Routed::error(&e);
+                let mut r = Routed::error(&e);
+                r.scenario = scenario;
+                return r;
             }
         };
         // Bounded-load consistent hashing: the key's owner unless it is
@@ -322,22 +386,55 @@ pub fn dispatch_generate(
         let Some(grant) = membership.route_bounded(&parsed.model, &parsed.scenario) else {
             // sync: monotonic counter for /metrics only.
             metrics.no_owner.fetch_add(1, Ordering::Relaxed);
-            return Routed::error(&GendtError::unavailable(format!(
+            let mut r = Routed::error(&GendtError::unavailable(format!(
                 "no healthy worker owns ({}, {})",
                 parsed.model, parsed.scenario
             )));
+            r.outcome = flightrec::outcome::NO_OWNER;
+            r.scenario = scenario;
+            return r;
         };
         let (worker_id, addr) = (grant.id.clone(), grant.addr.clone());
         let mut headers: Vec<(String, String)> = Vec::new();
         if let Some(ms) = budget.propagate_ms {
             headers.push(("Deadline-Ms".to_string(), ms.to_string()));
         }
-        gendt_trace::span!("fleet_forward");
+        if trace != 0 {
+            headers.push((traceid::TRACE_HEADER.to_string(), traceid::format_id(trace)));
+            headers.push((
+                traceid::PARENT_HEADER.to_string(),
+                traceid::format_id(traceid::mint()),
+            ));
+        }
+        gendt_trace::span!("fleet_forward", "attempt" => attempt);
+        let t0 = gendt_trace::now_ns();
         match forwarder.forward(&addr, "POST", path, &headers, Some(body), budget.timeout) {
             Ok(resp) => {
+                let t1 = gendt_trace::now_ns();
                 // sync: monotonic counter for /metrics only.
                 metrics.forwarded.fetch_add(1, Ordering::Relaxed);
-                metrics.observe_latency_ms(started.elapsed().as_secs_f64() * 1000.0);
+                let lane = if attempt > 0 {
+                    RouteOutcome::Retry
+                } else if grant.spilled {
+                    RouteOutcome::Spill
+                } else {
+                    RouteOutcome::Owner
+                };
+                metrics.observe_routed_ms(lane, started.elapsed().as_secs_f64() * 1000.0);
+                let outcome = match resp.status {
+                    200 => match lane {
+                        RouteOutcome::Owner => flightrec::outcome::OK,
+                        RouteOutcome::Spill => flightrec::outcome::OK_SPILL,
+                        RouteOutcome::Retry => flightrec::outcome::OK_RETRY,
+                    },
+                    429 => flightrec::outcome::REJECTED,
+                    504 => flightrec::outcome::EXPIRED,
+                    _ => flightrec::outcome::FAILED,
+                };
+                let clock_sample = resp
+                    .header(traceid::WORKER_TIME_HEADER)
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+                    .map(|worker_ns| (t0, t1, worker_ns));
                 let mut out_headers = Vec::new();
                 if let Some(ra) = resp.header("retry-after") {
                     out_headers.push(("Retry-After".to_string(), ra.to_string()));
@@ -346,6 +443,11 @@ pub fn dispatch_generate(
                     status: resp.status,
                     headers: out_headers,
                     body: resp.body,
+                    outcome,
+                    worker: worker_id,
+                    scenario,
+                    forward_us: (t1.saturating_sub(t0) / 1000).min(u32::MAX as u64) as u32,
+                    clock_sample,
                 };
             }
             Err(e) => {
@@ -360,7 +462,9 @@ pub fn dispatch_generate(
         .unwrap_or_else(|| GendtError::unavailable("no forward attempt ran"))
         .wrap("fleet forwarding failed")
         .with_retryable(true);
-    Routed::error(&err)
+    let mut r = Routed::error(&err);
+    r.scenario = scenario;
+    r
 }
 
 struct Budget {
@@ -471,6 +575,14 @@ fn handle_conn(state: &Arc<RouterState>, mut stream: TcpStream) {
 
     match (req.method.as_str(), route.as_str()) {
         ("POST", "/generate") => {
+            // Propagate the client's Gendt-Trace-Id or mint one: every
+            // routed request has a trace context, and the chosen id is
+            // echoed back so the client can find its spans later.
+            let trace_id = req
+                .header(traceid::TRACE_HEADER)
+                .and_then(traceid::parse_id)
+                .unwrap_or_else(traceid::mint);
+            let _trace = gendt_trace::trace_scope(trace_id);
             if state.is_draining() {
                 write_routed(
                     &mut stream,
@@ -486,7 +598,7 @@ fn handle_conn(state: &Arc<RouterState>, mut stream: TcpStream) {
                 }
             };
             let body = String::from_utf8_lossy(&req.body).into_owned();
-            let routed = dispatch_generate(
+            let mut routed = dispatch_generate(
                 &state.membership,
                 state.forwarder.as_ref(),
                 state.metrics.as_ref(),
@@ -496,6 +608,29 @@ fn handle_conn(state: &Arc<RouterState>, mut stream: TcpStream) {
                 started,
                 state.forward_timeout,
             );
+            routed.headers.push((
+                traceid::TRACE_HEADER.to_string(),
+                traceid::format_id(trace_id),
+            ));
+            if let Some((t0, t1, worker_ns)) = routed.clock_sample {
+                state.clock.update(&routed.worker, t0, t1, worker_ns);
+            }
+            let elapsed = started.elapsed();
+            state.slo.record(
+                gendt_trace::now_ns() / 1_000_000_000,
+                routed.status < 500,
+                elapsed.as_secs_f64() * 1000.0,
+            );
+            flightrec::record(flightrec::FlightRecord {
+                trace: trace_id,
+                scenario: routed.scenario,
+                outcome: routed.outcome,
+                worker: worker_index(&routed.worker),
+                queue_us: 0,
+                batch_us: 0,
+                forward_us: routed.forward_us,
+                total_us: elapsed.as_micros().min(u32::MAX as u128) as u32,
+            });
             write_routed(&mut stream, &routed);
         }
         ("GET", "/models") => {
@@ -545,9 +680,7 @@ fn handle_conn(state: &Arc<RouterState>, mut stream: TcpStream) {
             }
         }
         ("GET", "/metrics") => {
-            let snapshot = state.membership.snapshot();
-            let healthy = snapshot.iter().filter(|w| w.healthy).count();
-            let text = state.metrics.render(snapshot.len(), healthy);
+            let text = federated_metrics(state);
             let _ = write_response_extra(
                 &mut stream,
                 200,
@@ -557,6 +690,34 @@ fn handle_conn(state: &Arc<RouterState>, mut stream: TcpStream) {
                 text.as_bytes(),
             );
         }
+        ("GET", "/debug/trace") => {
+            // The router's own drain plus everything the assembler
+            // needs to fetch and align the workers': their addresses
+            // and the estimated clock offsets.
+            let (all, dropped) = gendt_trace::snapshot_spans(usize::MAX);
+            let mut spans: Vec<_> = all.into_iter().filter(|e| e.cat == "span").collect();
+            if spans.len() > 256 {
+                spans.drain(..spans.len() - 256);
+            }
+            let mut workers = String::from("{");
+            for (i, w) in state.membership.snapshot().iter().enumerate() {
+                if i > 0 {
+                    workers.push(',');
+                }
+                workers.push_str(&format!("\"{}\":\"{}\"", w.id, w.addr));
+            }
+            workers.push('}');
+            let body = format!(
+                "{{\"enabled\":{},\"dropped\":{dropped},\"workers\":{workers},\"offsets\":{},\"spans\":{}}}",
+                gendt_trace::trace_enabled(),
+                state.clock.to_json(),
+                gendt_trace::chrome_trace_json(&spans),
+            );
+            let _ = write_json(&mut stream, 200, "OK", &body);
+        }
+        ("GET", "/debug/flightrec") => {
+            let _ = write_json(&mut stream, 200, "OK", &flightrec::dump_json());
+        }
         ("POST", "/reload") => {
             let routed = broadcast_reload(state, &req.path);
             write_routed(&mut stream, &routed);
@@ -564,6 +725,7 @@ fn handle_conn(state: &Arc<RouterState>, mut stream: TcpStream) {
         ("POST", "/shutdown") => {
             // sync: Release pairs with is_draining's Acquire load.
             state.draining.store(true, Ordering::Release);
+            let _ = flightrec::dump_on_drain();
             let _ = write_response_extra(&mut stream, 200, "OK", "text/plain", &[], b"draining\n");
             let local = stream.local_addr().ok();
             let closer_state = state.clone();
@@ -584,6 +746,55 @@ fn handle_conn(state: &Arc<RouterState>, mut stream: TcpStream) {
             ))),
         ),
     }
+}
+
+/// The flight-recorder worker index of a `wN` worker id
+/// (`u16::MAX` when unknown or the request never reached a worker).
+fn worker_index(id: &str) -> u16 {
+    id.strip_prefix('w')
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(u16::MAX)
+}
+
+/// Build the federated `/metrics` exposition: the router's own series,
+/// the SLO gauges, then every live worker's scrape — merged (counters
+/// summed, histogram buckets step-merged) and additionally re-exported
+/// per worker under a `worker=` label.
+fn federated_metrics(state: &Arc<RouterState>) -> String {
+    let snapshot = state.membership.snapshot();
+    let healthy = snapshot.iter().filter(|w| w.healthy).count();
+    let per_worker: Vec<(String, u64)> = snapshot
+        .iter()
+        .map(|w| (w.id.clone(), w.inflight))
+        .collect();
+    let mut text = state.metrics.render(snapshot.len(), healthy, &per_worker);
+    text.push_str(&state.slo.render(gendt_trace::now_ns() / 1_000_000_000));
+    let mut scrapes: Vec<(String, String)> = Vec::new();
+    for w in snapshot.iter().filter(|w| w.healthy) {
+        match state.forwarder.forward(
+            &w.addr,
+            "GET",
+            "/v1/metrics",
+            &[],
+            None,
+            state.forward_timeout.min(SCRAPE_TIMEOUT),
+        ) {
+            Ok(resp) if resp.status == 200 => scrapes.push((w.id.clone(), resp.body)),
+            // An unscrapable worker degrades the federated view; the
+            // health poller will sort out its ring membership.
+            _ => {}
+        }
+    }
+    if !scrapes.is_empty() {
+        let texts: Vec<&str> = scrapes.iter().map(|(_, t)| t.as_str()).collect();
+        text.push_str("# Federated worker series: counters summed, buckets merged.\n");
+        text.push_str(&promtext::merge(&texts));
+        text.push_str("# Per-worker series.\n");
+        for (id, t) in &scrapes {
+            text.push_str(&promtext::relabel(t, "worker", id));
+        }
+    }
+    text
 }
 
 fn parse_deadline(raw: Option<&str>) -> Result<Option<u64>, GendtError> {
@@ -616,11 +827,7 @@ fn broadcast_reload(state: &Arc<RouterState>, path: &str) -> Routed {
         {
             Ok(resp) if resp.status == 200 => {}
             Ok(resp) => {
-                return Routed {
-                    status: resp.status,
-                    headers: Vec::new(),
-                    body: resp.body,
-                };
+                return Routed::plain(resp.status, Vec::new(), resp.body);
             }
             Err(e) => {
                 state.membership.report_failure(id);
@@ -632,11 +839,7 @@ fn broadcast_reload(state: &Arc<RouterState>, path: &str) -> Routed {
         models: state.membership.model_names(),
     })
     .unwrap_or_else(|_| "{}".to_string());
-    Routed {
-        status: 200,
-        headers: Vec::new(),
-        body,
-    }
+    Routed::plain(200, Vec::new(), body)
 }
 
 #[cfg(test)]
@@ -801,6 +1004,116 @@ mod tests {
         // Both workers were evicted by the failed attempts.
         assert_eq!(m.healthy_count(), 0);
         assert_eq!(metrics.forward_errors.load(Ordering::Relaxed), 2);
+    }
+
+    /// Echoes the Gendt-Trace-Id request header into the body and a
+    /// fixed worker clock reading into the response headers.
+    struct TraceEchoForwarder;
+    impl Forwarder for TraceEchoForwarder {
+        fn forward(
+            &self,
+            _addr: &str,
+            _method: &str,
+            _path: &str,
+            headers: &[(String, String)],
+            _body: Option<&str>,
+            _timeout: Duration,
+        ) -> Result<HttpResponse, GendtError> {
+            let trace = headers
+                .iter()
+                .find(|(n, _)| n == traceid::TRACE_HEADER)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default();
+            Ok(HttpResponse {
+                status: 200,
+                headers: vec![(traceid::WORKER_TIME_HEADER.to_string(), "12345".to_string())],
+                body: format!("{{\"trace\":\"{trace}\"}}"),
+            })
+        }
+    }
+
+    #[test]
+    fn forward_carries_the_trace_context_and_clock_sample() {
+        let (m, metrics) = fresh_membership();
+        let _scope = gendt_trace::trace_scope(0xBEEF);
+        let r = dispatch_generate(
+            &m,
+            &TraceEchoForwarder,
+            &metrics,
+            "/v1/generate",
+            &body(),
+            None,
+            Instant::now(),
+            Duration::from_secs(1),
+        );
+        assert_eq!(r.status, 200);
+        assert!(
+            r.body.contains("\"trace\":\"000000000000beef\""),
+            "worker must see the router's trace id: {}",
+            r.body
+        );
+        assert_eq!(r.outcome, flightrec::outcome::OK);
+        assert!(r.worker == "w0" || r.worker == "w1");
+        assert_eq!(r.scenario, flightrec::scenario_code("walk"));
+        let (t0, t1, worker_ns) = r.clock_sample.expect("clock sample from echoed header");
+        assert!(t1 >= t0);
+        assert_eq!(worker_ns, 12345);
+    }
+
+    #[test]
+    fn untraced_dispatch_sends_no_trace_header() {
+        let (m, metrics) = fresh_membership();
+        let r = dispatch_generate(
+            &m,
+            &TraceEchoForwarder,
+            &metrics,
+            "/v1/generate",
+            &body(),
+            None,
+            Instant::now(),
+            Duration::from_secs(1),
+        );
+        assert_eq!(r.status, 200);
+        assert!(
+            r.body.contains("\"trace\":\"\""),
+            "no trace scope → no header: {}",
+            r.body
+        );
+    }
+
+    #[test]
+    fn dead_pool_answer_reports_a_failed_outcome() {
+        let (m, metrics) = fresh_membership();
+        let r = dispatch_generate(
+            &m,
+            &DeadForwarder,
+            &metrics,
+            "/v1/generate",
+            &body(),
+            None,
+            Instant::now(),
+            Duration::from_secs(1),
+        );
+        assert_eq!(r.status, 503);
+        assert_eq!(r.outcome, flightrec::outcome::FAILED);
+        assert_eq!(r.scenario, flightrec::scenario_code("walk"));
+    }
+
+    #[test]
+    fn empty_ring_reports_no_owner_outcome() {
+        let metrics = Arc::new(FleetMetrics::new());
+        let m = Membership::new(5, metrics.clone());
+        let r = dispatch_generate(
+            &m,
+            &OkForwarder,
+            &metrics,
+            "/v1/generate",
+            &body(),
+            None,
+            Instant::now(),
+            Duration::from_secs(1),
+        );
+        assert_eq!(r.outcome, flightrec::outcome::NO_OWNER);
     }
 
     #[test]

@@ -52,6 +52,9 @@ pub struct WorkerSpec {
     pub threads: usize,
     /// Default per-request deadline, milliseconds (`0` = none).
     pub default_deadline_ms: u64,
+    /// This worker's index in the pool (`w<N>`); declared to the
+    /// flight recorder so records attribute without plumbing.
+    pub worker_index: usize,
 }
 
 impl WorkerSpec {
@@ -66,6 +69,7 @@ impl WorkerSpec {
             cache_cap: 128,
             threads: 1,
             default_deadline_ms: 0,
+            worker_index: 0,
         }
     }
 
@@ -127,6 +131,7 @@ pub fn maybe_run_worker() -> Option<u8> {
 fn run_worker(spec_json: &str) -> Result<(), GendtError> {
     let spec: WorkerSpec = serde_json::from_str(spec_json)
         .map_err(|e| GendtError::config(format!("bad {WORKER_ENV} spec: {e}")))?;
+    gendt_obs::flightrec::set_self_worker(spec.worker_index);
     let handle = serve(spec.server_cfg())?;
     // The ready line is the spawn handshake; everything else the worker
     // prints goes to the supervisor's drainer thread.
@@ -142,7 +147,9 @@ fn spawn_one(
 ) -> Result<WorkerProc, GendtError> {
     let exe = std::env::current_exe()
         .map_err(|e| GendtError::from(e).wrap("cannot locate current executable"))?;
-    let spec_json = serde_json::to_string(spec)
+    let mut spec = spec.clone();
+    spec.worker_index = index;
+    let spec_json = serde_json::to_string(&spec)
         .map_err(|e| GendtError::internal(format!("serializing WorkerSpec: {e}")))?;
     let id = format!("w{index}");
     let mut cmd = Command::new(exe);

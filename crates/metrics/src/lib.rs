@@ -150,6 +150,35 @@ impl Histogram {
             .collect()
     }
 
+    /// Merge another snapshot of the same histogram family into this
+    /// one by adding bin counts elementwise — the federation primitive:
+    /// per-worker latency histograms with identical `[lo, hi]`/bin
+    /// configuration combine into the fleet-wide distribution exactly
+    /// as if every observation had streamed into a single process.
+    ///
+    /// The operation is associative and commutative, so merging N
+    /// worker scrapes is order-independent.
+    ///
+    /// # Panics
+    /// Panics if the two histograms differ in range or bin count —
+    /// bucket-merging heterogeneous configurations would silently
+    /// misattribute counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "histogram merge: shape mismatch ([{}, {}] x{} vs [{}, {}] x{})",
+            self.lo,
+            self.hi,
+            self.counts.len(),
+            other.lo,
+            other.hi,
+            other.counts.len()
+        );
+        for (c, &o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+    }
+
     /// Streaming quantile estimate: locate the bin holding the `q`-th
     /// observation and interpolate linearly within it (the classic
     /// grouped-data quantile). Accuracy is bounded by the bin width —
@@ -546,6 +575,83 @@ mod tests {
             (stream.p99 - exact.p99).abs() <= bin_w,
             "{stream:?} vs {exact:?}"
         );
+    }
+
+    /// Shard `xs` round-robin into `n` histograms with the given shape —
+    /// the test stand-in for N workers each observing a slice of the
+    /// fleet's traffic.
+    fn shards(xs: &[f64], n: usize, lo: f64, hi: f64, bins: usize) -> Vec<Histogram> {
+        let mut hs: Vec<Histogram> = (0..n).map(|_| Histogram::empty(lo, hi, bins)).collect();
+        for (i, &x) in xs.iter().enumerate() {
+            hs[i % n].push(x);
+        }
+        hs
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_process() {
+        let xs: Vec<f64> = (0..5000).map(|i| ((i * 37) % 997) as f64 / 10.0).collect();
+        let single = Histogram::new(&xs, 0.0, 100.0, 64);
+        let parts = shards(&xs, 4, 0.0, 100.0, 64);
+        let mut merged = Histogram::empty(0.0, 100.0, 64);
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.counts, single.counts);
+        assert_eq!(merged.total(), single.total());
+        // Quantiles of the merged view match the single-process view
+        // exactly: same bins, same counts.
+        let qm = Quantiles::from_histogram(&merged);
+        let qs = Quantiles::from_histogram(&single);
+        assert_eq!(qm, qs);
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent() {
+        let xs: Vec<f64> = (0..3000).map(|i| ((i * 13) % 701) as f64 / 7.0).collect();
+        let parts = shards(&xs, 5, 0.0, 100.0, 40);
+        let mut forward = Histogram::empty(0.0, 100.0, 40);
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut backward = Histogram::empty(0.0, 100.0, 40);
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        assert_eq!(forward.counts, backward.counts);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative() {
+        let xs: Vec<f64> = (0..2400).map(|i| ((i * 11) % 499) as f64 / 5.0).collect();
+        let parts = shards(&xs, 3, 0.0, 100.0, 32);
+        // (a + b) + c
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        // a + (b + c)
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&bc);
+        assert_eq!(left.counts, right.counts);
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity() {
+        let xs = [1.0, 2.0, 3.0, 9.5];
+        let mut h = Histogram::new(&xs, 0.0, 10.0, 10);
+        let before = h.counts.clone();
+        h.merge(&Histogram::empty(0.0, 10.0, 10));
+        assert_eq!(h.counts, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram merge: shape mismatch")]
+    fn histogram_merge_rejects_shape_mismatch() {
+        let mut a = Histogram::empty(0.0, 10.0, 10);
+        let b = Histogram::empty(0.0, 10.0, 20);
+        a.merge(&b);
     }
 
     #[test]

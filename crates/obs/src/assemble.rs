@@ -1,0 +1,289 @@
+//! Merge per-process Chrome-trace drains into one clock-aligned
+//! Perfetto timeline.
+//!
+//! Every process exports `/debug/trace` with timestamps in its own
+//! trace epoch. The router additionally knows each worker's estimated
+//! clock offset ([`crate::clock`]) and address, so a single
+//! `gendt-obs assemble --router <addr>` can fetch all drains, shift
+//! worker timestamps into the router's epoch, give each process its
+//! own `pid` lane (router = 1, worker `wN` = N + 2), and emit one
+//! Chrome Trace Event Format document in which a routed request's
+//! router span visually contains its worker-side scheduler/batch spans
+//! under the same `trace` arg.
+
+use gendt_faults::GendtError;
+use serde::{map_field, Value};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Default per-request timeout for drain fetches.
+pub const FETCH_TIMEOUT: Duration = Duration::from_millis(2500);
+
+/// Minimal `GET` over a fresh connection (`Connection: close`), used
+/// only by the offline assembler/report tooling — the serving path has
+/// its own richer client in `gendt-fleet`.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> Result<String, GendtError> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| GendtError::from(e).wrap(format!("connecting to {addr}")))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(GendtError::from)?;
+    let mut stream = stream;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| GendtError::from(e).wrap(format!("sending GET {path} to {addr}")))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| GendtError::from(e).wrap(format!("reading GET {path} from {addr}")))?;
+    let text = String::from_utf8_lossy(&raw);
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        return Err(GendtError::internal(format!(
+            "malformed HTTP response from {addr}{path}"
+        )));
+    };
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    if status != 200 {
+        return Err(GendtError::unavailable(format!(
+            "GET {addr}{path} returned {status}"
+        )));
+    }
+    Ok(body.to_string())
+}
+
+/// One process's drain, ready to merge.
+pub struct ProcessDrain {
+    /// Worker id (`w0`, ...) — determines the output `pid` lane.
+    pub id: String,
+    /// Clock offset to add to this process's timestamps, nanoseconds.
+    pub offset_ns: i64,
+    /// The raw `/debug/trace` JSON body.
+    pub json: String,
+}
+
+/// Extract the `spans.traceEvents` array from a `/debug/trace` body.
+fn trace_events(body: &str, who: &str) -> Result<Vec<Value>, GendtError> {
+    let doc: Value = serde_json::from_str(body)
+        .map_err(|e| GendtError::internal(format!("{who} /debug/trace: bad JSON: {e}")))?;
+    let map = doc
+        .as_map_for("debug-trace body")
+        .map_err(|e| GendtError::internal(format!("{who}: {e}")))?;
+    let spans = map_field(map, "spans", "debug-trace body")
+        .map_err(|e| GendtError::internal(format!("{who}: {e}")))?;
+    let smap = spans
+        .as_map_for("spans")
+        .map_err(|e| GendtError::internal(format!("{who}: {e}")))?;
+    let events = map_field(smap, "traceEvents", "spans")
+        .map_err(|e| GendtError::internal(format!("{who}: {e}")))?;
+    Ok(events
+        .as_seq_for("traceEvents")
+        .map_err(|e| GendtError::internal(format!("{who}: {e}")))?
+        .to_vec())
+}
+
+/// Rewrite one event into the merged timeline: assign `pid`, shift
+/// `ts` by the process offset (microseconds).
+fn shifted(ev: &Value, pid: i64, offset_us: f64) -> Value {
+    let Value::Map(fields) = ev else {
+        return ev.clone();
+    };
+    let rewritten = fields
+        .iter()
+        .map(|(k, v)| match (k.as_str(), v) {
+            ("pid", _) => (k.clone(), Value::Int(pid as i128)),
+            ("ts", Value::Float(t)) => (k.clone(), Value::Float(t + offset_us)),
+            ("ts", Value::Int(t)) => (k.clone(), Value::Float(*t as f64 + offset_us)),
+            _ => (k.clone(), v.clone()),
+        })
+        .collect();
+    Value::Map(rewritten)
+}
+
+/// Chrome metadata event naming a `pid` lane.
+fn process_name(pid: i64, name: &str) -> Value {
+    Value::Map(vec![
+        ("name".to_string(), Value::Str("process_name".to_string())),
+        ("ph".to_string(), Value::Str("M".to_string())),
+        ("pid".to_string(), Value::Int(pid as i128)),
+        (
+            "args".to_string(),
+            Value::Map(vec![("name".to_string(), Value::Str(name.to_string()))]),
+        ),
+    ])
+}
+
+/// The `pid` lane of a worker id: `wN` → N + 2 (router is 1). Unknown
+/// ids get lanes after the fallback base.
+fn worker_pid(id: &str, index: usize) -> i64 {
+    id.strip_prefix('w')
+        .and_then(|n| n.parse::<i64>().ok())
+        .map_or(1000 + index as i64, |n| n + 2)
+}
+
+/// Merge the router drain and worker drains into one clock-aligned
+/// Chrome-trace JSON document. Pure function of its inputs — the HTTP
+/// fetching lives in [`assemble`].
+pub fn assemble_from_parts(
+    router_json: &str,
+    workers: &[ProcessDrain],
+) -> Result<String, GendtError> {
+    let mut merged: Vec<Value> = Vec::new();
+    merged.push(process_name(1, "gendt-fleet router"));
+    for ev in trace_events(router_json, "router")? {
+        merged.push(shifted(&ev, 1, 0.0));
+    }
+    for (i, w) in workers.iter().enumerate() {
+        let pid = worker_pid(&w.id, i);
+        merged.push(process_name(pid, &format!("gendt-serve {}", w.id)));
+        let offset_us = w.offset_ns as f64 / 1000.0;
+        for ev in trace_events(&w.json, &w.id)? {
+            merged.push(shifted(&ev, pid, offset_us));
+        }
+    }
+    let doc = Value::Map(vec![("traceEvents".to_string(), Value::Seq(merged))]);
+    serde_json::to_string(&doc)
+        .map_err(|e| GendtError::internal(format!("rendering merged trace: {e}")))
+}
+
+/// Fetch the router's `/v1/debug/trace` (which carries worker
+/// addresses and clock offsets), fetch every reachable worker's drain,
+/// and merge. Unreachable workers are skipped — assembling a timeline
+/// after a worker crash is exactly when this tool is needed.
+pub fn assemble(router_addr: &str) -> Result<String, GendtError> {
+    let router_json = http_get(router_addr, "/v1/debug/trace", FETCH_TIMEOUT)
+        .map_err(|e| e.wrap("fetching router drain"))?;
+    let doc: Value = serde_json::from_str(&router_json)
+        .map_err(|e| GendtError::internal(format!("router /debug/trace: bad JSON: {e}")))?;
+    let map = doc
+        .as_map_for("router debug-trace body")
+        .map_err(|e| GendtError::internal(e.to_string()))?;
+    let mut workers = Vec::new();
+    if let Ok(list) = map_field(map, "workers", "router debug-trace body") {
+        for (id, addr) in list.as_map_for("workers").unwrap_or(&[]) {
+            let Ok(addr) = addr.as_str_for("worker addr") else {
+                continue;
+            };
+            let offset_ns = offset_for(map, id);
+            match http_get(addr, "/v1/debug/trace", FETCH_TIMEOUT) {
+                Ok(json) => workers.push(ProcessDrain {
+                    id: id.clone(),
+                    offset_ns,
+                    json,
+                }),
+                Err(e) => {
+                    gendt_trace::error!("gendt-obs: skipping {id} ({addr}): {e}");
+                }
+            }
+        }
+    }
+    assemble_from_parts(&router_json, &workers)
+}
+
+/// The router-estimated clock offset for `id`, 0 when absent.
+fn offset_for(router_map: &[(String, Value)], id: &str) -> i64 {
+    let Ok(offsets) = map_field(router_map, "offsets", "router debug-trace body") else {
+        return 0;
+    };
+    let Ok(omap) = offsets.as_map_for("offsets") else {
+        return 0;
+    };
+    let Ok(entry) = map_field(omap, id, "offsets") else {
+        return 0;
+    };
+    let Ok(emap) = entry.as_map_for("offset entry") else {
+        return 0;
+    };
+    map_field(emap, "offset_ns", "offset entry")
+        .and_then(|v| v.as_int_for("offset_ns"))
+        .map_or(0, |v| v as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(events: &str) -> String {
+        format!("{{\"enabled\":true,\"dropped\":0,\"spans\":{{\"traceEvents\":[{events}]}}}}")
+    }
+
+    fn ev(name: &str, ts: f64, dur: f64, trace: u64) -> String {
+        format!(
+            "{{\"name\":\"{name}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{ts:.3},\
+             \"dur\":{dur:.3},\"pid\":1,\"tid\":0,\"args\":{{\"trace\":{trace}}}}}"
+        )
+    }
+
+    #[test]
+    fn merges_lanes_and_aligns_clocks() {
+        let router = body(&ev("fleet_forward", 1000.0, 500.0, 42));
+        // Worker span at local ts 100 µs; offset +1 ms puts it at 1100,
+        // inside the router's forward span.
+        let workers = [ProcessDrain {
+            id: "w0".to_string(),
+            offset_ns: 1_000_000,
+            json: body(&ev("serve_batch", 100.0, 200.0, 42)),
+        }];
+        let json = assemble_from_parts(&router, &workers).expect("assemble");
+        let doc: Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = doc
+            .as_map_for("doc")
+            .and_then(|m| map_field(m, "traceEvents", "doc"))
+            .and_then(|v| v.as_seq_for("traceEvents"))
+            .expect("traceEvents")
+            .to_vec();
+        // 2 metadata + 2 spans.
+        assert_eq!(events.len(), 4);
+        let find = |name: &str| {
+            events
+                .iter()
+                .find_map(|e| {
+                    let m = e.as_map_for("ev").ok()?;
+                    let n = map_field(m, "name", "ev").ok()?.as_str_for("name").ok()?;
+                    (n == name).then(|| m.to_vec())
+                })
+                .unwrap_or_else(|| panic!("missing event {name}"))
+        };
+        let fwd = find("fleet_forward");
+        let batch = find("serve_batch");
+        let f64_of = |m: &[(String, Value)], k: &str| {
+            map_field(m, k, "ev")
+                .and_then(|v| v.as_f64_for(k))
+                .expect("number")
+        };
+        assert_eq!(f64_of(&fwd, "pid"), 1.0);
+        assert_eq!(f64_of(&batch, "pid"), 2.0, "w0 lane is pid 2");
+        let b_ts = f64_of(&batch, "ts");
+        assert!((b_ts - 1100.0).abs() < 1e-9, "shifted ts, got {b_ts}");
+        // Clock-aligned nesting: worker span inside the router span.
+        let f_ts = f64_of(&fwd, "ts");
+        let f_end = f_ts + f64_of(&fwd, "dur");
+        assert!(b_ts >= f_ts && b_ts + f64_of(&batch, "dur") <= f_end);
+    }
+
+    #[test]
+    fn negative_offset_shifts_backwards() {
+        let router = body(&ev("fleet_forward", 1000.0, 10.0, 1));
+        let workers = [ProcessDrain {
+            id: "w3".to_string(),
+            offset_ns: -500_000,
+            json: body(&ev("serve_batch", 700.0, 1.0, 1)),
+        }];
+        let json = assemble_from_parts(&router, &workers).expect("assemble");
+        assert!(json.contains("\"ts\":200"), "{json}");
+        assert!(json.contains("gendt-serve w3"), "{json}");
+    }
+
+    #[test]
+    fn rejects_malformed_drains() {
+        assert!(assemble_from_parts("not json", &[]).is_err());
+        assert!(assemble_from_parts("{\"spans\":[]}", &[]).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! `gendt-obs` — fleet observability CLI.
+//!
+//! * `gendt-obs assemble --router <addr> [--out <file>]` — fetch the
+//!   router's and every worker's Chrome-trace drains and merge them
+//!   into one clock-aligned timeline (open in Perfetto).
+//! * `gendt-obs slo --router <addr>` — scrape the router's
+//!   `/v1/metrics` and print the SLO burn-rate report.
+
+#![forbid(unsafe_code)]
+
+use gendt_obs::{assemble, slo};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:\n  \
+    gendt-obs assemble --router <addr> [--out <file>]\n  \
+    gendt-obs slo --router <addr>\n";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        gendt_trace::out!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let Some(router) = flag(&args, "--router") else {
+        gendt_trace::error!("gendt-obs {cmd}: missing --router <addr>");
+        gendt_trace::out!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match cmd {
+        "assemble" => match assemble::assemble(&router) {
+            Ok(json) => {
+                if let Some(path) = flag(&args, "--out") {
+                    if let Err(e) = std::fs::write(&path, &json) {
+                        gendt_trace::error!("gendt-obs assemble: writing {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    gendt_trace::out!(
+                        "wrote {} bytes to {path} (open in https://ui.perfetto.dev)",
+                        json.len()
+                    );
+                } else {
+                    gendt_trace::out!("{json}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                gendt_trace::error!("gendt-obs assemble: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "slo" => match assemble::http_get(&router, "/v1/metrics", assemble::FETCH_TIMEOUT) {
+            Ok(text) => {
+                gendt_trace::out!("{}", slo::report_from_text(&text));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                gendt_trace::error!("gendt-obs slo: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        other => {
+            gendt_trace::error!("gendt-obs: unknown command {other:?}");
+            gendt_trace::out!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-worker clock-offset estimation from forward request/response
+//! timestamps.
+//!
+//! Each process's `gendt_trace::now_ns` is anchored at its own first
+//! use, so raw span timestamps from different processes share no
+//! epoch. The router already brackets every forward hop with two
+//! clock reads; with the worker echoing its own clock in the
+//! `Gendt-Worker-Time-Ns` response header, the classic NTP midpoint
+//! estimate falls out for free:
+//!
+//! ```text
+//! offset ≈ (t0 + t1) / 2 − worker_ns        (router − worker)
+//! ```
+//!
+//! The error is bounded by half the round trip, so the table keeps the
+//! sample with the smallest RTT per worker — on loopback that is a few
+//! tens of microseconds, far below the span durations being aligned.
+
+use gendt_sync::Mutex;
+use std::collections::BTreeMap;
+
+/// One worker's best offset estimate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OffsetEst {
+    /// Router clock minus worker clock, nanoseconds: add this to a
+    /// worker timestamp to land in the router's epoch.
+    pub offset_ns: i64,
+    /// Round trip of the winning sample (the error bound is rtt/2).
+    pub rtt_ns: u64,
+}
+
+/// Best-known clock offsets, keyed by worker id (`w0`, `w1`, ...).
+pub struct ClockTable {
+    inner: Mutex<BTreeMap<String, OffsetEst>>,
+}
+
+impl ClockTable {
+    /// An empty table (usable in statics).
+    pub const fn new() -> ClockTable {
+        ClockTable {
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Feed one forward-hop sample: router clock before (`t0_ns`) and
+    /// after (`t1_ns`) the hop, and the worker's echoed clock reading.
+    /// Keeps the estimate whose round trip is smallest.
+    pub fn update(&self, worker: &str, t0_ns: u64, t1_ns: u64, worker_ns: u64) {
+        let rtt = t1_ns.saturating_sub(t0_ns);
+        let midpoint = t0_ns + rtt / 2;
+        let est = OffsetEst {
+            offset_ns: midpoint as i64 - worker_ns as i64,
+            rtt_ns: rtt,
+        };
+        let mut map = self.inner.lock();
+        match map.get_mut(worker) {
+            Some(cur) if cur.rtt_ns <= rtt => {}
+            Some(cur) => *cur = est,
+            None => {
+                map.insert(worker.to_string(), est);
+            }
+        }
+    }
+
+    /// Current best estimate for one worker.
+    pub fn get(&self, worker: &str) -> Option<OffsetEst> {
+        self.inner.lock().get(worker).copied()
+    }
+
+    /// All current estimates, sorted by worker id.
+    pub fn snapshot(&self) -> Vec<(String, OffsetEst)> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Render the table as the JSON object embedded in the router's
+    /// `/debug/trace` body.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (id, est)) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{id}\":{{\"offset_ns\":{},\"rtt_ns\":{}}}",
+                est.offset_ns, est.rtt_ns
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl Default for ClockTable {
+    fn default() -> Self {
+        ClockTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn midpoint_estimate() {
+        let t = ClockTable::new();
+        // Router clock 1000..2000 around the hop; worker reported 300.
+        // Midpoint 1500 → offset 1200, rtt 1000.
+        t.update("w0", 1000, 2000, 300);
+        assert_eq!(
+            t.get("w0"),
+            Some(OffsetEst {
+                offset_ns: 1200,
+                rtt_ns: 1000
+            })
+        );
+    }
+
+    #[test]
+    fn smaller_rtt_wins() {
+        let t = ClockTable::new();
+        t.update("w0", 1000, 2000, 300);
+        // Tighter bracket: rtt 100, midpoint 5050, offset 4750.
+        t.update("w0", 5000, 5100, 300);
+        assert_eq!(t.get("w0").map(|e| e.rtt_ns), Some(100));
+        // A worse sample cannot displace it.
+        t.update("w0", 9000, 9900, 300);
+        assert_eq!(t.get("w0").map(|e| e.rtt_ns), Some(100));
+    }
+
+    #[test]
+    fn negative_offsets_survive() {
+        let t = ClockTable::new();
+        // Worker clock ahead of the router's.
+        t.update("w1", 100, 200, 10_000);
+        assert_eq!(t.get("w1").map(|e| e.offset_ns), Some(150 - 10_000));
+        let json = t.to_json();
+        assert!(json.contains("\"w1\":{\"offset_ns\":-9850"), "{json}");
+    }
+}

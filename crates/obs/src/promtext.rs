@@ -1,0 +1,332 @@
+//! Prometheus text-exposition parsing, relabeling, and federation
+//! merging.
+//!
+//! The fleet router scrapes every live worker's `/v1/metrics` and
+//! re-exports a merged view: counters summed, histogram buckets
+//! merged, per-worker series preserved under a `worker=` label.
+//! Workers expose sparse cumulative buckets (`name_bucket{le="u"} c`
+//! emitted only where the cumulative count steps), so the merge treats
+//! each worker's cumulative curve as a step function — exact for any
+//! union of `le` edges, associative, and order-independent, mirroring
+//! `gendt_metrics::Histogram::merge` at the text layer.
+
+use std::collections::BTreeMap;
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// Raw label body without braces (`""` when unlabeled), e.g.
+    /// `le="25"` or `quantile="0.5"`.
+    pub labels: String,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parse every sample line of a text exposition; `# HELP`/`# TYPE`
+/// comments and malformed lines are skipped (a scrape must degrade,
+/// not fail).
+pub fn parse_samples(text: &str) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = parse_value(value) else {
+            continue;
+        };
+        let (name, labels) = match series.split_once('{') {
+            Some((n, rest)) => match rest.strip_suffix('}') {
+                Some(l) => (n, l),
+                None => continue,
+            },
+            None => (series, ""),
+        };
+        if name.is_empty() {
+            continue;
+        }
+        out.push(Sample {
+            name: name.to_string(),
+            labels: labels.to_string(),
+            value,
+        });
+    }
+    out
+}
+
+fn parse_value(s: &str) -> Result<f64, std::num::ParseFloatError> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        _ => s.parse::<f64>(),
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Look up the value of an unlabeled sample by exact name.
+pub fn sample_value(text: &str, name: &str) -> Option<f64> {
+    parse_samples(text)
+        .into_iter()
+        .find(|s| s.name == name && s.labels.is_empty())
+        .map(|s| s.value)
+}
+
+/// Re-emit every sample line with an extra `key="val"` label injected,
+/// dropping comment lines (the federated view declares types once, on
+/// the merged series). This is how per-worker series survive
+/// federation under a `worker=` label.
+pub fn relabel(text: &str, key: &str, val: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 256);
+    for s in parse_samples(text) {
+        let labels = if s.labels.is_empty() {
+            format!("{key}=\"{val}\"")
+        } else {
+            format!("{key}=\"{val}\",{}", s.labels)
+        };
+        out.push_str(&format!("{}{{{labels}}} {}\n", s.name, fmt_value(s.value)));
+    }
+    out
+}
+
+/// The `le` edge of a bucket sample's label, if present.
+fn le_of(labels: &str) -> Option<f64> {
+    for part in labels.split(',') {
+        if let Some(v) = part.trim().strip_prefix("le=") {
+            let v = v.trim_matches('"');
+            return parse_value(v).ok();
+        }
+    }
+    None
+}
+
+/// Cumulative count at `le` of a step function given by sorted
+/// `(edge, cumulative)` points: the value at the greatest edge ≤ `le`
+/// (0 below the first). Exact for sparse cumulative buckets, whose
+/// curve only moves at emitted edges.
+fn step_at(points: &[(f64, f64)], le: f64) -> f64 {
+    let mut acc = 0.0;
+    for &(edge, cum) in points {
+        if edge <= le {
+            acc = cum;
+        } else {
+            break;
+        }
+    }
+    acc
+}
+
+/// Quantile from merged cumulative buckets: the smallest edge whose
+/// cumulative count reaches `q * total`. NaN when empty.
+pub fn bucket_quantile(points: &[(f64, f64)], q: f64) -> f64 {
+    let total = points.last().map_or(0.0, |&(_, c)| c);
+    if total <= 0.0 {
+        return f64::NAN;
+    }
+    let rank = q.clamp(0.0, 1.0) * total;
+    for &(edge, cum) in points {
+        if cum >= rank {
+            return edge;
+        }
+    }
+    points.last().map_or(f64::NAN, |&(e, _)| e)
+}
+
+/// Merge N worker expositions into one federated text block:
+///
+/// * `*_total` / `*_count` counters and plain gauges — summed per
+///   `(name, labels)`;
+/// * `*_bucket` families — cumulative step-merged over the union of
+///   `le` edges, with `quantile=` summary lines recomputed from the
+///   merged buckets;
+/// * scraped `quantile=` lines — dropped (quantiles of quantiles are
+///   meaningless; the per-worker view preserves the originals).
+///
+/// Output lines are sorted, so the merge is order-independent.
+pub fn merge(texts: &[&str]) -> String {
+    // (name, labels) -> summed value for sum-mergeable series.
+    let mut sums: BTreeMap<(String, String), f64> = BTreeMap::new();
+    // bucket family name -> per-input sorted (le, cumulative) curves.
+    let mut buckets: BTreeMap<String, Vec<Vec<(f64, f64)>>> = BTreeMap::new();
+    for text in texts {
+        let mut local: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+        for s in parse_samples(text) {
+            if s.labels.contains("quantile=") {
+                continue;
+            }
+            if s.name.ends_with("_bucket") {
+                if let Some(le) = le_of(&s.labels) {
+                    local.entry(s.name.clone()).or_default().push((le, s.value));
+                    continue;
+                }
+            }
+            *sums.entry((s.name, s.labels)).or_insert(0.0) += s.value;
+        }
+        for (name, mut curve) in local {
+            curve.sort_by(|a, b| a.0.total_cmp(&b.0));
+            buckets.entry(name).or_default().push(curve);
+        }
+    }
+    let mut out = String::new();
+    for ((name, labels), v) in &sums {
+        if labels.is_empty() {
+            out.push_str(&format!("{name} {}\n", fmt_value(*v)));
+        } else {
+            out.push_str(&format!("{name}{{{labels}}} {}\n", fmt_value(*v)));
+        }
+    }
+    for (name, curves) in &buckets {
+        // Union of edges across workers, then the summed step values.
+        let mut edges: Vec<f64> = curves.iter().flatten().map(|&(e, _)| e).collect();
+        edges.sort_by(|a, b| a.total_cmp(b));
+        edges.dedup();
+        let merged: Vec<(f64, f64)> = edges
+            .iter()
+            .map(|&le| (le, curves.iter().map(|c| step_at(c, le)).sum()))
+            .collect();
+        for &(le, cum) in &merged {
+            out.push_str(&format!(
+                "{name}{{le=\"{}\"}} {}\n",
+                fmt_value(le),
+                fmt_value(cum)
+            ));
+        }
+        let base = name.trim_end_matches("_bucket");
+        for (label, q) in [
+            ("0.5", 0.5),
+            ("0.95", 0.95),
+            ("0.99", 0.99),
+            ("0.999", 0.999),
+        ] {
+            let v = bucket_quantile(&merged, q);
+            if v.is_nan() {
+                continue;
+            }
+            out.push_str(&format!(
+                "{base}{{quantile=\"{label}\"}} {}\n",
+                fmt_value(v)
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W0: &str = "# HELP x_total help\n# TYPE x_total counter\n\
+                      x_total 3\n\
+                      lat_ms{quantile=\"0.5\"} 4\n\
+                      lat_ms_bucket{le=\"10\"} 2\n\
+                      lat_ms_bucket{le=\"+Inf\"} 3\n\
+                      lat_ms_count 3\n";
+    const W1: &str = "x_total 4\n\
+                      lat_ms{quantile=\"0.5\"} 9\n\
+                      lat_ms_bucket{le=\"20\"} 5\n\
+                      lat_ms_bucket{le=\"+Inf\"} 5\n\
+                      lat_ms_count 5\n";
+
+    #[test]
+    fn parses_names_labels_values() {
+        let s = parse_samples(W0);
+        assert_eq!(
+            s[0],
+            Sample {
+                name: "x_total".into(),
+                labels: "".into(),
+                value: 3.0
+            }
+        );
+        assert_eq!(s[2].name, "lat_ms_bucket");
+        assert_eq!(s[2].labels, "le=\"10\"");
+        assert!(s.iter().all(|x| x.value.is_finite()));
+        assert_eq!(sample_value(W0, "x_total"), Some(3.0));
+        assert_eq!(sample_value(W0, "lat_ms_count"), Some(3.0));
+        assert_eq!(sample_value(W0, "missing"), None);
+    }
+
+    #[test]
+    fn relabel_injects_worker_label() {
+        let r = relabel(W1, "worker", "w1");
+        assert!(r.contains("x_total{worker=\"w1\"} 4"), "{r}");
+        assert!(
+            r.contains("lat_ms_bucket{worker=\"w1\",le=\"20\"} 5"),
+            "{r}"
+        );
+        assert!(!r.contains('#'), "comments dropped: {r}");
+    }
+
+    #[test]
+    fn merge_sums_counters_and_buckets() {
+        let m = merge(&[W0, W1]);
+        assert!(m.contains("x_total 7\n"), "{m}");
+        assert!(m.contains("lat_ms_count 8\n"), "{m}");
+        // le=10: w0 has 2, w1's curve is still 0 below its first edge.
+        assert!(m.contains("lat_ms_bucket{le=\"10\"} 2\n"), "{m}");
+        // le=20: w0's curve holds at 2 (next step only at +Inf), w1 has 5.
+        assert!(m.contains("lat_ms_bucket{le=\"20\"} 7\n"), "{m}");
+        assert!(m.contains("lat_ms_bucket{le=\"+Inf\"} 8\n"), "{m}");
+        // Scraped per-worker quantiles are dropped; merged ones are
+        // recomputed from the merged buckets (p50 of 8 obs = rank 4,
+        // first edge reaching 4 is le=20).
+        assert!(m.contains("lat_ms{quantile=\"0.5\"} 20\n"), "{m}");
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        assert_eq!(merge(&[W0, W1]), merge(&[W1, W0]));
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let w2 = "x_total 10\nlat_ms_bucket{le=\"10\"} 1\nlat_ms_bucket{le=\"+Inf\"} 1\n";
+        let ab = merge(&[W0, W1]);
+        let left = merge(&[&ab, w2]);
+        let bc = merge(&[W1, w2]);
+        let right = merge(&[W0, &bc]);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_matches_single_process_totals() {
+        // One "process" that saw all the traffic of W0 and W1.
+        let single = "x_total 7\n\
+                      lat_ms_bucket{le=\"10\"} 2\n\
+                      lat_ms_bucket{le=\"20\"} 7\n\
+                      lat_ms_bucket{le=\"+Inf\"} 8\n\
+                      lat_ms_count 8\n";
+        let merged = merge(&[W0, W1]);
+        for s in parse_samples(single) {
+            let needle = if s.labels.is_empty() {
+                format!("{} {}\n", s.name, fmt_value(s.value))
+            } else {
+                format!("{}{{{}}} {}\n", s.name, s.labels, fmt_value(s.value))
+            };
+            assert!(merged.contains(&needle), "missing {needle:?} in:\n{merged}");
+        }
+    }
+
+    #[test]
+    fn bucket_quantile_steps() {
+        let pts = [(10.0, 2.0), (20.0, 7.0), (f64::INFINITY, 8.0)];
+        assert_eq!(bucket_quantile(&pts, 0.0), 10.0);
+        assert_eq!(bucket_quantile(&pts, 0.25), 10.0);
+        assert_eq!(bucket_quantile(&pts, 0.5), 20.0);
+        assert!(bucket_quantile(&pts, 0.999).is_infinite());
+        assert!(bucket_quantile(&[], 0.5).is_nan());
+    }
+}

@@ -1,0 +1,301 @@
+//! Rolling-window SLO accounting and burn-rate gauges for the router.
+//!
+//! Two SLOs over routed `/v1/generate` traffic:
+//!
+//! * **availability** — a request is good unless it failed with a
+//!   server-side error (5xx);
+//! * **latency** — a request is good when it succeeded within the
+//!   configured threshold.
+//!
+//! Good/total counts accumulate into one-second buckets in a fixed
+//! ring sized for the longest window, and ratios are read over the
+//! standard fast/slow burn-rate window pair. The burn rate is the
+//! classic SRE quantity `(1 − ratio) / (1 − target)`: 1.0 burns the
+//! error budget exactly at the sustainable rate, 14+ on the fast
+//! window is page-now territory. Time is passed in by the caller
+//! (seconds of `gendt_trace::now_ns`), keeping this module clock-free
+//! and deterministic to test.
+
+use gendt_sync::Mutex;
+
+/// Ring capacity in seconds; also the longest supported window.
+const RING_SECONDS: usize = 300;
+
+/// The fast/slow window pair exported as gauges.
+pub const WINDOWS_S: [u64; 2] = [60, 300];
+
+/// SLO configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SloCfg {
+    /// Latency threshold for the latency SLO, milliseconds.
+    pub latency_ms: f64,
+    /// Availability target (fraction of good requests), e.g. 0.999.
+    pub availability_target: f64,
+    /// Latency target (fraction within threshold), e.g. 0.99.
+    pub latency_target: f64,
+}
+
+impl Default for SloCfg {
+    fn default() -> Self {
+        SloCfg {
+            latency_ms: 250.0,
+            availability_target: 0.999,
+            latency_target: 0.99,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct Bucket {
+    /// Absolute second this bucket currently holds (ring slots are
+    /// reused; a stale `sec` means the slot counts as empty).
+    sec: u64,
+    total: u64,
+    good_avail: u64,
+    good_latency: u64,
+}
+
+/// Windowed good/total accounting for one process's routed traffic.
+pub struct SloTracker {
+    cfg: SloCfg,
+    ring: Mutex<Vec<Bucket>>,
+}
+
+/// Ratios over one window, plus the request count backing them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowRatios {
+    /// Fraction of requests that were available (1.0 when idle).
+    pub availability: f64,
+    /// Fraction of requests within the latency threshold (1.0 when
+    /// idle).
+    pub latency: f64,
+    /// Requests observed in the window.
+    pub total: u64,
+}
+
+impl SloTracker {
+    /// Fresh tracker.
+    pub fn new(cfg: SloCfg) -> SloTracker {
+        SloTracker {
+            cfg,
+            ring: Mutex::new(vec![Bucket::default(); RING_SECONDS]),
+        }
+    }
+
+    /// The configuration this tracker scores against.
+    pub fn cfg(&self) -> SloCfg {
+        self.cfg
+    }
+
+    /// Record one routed request finishing at absolute second `now_s`.
+    /// `available` = no server-side failure; `latency_ms` = end-to-end
+    /// latency (scored only when available).
+    pub fn record(&self, now_s: u64, available: bool, latency_ms: f64) {
+        let mut ring = self.ring.lock();
+        let slot = (now_s as usize) % RING_SECONDS;
+        let b = &mut ring[slot];
+        if b.sec != now_s {
+            *b = Bucket {
+                sec: now_s,
+                ..Bucket::default()
+            };
+        }
+        b.total += 1;
+        if available {
+            b.good_avail += 1;
+            if latency_ms <= self.cfg.latency_ms {
+                b.good_latency += 1;
+            }
+        }
+    }
+
+    /// Ratios over the trailing `window_s` seconds ending at `now_s`.
+    /// An idle window reports 1.0 — no traffic burns no budget.
+    pub fn ratios(&self, now_s: u64, window_s: u64) -> WindowRatios {
+        let window_s = window_s.min(RING_SECONDS as u64);
+        let lo = now_s.saturating_sub(window_s.saturating_sub(1));
+        let ring = self.ring.lock();
+        let (mut total, mut avail, mut lat) = (0u64, 0u64, 0u64);
+        for b in ring.iter() {
+            if b.sec >= lo && b.sec <= now_s && b.total > 0 {
+                total += b.total;
+                avail += b.good_avail;
+                lat += b.good_latency;
+            }
+        }
+        if total == 0 {
+            return WindowRatios {
+                availability: 1.0,
+                latency: 1.0,
+                total: 0,
+            };
+        }
+        WindowRatios {
+            availability: avail as f64 / total as f64,
+            latency: lat as f64 / total as f64,
+            total,
+        }
+    }
+
+    /// Render the SLO gauges for the router's `/v1/metrics`: per
+    /// window, the two ratios, the two burn rates, and the request
+    /// count.
+    pub fn render(&self, now_s: u64) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(
+            "# HELP gendt_fleet_slo_availability_ratio Fraction of routed requests without server-side failure.\n# TYPE gendt_fleet_slo_availability_ratio gauge\n",
+        );
+        out.push_str(
+            "# HELP gendt_fleet_slo_latency_ratio Fraction of routed requests within the latency threshold.\n# TYPE gendt_fleet_slo_latency_ratio gauge\n",
+        );
+        for &w in &WINDOWS_S {
+            let r = self.ratios(now_s, w);
+            out.push_str(&format!(
+                "gendt_fleet_slo_availability_ratio{{window=\"{w}s\"}} {}\n",
+                r.availability
+            ));
+            out.push_str(&format!(
+                "gendt_fleet_slo_latency_ratio{{window=\"{w}s\"}} {}\n",
+                r.latency
+            ));
+            out.push_str(&format!(
+                "gendt_fleet_slo_availability_burn_rate{{window=\"{w}s\"}} {}\n",
+                burn_rate(r.availability, self.cfg.availability_target)
+            ));
+            out.push_str(&format!(
+                "gendt_fleet_slo_latency_burn_rate{{window=\"{w}s\"}} {}\n",
+                burn_rate(r.latency, self.cfg.latency_target)
+            ));
+            out.push_str(&format!(
+                "gendt_fleet_slo_requests{{window=\"{w}s\"}} {}\n",
+                r.total
+            ));
+        }
+        out.push_str(&format!(
+            "gendt_fleet_slo_latency_threshold_ms {}\n",
+            self.cfg.latency_ms
+        ));
+        out
+    }
+}
+
+/// `(1 − ratio) / (1 − target)`: the error-budget burn multiplier.
+pub fn burn_rate(ratio: f64, target: f64) -> f64 {
+    let budget = (1.0 - target).max(1e-9);
+    ((1.0 - ratio) / budget).max(0.0)
+}
+
+/// Build the human `gendt-obs slo` report from a scraped router
+/// `/v1/metrics` exposition.
+pub fn report_from_text(text: &str) -> String {
+    let samples = crate::promtext::parse_samples(text);
+    let find = |name: &str, window: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name && s.labels == format!("window=\"{window}\""))
+            .map(|s| s.value)
+    };
+    let threshold = samples
+        .iter()
+        .find(|s| s.name == "gendt_fleet_slo_latency_threshold_ms")
+        .map_or(f64::NAN, |s| s.value);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "SLO report (latency threshold {threshold} ms)\n\
+         {:<8} {:>10} {:>12} {:>10} {:>12} {:>10}\n",
+        "window", "requests", "avail", "burn", "latency", "burn"
+    ));
+    for &w in &WINDOWS_S {
+        let win = format!("{w}s");
+        let row = |name: &str| find(name, &win);
+        let (Some(req), Some(ar), Some(ab), Some(lr), Some(lb)) = (
+            row("gendt_fleet_slo_requests"),
+            row("gendt_fleet_slo_availability_ratio"),
+            row("gendt_fleet_slo_availability_burn_rate"),
+            row("gendt_fleet_slo_latency_ratio"),
+            row("gendt_fleet_slo_latency_burn_rate"),
+        ) else {
+            out.push_str(&format!("{win:<8} (no slo series in scrape)\n"));
+            continue;
+        };
+        out.push_str(&format!(
+            "{win:<8} {req:>10} {ar:>12.5} {ab:>10.2} {lr:>12.5} {lb:>10.2}\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_window_is_perfect() {
+        let t = SloTracker::new(SloCfg::default());
+        let r = t.ratios(1000, 60);
+        assert_eq!(r.availability, 1.0);
+        assert_eq!(r.latency, 1.0);
+        assert_eq!(r.total, 0);
+    }
+
+    #[test]
+    fn ratios_track_good_and_bad() {
+        let t = SloTracker::new(SloCfg {
+            latency_ms: 100.0,
+            ..SloCfg::default()
+        });
+        // 8 good-fast, 1 good-slow, 1 unavailable at t=500.
+        for _ in 0..8 {
+            t.record(500, true, 50.0);
+        }
+        t.record(500, true, 500.0);
+        t.record(500, false, 0.0);
+        let r = t.ratios(500, 60);
+        assert_eq!(r.total, 10);
+        assert!((r.availability - 0.9).abs() < 1e-12);
+        assert!((r.latency - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn old_buckets_age_out_of_the_window() {
+        let t = SloTracker::new(SloCfg::default());
+        t.record(100, false, 0.0);
+        assert!((t.ratios(100, 60).availability - 0.0).abs() < 1e-12);
+        // 60 s later the failure has left the fast window but not the
+        // slow one.
+        t.record(160, true, 1.0);
+        assert_eq!(t.ratios(160, 60).availability, 1.0);
+        assert!((t.ratios(160, 300).availability - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_reuses_slots_across_wraps() {
+        let t = SloTracker::new(SloCfg::default());
+        t.record(10, false, 0.0);
+        // Same slot index 300 s later must not resurrect the old count.
+        t.record(10 + RING_SECONDS as u64, true, 1.0);
+        let r = t.ratios(10 + RING_SECONDS as u64, 300);
+        assert_eq!(r.total, 1);
+        assert_eq!(r.availability, 1.0);
+    }
+
+    #[test]
+    fn burn_rate_scales_with_budget() {
+        assert!((burn_rate(1.0, 0.999) - 0.0).abs() < 1e-12);
+        assert!((burn_rate(0.999, 0.999) - 1.0).abs() < 1e-9);
+        assert!((burn_rate(0.99, 0.999) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_and_report_round_trip() {
+        let t = SloTracker::new(SloCfg::default());
+        t.record(42, true, 10.0);
+        t.record(42, false, 0.0);
+        let text = t.render(42);
+        assert!(text.contains("gendt_fleet_slo_availability_ratio{window=\"60s\"} 0.5"));
+        assert!(text.contains("gendt_fleet_slo_requests{window=\"300s\"} 2"));
+        let report = report_from_text(&text);
+        assert!(report.contains("60s"), "{report}");
+        assert!(report.contains("0.5"), "{report}");
+    }
+}

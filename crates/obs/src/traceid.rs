@@ -1,0 +1,75 @@
+//! Trace-id minting and the propagation-header vocabulary.
+//!
+//! The router mints one id per routed request and stamps it on the
+//! forwarded hop; workers parse it back and enter a
+//! [`gendt_trace::trace_scope`] so their spans and flight-recorder
+//! records correlate with the router's. Ids are process-unique (pid in
+//! the top 32 bits, a counter below) and never 0 — 0 is the "no
+//! context" sentinel throughout the workspace.
+
+use gendt_sync::atomic::{AtomicU64, Ordering};
+
+/// Request/response header carrying the 16-hex-digit trace id.
+pub const TRACE_HEADER: &str = "Gendt-Trace-Id";
+
+/// Request header carrying the parent span id minted by the router.
+pub const PARENT_HEADER: &str = "Gendt-Parent-Span";
+
+/// Response header on which a worker echoes its own
+/// `gendt_trace::now_ns` reading, feeding clock-offset estimation.
+pub const WORKER_TIME_HEADER: &str = "Gendt-Worker-Time-Ns";
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// Mint a process-unique trace (or span) id. Never returns 0.
+pub fn mint() -> u64 {
+    // sync: a pure id allocator; uniqueness needs only atomicity of the
+    // increment, no ordering with any other state.
+    let n = NEXT.fetch_add(1, Ordering::Relaxed).wrapping_add(1) & 0xFFFF_FFFF;
+    ((std::process::id() as u64) << 32) | n.max(1)
+}
+
+/// Render an id as the 16-hex-digit header value.
+pub fn format_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parse a header value minted by [`format_id`]. Returns `None` for
+/// malformed input or the reserved 0 id.
+pub fn parse_id(s: &str) -> Option<u64> {
+    let t = s.trim();
+    if t.is_empty() || t.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(t, 16).ok().filter(|&v| v != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = mint();
+        let b = mint();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let id = mint();
+        let s = format_id(id);
+        assert_eq!(s.len(), 16);
+        assert_eq!(parse_id(&s), Some(id));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_id(""), None);
+        assert_eq!(parse_id("zzüge"), None);
+        assert_eq!(parse_id("0"), None);
+        assert_eq!(parse_id("00000000000000000"), None, "17 digits too long");
+        assert_eq!(parse_id(" 1f "), Some(0x1f));
+    }
+}

@@ -189,6 +189,21 @@ fn render_summary(out: &mut String, name: &str, help: &str, h: &Histogram) {
         out.push_str(&format!("{name}{{quantile=\"0.99\"}} {}\n", q.p99));
         out.push_str(&format!("{name}{{quantile=\"0.999\"}} {}\n", q.p999));
     }
+    // Sparse cumulative buckets (only the bins where the cumulative
+    // count steps, plus +Inf): the fleet router's federation merges
+    // these exactly across workers, where quantile summaries cannot be
+    // combined.
+    let width = (h.hi - h.lo) / h.counts.len().max(1) as f64;
+    let mut cum = 0u64;
+    for (i, &c) in h.counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cum += c;
+        let le = h.lo + width * (i as f64 + 1.0);
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {n}\n"));
     out.push_str(&format!("{name}_count {n}\n"));
 }
 
@@ -208,6 +223,8 @@ mod tests {
             "gendt_serve_models_live 2",
             "gendt_serve_context_cache_hits_total 5",
             "gendt_serve_latency_ms_count 1",
+            "gendt_serve_latency_ms_bucket{le=\"25\"} 1",
+            "gendt_serve_latency_ms_bucket{le=\"+Inf\"} 1",
             "gendt_serve_batch_size_count 1",
             "gendt_serve_batched_requests_total 4",
             "gendt_serve_batches_total 1",

@@ -63,8 +63,21 @@ pub enum SubmitError {
     ShuttingDown,
 }
 
+/// A finished generation plus its per-request timing split, delivered
+/// back to the waiting handler so the server can cut one flight-recorder
+/// record per request without a second channel.
+#[derive(Debug)]
+pub struct JobDone {
+    /// The generated series.
+    pub series: GeneratedSeries,
+    /// Time spent queued before its batch executed, microseconds.
+    pub queue_us: u32,
+    /// Time inside the batched forward pass, microseconds.
+    pub batch_us: u32,
+}
+
 /// A generation result delivered back to the waiting handler.
-pub type JobResult = Result<GeneratedSeries, GendtError>;
+pub type JobResult = Result<JobDone, GendtError>;
 
 /// Executes one coalesced batch. Production uses the real forward pass;
 /// the concurrency-check harness substitutes a stub that only asserts
@@ -73,6 +86,11 @@ pub trait BatchRunner: Send + Sync {
     /// Run `jobs` (all pinned to the same model entry) and return one
     /// series per job, aligned with `jobs`.
     fn run(&self, jobs: &[GenJob]) -> Vec<GeneratedSeries>;
+}
+
+/// Saturating microseconds for the compact flight-recorder fields.
+fn clamp_us(d: Duration) -> u32 {
+    d.as_micros().min(u32::MAX as u128) as u32
 }
 
 struct ProdRunner;
@@ -89,6 +107,13 @@ struct Pending {
     /// Absolute per-request deadline; a job still queued past it is
     /// answered with a `Timeout` error instead of being executed.
     deadline: Option<Instant>,
+    /// Distributed trace context active when the job was submitted;
+    /// the batch executes under the head job's context so worker spans
+    /// nest beneath the router's spans for that request.
+    trace: u64,
+    /// When the job entered the queue (feeds the flight recorder's
+    /// queue-time split).
+    enqueued: Instant,
 }
 
 /// The shared scheduler state.
@@ -148,6 +173,8 @@ impl Scheduler {
             job,
             reply: tx,
             deadline,
+            trace: gendt_trace::current_trace(),
+            enqueued: Instant::now(),
         });
         // sync: gauge only — published under the queue lock, read by
         // /metrics with no ordering requirement.
@@ -204,9 +231,14 @@ impl Scheduler {
 
             let n = live.len();
             let jobs: Vec<&GenJob> = live.iter().map(|p| &p.job).collect();
+            let batch_started = Instant::now();
             // A panic inside generation (e.g. a sanitizer trip) must not
             // kill the worker: convert it into per-request errors.
             let result = {
+                // The whole coalesced pass runs under the head job's
+                // trace context, so its spans land on that request's
+                // cross-process timeline.
+                let _trace = gendt_trace::trace_scope(live[0].trace);
                 gendt_trace::span!("serve_batch", "batch" => n);
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let owned: Vec<GenJob> = jobs
@@ -220,11 +252,18 @@ impl Scheduler {
                     self.runner.run(&owned)
                 }))
             };
+            let batch_us = clamp_us(batch_started.elapsed());
             self.metrics.observe_batch(n);
             match result {
                 Ok(series) => {
                     for (pending, out) in live.into_iter().zip(series) {
-                        let _ = pending.reply.send(Ok(out));
+                        let queue_us =
+                            clamp_us(batch_started.saturating_duration_since(pending.enqueued));
+                        let _ = pending.reply.send(Ok(JobDone {
+                            series: out,
+                            queue_us,
+                            batch_us,
+                        }));
                     }
                 }
                 Err(_) => {
@@ -387,7 +426,7 @@ mod tests {
                 .recv()
                 .expect("worker exited instead of absorbing a spurious wakeup")
                 .expect("marker batch cannot fail");
-            assert_eq!(out.series, vec![vec![seed as f64]]);
+            assert_eq!(out.series.series, vec![vec![seed as f64]]);
         }
         s.stop();
         worker.join().expect("worker panicked");
@@ -410,8 +449,8 @@ mod tests {
         let rx_b = s.submit(job(&entry, 2), None).expect("queue open");
         let a = rx_a.recv().expect("reply dropped").expect("marker batch");
         let b = rx_b.recv().expect("reply dropped").expect("marker batch");
-        assert_eq!(a.series, vec![vec![1.0]]);
-        assert_eq!(b.series, vec![vec![2.0]]);
+        assert_eq!(a.series.series, vec![vec![1.0]]);
+        assert_eq!(b.series.series, vec![vec![2.0]]);
         assert_eq!(
             metrics.batches.load(Ordering::SeqCst),
             1,
@@ -421,6 +460,49 @@ mod tests {
         s.stop();
         worker.join().expect("worker panicked");
         inject_spurious_wakeups(0);
+    }
+
+    /// Echoes the trace context the batch executes under, proving the
+    /// submitter's `trace_scope` travels queue → worker thread → runner.
+    struct TraceRunner;
+
+    impl BatchRunner for TraceRunner {
+        fn run(&self, jobs: &[GenJob]) -> Vec<GeneratedSeries> {
+            let t = gendt_trace::current_trace() as f64;
+            jobs.iter()
+                .map(|_| GeneratedSeries {
+                    kpis: Vec::new(),
+                    series: vec![vec![t]],
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn batch_runs_under_the_submitters_trace_context() {
+        let metrics = Arc::new(ServeMetrics::new(8));
+        let s = Arc::new(Scheduler::with_runner(
+            SchedCfg {
+                max_batch: 8,
+                max_wait_ms: 1,
+                queue_cap: 8,
+            },
+            metrics,
+            Box::new(TraceRunner),
+        ));
+        let entry = test_entry();
+        let rx = {
+            let _scope = gendt_trace::trace_scope(77);
+            s.submit(job(&entry, 1), None).expect("queue open")
+        };
+        let worker = {
+            let s = Arc::clone(&s);
+            thread::spawn(move || s.run_worker())
+        };
+        let done = rx.recv().expect("reply dropped").expect("runner runs");
+        assert_eq!(done.series.series, vec![vec![77.0]]);
+        s.stop();
+        worker.join().expect("worker panicked");
     }
 
     /// A job whose deadline has already passed when its batch is popped
@@ -449,7 +531,7 @@ mod tests {
             .recv()
             .expect("reply dropped")
             .expect("live job runs");
-        assert_eq!(live.series, vec![vec![5.0]]);
+        assert_eq!(live.series.series, vec![vec![5.0]]);
         let dead = rx_dead
             .recv()
             .expect("expired job must still be answered")

@@ -31,6 +31,7 @@ use crate::scheduler::{SchedCfg, Scheduler, SubmitError};
 use gendt_data::context::{extract, ContextCfg};
 use gendt_faults::GendtError;
 use gendt_geo::{trajectory, World, WorldCfg, XY};
+use gendt_obs::{flightrec, traceid};
 use gendt_radio::Deployment;
 use gendt_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use gendt_sync::thread::{self, JoinHandle};
@@ -433,6 +434,16 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
     // sync: monotonic counter for /metrics only.
     state.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
 
+    // Distributed trace context: a `Gendt-Trace-Id` header (minted by
+    // the fleet router) scopes this whole handler, so every span and
+    // flight record it produces carries the request's id. The scope is
+    // a thread-local set/restore — no effect on generated bytes.
+    let trace_id = req
+        .header(traceid::TRACE_HEADER)
+        .and_then(traceid::parse_id)
+        .unwrap_or(0);
+    let _trace = gendt_trace::trace_scope(trace_id);
+
     // `/v1/<route>` and `<route>` dispatch identically; the flag decides
     // the error shape and deprecation headers.
     let (route, v1) = match req.path.strip_prefix("/v1") {
@@ -544,6 +555,15 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
             body.push('}');
             let _ = write_json_extra(&mut stream, 200, "OK", surface_headers(v1), &body);
         }
+        ("GET", "/debug/flightrec") => {
+            let _ = write_json_extra(
+                &mut stream,
+                200,
+                "OK",
+                surface_headers(v1),
+                &flightrec::dump_json(),
+            );
+        }
         ("POST", "/shutdown") => {
             // Graceful drain: stop taking generation work immediately
             // (queued batches still flush), keep the listener answering
@@ -551,6 +571,10 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
             // sync: Release pairs with is_draining's Acquire load.
             state.draining.store(true, Ordering::Release);
             state.scheduler.stop();
+            // Crash-box dump: when GENDT_FLIGHTREC_DUMP names a file the
+            // flight-recorder ring is written there before the process
+            // winds down (best-effort, never blocks the drain).
+            let _ = flightrec::dump_on_drain();
             let _ = write_response_extra(
                 &mut stream,
                 200,
@@ -606,17 +630,45 @@ fn request_deadline(
 
 fn handle_generate(state: &Arc<ServerState>, stream: &mut TcpStream, req: &Request, v1: bool) {
     let started = Instant::now();
-    match generate_response(state, req, started) {
+    let mut rec = flightrec::FlightRecord {
+        trace: gendt_trace::current_trace(),
+        scenario: 255,
+        outcome: flightrec::outcome::FAILED,
+        worker: flightrec::self_worker(),
+        queue_us: 0,
+        batch_us: 0,
+        forward_us: 0,
+        total_us: 0,
+    };
+    let result = generate_response(state, req, started, &mut rec);
+    rec.total_us = started.elapsed().as_micros().min(u32::MAX as u128) as u32;
+    match result {
         Ok(body) => {
+            rec.outcome = flightrec::outcome::OK;
             // sync: monotonic counter for /metrics only.
             state.metrics.generate_ok.fetch_add(1, Ordering::Relaxed);
             state
                 .metrics
                 .observe_latency_ms(started.elapsed().as_secs_f64() * 1000.0);
-            let _ = write_json_extra(stream, 200, "OK", surface_headers(v1), &body);
+            // Echo the request's trace id and this process's clock: the
+            // router pairs the clock reading with its own send/receive
+            // timestamps to estimate this worker's clock offset.
+            let trace_hdr = traceid::format_id(rec.trace);
+            let clock_hdr = format!("{}", gendt_trace::now_ns());
+            let mut extra: Vec<(&str, &str)> = surface_headers(v1).to_vec();
+            if rec.trace != 0 {
+                extra.push((traceid::TRACE_HEADER, &trace_hdr));
+            }
+            extra.push((traceid::WORKER_TIME_HEADER, &clock_hdr));
+            let _ = write_json_extra(stream, 200, "OK", &extra, &body);
         }
         Err(e) => {
             let shed = e.kind() == gendt_faults::ErrorKind::Overloaded;
+            rec.outcome = match e.kind() {
+                gendt_faults::ErrorKind::Overloaded => flightrec::outcome::REJECTED,
+                gendt_faults::ErrorKind::Timeout => flightrec::outcome::EXPIRED,
+                _ => flightrec::outcome::FAILED,
+            };
             let counter = if shed {
                 &state.metrics.generate_rejected
             } else {
@@ -627,6 +679,7 @@ fn handle_generate(state: &Arc<ServerState>, stream: &mut TcpStream, req: &Reque
             write_error(stream, v1, &e);
         }
     }
+    flightrec::record(rec);
 }
 
 /// The generate pipeline: validate, resolve, extract, submit, await.
@@ -635,10 +688,12 @@ fn generate_response(
     state: &Arc<ServerState>,
     req: &Request,
     started: Instant,
+    rec: &mut flightrec::FlightRecord,
 ) -> Result<String, GendtError> {
     let body = String::from_utf8_lossy(&req.body);
     let parsed: GenerateRequest = serde_json::from_str(&body)
         .map_err(|e| GendtError::invalid(format!("bad request body: {e}")))?;
+    rec.scenario = flightrec::scenario_code(&parsed.scenario);
     let scenario = parse_scenario(&parsed.scenario)
         .ok_or_else(|| GendtError::invalid(format!("unknown scenario {:?}", parsed.scenario)))?;
     if !(parsed.duration_s.is_finite()
@@ -697,12 +752,14 @@ fn generate_response(
         SubmitError::QueueFull => GendtError::overloaded("generation queue is full, retry later"),
         SubmitError::ShuttingDown => GendtError::unavailable("server is shutting down"),
     })?;
-    let series = rx
+    let done = rx
         .recv()
         .map_err(|_| GendtError::internal("worker dropped the request"))??;
+    rec.queue_us = done.queue_us;
+    rec.batch_us = done.batch_us;
     let resp = GenerateResponse {
         model: entry.name.clone(),
-        series,
+        series: done.series,
     };
     serde_json::to_string(&resp)
         .map_err(|e| GendtError::internal(format!("response encoding failed: {e}")))

@@ -30,6 +30,44 @@ pub struct SpanEvent {
     /// Optional argument rendered into the event's `args` object
     /// (e.g. `("batch", 7)` on a serve batch span).
     pub arg: Option<(&'static str, i64)>,
+    /// Distributed trace id stamped from the thread's current
+    /// [`trace_scope`], or 0 when the span ran outside any request
+    /// context. Rendered into the event's `args` object so a
+    /// cross-process assembler can correlate router and worker spans.
+    pub trace: u64,
+}
+
+thread_local! {
+    /// The trace id of the request this thread is currently working on
+    /// (0 = none). Set by [`trace_scope`] around request handling and
+    /// around batch execution, read by every span constructor.
+    static CURRENT_TRACE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The trace id of the request the current thread is working on
+/// (0 when outside any [`trace_scope`]).
+pub fn current_trace() -> u64 {
+    CURRENT_TRACE.with(|c| c.get())
+}
+
+/// RAII guard restoring the thread's previous trace id on drop.
+pub struct TraceScope {
+    prev: u64,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Enter a per-request trace context: spans recorded on this thread
+/// while the guard lives are stamped with `id`. Unconditional (one
+/// thread-local store) so the flight recorder can attribute records
+/// even when tracing is off; nesting restores the outer id on drop.
+pub fn trace_scope(id: u64) -> TraceScope {
+    let prev = CURRENT_TRACE.with(|c| c.replace(id));
+    TraceScope { prev }
 }
 
 struct Ring {
@@ -85,6 +123,7 @@ pub struct SpanGuard {
     cat: &'static str,
     arg: Option<(&'static str, i64)>,
     start_ns: u64,
+    trace: u64,
 }
 
 impl Drop for SpanGuard {
@@ -97,6 +136,7 @@ impl Drop for SpanGuard {
             dur_ns: end.saturating_sub(self.start_ns),
             tid: 0,
             arg: self.arg,
+            trace: self.trace,
         });
     }
 }
@@ -112,6 +152,7 @@ pub fn span(name: &'static str) -> Option<SpanGuard> {
         cat: "span",
         arg: None,
         start_ns: crate::now_ns(),
+        trace: current_trace(),
     })
 }
 
@@ -125,6 +166,7 @@ pub fn span_arg(name: &'static str, key: &'static str, val: i64) -> Option<SpanG
         cat: "span",
         arg: Some((key, val)),
         start_ns: crate::now_ns(),
+        trace: current_trace(),
     })
 }
 
@@ -143,6 +185,7 @@ pub fn mark(name: &'static str, cat: &'static str) {
         dur_ns: 0,
         tid: 0,
         arg: None,
+        trace: current_trace(),
     });
 }
 
@@ -162,6 +205,7 @@ pub(crate) fn record_interval(
         dur_ns,
         tid: 0,
         arg,
+        trace: current_trace(),
     });
 }
 
@@ -222,10 +266,21 @@ pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
             e.dur_ns as f64 / 1000.0,
             e.tid
         ));
-        if let Some((k, v)) = e.arg {
+        if e.arg.is_some() || e.trace != 0 {
             out.push_str(",\"args\":{");
-            crate::json_escape_into(k, &mut out);
-            out.push_str(&format!(":{v}}}"));
+            let mut first = true;
+            if let Some((k, v)) = e.arg {
+                crate::json_escape_into(k, &mut out);
+                out.push_str(&format!(":{v}"));
+                first = false;
+            }
+            if e.trace != 0 {
+                if !first {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"trace\":{}", e.trace));
+            }
+            out.push('}');
         }
         out.push('}');
     }
@@ -261,6 +316,7 @@ mod tests {
             dur_ns: 2500,
             tid: 3,
             arg: Some(("batch", 7)),
+            trace: 0,
         };
         let json = chrome_trace_json(&[ev]);
         assert!(json.starts_with("{\"traceEvents\":["));
@@ -268,5 +324,58 @@ mod tests {
         assert!(json.contains("\"ts\":1.500"));
         assert!(json.contains("\"dur\":2.500"));
         assert!(json.contains("\"args\":{\"batch\":7}"));
+    }
+
+    #[test]
+    fn chrome_json_renders_trace_context() {
+        let ev = SpanEvent {
+            name: "fwd",
+            cat: "span",
+            start_ns: 1000,
+            dur_ns: 500,
+            tid: 0,
+            arg: Some(("attempt", 1)),
+            trace: 0xABCD,
+        };
+        let bare = SpanEvent {
+            arg: None,
+            ..ev.clone()
+        };
+        let json = chrome_trace_json(&[ev]);
+        assert!(json.contains("\"args\":{\"attempt\":1,\"trace\":43981}"));
+        let json = chrome_trace_json(&[bare]);
+        assert!(json.contains("\"args\":{\"trace\":43981}"));
+    }
+
+    #[test]
+    fn trace_scope_nests_and_restores() {
+        assert_eq!(current_trace(), 0);
+        {
+            let _outer = trace_scope(7);
+            assert_eq!(current_trace(), 7);
+            {
+                let _inner = trace_scope(9);
+                assert_eq!(current_trace(), 9);
+            }
+            assert_eq!(current_trace(), 7);
+        }
+        assert_eq!(current_trace(), 0);
+    }
+
+    #[test]
+    fn spans_inherit_the_current_trace_id() {
+        let _guard = crate::TEST_FLAG_LOCK.lock();
+        crate::set_trace(true);
+        {
+            let _scope = trace_scope(0x5151);
+            let _s = span("traced_here");
+        }
+        crate::set_trace(false);
+        let (events, _) = drain_spans();
+        let ev = events
+            .iter()
+            .find(|e| e.name == "traced_here")
+            .expect("span recorded");
+        assert_eq!(ev.trace, 0x5151);
     }
 }

@@ -11,7 +11,11 @@ use std::path::Path;
 /// open-loop Poisson arrivals (`offered_rps`/`achieved_rps`), latency
 /// quantiles gained `p999`, and `BENCH_serve.json` gained a `fleet`
 /// scaling section.
-pub const BENCH_SCHEMA: u32 = 2;
+///
+/// v3: the fleet section gained a `config` header carrying the
+/// `GENDT_FLEET_SEED` value and the worker-count ladder, so fleet
+/// numbers are reproducible from the stamp alone.
+pub const BENCH_SCHEMA: u32 = 3;
 
 /// The current git revision, resolved by reading `.git/HEAD` (and the
 /// ref file it points at) from the working directory or any ancestor.

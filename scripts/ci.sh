@@ -60,3 +60,13 @@ cargo run --release -p gendt-serve --bin gendt-loadgen -- --quick --out BENCH_se
 # least one success, no stranded request), membership convergence on
 # /v1/fleet, and a clean two-phase drain.
 cargo run --release -p gendt-fleet --bin gendt-fleet -- smoke
+
+# Observability gate (crates/obs): a 2-worker fleet with tracing on and
+# off. Asserts traced responses stay bitwise-identical to the untraced
+# baseline, every request's Gendt-Trace-Id lands in both the router's
+# and a worker's /v1/debug/trace drain, gendt-obs assembles one valid
+# clock-aligned timeline stitching each id across process lanes, the
+# router's federated /v1/metrics equals the sum of per-worker scrapes
+# (with SLO gauges and worker= labeled series), and both flight
+# recorders hold the request ids.
+cargo run --release -p gendt-audit -- obs-smoke
