@@ -100,6 +100,9 @@ const NO_UNWRAP_NONTEST: &[&str] = &[
     "crates/serve/src/scheduler.rs",
     "crates/serve/src/server.rs",
     "crates/serve/src/batch.rs",
+    // The session table sits inside every /v1/stream response; a panic
+    // here takes the whole streaming connection pool down with it.
+    "crates/serve/src/session.rs",
     // The fleet routing path: a panicking router connection thread
     // strands its client, and a panicking supervisor leaks workers.
     "crates/fleet/src/router.rs",
@@ -163,6 +166,7 @@ const ERROR_TAXONOMY_FILES: &[&str] = &[
     "crates/serve/src/server.rs",
     "crates/serve/src/registry.rs",
     "crates/serve/src/api.rs",
+    "crates/serve/src/session.rs",
     "crates/serve/src/bin/gendt_serve.rs",
     "crates/core/src/checkpoint.rs",
     "crates/core/src/bin/gendt_train.rs",
@@ -751,6 +755,9 @@ const SYNC_FACADE_FILES: &[&str] = &[
     "crates/serve/src/cache.rs",
     "crates/serve/src/server.rs",
     "crates/serve/src/metrics.rs",
+    // The stream session table: sync-check's session_churn model
+    // explores exactly this module's lock and gauge updates.
+    "crates/serve/src/session.rs",
     "crates/serve/src/bin/gendt_loadgen.rs",
     "crates/trace/src/lib.rs",
     "crates/trace/src/span.rs",

@@ -11,6 +11,7 @@
 //! cargo run --release -p gendt-audit -- chaos       # server + trainer under seeded fault schedules
 //! cargo run --release -p gendt-audit -- sync-check  # schedule-explore serve's concurrency + detector fixtures
 //! cargo run --release -p gendt-audit -- obs-smoke   # fleet trace propagation + federation + flight recorder
+//! cargo run --release -p gendt-audit -- stream-smoke # /v1/stream parity (interpreted + plans), deadline, drain
 //! cargo run --release -p gendt-audit -- all         # everything above
 //! ```
 //!
@@ -18,7 +19,7 @@
 
 #![forbid(unsafe_code)]
 
-use gendt_audit::{chaos, gradcheck, lint, obs_smoke, sync_check, tape, zoo};
+use gendt_audit::{chaos, gradcheck, lint, obs_smoke, stream_smoke, sync_check, tape, zoo};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
         "chaos" => chaos::run(),
         "sync-check" => sync_check::run(),
         "obs-smoke" => obs_smoke::run(),
+        "stream-smoke" => stream_smoke::run(),
         "all" => {
             // Non-short-circuiting: report every failing check at once.
             let l = run_lint(".");
@@ -51,11 +53,12 @@ fn main() -> ExitCode {
             let c = chaos::run();
             let y = sync_check::run();
             let o = obs_smoke::run();
-            l && g && v && s && t && p && c && y && o
+            let m = stream_smoke::run();
+            l && g && v && s && t && p && c && y && o && m
         }
         other => {
             eprintln!(
-                "unknown subcommand `{other}` (expected gradcheck|lint|verify|smoke|trace-smoke|plan-parity|chaos|sync-check|obs-smoke|all)"
+                "unknown subcommand `{other}` (expected gradcheck|lint|verify|smoke|trace-smoke|plan-parity|chaos|sync-check|obs-smoke|stream-smoke|all)"
             );
             false
         }

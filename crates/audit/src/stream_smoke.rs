@@ -1,0 +1,316 @@
+//! `gendt-audit stream-smoke` — end-to-end gate for the `/v1/stream`
+//! session surface (DESIGN.md §15).
+//!
+//! Stands up a real single-node server over a demo checkpoint and pins
+//! the streaming API's whole contract:
+//!
+//! 1. **Parity, interpreted** — a session opened with `max_windows`
+//!    budgets and continued to completion must concatenate, chunk by
+//!    chunk across responses, to a series bitwise-identical to the
+//!    one-shot `/v1/generate` answer for the same spec and seed.
+//! 2. **Parity, compiled plans** — the same check with `GENDT_PLAN=1`
+//!    set before the server loads its models, and the two modes'
+//!    concatenations bitwise-equal to each other: compiled execution
+//!    must not perturb streamed bytes any more than one-shot ones.
+//! 3. **Deadline mid-stream** — a request carrying `Deadline-Ms: 1`
+//!    ends with a `deadline` trailer and an open session; a follow-up
+//!    continuation finishes the series, and the union of both
+//!    responses' chunks still matches the one-shot bitwise.
+//! 4. **Drain with open sessions** — after `POST /v1/shutdown`, a
+//!    paused session's continuation is refused with a typed 503 (the
+//!    drain shed its state; nothing hangs, nothing panics).
+//!
+//! Every window of every checked series is compared exactly; a single
+//! flipped bit anywhere fails the gate.
+
+use gendt_faults::GendtError;
+use gendt_serve::api::{
+    stream_reason, GenerateRequest, GenerateResponse, StreamChunk, StreamTrailer, SESSION_HEADER,
+};
+use gendt_serve::http::{http_request_full, HttpResponse};
+use gendt_serve::{serve, ServerCfg, ServerHandle};
+use std::path::PathBuf;
+
+/// Sample seed shared by every run; parity only holds within a seed.
+const SEED: u64 = 11;
+
+/// Run the gate; prints its findings and returns overall success.
+pub fn run() -> bool {
+    println!("== stream-smoke: /v1/stream parity, deadline, drain ==");
+    let ok = match smoke() {
+        Ok(()) => true,
+        Err(e) => {
+            println!("  [FAIL] {e}");
+            false
+        }
+    };
+    // Never leak plan mode into the gates that follow.
+    std::env::remove_var("GENDT_PLAN");
+    println!("stream-smoke: {}", if ok { "PASS" } else { "FAILED" });
+    ok
+}
+
+fn fail(msg: impl Into<String>) -> GendtError {
+    GendtError::internal(msg.into())
+}
+
+fn http(
+    addr: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> Result<HttpResponse, GendtError> {
+    http_request_full(addr, "POST", path, headers, body)
+        .map_err(|e| fail(format!("POST {path}: {e}")))
+}
+
+fn model_dir() -> Result<PathBuf, GendtError> {
+    let dir = std::env::temp_dir().join("gendt-audit-stream-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| fail(format!("create model dir {}: {e}", dir.display())))?;
+    gendt_serve::demo::write_demo_model(&dir.join("demo.json"), 1)?;
+    Ok(dir)
+}
+
+fn start_server(dir: &std::path::Path) -> Result<(ServerHandle, String), GendtError> {
+    let cfg = ServerCfg::builder(dir.to_path_buf())
+        .workers(1)
+        .session_cap(64)
+        .build()?;
+    let handle = serve(cfg)?;
+    let addr = handle.addr.to_string();
+    Ok((handle, addr))
+}
+
+fn open_body(chunk_windows: usize, max_windows: usize) -> String {
+    format!(
+        "{{\"model\":\"demo\",\"scenario\":\"walk\",\"duration_s\":30.0,\
+         \"start_x\":0.0,\"start_y\":0.0,\"traj_seed\":3,\"sample_seed\":{SEED},\
+         \"chunk_windows\":{chunk_windows},\"max_windows\":{max_windows}}}"
+    )
+}
+
+fn one_shot(addr: &str) -> Result<Vec<Vec<f64>>, GendtError> {
+    let body = serde_json::to_string(&GenerateRequest {
+        model: "demo".to_string(),
+        scenario: "walk".to_string(),
+        duration_s: 30.0,
+        start_x: 0.0,
+        start_y: 0.0,
+        traj_seed: 3,
+        sample_seed: SEED,
+    })
+    .map_err(|e| fail(format!("encode one-shot request: {e}")))?;
+    let resp = http(addr, "/v1/generate", &[], Some(&body))?;
+    if resp.status != 200 {
+        return Err(fail(format!(
+            "one-shot status {}: {}",
+            resp.status, resp.body
+        )));
+    }
+    let decoded: GenerateResponse = serde_json::from_str(&resp.body)
+        .map_err(|e| fail(format!("decode one-shot response: {e}")))?;
+    Ok(decoded.series.series)
+}
+
+/// Split an NDJSON stream body into its chunk lines and final trailer.
+fn parse_stream(resp: &HttpResponse) -> Result<(Vec<StreamChunk>, StreamTrailer), GendtError> {
+    if resp.status != 200 {
+        return Err(fail(format!(
+            "stream status {}: {}",
+            resp.status, resp.body
+        )));
+    }
+    if resp.header("transfer-encoding") != Some("chunked") {
+        return Err(fail("stream response is not chunked transfer encoding"));
+    }
+    let lines: Vec<&str> = resp.body.lines().filter(|l| !l.is_empty()).collect();
+    let Some((last, chunks)) = lines.split_last() else {
+        return Err(fail("empty stream body (no trailer line)"));
+    };
+    let trailer: StreamTrailer = serde_json::from_str(last)
+        .map_err(|e| fail(format!("last stream line is not a trailer: {e}")))?;
+    let chunks = chunks
+        .iter()
+        .map(|l| serde_json::from_str::<StreamChunk>(l))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| fail(format!("bad chunk line: {e}")))?;
+    Ok((chunks, trailer))
+}
+
+fn concat_into(acc: &mut Vec<Vec<f64>>, chunks: &[StreamChunk]) {
+    for c in chunks {
+        if acc.is_empty() {
+            acc.resize(c.series.series.len(), Vec::new());
+        }
+        for (dst, src) in acc.iter_mut().zip(c.series.series.iter()) {
+            dst.extend_from_slice(src);
+        }
+    }
+}
+
+/// Continue `sid` until its trailer reports done, appending every
+/// chunk to `acc`. Bounded so a server bug cannot hang the gate.
+fn drain_session(
+    addr: &str,
+    sid: &str,
+    acc: &mut Vec<Vec<f64>>,
+    per_response: usize,
+) -> Result<StreamTrailer, GendtError> {
+    for _ in 0..256 {
+        let body = format!("{{\"session\":{sid:?},\"max_windows\":{per_response}}}");
+        let resp = http(addr, "/v1/stream", &[], Some(&body))?;
+        let (chunks, trailer) = parse_stream(&resp)?;
+        concat_into(acc, &chunks);
+        if trailer.done {
+            return Ok(trailer);
+        }
+        if trailer.reason != stream_reason::PAUSED {
+            return Err(fail(format!(
+                "continuation ended with reason {:?}, not paused/complete",
+                trailer.reason
+            )));
+        }
+    }
+    Err(fail("session never completed after 256 continuations"))
+}
+
+/// One full parity pass against a fresh server: open with a small
+/// budget, continue to completion, and require the concatenation to be
+/// bitwise-identical to the one-shot series. Returns the concatenation
+/// so the caller can compare across execution modes.
+fn parity_pass(label: &str, dir: &std::path::Path) -> Result<Vec<Vec<f64>>, GendtError> {
+    let (handle, addr) = start_server(dir)?;
+    let reference = one_shot(&addr)?;
+
+    let resp = http(&addr, "/v1/stream", &[], Some(&open_body(1, 2)))?;
+    let sid = resp
+        .header(SESSION_HEADER)
+        .ok_or_else(|| fail("stream response is missing the session id header"))?
+        .to_string();
+    let (chunks, trailer) = parse_stream(&resp)?;
+    let mut cat: Vec<Vec<f64>> = Vec::new();
+    concat_into(&mut cat, &chunks);
+    let trailer = if trailer.done {
+        trailer
+    } else {
+        if trailer.reason != stream_reason::PAUSED {
+            return Err(fail(format!("budgeted open ended {:?}", trailer.reason)));
+        }
+        drain_session(&addr, &sid, &mut cat, 3)?
+    };
+    if trailer.reason != stream_reason::COMPLETE {
+        return Err(fail(format!("final trailer reason {:?}", trailer.reason)));
+    }
+    if cat != reference {
+        return Err(fail(format!(
+            "{label}: streamed concatenation diverged from the one-shot series"
+        )));
+    }
+    println!(
+        "  {label}: {} windows streamed across continuations, concat bitwise-equal to one-shot",
+        trailer.total_windows
+    );
+    handle.shutdown();
+    Ok(cat)
+}
+
+/// Deadline expiry mid-stream: `deadline` trailer, surviving session,
+/// and parity across the expired response plus its continuation.
+fn deadline_pass(dir: &std::path::Path) -> Result<(), GendtError> {
+    let (handle, addr) = start_server(dir)?;
+    let reference = one_shot(&addr)?;
+
+    let resp = http(
+        &addr,
+        "/v1/stream",
+        &[("Deadline-Ms", "1")],
+        Some(&open_body(1, 0)),
+    )?;
+    let sid = resp
+        .header(SESSION_HEADER)
+        .ok_or_else(|| fail("deadline stream is missing the session id header"))?
+        .to_string();
+    let (chunks, trailer) = parse_stream(&resp)?;
+    if trailer.reason != stream_reason::DEADLINE || trailer.done {
+        return Err(fail(format!(
+            "expected a deadline trailer with the session kept open, got reason {:?} done {}",
+            trailer.reason, trailer.done
+        )));
+    }
+    let mut cat: Vec<Vec<f64>> = Vec::new();
+    concat_into(&mut cat, &chunks);
+    // The session must have survived the expiry: continue it (without a
+    // deadline) and the union of responses must still match one-shot.
+    let done = drain_session(&addr, &sid, &mut cat, 0)?;
+    if done.reason != stream_reason::COMPLETE {
+        return Err(fail(format!(
+            "post-deadline continuation ended {:?}",
+            done.reason
+        )));
+    }
+    if cat != reference {
+        return Err(fail(
+            "deadline: expired-response chunks plus continuation diverged from one-shot",
+        ));
+    }
+    println!(
+        "  deadline: expired after {} chunk(s), session survived, continuation completed bitwise-equal",
+        chunks.len()
+    );
+    handle.shutdown();
+    Ok(())
+}
+
+/// Drain with open sessions: a paused session's state is shed and its
+/// continuation refused with a typed 503 instead of hanging.
+fn drain_pass(dir: &std::path::Path) -> Result<(), GendtError> {
+    let (handle, addr) = start_server(dir)?;
+    let resp = http(&addr, "/v1/stream", &[], Some(&open_body(1, 1)))?;
+    let sid = resp
+        .header(SESSION_HEADER)
+        .ok_or_else(|| fail("drain stream is missing the session id header"))?
+        .to_string();
+    let (_, trailer) = parse_stream(&resp)?;
+    if trailer.reason != stream_reason::PAUSED {
+        return Err(fail(format!("drain setup trailer {:?}", trailer.reason)));
+    }
+
+    let drain = http(&addr, "/v1/shutdown", &[], None)?;
+    if drain.status != 200 {
+        return Err(fail(format!("shutdown returned {}", drain.status)));
+    }
+    let cont = format!("{{\"session\":{sid:?},\"max_windows\":0}}");
+    let refused = http(&addr, "/v1/stream", &[], Some(&cont))?;
+    if refused.status != 503 {
+        return Err(fail(format!(
+            "draining continuation returned {} ({}), want a typed 503",
+            refused.status, refused.body
+        )));
+    }
+    println!("  drain: open session shed, continuation refused with typed 503");
+    handle.shutdown();
+    Ok(())
+}
+
+fn smoke() -> Result<(), GendtError> {
+    let dir = model_dir()?;
+
+    std::env::remove_var("GENDT_PLAN");
+    let interpreted = parity_pass("interpreted", &dir)?;
+
+    std::env::set_var("GENDT_PLAN", "1");
+    let planned = parity_pass("compiled-plan", &dir)?;
+    std::env::remove_var("GENDT_PLAN");
+    if interpreted != planned {
+        return Err(fail(
+            "compiled-plan streamed series diverged from the interpreted one",
+        ));
+    }
+    println!("  modes: interpreted and compiled-plan streams bitwise-equal");
+
+    deadline_pass(&dir)?;
+    drain_pass(&dir)?;
+    Ok(())
+}

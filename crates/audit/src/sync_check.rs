@@ -31,12 +31,13 @@ use gendt_data::context::RunContext;
 use gendt_data::Kpi;
 use gendt_faults::GendtError;
 use gendt_serve::api::InfoResponse;
-use gendt_serve::batch::GenJob;
+use gendt_serve::batch::{BatchOut, GenJob};
 use gendt_serve::cache::{ContextCache, ContextKey};
 use gendt_serve::http::HttpResponse;
 use gendt_serve::metrics::ServeMetrics;
 use gendt_serve::registry::{ModelEntry, ModelMap, Registry};
 use gendt_serve::scheduler::{BatchRunner, SchedCfg, Scheduler, SubmitError};
+use gendt_serve::session::{Checkout, SessionTable};
 use gendt_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use gendt_sync::{thread, Condvar, Mutex};
 use interleave::{Config, FailureKind, Report};
@@ -73,15 +74,18 @@ fn empty_ctx() -> Arc<RunContext> {
 struct StubRunner;
 
 impl BatchRunner for StubRunner {
-    fn run(&self, jobs: &[GenJob]) -> Vec<GeneratedSeries> {
+    fn run(&self, jobs: &[GenJob]) -> Vec<BatchOut> {
         assert!(
             jobs.iter().all(|j| Arc::ptr_eq(&j.entry, &jobs[0].entry)),
             "mixed-version batch: jobs from different model instances coalesced"
         );
         jobs.iter()
-            .map(|j| GeneratedSeries {
-                kpis: Vec::new(),
-                series: vec![vec![j.sample_seed as f64]],
+            .map(|j| BatchOut {
+                series: GeneratedSeries {
+                    kpis: Vec::new(),
+                    series: vec![vec![j.sample_seed as f64]],
+                },
+                cursor: None,
             })
             .collect()
     }
@@ -153,6 +157,7 @@ fn model_sched_exactly_once(entry: &Arc<ModelEntry>, ctx: &Arc<RunContext>) -> R
                         entry: e,
                         ctx: c,
                         sample_seed: i,
+                        stream: None,
                     };
                     let rx = s
                         .submit(job, None)
@@ -211,6 +216,7 @@ fn model_sched_mixed_version(
                         entry: e,
                         ctx: c,
                         sample_seed: i as u64,
+                        stream: None,
                     };
                     let rx = s.submit(job, None).expect("queue has room");
                     rx.recv()
@@ -252,6 +258,7 @@ fn model_sched_spurious(entry: &Arc<ModelEntry>, ctx: &Arc<RunContext>) -> Repor
                 entry: e,
                 ctx: c,
                 sample_seed: 9,
+                stream: None,
             };
             let rx = s.submit(job, None).expect("queue has room");
             let out = rx
@@ -298,6 +305,7 @@ fn model_drain_flush(entry: &Arc<ModelEntry>, ctx: &Arc<RunContext>) -> Report {
                         entry: e,
                         ctx: c,
                         sample_seed: i,
+                        stream: None,
                     };
                     match s.submit(job, None) {
                         Ok(rx) => {
@@ -412,6 +420,81 @@ fn model_cache_linearizes() -> Report {
     })
 }
 
+/// The stream session table under churn: a continuation checkout
+/// racing a rival continuation on the same session and an open that
+/// overflows capacity. Invariants of the `/v1/stream` session
+/// lifecycle: a checked-out (Busy) session is never evicted out from
+/// under its continuation, the carried state is never held by two
+/// continuations at once, the freshly opened session always survives
+/// its own eviction pass, and the occupancy gauge matches the table.
+fn model_session_churn() -> Report {
+    let cfg = Config::random(1_200, 0x5eed_0008);
+    interleave::explore(&cfg, move || {
+        let metrics = Arc::new(ServeMetrics::new(4));
+        let table = Arc::new(SessionTable::new(
+            2,
+            Duration::from_secs(3600),
+            metrics.clone(),
+        ));
+        table.open("s1".to_string(), 11u64);
+        table.open("s2".to_string(), 22u64);
+
+        // Two continuations race for s1; at most one may hold the
+        // carried state at any instant (the other sees Busy, or gets
+        // its turn only after the first checked back in).
+        let holders = Arc::new(AtomicU64::new(0));
+        let continuations: Vec<_> = (0..2)
+            .map(|_| {
+                let (t, holders) = (table.clone(), holders.clone());
+                thread::spawn(move || match t.checkout("s1") {
+                    Checkout::Session(v) => {
+                        assert_eq!(v, 11, "carried state swapped under checkout");
+                        // sync: SeqCst so the duplication check is a
+                        // total order over holder transitions.
+                        assert_eq!(
+                            holders.fetch_add(1, Ordering::SeqCst),
+                            0,
+                            "two continuations hold one session's state"
+                        );
+                        holders.fetch_sub(1, Ordering::SeqCst);
+                        assert!(
+                            t.checkin("s1", v),
+                            "busy session evicted out from under its continuation"
+                        );
+                    }
+                    Checkout::Busy => {}     // rival holds it: legal
+                    Checkout::NotFound => {} // evicted while idle: legal
+                })
+            })
+            .collect();
+        // ...racing an open that overflows capacity and must evict an
+        // idle victim, never a busy slot.
+        let opener = {
+            let t = table.clone();
+            thread::spawn(move || t.open("s3".to_string(), 33u64))
+        };
+        for h in continuations {
+            h.join().expect("continuation must not panic");
+        }
+        opener.join().expect("opener must not panic");
+
+        assert!(table.len() <= 2, "capacity violated once all slots idle");
+        // sync: gauge read after every mutator joined.
+        assert_eq!(
+            metrics.stream_sessions.load(Ordering::Relaxed),
+            table.len() as u64,
+            "occupancy gauge drifted from the table"
+        );
+        match table.checkout("s3") {
+            Checkout::Session(v) => assert_eq!(v, 33, "fresh session lost its state"),
+            Checkout::Busy => panic!("nobody holds s3, yet checkout saw Busy"),
+            Checkout::NotFound => {
+                panic!("freshly opened session must survive its own eviction pass")
+            }
+        }
+    })
+}
+
 /// `/metrics` rendering racing counter writers and histogram pushes:
 /// poison-tolerant locks mean a scrape can never wedge, and the final
 /// render reflects every completed observation.
@@ -470,6 +553,7 @@ fn model_sched_dfs(entry: &Arc<ModelEntry>, ctx: &Arc<RunContext>) -> Report {
             entry: entry.clone(),
             ctx: ctx.clone(),
             sample_seed: 3,
+            stream: None,
         };
         let rx = sched.submit(job, None).expect("queue has room");
         let out = rx
@@ -864,7 +948,7 @@ pub fn run() -> bool {
     let mut ok = true;
     let mut zoo_schedules = 0u64;
     let mut zoo_steps = 0u64;
-    let models: [(&str, Report); 10] = [
+    let models: [(&str, Report); 11] = [
         ("sched_exactly_once", model_sched_exactly_once(&v1, &ctx)),
         (
             "sched_mixed_version",
@@ -874,6 +958,7 @@ pub fn run() -> bool {
         ("drain_flush", model_drain_flush(&v1, &ctx)),
         ("registry_swap", model_registry_swap(&v1, &v2)),
         ("cache_linearizes", model_cache_linearizes()),
+        ("session_churn", model_session_churn()),
         ("metrics_scrape", model_metrics_scrape()),
         ("sched_dfs_bounded", model_sched_dfs(&v1, &ctx)),
         ("fleet_flap_vs_forward", model_fleet_flap_vs_forward()),

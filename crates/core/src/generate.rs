@@ -192,25 +192,63 @@ pub struct GenBatchItem<'a> {
     pub seed: u64,
 }
 
-/// Generate series for several independent requests in one batched
-/// forward pass per window index.
+/// Resumable generation position for one stream: the carried LSTM state
+/// and autoregressive tail (batch row of one), the RNG stream position,
+/// and the index of the next window to generate. Holding a cursor across
+/// calls makes chunk N+1 continue bitwise-exactly where chunk N stopped —
+/// the contract the streaming API (`/v1/stream`) is built on.
+#[derive(Clone, Debug)]
+pub struct GenCursor {
+    /// Carried aggregation-LSTM state and AR tail (`b = 1`).
+    pub carry: CarryState,
+    /// xoshiro256++ state of the per-request sample stream.
+    pub rng_state: [u64; 4],
+    /// Index of the next generation window to produce.
+    pub next_window: usize,
+}
+
+impl GenCursor {
+    /// Cursor at the start of a stream: zero carry, RNG freshly seeded
+    /// from `sample_seed`, positioned before window 0. Generating from a
+    /// fresh cursor with no window cap reproduces the one-shot series.
+    pub fn fresh(cfg: &GenDtCfg, sample_seed: u64) -> Self {
+        GenCursor {
+            carry: CarryState::zeros(cfg, 1),
+            rng_state: gendt_nn::Rng::seed_from(sample_seed).state(),
+            next_window: 0,
+        }
+    }
+}
+
+/// One stream in a chunked generation call: the trajectory context, the
+/// resume cursor (updated in place), and how many windows to produce at
+/// most in this chunk (`usize::MAX` for "run to the end").
+pub struct GenChunkItem<'a> {
+    /// Trajectory context to generate for.
+    pub ctx: &'a RunContext,
+    /// Resume position; advanced past the produced windows on return.
+    pub cursor: GenCursor,
+    /// Window budget for this chunk.
+    pub max_windows: usize,
+}
+
+/// Generate the next chunk of each stream in one batched forward pass per
+/// window step, advancing every cursor in place.
 ///
-/// Each result is **bitwise-identical** to what
-/// [`generate_series`]`(model, item.ctx, kpis, false, item.seed)` returns
-/// for that item alone: every request keeps its own RNG stream (seeded
-/// from its own seed, advanced in single-request order), and all batched
-/// compute ops are row-local — see `Generator::forward_gen_batch`. This
-/// is the micro-batching entry point the serving layer coalesces
-/// concurrent `/generate` requests onto.
-///
-/// Requests whose trajectories yield different window counts simply drop
-/// out of the batch once exhausted; the batch shrinks over window index.
-pub fn generate_series_batch(
+/// Streams at different absolute window positions batch together safely:
+/// all batched compute ops are row-local (see
+/// `Generator::forward_gen_batch`), so each row's output depends only on
+/// its own window, carry, and RNG stream. A stream whose chunk budget or
+/// trajectory is exhausted simply drops out of the batch. Concatenating
+/// the chunks of one stream is **bitwise-identical** to the one-shot
+/// [`generate_series_batch`] output for the same seed — one-shot
+/// generation is itself a single unbounded chunk.
+pub fn generate_series_chunk(
     model: &GenDt,
     kpis: &[Kpi],
-    items: &[GenBatchItem],
+    items: &mut [GenChunkItem],
 ) -> Vec<GeneratedSeries> {
-    gendt_trace::span!("generate_series_batch", "items" => items.len());
+    gendt_trace::span!("generate_series_chunk", "items" => items.len());
     let cfg: GenDtCfg = model.cfg().clone();
     assert_eq!(
         kpis.len(),
@@ -222,22 +260,34 @@ pub fn generate_series_batch(
         .iter()
         .map(|it| generation_windows(it.ctx, cfg.n_ch, &cfg.generation_window()))
         .collect();
+    // Window range this chunk covers for stream i: [starts[i], ends[i]).
+    let starts: Vec<usize> = items
+        .iter()
+        .zip(wins.iter())
+        .map(|(it, w)| it.cursor.next_window.min(w.len()))
+        .collect();
+    let ends: Vec<usize> = items
+        .iter()
+        .zip(wins.iter())
+        .zip(starts.iter())
+        .map(|((it, w), &s)| s.saturating_add(it.max_windows).min(w.len()))
+        .collect();
     let mut rngs: Vec<gendt_nn::Rng> = items
         .iter()
-        .map(|it| gendt_nn::Rng::seed_from(it.seed))
+        .map(|it| gendt_nn::Rng::from_state(it.cursor.rng_state))
         .collect();
-    let mut carries: Vec<CarryState> = (0..n).map(|_| CarryState::zeros(&cfg, 1)).collect();
+    let mut carries: Vec<CarryState> = items.iter().map(|it| it.cursor.carry.clone()).collect();
     let mut norm: Vec<Vec<Vec<f32>>> = vec![vec![Vec::new(); cfg.n_ch]; n];
 
     let hid = cfg.hidden;
     let tail_w = cfg.n_ch * cfg.window.ar_context;
-    let max_wins = wins.iter().map(|w| w.len()).max().unwrap_or(0);
-    for wi in 0..max_wins {
-        let active: Vec<usize> = (0..n).filter(|&i| wi < wins[i].len()).collect();
-        let wrefs: Vec<&Window> = active.iter().map(|&i| &wins[i][wi]).collect();
+    let max_len = (0..n).map(|i| ends[i] - starts[i]).max().unwrap_or(0);
+    for k in 0..max_len {
+        let active: Vec<usize> = (0..n).filter(|&i| starts[i] + k < ends[i]).collect();
+        let wrefs: Vec<&Window> = active.iter().map(|&i| &wins[i][starts[i] + k]).collect();
         let bn = active.len();
 
-        // Stack per-request carry rows and RNG streams for the active set.
+        // Stack per-stream carry rows and RNG streams for the active set.
         let mut carry_b = CarryState::zeros(&cfg, bn);
         let mut rng_b: Vec<gendt_nn::Rng> = Vec::with_capacity(bn);
         for (r, &i) in active.iter().enumerate() {
@@ -298,6 +348,13 @@ pub fn generate_series_batch(
         }
     }
 
+    // Advance every cursor past the windows this chunk produced.
+    for (i, (it, carry)) in items.iter_mut().zip(carries).enumerate() {
+        it.cursor.carry = carry;
+        it.cursor.rng_state = rngs[i].state();
+        it.cursor.next_window = ends[i];
+    }
+
     norm.into_iter()
         .map(|per_ch| {
             let series: Vec<Vec<f64>> = per_ch
@@ -309,7 +366,7 @@ pub fn generate_series_batch(
                 for (ch, s) in series.iter().enumerate() {
                     if let Some(t) = s.iter().position(|v| !v.is_finite()) {
                         panic!(
-                            "GENDT_SANITIZE: batched series for KPI {:?} is non-finite at step {t}",
+                            "GENDT_SANITIZE: chunked series for KPI {:?} is non-finite at step {t}",
                             kpis[ch]
                         );
                     }
@@ -321,6 +378,39 @@ pub fn generate_series_batch(
             }
         })
         .collect()
+}
+
+/// Generate series for several independent requests in one batched
+/// forward pass per window index.
+///
+/// Each result is **bitwise-identical** to what
+/// [`generate_series`]`(model, item.ctx, kpis, false, item.seed)` returns
+/// for that item alone: every request keeps its own RNG stream (seeded
+/// from its own seed, advanced in single-request order), and all batched
+/// compute ops are row-local — see `Generator::forward_gen_batch`. This
+/// is the micro-batching entry point the serving layer coalesces
+/// concurrent `/generate` requests onto.
+///
+/// Requests whose trajectories yield different window counts simply drop
+/// out of the batch once exhausted; the batch shrinks over window index.
+pub fn generate_series_batch(
+    model: &GenDt,
+    kpis: &[Kpi],
+    items: &[GenBatchItem],
+) -> Vec<GeneratedSeries> {
+    gendt_trace::span!("generate_series_batch", "items" => items.len());
+    // One-shot generation is a single unbounded chunk from a fresh
+    // cursor, so chunk-concatenation parity holds by construction.
+    let cfg = model.cfg();
+    let mut chunk_items: Vec<GenChunkItem> = items
+        .iter()
+        .map(|it| GenChunkItem {
+            ctx: it.ctx,
+            cursor: GenCursor::fresh(cfg, it.seed),
+            max_windows: usize::MAX,
+        })
+        .collect();
+    generate_series_chunk(model, kpis, &mut chunk_items)
 }
 
 /// ResGen distribution-parameter statistics from repeated MC-dropout
@@ -537,6 +627,104 @@ mod tests {
                 "batch replay diverges"
             );
         }
+    }
+
+    #[test]
+    fn chunked_generation_concatenates_to_one_shot() {
+        let (mut model, ctx) = tiny_model_and_ctx();
+        assert!(ctx.steps.len() >= 40, "fixture trajectory too short");
+        let short = RunContext {
+            steps: ctx.steps[..20].to_vec(),
+        };
+        let cases: [(&RunContext, u64, usize); 3] = [(&ctx, 71, 1), (&short, 72, 2), (&ctx, 73, 3)];
+        for plan in [false, true] {
+            model.set_plan_mode(plan);
+            for &(c, seed, step) in &cases {
+                let one_shot = {
+                    let items = [GenBatchItem { ctx: c, seed }];
+                    generate_series_batch(&model, &Kpi::DATASET_A, &items).remove(0)
+                };
+                // Re-generate the same series in chunks of `step` windows,
+                // carrying the cursor across calls; streams sitting at
+                // different absolute positions share each batch.
+                let mut items = vec![GenChunkItem {
+                    ctx: c,
+                    cursor: GenCursor::fresh(model.cfg(), seed),
+                    max_windows: step,
+                }];
+                let total = generation_windows(c, 4, &model.cfg().generation_window()).len();
+                let mut cat: Vec<Vec<f64>> = vec![Vec::new(); 4];
+                while items[0].cursor.next_window < total {
+                    let chunk = generate_series_chunk(&model, &Kpi::DATASET_A, &mut items);
+                    for (acc, s) in cat.iter_mut().zip(chunk[0].series.iter()) {
+                        acc.extend_from_slice(s);
+                    }
+                }
+                // Exact f64 equality: chunk N+1 must continue bitwise
+                // where chunk N stopped (plan mode included).
+                assert_eq!(
+                    one_shot.series, cat,
+                    "chunked concat diverges (plan={plan})"
+                );
+                // A further chunk past the end produces nothing and
+                // leaves the cursor parked.
+                let tail = generate_series_chunk(&model, &Kpi::DATASET_A, &mut items);
+                assert!(tail[0].is_empty());
+                assert_eq!(items[0].cursor.next_window, total);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_position_streams_batch_bitwise_equal() {
+        let (model, ctx) = tiny_model_and_ctx();
+        let short = RunContext {
+            steps: ctx.steps[..20].to_vec(),
+        };
+        // Solo references: each stream chunked alone.
+        let solo = |c: &RunContext, seed: u64, step: usize| -> Vec<Vec<f64>> {
+            let mut items = vec![GenChunkItem {
+                ctx: c,
+                cursor: GenCursor::fresh(model.cfg(), seed),
+                max_windows: step,
+            }];
+            let total = generation_windows(c, 4, &model.cfg().generation_window()).len();
+            let mut cat: Vec<Vec<f64>> = vec![Vec::new(); 4];
+            while items[0].cursor.next_window < total {
+                let chunk = generate_series_chunk(&model, &Kpi::DATASET_A, &mut items);
+                for (acc, s) in cat.iter_mut().zip(chunk[0].series.iter()) {
+                    acc.extend_from_slice(s);
+                }
+            }
+            cat
+        };
+        let a_ref = solo(&ctx, 11, 2);
+        let b_ref = solo(&short, 12, 1);
+        // Joint run: the two streams advance in lock-step batches while
+        // sitting at different absolute window positions.
+        let mut items = vec![
+            GenChunkItem {
+                ctx: &ctx,
+                cursor: GenCursor::fresh(model.cfg(), 11),
+                max_windows: 2,
+            },
+            GenChunkItem {
+                ctx: &short,
+                cursor: GenCursor::fresh(model.cfg(), 12),
+                max_windows: 1,
+            },
+        ];
+        let mut cats: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); 4]; 2];
+        for _ in 0..16 {
+            let chunks = generate_series_chunk(&model, &Kpi::DATASET_A, &mut items);
+            for (cat, chunk) in cats.iter_mut().zip(chunks.iter()) {
+                for (acc, s) in cat.iter_mut().zip(chunk.series.iter()) {
+                    acc.extend_from_slice(s);
+                }
+            }
+        }
+        assert_eq!(cats[0], a_ref, "joint stream A diverges from solo");
+        assert_eq!(cats[1], b_ref, "joint stream B diverges from solo");
     }
 
     #[test]

@@ -63,8 +63,8 @@ pub use checkpoint::{
 };
 pub use discriminator::Discriminator;
 pub use generate::{
-    generate_series, generate_series_batch, generation_windows, model_uncertainty, GenBatchItem,
-    GeneratedSeries, UncertaintyReport,
+    generate_series, generate_series_batch, generate_series_chunk, generation_windows,
+    model_uncertainty, GenBatchItem, GenChunkItem, GenCursor, GeneratedSeries, UncertaintyReport,
 };
 pub use generator::{ArMode, CarryState, ForwardOut, Generator};
 pub use trainer::{GenDt, StepTrace};

@@ -194,6 +194,33 @@ impl Membership {
         None
     }
 
+    /// Route a stream session to its pinned owner: ring walk from the
+    /// session id's hash, first healthy worker that can serve `model`
+    /// (`None` for continuations, where only the opener knows the
+    /// model). Unlike [`Membership::route_bounded`] there is **no**
+    /// bounded-load spill — the session's carried generator state lives
+    /// on exactly one worker, so load must never move a continuation to
+    /// a replica that has no state for it. Placement changes only when
+    /// the ring does (eviction/rejoin), and then the state is gone and
+    /// the router answers with a migration notice instead.
+    pub fn route_session(&self, session: &str, model: Option<&str>) -> Option<(String, String)> {
+        let key = key_hash(self.seed, "stream-session", session);
+        let inner = self.inner.lock();
+        let ring = inner.ring.clone();
+        for id in ring.walk(key) {
+            if let Some(slot) = inner.workers.get(id) {
+                let serves_model = match model {
+                    None => true,
+                    Some(m) => slot.models.is_empty() || slot.models.iter().any(|have| have == m),
+                };
+                if slot.healthy && serves_model {
+                    return Some((id.to_string(), slot.addr.clone()));
+                }
+            }
+        }
+        None
+    }
+
     /// [`Membership::route`] with consistent hashing under bounded
     /// loads: walk the key's failover order and take the first eligible
     /// worker whose routed in-flight count is under
@@ -563,6 +590,43 @@ mod tests {
             .map(|_| m.route_bounded("demo_a", "walk").expect("grant"))
             .collect();
         assert!(held.iter().all(|g| g.id == "w0" && !g.spilled));
+    }
+
+    #[test]
+    fn session_route_is_pinned_and_load_blind() {
+        let m = fresh();
+        m.register("w0", "127.0.0.1:1000");
+        m.register("w1", "127.0.0.1:1001");
+        let (owner, addr) = m.route_session("s-abc", Some("demo_a")).expect("owner");
+        // Affinity: the same session id lands on the same worker every
+        // time, and a continuation (no model known) agrees with the open.
+        for _ in 0..8 {
+            assert_eq!(
+                m.route_session("s-abc", None),
+                Some((owner.clone(), addr.clone()))
+            );
+        }
+        // Pile routed load onto the owner: bounded-load spill must not
+        // move the pinned session.
+        let held: Vec<_> = (0..16)
+            .map(|_| m.route_bounded("demo_a", "walk").expect("grant"))
+            .collect();
+        assert_eq!(m.route_session("s-abc", None).expect("pinned").0, owner);
+        drop(held);
+    }
+
+    #[test]
+    fn session_route_moves_only_on_eviction() {
+        let m = fresh();
+        m.register("w0", "127.0.0.1:1000");
+        m.register("w1", "127.0.0.1:1001");
+        let (owner, _) = m.route_session("s-xyz", None).expect("owner");
+        assert!(m.report_failure(&owner));
+        let (next, _) = m.route_session("s-xyz", None).expect("failover");
+        assert_ne!(next, owner, "evicted owner must not keep the session");
+        // Rejoin restores the original placement (seeded ring).
+        m.poll_once(&StubProbe { down: vec![] });
+        assert_eq!(m.route_session("s-xyz", None).expect("restored").0, owner);
     }
 
     #[test]

@@ -55,6 +55,11 @@ pub struct FleetMetrics {
     pub health_checks: AtomicU64,
     /// Health probes that failed or reported unhealthy.
     pub health_check_failures: AtomicU64,
+    /// Stream requests tunneled to their pinned session owner.
+    pub stream_tunnels: AtomicU64,
+    /// Stream requests whose pinned owner was unreachable, answered
+    /// with a typed migration notice naming the new owner.
+    pub stream_migrations: AtomicU64,
     /// Routed latency split by how the request reached its worker:
     /// owner-hit, bounded-load spill, failover retry. Rendered both
     /// per-outcome and merged into the combined series.
@@ -78,6 +83,8 @@ impl FleetMetrics {
             ring_rebuilds: AtomicU64::new(0),
             health_checks: AtomicU64::new(0),
             health_check_failures: AtomicU64::new(0),
+            stream_tunnels: AtomicU64::new(0),
+            stream_migrations: AtomicU64::new(0),
             // 0..10s in 25ms bins, same shape as the worker's histogram
             // so federation can bucket-merge router and worker series.
             latency_by_outcome: [
@@ -201,6 +208,18 @@ impl FleetMetrics {
             "Health probes that failed or reported unhealthy.",
             self.health_check_failures.load(Ordering::Relaxed),
         );
+        counter(
+            &mut out,
+            "gendt_fleet_stream_tunnels_total",
+            "Stream requests tunneled to their pinned session owner.",
+            self.stream_tunnels.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_fleet_stream_migrations_total",
+            "Stream requests answered with a session-migration notice.",
+            self.stream_migrations.load(Ordering::Relaxed),
+        );
         gauge(
             &mut out,
             "gendt_fleet_workers",
@@ -321,6 +340,8 @@ mod tests {
             "gendt_fleet_workers_healthy 3",
             "gendt_fleet_latency_ms_count 1",
             "gendt_fleet_evictions_total 0",
+            "gendt_fleet_stream_tunnels_total 0",
+            "gendt_fleet_stream_migrations_total 0",
             "quantile=\"0.999\"",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");

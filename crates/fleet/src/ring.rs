@@ -179,7 +179,7 @@ mod tests {
         let a = Ring::build(7, &ids(4), DEFAULT_VNODES);
         let b = Ring::build(7, &ids(4), DEFAULT_VNODES);
         let c = Ring::build(8, &ids(4), DEFAULT_VNODES);
-        let keys: Vec<u64> = (0..256).map(|k| mix64(k)).collect();
+        let keys: Vec<u64> = (0..256).map(mix64).collect();
         let route = |r: &Ring| -> Vec<String> {
             keys.iter()
                 .map(|&k| r.owner(k).unwrap_or("").to_string())

@@ -24,12 +24,18 @@ use gendt_faults::{ErrorKind, GendtError};
 use gendt_obs::clock::ClockTable;
 use gendt_obs::slo::{SloCfg, SloTracker};
 use gendt_obs::{flightrec, promtext, traceid};
-use gendt_serve::api::{ErrorEnvelope, GenerateRequest, ModelsResponse};
-use gendt_serve::http::{read_request, write_json, write_json_extra, write_response_extra};
+use gendt_serve::api::{
+    ErrorEnvelope, GenerateRequest, ModelsResponse, StreamRequest, SESSION_HEADER,
+    SESSION_OWNER_HEADER,
+};
+use gendt_serve::http::{
+    read_request, write_json, write_json_extra, write_response_extra, Request,
+};
 use gendt_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use gendt_sync::thread::{self, JoinHandle};
 use gendt_sync::time::Instant;
 use serde::Serialize;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
@@ -116,6 +122,8 @@ struct RouterState {
     draining: AtomicBool,
     shutdown: AtomicBool,
     active: AtomicU64,
+    /// Counter folded into router-minted stream session ids.
+    session_seq: AtomicU64,
     /// Per-worker clock-offset estimates fed by forward brackets,
     /// exported on `/debug/trace` for the timeline assembler.
     clock: ClockTable,
@@ -216,6 +224,7 @@ pub fn route_serve(
         draining: AtomicBool::new(false),
         shutdown: AtomicBool::new(false),
         active: AtomicU64::new(0),
+        session_seq: AtomicU64::new(0),
         clock: ClockTable::new(),
         slo: SloTracker::new(SloCfg::default()),
     });
@@ -439,6 +448,15 @@ pub fn dispatch_generate(
                 if let Some(ra) = resp.header("retry-after") {
                     out_headers.push(("Retry-After".to_string(), ra.to_string()));
                 }
+                // The legacy surface's deprecation contract survives the
+                // hop: clients behind the router see the same Sunset
+                // announcement a direct worker would send.
+                if let Some(d) = resp.header("deprecation") {
+                    out_headers.push(("Deprecation".to_string(), d.to_string()));
+                }
+                if let Some(s) = resp.header("sunset") {
+                    out_headers.push(("Sunset".to_string(), s.to_string()));
+                }
                 return Routed {
                     status: resp.status,
                     headers: out_headers,
@@ -525,6 +543,7 @@ fn reason(status: u16) -> &'static str {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        410 => "Gone",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -632,6 +651,11 @@ fn handle_conn(state: &Arc<RouterState>, mut stream: TcpStream) {
                 total_us: elapsed.as_micros().min(u32::MAX as u128) as u32,
             });
             write_routed(&mut stream, &routed);
+        }
+        // Streams only exist on the v1 surface (the worker agrees); the
+        // legacy path falls through to the 404 below.
+        ("POST", "/stream") if req.path.starts_with("/v1") => {
+            handle_stream(state, &mut stream, &req);
         }
         ("GET", "/models") => {
             let body = serde_json::to_string(&ModelsResponse {
@@ -746,6 +770,200 @@ fn handle_conn(state: &Arc<RouterState>, mut stream: TcpStream) {
             ))),
         ),
     }
+}
+
+/// `POST /v1/stream`: resolve the session's pinned owner and tunnel the
+/// worker's chunked response to the client byte for byte.
+///
+/// Streaming cannot go through [`Forwarder`]/[`write_routed`] — both
+/// reframe the exchange with a Content-Length, which would buffer the
+/// whole stream and destroy the incremental delivery the route exists
+/// for — so the router speaks raw TCP to the owner and relays. Affinity
+/// comes from [`Membership::route_session`]: a session's carried
+/// generator state lives on exactly one worker, so there is no
+/// bounded-load spill and no failover retry here. When the pinned owner
+/// is unreachable its state is gone with it; the router evicts the
+/// worker and answers a typed retryable 503 naming the ring's new owner
+/// (`Gendt-Session-Owner`) for the client to re-open against —
+/// placement migrates, state cannot.
+fn handle_stream(state: &Arc<RouterState>, stream: &mut TcpStream, req: &Request) {
+    if state.is_draining() {
+        write_routed(
+            stream,
+            &Routed::error(&GendtError::unavailable("router is draining")),
+        );
+        return;
+    }
+    let body = String::from_utf8_lossy(&req.body).into_owned();
+    let parsed: StreamRequest = match serde_json::from_str(&body) {
+        Ok(p) => p,
+        Err(e) => {
+            write_routed(
+                stream,
+                &Routed::error(&GendtError::invalid(format!("bad request body: {e}"))),
+            );
+            return;
+        }
+    };
+    // A continuation routes by the session id that opened it; an open
+    // mints the id here (sent down as `Gendt-Session-Id`, which the
+    // worker honors) so the router, not the worker, decides placement —
+    // the same id re-hashes to the same owner on every continuation.
+    let (sid, model) = match (&parsed.session, &parsed.model) {
+        (Some(sid), _) => (sid.clone(), None),
+        (None, Some(model)) => (mint_session_id(state), Some(model.clone())),
+        (None, None) => {
+            write_routed(
+                stream,
+                &Routed::error(&GendtError::invalid("stream open: missing field \"model\"")),
+            );
+            return;
+        }
+    };
+    let Some((worker_id, addr)) = state.membership.route_session(&sid, model.as_deref()) else {
+        // sync: monotonic counter for /metrics only.
+        state.metrics.no_owner.fetch_add(1, Ordering::Relaxed);
+        write_routed(
+            stream,
+            &Routed::error(&GendtError::unavailable(format!(
+                "no healthy worker can own stream session {sid:?}"
+            ))),
+        );
+        return;
+    };
+    match tunnel_stream(stream, &addr, req, &body, &sid, state.forward_timeout) {
+        Ok(()) => {
+            // sync: monotonic counter for /metrics only.
+            state.metrics.stream_tunnels.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(e) => {
+            // sync: monotonic counters for /metrics only.
+            state.metrics.forward_errors.fetch_add(1, Ordering::Relaxed);
+            state
+                .metrics
+                .stream_migrations
+                .fetch_add(1, Ordering::Relaxed);
+            state.membership.report_failure(&worker_id);
+            let next = state.membership.route_session(&sid, model.as_deref());
+            write_routed(
+                stream,
+                &migration_notice(&sid, &worker_id, next.as_ref(), &e),
+            );
+        }
+    }
+}
+
+/// Router-minted stream session id (`r`-prefixed to distinguish from a
+/// worker-minted `s`-prefixed id in logs).
+fn mint_session_id(state: &Arc<RouterState>) -> String {
+    // sync: uniqueness counter only; ordering is irrelevant.
+    let n = state.session_seq.fetch_add(1, Ordering::Relaxed);
+    format!("r{:x}-{n:x}", gendt_trace::now_ns())
+}
+
+/// One raw streaming exchange with the session owner at `addr`: write
+/// the rebuilt request, then relay response bytes to the client until
+/// the worker closes. `Err` is returned only while the client socket is
+/// still pristine (connect/write failed, or the worker died before
+/// producing a byte), so the caller can still answer a typed migration
+/// notice; once bytes have flowed the stream is the worker's to finish
+/// and a mid-stream failure truncates it (the client sees a chunked
+/// body with no terminating chunk and no trailer line).
+fn tunnel_stream(
+    client: &mut TcpStream,
+    addr: &str,
+    req: &Request,
+    body: &str,
+    sid: &str,
+    timeout: Duration,
+) -> Result<(), GendtError> {
+    let sock: SocketAddr = addr
+        .parse()
+        .map_err(|e| GendtError::config(format!("bad worker addr {addr:?}: {e}")))?;
+    let mut worker = TcpStream::connect_timeout(&sock, timeout)
+        .map_err(|e| GendtError::unavailable(format!("connecting to worker {addr}: {e}")))?;
+    worker
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| worker.set_write_timeout(Some(timeout)))
+        .map_err(|e| GendtError::unavailable(format!("configuring socket to {addr}: {e}")))?;
+
+    let mut head = format!(
+        "POST {} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n{SESSION_HEADER}: {sid}\r\n",
+        req.path,
+        body.len(),
+    );
+    for name in ["Deadline-Ms", traceid::TRACE_HEADER] {
+        if let Some(v) = req.header(name) {
+            head.push_str(&format!("{name}: {v}\r\n"));
+        }
+    }
+    head.push_str("\r\n");
+    worker
+        .write_all(head.as_bytes())
+        .and_then(|()| worker.write_all(body.as_bytes()))
+        .and_then(|()| worker.flush())
+        .map_err(|e| GendtError::unavailable(format!("writing to worker {addr}: {e}")))?;
+
+    let mut buf = [0u8; 16 * 1024];
+    let mut relayed = false;
+    loop {
+        match worker.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                if client
+                    .write_all(&buf[..n])
+                    .and_then(|()| client.flush())
+                    .is_err()
+                {
+                    break; // client went away; nothing left to answer
+                }
+                relayed = true;
+            }
+            Err(e) if !relayed => {
+                return Err(GendtError::unavailable(format!(
+                    "reading from worker {addr}: {e}"
+                )));
+            }
+            Err(_) => break,
+        }
+    }
+    if !relayed {
+        return Err(GendtError::unavailable(format!(
+            "worker {addr} closed the stream before answering"
+        )));
+    }
+    Ok(())
+}
+
+/// The typed answer when a pinned session owner is unreachable: a
+/// retryable 503 naming the ring's new owner in both the message and
+/// the `Gendt-Session-Owner` header. The carried state died with the
+/// old owner, so the client re-opens there rather than continuing.
+/// With no healthy worker left the notice is final (not retryable).
+fn migration_notice(
+    sid: &str,
+    old: &str,
+    next: Option<&(String, String)>,
+    cause: &GendtError,
+) -> Routed {
+    let (msg, retryable) = match next {
+        Some((id, _)) => (
+            format!("stream session {sid:?}: owner {old} is gone; re-open against worker {id}"),
+            true,
+        ),
+        None => (
+            format!("stream session {sid:?}: owner {old} is gone and no healthy worker remains"),
+            false,
+        ),
+    };
+    let err = cause.clone().wrap(msg).with_retryable(retryable);
+    let mut r = Routed::error(&err);
+    r.worker = old.to_string();
+    if let Some((id, _)) = next {
+        r.headers
+            .push((SESSION_OWNER_HEADER.to_string(), id.clone()));
+    }
+    r
 }
 
 /// The flight-recorder worker index of a `wN` worker id
@@ -1114,6 +1332,91 @@ mod tests {
             Duration::from_secs(1),
         );
         assert_eq!(r.outcome, flightrec::outcome::NO_OWNER);
+    }
+
+    /// Answers like a worker's legacy surface: 200 plus the
+    /// deprecation/sunset announcement headers.
+    struct SunsetForwarder;
+    impl Forwarder for SunsetForwarder {
+        fn forward(
+            &self,
+            _addr: &str,
+            _method: &str,
+            _path: &str,
+            _headers: &[(String, String)],
+            _body: Option<&str>,
+            _timeout: Duration,
+        ) -> Result<HttpResponse, GendtError> {
+            Ok(HttpResponse {
+                status: 200,
+                headers: vec![
+                    ("Deprecation".to_string(), "true".to_string()),
+                    (
+                        "Sunset".to_string(),
+                        "Tue, 01 Jun 2027 00:00:00 GMT".to_string(),
+                    ),
+                ],
+                body: "{}".to_string(),
+            })
+        }
+    }
+
+    #[test]
+    fn legacy_sunset_headers_pass_through_the_router() {
+        let (m, metrics) = fresh_membership();
+        let r = dispatch_generate(
+            &m,
+            &SunsetForwarder,
+            &metrics,
+            "/generate",
+            &body(),
+            None,
+            Instant::now(),
+            Duration::from_secs(1),
+        );
+        assert_eq!(r.status, 200);
+        assert!(
+            r.headers
+                .iter()
+                .any(|(n, v)| n == "Sunset" && v.contains("2027")),
+            "worker Sunset must survive the hop: {:?}",
+            r.headers
+        );
+        assert!(
+            r.headers
+                .iter()
+                .any(|(n, v)| n == "Deprecation" && v == "true"),
+            "{:?}",
+            r.headers
+        );
+    }
+
+    #[test]
+    fn migration_notice_names_the_new_owner() {
+        let cause = GendtError::unavailable("connecting to worker 127.0.0.1:1000: refused");
+        let next = ("w1".to_string(), "127.0.0.1:1001".to_string());
+        let r = migration_notice("s-1", "w0", Some(&next), &cause);
+        assert_eq!(r.status, 503);
+        assert!(r.body.contains("\"retryable\":true"), "{}", r.body);
+        assert!(r.body.contains("re-open against worker w1"), "{}", r.body);
+        assert!(
+            r.headers
+                .iter()
+                .any(|(n, v)| n == SESSION_OWNER_HEADER && v == "w1"),
+            "{:?}",
+            r.headers
+        );
+        assert!(
+            r.headers.iter().any(|(n, _)| n == "Retry-After"),
+            "migration is retryable, so it must carry Retry-After: {:?}",
+            r.headers
+        );
+
+        // Last worker gone: nothing to retry against.
+        let r = migration_notice("s-1", "w0", None, &cause);
+        assert_eq!(r.status, 503);
+        assert!(r.body.contains("\"retryable\":false"), "{}", r.body);
+        assert!(r.headers.iter().all(|(n, _)| n != SESSION_OWNER_HEADER));
     }
 
     #[test]

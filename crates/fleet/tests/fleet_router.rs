@@ -4,6 +4,7 @@
 //! them over real loopback HTTP.
 
 use gendt_fleet::{route_serve, FleetMetrics, HttpForwarder, HttpProbe, Membership, RouterCfg};
+use gendt_serve::api::{StreamChunk, StreamTrailer};
 use gendt_serve::http::{http_request, http_request_full};
 use gendt_serve::{serve, ServerCfg, ServerHandle};
 use std::path::PathBuf;
@@ -30,6 +31,12 @@ struct TestFleet {
 
 impl TestFleet {
     fn start(n: usize) -> TestFleet {
+        TestFleet::start_with(n, 50)
+    }
+
+    /// `health_interval_ms` is a knob so failover tests can park the
+    /// poller and exercise the forward-path eviction deterministically.
+    fn start_with(n: usize, health_interval_ms: u64) -> TestFleet {
         let workers: Vec<ServerHandle> = (0..n).map(|_| worker()).collect();
         let metrics = Arc::new(FleetMetrics::new());
         let membership = Arc::new(Membership::new(9, metrics.clone()));
@@ -37,7 +44,7 @@ impl TestFleet {
             membership.register(&format!("w{i}"), &w.addr.to_string());
         }
         let cfg = RouterCfg {
-            health_interval_ms: 50,
+            health_interval_ms,
             ..RouterCfg::new()
         };
         let router = route_serve(
@@ -148,6 +155,125 @@ fn dead_worker_fails_over_without_stranding() {
         healthy = fleet.membership.healthy_count();
     }
     assert_eq!(healthy, 1, "membership never converged");
+    fleet.stop();
+}
+
+/// NDJSON stream body → (chunk lines, trailer line).
+fn parse_stream(body: &str) -> (Vec<StreamChunk>, StreamTrailer) {
+    let lines: Vec<&str> = body.lines().filter(|l| !l.is_empty()).collect();
+    assert!(!lines.is_empty(), "empty stream body");
+    let trailer: StreamTrailer =
+        serde_json::from_str(lines[lines.len() - 1]).expect("last line is the trailer");
+    let chunks = lines[..lines.len() - 1]
+        .iter()
+        .map(|l| serde_json::from_str::<StreamChunk>(l).expect("chunk line"))
+        .collect();
+    (chunks, trailer)
+}
+
+#[test]
+fn routed_stream_concatenates_to_direct_one_shot_bitwise() {
+    let fleet = TestFleet::start(2);
+    let open = "{\"model\":\"demo_a\",\"scenario\":\"walk\",\"duration_s\":20.0,\"start_x\":0.0,\
+         \"start_y\":0.0,\"traj_seed\":2,\"sample_seed\":5,\"chunk_windows\":1}";
+    let resp =
+        http_request_full(&fleet.addr(), "POST", "/v1/stream", &[], Some(open)).expect("stream");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(
+        resp.header("transfer-encoding"),
+        Some("chunked"),
+        "the tunnel must relay the worker's chunked framing verbatim"
+    );
+    let sid = resp
+        .header("Gendt-Session-Id")
+        .expect("session id header relayed from the worker")
+        .to_string();
+    assert!(sid.starts_with('r'), "router-minted id, got {sid:?}");
+    let (chunks, trailer) = parse_stream(&resp.body);
+    assert!(trailer.done, "{trailer:?}");
+    assert!(chunks.len() >= 2);
+
+    // Concatenated streamed windows == any worker's one-shot answer.
+    let direct_addr = fleet.workers[0].addr.to_string();
+    let (ds, direct) =
+        http_request(&direct_addr, "POST", "/v1/generate", Some(&body("walk", 5))).expect("direct");
+    assert_eq!(ds, 200);
+    let direct: gendt_serve::GenerateResponse = serde_json::from_str(&direct).expect("one-shot");
+    let mut cat: Vec<Vec<f64>> = vec![Vec::new(); direct.series.series.len()];
+    for c in &chunks {
+        for (dst, src) in cat.iter_mut().zip(c.series.series.iter()) {
+            dst.extend_from_slice(src);
+        }
+    }
+    assert_eq!(
+        cat, direct.series.series,
+        "routed stream differs from direct one-shot"
+    );
+
+    // A completed session's continuation 404s on the worker and the
+    // tunnel passes that through verbatim.
+    let cont = format!("{{\"session\":{sid:?}}}");
+    let resp = http_request_full(&fleet.addr(), "POST", "/v1/stream", &[], Some(&cont))
+        .expect("continuation");
+    assert_eq!(resp.status, 404, "{}", resp.body);
+    assert!(resp.body.contains("not_found"), "{}", resp.body);
+
+    assert!(
+        fleet
+            .router
+            .metrics()
+            .stream_tunnels
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 2
+    );
+    fleet.stop();
+}
+
+#[test]
+fn dead_session_owner_yields_migration_notice_naming_survivor() {
+    // Health poller parked: the continuation must discover the dead
+    // owner on the forward path itself.
+    let fleet = TestFleet::start_with(2, 60_000);
+    let open = "{\"model\":\"demo_a\",\"scenario\":\"walk\",\"duration_s\":20.0,\"start_x\":0.0,\
+         \"start_y\":0.0,\"traj_seed\":2,\"sample_seed\":7,\"max_windows\":1}";
+    let resp =
+        http_request_full(&fleet.addr(), "POST", "/v1/stream", &[], Some(open)).expect("open");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let sid = resp
+        .header("Gendt-Session-Id")
+        .expect("session id")
+        .to_string();
+    let (_, trailer) = parse_stream(&resp.body);
+    assert!(!trailer.done, "budgeted open must pause: {trailer:?}");
+
+    // Kill the pinned owner out from under the router.
+    let (owner, owner_addr) = fleet
+        .membership
+        .route_session(&sid, None)
+        .expect("session owner");
+    let _ = http_request(&owner_addr, "POST", "/v1/shutdown", None);
+    std::thread::sleep(std::time::Duration::from_millis(700));
+
+    let cont = format!("{{\"session\":{sid:?}}}");
+    let resp = http_request_full(&fleet.addr(), "POST", "/v1/stream", &[], Some(&cont))
+        .expect("continuation answered");
+    assert_eq!(resp.status, 503, "{}", resp.body);
+    assert!(resp.body.contains("\"retryable\":true"), "{}", resp.body);
+    let new_owner = resp
+        .header("Gendt-Session-Owner")
+        .expect("migration notice names the new owner");
+    assert_ne!(new_owner, owner, "new owner must differ from the dead one");
+    assert!(resp.body.contains(new_owner), "{}", resp.body);
+    // The forward-path failure evicted the dead owner immediately.
+    assert_eq!(fleet.membership.healthy_count(), 1);
+    assert_eq!(
+        fleet
+            .router
+            .metrics()
+            .stream_migrations
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
     fleet.stop();
 }
 

@@ -1,14 +1,40 @@
-//! Wire types for the HTTP API.
+//! The versioned wire schema of the `/v1` HTTP API, in one place:
+//! request/response bodies, the typed error envelope, and the
+//! session/stream chunk + trailer types of `/v1/stream`.
 //!
 //! Requests describe a trajectory *specification* (scenario, duration,
 //! start point, seed) rather than shipping raw coordinates: the server
 //! owns the world model, so a short JSON body fully determines the
 //! context — and, with the explicit `sample_seed`, the entire response.
+//!
+//! Every v1 response body is a typed struct here, serialized through
+//! [`encode`] so all routes share one envelope discipline (and one
+//! fallback on encoder failure). Handlers never hand-build JSON.
 
 use gendt::GeneratedSeries;
 use gendt_faults::GendtError;
 use gendt_geo::trajectory::Scenario;
 use serde::{Deserialize, Serialize};
+
+/// The API surface version all `/v1/*` types in this module describe.
+pub const API_VERSION: &str = "v1";
+
+/// Header naming a stream session: echoed on every `/v1/stream`
+/// response; sent as a request header by the fleet router, whose
+/// minted id wins over the worker's.
+pub const SESSION_HEADER: &str = "Gendt-Session-Id";
+
+/// Header on a fleet-affinity 503 naming the worker that now owns the
+/// session after a migration-on-evict.
+pub const SESSION_OWNER_HEADER: &str = "Gendt-Session-Owner";
+
+/// Serialize a v1 response body. Every route funnels through this so
+/// the wire shape is owned by the types in this module, with one shared
+/// fallback (`{}`) should encoding ever fail — the same behavior the
+/// handlers previously open-coded per route.
+pub fn encode<T: Serialize>(body: &T) -> String {
+    serde_json::to_string(body).unwrap_or_else(|_| "{}".to_string())
+}
 
 /// Body of `POST /generate`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -105,6 +131,197 @@ impl ErrorEnvelope {
     }
 }
 
+/// Serialize an optional field, omitting it entirely when `None` (the
+/// vendored serde derive has no attribute support, so the stream types
+/// hand-roll their impls).
+fn put_opt<T: Serialize>(m: &mut Vec<(String, serde::Value)>, key: &str, v: &Option<T>) {
+    if let Some(v) = v {
+        m.push((key.to_string(), v.to_value()));
+    }
+}
+
+/// Deserialize an optional field: absent or `null` is `None`.
+fn get_opt<T: serde::Deserialize>(
+    m: &[(String, serde::Value)],
+    key: &str,
+) -> Result<Option<T>, serde::Error> {
+    match m.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, serde::Value::Null)) => Ok(None),
+        Some((_, v)) => Ok(Some(T::from_value(v)?)),
+    }
+}
+
+/// Body of `POST /v1/stream`: either opens a generation session (the
+/// [`GenerateRequest`] fields, `session` absent) or continues one
+/// (`session` set, spec fields ignored). Both forms stream NDJSON
+/// [`StreamChunk`] lines followed by one [`StreamTrailer`] line over
+/// chunked transfer encoding.
+#[derive(Clone, Debug, Default)]
+pub struct StreamRequest {
+    /// Session id to continue; absent to open a new session.
+    pub session: Option<String>,
+    /// Registry name of the model (open only).
+    pub model: Option<String>,
+    /// Trajectory scenario (open only).
+    pub scenario: Option<String>,
+    /// Trajectory duration in seconds (open only).
+    pub duration_s: Option<f64>,
+    /// Trajectory start, meters east of the world origin (open only).
+    pub start_x: Option<f64>,
+    /// Trajectory start, meters north of the world origin (open only).
+    pub start_y: Option<f64>,
+    /// Trajectory synthesis seed (open only; defaults to 0).
+    pub traj_seed: Option<u64>,
+    /// Generation sample seed (open only; defaults to 0). The
+    /// concatenation of every chunk the session ever streams is
+    /// bitwise-identical to the one-shot `/v1/generate` series for
+    /// the same spec and seed.
+    pub sample_seed: Option<u64>,
+    /// Windows per streamed chunk (0 or absent → server default).
+    pub chunk_windows: Option<usize>,
+    /// Most windows to stream in this response; 0 or absent runs to
+    /// the end of the series. The session persists between responses
+    /// until complete, expired, or evicted.
+    pub max_windows: Option<usize>,
+}
+
+impl Serialize for StreamRequest {
+    fn to_value(&self) -> serde::Value {
+        let mut m = Vec::new();
+        put_opt(&mut m, "session", &self.session);
+        put_opt(&mut m, "model", &self.model);
+        put_opt(&mut m, "scenario", &self.scenario);
+        put_opt(&mut m, "duration_s", &self.duration_s);
+        put_opt(&mut m, "start_x", &self.start_x);
+        put_opt(&mut m, "start_y", &self.start_y);
+        put_opt(&mut m, "traj_seed", &self.traj_seed);
+        put_opt(&mut m, "sample_seed", &self.sample_seed);
+        put_opt(&mut m, "chunk_windows", &self.chunk_windows);
+        put_opt(&mut m, "max_windows", &self.max_windows);
+        serde::Value::Map(m)
+    }
+}
+
+impl Deserialize for StreamRequest {
+    fn from_value(v: &serde::Value) -> Result<StreamRequest, serde::Error> {
+        let serde::Value::Map(m) = v else {
+            return Err(serde::Error::expected("object", "StreamRequest"));
+        };
+        Ok(StreamRequest {
+            session: get_opt(m, "session")?,
+            model: get_opt(m, "model")?,
+            scenario: get_opt(m, "scenario")?,
+            duration_s: get_opt(m, "duration_s")?,
+            start_x: get_opt(m, "start_x")?,
+            start_y: get_opt(m, "start_y")?,
+            traj_seed: get_opt(m, "traj_seed")?,
+            sample_seed: get_opt(m, "sample_seed")?,
+            chunk_windows: get_opt(m, "chunk_windows")?,
+            max_windows: get_opt(m, "max_windows")?,
+        })
+    }
+}
+
+impl StreamRequest {
+    /// The generation spec of an *open* request, or a taxonomy error
+    /// naming the missing field.
+    pub fn open_spec(&self) -> Result<GenerateRequest, GendtError> {
+        let missing = |f: &str| GendtError::invalid(format!("stream open: missing field {f:?}"));
+        Ok(GenerateRequest {
+            model: self.model.clone().ok_or_else(|| missing("model"))?,
+            scenario: self.scenario.clone().ok_or_else(|| missing("scenario"))?,
+            duration_s: self.duration_s.ok_or_else(|| missing("duration_s"))?,
+            start_x: self.start_x.ok_or_else(|| missing("start_x"))?,
+            start_y: self.start_y.ok_or_else(|| missing("start_y"))?,
+            traj_seed: self.traj_seed.unwrap_or(0),
+            sample_seed: self.sample_seed.unwrap_or(0),
+        })
+    }
+}
+
+/// One NDJSON line of a `/v1/stream` response body: a contiguous span
+/// of generated windows.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StreamChunk {
+    /// Session id (also echoed in the `Gendt-Session-Id` header).
+    pub session: String,
+    /// Chunk sequence number within the session, from 0.
+    pub seq: u64,
+    /// Absolute step offset of this chunk in the full series.
+    pub start: usize,
+    /// Generation windows this chunk covers.
+    pub windows: usize,
+    /// The generated span, physical units — same element encoding as
+    /// the one-shot [`GenerateResponse`] series.
+    pub series: GeneratedSeries,
+}
+
+/// Why a `/v1/stream` response stopped streaming.
+pub mod stream_reason {
+    /// The series is complete; the session is closed.
+    pub const COMPLETE: &str = "complete";
+    /// The response's `max_windows` budget is spent; the session stays
+    /// open for continuation.
+    pub const PAUSED: &str = "paused";
+    /// The server is draining; the session is closed.
+    pub const DRAIN: &str = "drain";
+    /// The request deadline expired mid-stream; the session stays open.
+    pub const DEADLINE: &str = "deadline";
+    /// A generation error ended the response; see `error`.
+    pub const ERROR: &str = "error";
+}
+
+/// Final NDJSON line of every `/v1/stream` response: the typed
+/// end-of-stream trailer. Errors after streaming has started surface
+/// here (the 200 status is already on the wire).
+#[derive(Clone, Debug)]
+pub struct StreamTrailer {
+    /// Session id.
+    pub session: String,
+    /// True when the series is complete and the session closed.
+    pub done: bool,
+    /// One of the [`stream_reason`] constants.
+    pub reason: String,
+    /// Resume position: the next window a continuation would generate.
+    pub next_window: usize,
+    /// Total generation windows in the session's series.
+    pub total_windows: usize,
+    /// The error that ended the response, when `reason` is `"error"`.
+    pub error: Option<ErrorEnvelope>,
+}
+
+impl Serialize for StreamTrailer {
+    fn to_value(&self) -> serde::Value {
+        let mut m = vec![
+            ("session".to_string(), self.session.to_value()),
+            ("done".to_string(), self.done.to_value()),
+            ("reason".to_string(), self.reason.to_value()),
+            ("next_window".to_string(), self.next_window.to_value()),
+            ("total_windows".to_string(), self.total_windows.to_value()),
+        ];
+        put_opt(&mut m, "error", &self.error);
+        serde::Value::Map(m)
+    }
+}
+
+impl Deserialize for StreamTrailer {
+    fn from_value(v: &serde::Value) -> Result<StreamTrailer, serde::Error> {
+        let serde::Value::Map(m) = v else {
+            return Err(serde::Error::expected("object", "StreamTrailer"));
+        };
+        let req = |key| serde::map_field(m, key, "StreamTrailer");
+        Ok(StreamTrailer {
+            session: Deserialize::from_value(req("session")?)?,
+            done: Deserialize::from_value(req("done")?)?,
+            reason: Deserialize::from_value(req("reason")?)?,
+            next_window: Deserialize::from_value(req("next_window")?)?,
+            total_windows: Deserialize::from_value(req("total_windows")?)?,
+            error: get_opt(m, "error")?,
+        })
+    }
+}
+
 /// Parse the wire scenario name.
 pub fn parse_scenario(s: &str) -> Option<Scenario> {
     match s {
@@ -150,6 +367,78 @@ mod tests {
         assert_eq!(back.code, env.code);
         assert_eq!(back.retryable, env.retryable);
         assert_eq!(back.message, "generation queue is full");
+    }
+
+    /// Moving `/v1/models` and `/v1/info` onto the shared typed
+    /// encoder must not change a single byte on the wire: pin the
+    /// [`encode`] output against the exact `serde_json::to_string`
+    /// construction the handlers previously open-coded.
+    #[test]
+    fn encode_is_byte_identical_to_the_ad_hoc_bodies() {
+        let models = ModelsResponse {
+            models: vec!["demo_a".to_string(), "demo_b".to_string()],
+        };
+        let ad_hoc = serde_json::to_string(&models).unwrap_or_else(|_| "{}".to_string());
+        assert_eq!(encode(&models), ad_hoc);
+
+        let info = InfoResponse {
+            models: vec![ModelInfo {
+                name: "demo_a".to_string(),
+                version: 0xFEED,
+                n_ch: 4,
+            }],
+            queue_depth: 3,
+            max_batch: 8,
+            draining: false,
+        };
+        let ad_hoc = serde_json::to_string(&info).unwrap_or_else(|_| "{}".to_string());
+        assert_eq!(encode(&info), ad_hoc);
+
+        let err = ErrorEnvelope::from_error(&GendtError::timeout("deadline expired"));
+        let ad_hoc = serde_json::to_string(&err).unwrap_or_else(|_| "{}".to_string());
+        assert_eq!(encode(&err), ad_hoc);
+    }
+
+    #[test]
+    fn stream_request_forms_parse() {
+        // Open form: the generate spec plus chunking knobs.
+        let open: StreamRequest = serde_json::from_str(
+            "{\"model\":\"demo_a\",\"scenario\":\"walk\",\"duration_s\":60.0,\
+             \"start_x\":0.0,\"start_y\":0.0,\"chunk_windows\":2}",
+        )
+        .expect("open form parses");
+        assert!(open.session.is_none());
+        let spec = open.open_spec().expect("spec complete");
+        assert_eq!(spec.model, "demo_a");
+        assert_eq!(spec.sample_seed, 0, "sample_seed defaults to 0");
+        assert_eq!(open.chunk_windows, Some(2));
+
+        // Continuation form: just the session id (+ optional budget).
+        let cont: StreamRequest =
+            serde_json::from_str("{\"session\":\"s-1\",\"max_windows\":4}").expect("continuation");
+        assert_eq!(cont.session.as_deref(), Some("s-1"));
+        assert_eq!(cont.max_windows, Some(4));
+        assert!(
+            cont.open_spec().is_err(),
+            "continuation body is not an open spec"
+        );
+    }
+
+    #[test]
+    fn stream_trailer_roundtrip() {
+        let t = StreamTrailer {
+            session: "s-1".to_string(),
+            done: false,
+            reason: stream_reason::DEADLINE.to_string(),
+            next_window: 3,
+            total_windows: 9,
+            error: None,
+        };
+        let json = encode(&t);
+        assert!(!json.contains("\"error\""), "absent error is omitted");
+        let back: StreamTrailer = serde_json::from_str(&json).expect("trailer roundtrip");
+        assert_eq!(back.reason, "deadline");
+        assert_eq!(back.next_window, 3);
     }
 
     #[test]

@@ -3,16 +3,28 @@
 //!
 //! This module feeds generation and must stay deterministic: no clocks,
 //! no ambient randomness — every output is a function of (model,
-//! context, seed) alone, which is what makes a batched response
-//! bitwise-equal to its single-request counterpart.
+//! context, seed, cursor) alone, which is what makes a batched response
+//! bitwise-equal to its single-request counterpart and a streamed chunk
+//! bitwise-equal to the same span of the one-shot series.
 
 use crate::registry::ModelEntry;
-use gendt::{generate_series_batch, GenBatchItem, GeneratedSeries};
+use gendt::{generate_series_chunk, GenChunkItem, GenCursor, GeneratedSeries};
 use gendt_data::context::RunContext;
 use std::sync::Arc;
 
+/// Streaming continuation carried by a [`GenJob`]: resume generation
+/// from `cursor`, producing at most `max_windows` windows this chunk.
+#[derive(Clone)]
+pub struct StreamPart {
+    /// Resume position (carried LSTM state + RNG stream + next window).
+    pub cursor: GenCursor,
+    /// Window budget for this chunk.
+    pub max_windows: usize,
+}
+
 /// One queued generation job: the model pinned at dispatch time, the
 /// extracted context, and the request's explicit sample seed.
+#[derive(Clone)]
 pub struct GenJob {
     /// Model entry the request resolved; pinned so a `/reload` cannot
     /// swap the model out from under a queued request.
@@ -21,19 +33,52 @@ pub struct GenJob {
     pub ctx: Arc<RunContext>,
     /// Generation sample seed from the request.
     pub sample_seed: u64,
+    /// `Some` for a streaming chunk, `None` for a one-shot series.
+    /// Streaming continuations coalesce into the same micro-batches as
+    /// one-shot jobs — the chunk pass is row-local, so mixed cursor
+    /// positions batch bitwise-safely.
+    pub stream: Option<StreamPart>,
+}
+
+/// One executed job: the produced series (full series for one-shot jobs,
+/// this chunk's span for streaming jobs) plus the advanced cursor for
+/// streaming jobs.
+pub struct BatchOut {
+    /// Generated series, aligned with the job.
+    pub series: GeneratedSeries,
+    /// Advanced resume cursor; `None` for one-shot jobs.
+    pub cursor: Option<GenCursor>,
 }
 
 /// Run one coalesced batch against a single model. Jobs must all carry
 /// the same `entry` the caller grouped by; results align with `jobs`.
-pub fn run_batch(entry: &ModelEntry, jobs: &[GenJob]) -> Vec<GeneratedSeries> {
-    let items: Vec<GenBatchItem> = jobs
+pub fn run_batch(entry: &ModelEntry, jobs: &[GenJob]) -> Vec<BatchOut> {
+    let cfg = entry.model.cfg();
+    let mut items: Vec<GenChunkItem> = jobs
         .iter()
-        .map(|j| GenBatchItem {
-            ctx: &j.ctx,
-            seed: j.sample_seed,
+        .map(|j| match &j.stream {
+            Some(part) => GenChunkItem {
+                ctx: &j.ctx,
+                cursor: part.cursor.clone(),
+                max_windows: part.max_windows,
+            },
+            None => GenChunkItem {
+                ctx: &j.ctx,
+                cursor: GenCursor::fresh(cfg, j.sample_seed),
+                max_windows: usize::MAX,
+            },
         })
         .collect();
-    generate_series_batch(&entry.model, &entry.kpis, &items)
+    let series = generate_series_chunk(&entry.model, &entry.kpis, &mut items);
+    series
+        .into_iter()
+        .zip(items)
+        .zip(jobs)
+        .map(|((series, item), job)| BatchOut {
+            series,
+            cursor: job.stream.as_ref().map(|_| item.cursor),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -42,6 +87,19 @@ mod tests {
     use crate::demo::demo_model;
     use gendt_data::builders::{dataset_a, BuildCfg};
     use gendt_data::kpi_types::Kpi;
+
+    fn demo_ctx() -> Arc<RunContext> {
+        let ds = dataset_a(&BuildCfg::quick(9));
+        Arc::new(gendt_data::context::extract(
+            &ds.world,
+            &ds.deployment,
+            &ds.runs[0].traj,
+            &gendt_data::context::ContextCfg {
+                max_cells: 3,
+                ..gendt_data::context::ContextCfg::default()
+            },
+        ))
+    }
 
     /// The scheduler's compute step must produce the same bits whether
     /// the model runs the interpreted tape or compiled plans; each
@@ -59,16 +117,7 @@ mod tests {
                 kpis: Kpi::DATASET_A.to_vec(),
             }
         };
-        let ds = dataset_a(&BuildCfg::quick(9));
-        let ctx = Arc::new(gendt_data::context::extract(
-            &ds.world,
-            &ds.deployment,
-            &ds.runs[0].traj,
-            &gendt_data::context::ContextCfg {
-                max_cells: 3,
-                ..gendt_data::context::ContextCfg::default()
-            },
-        ));
+        let ctx = demo_ctx();
         let tape = entry(false);
         let plan = entry(true);
         let jobs: Vec<GenJob> = [11u64, 12]
@@ -77,14 +126,89 @@ mod tests {
                 entry: Arc::new(entry(false)),
                 ctx: Arc::clone(&ctx),
                 sample_seed: seed,
+                stream: None,
             })
             .collect();
         let base = run_batch(&tape, &jobs);
         let first = run_batch(&plan, &jobs);
         let replay = run_batch(&plan, &jobs);
         for k in 0..jobs.len() {
-            assert_eq!(base[k].series, first[k].series, "plan batch diverges");
-            assert_eq!(base[k].series, replay[k].series, "plan replay diverges");
+            assert_eq!(base[k].series.series, first[k].series.series);
+            assert_eq!(base[k].series.series, replay[k].series.series);
         }
+    }
+
+    /// A streaming job chunked through `run_batch` — coalesced with an
+    /// unrelated one-shot job in the same batch — must concatenate to
+    /// the one-shot series for its own seed.
+    #[test]
+    fn streamed_chunks_concatenate_to_one_shot() {
+        let entry = ModelEntry {
+            name: "demo".to_string(),
+            version: 0,
+            model: demo_model(3),
+            kpis: Kpi::DATASET_A.to_vec(),
+        };
+        let ctx = demo_ctx();
+        let one_shot = run_batch(
+            &entry,
+            &[GenJob {
+                entry: Arc::new(ModelEntry {
+                    name: "demo".to_string(),
+                    version: 0,
+                    model: demo_model(3),
+                    kpis: Kpi::DATASET_A.to_vec(),
+                }),
+                ctx: Arc::clone(&ctx),
+                sample_seed: 21,
+                stream: None,
+            }],
+        )
+        .remove(0);
+        assert!(one_shot.cursor.is_none());
+
+        let mut cursor = GenCursor::fresh(entry.model.cfg(), 21);
+        let mut cat: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        loop {
+            let out = run_batch(
+                &entry,
+                &[
+                    GenJob {
+                        entry: Arc::new(ModelEntry {
+                            name: "demo".to_string(),
+                            version: 0,
+                            model: demo_model(3),
+                            kpis: Kpi::DATASET_A.to_vec(),
+                        }),
+                        ctx: Arc::clone(&ctx),
+                        sample_seed: 21,
+                        stream: Some(StreamPart {
+                            cursor: cursor.clone(),
+                            max_windows: 1,
+                        }),
+                    },
+                    GenJob {
+                        entry: Arc::new(ModelEntry {
+                            name: "demo".to_string(),
+                            version: 0,
+                            model: demo_model(3),
+                            kpis: Kpi::DATASET_A.to_vec(),
+                        }),
+                        ctx: Arc::clone(&ctx),
+                        sample_seed: 99,
+                        stream: None,
+                    },
+                ],
+            );
+            let chunk = &out[0];
+            if chunk.series.is_empty() {
+                break;
+            }
+            for (acc, s) in cat.iter_mut().zip(chunk.series.series.iter()) {
+                acc.extend_from_slice(s);
+            }
+            cursor = chunk.cursor.clone().expect("stream job returns a cursor");
+        }
+        assert_eq!(one_shot.series.series, cat, "streamed concat diverges");
     }
 }

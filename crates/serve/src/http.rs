@@ -174,6 +174,82 @@ pub fn write_response_extra(
     stream.flush()
 }
 
+/// Start a chunked response: status line and headers with
+/// `Transfer-Encoding: chunked` instead of `Content-Length`. Follow
+/// with [`write_chunk`] calls and one [`finish_chunked`].
+pub fn write_chunked_head(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n"
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// Write one HTTP/1.1 chunk (size line, payload, CRLF) and flush so
+/// the client sees the span as soon as the scheduler produced it.
+/// Empty payloads are skipped — a zero-size chunk would terminate the
+/// stream.
+pub fn write_chunk(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    if payload.is_empty() {
+        return Ok(());
+    }
+    stream.write_all(format!("{:x}\r\n", payload.len()).as_bytes())?;
+    stream.write_all(payload)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Terminate a chunked response with the zero-size chunk.
+pub fn finish_chunked(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// Decode a chunked transfer coding body into the payload bytes.
+/// Tolerates a truncated tail (a stream cut mid-chunk yields the bytes
+/// that made it), which is exactly what a deadline-expired stream
+/// leaves on the wire.
+pub fn decode_chunked(raw: &[u8]) -> Result<Vec<u8>, HttpError> {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut pos = 0usize;
+    // A missing size line means a truncated stream: return what decoded.
+    while let Some(line_end) = raw[pos..].windows(2).position(|w| w == b"\r\n") {
+        let size_line = String::from_utf8_lossy(&raw[pos..pos + line_end]);
+        let size_hex = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_hex, 16)
+            .map_err(|_| HttpError::Malformed(format!("bad chunk size {size_hex:?}")))?;
+        pos += line_end + 2;
+        if size == 0 {
+            break; // terminal chunk
+        }
+        let take = size.min(raw.len().saturating_sub(pos));
+        out.extend_from_slice(&raw[pos..pos + take]);
+        pos += size + 2; // payload + trailing CRLF
+        if pos > raw.len() {
+            break; // truncated payload
+        }
+        if out.len() > MAX_BODY {
+            return Err(HttpError::TooLarge(format!(
+                "chunked body exceeds {MAX_BODY} bytes"
+            )));
+        }
+    }
+    Ok(out)
+}
+
 /// Shorthand for a JSON response.
 pub fn write_json(
     stream: &mut TcpStream,
@@ -277,16 +353,24 @@ pub fn http_request_full(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| HttpError::Malformed(format!("bad status line {status_line:?}")))?;
-    let headers = lines
+    let headers: Vec<(String, String)> = lines
         .filter_map(|line| {
             line.split_once(':')
                 .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
         })
         .collect();
+    let chunked = headers.iter().any(|(n, v)| {
+        n.eq_ignore_ascii_case("transfer-encoding") && v.eq_ignore_ascii_case("chunked")
+    });
+    let body = if chunked {
+        String::from_utf8_lossy(&decode_chunked(payload.as_bytes())?).into_owned()
+    } else {
+        payload.to_string()
+    };
     Ok(HttpResponse {
         status,
         headers,
-        body: payload.to_string(),
+        body,
     })
 }
 
@@ -298,6 +382,21 @@ mod tests {
     fn header_end_detection() {
         assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
         assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn chunked_roundtrip_and_truncation() {
+        // Two chunks + terminator.
+        let wire = b"5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let body = decode_chunked(wire).expect("well-formed chunked body");
+        assert_eq!(body, b"hello world");
+
+        // Cut mid-payload: the bytes that made it are returned.
+        let cut = &wire[..10];
+        assert_eq!(decode_chunked(cut).expect("truncated decodes"), b"hello");
+
+        // Garbage size line is an error, not silent truncation.
+        assert!(decode_chunked(b"zz\r\nhello\r\n").is_err());
     }
 
     #[test]

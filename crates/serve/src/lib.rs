@@ -15,6 +15,10 @@
 //!   requests;
 //! * a [context cache](cache) so repeated trajectories skip
 //!   `gendt_data::extract`;
+//! * a [stream session table](session) behind `POST /v1/stream`:
+//!   sessions hold carried LSTM state server-side so chunked responses
+//!   stream windows as the scheduler produces them and continuations
+//!   resume bitwise-exactly, with LRU + TTL eviction;
 //! * a `/metrics` endpoint in Prometheus text format built on
 //!   `gendt_metrics::Histogram`.
 //!
@@ -43,10 +47,12 @@ pub mod metrics;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
+pub mod session;
 
 pub use api::{
     ErrorEnvelope, ErrorResponse, GenerateRequest, GenerateResponse, InfoResponse, ModelInfo,
-    ModelsResponse,
+    ModelsResponse, StreamChunk, StreamRequest, StreamTrailer,
 };
 pub use registry::{ModelEntry, Registry};
 pub use server::{serve, ServerCfg, ServerCfgBuilder, ServerHandle};
+pub use session::{Checkout, SessionTable, StreamSession};

@@ -189,6 +189,308 @@ pub fn drive_open_loop(
     })
 }
 
+/// Stream-session workload knobs: how many sessions to hold open and
+/// how hard to drive their continuations.
+#[derive(Clone, Debug)]
+pub struct StreamLoadCfg {
+    /// Stream sessions to open (each paused after one window, so all of
+    /// them are concurrently resident in the server's session table
+    /// without holding a socket each).
+    pub sessions: usize,
+    /// Offered continuation arrival rate, requests per second.
+    pub rate_rps: f64,
+    /// Continuation arrivals to offer across the session pool.
+    pub requests: usize,
+    /// Seed of the arrival process.
+    pub seed: u64,
+    /// Client-side cap on in-flight continuations.
+    pub max_inflight: usize,
+}
+
+impl StreamLoadCfg {
+    /// Reject degenerate values.
+    pub fn validate(&self) -> Result<(), GendtError> {
+        if self.sessions == 0 {
+            return Err(GendtError::config("stream load sessions must be > 0"));
+        }
+        if !(self.rate_rps.is_finite() && self.rate_rps > 0.0) {
+            return Err(GendtError::config(format!(
+                "stream load rate_rps={} must be finite and > 0",
+                self.rate_rps
+            )));
+        }
+        if self.requests == 0 {
+            return Err(GendtError::config("stream load requests must be > 0"));
+        }
+        if self.max_inflight == 0 {
+            return Err(GendtError::config("stream load max_inflight must be > 0"));
+        }
+        Ok(())
+    }
+}
+
+/// What one stream-session run measured. Continuation latency goes
+/// through the same [`Quantiles`] reduction as every other loadgen
+/// path, so p99.9 is comparable across sections of the bench artifact.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// Sessions successfully opened (= concurrently resident sessions
+    /// when the continuation phase starts).
+    pub opened: u64,
+    /// Opens that failed (non-200 or transport error).
+    pub open_failed: u64,
+    /// Configured continuation arrival rate, requests per second.
+    pub offered_rps: f64,
+    /// Completed-OK continuation rate over the continuation phase.
+    pub achieved_rps: f64,
+    /// Continuations answered 200.
+    pub ok: u64,
+    /// Continuations shed by the server (429/503).
+    pub rejected: u64,
+    /// Continuations that failed any other way.
+    pub failed: u64,
+    /// Arrivals dropped client-side (inflight cap, or every session
+    /// already complete).
+    pub client_shed: u64,
+    /// Sessions that streamed to completion during the run.
+    pub completed: u64,
+    /// Wall-clock of the continuation phase, seconds.
+    pub wall_s: f64,
+    /// Continuation latency quantiles of the OK requests, milliseconds.
+    pub latency_ms: Quantiles,
+}
+
+/// Size of the thread pool that opens the session population.
+const OPEN_POOL: usize = 64;
+
+/// Drive `addr` with a stateful streaming workload: open
+/// `cfg.sessions` sessions (bodies from `open_body_of(i)`, which must
+/// include a `max_windows` budget so each open pauses resident
+/// server-side), then offer `cfg.requests` one-window continuations at
+/// the configured Poisson rate, round-robin over the live sessions.
+///
+/// Sessions complete as their series run out; arrivals that would land
+/// on a completed session are counted `client_shed` rather than sent,
+/// so `failed` stays a server-health signal.
+pub fn drive_stream_sessions(
+    addr: &str,
+    open_body_of: &(dyn Fn(usize) -> String + Sync),
+    cfg: &StreamLoadCfg,
+) -> Result<StreamReport, GendtError> {
+    cfg.validate()?;
+
+    // Phase 1: stand up the session population with a bounded pool.
+    let ids: Mutex<Vec<String>> = Mutex::new(Vec::with_capacity(cfg.sessions));
+    let open_failed = AtomicU64::new(0);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..OPEN_POOL.min(cfg.sessions) {
+            let (ids, open_failed, next) = (&ids, &open_failed, &next);
+            scope.spawn(move || loop {
+                // sync: work-queue ticket; each index claimed once.
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cfg.sessions {
+                    break;
+                }
+                let body = open_body_of(i);
+                match crate::http::http_request_full(addr, "POST", "/v1/stream", &[], Some(&body)) {
+                    Ok(resp) if resp.status == 200 => {
+                        match resp.header(crate::api::SESSION_HEADER) {
+                            // A session that already ran to completion
+                            // can't take continuations; only paused
+                            // ones join the pool.
+                            Some(sid) if !resp.body.contains("\"done\":true") => {
+                                ids.lock().push(sid.to_string());
+                            }
+                            _ => {
+                                open_failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    _ => {
+                        open_failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let ids = std::mem::take(&mut *ids.lock());
+    if ids.is_empty() {
+        return Err(GendtError::unavailable(format!(
+            "stream load against {addr}: no session opened"
+        )));
+    }
+
+    // Phase 2: open-loop continuations over the pool.
+    let offsets = arrival_offsets(cfg.rate_rps, cfg.requests, cfg.seed);
+    let ok = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    let mut client_shed = 0u64;
+    let inflight = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(cfg.requests));
+    // Index-aligned completion flags; a done session leaves rotation.
+    let done: Vec<AtomicU64> = (0..ids.len()).map(|_| AtomicU64::new(0)).collect();
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for (i, &offset) in offsets.iter().enumerate() {
+            loop {
+                let elapsed = started.elapsed().as_secs_f64();
+                if elapsed >= offset {
+                    break;
+                }
+                let wait = offset - elapsed;
+                if wait > 0.002 {
+                    std::thread::sleep(Duration::from_secs_f64(wait - 0.001));
+                } else {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+            // sync: soft admission gauge, boundedness only.
+            if inflight.load(Ordering::Relaxed) >= cfg.max_inflight {
+                client_shed += 1;
+                continue;
+            }
+            // Round-robin from this arrival's slot to the next session
+            // still live; all-complete means the run has drained.
+            // sync: done flags are monotonic 0→1 tallies; a stale read
+            // costs one shed or one 404-counted-failed, not correctness.
+            let target = (0..ids.len())
+                .map(|k| (i + k) % ids.len())
+                .find(|&s| done[s].load(Ordering::Relaxed) == 0);
+            let Some(slot) = target else {
+                client_shed += 1;
+                continue;
+            };
+            inflight.fetch_add(1, Ordering::Relaxed);
+            let sid = ids[slot].clone();
+            let (ok, rejected, failed, completed, inflight, latencies, done) = (
+                &ok, &rejected, &failed, &completed, &inflight, &latencies, &done,
+            );
+            scope.spawn(move || {
+                let body = format!("{{\"session\":{sid:?},\"max_windows\":1}}");
+                let t0 = Instant::now();
+                // sync: independent tally counters, joined by the scope
+                // before anyone reads them.
+                match crate::http::http_request_full(addr, "POST", "/v1/stream", &[], Some(&body)) {
+                    Ok(resp) if resp.status == 200 => {
+                        let ms = t0.elapsed().as_secs_f64() * 1000.0;
+                        ok.fetch_add(1, Ordering::Relaxed);
+                        latencies.lock().push(ms);
+                        if resp.body.contains("\"done\":true") {
+                            done[slot].store(1, Ordering::Relaxed);
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Ok(resp) if resp.status == 429 || resp.status == 503 => {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(resp) => {
+                        // A lost race with completion answers 404;
+                        // retire the slot either way.
+                        if resp.status == 404 {
+                            done[slot].store(1, Ordering::Relaxed);
+                        }
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                inflight.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let samples = latencies.lock();
+    if samples.is_empty() {
+        return Err(GendtError::unavailable(format!(
+            "stream load against {addr}: no continuation succeeded"
+        )));
+    }
+    // sync: the scope join above ordered every worker's tallies.
+    let ok_n = ok.load(Ordering::Relaxed);
+    Ok(StreamReport {
+        opened: ids.len() as u64,
+        open_failed: open_failed.load(Ordering::Relaxed),
+        offered_rps: cfg.rate_rps,
+        achieved_rps: ok_n as f64 / wall_s.max(1e-9),
+        ok: ok_n,
+        rejected: rejected.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
+        client_shed,
+        completed: completed.load(Ordering::Relaxed),
+        wall_s,
+        latency_ms: Quantiles::from_samples(&samples),
+    })
+}
+
+/// One point of a stream-continuation saturation sweep.
+#[derive(Clone, Debug)]
+pub struct StreamKneePoint {
+    /// Offered continuation rate at this step, requests per second.
+    pub offered_rps: f64,
+    /// Achieved continuation rate at this step.
+    pub achieved_rps: f64,
+    /// The full report of the step.
+    pub report: StreamReport,
+}
+
+/// Saturation-knee sweep over the continuation rate: each step stands
+/// up a fresh session population and ramps the offered rate
+/// geometrically until achieved throughput falls below `follow_frac`
+/// of offered, mirroring [`saturation_sweep`] for the one-shot path.
+#[allow(clippy::too_many_arguments)] // symmetric with saturation_sweep
+pub fn stream_saturation_sweep(
+    addr: &str,
+    open_body_of: &(dyn Fn(usize) -> String + Sync),
+    base: &StreamLoadCfg,
+    start_rps: f64,
+    growth: f64,
+    follow_frac: f64,
+    max_steps: usize,
+) -> Result<Vec<StreamKneePoint>, GendtError> {
+    if !(growth.is_finite() && growth > 1.0) {
+        return Err(GendtError::config(format!(
+            "stream saturation sweep growth={growth} must be > 1"
+        )));
+    }
+    let mut points = Vec::new();
+    let mut rate = start_rps;
+    for step in 0..max_steps.max(1) {
+        let cfg = StreamLoadCfg {
+            rate_rps: rate,
+            // Decorrelate arrival schedules across steps.
+            seed: base.seed.wrapping_add(step as u64),
+            ..base.clone()
+        };
+        let report = drive_stream_sessions(addr, open_body_of, &cfg)?;
+        let kept_up = report.achieved_rps >= follow_frac * report.offered_rps;
+        points.push(StreamKneePoint {
+            offered_rps: report.offered_rps,
+            achieved_rps: report.achieved_rps,
+            report,
+        });
+        if !kept_up {
+            break;
+        }
+        rate *= growth;
+    }
+    Ok(points)
+}
+
+/// The knee of a stream sweep: highest achieved continuation rate.
+pub fn stream_knee_of(points: &[StreamKneePoint]) -> Option<&StreamKneePoint> {
+    points.iter().max_by(|a, b| {
+        a.achieved_rps
+            .partial_cmp(&b.achieved_rps)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
+}
+
 /// One point of a saturation sweep.
 #[derive(Clone, Debug)]
 pub struct KneePoint {
@@ -293,6 +595,53 @@ mod tests {
         let mut c = OpenLoopCfg::at_rate(10.0);
         c.max_inflight = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn stream_cfg_validation_rejects_degenerates() {
+        let good = StreamLoadCfg {
+            sessions: 8,
+            rate_rps: 50.0,
+            requests: 32,
+            seed: 1,
+            max_inflight: 64,
+        };
+        assert!(good.validate().is_ok());
+        for tweak in [
+            |c: &mut StreamLoadCfg| c.sessions = 0,
+            |c: &mut StreamLoadCfg| c.rate_rps = 0.0,
+            |c: &mut StreamLoadCfg| c.rate_rps = f64::INFINITY,
+            |c: &mut StreamLoadCfg| c.requests = 0,
+            |c: &mut StreamLoadCfg| c.max_inflight = 0,
+        ] {
+            let mut c = good.clone();
+            tweak(&mut c);
+            assert!(c.validate().is_err(), "{c:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn stream_knee_picks_best_achieved() {
+        let mk = |o: f64, a: f64| StreamKneePoint {
+            offered_rps: o,
+            achieved_rps: a,
+            report: StreamReport {
+                opened: 8,
+                open_failed: 0,
+                offered_rps: o,
+                achieved_rps: a,
+                ok: 1,
+                rejected: 0,
+                failed: 0,
+                client_shed: 0,
+                completed: 0,
+                wall_s: 1.0,
+                latency_ms: Quantiles::default(),
+            },
+        };
+        let pts = vec![mk(50.0, 49.0), mk(80.0, 77.0), mk(128.0, 70.0)];
+        assert_eq!(stream_knee_of(&pts).expect("non-empty").offered_rps, 80.0);
+        assert!(stream_knee_of(&[]).is_none());
     }
 
     #[test]

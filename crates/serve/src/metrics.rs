@@ -27,6 +27,19 @@ pub struct ServeMetrics {
     pub batched_requests: AtomicU64,
     /// Total batched forward passes.
     pub batches: AtomicU64,
+    /// Requests on the legacy unversioned surface (`/generate`,
+    /// `/models`, `/reload`), counted toward its sunset.
+    pub legacy_requests: AtomicU64,
+    /// Stream sessions opened over `/v1/stream`.
+    pub stream_sessions_opened: AtomicU64,
+    /// Stream sessions evicted for capacity (LRU) pressure.
+    pub stream_sessions_evicted: AtomicU64,
+    /// Stream sessions expired by the idle TTL.
+    pub stream_sessions_expired: AtomicU64,
+    /// Chunks streamed over `/v1/stream` responses.
+    pub stream_chunks: AtomicU64,
+    /// Live sessions in the session table (gauge).
+    pub stream_sessions: AtomicU64,
     latency_ms: Mutex<Histogram>,
     batch_size: Mutex<Histogram>,
 }
@@ -43,6 +56,12 @@ impl ServeMetrics {
             queue_depth: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            legacy_requests: AtomicU64::new(0),
+            stream_sessions_opened: AtomicU64::new(0),
+            stream_sessions_evicted: AtomicU64::new(0),
+            stream_sessions_expired: AtomicU64::new(0),
+            stream_chunks: AtomicU64::new(0),
+            stream_sessions: AtomicU64::new(0),
             // 0..10s in 25ms bins: generation latencies land well inside.
             latency_ms: Mutex::new(Histogram::empty(0.0, 10_000.0, 400)),
             batch_size: Mutex::new(Histogram::empty(0.0, max_batch.max(1) as f64 + 1.0, {
@@ -157,6 +176,42 @@ impl ServeMetrics {
             "Batched forward passes executed.",
             self.batches.load(Ordering::Relaxed),
         );
+        counter(
+            &mut out,
+            "gendt_serve_legacy_requests_total",
+            "Requests on the legacy unversioned surface (sunsetting).",
+            self.legacy_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_serve_stream_sessions_opened_total",
+            "Stream sessions opened over /v1/stream.",
+            self.stream_sessions_opened.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_serve_stream_sessions_evicted_total",
+            "Stream sessions evicted under capacity pressure.",
+            self.stream_sessions_evicted.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_serve_stream_sessions_expired_total",
+            "Stream sessions expired by the idle TTL.",
+            self.stream_sessions_expired.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gendt_serve_stream_chunks_total",
+            "Chunks streamed over /v1/stream responses.",
+            self.stream_chunks.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "gendt_serve_stream_sessions",
+            "Live sessions in the stream session table.",
+            self.stream_sessions.load(Ordering::Relaxed),
+        );
         {
             let lat = self.latency_ms.lock();
             render_summary(
@@ -230,6 +285,10 @@ mod tests {
             "gendt_serve_batches_total 1",
             "gendt_serve_deadline_expired_total",
             "gendt_serve_faults_injected_total",
+            "gendt_serve_legacy_requests_total",
+            "gendt_serve_stream_sessions_opened_total",
+            "gendt_serve_stream_sessions 0",
+            "gendt_serve_stream_chunks_total",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

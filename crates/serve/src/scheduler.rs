@@ -22,9 +22,9 @@
 //! in a stub so schedule exploration spends its budget on the
 //! interleavings, not on inference.
 
-use crate::batch::{run_batch, GenJob};
+use crate::batch::{run_batch, BatchOut, GenJob};
 use crate::metrics::ServeMetrics;
-use gendt::GeneratedSeries;
+use gendt::{GenCursor, GeneratedSeries};
 use gendt_faults::GendtError;
 use gendt_sync::atomic::{AtomicBool, Ordering};
 use gendt_sync::time::Instant;
@@ -68,8 +68,10 @@ pub enum SubmitError {
 /// record per request without a second channel.
 #[derive(Debug)]
 pub struct JobDone {
-    /// The generated series.
+    /// The generated series (the chunk's span for streaming jobs).
     pub series: GeneratedSeries,
+    /// Advanced resume cursor for streaming jobs; `None` for one-shot.
+    pub cursor: Option<GenCursor>,
     /// Time spent queued before its batch executed, microseconds.
     pub queue_us: u32,
     /// Time inside the batched forward pass, microseconds.
@@ -84,8 +86,8 @@ pub type JobResult = Result<JobDone, GendtError>;
 /// batch invariants, keeping schedule exploration cheap.
 pub trait BatchRunner: Send + Sync {
     /// Run `jobs` (all pinned to the same model entry) and return one
-    /// series per job, aligned with `jobs`.
-    fn run(&self, jobs: &[GenJob]) -> Vec<GeneratedSeries>;
+    /// result per job, aligned with `jobs`.
+    fn run(&self, jobs: &[GenJob]) -> Vec<BatchOut>;
 }
 
 /// Saturating microseconds for the compact flight-recorder fields.
@@ -96,7 +98,7 @@ fn clamp_us(d: Duration) -> u32 {
 struct ProdRunner;
 
 impl BatchRunner for ProdRunner {
-    fn run(&self, jobs: &[GenJob]) -> Vec<GeneratedSeries> {
+    fn run(&self, jobs: &[GenJob]) -> Vec<BatchOut> {
         run_batch(&jobs[0].entry, jobs)
     }
 }
@@ -241,26 +243,20 @@ impl Scheduler {
                 let _trace = gendt_trace::trace_scope(live[0].trace);
                 gendt_trace::span!("serve_batch", "batch" => n);
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let owned: Vec<GenJob> = jobs
-                        .iter()
-                        .map(|j| GenJob {
-                            entry: j.entry.clone(),
-                            ctx: j.ctx.clone(),
-                            sample_seed: j.sample_seed,
-                        })
-                        .collect();
+                    let owned: Vec<GenJob> = jobs.iter().map(|&j| j.clone()).collect();
                     self.runner.run(&owned)
                 }))
             };
             let batch_us = clamp_us(batch_started.elapsed());
             self.metrics.observe_batch(n);
             match result {
-                Ok(series) => {
-                    for (pending, out) in live.into_iter().zip(series) {
+                Ok(outs) => {
+                    for (pending, out) in live.into_iter().zip(outs) {
                         let queue_us =
                             clamp_us(batch_started.saturating_duration_since(pending.enqueued));
                         let _ = pending.reply.send(Ok(JobDone {
-                            series: out,
+                            series: out.series,
+                            cursor: out.cursor,
                             queue_us,
                             batch_us,
                         }));
@@ -356,11 +352,14 @@ mod tests {
     struct MarkerRunner;
 
     impl BatchRunner for MarkerRunner {
-        fn run(&self, jobs: &[GenJob]) -> Vec<GeneratedSeries> {
+        fn run(&self, jobs: &[GenJob]) -> Vec<BatchOut> {
             jobs.iter()
-                .map(|j| GeneratedSeries {
-                    kpis: Vec::new(),
-                    series: vec![vec![j.sample_seed as f64]],
+                .map(|j| BatchOut {
+                    series: GeneratedSeries {
+                        kpis: Vec::new(),
+                        series: vec![vec![j.sample_seed as f64]],
+                    },
+                    cursor: None,
                 })
                 .collect()
         }
@@ -387,6 +386,7 @@ mod tests {
             entry: Arc::clone(entry),
             ctx: Arc::new(RunContext { steps: Vec::new() }),
             sample_seed,
+            stream: None,
         }
     }
 
@@ -467,12 +467,15 @@ mod tests {
     struct TraceRunner;
 
     impl BatchRunner for TraceRunner {
-        fn run(&self, jobs: &[GenJob]) -> Vec<GeneratedSeries> {
+        fn run(&self, jobs: &[GenJob]) -> Vec<BatchOut> {
             let t = gendt_trace::current_trace() as f64;
             jobs.iter()
-                .map(|_| GeneratedSeries {
-                    kpis: Vec::new(),
-                    series: vec![vec![t]],
+                .map(|_| BatchOut {
+                    series: GeneratedSeries {
+                        kpis: Vec::new(),
+                        series: vec![vec![t]],
+                    },
+                    cursor: None,
                 })
                 .collect()
         }

@@ -19,16 +19,22 @@
 //! drain through `POST /shutdown`; see DESIGN.md §10.)
 
 use crate::api::{
-    parse_scenario, ErrorEnvelope, ErrorResponse, GenerateRequest, GenerateResponse, InfoResponse,
-    ModelInfo, ModelsResponse,
+    encode, parse_scenario, stream_reason, ErrorEnvelope, ErrorResponse, GenerateRequest,
+    GenerateResponse, InfoResponse, ModelInfo, ModelsResponse, StreamChunk, StreamRequest,
+    StreamTrailer,
 };
-use crate::batch::GenJob;
+use crate::batch::{GenJob, StreamPart};
 use crate::cache::{ContextCache, ContextKey};
-use crate::http::{read_request, write_json, write_json_extra, write_response_extra, Request};
+use crate::http::{
+    finish_chunked, read_request, write_chunk, write_chunked_head, write_json, write_json_extra,
+    write_response_extra, Request,
+};
 use crate::metrics::ServeMetrics;
-use crate::registry::Registry;
+use crate::registry::{ModelEntry, Registry};
 use crate::scheduler::{SchedCfg, Scheduler, SubmitError};
-use gendt_data::context::{extract, ContextCfg};
+use crate::session::{Checkout, SessionTable, StreamSession};
+use gendt::{generation_windows, GenCursor};
+use gendt_data::context::{extract, ContextCfg, RunContext};
 use gendt_faults::GendtError;
 use gendt_geo::{trajectory, World, WorldCfg, XY};
 use gendt_obs::{flightrec, traceid};
@@ -53,6 +59,12 @@ const DRAIN_WAIT: Duration = Duration::from_secs(10);
 /// — so load balancers observe the drain instead of connection resets.
 const DRAIN_GRACE: Duration = Duration::from_millis(400);
 
+/// `Sunset` header (RFC 8594) announced on the legacy unversioned
+/// routes (`/generate`, `/models`, `/reload`): the date after which the
+/// unversioned surface may be removed. Removal is rehearsed today by
+/// setting `GENDT_V1_ONLY=1`, which answers these routes with 410 Gone.
+const LEGACY_SUNSET: &str = "Tue, 01 Jun 2027 00:00:00 GMT";
+
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServerCfg {
@@ -71,6 +83,17 @@ pub struct ServerCfg {
     /// Default per-request deadline, milliseconds; `0` means none. A
     /// request's `Deadline-Ms` header overrides it.
     pub default_deadline_ms: u64,
+    /// Most concurrent `/v1/stream` sessions held server-side; LRU
+    /// eviction over idle sessions beyond this.
+    pub session_cap: usize,
+    /// Idle stream sessions expire after this many milliseconds.
+    pub session_ttl_ms: u64,
+    /// Default windows per streamed chunk (a request's `chunk_windows`
+    /// overrides it).
+    pub chunk_windows: usize,
+    /// Remove the legacy unversioned surface: `/generate`, `/models`,
+    /// and `/reload` answer 410 Gone. Defaults from `GENDT_V1_ONLY=1`.
+    pub v1_only: bool,
 }
 
 impl ServerCfg {
@@ -85,6 +108,12 @@ impl ServerCfg {
             cache_cap: 128,
             workers: 1,
             default_deadline_ms: 0,
+            session_cap: 4096,
+            session_ttl_ms: 60_000,
+            chunk_windows: 1,
+            v1_only: std::env::var("GENDT_V1_ONLY")
+                .map(|v| v == "1")
+                .unwrap_or(false),
         }
     }
 
@@ -118,6 +147,12 @@ impl ServerCfg {
         }
         if self.sched.queue_cap == 0 {
             return bad("sched.queue_cap must be > 0 (every submit would shed)".into());
+        }
+        if self.session_cap == 0 {
+            return bad("session_cap must be > 0 (every stream open would evict itself)".into());
+        }
+        if self.chunk_windows == 0 {
+            return bad("chunk_windows must be > 0 (chunks would never advance)".into());
         }
         Ok(())
     }
@@ -182,6 +217,30 @@ impl ServerCfgBuilder {
         self
     }
 
+    /// Most concurrent `/v1/stream` sessions held server-side.
+    pub fn session_cap(mut self, n: usize) -> Self {
+        self.cfg.session_cap = n;
+        self
+    }
+
+    /// Idle stream-session TTL, milliseconds.
+    pub fn session_ttl_ms(mut self, ms: u64) -> Self {
+        self.cfg.session_ttl_ms = ms;
+        self
+    }
+
+    /// Default windows per streamed chunk.
+    pub fn chunk_windows(mut self, n: usize) -> Self {
+        self.cfg.chunk_windows = n;
+        self
+    }
+
+    /// Remove the legacy unversioned surface (410 Gone).
+    pub fn v1_only(mut self, on: bool) -> Self {
+        self.cfg.v1_only = on;
+        self
+    }
+
     /// Validate and return the configuration.
     pub fn build(mut self) -> Result<ServerCfg, GendtError> {
         if self.default_deadline_ms < 0 {
@@ -212,6 +271,14 @@ struct ServerState {
     default_deadline_ms: u64,
     /// Scheduler micro-batch capacity, advertised on `/v1/info`.
     max_batch: usize,
+    /// Stream sessions held for `/v1/stream` continuations.
+    sessions: SessionTable<StreamSession>,
+    /// Default windows per streamed chunk.
+    chunk_windows: usize,
+    /// `GENDT_V1_ONLY=1`: the legacy unversioned surface answers 410.
+    v1_only: bool,
+    /// Mint source for locally assigned session ids.
+    session_seq: AtomicU64,
 }
 
 impl ServerState {
@@ -305,6 +372,7 @@ pub fn serve(cfg: ServerCfg) -> Result<ServerHandle, GendtError> {
         .local_addr()
         .map_err(|e| GendtError::from(e).wrap("no local addr"))?;
 
+    let metrics_for_sessions = metrics.clone();
     let state = Arc::new(ServerState {
         registry,
         world,
@@ -317,6 +385,14 @@ pub fn serve(cfg: ServerCfg) -> Result<ServerHandle, GendtError> {
         active: AtomicU64::new(0),
         default_deadline_ms: cfg.default_deadline_ms,
         max_batch: cfg.sched.max_batch,
+        sessions: SessionTable::new(
+            cfg.session_cap,
+            Duration::from_millis(cfg.session_ttl_ms),
+            metrics_for_sessions,
+        ),
+        chunk_windows: cfg.chunk_windows,
+        v1_only: cfg.v1_only,
+        session_seq: AtomicU64::new(1),
     });
 
     let mut workers = Vec::with_capacity(cfg.workers.max(1));
@@ -377,6 +453,7 @@ fn reason(status: u16) -> &'static str {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        410 => "Gone",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -386,12 +463,12 @@ fn reason(status: u16) -> &'static str {
 }
 
 /// Extra headers for a successful response on the given API surface:
-/// legacy routes announce their deprecation.
+/// legacy routes announce their deprecation and sunset date.
 fn surface_headers(v1: bool) -> &'static [(&'static str, &'static str)] {
     if v1 {
         &[]
     } else {
-        &[("Deprecation", "true")]
+        &[("Deprecation", "true"), ("Sunset", LEGACY_SUNSET)]
     }
 }
 
@@ -403,14 +480,13 @@ fn write_error(stream: &mut TcpStream, v1: bool, err: &GendtError) {
     let mut extra: Vec<(&str, &str)> = Vec::new();
     if !v1 {
         extra.push(("Deprecation", "true"));
+        extra.push(("Sunset", LEGACY_SUNSET));
     }
     if status == 429 || status == 503 {
         extra.push(("Retry-After", "1"));
     }
     let body = if v1 {
-        serde_json::to_string(&ErrorEnvelope::from_error(err)).unwrap_or_else(|_| {
-            format!("{{\"code\":\"internal\",\"message\":{:?}}}", err.context())
-        })
+        encode(&ErrorEnvelope::from_error(err))
     } else {
         error_body(err.context())
     };
@@ -452,13 +528,34 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
         _ => (req.path.clone(), false),
     };
 
+    // The unversioned API surface is sunsetting: count its traffic, and
+    // under GENDT_V1_ONLY=1 rehearse the removal with 410 Gone.
+    let legacy_api = !v1 && matches!(route.as_str(), "/generate" | "/models" | "/reload");
+    if legacy_api {
+        // sync: monotonic counter for /metrics only.
+        state
+            .metrics
+            .legacy_requests
+            .fetch_add(1, Ordering::Relaxed);
+        if state.v1_only {
+            let _ = write_json_extra(
+                &mut stream,
+                410,
+                reason(410),
+                surface_headers(false),
+                &error_body(&format!("the unversioned API is removed; use /v1{route}")),
+            );
+            return;
+        }
+    }
+
     match (req.method.as_str(), route.as_str()) {
         ("POST", "/generate") => handle_generate(state, &mut stream, &req, v1),
+        ("POST", "/stream") if v1 => handle_stream(state, &mut stream, &req),
         ("GET", "/models") => {
-            let body = serde_json::to_string(&ModelsResponse {
+            let body = encode(&ModelsResponse {
                 models: state.registry.names(),
-            })
-            .unwrap_or_else(|_| "{}".to_string());
+            });
             let _ = write_json_extra(&mut stream, 200, "OK", surface_headers(v1), &body);
         }
         ("GET", "/info") => {
@@ -475,22 +572,20 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
                     n_ch: e.model.cfg().n_ch,
                 })
                 .collect();
-            let body = serde_json::to_string(&InfoResponse {
+            let body = encode(&InfoResponse {
                 models,
                 // sync: gauge scrape; no cross-counter consistency needed.
                 queue_depth: state.metrics.queue_depth.load(Ordering::Relaxed),
                 max_batch: state.max_batch,
                 draining: state.is_draining(),
-            })
-            .unwrap_or_else(|_| "{}".to_string());
+            });
             let _ = write_json_extra(&mut stream, 200, "OK", surface_headers(v1), &body);
         }
         ("POST", "/reload") => match state.registry.reload() {
             Ok(_) => {
-                let body = serde_json::to_string(&ModelsResponse {
+                let body = encode(&ModelsResponse {
                     models: state.registry.names(),
-                })
-                .unwrap_or_else(|_| "{}".to_string());
+                });
                 let _ = write_json_extra(&mut stream, 200, "OK", surface_headers(v1), &body);
             }
             Err(e) => write_error(&mut stream, v1, &e),
@@ -571,6 +666,10 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
             // sync: Release pairs with is_draining's Acquire load.
             state.draining.store(true, Ordering::Release);
             state.scheduler.stop();
+            // Idle stream sessions have no connection to flush a trailer
+            // to; shed their state now. In-flight streams observe the
+            // drain flag and close with a `drain` trailer themselves.
+            state.sessions.shed_idle();
             // Crash-box dump: when GENDT_FLIGHTREC_DUMP names a file the
             // flight-recorder ring is written there before the process
             // winds down (best-effort, never blocks the drain).
@@ -682,18 +781,13 @@ fn handle_generate(state: &Arc<ServerState>, stream: &mut TcpStream, req: &Reque
     flightrec::record(rec);
 }
 
-/// The generate pipeline: validate, resolve, extract, submit, await.
-/// Every failure is a taxonomy error; the caller picks the wire shape.
-fn generate_response(
+/// Validate a generate/stream-open spec and resolve it to the pinned
+/// model entry plus the extracted (possibly cached) trajectory context
+/// — the shared front half of `/v1/generate` and `/v1/stream` opens.
+fn resolve_spec(
     state: &Arc<ServerState>,
-    req: &Request,
-    started: Instant,
-    rec: &mut flightrec::FlightRecord,
-) -> Result<String, GendtError> {
-    let body = String::from_utf8_lossy(&req.body);
-    let parsed: GenerateRequest = serde_json::from_str(&body)
-        .map_err(|e| GendtError::invalid(format!("bad request body: {e}")))?;
-    rec.scenario = flightrec::scenario_code(&parsed.scenario);
+    parsed: &GenerateRequest,
+) -> Result<(Arc<ModelEntry>, Arc<RunContext>), GendtError> {
     let scenario = parse_scenario(&parsed.scenario)
         .ok_or_else(|| GendtError::invalid(format!("unknown scenario {:?}", parsed.scenario)))?;
     if !(parsed.duration_s.is_finite()
@@ -704,7 +798,6 @@ fn generate_response(
     {
         return Err(GendtError::invalid("duration/start out of range"));
     }
-    let deadline = request_deadline(state, req, started)?;
     let entry = state
         .registry
         .get(&parsed.model)
@@ -742,11 +835,29 @@ fn generate_response(
             built
         }
     };
+    Ok((entry, ctx))
+}
+
+/// The generate pipeline: validate, resolve, extract, submit, await.
+/// Every failure is a taxonomy error; the caller picks the wire shape.
+fn generate_response(
+    state: &Arc<ServerState>,
+    req: &Request,
+    started: Instant,
+    rec: &mut flightrec::FlightRecord,
+) -> Result<String, GendtError> {
+    let body = String::from_utf8_lossy(&req.body);
+    let parsed: GenerateRequest = serde_json::from_str(&body)
+        .map_err(|e| GendtError::invalid(format!("bad request body: {e}")))?;
+    rec.scenario = flightrec::scenario_code(&parsed.scenario);
+    let deadline = request_deadline(state, req, started)?;
+    let (entry, ctx) = resolve_spec(state, &parsed)?;
 
     let job = GenJob {
         entry: entry.clone(),
         ctx,
         sample_seed: parsed.sample_seed,
+        stream: None,
     };
     let rx = state.scheduler.submit(job, deadline).map_err(|e| match e {
         SubmitError::QueueFull => GendtError::overloaded("generation queue is full, retry later"),
@@ -763,4 +874,305 @@ fn generate_response(
     };
     serde_json::to_string(&resp)
         .map_err(|e| GendtError::internal(format!("response encoding failed: {e}")))
+}
+
+/// Mint a worker-local session id (the fleet router sends its own via
+/// the `Gendt-Session-Id` request header, which wins).
+fn mint_session_id(state: &ServerState) -> String {
+    // sync: unique-id mint only; no ordering requirement.
+    let n = state.session_seq.fetch_add(1, Ordering::Relaxed);
+    format!("s{:x}-{n:x}", gendt_trace::now_ns())
+}
+
+/// `POST /v1/stream`: open or continue a stateful generation session
+/// and stream NDJSON chunks over chunked transfer encoding as the
+/// scheduler produces them. Failures before the first byte are regular
+/// typed-envelope responses; once streaming, failures surface in the
+/// end-of-stream trailer.
+fn handle_stream(state: &Arc<ServerState>, stream: &mut TcpStream, req: &Request) {
+    let started = Instant::now();
+    // Opportunistic TTL sweep: continuation traffic retires idle state.
+    state.sessions.sweep();
+    let fail = |stream: &mut TcpStream, state: &Arc<ServerState>, e: &GendtError| {
+        // sync: monotonic counters for /metrics only.
+        if e.kind() == gendt_faults::ErrorKind::Overloaded {
+            state
+                .metrics
+                .generate_rejected
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            state
+                .metrics
+                .generate_failed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        write_error(stream, true, e);
+    };
+    let body = String::from_utf8_lossy(&req.body);
+    let parsed: StreamRequest = match serde_json::from_str(&body) {
+        Ok(p) => p,
+        Err(e) => {
+            fail(
+                stream,
+                state,
+                &GendtError::invalid(format!("bad request body: {e}")),
+            );
+            return;
+        }
+    };
+    let deadline = match request_deadline(state, req, started) {
+        Ok(d) => d,
+        Err(e) => {
+            fail(stream, state, &e);
+            return;
+        }
+    };
+    if state.is_draining() {
+        fail(
+            stream,
+            state,
+            &GendtError::unavailable("server is draining"),
+        );
+        return;
+    }
+    let budget = match parsed.max_windows {
+        Some(n) if n > 0 => n,
+        _ => usize::MAX,
+    };
+
+    let sess = match &parsed.session {
+        // Continuation: take the session out of the table; the Busy
+        // marker shields it from eviction while this response streams.
+        Some(sid) => match state.sessions.checkout(sid) {
+            Checkout::Session(s) => s,
+            Checkout::Busy => {
+                fail(
+                    stream,
+                    state,
+                    &GendtError::overloaded(format!("session {sid:?} is busy, retry later")),
+                );
+                return;
+            }
+            Checkout::NotFound => {
+                fail(
+                    stream,
+                    state,
+                    &GendtError::not_found(format!("unknown session {sid:?}")),
+                );
+                return;
+            }
+        },
+        // Open: resolve the spec, register the session, check it out.
+        None => {
+            let spec = match parsed.open_spec() {
+                Ok(s) => s,
+                Err(e) => {
+                    fail(stream, state, &e);
+                    return;
+                }
+            };
+            let (entry, ctx) = match resolve_spec(state, &spec) {
+                Ok(r) => r,
+                Err(e) => {
+                    fail(stream, state, &e);
+                    return;
+                }
+            };
+            let cfg = entry.model.cfg();
+            let total_windows = generation_windows(&ctx, cfg.n_ch, &cfg.generation_window()).len();
+            let chunk_windows = match parsed.chunk_windows {
+                Some(n) if n > 0 => n,
+                _ => state.chunk_windows,
+            };
+            let id = req
+                .header(crate::api::SESSION_HEADER)
+                .map(str::to_string)
+                .unwrap_or_else(|| mint_session_id(state));
+            let cursor = GenCursor::fresh(cfg, spec.sample_seed);
+            state.sessions.open(
+                id.clone(),
+                StreamSession {
+                    id: id.clone(),
+                    entry,
+                    ctx,
+                    cursor,
+                    total_windows,
+                    sample_seed: spec.sample_seed,
+                    chunk_windows,
+                    seq: 0,
+                },
+            );
+            match state.sessions.checkout(&id) {
+                Checkout::Session(s) => s,
+                // Evicted between open and checkout (capacity storm) or
+                // a duplicate open raced us on the same fleet-minted id.
+                _ => {
+                    fail(
+                        stream,
+                        state,
+                        &GendtError::overloaded("session table is over capacity, retry later"),
+                    );
+                    return;
+                }
+            }
+        }
+    };
+    stream_session(state, stream, sess, budget, deadline);
+}
+
+/// Write the final NDJSON trailer line and the terminal chunk.
+fn emit_trailer(
+    stream: &mut TcpStream,
+    sess: &StreamSession,
+    reason: &'static str,
+    done: bool,
+    err: Option<&GendtError>,
+) {
+    let trailer = StreamTrailer {
+        session: sess.id.clone(),
+        done,
+        reason: reason.to_string(),
+        next_window: sess.cursor.next_window,
+        total_windows: sess.total_windows,
+        error: err.map(ErrorEnvelope::from_error),
+    };
+    let mut line = encode(&trailer);
+    line.push('\n');
+    let _ = write_chunk(stream, line.as_bytes());
+    let _ = finish_chunked(stream);
+}
+
+/// The streaming loop: submit one chunk at a time (so streaming
+/// continuations coalesce into the same micro-batches as one-shot
+/// requests), flush each span the moment the scheduler returns it, and
+/// close with a typed trailer. The session returns to the table
+/// (`paused`/`deadline`) or is removed (`complete`/`drain`).
+fn stream_session(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    mut sess: StreamSession,
+    mut budget: usize,
+    deadline: Option<Instant>,
+) {
+    let window_len = sess.entry.model.cfg().generation_window().len;
+    {
+        let trace = gendt_trace::current_trace();
+        let trace_hdr = traceid::format_id(trace);
+        let mut extra: Vec<(&str, &str)> = vec![(crate::api::SESSION_HEADER, &sess.id)];
+        if trace != 0 {
+            extra.push((traceid::TRACE_HEADER, &trace_hdr));
+        }
+        if write_chunked_head(stream, 200, "OK", "application/x-ndjson", &extra).is_err() {
+            // Client vanished before the first byte; park the session.
+            let id = sess.id.clone();
+            state.sessions.checkin(&id, sess);
+            return;
+        }
+    }
+
+    loop {
+        if sess.cursor.next_window >= sess.total_windows {
+            emit_trailer(stream, &sess, stream_reason::COMPLETE, true, None);
+            state.sessions.remove(&sess.id);
+            return;
+        }
+        if state.is_draining() {
+            // Flush what streamed, close the session, and tell the
+            // client exactly why instead of stranding it mid-series.
+            emit_trailer(stream, &sess, stream_reason::DRAIN, false, None);
+            state.sessions.remove(&sess.id);
+            return;
+        }
+        if budget == 0 {
+            emit_trailer(stream, &sess, stream_reason::PAUSED, false, None);
+            let id = sess.id.clone();
+            state.sessions.checkin(&id, sess);
+            return;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            // Mid-stream expiry keeps the session: the client already
+            // holds every chunk up to `next_window` and can continue.
+            emit_trailer(stream, &sess, stream_reason::DEADLINE, false, None);
+            let id = sess.id.clone();
+            state.sessions.checkin(&id, sess);
+            return;
+        }
+
+        let job = GenJob {
+            entry: sess.entry.clone(),
+            ctx: sess.ctx.clone(),
+            sample_seed: sess.sample_seed,
+            stream: Some(StreamPart {
+                cursor: sess.cursor.clone(),
+                max_windows: sess.chunk_windows.min(budget),
+            }),
+        };
+        let outcome = state
+            .scheduler
+            .submit(job, deadline)
+            .map_err(|e| match e {
+                SubmitError::QueueFull => {
+                    GendtError::overloaded("generation queue is full, retry later")
+                }
+                SubmitError::ShuttingDown => GendtError::unavailable("server is shutting down"),
+            })
+            .and_then(|rx| match rx.recv() {
+                Ok(inner) => inner,
+                Err(_) => Err(GendtError::internal("worker dropped the request")),
+            });
+        let done = match outcome {
+            Ok(d) => d,
+            Err(e) => {
+                let id = sess.id.clone();
+                match e.kind() {
+                    // The job's deadline expired in the queue: same
+                    // contract as the loop's own deadline check.
+                    gendt_faults::ErrorKind::Timeout => {
+                        emit_trailer(stream, &sess, stream_reason::DEADLINE, false, None);
+                        state.sessions.checkin(&id, sess);
+                    }
+                    // Drain raced the submit: the drain trailer closes
+                    // the session like the loop-top check would.
+                    gendt_faults::ErrorKind::Unavailable => {
+                        emit_trailer(stream, &sess, stream_reason::DRAIN, false, None);
+                        state.sessions.remove(&id);
+                    }
+                    _ => {
+                        emit_trailer(stream, &sess, stream_reason::ERROR, false, Some(&e));
+                        state.sessions.checkin(&id, sess);
+                    }
+                }
+                return;
+            }
+        };
+        let Some(cursor) = done.cursor else {
+            let e = GendtError::internal("stream job returned no cursor");
+            emit_trailer(stream, &sess, stream_reason::ERROR, false, Some(&e));
+            let id = sess.id.clone();
+            state.sessions.checkin(&id, sess);
+            return;
+        };
+
+        let advanced = cursor.next_window.saturating_sub(sess.cursor.next_window);
+        let chunk = StreamChunk {
+            session: sess.id.clone(),
+            seq: sess.seq,
+            start: sess.cursor.next_window * window_len,
+            windows: advanced,
+            series: done.series,
+        };
+        sess.cursor = cursor;
+        sess.seq += 1;
+        budget = budget.saturating_sub(advanced.max(1));
+        // sync: monotonic counter for /metrics only.
+        state.metrics.stream_chunks.fetch_add(1, Ordering::Relaxed);
+        let mut line = encode(&chunk);
+        line.push('\n');
+        if write_chunk(stream, line.as_bytes()).is_err() {
+            // Client went away mid-stream; the session stays resumable.
+            let id = sess.id.clone();
+            state.sessions.checkin(&id, sess);
+            return;
+        }
+    }
 }

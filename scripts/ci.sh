@@ -49,10 +49,22 @@ cargo run --release -p gendt-audit -- sync-check
 # output once the faults clear.
 cargo run --release -p gendt-audit -- chaos
 
+# Stream gate: the stateful /v1/stream surface end to end. Asserts the
+# concatenation of a session's chunks across open + continuations is
+# bitwise-identical to the one-shot /v1/generate series in BOTH the
+# interpreted and GENDT_PLAN=1 compiled-plan modes (and that the two
+# modes agree), that a mid-stream deadline yields a `deadline` trailer
+# with a resumable session, and that draining refuses continuations of
+# shed sessions with a typed 503.
+cargo run --release -p gendt-audit -- stream-smoke
+
 # Serving layer (crates/serve): one end-to-end request against an
-# in-process server, then a CI-sized load run refreshing BENCH_serve.json.
+# in-process server, then a CI-sized load run refreshing BENCH_serve.json,
+# then a CI-sized open-loop stream-session run refreshing its `stream`
+# section (the committed artifact is regenerated at full scale).
 cargo run --release -p gendt-serve --bin gendt-loadgen -- --smoke
 cargo run --release -p gendt-serve --bin gendt-loadgen -- --quick --out BENCH_serve.json
+cargo run --release -p gendt-serve --bin gendt-loadgen -- --stream --quick --out BENCH_serve.json
 
 # Fleet gate (crates/fleet): router + 2 real worker processes. Asserts
 # bitwise parity with single-node serving across all five scenarios,
